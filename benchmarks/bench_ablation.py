@@ -1,0 +1,122 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+A1 — *determinised eVA in the enumeration pipeline*: replacing phase-2 by
+the naive backward-DP evaluator keeps correctness but loses laziness; the
+time-to-first-tuple gap is the reason the pipeline exists.
+
+A2 — *strong balancedness in the compressed evaluator*: the same document
+as a balanced SLP versus a degenerate left-chain SLP.  The matrices stay
+linear in |S| either way, but the enumeration delay follows the grammar
+*depth* — O(log |D|) balanced, O(|D|) chained — which is exactly why
+Section 4.1's balancing theorems matter.
+
+A3 — *hash-consing in the SLP arena*: with sharing, a database of k edited
+versions of one document stays near-constant per version; without sharing
+(rebuilding each version from text) it grows linearly.
+"""
+
+import itertools
+import time
+
+from repro.enumeration import Enumerator, evaluate_vset
+from repro.regex import spanner_from_regex
+from repro.slp import (
+    SLP,
+    Delete,
+    Doc,
+    DocumentDatabase,
+    Editor,
+    SLPSpannerEvaluator,
+    balanced_node,
+    power_node,
+)
+from repro.util import sparse_matches
+
+PATTERN = "(a|b)*!x{ab}(a|b)*"
+
+
+def test_a1_lazy_pipeline_vs_materialising(bench):
+    spanner = spanner_from_regex(PATTERN)
+    doc = sparse_matches("ab", "a", count=1500, gap=20)
+    enumerator = Enumerator(spanner)
+    index = enumerator.preprocess(doc)
+
+    def first_tuple_lazy():
+        return next(iter(enumerator.enumerate_index(index)))
+
+    start = time.perf_counter()
+    naive_relation = evaluate_vset(spanner, doc)
+    naive_time = time.perf_counter() - start
+
+    first = bench(first_tuple_lazy, rounds=5)
+    bench.benchmark.extra_info["naive_full_materialisation"] = naive_time
+    assert first in naive_relation
+    # one lazy tuple must be much cheaper than full naive materialisation
+    start = time.perf_counter()
+    first_tuple_lazy()
+    lazy_time = time.perf_counter() - start
+    assert lazy_time * 10 < naive_time
+
+
+def test_a2_balanced_vs_chain_slp_delay(bench):
+    """Same document, two grammars: depth drives the compressed delay.
+
+    The chain grammar's depth equals |D|, so the evaluator's recursion
+    needs head-room beyond CPython's default limit — which is itself a
+    demonstration of why Section 4.1 insists on balancing.
+    """
+    import sys
+
+    sys.setrecursionlimit(20_000)
+    spanner = spanner_from_regex(PATTERN)
+    text = "ab" * 2000
+
+    balanced_slp = SLP()
+    balanced = balanced_node(balanced_slp, text)
+
+    chain_slp = SLP()
+    chain = chain_slp.terminal(text[0])
+    for ch in text[1:]:
+        chain = chain_slp.pair(chain, chain_slp.terminal(ch))
+
+    def first_tuples(slp, node):
+        evaluator = SLPSpannerEvaluator(spanner)
+        evaluator.preprocess(slp, node)
+        return list(itertools.islice(evaluator.enumerate(slp, node), 5))
+
+    def timed(slp, node):
+        start = time.perf_counter()
+        result = first_tuples(slp, node)
+        return time.perf_counter() - start, result
+
+    def shape():
+        balanced_time, balanced_result = timed(balanced_slp, balanced)
+        chain_time, chain_result = timed(chain_slp, chain)
+        assert set(balanced_result) == set(chain_result)
+        return balanced_time, chain_time
+
+    balanced_time, chain_time = bench(shape, rounds=1)
+    bench.benchmark.extra_info["balanced_time"] = balanced_time
+    bench.benchmark.extra_info["chain_time"] = chain_time
+    assert chain_time > balanced_time  # depth hurts; margin in EXPERIMENTS.md
+
+
+def test_a3_hash_consing_keeps_versions_cheap(bench):
+    """20 edited versions of one big document share almost everything."""
+
+    def run():
+        slp = SLP()
+        db = DocumentDatabase(slp)
+        db.add_node("v0", power_node(slp, "abcd", 14))
+        editor = Editor(db)
+        base_nodes = slp.num_nodes()
+        for version in range(1, 21):
+            editor.apply(
+                f"v{version}", Delete(Doc(f"v{version - 1}"), 100 + version, 400 + version)
+            )
+        return slp.num_nodes() - base_nodes
+
+    created = bench(run)
+    bench.benchmark.extra_info["nodes_for_20_versions"] = created
+    # ~O(log d) per version, nowhere near 20 × |D|
+    assert created < 20 * 90 * 16

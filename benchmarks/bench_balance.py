@@ -1,0 +1,76 @@
+"""Experiment C5: SLP balancing (paper Section 4.1).
+
+Claims benchmarked:
+
+* strongly balanced SLPs are 2-shallow, with
+  log|D| ≤ ord − 1 ≤ 2·log|D| (checked structurally);
+* rebalancing an arbitrary SLP costs O(|S|·log|D|) — the unavoidable log
+  factor of [17] — measured on degenerate chain SLPs;
+* balanced concatenation costs O(Δord), so merging documents of wildly
+  different sizes is logarithmic.
+"""
+
+import math
+
+import pytest
+
+from repro.slp import SLP, balanced_node, concat_balanced, rebalance
+
+
+def _chain(slp: SLP, length: int) -> int:
+    node = slp.terminal("a")
+    for _ in range(length - 1):
+        node = slp.pair(node, slp.terminal("b"))
+    return node
+
+
+@pytest.mark.parametrize("length", [2 ** 6, 2 ** 9, 2 ** 12])
+def test_c5_rebalance_chain(bench, length):
+    """Rebalancing a length-n left chain (|S| = Θ(n), ord = n)."""
+
+    def run():
+        slp = SLP()
+        node = _chain(slp, length)
+        return slp, rebalance(slp, node)
+
+    slp, balanced = bench(run)
+    assert slp.length(balanced) == length
+    assert slp.is_strongly_balanced(balanced)
+    assert slp.order(balanced) - 1 <= 2 * math.log2(length)
+    bench.benchmark.extra_info["order_before"] = length
+    bench.benchmark.extra_info["order_after"] = slp.order(balanced)
+
+
+def test_c5_strongly_balanced_is_2_shallow(bench):
+    """Section 4.1's order bounds, across sizes and builders."""
+
+    def check():
+        slp = SLP()
+        for size in [3, 10, 100, 1000, 5000]:
+            node = balanced_node(slp, "ab" * size)
+            assert slp.is_strongly_balanced(node)
+            assert slp.is_c_shallow(node, 2.0)
+            length = slp.length(node)
+            assert math.log2(length) <= slp.order(node) - 1 <= 2 * math.log2(length)
+        return True
+
+    assert bench(check)
+
+
+@pytest.mark.parametrize("big_exponent", [8, 12, 16])
+def test_c5_concat_cost_is_order_difference(bench, big_exponent):
+    """Balanced concat of a 2^k-char and a 1-char document creates O(k)
+    nodes and takes O(k) time — not O(2^k)."""
+
+    def run():
+        slp = SLP()
+        big = balanced_node(slp, "ab" * (2 ** big_exponent))
+        small = slp.terminal("z")
+        before = slp.num_nodes()
+        node = concat_balanced(slp, big, small)
+        return slp, node, slp.num_nodes() - before
+
+    slp, node, created = bench(run)
+    assert slp.is_strongly_balanced(node)
+    assert created <= 4 * (big_exponent + 3)
+    bench.benchmark.extra_info["nodes_created"] = created

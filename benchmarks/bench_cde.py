@@ -1,0 +1,131 @@
+"""Experiment C4: complex document editing in O(|φ|·log d)
+(paper Section 4.3 / [40]).
+
+Claims benchmarked:
+
+* applying a CDE-expression to a strongly balanced SLP costs O(log d) per
+  operation — doubling the document length adds a constant, so the cost
+  curve over exponentially growing documents is flat-ish;
+* the spanner-evaluation data structures are updated *within* that time
+  (only the fresh nodes get matrices), so querying the edited document
+  needs no re-preprocessing;
+* the string-semantics baseline (decompress, edit, recompress) is linear
+  in |D| and loses by orders of magnitude.
+"""
+
+import time
+
+import pytest
+
+from repro.regex import spanner_from_regex
+from repro.slp import (
+    Concat,
+    Delete,
+    Doc,
+    DocumentDatabase,
+    Editor,
+    Insert,
+    SLP,
+    SLPSpannerEvaluator,
+    balanced_node,
+    eval_cde,
+    power_node,
+)
+
+
+def _database(exponent: int) -> Editor:
+    slp = SLP()
+    db = DocumentDatabase(slp)
+    db.add_node("big", power_node(slp, "abcd", exponent))
+    db.add_node("patch", balanced_node(slp, "xyxyxy"))
+    return Editor(db)
+
+
+def _edit_script():
+    # positions valid for every document size used (min length 4·2^10)
+    return [
+        ("e1", Insert(Doc("big"), Doc("patch"), 1234)),
+        ("e2", Delete(Doc("e1"), 2000, 3000)),
+        ("e3", Concat(Doc("e2"), Doc("patch"))),
+    ]
+
+
+@pytest.mark.parametrize("exponent", [10, 14, 18])
+def test_c4_update_cost_logarithmic(bench, exponent):
+    """CDE application cost over documents of length 4·2^k is flat in |D|."""
+
+    def run():
+        editor = _database(exponent)
+        before = editor.db.slp.num_nodes()
+        for name, expr in _edit_script():
+            editor.apply(name, expr)
+        return editor.db.slp.num_nodes() - before
+
+    created = bench(run)
+    bench.benchmark.extra_info["doc_length"] = 4 * 2 ** exponent
+    bench.benchmark.extra_info["fresh_nodes"] = created
+    # O(log d) fresh nodes per operation, three operations
+    assert created <= 3 * 80 * (exponent + 2)
+
+
+def test_c4_update_shape_vs_baseline(bench):
+    """Strings pay Ω(|D|) per edit; the balanced SLP pays O(log |D|)."""
+
+    def timed(fn):
+        start = time.perf_counter()
+        fn()
+        return time.perf_counter() - start
+
+    def slp_edits(exponent):
+        editor = _database(exponent)
+        for name, expr in _edit_script():
+            editor.apply(name, expr)
+
+    def string_edits(exponent):
+        texts = {"big": "abcd" * (2 ** exponent), "patch": "xyxyxy"}
+        for name, expr in _edit_script():
+            texts[name] = eval_cde(expr, texts)
+
+    def shape():
+        return (
+            min(timed(lambda: slp_edits(10)) for _ in range(3)),
+            min(timed(lambda: slp_edits(18)) for _ in range(3)),
+            min(timed(lambda: string_edits(10)) for _ in range(3)),
+            min(timed(lambda: string_edits(18)) for _ in range(3)),
+        )
+
+    slp_small, slp_large, str_small, str_large = bench(shape, rounds=1)
+    bench.benchmark.extra_info.update(
+        slp_small=slp_small, slp_large=slp_large,
+        string_small=str_small, string_large=str_large,
+    )
+    # strings: 256x document => big slowdown; SLP: mild growth
+    assert str_large / str_small > 20
+    assert slp_large / slp_small < 5
+    assert slp_large < str_large
+
+
+def test_c4_query_after_edit_without_repreprocessing(bench):
+    """[40]'s point: after an edit, the spanner index update is O(log d)
+    node-matrix computations, and enumeration works immediately."""
+    spanner = spanner_from_regex("(a|b|c|d|x|y)*!v{xy}(a|b|c|d|x|y)*")
+    evaluator = SLPSpannerEvaluator(spanner)
+    editor = _database(16)
+    slp = editor.db.slp
+    evaluator.preprocess(slp, editor.db.node("big"))
+
+    import itertools
+
+    round_counter = itertools.count()
+
+    def edit_and_query():
+        name = f"edit{next(round_counter)}"
+        node = editor.apply(name, Insert(Doc("big"), Doc("patch"), 999))
+        fresh = evaluator.preprocess(slp, node)
+        first = list(itertools.islice(evaluator.enumerate(slp, node), 3))
+        return fresh, first
+
+    fresh, first = bench(edit_and_query, rounds=3)
+    bench.benchmark.extra_info["fresh_matrices"] = fresh
+    assert fresh <= 80 * 18
+    assert len(first) == 3

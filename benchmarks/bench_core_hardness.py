@@ -1,0 +1,86 @@
+"""Experiment C6: core spanner evaluation is NP-hard — and feels like it
+(paper Section 2.4, [12]).
+
+The gadget: the pattern ``x1·x1·x2·x2·…·xn·xn`` compiles to the core
+spanner ``π_∅(ς=_{Z1}…ς=_{Zn}(⟦slot automaton⟧))``; NonEmptiness then asks
+whether the document factorises into n equal-adjacent-pair blocks.
+
+Claims benchmarked:
+
+* core NonEmptiness time explodes with the number of variables
+  (super-polynomial growth on the unsatisfiable family);
+* regular spanner NonEmptiness on comparable automata stays flat
+  (markers-as-ε membership, PTIME);
+* the direct backtracking pattern matcher exhibits the same exponential
+  shape (it solves the same NP-complete problem).
+"""
+
+import time
+
+import pytest
+
+from repro.decision import is_nonempty_on
+from repro.regex import spanner_from_regex
+from repro.spanners import RegularSpanner
+from repro.wordeq import repetition_pattern
+
+
+def _hard_document(variables: int) -> str:
+    """Unsatisfiable for the x_i·x_i pattern: an odd-length block forces
+    exhaustive search over all factorisations."""
+    return "ab" * variables + "a"
+
+
+@pytest.mark.parametrize("variables", [2, 3, 4])
+def test_c6_core_nonemptiness_scaling(bench, variables):
+    pattern = repetition_pattern(variables, repeats=2)
+    core = pattern.to_core_spanner()
+    doc = _hard_document(variables)
+
+    result = bench(is_nonempty_on, core, doc)
+    assert result is False  # odd total length: no factorisation exists
+    bench.benchmark.extra_info["variables"] = variables
+
+
+def test_c6_exponential_shape(bench):
+    """Time grows super-linearly in the variable count."""
+
+    def timed(variables: int) -> float:
+        pattern = repetition_pattern(variables, repeats=2)
+        core = pattern.to_core_spanner()
+        doc = _hard_document(variables)
+        start = time.perf_counter()
+        assert is_nonempty_on(core, doc) is False
+        return time.perf_counter() - start
+
+    def shape():
+        return timed(2), timed(4)
+
+    small, large = bench(shape, rounds=1)
+    bench.benchmark.extra_info["time_2_vars"] = small
+    bench.benchmark.extra_info["time_4_vars"] = large
+    # 2x the variables, way more than 2x the time
+    assert large > small * 5, (small, large)
+
+
+@pytest.mark.parametrize("variables", [2, 3, 4])
+def test_c6_regular_stays_polynomial(bench, variables):
+    """The same slot automaton *without* the equality selections: regular
+    NonEmptiness via markers-as-ε is instant at every size."""
+    slots = "".join(f"!x{i}{{(a|b)*}}" for i in range(variables))
+    spanner = RegularSpanner.from_regex(slots)
+    doc = _hard_document(variables)
+
+    result = bench(is_nonempty_on, spanner, doc)
+    assert result is True  # without equality every factorisation works
+    bench.benchmark.extra_info["variables"] = variables
+
+
+@pytest.mark.parametrize("variables", [2, 3, 4])
+def test_c6_backtracking_matcher_baseline(bench, variables):
+    """The direct NP algorithm shows the same exponential growth."""
+    pattern = repetition_pattern(variables, repeats=2)
+    doc = _hard_document(variables)
+
+    result = bench(pattern.matches, doc)
+    assert result is False

@@ -1,0 +1,85 @@
+"""Experiment C11: static analysis of regular spanners is decidable with
+acceptable bounds (paper Section 2.4).
+
+Claims benchmarked:
+
+* Containment/Equivalence decide in time polynomial-ish in the automaton
+  size at library scale (the problems are PSpace-complete, but the
+  determinised canonical forms stay small for regex-formula workloads);
+* Hierarchicality costs one intersection-emptiness per ordered variable
+  pair — quadratic in |X|, linear in the automaton;
+* Satisfiability is near-instant (automaton emptiness);
+* the *core*-spanner analogue (Satisfiability via bounded search) blows up
+  immediately — the decidability cliff of Section 2.4.
+"""
+
+import pytest
+
+from repro.decision import (
+    contained_in,
+    equivalent_spanners,
+    is_hierarchical,
+    is_satisfiable,
+)
+from repro.errors import EvaluationLimitError
+from repro.regex import spanner_from_regex
+from repro.spanners import prim
+
+
+def _chain_spanner(length: int, wildcard: bool = False):
+    """!x{ w1 w2 … } over a word chain (automaton size grows with length)."""
+    body = "".join("(a|b)" if wildcard else "ab"[i % 2] for i in range(length))
+    return spanner_from_regex(f"(a|b)*!x{{{body}}}(a|b)*")
+
+
+@pytest.mark.parametrize("size", [4, 8, 16])
+def test_c11_equivalence_scales(bench, size):
+    left = _chain_spanner(size)
+    right = _chain_spanner(size)
+
+    verdict = bench(equivalent_spanners, left, right)
+    assert verdict is True
+    bench.benchmark.extra_info["automaton_states"] = left.nfa.num_states
+
+
+@pytest.mark.parametrize("size", [4, 8, 16])
+def test_c11_containment_scales(bench, size):
+    small = _chain_spanner(size)
+    big = _chain_spanner(size, wildcard=True)
+
+    verdict = bench(contained_in, small, big)
+    assert verdict is True
+    assert not contained_in(big, small)
+
+
+@pytest.mark.parametrize("variables", [2, 4, 6])
+def test_c11_hierarchicality_quadratic_in_variables(bench, variables):
+    pattern = "".join(f"!v{i}{{(a|b)+}}" for i in range(variables))
+    spanner = spanner_from_regex(pattern)
+
+    verdict = bench(is_hierarchical, spanner)
+    assert verdict is True
+    bench.benchmark.extra_info["variable_pairs"] = variables * (variables - 1)
+
+
+def test_c11_satisfiability_is_instant(bench):
+    spanner = _chain_spanner(16)
+    verdict = bench(is_satisfiable, spanner)
+    assert verdict is True
+
+
+def test_c11_core_satisfiability_cliff(bench):
+    """The decidability cliff: the same question for a core spanner needs
+    bounded search and fails fast on unsatisfiable instances only by
+    exhausting its budget."""
+    unsat = prim("!x1{a+}!x2{b+}").select_equal({"x1", "x2"})
+
+    def run():
+        try:
+            is_satisfiable(unsat, max_length=4)
+        except EvaluationLimitError:
+            return "undecided"
+        return "decided"
+
+    outcome = bench(run)
+    assert outcome == "undecided"

@@ -1,0 +1,126 @@
+"""Experiments E1–E3: the extension features beyond the survey's core scope
+(all from works the survey cites in its Section 1 overview).
+
+E1 — spanner-datalog ([33]): the recursive StrEq program simulates ς=;
+     cost grows with the number of equal-content span pairs (the relation
+     is quadratic in |D| in the worst case), while the built-in ς= stays
+     output-bounded.
+E2 — weighted spanners ([8]): tropical best-annotation over a noisy log,
+     and counting-semiring ambiguity detection.
+E3 — split evaluation ([7]): per-record splitting matches the global
+     result on a split-correct extractor and scales with chunk count.
+E4 — the integrated SpannerDB: edits over a store with k registered
+     spanners cost O(k·log d) fresh node-matrices, per [40]'s headline.
+"""
+
+import pytest
+
+from repro.core import SpanTuple
+from repro.datalog import select_equal_program
+from repro.regex import spanner_from_regex
+from repro.spanners import (
+    COUNTING,
+    TROPICAL,
+    WeightedSpanner,
+    is_split_correct_on,
+    prim,
+    split_evaluate,
+)
+from repro.util import log_document
+
+
+@pytest.mark.parametrize("length", [4, 8])
+def test_e1_datalog_streq_simulates_selection(bench, length):
+    pattern = "(a|b)*!x{(a|b)+}(a|b)*!y{(a|b)+}(a|b)*"
+    doc = ("ab" * length)[:length]
+    spanner = spanner_from_regex(pattern)
+    program = select_equal_program(spanner, "x", "y", "ab")
+    core = prim(pattern).select_equal({"x", "y"})
+
+    answer = bench(program.query, doc, "Answer", rounds=1)
+    expected = {(t["x"], t["y"]) for t in core.evaluate(doc)}
+    assert set(answer) == expected
+    bench.benchmark.extra_info["answer_rows"] = len(answer)
+
+
+def test_e2_weighted_best_extraction(bench):
+    """Tropical semiring: prefer extractions with less skipped context."""
+    from repro.core.alphabet import Marker
+
+    plain = spanner_from_regex("(a|b)*!x{a+}(a|b)*")
+    weighted = WeightedSpanner.from_spanner(
+        plain,
+        TROPICAL,
+        arc_weight=lambda s: 0.0 if isinstance(s, Marker) else 1.0,
+    )
+    doc = "bbaab" * 20
+
+    best = bench(weighted.best, doc)
+    assert best is not None
+    tup, weight = best
+    assert tup["x"].extract(doc).startswith("a")
+    # every run reads the whole document: cost = |doc| under this weighting
+    assert weight == len(doc)
+
+
+def test_e2_counting_ambiguity(bench):
+    """The counting semiring measures automaton ambiguity per tuple."""
+    ambiguous = WeightedSpanner(COUNTING)
+    from repro.core import Close, Open
+
+    s0 = ambiguous.add_state(initial=True)
+    s1 = ambiguous.add_state()
+    s2 = ambiguous.add_state()
+    s3 = ambiguous.add_state(accepting=True)
+    ambiguous.add_arc(s0, Open("x"), s1)
+    ambiguous.add_arc(s1, "a", s2)
+    ambiguous.add_arc(s1, "a", s2)
+    ambiguous.add_arc(s2, "a", s1)
+    ambiguous.add_arc(s2, Close("x"), s3)
+
+    relation = bench(ambiguous.evaluate, "aaa")
+    # runs double at each odd position: 'aaa' has 2·2 = 4 runs
+    assert list(relation.values()) == [4]
+
+
+@pytest.mark.parametrize("spanner_count", [1, 4])
+def test_e4_spannerdb_edit_cost_scales_with_k(bench, spanner_count):
+    """Fresh matrix computations per edit ≈ k · O(log d)."""
+    import itertools
+
+    from repro.db import SpannerDB
+    from repro.slp import Delete, Doc
+
+    db = SpannerDB()
+    db.add_document("big", "abcd" * 4096)
+    alphabet = "(a|b|c|d)*"
+    for index in range(spanner_count):
+        unit = "abcd"[index % 4]
+        db.register_spanner(f"s{index}", f"{alphabet}!x{{{unit}}}{alphabet}")
+    counter = itertools.count()
+
+    def one_edit():
+        round_id = next(counter)
+        return db.edit(
+            f"v{round_id}", Delete(Doc("big"), 500 + round_id, 700 + round_id)
+        )
+
+    fresh = bench(one_edit, rounds=3)
+    bench.benchmark.extra_info["fresh_matrices"] = fresh
+    assert fresh <= spanner_count * 80 * 15
+
+
+@pytest.mark.parametrize("lines", [20, 80])
+def test_e3_split_evaluation_matches_global(bench, lines):
+    body = r"[^;\n]"
+    record = (
+        f"({body}|;|\n)*(INFO|WARN|ERROR) user=!user{{[a-z]+}} code="
+        f"{body}*;({body}|;|\n)*"
+    )
+    spanner = spanner_from_regex(record)
+    doc = log_document(lines, seed=3)
+
+    relation = bench(split_evaluate, spanner, doc, "\n", rounds=1)
+    assert relation == spanner.evaluate(doc)
+    assert is_split_correct_on(spanner, doc, "\n")
+    bench.benchmark.extra_info["records"] = len(relation)

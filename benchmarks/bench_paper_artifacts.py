@@ -1,0 +1,103 @@
+"""Experiments P1–P6: the paper's worked examples, reproduced exactly.
+
+Each benchmark times the reproduction and *asserts the golden output* the
+paper prints — these are the only "tables and figures" an overview paper
+has, so they are reproduced bit-for-bit (see DESIGN.md, Scoping note).
+"""
+
+from repro import RegularSpanner, ReflSpanner, Span, SpanTuple, mark_document, prim
+from repro.core import Close, MarkedWord, Open, Ref
+from repro.slp import figure_1_database, figure_1_slp
+
+
+def test_p1_example_1_1_table(bench):
+    """P1: the span relation table of Example 1.1 on 'ababbab'."""
+    spanner = RegularSpanner.from_regex("!x{(a|b)*}!y{b}!z{(a|b)*}")
+
+    relation = bench(spanner.evaluate, "ababbab")
+    assert relation.tuples == {
+        SpanTuple.of(x=Span(1, 2), y=Span(2, 3), z=Span(3, 8)),
+        SpanTuple.of(x=Span(1, 4), y=Span(4, 5), z=Span(5, 8)),
+        SpanTuple.of(x=Span(1, 5), y=Span(5, 6), z=Span(6, 8)),
+        SpanTuple.of(x=Span(1, 7), y=Span(7, 8), z=Span(8, 8)),
+    }
+    table = relation.to_table()
+    assert "[1,2⟩" in table and "[8,8⟩" in table
+
+
+def test_p2_subword_marked_word_1(bench):
+    """P2: word (1) of Section 2.1 represents D=abcacacbbaa with
+    x=[2,6⟩, y=[4,8⟩, z=[1,8⟩; plus the L_ababbab marked-language view."""
+    word = MarkedWord([
+        Open("z"), "a", Open("x"), "b", "c", Open("y"), "a", "c",
+        Close("x"), "a", "c", Close("y"), Close("z"), "b", "b", "a", "a",
+    ])
+
+    def reproduce():
+        return word.erase(), word.span_tuple()
+
+    doc, tup = bench(reproduce)
+    assert doc == "abcacacbbaa"
+    assert tup == SpanTuple.of(x=Span(2, 6), y=Span(4, 8), z=Span(1, 8))
+    # L_ababbab: the four marked words of Example 1.1
+    spanner = RegularSpanner.from_regex("!x{(a|b)*}!y{b}!z{(a|b)*}")
+    marked = {
+        str(mark_document("ababbab", t)) for t in spanner.evaluate("ababbab")
+    }
+    assert len(marked) == 4
+
+
+def test_p3_string_equality_intro_example(bench):
+    """P3: ς={x,y} on S_α(abaaab) keeps ([1,3⟩,[5,7⟩), drops ([1,3⟩,[4,7⟩)."""
+    core = prim("!x{(a|b)*}(a|b)*!y{a*b*}").select_equal({"x", "y"})
+
+    relation = bench(core.evaluate, "abaaab")
+    assert SpanTuple.of(x=Span(1, 3), y=Span(5, 7)) in relation
+    assert SpanTuple.of(x=Span(1, 3), y=Span(4, 7)) not in relation
+
+
+def test_p4_deref_chain(bench):
+    """P4: the Section 3.1 nested dereferencing chain."""
+    word = MarkedWord([
+        Open("x"), "a", "a", Open("y"), "b", "b", "b", Close("x"),
+        "c", "c", Ref("x"), Close("y"), "a", "b", "c", Ref("y"),
+    ])
+
+    result = bench(word.deref)
+    assert result.erase() == "aabbbccaabbbabcbbbccaabbb"
+
+
+def test_p5_figure_1(bench):
+    """P5: Figure 1's SLP — derivations, orders, balances, grey extension."""
+
+    def reproduce():
+        slp, nodes = figure_1_slp()
+        db, _ = figure_1_database()
+        return slp, nodes, db
+
+    slp, nodes, db = bench(reproduce)
+    assert slp.derive(nodes["B"]) == "abbca"              # equation (4)/(5)
+    assert db.document("D1") == "ababbcabca"
+    assert db.document("D2") == "bcabcaabbca"
+    assert db.document("D3") == "ababbca"
+    assert [slp.order(nodes[n]) for n in ["F", "E", "C", "B", "D", "A1", "A2", "A3"]] == [
+        2, 2, 3, 4, 5, 6, 6, 5,
+    ]
+    assert slp.bal(nodes["A1"]) == 2
+    assert slp.bal(nodes["A2"]) == slp.bal(nodes["A3"]) == -2
+    # grey extension: A4 = D2·D1, G = D·B, A5 = B·G
+    a4 = slp.pair(nodes["A2"], nodes["A1"])
+    a5 = slp.pair(nodes["B"], slp.pair(nodes["D"], nodes["B"]))
+    assert slp.derive(a4) == db.document("D2") + db.document("D1")
+    assert slp.derive(a5) == "abbcabcaabbcaabbca"
+
+
+def test_p6_refl_expression_3_equals_core_expression_2(bench):
+    """P6: the refl-spanner (3) expresses ς={x,y}(⟦(2)⟧)."""
+    refl = ReflSpanner.from_regex("ab*!x{(a|b)*}(b|c)*!y{&x}b*")
+    core = prim("ab*!x{(a|b)*}(b|c)*!y{(a|b)*}b*").select_equal({"x", "y"})
+    doc = "abbabba"
+
+    got = bench(refl.evaluate, doc)
+    assert got == core.evaluate(doc)
+    assert SpanTuple.of(x=Span(2, 5), y=Span(5, 8)) in got

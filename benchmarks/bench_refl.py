@@ -1,0 +1,88 @@
+"""Experiment C7: refl-spanners sit strictly between regular and core
+(paper Section 3.3).
+
+Claims benchmarked:
+
+* refl ModelChecking is tractable: time grows ~linearly with |D| (the
+  reference-expansion algorithm), so 8× the document costs ≈ 8×, not 2^8×;
+* core NonEmptiness on the equivalent task (squares via ς=) blows up on
+  the same documents;
+* refl Satisfiability is instant (NFA emptiness) while core Satisfiability
+  needs bounded search.
+"""
+
+import time
+
+import pytest
+
+from repro.core import Span, SpanTuple
+from repro.decision import is_nonempty_on, satisfying_document
+from repro.spanners import ReflSpanner, prim
+
+SQUARE_REFL = "!x{(a|b)+}&x"
+
+
+def _square_doc(half: int) -> str:
+    unit = ("ab" * half)[:half]
+    return unit + unit
+
+
+@pytest.mark.parametrize("half", [32, 128, 512])
+def test_c7_refl_model_checking_scales(bench, half):
+    refl = ReflSpanner.from_regex(SQUARE_REFL)
+    doc = _square_doc(half)
+    tup = SpanTuple.of(x=Span(1, half + 1))
+
+    result = bench(refl.model_check, doc, tup)
+    assert result is True
+    bench.benchmark.extra_info["doc_length"] = len(doc)
+
+
+def test_c7_refl_vs_core_nonemptiness_shape(bench):
+    """On square documents, refl NonEmptiness (backtracking but guided)
+    stays usable while the core encoding's candidate stream explodes."""
+    refl = ReflSpanner.from_regex(SQUARE_REFL)
+    core = prim("!x1{(a|b)+}!x2{(a|b)+}").select_equal({"x1", "x2"}).project(set())
+
+    def timed(fn, doc):
+        start = time.perf_counter()
+        assert fn(doc) is True
+        return time.perf_counter() - start
+
+    def shape():
+        doc_small, doc_large = _square_doc(8), _square_doc(64)
+        return (
+            timed(lambda d: is_nonempty_on(refl, d), doc_small),
+            timed(lambda d: is_nonempty_on(refl, d), doc_large),
+            timed(lambda d: is_nonempty_on(core, d), doc_small),
+            timed(lambda d: is_nonempty_on(core, d), doc_large),
+        )
+
+    refl_small, refl_large, core_small, core_large = bench(shape, rounds=1)
+    bench.benchmark.extra_info.update(
+        refl_small=refl_small, refl_large=refl_large,
+        core_small=core_small, core_large=core_large,
+    )
+    # refl beats core on the large instance
+    assert refl_large < core_large
+
+
+def test_c7_refl_satisfiability_instant(bench):
+    """Satisfiability for refl-spanners = NFA emptiness (PTIME)."""
+    refl = ReflSpanner.from_regex("c*!x{(a|b)+}c+!y{&x}c*")
+
+    witness = bench(satisfying_document, refl)
+    assert witness is not None
+    # the witness really is a document the spanner matches
+    assert is_nonempty_on(refl, witness)
+
+
+@pytest.mark.parametrize("half", [16, 64])
+def test_c7_refl_full_evaluation(bench, half):
+    """Full evaluation is exponential in the worst case (NP-hard), but the
+    guided search handles mid-size square documents."""
+    refl = ReflSpanner.from_regex(SQUARE_REFL)
+    doc = _square_doc(half)
+
+    relation = bench(refl.evaluate, doc, rounds=1)
+    assert SpanTuple.of(x=Span(1, half + 1)) in relation

@@ -1,0 +1,99 @@
+"""Experiment C2: compressed NFA membership beats decompression
+(paper Section 4.2).
+
+Claim: checking ``D(S) ∈ L(M)`` costs O(|S|·|Q|³) on the SLP versus
+O(|D|·|Q|²) on the decompressed document; on compressible documents
+(|S| = O(log |D|)) the compressed algorithm wins by an ever-growing factor
+and handles documents that cannot even be materialised.
+"""
+
+import time
+
+import pytest
+
+from repro.regex import compile_nfa
+from repro.slp import SLP, CompressedMembership, power_node, simulate_uncompressed
+
+PATTERN = "(a|b)*abb(a|b)*abb(a|b)*"
+
+
+@pytest.mark.parametrize("exponent", [8, 11, 14])
+def test_c2_compressed_membership(bench, exponent):
+    """Compressed membership on (abbab)^(2^k): time grows with k = log |D|,
+    not with |D|."""
+    nfa = compile_nfa(PATTERN)
+    slp = SLP()
+    node = power_node(slp, "abbab", exponent)
+
+    def run():
+        oracle = CompressedMembership(nfa)  # fresh: no cross-round memo
+        return oracle.accepts(slp, node)
+
+    accepted = bench(run)
+    assert accepted
+    bench.benchmark.extra_info["doc_length"] = slp.length(node)
+    bench.benchmark.extra_info["slp_size"] = slp.size(node)
+
+
+@pytest.mark.parametrize("exponent", [8, 11, 14])
+def test_c2_uncompressed_baseline(bench, exponent):
+    """The baseline simulation is linear in |D| (so 16× per +4 exponent)."""
+    nfa = compile_nfa(PATTERN)
+    doc = "abbab" * (2 ** exponent)
+
+    accepted = bench(simulate_uncompressed, nfa, doc)
+    assert accepted
+    bench.benchmark.extra_info["doc_length"] = len(doc)
+
+
+def test_c2_crossover_and_shape(bench):
+    """The shape assertion: compressed wins on the large instance, and its
+    cost is flat-ish in |D| while the baseline's is linear."""
+    nfa = compile_nfa(PATTERN)
+
+    def timed(fn):
+        start = time.perf_counter()
+        fn()
+        return time.perf_counter() - start
+
+    def compressed(exponent):
+        slp = SLP()
+        node = power_node(slp, "abbab", exponent)
+        oracle = CompressedMembership(nfa)
+        assert oracle.accepts(slp, node)
+
+    def baseline(exponent):
+        assert simulate_uncompressed(nfa, "abbab" * (2 ** exponent))
+
+    def shape():
+        comp_small = min(timed(lambda: compressed(8)) for _ in range(3))
+        comp_large = min(timed(lambda: compressed(14)) for _ in range(3))
+        base_small = min(timed(lambda: baseline(8)) for _ in range(3))
+        base_large = min(timed(lambda: baseline(14)) for _ in range(3))
+        return comp_small, comp_large, base_small, base_large
+
+    comp_small, comp_large, base_small, base_large = bench(shape, rounds=1)
+    bench.benchmark.extra_info.update(
+        compressed_small=comp_small,
+        compressed_large=comp_large,
+        baseline_small=base_small,
+        baseline_large=base_large,
+    )
+    # baseline is ~linear: 64x document => at least 15x time
+    assert base_large / base_small > 15
+    # compressed grows like log|D|: far less than 30x
+    assert comp_large / comp_small < 10
+    # and compressed wins outright on the large instance
+    assert comp_large < base_large
+
+
+def test_c2_beyond_materialisation(bench):
+    """Documents of length 5·2^60 — impossible to decompress — are fine."""
+    nfa = compile_nfa(PATTERN)
+    slp = SLP()
+    node = power_node(slp, "abbab", 60)
+
+    oracle = CompressedMembership(nfa)
+    accepted = bench(oracle.accepts, slp, node)
+    assert accepted
+    assert slp.length(node) == 5 * 2 ** 60

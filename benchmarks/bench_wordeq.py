@@ -1,0 +1,96 @@
+"""Experiment C8: core spanners express word-combinatorial relations and
+regular-intersection nonemptiness (paper Section 2.4, [12]).
+
+Claims benchmarked:
+
+* the ~cyc spanner (equation xz = zy) extracts exactly the conjugate
+  pairs — validated against the combinatorial oracle on every document;
+* the adjacent-~com spanner (equation xy = yx, via overlapping borders)
+  matches the oracle;
+* intersection-nonemptiness of n regular languages via one ς= selection:
+  satisfiable instances are solved, and the search cost grows with n
+  (the PSpace-hardness shape).
+"""
+
+import time
+
+import pytest
+
+from repro.core import fuse
+from repro.decision import is_satisfiable
+from repro.spanners import prim
+from repro.util import random_text
+from repro.wordeq import (
+    adjacent_commuting_spanner,
+    commute,
+    cyclic_shift_spanner,
+    is_cyclic_shift,
+)
+
+
+def test_c8_cyclic_shift_spanner(bench):
+    spanner = cyclic_shift_spanner()
+    doc = random_text(7, seed=3)
+
+    relation = bench(spanner.evaluate, doc, rounds=1)
+    fused = fuse(fuse(relation, ["x1", "x2"], "x"), ["y1", "y2"], "y")
+    for tup in fused:
+        if "x" in tup and "y" in tup:
+            assert is_cyclic_shift(tup["x"].extract(doc), tup["y"].extract(doc))
+    bench.benchmark.extra_info["pairs_found"] = len(fused)
+    assert len(fused) > 0
+
+
+def test_c8_adjacent_commutation_spanner(bench):
+    spanner = adjacent_commuting_spanner()
+    doc = "abab" + "ab"  # plenty of commuting adjacent pairs
+
+    relation = bench(spanner.evaluate, doc, rounds=1)
+    found = {(t["x"], t["y"]) for t in relation}
+    # oracle cross-check, exhaustively
+    from repro.core import Span
+
+    for i in range(1, len(doc) + 2):
+        for j in range(i, len(doc) + 2):
+            for k in range(j, len(doc) + 2):
+                u, v = doc[i - 1: j - 1], doc[j - 1: k - 1]
+                assert ((Span(i, j), Span(j, k)) in found) == commute(u, v)
+    bench.benchmark.extra_info["pairs_found"] = len(found)
+
+
+@pytest.mark.parametrize("languages", [2, 3])
+def test_c8_intersection_nonemptiness(bench, languages):
+    """ς=_{x1..xn} over !xi{ri}: satisfiable iff ∩L(ri) ≠ ∅.
+
+    With r_i = (a|b)*·b·(a|b)^i (the (i+1)-last letter is b), the shortest
+    common word is b^n, so the shortest witness *document* is b^n repeated
+    n times — the bounded search must go up to n² characters.
+    """
+    parts = "".join(
+        f"!x{i}{{(a|b)*b{'(a|b)' * i}}}" for i in range(languages)
+    )
+    core = prim(parts).select_equal({f"x{i}" for i in range(languages)})
+
+    witness = bench(
+        lambda: is_satisfiable(core, max_length=languages * languages), rounds=1
+    )
+    assert witness is True
+
+
+def test_c8_intersection_cost_grows(bench):
+    def timed(languages: int) -> float:
+        parts = "".join(
+            f"!x{i}{{(a|b)*b{'(a|b)' * i}}}" for i in range(languages)
+        )
+        core = prim(parts).select_equal({f"x{i}" for i in range(languages)})
+        start = time.perf_counter()
+        assert is_satisfiable(core, max_length=languages * languages)
+        return time.perf_counter() - start
+
+    def shape():
+        return timed(1), timed(3)
+
+    small, large = bench(shape, rounds=1)
+    bench.benchmark.extra_info["time_1_lang"] = small
+    bench.benchmark.extra_info["time_3_langs"] = large
+    assert large > small  # monotone growth; hardness shape in EXPERIMENTS.md

@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_*.py`` file regenerates one experiment of DESIGN.md's
+per-experiment index (P* = paper artifacts, C* = complexity-claim shapes).
+Benchmarks assert the *shape* of each claim (who wins, how things scale),
+never absolute numbers; see EXPERIMENTS.md for the recorded outcomes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def bench(benchmark):
+    """A thin wrapper that runs each benchmark a small, fixed number of
+    rounds — the workloads here are macro-benchmarks where pytest-benchmark
+    auto-calibration would be needlessly slow."""
+
+    def run(fn, *args, rounds: int = 3, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=rounds, iterations=1)
+
+    run.benchmark = benchmark
+    return run

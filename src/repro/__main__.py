@@ -1,0 +1,167 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands
+-----------
+
+``eval``      evaluate a spanner regex on a document and print the table::
+
+    python -m repro eval '!x{(a|b)*}!y{b}!z{(a|b)*}' ababbab
+    python -m repro eval '(.|\\n)*!user{[a-z]+}@!host{[a-z.]+}(.|\\n)*' --file mail.txt
+
+``refl``      evaluate a refl-spanner regex (with ``&x`` references)::
+
+    python -m repro refl '!x{(a|b)+}&x' abab
+
+``compress``  build an SLP for a document and report compression stats::
+
+    python -m repro compress --file corpus.txt --builder repair
+
+``check``     model-check one span tuple, e.g. ``x=1:4 y=4:5``::
+
+    python -m repro check '!x{a+}!y{b+}' aab x=1:3 y=3:4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import ReflSpanner, RegularSpanner, Span, SpanTuple
+from repro.errors import SpanlibError
+
+
+def _document(args) -> str:
+    if getattr(args, "file", None):
+        with open(args.file, "r", encoding="utf-8") as handle:
+            return handle.read()
+    if args.doc is None:
+        raise SystemExit("error: provide a document argument or --file")
+    return args.doc
+
+
+def _print_relation(relation, doc: str, args) -> None:
+    fmt = getattr(args, "format", "table")
+    with_contents = args.contents
+    if fmt == "json":
+        print(relation.to_json(doc if with_contents else None, indent=2))
+    elif fmt == "csv":
+        print(relation.to_csv(doc if with_contents else None), end="")
+    elif with_contents:
+        for tup in relation:
+            print(tup.contents(doc))
+    else:
+        print(relation.to_table())
+
+
+def _cmd_eval(args) -> int:
+    doc = _document(args)
+    spanner = RegularSpanner.from_regex(args.pattern)
+    if args.limit:
+        import itertools
+
+        for tup in itertools.islice(spanner.enumerate(doc), args.limit):
+            print(tup if not args.contents else tup.contents(doc))
+        return 0
+    _print_relation(spanner.evaluate(doc), doc, args)
+    return 0
+
+
+def _cmd_refl(args) -> int:
+    doc = _document(args)
+    spanner = ReflSpanner.from_regex(args.pattern)
+    _print_relation(spanner.evaluate(doc), doc, args)
+    return 0
+
+
+def _cmd_compress(args) -> int:
+    from repro.slp import SLP, balanced_node, lz78_node, repair_node
+
+    doc = _document(args)
+    builders = {"repair": repair_node, "lz78": lz78_node, "balanced": balanced_node}
+    slp = SLP()
+    node = builders[args.builder](slp, doc)
+    size = slp.size(node)
+    print(f"document length : {len(doc)}")
+    print(f"slp nodes (|S|) : {size}")
+    print(f"ratio           : {size / len(doc):.4f}")
+    print(f"order (depth+1) : {slp.order(node)}")
+    print(f"strongly balanced: {slp.is_strongly_balanced(node)}")
+    return 0
+
+
+def _parse_binding(text: str) -> tuple[str, Span]:
+    try:
+        var, bounds = text.split("=", 1)
+        start, end = bounds.split(":", 1)
+        return var, Span(int(start), int(end))
+    except (ValueError, SpanlibError) as exc:
+        raise SystemExit(f"error: bad span binding {text!r} (want var=start:end): {exc}")
+
+
+def _cmd_check(args) -> int:
+    doc = _document(args)
+    spanner = RegularSpanner.from_regex(args.pattern)
+    tup = SpanTuple(dict(_parse_binding(b) for b in args.bindings))
+    verdict = spanner.model_check(doc, tup)
+    print("MATCH" if verdict else "NO MATCH")
+    return 0 if verdict else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="spanlib: document spanners from the command line",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    for name, handler, needs_limit in [
+        ("eval", _cmd_eval, True),
+        ("refl", _cmd_refl, False),
+    ]:
+        sub = commands.add_parser(name, help=f"{name} a spanner regex on a document")
+        sub.add_argument("pattern", help="spanner regex (!x{...} captures, &x refs)")
+        sub.add_argument("doc", nargs="?", help="the document (or use --file)")
+        sub.add_argument("--file", help="read the document from a file")
+        sub.add_argument(
+            "--contents", action="store_true", help="print extracted strings, not spans"
+        )
+        sub.add_argument(
+            "--format",
+            choices=["table", "json", "csv"],
+            default="table",
+            help="output format for the relation",
+        )
+        if needs_limit:
+            sub.add_argument(
+                "--limit", type=int, default=0,
+                help="stream only the first N tuples (constant-delay enumeration)",
+            )
+        sub.set_defaults(handler=handler)
+
+    compress = commands.add_parser("compress", help="build an SLP and report stats")
+    compress.add_argument("doc", nargs="?")
+    compress.add_argument("--file")
+    compress.add_argument(
+        "--builder", choices=["repair", "lz78", "balanced"], default="repair"
+    )
+    compress.set_defaults(handler=_cmd_compress)
+
+    check = commands.add_parser("check", help="model-check one span tuple")
+    check.add_argument("pattern")
+    check.add_argument("doc")
+    check.add_argument("bindings", nargs="+", help="var=start:end (1-based spans)")
+    check.set_defaults(handler=_cmd_check)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.handler(args)
+    except SpanlibError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

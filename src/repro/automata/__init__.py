@@ -1,0 +1,66 @@
+"""Automata substrate: NFAs, DFAs, vset- and extended vset-automata."""
+
+from repro.automata.dfa import (
+    DFA,
+    Atoms,
+    compute_atoms,
+    contains,
+    determinize,
+    dfa_to_nfa,
+    difference,
+    equivalent,
+)
+from repro.automata.evset import DeterministicEVA, ExtendedVSetAutomaton
+from repro.automata.ambiguity import ambiguous_witness, is_unambiguous
+from repro.automata.glushkov import glushkov_nfa, glushkov_spanner
+from repro.automata.transducer import Transducer, marker_eraser, marker_inserter
+from repro.automata.evset import join as eva_join
+from repro.automata.nfa import EPSILON, NFA, literal_nfa
+from repro.automata.ops import (
+    concat,
+    epsilon_nfa,
+    intersection,
+    is_empty,
+    is_universal,
+    never_nfa,
+    optional,
+    plus,
+    star,
+    union,
+)
+from repro.automata.vset import VSetAutomaton
+
+__all__ = [
+    "Atoms",
+    "DFA",
+    "DeterministicEVA",
+    "EPSILON",
+    "ExtendedVSetAutomaton",
+    "NFA",
+    "Transducer",
+    "ambiguous_witness",
+    "VSetAutomaton",
+    "compute_atoms",
+    "concat",
+    "contains",
+    "determinize",
+    "dfa_to_nfa",
+    "difference",
+    "epsilon_nfa",
+    "equivalent",
+    "glushkov_nfa",
+    "glushkov_spanner",
+    "eva_join",
+    "intersection",
+    "is_empty",
+    "is_unambiguous",
+    "is_universal",
+    "literal_nfa",
+    "marker_eraser",
+    "marker_inserter",
+    "never_nfa",
+    "optional",
+    "plus",
+    "star",
+    "union",
+]

@@ -1,0 +1,93 @@
+"""Ambiguity analysis of NFAs and vset-automata.
+
+An automaton is *unambiguous* if every accepted word has exactly one
+accepting run.  For spanners this matters twice:
+
+* an unambiguous vset-automaton needs no determinisation for duplicate-free
+  enumeration (every tuple corresponds to one run already), and
+* the counting/probability semirings of :mod:`repro.spanners.weighted` are
+  only meaningful annotations when run counts are what you intend to
+  measure — :func:`is_unambiguous` tells you whether they will all be 1.
+
+The decision procedure is the classical self-product: run the automaton
+against itself, tracking whether the two runs have ever *diverged* (taken
+different arcs on the same input position).  The automaton is ambiguous
+iff an accepting pair is reachable in the diverged state.  ε-transitions
+are removed first, so ε-ambiguity (two ε-paths between the same events) is
+deliberately not counted — it has no observable effect on runs over
+symbols.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.automata.nfa import NFA
+from repro.automata.ops import intersect_symbols
+
+__all__ = ["is_unambiguous", "ambiguous_witness"]
+
+
+def _diverging_product(nfa: NFA):
+    """BFS over ((p, q), diverged) pairs; yields accepting diverged nodes."""
+    stripped = nfa.remove_epsilon().trim()
+    start_nodes = {
+        (p, q, p != q)
+        for p in stripped.initial
+        for q in stripped.initial
+    }
+    seen = set(start_nodes)
+    parent: dict[tuple, tuple | None] = {node: None for node in start_nodes}
+    queue = list(start_nodes)
+    while queue:
+        node = queue.pop()
+        p, q, diverged = node
+        if (
+            diverged
+            and p in stripped.accepting
+            and q in stripped.accepting
+        ):
+            yield node, parent, stripped
+            continue
+        arcs_p = list(stripped.arcs_from(p))
+        arcs_q = list(stripped.arcs_from(q))
+        for (index_p, (symbol_p, target_p)), (index_q, (symbol_q, target_q)) in (
+            itertools.product(enumerate(arcs_p), enumerate(arcs_q))
+        ):
+            met = intersect_symbols(symbol_p, symbol_q)
+            if met is None:
+                continue
+            now_diverged = diverged or (p == q and index_p != index_q) or (p != q)
+            successor = (target_p, target_q, now_diverged)
+            if successor not in seen:
+                seen.add(successor)
+                parent[successor] = (node, met)
+                queue.append(successor)
+
+
+def is_unambiguous(nfa: NFA) -> bool:
+    """True if every accepted word has exactly one accepting run."""
+    for _ in _diverging_product(nfa):
+        return False
+    return True
+
+
+def ambiguous_witness(nfa: NFA) -> list | None:
+    """A word (symbol list) with ≥ 2 accepting runs, or ``None``.
+
+    Character-class arcs contribute a witness character.
+    """
+    from repro.core.alphabet import CharClass
+
+    for node, parent, _ in _diverging_product(nfa):
+        word = []
+        current = node
+        while parent[current] is not None:
+            current, symbol = parent[current]
+            if isinstance(symbol, CharClass):
+                word.append(symbol.witness())
+            else:
+                word.append(symbol)
+        word.reverse()
+        return word
+    return None

@@ -1,0 +1,389 @@
+"""Deterministic automata, subset construction, minimisation, equivalence.
+
+Arc symbols may be character predicates over an unbounded alphabet (e.g. the
+regex ``.``), so determinisation first *atomises* the symbol universe: all
+explicitly mentioned characters become singleton atoms, every marker or
+reference symbol is its own atom, and one *remainder* atom stands for "any
+character never mentioned by any arc".  All characters in the remainder are
+indistinguishable to every automaton under consideration, so languages over
+the infinite alphabet are handled exactly.
+
+The equivalence and containment procedures here are what make the static
+analysis of regular spanners decidable with acceptable complexity bounds
+(Section 2.4 of the paper).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterable, Sequence
+
+from repro.automata.nfa import NFA
+from repro.core.alphabet import CharClass, Marker, Ref, Symbol
+
+__all__ = [
+    "Atoms",
+    "DFA",
+    "compute_atoms",
+    "determinize",
+    "dfa_to_nfa",
+    "difference",
+    "equivalent",
+    "contains",
+]
+
+#: An atom is a concrete character, a marker/reference symbol, or the
+#: remainder character class.
+Atom = Hashable
+
+DEAD = -1
+
+
+class Atoms:
+    """A finite, disjoint decomposition of the symbol universe.
+
+    ``base`` is the set of explicitly mentioned characters; the remainder
+    atom (``CharClass(base, negated=True)``) covers every other character.
+    """
+
+    __slots__ = ("base", "atoms", "remainder")
+
+    def __init__(self, symbols: Iterable[Symbol]) -> None:
+        base: set[str] = set()
+        exact: set[Atom] = set()
+        for symbol in symbols:
+            if isinstance(symbol, str):
+                base.add(symbol)
+            elif isinstance(symbol, CharClass):
+                base.update(symbol.chars)
+            elif isinstance(symbol, (Marker, Ref)):
+                exact.add(symbol)
+            else:
+                raise TypeError(f"cannot atomise symbol {symbol!r}")
+        self.base: frozenset[str] = frozenset(base)
+        self.remainder = CharClass(self.base, negated=True)
+        self.atoms: tuple[Atom, ...] = tuple(
+            sorted(base) + sorted(exact, key=repr) + [self.remainder]
+        )
+
+    def classify(self, symbol: Hashable) -> Atom | None:
+        """Map an input-word symbol to its atom (``None`` if unmappable)."""
+        if isinstance(symbol, str):
+            return symbol if symbol in self.base else self.remainder
+        if isinstance(symbol, (Marker, Ref)):
+            return symbol if symbol in self.atoms else None
+        return None
+
+    def covered_by(self, arc_symbol: Symbol, atom: Atom) -> bool:
+        """True if an arc labelled *arc_symbol* can read *atom*."""
+        if isinstance(atom, Marker) or isinstance(atom, Ref):
+            return arc_symbol == atom
+        if isinstance(atom, str):
+            if isinstance(arc_symbol, str):
+                return arc_symbol == atom
+            if isinstance(arc_symbol, CharClass):
+                return arc_symbol.matches(atom)
+            return False
+        # atom is the remainder class: only complemented classes cover it,
+        # because every char of a positive class is in the base set.
+        return isinstance(arc_symbol, CharClass) and arc_symbol.negated
+
+    def __len__(self) -> int:
+        return len(self.atoms)
+
+
+class DFA:
+    """A deterministic automaton over a fixed atom decomposition.
+
+    Transitions are partial; a missing entry goes to an implicit,
+    non-accepting dead state.
+    """
+
+    __slots__ = ("atoms", "initial", "accepting", "transitions")
+
+    def __init__(
+        self,
+        atoms: Atoms,
+        initial: int,
+        accepting: set[int],
+        transitions: list[dict[Atom, int]],
+    ) -> None:
+        self.atoms = atoms
+        self.initial = initial
+        self.accepting = accepting
+        self.transitions = transitions
+
+    @property
+    def num_states(self) -> int:
+        return len(self.transitions)
+
+    def step(self, state: int, symbol: Hashable) -> int:
+        """One step; returns ``DEAD`` when no transition exists."""
+        if state == DEAD:
+            return DEAD
+        atom = self.atoms.classify(symbol)
+        if atom is None:
+            return DEAD
+        return self.transitions[state].get(atom, DEAD)
+
+    def accepts(self, word: Iterable[Hashable]) -> bool:
+        state = self.initial
+        for symbol in word:
+            state = self.step(state, symbol)
+            if state == DEAD:
+                return False
+        return state in self.accepting
+
+    def is_empty(self) -> bool:
+        """True if no accepting state is reachable."""
+        seen = {self.initial}
+        queue = deque(seen)
+        while queue:
+            state = queue.popleft()
+            if state in self.accepting:
+                return False
+            for target in self.transitions[state].values():
+                if target not in seen:
+                    seen.add(target)
+                    queue.append(target)
+        return True
+
+    def complement(self) -> "DFA":
+        """The complement DFA (over the same atomised universe)."""
+        dead = self.num_states
+        transitions: list[dict[Atom, int]] = []
+        for state in range(self.num_states):
+            row = dict(self.transitions[state])
+            for atom in self.atoms.atoms:
+                row.setdefault(atom, dead)
+            transitions.append(row)
+        transitions.append({atom: dead for atom in self.atoms.atoms})
+        accepting = {
+            state for state in range(self.num_states + 1)
+            if state not in self.accepting
+        }
+        return DFA(self.atoms, self.initial, accepting, transitions)
+
+    def minimize(self) -> "DFA":
+        """Moore's partition-refinement minimisation (with completion)."""
+        complete = self.complement().complement()  # cheap way to complete
+        n = complete.num_states
+        atoms = complete.atoms.atoms
+        block = [1 if s in complete.accepting else 0 for s in range(n)]
+        while True:
+            signatures: dict[tuple, int] = {}
+            new_block = [0] * n
+            for state in range(n):
+                signature = (
+                    block[state],
+                    tuple(block[complete.transitions[state][atom]] for atom in atoms),
+                )
+                if signature not in signatures:
+                    signatures[signature] = len(signatures)
+                new_block[state] = signatures[signature]
+            if new_block == block:
+                break
+            block = new_block
+        num_blocks = max(block) + 1
+        transitions: list[dict[Atom, int]] = [dict() for _ in range(num_blocks)]
+        for state in range(n):
+            b = block[state]
+            for atom in atoms:
+                transitions[b][atom] = block[complete.transitions[state][atom]]
+        accepting = {block[s] for s in complete.accepting}
+        # drop blocks unreachable from the initial block (completion debris)
+        reachable = {block[complete.initial]}
+        queue = deque(reachable)
+        while queue:
+            b = queue.popleft()
+            for target in transitions[b].values():
+                if target not in reachable:
+                    reachable.add(target)
+                    queue.append(target)
+        renumber = {old: new for new, old in enumerate(sorted(reachable))}
+        final_transitions = [
+            {atom: renumber[t] for atom, t in transitions[old].items()}
+            for old in sorted(reachable)
+        ]
+        return DFA(
+            complete.atoms,
+            renumber[block[complete.initial]],
+            {renumber[b] for b in accepting if b in renumber},
+            final_transitions,
+        )
+
+
+def dfa_to_nfa(dfa: DFA) -> NFA:
+    """Re-embed a DFA into the NFA representation (atoms become symbols).
+
+    Character atoms become literal arcs, the remainder atom becomes its
+    complemented character class, and marker/reference atoms carry over
+    unchanged — so the result is a drop-in NFA for every downstream
+    construction.
+    """
+    nfa = NFA()
+    nfa.add_states(dfa.num_states)
+    nfa.initial = {dfa.initial}
+    nfa.accepting = set(dfa.accepting)
+    for state in range(dfa.num_states):
+        for atom, target in dfa.transitions[state].items():
+            nfa.add_arc(state, atom, target)
+    return nfa
+
+
+def difference(left: NFA, right: NFA) -> NFA:
+    """An NFA for ``L(left) \\ L(right)``.
+
+    Built as the product of the determinised operands over shared atoms,
+    accepting where *left* accepts and *right* does not.
+    """
+    atoms = compute_atoms(left, right)
+    d_left = determinize(left, atoms)
+    d_right = determinize(right, atoms)
+    index: dict[tuple[int, int], int] = {}
+    transitions: list[dict[Atom, int]] = []
+    accepting: set[int] = set()
+
+    def state_of(pair: tuple[int, int]) -> int:
+        if pair not in index:
+            index[pair] = len(transitions)
+            transitions.append({})
+        return index[pair]
+
+    start = (d_left.initial, d_right.initial)
+    queue = deque([start])
+    state_of(start)
+    seen = {start}
+    while queue:
+        pair = queue.popleft()
+        s_left, s_right = pair
+        here = index[pair]
+        if s_left in d_left.accepting and (
+            s_right == DEAD or s_right not in d_right.accepting
+        ):
+            accepting.add(here)
+        for atom, t_left in d_left.transitions[s_left].items():
+            t_right = (
+                DEAD if s_right == DEAD else d_right.transitions[s_right].get(atom, DEAD)
+            )
+            nxt = (t_left, t_right)
+            transitions[here][atom] = state_of(nxt)
+            if nxt not in seen:
+                seen.add(nxt)
+                queue.append(nxt)
+    return dfa_to_nfa(DFA(atoms, index[start], accepting, transitions))
+
+
+def compute_atoms(*nfas: NFA) -> Atoms:
+    """The shared atom decomposition of several automata's symbols."""
+    symbols: set[Symbol] = set()
+    for nfa in nfas:
+        symbols.update(nfa.symbols())
+    return Atoms(symbols)
+
+
+def determinize(nfa: NFA, atoms: Atoms | None = None) -> DFA:
+    """Subset construction over the (shared) atom decomposition."""
+    if atoms is None:
+        atoms = compute_atoms(nfa)
+    start = nfa.start_states()
+    index: dict[frozenset[int], int] = {start: 0}
+    transitions: list[dict[Atom, int]] = [dict()]
+    accepting: set[int] = set()
+    queue: deque[frozenset[int]] = deque([start])
+    while queue:
+        current = queue.popleft()
+        state_id = index[current]
+        if current & nfa.accepting:
+            accepting.add(state_id)
+        for atom in atoms.atoms:
+            targets: set[int] = set()
+            for state in current:
+                for symbol, target in nfa.arcs_from(state):
+                    if symbol is not None and atoms.covered_by(symbol, atom):
+                        targets.add(target)
+            if not targets:
+                continue
+            closed = nfa.epsilon_closure(targets)
+            if closed not in index:
+                index[closed] = len(transitions)
+                transitions.append(dict())
+                queue.append(closed)
+            transitions[state_id][atom] = index[closed]
+    return DFA(atoms, 0, accepting, transitions)
+
+
+def equivalent(left: NFA, right: NFA) -> bool:
+    """Language equivalence of two NFAs (Hopcroft–Karp on the DFAs)."""
+    atoms = compute_atoms(left, right)
+    d1 = determinize(left, atoms)
+    d2 = determinize(right, atoms)
+    return _bisimilar(d1, d2, atoms)
+
+
+def contains(outer: NFA, inner: NFA) -> bool:
+    """True if ``L(inner) ⊆ L(outer)``.
+
+    Decided by checking emptiness of ``L(inner) ∩ complement(L(outer))`` on
+    the product of the determinised automata.
+    """
+    atoms = compute_atoms(outer, inner)
+    d_out = determinize(outer, atoms)
+    d_in = determinize(inner, atoms)
+    seen = {(d_in.initial, d_out.initial)}
+    queue = deque(seen)
+    while queue:
+        s_in, s_out = queue.popleft()
+        in_accepting = s_in in d_in.accepting
+        out_accepting = s_out != DEAD and s_out in d_out.accepting
+        if in_accepting and not out_accepting:
+            return False
+        if s_in == DEAD:
+            continue
+        for atom, t_in in d_in.transitions[s_in].items():
+            t_out = DEAD if s_out == DEAD else d_out.transitions[s_out].get(atom, DEAD)
+            if (t_in, t_out) not in seen:
+                seen.add((t_in, t_out))
+                queue.append((t_in, t_out))
+    return True
+
+
+def _bisimilar(d1: DFA, d2: DFA, atoms: Atoms) -> bool:
+    """Hopcroft–Karp union-find equivalence test of two DFAs."""
+    parent: dict[tuple[int, int], tuple[int, int]] = {}
+
+    def find(node: tuple[int, int]) -> tuple[int, int]:
+        root = node
+        while root in parent:
+            root = parent[root]
+        while node in parent:
+            parent[node], node = root, parent[node]
+        return root
+
+    def accepting(which: int, state: int) -> bool:
+        if state == DEAD:
+            return False
+        return state in (d1.accepting if which == 1 else d2.accepting)
+
+    stack = [((1, d1.initial), (2, d2.initial))]
+    while stack:
+        a, b = stack.pop()
+        ra, rb = find(a), find(b)
+        if ra == rb:
+            continue
+        if accepting(*a) != accepting(*b):
+            return False
+        parent[ra] = rb
+        for atom in atoms.atoms:
+            which_a, state_a = a
+            which_b, state_b = b
+            ta = DEAD if state_a == DEAD else (
+                d1.transitions[state_a].get(atom, DEAD)
+                if which_a == 1 else d2.transitions[state_a].get(atom, DEAD)
+            )
+            tb = DEAD if state_b == DEAD else (
+                d1.transitions[state_b].get(atom, DEAD)
+                if which_b == 1 else d2.transitions[state_b].get(atom, DEAD)
+            )
+            stack.append(((which_a, ta), (which_b, tb)))
+    return True

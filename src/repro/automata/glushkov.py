@@ -1,0 +1,179 @@
+"""Glushkov (position) automata: an ε-free compilation of spanner regexes.
+
+The Thompson construction (:mod:`repro.regex.compile`) is the library's
+default; the Glushkov construction is the classical alternative that
+produces an ε-free automaton with exactly ``#positions + 1`` states.  It
+compiles the *same* spanner regex ASTs — markers and references are simply
+treated as alphabet symbols, so regex-formulas become vset-automata here
+too.  The property tests cross-check the two constructions against each
+other (equal languages, equal spanners), which guards both.
+
+The construction is the textbook one: for the linearised expression,
+compute ``nullable``, ``first``, ``last`` and ``follow`` and wire
+
+* an initial state with arcs to every first position,
+* arcs p → q whenever q ∈ follow(p),
+* accepting states = last positions (plus the initial state if nullable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.automata.nfa import NFA
+from repro.core.alphabet import CharClass, Close, Open, Ref as RefSymbol, Symbol
+from repro.errors import RegexSyntaxError
+from repro.regex import ast
+from repro.regex.parser import parse
+
+__all__ = ["glushkov_nfa", "glushkov_spanner"]
+
+
+# ---------------------------------------------------------------------------
+# linear IR: expressions over symbol leaves
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class _Leaf:
+    symbol: Symbol
+    position: int
+
+
+@dataclass(frozen=True)
+class _Analysis:
+    nullable: bool
+    first: frozenset[int]
+    last: frozenset[int]
+
+
+def _desugar(node: ast.Node) -> ast.Node:
+    """Expand Repeat/Plus/Capture/Reference into the core connectives with
+    explicit symbol leaves (captures become marker literals)."""
+    if isinstance(node, ast.Repeat):
+        inner = _desugar(node.inner)
+        required: list[ast.Node] = [inner] * node.low
+        if node.high is None:
+            required.append(ast.Star(inner))
+        else:
+            required.extend([ast.Maybe(inner)] * (node.high - node.low))
+        if not required:
+            return ast.Epsilon()
+        return ast.Concat(tuple(required)) if len(required) > 1 else required[0]
+    if isinstance(node, ast.Plus):
+        inner = _desugar(node.inner)
+        return ast.Concat((inner, ast.Star(inner)))
+    if isinstance(node, ast.Capture):
+        return ast.Concat(
+            (_MarkerLeaf(Open(node.var)), _desugar(node.inner), _MarkerLeaf(Close(node.var)))
+        )
+    if isinstance(node, ast.Reference):
+        return _MarkerLeaf(RefSymbol(node.var))
+    if isinstance(node, ast.Concat):
+        return ast.Concat(tuple(_desugar(p) for p in node.parts))
+    if isinstance(node, ast.Alt):
+        return ast.Alt(tuple(_desugar(p) for p in node.parts))
+    if isinstance(node, ast.Star):
+        return ast.Star(_desugar(node.inner))
+    if isinstance(node, ast.Maybe):
+        return ast.Maybe(_desugar(node.inner))
+    return node
+
+
+@dataclass(frozen=True)
+class _MarkerLeaf(ast.Node):
+    """An AST leaf carrying a non-character symbol (marker or reference)."""
+
+    symbol: Symbol
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"⟨{self.symbol}⟩"
+
+
+def _leaf_symbol(node: ast.Node) -> Symbol | None:
+    if isinstance(node, ast.Literal):
+        return node.char
+    if isinstance(node, ast.AnyChar):
+        return CharClass(frozenset(), negated=True)
+    if isinstance(node, ast.ClassNode):
+        return CharClass(node.chars, node.negated)
+    if isinstance(node, _MarkerLeaf):
+        return node.symbol
+    return None
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.leaves: list[_Leaf] = []
+        self.follow: dict[int, set[int]] = {}
+
+    def leaf(self, symbol: Symbol) -> _Analysis:
+        position = len(self.leaves)
+        self.leaves.append(_Leaf(symbol, position))
+        self.follow[position] = set()
+        only = frozenset({position})
+        return _Analysis(False, only, only)
+
+    def analyse(self, node: ast.Node) -> _Analysis:
+        symbol = _leaf_symbol(node)
+        if symbol is not None:
+            return self.leaf(symbol)
+        if isinstance(node, ast.Epsilon):
+            return _Analysis(True, frozenset(), frozenset())
+        if isinstance(node, ast.Concat):
+            current = _Analysis(True, frozenset(), frozenset())
+            for part in node.parts:
+                nxt = self.analyse(part)
+                for p in current.last:
+                    self.follow[p] |= nxt.first
+                current = _Analysis(
+                    current.nullable and nxt.nullable,
+                    current.first | (nxt.first if current.nullable else frozenset()),
+                    nxt.last | (current.last if nxt.nullable else frozenset()),
+                )
+            return current
+        if isinstance(node, ast.Alt):
+            parts = [self.analyse(part) for part in node.parts]
+            return _Analysis(
+                any(p.nullable for p in parts),
+                frozenset().union(*(p.first for p in parts)),
+                frozenset().union(*(p.last for p in parts)),
+            )
+        if isinstance(node, ast.Star):
+            inner = self.analyse(node.inner)
+            for p in inner.last:
+                self.follow[p] |= inner.first
+            return _Analysis(True, inner.first, inner.last)
+        if isinstance(node, ast.Maybe):
+            inner = self.analyse(node.inner)
+            return _Analysis(True, inner.first, inner.last)
+        raise RegexSyntaxError(f"cannot build Glushkov automaton for {node!r}", 0)
+
+
+def glushkov_nfa(pattern: str | ast.Node) -> NFA:
+    """The ε-free position automaton of a (possibly spanner-) regex."""
+    node = parse(pattern) if isinstance(pattern, str) else pattern
+    ast.check_capture_validity(node)
+    builder = _Builder()
+    analysis = builder.analyse(_desugar(node))
+    nfa = NFA()
+    start = nfa.add_state(initial=True, accepting=analysis.nullable)
+    states = [nfa.add_state() for _ in builder.leaves]
+    for position in analysis.first:
+        nfa.add_arc(start, builder.leaves[position].symbol, states[position])
+    for position, successors in builder.follow.items():
+        for successor in successors:
+            nfa.add_arc(
+                states[position], builder.leaves[successor].symbol, states[successor]
+            )
+    for position in analysis.last:
+        nfa.accepting.add(states[position])
+    return nfa
+
+
+def glushkov_spanner(pattern: str | ast.Node):
+    """A regex-formula compiled to a vset-automaton via Glushkov."""
+    from repro.automata.vset import VSetAutomaton
+
+    node = parse(pattern) if isinstance(pattern, str) else pattern
+    if ast.references_of(node):
+        raise RegexSyntaxError("regex contains references; build a ReflSpanner", 0)
+    return VSetAutomaton(glushkov_nfa(node), ast.variables_of(node))

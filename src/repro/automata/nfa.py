@@ -1,0 +1,333 @@
+"""Nondeterministic finite automata over extended alphabets.
+
+The :class:`NFA` here is the workhorse beneath every spanner representation:
+its arcs carry either
+
+* a concrete character (a 1-character string),
+* a :class:`~repro.core.alphabet.CharClass` predicate (e.g. ``.``),
+* a :class:`~repro.core.alphabet.Marker` (for vset-automata),
+* a :class:`~repro.core.alphabet.Ref` (for refl-spanner automata), or
+* ``None`` — an ε-transition.
+
+States are dense integers, which keeps the product constructions and the
+boolean-matrix kernels (Section 4.2 of the paper) simple and fast.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Hashable, Iterable, Iterator
+
+from repro.core.alphabet import CharClass, Marker, Ref, Symbol, symbol_matches
+from repro.errors import SpanlibError
+
+__all__ = ["NFA", "EPSILON"]
+
+#: The ε label (transitions that consume nothing).
+EPSILON = None
+
+
+class NFA:
+    """A nondeterministic finite automaton with ε-transitions.
+
+    The class is a *builder*: states and arcs are added imperatively
+    (:meth:`add_state`, :meth:`add_arc`), after which the automaton can be
+    queried, run, and combined.  All combination operations return fresh
+    automata and never mutate their operands.
+    """
+
+    __slots__ = ("_num_states", "initial", "accepting", "_arcs")
+
+    def __init__(self) -> None:
+        self._num_states = 0
+        self.initial: set[int] = set()
+        self.accepting: set[int] = set()
+        #: state -> list of (symbol-or-None, target)
+        self._arcs: dict[int, list[tuple[Symbol | None, int]]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_state(self, initial: bool = False, accepting: bool = False) -> int:
+        """Create a new state and return its id."""
+        state = self._num_states
+        self._num_states += 1
+        self._arcs[state] = []
+        if initial:
+            self.initial.add(state)
+        if accepting:
+            self.accepting.add(state)
+        return state
+
+    def add_states(self, count: int) -> list[int]:
+        """Create *count* fresh states."""
+        return [self.add_state() for _ in range(count)]
+
+    def add_arc(self, source: int, symbol: Symbol | None, target: int) -> None:
+        """Add an arc; ``symbol is None`` means an ε-transition."""
+        self._check_state(source)
+        self._check_state(target)
+        self._arcs[source].append((symbol, target))
+
+    def _check_state(self, state: int) -> None:
+        if not 0 <= state < self._num_states:
+            raise SpanlibError(f"unknown state {state}")
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_states(self) -> int:
+        return self._num_states
+
+    def states(self) -> range:
+        return range(self._num_states)
+
+    def arcs_from(self, state: int) -> list[tuple[Symbol | None, int]]:
+        """The outgoing arcs of *state* as (symbol, target) pairs."""
+        return self._arcs[state]
+
+    def arcs(self) -> Iterator[tuple[int, Symbol | None, int]]:
+        """Iterate over all arcs as (source, symbol, target) triples."""
+        for source in self.states():
+            for symbol, target in self._arcs[source]:
+                yield source, symbol, target
+
+    def num_arcs(self) -> int:
+        return sum(len(v) for v in self._arcs.values())
+
+    def symbols(self) -> set[Symbol]:
+        """All non-ε symbols appearing on arcs."""
+        return {symbol for _, symbol, _ in self.arcs() if symbol is not None}
+
+    def char_symbols(self) -> set[Symbol]:
+        """All character-reading symbols (chars and char classes)."""
+        return {
+            s for s in self.symbols() if isinstance(s, (str, CharClass))
+        }
+
+    def marker_symbols(self) -> set[Marker]:
+        return {s for s in self.symbols() if isinstance(s, Marker)}
+
+    def ref_symbols(self) -> set[Ref]:
+        return {s for s in self.symbols() if isinstance(s, Ref)}
+
+    # ------------------------------------------------------------------
+    # runs
+    # ------------------------------------------------------------------
+    def epsilon_closure(self, states: Iterable[int]) -> frozenset[int]:
+        """All states reachable from *states* via ε-transitions."""
+        seen = set(states)
+        stack = list(seen)
+        while stack:
+            state = stack.pop()
+            for symbol, target in self._arcs[state]:
+                if symbol is EPSILON and target not in seen:
+                    seen.add(target)
+                    stack.append(target)
+        return frozenset(seen)
+
+    def step_char(self, states: Iterable[int], ch: str) -> frozenset[int]:
+        """One document-character step (including closing under ε)."""
+        targets = set()
+        for state in states:
+            for symbol, target in self._arcs[state]:
+                if symbol is not EPSILON and symbol_matches(symbol, ch):
+                    targets.add(target)
+        return self.epsilon_closure(targets)
+
+    def step_exact(self, states: Iterable[int], symbol: Symbol) -> frozenset[int]:
+        """One step on an exact (non-character) symbol such as a marker."""
+        targets = set()
+        for state in states:
+            for arc_symbol, target in self._arcs[state]:
+                if arc_symbol == symbol:
+                    targets.add(target)
+        return self.epsilon_closure(targets)
+
+    def start_states(self) -> frozenset[int]:
+        return self.epsilon_closure(self.initial)
+
+    def accepts(self, word: str) -> bool:
+        """Membership of a plain document string (chars only)."""
+        current = self.start_states()
+        for ch in word:
+            if not current:
+                return False
+            current = self.step_char(current, ch)
+        return bool(current & self.accepting)
+
+    def accepts_symbols(self, word: Iterable[Hashable]) -> bool:
+        """Membership of a word mixing characters and exact symbols.
+
+        Characters are matched against char predicates; markers and
+        references must match arcs exactly.  This is the membership routine
+        used for subword-marked words.
+        """
+        current = self.start_states()
+        for symbol in word:
+            if not current:
+                return False
+            if isinstance(symbol, str):
+                current = self.step_char(current, symbol)
+            else:
+                current = self.step_exact(current, symbol)
+        return bool(current & self.accepting)
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def reachable_states(self) -> set[int]:
+        """States reachable from an initial state."""
+        seen = set(self.initial)
+        queue = deque(seen)
+        while queue:
+            state = queue.popleft()
+            for _, target in self._arcs[state]:
+                if target not in seen:
+                    seen.add(target)
+                    queue.append(target)
+        return seen
+
+    def coreachable_states(self) -> set[int]:
+        """States from which an accepting state is reachable."""
+        backward: dict[int, set[int]] = {state: set() for state in self.states()}
+        for source, _, target in self.arcs():
+            backward[target].add(source)
+        seen = set(self.accepting)
+        queue = deque(seen)
+        while queue:
+            state = queue.popleft()
+            for source in backward[state]:
+                if source not in seen:
+                    seen.add(source)
+                    queue.append(source)
+        return seen
+
+    def trim(self) -> "NFA":
+        """The sub-automaton of useful (reachable and co-reachable) states."""
+        useful = sorted(self.reachable_states() & self.coreachable_states())
+        renumber = {old: new for new, old in enumerate(useful)}
+        result = NFA()
+        result.add_states(len(useful))
+        result.initial = {renumber[s] for s in self.initial if s in renumber}
+        result.accepting = {renumber[s] for s in self.accepting if s in renumber}
+        for source, symbol, target in self.arcs():
+            if source in renumber and target in renumber:
+                result.add_arc(renumber[source], symbol, renumber[target])
+        return result
+
+    def copy(self) -> "NFA":
+        result = NFA()
+        result.add_states(self.num_states)
+        result.initial = set(self.initial)
+        result.accepting = set(self.accepting)
+        for source, symbol, target in self.arcs():
+            result.add_arc(source, symbol, target)
+        return result
+
+    def map_symbols(self, mapping: Callable[[Symbol], Symbol | None]) -> "NFA":
+        """Rewrite every non-ε arc symbol through *mapping*.
+
+        Returning ``None`` from *mapping* turns the arc into an ε-transition
+        (this is how projection erases markers of dropped variables).
+        """
+        result = NFA()
+        result.add_states(self.num_states)
+        result.initial = set(self.initial)
+        result.accepting = set(self.accepting)
+        for source, symbol, target in self.arcs():
+            new_symbol = symbol if symbol is EPSILON else mapping(symbol)
+            result.add_arc(source, new_symbol, target)
+        return result
+
+    def reverse(self) -> "NFA":
+        """The reversal automaton (accepts mirrored words)."""
+        result = NFA()
+        result.add_states(self.num_states)
+        result.initial = set(self.accepting)
+        result.accepting = set(self.initial)
+        for source, symbol, target in self.arcs():
+            result.add_arc(target, symbol, source)
+        return result
+
+    def remove_epsilon(self) -> "NFA":
+        """An equivalent automaton without ε-transitions."""
+        result = NFA()
+        result.add_states(self.num_states)
+        result.initial = set(self.initial)
+        for state in self.states():
+            closure = self.epsilon_closure([state])
+            if closure & self.accepting:
+                result.accepting.add(state)
+            for mid in closure:
+                for symbol, target in self._arcs[mid]:
+                    if symbol is not EPSILON:
+                        result.add_arc(state, symbol, target)
+        return result
+
+    # ------------------------------------------------------------------
+    # decision helpers
+    # ------------------------------------------------------------------
+    def is_empty(self) -> bool:
+        """True if the accepted language is empty."""
+        return not (self.reachable_states() & self.accepting)
+
+    def shortest_word(self) -> list[Symbol] | None:
+        """A shortest accepted word as a symbol list, or ``None`` if empty.
+
+        Character-class symbols are reported by a witness character.
+        ε-arcs contribute nothing.  BFS over states, so the result has
+        minimum length.
+        """
+        parent: dict[int, tuple[int, Symbol | None] | None] = {}
+        queue: deque[int] = deque()
+        for state in self.initial:
+            parent[state] = None
+            queue.append(state)
+        goal = None
+        while queue:
+            state = queue.popleft()
+            if state in self.accepting:
+                goal = state
+                break
+            for symbol, target in self._arcs[state]:
+                if target not in parent:
+                    parent[target] = (state, symbol)
+                    queue.append(target)
+        if goal is None:
+            return None
+        word: list[Symbol] = []
+        state = goal
+        while parent[state] is not None:
+            state, symbol = parent[state]  # type: ignore[misc]
+            if symbol is not EPSILON:
+                if isinstance(symbol, CharClass):
+                    witness = symbol.witness()
+                    if witness is None:
+                        raise SpanlibError("empty char class on a useful arc")
+                    word.append(witness)
+                else:
+                    word.append(symbol)
+        word.reverse()
+        return word
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"NFA(states={self.num_states}, arcs={self.num_arcs()}, "
+            f"initial={sorted(self.initial)}, accepting={sorted(self.accepting)})"
+        )
+
+
+def literal_nfa(word: str) -> NFA:
+    """An NFA accepting exactly *word*."""
+    nfa = NFA()
+    states = nfa.add_states(len(word) + 1)
+    nfa.initial = {states[0]}
+    nfa.accepting = {states[-1]}
+    for index, ch in enumerate(word):
+        nfa.add_arc(states[index], ch, states[index + 1])
+    return nfa
+
+
+__all__ += ["literal_nfa"]

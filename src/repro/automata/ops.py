@@ -1,0 +1,189 @@
+"""Regular-language operations on NFAs.
+
+These are the classical closure properties that the spanner framework
+leans on throughout: union, concatenation, star, intersection (the
+"intersection with regular languages" of Section 2.1, under which any
+spanner-describing language class should be closed), emptiness, and
+universality.
+"""
+
+from __future__ import annotations
+
+from repro.automata.dfa import compute_atoms, determinize
+from repro.automata.nfa import EPSILON, NFA
+from repro.core.alphabet import CharClass, Symbol
+
+__all__ = [
+    "union",
+    "concat",
+    "star",
+    "plus",
+    "optional",
+    "intersection",
+    "intersect_symbols",
+    "is_empty",
+    "is_universal",
+    "epsilon_nfa",
+    "never_nfa",
+]
+
+
+def epsilon_nfa() -> NFA:
+    """An NFA accepting exactly the empty word."""
+    nfa = NFA()
+    nfa.add_state(initial=True, accepting=True)
+    return nfa
+
+
+def never_nfa() -> NFA:
+    """An NFA accepting nothing."""
+    nfa = NFA()
+    nfa.add_state(initial=True)
+    return nfa
+
+
+def _embed(target: NFA, source: NFA) -> dict[int, int]:
+    """Copy *source*'s states and arcs into *target*; return the state map."""
+    mapping = {old: target.add_state() for old in source.states()}
+    for src, symbol, dst in source.arcs():
+        target.add_arc(mapping[src], symbol, mapping[dst])
+    return mapping
+
+
+def union(*operands: NFA) -> NFA:
+    """The disjoint-sum union of several NFAs."""
+    result = NFA()
+    start = result.add_state(initial=True)
+    for operand in operands:
+        mapping = _embed(result, operand)
+        for state in operand.initial:
+            result.add_arc(start, EPSILON, mapping[state])
+        result.accepting.update(mapping[state] for state in operand.accepting)
+    return result
+
+
+def concat(*operands: NFA) -> NFA:
+    """Concatenation of several NFAs (ε-linked)."""
+    result = NFA()
+    previous_accepting: list[int] | None = None
+    for operand in operands:
+        mapping = _embed(result, operand)
+        entry = [mapping[state] for state in operand.initial]
+        if previous_accepting is None:
+            result.initial.update(entry)
+        else:
+            for accept in previous_accepting:
+                for state in entry:
+                    result.add_arc(accept, EPSILON, state)
+        previous_accepting = [mapping[state] for state in operand.accepting]
+    result.accepting.update(previous_accepting or [])
+    if previous_accepting is None:  # zero operands: the empty word
+        return epsilon_nfa()
+    return result
+
+
+def star(operand: NFA) -> NFA:
+    """Kleene star."""
+    result = NFA()
+    hub = result.add_state(initial=True, accepting=True)
+    mapping = _embed(result, operand)
+    for state in operand.initial:
+        result.add_arc(hub, EPSILON, mapping[state])
+    for state in operand.accepting:
+        result.add_arc(mapping[state], EPSILON, hub)
+    return result
+
+
+def plus(operand: NFA) -> NFA:
+    """One-or-more repetitions."""
+    return concat(operand, star(operand))
+
+
+def optional(operand: NFA) -> NFA:
+    """Zero-or-one occurrence."""
+    return union(operand, epsilon_nfa())
+
+
+def intersect_symbols(left: Symbol, right: Symbol) -> Symbol | None:
+    """The symbol read by a synchronised product arc, or ``None`` if disjoint.
+
+    Characters and character classes intersect as predicates; exact symbols
+    (markers, references) must be equal.
+    """
+    if isinstance(left, str) and isinstance(right, str):
+        return left if left == right else None
+    if isinstance(left, str) and isinstance(right, CharClass):
+        return left if right.matches(left) else None
+    if isinstance(left, CharClass) and isinstance(right, str):
+        return right if left.matches(right) else None
+    if isinstance(left, CharClass) and isinstance(right, CharClass):
+        meet = left.intersect(right)
+        return None if meet.is_empty() else meet
+    return left if left == right else None
+
+
+def intersection(left: NFA, right: NFA) -> NFA:
+    """The synchronised product automaton (language intersection).
+
+    ε-arcs of either operand advance that component alone, so the operands
+    need not be ε-free.
+    """
+    result = NFA()
+    index: dict[tuple[int, int], int] = {}
+
+    def state_of(pair: tuple[int, int]) -> int:
+        if pair not in index:
+            index[pair] = result.add_state()
+        return index[pair]
+
+    stack: list[tuple[int, int]] = []
+    for s1 in left.initial:
+        for s2 in right.initial:
+            pair = (s1, s2)
+            state_of(pair)
+            result.initial.add(index[pair])
+            stack.append(pair)
+    seen = set(stack)
+    while stack:
+        pair = stack.pop()
+        s1, s2 = pair
+        here = state_of(pair)
+        if s1 in left.accepting and s2 in right.accepting:
+            result.accepting.add(here)
+        moves: list[tuple[Symbol | None, tuple[int, int]]] = []
+        for symbol, target in left.arcs_from(s1):
+            if symbol is EPSILON:
+                moves.append((EPSILON, (target, s2)))
+        for symbol, target in right.arcs_from(s2):
+            if symbol is EPSILON:
+                moves.append((EPSILON, (s1, target)))
+        for symbol1, target1 in left.arcs_from(s1):
+            if symbol1 is EPSILON:
+                continue
+            for symbol2, target2 in right.arcs_from(s2):
+                if symbol2 is EPSILON:
+                    continue
+                met = intersect_symbols(symbol1, symbol2)
+                if met is not None:
+                    moves.append((met, (target1, target2)))
+        for symbol, next_pair in moves:
+            result.add_arc(here, symbol, state_of(next_pair))
+            if next_pair not in seen:
+                seen.add(next_pair)
+                stack.append(next_pair)
+    return result
+
+
+def is_empty(nfa: NFA) -> bool:
+    """Emptiness of the accepted language."""
+    return nfa.is_empty()
+
+
+def is_universal(nfa: NFA) -> bool:
+    """True if the NFA accepts *every* word over its symbol universe.
+
+    Universality is decided via complementation of the determinised
+    automaton — PSpace-complete in general, fine at library scale.
+    """
+    atoms = compute_atoms(nfa)
+    return determinize(nfa, atoms).complement().is_empty()

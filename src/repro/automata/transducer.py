@@ -1,0 +1,217 @@
+"""Finite-state transducers and closure under transduction.
+
+Section 2.1 of the paper notes that *any class of languages closed under
+intersection with regular languages can directly be interpreted as a class
+of spanners*, and points at closure under finite-state transductions as
+the standard toolbox ([20, 26]).  This module supplies that toolbox
+constructively:
+
+* :class:`Transducer` — nondeterministic FSTs whose transitions read one
+  symbol (or ε) and emit a (possibly empty) sequence of symbols;
+* :meth:`Transducer.apply_to_nfa` — the image of a regular language under
+  the transduction, again as an NFA (the closure construction);
+* stock transducers that are meaningful for spanners:
+  :func:`marker_eraser` realises the paper's ``e(·)`` on whole languages
+  (so ``e(L(M))`` is computable for any vset-automaton M — this is exactly
+  the NonEmptiness language), and :func:`marker_inserter` builds the
+  *universal spanner* over a variable set (every document, every tuple).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.automata.nfa import EPSILON, NFA
+from repro.automata.ops import intersect_symbols
+from repro.core.alphabet import Close, Marker, Open, Symbol
+from repro.errors import SpanlibError
+
+__all__ = ["Transducer", "marker_eraser", "marker_inserter"]
+
+
+@dataclass(frozen=True)
+class _Rule:
+    source: int
+    read: Symbol | None
+    emit: tuple[Symbol, ...]
+    target: int
+
+
+class Transducer:
+    """A nondeterministic finite-state transducer.
+
+    Input symbols follow the NFA conventions (chars, char classes, markers,
+    references; ``None`` = read nothing); output is a tuple of *concrete*
+    symbols per transition.  When the read symbol is a character class, the
+    emitted special value :data:`Transducer.COPY` stands for "the character
+    actually read" (needed for identity-on-Σ rules without enumerating Σ).
+    """
+
+    #: sentinel in an emit sequence: copy the input symbol through
+    COPY = object()
+
+    def __init__(self) -> None:
+        self._num_states = 0
+        self.initial: set[int] = set()
+        self.accepting: set[int] = set()
+        self._rules: list[_Rule] = []
+
+    def add_state(self, initial: bool = False, accepting: bool = False) -> int:
+        state = self._num_states
+        self._num_states += 1
+        if initial:
+            self.initial.add(state)
+        if accepting:
+            self.accepting.add(state)
+        return state
+
+    def add_rule(
+        self,
+        source: int,
+        read: Symbol | None,
+        emit: Sequence,
+        target: int,
+    ) -> None:
+        if not 0 <= source < self._num_states or not 0 <= target < self._num_states:
+            raise SpanlibError("unknown transducer state")
+        self._rules.append(_Rule(source, read, tuple(emit), target))
+
+    # ------------------------------------------------------------------
+    def apply_to_nfa(self, nfa: NFA) -> NFA:
+        """The image NFA: ``{ output : input ∈ L(nfa), (input, output) ∈ T }``.
+
+        Product construction over (nfa state, transducer state); reading
+        rules synchronise with nfa arcs (symbol intersection), ε-input
+        rules advance the transducer alone.  Emitted sequences become arc
+        chains; :data:`COPY` re-emits the synchronised symbol.
+        """
+        result = NFA()
+        index: dict[tuple[int, int], int] = {}
+
+        def state_of(pair: tuple[int, int]) -> int:
+            if pair not in index:
+                index[pair] = result.add_state()
+            return index[pair]
+
+        def emit_chain(start: int, emitted: Iterable, landing: tuple[int, int]) -> None:
+            emitted = list(emitted)
+            here = start
+            if not emitted:
+                result.add_arc(here, EPSILON, state_of(landing))
+                return
+            for symbol in emitted[:-1]:
+                fresh = result.add_state()
+                result.add_arc(here, symbol, fresh)
+                here = fresh
+            result.add_arc(here, emitted[-1], state_of(landing))
+
+        rules_by_source: dict[int, list[_Rule]] = {}
+        for rule in self._rules:
+            rules_by_source.setdefault(rule.source, []).append(rule)
+
+        stack: list[tuple[int, int]] = []
+        for nfa_state in nfa.initial:
+            for fst_state in self.initial:
+                pair = (nfa_state, fst_state)
+                result.initial.add(state_of(pair))
+                stack.append(pair)
+        seen = set(stack)
+        while stack:
+            pair = stack.pop()
+            nfa_state, fst_state = pair
+            here = index[pair]
+            if nfa_state in nfa.accepting and fst_state in self.accepting:
+                result.accepting.add(here)
+            moves: list[tuple[Iterable, tuple[int, int]]] = []
+            # nfa ε-arcs advance the nfa alone
+            for symbol, target in nfa.arcs_from(nfa_state):
+                if symbol is EPSILON:
+                    moves.append(((), (target, fst_state)))
+            for rule in rules_by_source.get(fst_state, ()):
+                if rule.read is None:
+                    if any(e is Transducer.COPY for e in rule.emit):
+                        raise SpanlibError("COPY in an ε-input rule")
+                    moves.append((rule.emit, (nfa_state, rule.target)))
+                    continue
+                for symbol, target in nfa.arcs_from(nfa_state):
+                    if symbol is EPSILON:
+                        continue
+                    met = intersect_symbols(symbol, rule.read)
+                    if met is None:
+                        continue
+                    emitted = tuple(
+                        met if e is Transducer.COPY else e for e in rule.emit
+                    )
+                    moves.append((emitted, (target, rule.target)))
+            for emitted, landing in moves:
+                emit_chain(here, emitted, landing)
+                if landing not in seen:
+                    seen.add(landing)
+                    stack.append(landing)
+        return result
+
+
+def marker_eraser(
+    variables: Iterable[str], passthrough: Iterable[str] = ()
+) -> Transducer:
+    """The FST realising the paper's ``e(·)``: delete all markers of
+    *variables*, copy characters (and the markers of *passthrough*
+    variables) through.  With ``passthrough`` this is projection-as-a-
+    transduction."""
+    from repro.core.alphabet import DOT
+
+    fst = Transducer()
+    state = fst.add_state(initial=True, accepting=True)
+    fst.add_rule(state, DOT, (Transducer.COPY,), state)
+    for var in variables:
+        fst.add_rule(state, Open(var), (), state)
+        fst.add_rule(state, Close(var), (), state)
+    for var in passthrough:
+        fst.add_rule(state, Open(var), (Open(var),), state)
+        fst.add_rule(state, Close(var), (Close(var),), state)
+    return fst
+
+
+def marker_inserter(variables: Iterable[str]) -> Transducer:
+    """The FST of the *universal spanner*: nondeterministically insert one
+    well-ordered ``x▷ … ◁x`` pair per variable into the input.
+
+    Applying it to a plain language L yields the subword-marked language of
+    *all* (functional) tuples over all documents of L — including nested
+    and overlapping spans — i.e. the top element of the spanner lattice
+    over L.  States track which variables are open/closed, so the FST has
+    3^|X| states; fine for the few variables real spanners use.
+    """
+    import itertools
+
+    from repro.core.alphabet import DOT
+
+    variables = sorted(variables)
+    fst = Transducer()
+    index: dict[tuple[frozenset, frozenset], int] = {}
+    statuses = list(
+        itertools.product(("unseen", "open", "closed"), repeat=len(variables))
+    )
+    for status in statuses:
+        opened = frozenset(v for v, s in zip(variables, status) if s == "open")
+        closed = frozenset(v for v, s in zip(variables, status) if s == "closed")
+        index[(opened, closed)] = fst.add_state(
+            initial=not opened and not closed,
+            accepting=len(closed) == len(variables),
+        )
+    for (opened, closed), state in index.items():
+        fst.add_rule(state, DOT, (Transducer.COPY,), state)
+        for var in variables:
+            if var not in opened and var not in closed:
+                fst.add_rule(
+                    state, None, (Open(var),), index[(opened | {var}, closed)]
+                )
+            elif var in opened:
+                fst.add_rule(
+                    state,
+                    None,
+                    (Close(var),),
+                    index[(opened - {var}, closed | {var})],
+                )
+    return fst

@@ -1,0 +1,289 @@
+"""Variable-set automata (vset-automata) of Fagin et al. [9].
+
+A vset-automaton is an NFA over the extended alphabet ``Σ ∪ {x▷, ◁x}``.
+If every accepted word is a valid subword-marked word, the automaton
+*represents* the regular spanner ``⟦M⟧`` with
+``⟦M⟧(D) = { st(w) : w ∈ L(M), e(w) = D }`` (Section 2.1 of the paper).
+
+This module provides:
+
+* :class:`VSetAutomaton` — the spanner-level wrapper: evaluation,
+  enumeration, model checking, and the regular algebra operations that stay
+  regular (union, projection, renaming);
+* well-formedness and functionality analysis via a status-tracking product
+  (Section 2.2);
+* normalisation into the canonical marker order (Option 1 of Section 2.2),
+  implemented by a round trip through extended vset-automata so that the
+  represented spanner is preserved even when the input automaton only
+  accepts non-canonical marker orders.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.automata.nfa import EPSILON, NFA
+from repro.core.alphabet import Close, Marker, Open
+from repro.core.marked import MarkedWord, mark_document
+from repro.core.spanner import Spanner
+from repro.core.spans import SpanRelation, SpanTuple
+from repro.errors import NotFunctionalError, SchemaError
+
+__all__ = ["VSetAutomaton"]
+
+_UNSEEN, _OPEN, _CLOSED = 0, 1, 2
+_ERROR = "error"
+
+
+class VSetAutomaton(Spanner):
+    """A regular spanner represented by an NFA over ``Σ ∪ markers``.
+
+    Parameters
+    ----------
+    nfa:
+        The underlying automaton.  Its marker symbols determine the variable
+        universe unless *variables* widens it (a variable may be in the
+        schema yet never marked — schemaless semantics).
+    variables:
+        Optional explicit schema.
+    functional:
+        If True, :meth:`evaluate` asserts that every produced tuple is total
+        on the schema (classical semantics of [9]).
+    """
+
+    def __init__(
+        self,
+        nfa: NFA,
+        variables: frozenset[str] | None = None,
+        functional: bool = False,
+    ) -> None:
+        marked = frozenset(m.var for m in nfa.marker_symbols())
+        if variables is None:
+            variables = marked
+        elif not marked <= variables:
+            raise SchemaError(
+                f"automaton marks variables {sorted(marked - variables)} "
+                f"outside the declared schema"
+            )
+        if nfa.ref_symbols():
+            raise SchemaError(
+                "vset-automata must not contain reference symbols; "
+                "use ReflSpanner for ref-languages"
+            )
+        self.nfa = nfa
+        self._variables = frozenset(variables)
+        self.functional = functional
+
+    # ------------------------------------------------------------------
+    # Spanner interface
+    # ------------------------------------------------------------------
+    @property
+    def variables(self) -> frozenset[str]:
+        return self._variables
+
+    def evaluate(self, doc: str) -> SpanRelation:
+        from repro.enumeration.naive import evaluate_vset
+
+        relation = evaluate_vset(self, doc)
+        if self.functional and not relation.is_functional():
+            raise NotFunctionalError(
+                "functional vset-automaton produced a partial tuple"
+            )
+        return relation
+
+    def enumerate(self, doc: str) -> Iterator[SpanTuple]:
+        from repro.enumeration.constant_delay import Enumerator
+
+        yield from Enumerator(self).enumerate(doc)
+
+    def model_check(self, doc: str, tup: SpanTuple) -> bool:
+        """Decide ``tup ∈ ⟦M⟧(doc)`` without materialising the relation.
+
+        The marker-ordering pitfall of Section 2.4 (we do not know a priori
+        in which order consecutive markers must be inserted into the
+        document) is sidestepped by checking membership of the *extended*
+        word — marker sets between characters — against the extended
+        vset-automaton view of this spanner.
+        """
+        from repro.automata.evset import ExtendedVSetAutomaton
+
+        if not tup.variables <= self._variables:
+            return False
+        if not tup.fits(doc):
+            return False
+        word = mark_document(doc, tup)
+        blocks, chars = word.extended_blocks()
+        return ExtendedVSetAutomaton.from_vset(self).run(blocks, chars)
+
+    # ------------------------------------------------------------------
+    # analysis (Section 2.2)
+    # ------------------------------------------------------------------
+    def _status_search(self) -> tuple[bool, bool]:
+        """Explore the (state, per-variable status) product.
+
+        Returns ``(wellformed, functional)`` where *wellformed* means every
+        accepted word is a valid subword-marked word and *functional* means
+        additionally that every accepted word marks every schema variable.
+        """
+        variables = sorted(self._variables)
+        var_index = {var: i for i, var in enumerate(variables)}
+        initial_status = tuple([_UNSEEN] * len(variables))
+        wellformed = True
+        functional = True
+        seen: set[tuple[int, object]] = set()
+        stack: list[tuple[int, object]] = []
+        for state in self.nfa.initial:
+            node = (state, initial_status)
+            seen.add(node)
+            stack.append(node)
+        # Pre-compute co-reachability in the raw NFA: an invalid prefix only
+        # matters if it can still be completed to an accepted word.
+        useful = self.nfa.coreachable_states()
+        while stack:
+            state, status = stack.pop()
+            if state in self.nfa.accepting:
+                if status == _ERROR:
+                    wellformed = False
+                else:
+                    if any(s == _OPEN for s in status):
+                        wellformed = False
+                    if any(s != _CLOSED for s in status):
+                        functional = False
+            for symbol, target in self.nfa.arcs_from(state):
+                if status == _ERROR:
+                    new_status: object = _ERROR
+                elif isinstance(symbol, Marker):
+                    index = var_index[symbol.var]
+                    expected = _UNSEEN if symbol.is_open else _OPEN
+                    if status[index] != expected:
+                        new_status = _ERROR if target in useful else None
+                        if new_status is None:
+                            continue
+                    else:
+                        updated = list(status)
+                        updated[index] = _OPEN if symbol.is_open else _CLOSED
+                        new_status = tuple(updated)
+                else:
+                    new_status = status
+                node = (target, new_status)
+                if node not in seen:
+                    seen.add(node)
+                    stack.append(node)
+        return wellformed, functional and wellformed
+
+    def is_wellformed(self) -> bool:
+        """True if every accepted word is a valid subword-marked word."""
+        return self._status_search()[0]
+
+    def is_functional(self) -> bool:
+        """True if additionally every accepted word marks all schema variables."""
+        return self._status_search()[1]
+
+    # ------------------------------------------------------------------
+    # regular algebra (the operations under which regular spanners close)
+    # ------------------------------------------------------------------
+    def project(self, keep: frozenset[str] | set[str]) -> "VSetAutomaton":
+        """Projection ``π_Y``: markers of dropped variables become ε."""
+        keep = frozenset(keep)
+        unknown = keep - self._variables
+        if unknown:
+            raise SchemaError(f"cannot project onto unknown variables {sorted(unknown)}")
+
+        def rewrite(symbol):
+            if isinstance(symbol, Marker) and symbol.var not in keep:
+                return None
+            return symbol
+
+        projected = self.nfa.map_symbols(rewrite)
+        return VSetAutomaton(projected, keep, functional=self.functional)
+
+    def union(self, other: "VSetAutomaton") -> "VSetAutomaton":
+        """Spanner union ``∪`` (schemas merged; schemaless semantics)."""
+        from repro.automata.ops import union as nfa_union
+
+        variables = self._variables | other._variables
+        functional = (
+            self.functional
+            and other.functional
+            and self._variables == other._variables
+        )
+        return VSetAutomaton(nfa_union(self.nfa, other.nfa), variables, functional)
+
+    def join(self, other: "VSetAutomaton") -> "VSetAutomaton":
+        """Natural join ``⋈`` via the extended vset-automaton product."""
+        from repro.automata.evset import ExtendedVSetAutomaton, join as eva_join
+
+        left = ExtendedVSetAutomaton.from_vset(self)
+        right = ExtendedVSetAutomaton.from_vset(other)
+        return eva_join(left, right).to_vset()
+
+    def difference(self, other: "VSetAutomaton") -> "VSetAutomaton":
+        """Spanner difference: ``(S1 \\ S2)(D) = S1(D) \\ S2(D)``.
+
+        Regular spanners are closed under difference ([9]): both operands
+        are normalised to the canonical marker order, where the spanner
+        difference coincides with the difference of the subword-marked
+        languages.  Requires equal schemas.
+        """
+        from repro.automata.dfa import difference as language_difference
+
+        if self._variables != other._variables:
+            raise SchemaError(
+                "difference requires equal schemas: "
+                f"{sorted(self._variables)} vs {sorted(other._variables)}"
+            )
+        left = self.normalized().nfa
+        right = other.normalized().nfa
+        return VSetAutomaton(
+            language_difference(left, right), self._variables, functional=False
+        )
+
+    def rename(self, renaming: Mapping[str, str]) -> "VSetAutomaton":
+        """Rename variables (injective on the schema)."""
+        new_variables = [renaming.get(v, v) for v in self._variables]
+        if len(set(new_variables)) != len(new_variables):
+            raise SchemaError("renaming collapses two variables")
+
+        def rewrite(symbol):
+            if isinstance(symbol, Marker):
+                var = renaming.get(symbol.var, symbol.var)
+                return Open(var) if symbol.is_open else Close(var)
+            return symbol
+
+        return VSetAutomaton(
+            self.nfa.map_symbols(rewrite), frozenset(new_variables), self.functional
+        )
+
+    def normalized(self) -> "VSetAutomaton":
+        """An equivalent automaton accepting only canonical marker orders.
+
+        Round-trips through the extended vset-automaton: marker runs are
+        collapsed into sets and re-expanded in the canonical order, so the
+        represented spanner is unchanged (Section 2.2, Options 1 and 2).
+        """
+        from repro.automata.evset import ExtendedVSetAutomaton
+
+        return ExtendedVSetAutomaton.from_vset(self).to_vset()
+
+    # ------------------------------------------------------------------
+    # helpers for decision problems
+    # ------------------------------------------------------------------
+    def nonemptiness_nfa(self) -> NFA:
+        """The NFA with marker transitions read as ε (Section 3.3).
+
+        Its language over Σ is exactly ``{ D : ⟦M⟧(D) ≠ ∅ }`` — this is what
+        makes NonEmptiness and Satisfiability of regular spanners tractable.
+        """
+        return self.nfa.map_symbols(
+            lambda s: None if isinstance(s, Marker) else s
+        )
+
+    def accepts_marked_word(self, word: MarkedWord) -> bool:
+        """Raw membership of a subword-marked word (exact marker order)."""
+        return self.nfa.accepts_symbols(word.symbols)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"VSetAutomaton(states={self.nfa.num_states}, "
+            f"variables={sorted(self._variables)})"
+        )

@@ -1,0 +1,47 @@
+"""Core data model: spans, tuples, relations, marked words, spanner ABC."""
+
+from repro.core.alphabet import (
+    CharClass,
+    Close,
+    DOT,
+    Marker,
+    Open,
+    Ref,
+    char_class,
+    marker_sort_key,
+    sort_markers,
+    symbol_matches,
+)
+from repro.core.marked import (
+    MarkedWord,
+    mark_document,
+    parse_marked,
+    sequence_is_sequential,
+    unmarked,
+)
+from repro.core.spanner import Spanner
+from repro.core.spans import Span, SpanRelation, SpanTuple, fuse, fuse_tuple
+
+__all__ = [
+    "CharClass",
+    "Close",
+    "DOT",
+    "MarkedWord",
+    "Marker",
+    "Open",
+    "Ref",
+    "Span",
+    "SpanRelation",
+    "SpanTuple",
+    "Spanner",
+    "char_class",
+    "fuse",
+    "fuse_tuple",
+    "mark_document",
+    "marker_sort_key",
+    "parse_marked",
+    "sequence_is_sequential",
+    "sort_markers",
+    "symbol_matches",
+    "unmarked",
+]

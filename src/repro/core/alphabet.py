@@ -1,0 +1,219 @@
+"""Arc symbols: markers, references, and character predicates.
+
+Document spanners operate on words over an *extended alphabet*
+``Σ ∪ {x▷, ◁x : x ∈ X}`` (subword-marked words, Section 2.1 of the paper)
+or ``Σ ∪ {x▷, ◁x, x : x ∈ X}`` (ref-words, Section 3).  This module defines
+the non-Σ symbols:
+
+* :class:`Marker` — an opening (``x▷``) or closing (``◁x``) marker;
+* :class:`Ref` — a reference ``x`` used by refl-spanners;
+* :class:`CharClass` — a (possibly complemented) set of characters, used on
+  automaton arcs to represent character classes such as ``.`` or ``[a-z]``
+  without enumerating the alphabet.
+
+Plain document symbols are ordinary 1-character Python strings.
+
+The module also fixes the **canonical total order** on markers used to
+normalise consecutive markers (Option 1 of Section 2.2): all opening markers
+first (sorted by variable name), then all closing markers (sorted by variable
+name).  This order keeps empty spans ``[i, i⟩`` expressible, because ``x▷``
+precedes ``◁x``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+from repro.errors import InvalidMarkedWordError
+
+__all__ = [
+    "Marker",
+    "Open",
+    "Close",
+    "Ref",
+    "CharClass",
+    "DOT",
+    "Symbol",
+    "MarkerSet",
+    "marker_sort_key",
+    "sort_markers",
+    "canonical_marker_set",
+    "char_class",
+    "symbol_matches",
+]
+
+OPEN = "open"
+CLOSE = "close"
+
+
+@dataclass(frozen=True, order=True)
+class Marker:
+    """A marker symbol ``x▷`` (kind ``"open"``) or ``◁x`` (kind ``"close"``).
+
+    Note: dataclass ordering is *not* the canonical normalisation order; use
+    :func:`marker_sort_key` for that.
+    """
+
+    kind: str
+    var: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in (OPEN, CLOSE):
+            raise InvalidMarkedWordError(f"marker kind must be open/close, got {self.kind!r}")
+        if not self.var:
+            raise InvalidMarkedWordError("marker variable name must be non-empty")
+
+    @property
+    def is_open(self) -> bool:
+        return self.kind == OPEN
+
+    @property
+    def is_close(self) -> bool:
+        return self.kind == CLOSE
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.var}▷" if self.is_open else f"◁{self.var}"
+
+
+def Open(var: str) -> Marker:
+    """The opening marker ``var▷``."""
+    return Marker(OPEN, var)
+
+
+def Close(var: str) -> Marker:
+    """The closing marker ``◁var``."""
+    return Marker(CLOSE, var)
+
+
+@dataclass(frozen=True, order=True)
+class Ref:
+    """A reference symbol ``x``: a copy of whatever variable ``x`` extracted.
+
+    Used in ref-words and refl-spanners (Section 3); equivalent in spirit to
+    a backreference ``\\x`` of practical regex dialects.
+    """
+
+    var: str
+
+    def __post_init__(self) -> None:
+        if not self.var:
+            raise InvalidMarkedWordError("reference variable name must be non-empty")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"&{self.var}"
+
+
+@dataclass(frozen=True)
+class CharClass:
+    """A character predicate: a finite set of characters or its complement.
+
+    ``CharClass(frozenset("ab"))`` matches ``a`` or ``b``;
+    ``CharClass(frozenset("ab"), negated=True)`` matches any character except
+    ``a`` and ``b``; :data:`DOT` (negated empty set) matches every character.
+
+    The class is closed under intersection, which is all the product
+    constructions need.
+    """
+
+    chars: frozenset[str]
+    negated: bool = False
+
+    def __post_init__(self) -> None:
+        for ch in self.chars:
+            if not isinstance(ch, str) or len(ch) != 1:
+                raise InvalidMarkedWordError(f"char class members must be 1-char strings: {ch!r}")
+
+    def matches(self, ch: str) -> bool:
+        """True if the predicate accepts character *ch*."""
+        return (ch in self.chars) != self.negated
+
+    def intersect(self, other: "CharClass") -> "CharClass":
+        """The conjunction of two predicates, again as a :class:`CharClass`."""
+        if not self.negated and not other.negated:
+            return CharClass(self.chars & other.chars)
+        if self.negated and other.negated:
+            return CharClass(self.chars | other.chars, negated=True)
+        positive, negative = (self, other) if not self.negated else (other, self)
+        return CharClass(positive.chars - negative.chars)
+
+    def is_empty(self) -> bool:
+        """True if no character matches (only possible for positive classes)."""
+        return not self.negated and not self.chars
+
+    def witness(self, alphabet: Iterable[str] = ()) -> str | None:
+        """Some character matching the predicate, or ``None`` if empty.
+
+        For complemented classes the witness is drawn first from *alphabet*
+        and then from a fallback pool of printable characters.
+        """
+        if not self.negated:
+            return min(self.chars) if self.chars else None
+        for ch in sorted(set(alphabet)):
+            if ch not in self.chars:
+                return ch
+        pool = itertools.chain(
+            "abcdefghijklmnopqrstuvwxyz0123456789",
+            (chr(code) for code in range(32, 0x110000)),
+        )
+        for ch in pool:
+            if ch not in self.chars:
+                return ch
+        return None  # pragma: no cover - pool is effectively inexhaustible
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        inner = "".join(sorted(self.chars))
+        return f"[^{inner}]" if self.negated else f"[{inner}]"
+
+
+#: The predicate matching every character (the regex ``.``).
+DOT = CharClass(frozenset(), negated=True)
+
+#: A symbol on an automaton arc: a concrete character, a character class,
+#: a marker, or a reference.
+Symbol = Union[str, CharClass, Marker, Ref]
+
+#: An extended-word letter: a set of markers read in one step (Section 2.2,
+#: Option 2 / extended vset-automata of [10]).
+MarkerSet = frozenset
+
+
+def char_class(chars: Iterable[str], negated: bool = False) -> CharClass:
+    """Convenience constructor for :class:`CharClass`."""
+    return CharClass(frozenset(chars), negated)
+
+
+def marker_sort_key(marker: Marker) -> tuple[int, str]:
+    """Canonical normalisation order: opens (by variable), then closes."""
+    return (0 if marker.is_open else 1, marker.var)
+
+
+def sort_markers(markers: Iterable[Marker]) -> list[Marker]:
+    """Sort markers into the canonical normalisation order."""
+    return sorted(markers, key=marker_sort_key)
+
+
+def canonical_marker_set(markers: Iterable[Marker]) -> frozenset[Marker]:
+    """Validate a block of consecutive markers and return it as a set.
+
+    A block is valid if no marker occurs twice.  (Whether each marker occurs
+    at most once *globally* is checked at the word level.)
+    """
+    block = list(markers)
+    as_set = frozenset(block)
+    if len(as_set) != len(block):
+        raise InvalidMarkedWordError(f"marker block repeats a marker: {block}")
+    return as_set
+
+
+def symbol_matches(symbol: Symbol, ch: str) -> bool:
+    """True if the arc symbol *symbol* can read document character *ch*.
+
+    Markers and references never match document characters.
+    """
+    if isinstance(symbol, str):
+        return symbol == ch
+    if isinstance(symbol, CharClass):
+        return symbol.matches(ch)
+    return False

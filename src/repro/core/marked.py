@@ -1,0 +1,360 @@
+"""Subword-marked words and ref-words (Sections 2.1, 2.2, 3.1 of the paper).
+
+A *subword-marked word* over Σ and X is a word over ``Σ ∪ {x▷, ◁x : x ∈ X}``
+in which, for every variable, the opening and closing markers occur at most
+once and in this order (exactly once per variable in the functional case).
+Such a word ``w`` simultaneously represents
+
+* a document ``e(w)`` — obtained by erasing all markers
+  (:meth:`MarkedWord.erase`), and
+* a span tuple ``st(w)`` — obtained by reading off the marker positions
+  (:meth:`MarkedWord.span_tuple`).
+
+A *ref-word* additionally may contain reference symbols ``x`` that stand for
+a copy of whatever factor variable ``x`` extracted; the dereferencing
+function ``d(·)`` (:meth:`MarkedWord.deref`) substitutes references by their
+content in dependency order, reproducing the nested-substitution example of
+Section 3.1.
+
+The *extended* form (Option 2 of Section 2.2; extended vset-automata of
+[10]) groups consecutive markers into sets: :meth:`MarkedWord.extended_blocks`
+returns, for a word with ``n`` document characters, the ``n + 1`` marker sets
+sitting between (and around) the characters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.core.alphabet import Marker, Open, Close, Ref, sort_markers
+from repro.core.spans import Span, SpanTuple
+from repro.errors import InvalidMarkedWordError
+
+__all__ = ["MarkedWord", "mark_document"]
+
+
+def _check_symbol(symbol: object) -> None:
+    if isinstance(symbol, str):
+        if len(symbol) != 1:
+            raise InvalidMarkedWordError(
+                f"document symbols must be single characters, got {symbol!r}"
+            )
+        return
+    if isinstance(symbol, (Marker, Ref)):
+        return
+    raise InvalidMarkedWordError(f"invalid marked-word symbol: {symbol!r}")
+
+
+@dataclass(frozen=True)
+class MarkedWord:
+    """An immutable subword-marked word or ref-word.
+
+    The ``symbols`` tuple interleaves single-character strings (document
+    symbols), :class:`Marker` objects, and — for ref-words —
+    :class:`Ref` objects.
+
+    Construction validates the subword-marking property:
+
+    * every marker occurs at most once,
+    * ``x▷`` precedes ``◁x`` and both occur together or not at all,
+    * a reference ``x`` does not occur between ``x▷`` and ``◁x``.
+    """
+
+    symbols: tuple
+
+    def __init__(self, symbols: Iterable) -> None:
+        symbols = tuple(symbols)
+        for symbol in symbols:
+            _check_symbol(symbol)
+        object.__setattr__(self, "symbols", symbols)
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        opened: set[str] = set()
+        closed: set[str] = set()
+        for symbol in self.symbols:
+            if isinstance(symbol, Marker):
+                if symbol.is_open:
+                    if symbol.var in opened:
+                        raise InvalidMarkedWordError(
+                            f"marker {symbol.var}▷ occurs twice"
+                        )
+                    opened.add(symbol.var)
+                else:
+                    if symbol.var not in opened:
+                        raise InvalidMarkedWordError(
+                            f"◁{symbol.var} occurs before {symbol.var}▷"
+                        )
+                    if symbol.var in closed:
+                        raise InvalidMarkedWordError(
+                            f"marker ◁{symbol.var} occurs twice"
+                        )
+                    closed.add(symbol.var)
+            elif isinstance(symbol, Ref):
+                if symbol.var in opened and symbol.var not in closed:
+                    raise InvalidMarkedWordError(
+                        f"reference {symbol.var} occurs inside its own span"
+                    )
+        dangling = opened - closed
+        if dangling:
+            raise InvalidMarkedWordError(
+                f"variables opened but never closed: {sorted(dangling)}"
+            )
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator:
+        return iter(self.symbols)
+
+    def __len__(self) -> int:
+        return len(self.symbols)
+
+    @property
+    def variables(self) -> frozenset[str]:
+        """Variables whose markers occur in the word."""
+        return frozenset(
+            s.var for s in self.symbols if isinstance(s, Marker) and s.is_open
+        )
+
+    @property
+    def references(self) -> frozenset[str]:
+        """Variables referenced by a ``Ref`` symbol somewhere in the word."""
+        return frozenset(s.var for s in self.symbols if isinstance(s, Ref))
+
+    def has_references(self) -> bool:
+        """True if this is a proper ref-word (contains at least one reference)."""
+        return any(isinstance(s, Ref) for s in self.symbols)
+
+    def is_functional_for(self, variables: Iterable[str]) -> bool:
+        """True if every variable of *variables* is marked in the word."""
+        marked = self.variables
+        return all(var in marked for var in variables)
+
+    # ------------------------------------------------------------------
+    # the paper's e(·) and st(·)
+    # ------------------------------------------------------------------
+    def erase(self) -> str:
+        """The document ``e(w)``: erase all markers.
+
+        Only defined for subword-marked words; dereference a ref-word first.
+        """
+        if self.has_references():
+            raise InvalidMarkedWordError(
+                "erase() on a ref-word: call deref() first to substitute references"
+            )
+        return "".join(s for s in self.symbols if isinstance(s, str))
+
+    def span_tuple(self) -> SpanTuple:
+        """The span tuple ``st(w)`` encoded by the marker positions.
+
+        Positions are counted in the erased document (1-based spans).  Only
+        defined for subword-marked words.
+        """
+        if self.has_references():
+            raise InvalidMarkedWordError(
+                "span_tuple() on a ref-word: call deref() first"
+            )
+        position = 1
+        starts: dict[str, int] = {}
+        spans: dict[str, Span] = {}
+        for symbol in self.symbols:
+            if isinstance(symbol, str):
+                position += 1
+            elif symbol.is_open:
+                starts[symbol.var] = position
+            else:
+                spans[symbol.var] = Span(starts[symbol.var], position)
+        return SpanTuple(spans)
+
+    # ------------------------------------------------------------------
+    # dereferencing: the paper's d(·)
+    # ------------------------------------------------------------------
+    def deref(self) -> "MarkedWord":
+        """Substitute every reference by its content (the paper's ``d(·)``).
+
+        The content of a variable is the factor between its markers *after*
+        the references inside that factor have themselves been substituted
+        (nested references are resolved in dependency order, as in the
+        Section 3.1 example).  Raises :class:`InvalidMarkedWordError` for
+        references to unmarked variables or cyclic reference dependencies.
+        """
+        if not self.has_references():
+            return self
+        regions = self._regions()
+        for var in self.references:
+            if var not in regions:
+                raise InvalidMarkedWordError(
+                    f"reference to variable {var!r} that is never marked"
+                )
+        contents: dict[str, str] = {}
+
+        def content_of(var: str, active: tuple[str, ...]) -> str:
+            if var in contents:
+                return contents[var]
+            if var in active:
+                cycle = " -> ".join(active + (var,))
+                raise InvalidMarkedWordError(f"cyclic reference dependency: {cycle}")
+            chars: list[str] = []
+            for symbol in regions[var]:
+                if isinstance(symbol, str):
+                    chars.append(symbol)
+                elif isinstance(symbol, Ref):
+                    chars.append(content_of(symbol.var, active + (var,)))
+            contents[var] = "".join(chars)
+            return contents[var]
+
+        substituted: list = []
+        for symbol in self.symbols:
+            if isinstance(symbol, Ref):
+                substituted.extend(content_of(symbol.var, ()))
+            else:
+                substituted.append(symbol)
+        return MarkedWord(substituted)
+
+    def _regions(self) -> dict[str, tuple]:
+        """Map each marked variable to the symbols between its markers."""
+        regions: dict[str, tuple] = {}
+        starts: dict[str, int] = {}
+        for index, symbol in enumerate(self.symbols):
+            if isinstance(symbol, Marker):
+                if symbol.is_open:
+                    starts[symbol.var] = index + 1
+                else:
+                    regions[symbol.var] = self.symbols[starts[symbol.var]:index]
+        return regions
+
+    # ------------------------------------------------------------------
+    # normal forms
+    # ------------------------------------------------------------------
+    def canonicalize(self) -> "MarkedWord":
+        """Sort every block of consecutive markers into the canonical order.
+
+        Two subword-marked words represent the same (document, span tuple)
+        pair iff their canonical forms are equal (Section 2.2).
+        """
+        result: list = []
+        block: list[Marker] = []
+        for symbol in self.symbols:
+            if isinstance(symbol, Marker):
+                block.append(symbol)
+            else:
+                result.extend(sort_markers(block))
+                block = []
+                result.append(symbol)
+        result.extend(sort_markers(block))
+        return MarkedWord(result)
+
+    def extended_blocks(self) -> tuple[tuple[frozenset, ...], str]:
+        """The extended (marker-set) form of Option 2, Section 2.2.
+
+        Returns ``(blocks, document)`` where ``document = e(w)`` and
+        ``blocks[i]`` is the (possibly empty) set of markers sitting at
+        position ``i + 1`` — i.e. before the ``i``-th document character, with
+        ``blocks[len(document)]`` holding the trailing markers.
+
+        Only defined for subword-marked words.
+        """
+        if self.has_references():
+            raise InvalidMarkedWordError("extended_blocks() on a ref-word")
+        chars: list[str] = []
+        blocks: list[set] = [set()]
+        for symbol in self.symbols:
+            if isinstance(symbol, str):
+                chars.append(symbol)
+                blocks.append(set())
+            else:
+                blocks[-1].add(symbol)
+        return tuple(frozenset(b) for b in blocks), "".join(chars)
+
+    # ------------------------------------------------------------------
+    # presentation
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        return "".join(
+            symbol if isinstance(symbol, str) else str(symbol)
+            for symbol in self.symbols
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MarkedWord({self})"
+
+
+def mark_document(doc: str, tup: SpanTuple) -> MarkedWord:
+    """Insert markers into *doc* as described by *tup* (canonical order).
+
+    This is the inverse of ``(e, st)``: for the returned word ``w`` we have
+    ``w.erase() == doc`` and ``w.span_tuple() == tup``.  Undefined variables
+    simply contribute no markers (schemaless semantics).
+    """
+    if not tup.fits(doc):
+        raise InvalidMarkedWordError(f"tuple {tup} does not fit document of length {len(doc)}")
+    at_position: dict[int, list[Marker]] = {}
+    for var, span in tup:
+        at_position.setdefault(span.start, []).append(Open(var))
+        at_position.setdefault(span.end, []).append(Close(var))
+    symbols: list = []
+    for position in range(1, len(doc) + 2):
+        symbols.extend(sort_markers(at_position.get(position, [])))
+        if position <= len(doc):
+            symbols.append(doc[position - 1])
+    return MarkedWord(symbols)
+
+
+def parse_marked(text: str, open_char: str = "<", close_char: str = ">") -> MarkedWord:
+    """Parse a compact textual notation for marked words (testing helper).
+
+    The notation uses ``<x`` for ``x▷``, ``x>`` for ``◁x`` and ``&x`` for a
+    reference, each enclosed in brackets: e.g. ``"[<x]ab[x>]c[&x]"``.
+    Variable names are alphanumeric.
+    """
+    symbols: list = []
+    index = 0
+    while index < len(text):
+        ch = text[index]
+        if ch != "[":
+            symbols.append(ch)
+            index += 1
+            continue
+        end = text.find("]", index)
+        if end < 0:
+            raise InvalidMarkedWordError(f"unterminated marker bracket at {index}")
+        token = text[index + 1:end]
+        if token.startswith(open_char):
+            symbols.append(Open(token[1:]))
+        elif token.endswith(close_char):
+            symbols.append(Close(token[:-1]))
+        elif token.startswith("&"):
+            symbols.append(Ref(token[1:]))
+        else:
+            raise InvalidMarkedWordError(f"unrecognised marker token {token!r}")
+        index = end + 1
+    return MarkedWord(symbols)
+
+
+def unmarked(doc: str) -> MarkedWord:
+    """The trivial subword-marked word of a bare document (no markers)."""
+    return MarkedWord(tuple(doc))
+
+
+def sequence_is_sequential(symbols: Sequence) -> bool:
+    """True if every reference occurs after its variable's closing marker.
+
+    Refl-spanner *evaluation on documents* requires this (Section 3.3's
+    left-to-right algorithm); general ref-words may violate it and are still
+    dereferencable via :meth:`MarkedWord.deref`.
+    """
+    closed: set[str] = set()
+    for symbol in symbols:
+        if isinstance(symbol, Marker) and symbol.is_close:
+            closed.add(symbol.var)
+        elif isinstance(symbol, Ref) and symbol.var not in closed:
+            return False
+    return True
+
+
+__all__ += ["parse_marked", "unmarked", "sequence_is_sequential"]

@@ -1,0 +1,56 @@
+"""The abstract :class:`Spanner` interface.
+
+A document spanner over Σ and X is a function mapping every document
+``D ∈ Σ*`` to an (X, D)-relation.  All concrete spanner representations in
+this library — regular spanners (vset-automata, spanner regexes), core
+spanner expressions, and refl-spanners — implement this interface.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator
+
+from repro.core.spans import SpanRelation, SpanTuple
+
+__all__ = ["Spanner"]
+
+
+class Spanner(abc.ABC):
+    """Abstract base class of all spanner representations.
+
+    Subclasses must provide :attr:`variables` and :meth:`evaluate`; the
+    default :meth:`enumerate` materialises the full relation, but
+    representations with dedicated enumeration algorithms (e.g. regular
+    spanners, Section 2.5) override it.
+    """
+
+    @property
+    @abc.abstractmethod
+    def variables(self) -> frozenset[str]:
+        """The variable set X of the spanner."""
+
+    @abc.abstractmethod
+    def evaluate(self, doc: str) -> SpanRelation:
+        """The span relation ``S(doc)``, fully materialised."""
+
+    def enumerate(self, doc: str) -> Iterator[SpanTuple]:
+        """Enumerate ``S(doc)`` without repetition.
+
+        The base implementation materialises; subclasses may stream.
+        """
+        yield from self.evaluate(doc)
+
+    def model_check(self, doc: str, tup: SpanTuple) -> bool:
+        """Decide ``tup ∈ S(doc)`` (the ModelChecking problem, Section 2.4).
+
+        The base implementation materialises; representations with faster
+        algorithms (regular and refl-spanners) override it.
+        """
+        return tup in self.evaluate(doc)
+
+    def is_nonempty_on(self, doc: str) -> bool:
+        """Decide ``S(doc) ≠ ∅`` (the NonEmptiness problem, Section 2.4)."""
+        for _ in self.enumerate(doc):
+            return True
+        return False

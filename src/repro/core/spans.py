@@ -1,0 +1,555 @@
+"""Spans, span tuples, and span relations.
+
+This module implements the basic data model of the document spanner
+framework of Fagin, Kimelfeld, Reiss, and Vansummeren (J. ACM 2015) as
+presented in the PODS'22 overview by Schmid and Schweikardt:
+
+* a *document* ``D`` is a plain Python string over a finite alphabet;
+* a *span* ``[i, j⟩`` of ``D`` is an interval with ``1 <= i <= j <= len(D)+1``
+  representing the factor ``D[i-1:j-1]`` (spans are **1-based**, exactly as
+  in the paper);
+* an *(X, D)-tuple* (:class:`SpanTuple`) maps variables to spans — totally in
+  the classical semantics of [9], or partially in the *schemaless* semantics
+  of Maturana, Riveros, and Vrgoč [27];
+* an *(X, D)-relation* (:class:`SpanRelation`) is a set of span tuples.
+
+The table-rendering of :meth:`SpanRelation.to_table` reproduces the layout of
+Example 1.1 of the paper, and :func:`fuse` implements the column-fusion
+operator ``⨝_{λ→x}`` of Section 3.2 used to relate refl-spanners to core
+spanners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import InvalidSpanError, SchemaError
+
+__all__ = [
+    "Span",
+    "SpanTuple",
+    "SpanRelation",
+    "fuse",
+    "fuse_tuple",
+]
+
+
+@dataclass(frozen=True, order=True)
+class Span:
+    """A span ``[start, end⟩`` with 1-based, half-open bounds.
+
+    ``Span(2, 6)`` denotes the paper's ``[2, 6⟩``: the factor starting at the
+    second position of the document and ending just before the sixth, i.e.
+    ``doc[1:5]`` in Python indexing.
+
+    Spans are ordered lexicographically by ``(start, end)``, which gives a
+    deterministic enumeration order for relations.
+    """
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.start, int) or not isinstance(self.end, int):
+            raise InvalidSpanError(f"span bounds must be ints, got {self!r}")
+        if not 1 <= self.start <= self.end:
+            raise InvalidSpanError(
+                f"invalid span [{self.start}, {self.end}⟩: need 1 <= start <= end"
+            )
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_offsets(cls, begin: int, stop: int) -> "Span":
+        """Build a span from 0-based Python slice offsets ``doc[begin:stop]``."""
+        return cls(begin + 1, stop + 1)
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def offsets(self) -> tuple[int, int]:
+        """The 0-based ``(begin, stop)`` slice offsets of this span."""
+        return (self.start - 1, self.end - 1)
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+    def is_empty(self) -> bool:
+        """True for the empty span ``[i, i⟩``."""
+        return self.start == self.end
+
+    def extract(self, doc: str) -> str:
+        """Return the factor of *doc* this span refers to.
+
+        Raises :class:`InvalidSpanError` if the span does not fit in *doc*.
+        """
+        if self.end > len(doc) + 1:
+            raise InvalidSpanError(
+                f"span [{self.start}, {self.end}⟩ exceeds document of length {len(doc)}"
+            )
+        begin, stop = self.offsets
+        return doc[begin:stop]
+
+    def fits(self, doc: str) -> bool:
+        """True if this span is a valid span of *doc*."""
+        return self.end <= len(doc) + 1
+
+    # ------------------------------------------------------------------
+    # relative position predicates
+    # ------------------------------------------------------------------
+    def contains(self, other: "Span") -> bool:
+        """True if *other* lies inside this span (possibly equal)."""
+        return self.start <= other.start and other.end <= self.end
+
+    def disjoint(self, other: "Span") -> bool:
+        """True if the two spans share no position.
+
+        Touching spans (``self.end == other.start``) are disjoint; an empty
+        span on the boundary of another span is also disjoint from it.
+        """
+        return self.end <= other.start or other.end <= self.start
+
+    def overlaps(self, other: "Span") -> bool:
+        """True if the spans *properly* overlap.
+
+        Properly overlapping means: not disjoint, and neither span contains
+        the other.  This is exactly the configuration that makes a spanner
+        non-hierarchical (Section 2.2 of the paper) and that refl-spanners
+        forbid for string-equality selections (Section 3).
+        """
+        if self.disjoint(other):
+            return False
+        return not (self.contains(other) or other.contains(self))
+
+    def shift(self, delta: int) -> "Span":
+        """Return the span translated by *delta* positions."""
+        return Span(self.start + delta, self.end + delta)
+
+    def intersect(self, other: "Span") -> "Span | None":
+        """The common part of two spans, or ``None`` if disjoint.
+
+        Touching spans intersect in the empty span at the touch point.
+        """
+        start = max(self.start, other.start)
+        end = min(self.end, other.end)
+        return Span(start, end) if start <= end else None
+
+    def hull(self, other: "Span") -> "Span":
+        """The smallest span containing both (the binary case of the
+        fusion operator's span arithmetic, Section 3.2)."""
+        return Span(min(self.start, other.start), max(self.end, other.end))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.start},{self.end}⟩"
+
+
+def _as_span_items(
+    mapping: Mapping[str, Span | None] | Iterable[tuple[str, Span | None]],
+) -> tuple[tuple[str, Span], ...]:
+    """Normalise constructor input, dropping undefined (None) variables."""
+    if isinstance(mapping, Mapping):
+        items = mapping.items()
+    else:
+        items = list(mapping)
+    cleaned: dict[str, Span] = {}
+    for var, span in items:
+        if span is None:
+            continue
+        if not isinstance(var, str) or not var:
+            raise SchemaError(f"variable names must be non-empty strings, got {var!r}")
+        if not isinstance(span, Span):
+            raise InvalidSpanError(f"value for variable {var!r} is not a Span: {span!r}")
+        if var in cleaned:
+            raise SchemaError(f"duplicate variable {var!r} in span tuple")
+        cleaned[var] = span
+    return tuple(sorted(cleaned.items()))
+
+
+@dataclass(frozen=True)
+class SpanTuple:
+    """An (X, D)-tuple: a (possibly partial) mapping from variables to spans.
+
+    Variables mapped to ``None`` at construction time are treated as
+    *undefined* — this realises the schemaless semantics of [27].  A tuple is
+    *functional* with respect to a variable set X if it defines every variable
+    of X (the classical total-function semantics of [9]).
+
+    Instances are immutable and hashable; equality is by the set of
+    (variable, span) bindings.
+    """
+
+    items: tuple[tuple[str, Span], ...]
+
+    def __init__(
+        self,
+        mapping: Mapping[str, Span | None] | Iterable[tuple[str, Span | None]] = (),
+    ) -> None:
+        object.__setattr__(self, "items", _as_span_items(mapping))
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def of(cls, **bindings: Span | None) -> "SpanTuple":
+        """Keyword-argument convenience constructor: ``SpanTuple.of(x=Span(1,2))``."""
+        return cls(bindings)
+
+    @classmethod
+    def empty(cls) -> "SpanTuple":
+        """The empty tuple (no variable defined)."""
+        return cls(())
+
+    # ------------------------------------------------------------------
+    # mapping interface
+    # ------------------------------------------------------------------
+    @property
+    def variables(self) -> frozenset[str]:
+        """The set of *defined* variables."""
+        return frozenset(var for var, _ in self.items)
+
+    def __getitem__(self, var: str) -> Span:
+        for name, span in self.items:
+            if name == var:
+                return span
+        raise KeyError(var)
+
+    def get(self, var: str) -> Span | None:
+        """The span of *var*, or ``None`` if undefined (the paper's ``⊥``)."""
+        for name, span in self.items:
+            if name == var:
+                return span
+        return None
+
+    def __contains__(self, var: str) -> bool:
+        return any(name == var for name, _ in self.items)
+
+    def __iter__(self) -> Iterator[tuple[str, Span]]:
+        return iter(self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def as_dict(self) -> dict[str, Span]:
+        """The defined bindings as a plain dict."""
+        return dict(self.items)
+
+    # ------------------------------------------------------------------
+    # semantics helpers
+    # ------------------------------------------------------------------
+    def is_total_on(self, variables: Iterable[str]) -> bool:
+        """True if every variable in *variables* is defined (functionality)."""
+        defined = self.variables
+        return all(var in defined for var in variables)
+
+    def fits(self, doc: str) -> bool:
+        """True if every defined span is a valid span of *doc*."""
+        return all(span.fits(doc) for _, span in self.items)
+
+    def contents(self, doc: str) -> dict[str, str]:
+        """Map each defined variable to the factor of *doc* its span extracts."""
+        return {var: span.extract(doc) for var, span in self.items}
+
+    def satisfies_equality(self, doc: str, group: Iterable[str]) -> bool:
+        """Decide the string-equality selection ``ς=_Z`` for this tuple.
+
+        Under the schemaless convention of [38], only the *defined* variables
+        of the group are constrained: all of them must extract (possibly
+        different occurrences of) the same factor of *doc*.  Tuples in which
+        at most one group variable is defined pass vacuously.
+        """
+        factors = [self[var].extract(doc) for var in group if var in self]
+        return all(factor == factors[0] for factor in factors[1:])
+
+    # ------------------------------------------------------------------
+    # algebraic operations
+    # ------------------------------------------------------------------
+    def project(self, variables: Iterable[str]) -> "SpanTuple":
+        """Restrict the tuple to *variables* (undefined ones stay undefined)."""
+        keep = set(variables)
+        return SpanTuple((var, span) for var, span in self.items if var in keep)
+
+    def rename(self, renaming: Mapping[str, str]) -> "SpanTuple":
+        """Rename variables according to *renaming* (missing keys unchanged)."""
+        return SpanTuple(
+            (renaming.get(var, var), span) for var, span in self.items
+        )
+
+    def compatible(self, other: "SpanTuple") -> bool:
+        """True if the tuples agree on every variable defined in both."""
+        mine = self.as_dict()
+        return all(
+            mine[var] == span for var, span in other.items if var in mine
+        )
+
+    def merge(self, other: "SpanTuple") -> "SpanTuple":
+        """Natural-join merge of two compatible tuples.
+
+        Raises :class:`SchemaError` if the tuples conflict on a shared
+        variable.
+        """
+        if not self.compatible(other):
+            raise SchemaError(f"tuples conflict on a shared variable: {self} vs {other}")
+        merged = self.as_dict()
+        merged.update(other.as_dict())
+        return SpanTuple(merged)
+
+    def sort_key(self, variables: tuple[str, ...]) -> tuple:
+        """A deterministic sort key over the given variable order.
+
+        Undefined variables sort before defined ones.
+        """
+        key = []
+        for var in variables:
+            span = self.get(var)
+            if span is None:
+                key.append((0, 0, 0))
+            else:
+                key.append((1, span.start, span.end))
+        return tuple(key)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{var}={span}" for var, span in self.items)
+        return f"({inner})"
+
+
+class SpanRelation:
+    """A set of span tuples over a fixed set of variables.
+
+    The *schema* (``variables``) may include variables that are undefined in
+    some tuples (schemaless semantics).  A relation is *functional* if every
+    tuple defines every schema variable.
+
+    Relations compare equal by (variable set, tuple set) and support the
+    relational-algebra operations of the spanner framework.
+    """
+
+    __slots__ = ("_variables", "_tuples")
+
+    def __init__(
+        self,
+        variables: Iterable[str],
+        tuples: Iterable[SpanTuple] = (),
+    ) -> None:
+        self._variables: tuple[str, ...] = tuple(sorted(set(variables)))
+        allowed = set(self._variables)
+        collected = set()
+        for tup in tuples:
+            extra = tup.variables - allowed
+            if extra:
+                raise SchemaError(
+                    f"tuple defines variables {sorted(extra)} outside schema {self._variables}"
+                )
+            collected.add(tup)
+        self._tuples: frozenset[SpanTuple] = frozenset(collected)
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def variables(self) -> tuple[str, ...]:
+        """The schema, as a sorted tuple of variable names."""
+        return self._variables
+
+    @property
+    def tuples(self) -> frozenset[SpanTuple]:
+        return self._tuples
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[SpanTuple]:
+        """Iterate tuples in a deterministic (sorted) order."""
+        return iter(self.sorted())
+
+    def __contains__(self, tup: SpanTuple) -> bool:
+        return tup in self._tuples
+
+    def __bool__(self) -> bool:
+        return bool(self._tuples)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SpanRelation):
+            return NotImplemented
+        return self._variables == other._variables and self._tuples == other._tuples
+
+    def __hash__(self) -> int:
+        return hash((self._variables, self._tuples))
+
+    def sorted(self) -> list[SpanTuple]:
+        """The tuples as a list in deterministic order."""
+        return sorted(self._tuples, key=lambda t: t.sort_key(self._variables))
+
+    def is_functional(self) -> bool:
+        """True if every tuple defines every schema variable (Section 2.2)."""
+        return all(tup.is_total_on(self._variables) for tup in self._tuples)
+
+    def is_hierarchical(self) -> bool:
+        """True if no tuple assigns properly overlapping spans to two
+        variables (the relation-level view of Section 2.2's notion)."""
+        import itertools
+
+        for tup in self._tuples:
+            for (_, left), (_, right) in itertools.combinations(tup, 2):
+                if left.overlaps(right):
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # relational algebra
+    # ------------------------------------------------------------------
+    def union(self, other: "SpanRelation") -> "SpanRelation":
+        """Set union; schemas are merged (schemaless semantics)."""
+        variables = set(self._variables) | set(other._variables)
+        return SpanRelation(variables, self._tuples | other._tuples)
+
+    def project(self, variables: Iterable[str]) -> "SpanRelation":
+        """Projection ``π_Y``: keep only the given columns."""
+        keep = set(variables)
+        missing = keep - set(self._variables)
+        if missing:
+            raise SchemaError(f"cannot project onto unknown variables {sorted(missing)}")
+        return SpanRelation(keep, (tup.project(keep) for tup in self._tuples))
+
+    def natural_join(self, other: "SpanRelation") -> "SpanRelation":
+        """Natural join ``⋈``: merge tuples that agree on shared defined variables."""
+        variables = set(self._variables) | set(other._variables)
+        joined = []
+        for left in self._tuples:
+            for right in other._tuples:
+                if left.compatible(right):
+                    joined.append(left.merge(right))
+        return SpanRelation(variables, joined)
+
+    def select_equal(self, doc: str, group: Iterable[str]) -> "SpanRelation":
+        """String-equality selection ``ς=_Z`` with respect to *doc*."""
+        group = tuple(group)
+        unknown = set(group) - set(self._variables)
+        if unknown:
+            raise SchemaError(f"equality selection on unknown variables {sorted(unknown)}")
+        return SpanRelation(
+            self._variables,
+            (tup for tup in self._tuples if tup.satisfies_equality(doc, group)),
+        )
+
+    def rename(self, renaming: Mapping[str, str]) -> "SpanRelation":
+        """Rename schema variables according to *renaming*."""
+        variables = [renaming.get(var, var) for var in self._variables]
+        if len(set(variables)) != len(variables):
+            raise SchemaError("renaming collapses two variables")
+        return SpanRelation(variables, (tup.rename(renaming) for tup in self._tuples))
+
+    # ------------------------------------------------------------------
+    # presentation
+    # ------------------------------------------------------------------
+    def to_table(self, undefined: str = "⊥") -> str:
+        """Render the relation as a text table in the style of Example 1.1.
+
+        Columns appear in sorted variable order; rows in deterministic span
+        order; undefined entries are rendered as *undefined*.
+        """
+        header = list(self._variables)
+        rows = []
+        for tup in self.sorted():
+            rows.append(
+                [str(tup.get(var)) if var in tup else undefined for var in header]
+            )
+        widths = [
+            max(len(header[i]), *(len(row[i]) for row in rows)) if rows else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [
+            " | ".join(header[i].ljust(widths[i]) for i in range(len(header))),
+            "-+-".join("-" * widths[i] for i in range(len(header))),
+        ]
+        for row in rows:
+            lines.append(" | ".join(row[i].ljust(widths[i]) for i in range(len(header))))
+        return "\n".join(lines)
+
+    def to_dicts(self, doc: str | None = None) -> list[dict]:
+        """Rows as plain dicts: ``{var: [start, end]}``, or — when *doc* is
+        given — ``{var: {"span": [start, end], "content": str}}``.
+        Undefined variables map to ``None``.  Deterministic row order."""
+        rows = []
+        for tup in self.sorted():
+            row: dict = {}
+            for var in self._variables:
+                span = tup.get(var)
+                if span is None:
+                    row[var] = None
+                elif doc is None:
+                    row[var] = [span.start, span.end]
+                else:
+                    row[var] = {
+                        "span": [span.start, span.end],
+                        "content": span.extract(doc),
+                    }
+            rows.append(row)
+        return rows
+
+    def to_json(self, doc: str | None = None, indent: int | None = None) -> str:
+        """The relation as a JSON array of rows (see :meth:`to_dicts`)."""
+        import json
+
+        return json.dumps(self.to_dicts(doc), indent=indent, ensure_ascii=False)
+
+    def to_csv(self, doc: str | None = None) -> str:
+        """The relation as CSV: one column per variable (``start:end`` or,
+        with *doc*, the extracted content), empty cells for undefined."""
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(self._variables)
+        for tup in self.sorted():
+            row = []
+            for var in self._variables:
+                span = tup.get(var)
+                if span is None:
+                    row.append("")
+                elif doc is None:
+                    row.append(f"{span.start}:{span.end}")
+                else:
+                    row.append(span.extract(doc))
+            writer.writerow(row)
+        return buffer.getvalue()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SpanRelation(variables={self._variables}, size={len(self)})"
+
+
+def fuse_tuple(tup: SpanTuple, group: Iterable[str], new_var: str) -> SpanTuple:
+    """The column-fusion operator ``⨝_{λ→x}`` of Section 3.2, on one tuple.
+
+    The columns of the variables in *group* are replaced by a single new
+    column *new_var* whose span stretches from the minimum left bound to the
+    maximum right bound of the fused spans.  Undefined group variables are
+    ignored; if no group variable is defined, *new_var* is undefined too.
+
+    Example (from the paper): fusing ``x1, x3 → y`` in
+    ``([1,3⟩, [2,6⟩, [3,7⟩)`` yields ``([1,7⟩, [2,6⟩)``.
+    """
+    group = set(group)
+    spans = [tup[var] for var in group if var in tup]
+    remaining = [(var, span) for var, span in tup if var not in group]
+    if new_var in {var for var, _ in remaining}:
+        raise SchemaError(f"fusion target {new_var!r} already defined in tuple")
+    if spans:
+        fused = Span(min(s.start for s in spans), max(s.end for s in spans))
+        remaining.append((new_var, fused))
+    return SpanTuple(remaining)
+
+
+def fuse(relation: SpanRelation, group: Iterable[str], new_var: str) -> SpanRelation:
+    """Lift :func:`fuse_tuple` to span relations (Section 3.2)."""
+    group = tuple(group)
+    unknown = set(group) - set(relation.variables)
+    if unknown:
+        raise SchemaError(f"fusion over unknown variables {sorted(unknown)}")
+    variables = (set(relation.variables) - set(group)) | {new_var}
+    return SpanRelation(
+        variables, (fuse_tuple(tup, group, new_var) for tup in relation.tuples)
+    )

@@ -1,0 +1,12 @@
+"""Datalog over regular spanners (the [33] direction cited in Section 1)."""
+
+from repro.datalog.engine import Atom, Program, Rule
+from repro.datalog.strings import select_equal_program, string_equality_program
+
+__all__ = [
+    "Atom",
+    "Program",
+    "Rule",
+    "select_equal_program",
+    "string_equality_program",
+]

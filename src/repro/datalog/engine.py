@@ -1,0 +1,197 @@
+"""Datalog over regular spanners (the RGXLog direction of [33],
+"Recursive Programs for Document Spanners", cited in Section 1).
+
+The survey notes that datalog over regular spanners covers the whole class
+of core spanners.  This module implements the executable side of that
+statement:
+
+* **EDB predicates** are regular spanners: evaluating the program on a
+  document D first materialises each spanner's span relation over D;
+* **rules** are classical positive datalog rules whose variables range over
+  ``Spans(D)`` (a finite domain!), evaluated bottom-up with semi-naive
+  iteration to a fixpoint;
+* recursion is unrestricted — which is exactly what lets a program define
+  the *string-equality* relation and therefore simulate ς= (see
+  :mod:`repro.datalog.strings` and the paper's claim about [33]).
+
+The implementation is deliberately small: positive datalog, no negation,
+no constants — the fragment the coverage theorem needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.core.spanner import Spanner
+from repro.core.spans import Span
+from repro.errors import SchemaError
+
+__all__ = ["Atom", "Rule", "Program"]
+
+
+@dataclass(frozen=True)
+class Atom:
+    """``predicate(v1, …, vk)`` — arguments are datalog variables."""
+
+    predicate: str
+    args: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.predicate:
+            raise SchemaError("predicate name must be non-empty")
+        for arg in self.args:
+            if not isinstance(arg, str) or not arg:
+                raise SchemaError(f"atom arguments must be variable names: {arg!r}")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.predicate}({', '.join(self.args)})"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """``head :- body1, …, bodyn`` (positive, no constants).
+
+    Safety: every head variable must occur in some body atom.
+    """
+
+    head: Atom
+    body: tuple[Atom, ...]
+
+    def __post_init__(self) -> None:
+        if not self.body:
+            raise SchemaError("rules must have a non-empty body")
+        bound = {arg for atom in self.body for arg in atom.args}
+        unsafe = set(self.head.args) - bound
+        if unsafe:
+            raise SchemaError(
+                f"unsafe rule: head variables {sorted(unsafe)} not bound in body"
+            )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.head} :- {', '.join(map(str, self.body))}"
+
+
+class Program:
+    """A spanner-datalog program.
+
+    Parameters
+    ----------
+    edb:
+        Maps EDB predicate names to ``(spanner, arg_variables)``: evaluating
+        the spanner on the document and reading off the listed spanner
+        variables (in order) yields the predicate's facts.  Tuples that
+        leave one of the listed variables undefined are skipped.
+    rules:
+        The IDB rules.
+    """
+
+    def __init__(
+        self,
+        edb: Mapping[str, tuple[Spanner, tuple[str, ...]]],
+        rules: Iterable[Rule],
+    ) -> None:
+        self.edb = dict(edb)
+        self.rules = list(rules)
+        self._arities: dict[str, int] = {
+            name: len(args) for name, (_, args) in self.edb.items()
+        }
+        for rule in self.rules:
+            for atom in (rule.head, *rule.body):
+                known = self._arities.setdefault(atom.predicate, len(atom.args))
+                if known != len(atom.args):
+                    raise SchemaError(
+                        f"predicate {atom.predicate} used with arities "
+                        f"{known} and {len(atom.args)}"
+                    )
+        idb = {rule.head.predicate for rule in self.rules}
+        clash = idb & set(self.edb)
+        if clash:
+            raise SchemaError(f"predicates defined both as EDB and IDB: {sorted(clash)}")
+
+    # ------------------------------------------------------------------
+    def _edb_facts(self, doc: str) -> dict[str, set[tuple[Span, ...]]]:
+        facts: dict[str, set[tuple[Span, ...]]] = {}
+        for name, (spanner, args) in self.edb.items():
+            unknown = set(args) - set(spanner.variables)
+            if unknown:
+                raise SchemaError(
+                    f"EDB {name} lists variables {sorted(unknown)} the spanner "
+                    f"does not have"
+                )
+            rows: set[tuple[Span, ...]] = set()
+            for tup in spanner.evaluate(doc):
+                if all(var in tup for var in args):
+                    rows.add(tuple(tup[var] for var in args))
+            facts[name] = rows
+        return facts
+
+    @staticmethod
+    def _match(
+        atom: Atom,
+        fact: tuple[Span, ...],
+        binding: dict[str, Span],
+    ) -> dict[str, Span] | None:
+        extended = dict(binding)
+        for var, value in zip(atom.args, fact):
+            seen = extended.get(var)
+            if seen is None:
+                extended[var] = value
+            elif seen != value:
+                return None
+        return extended
+
+    def evaluate(self, doc: str, max_iterations: int = 10_000) -> dict[str, set]:
+        """Bottom-up semi-naive fixpoint over ``Spans(doc)``.
+
+        Returns all predicates' fact sets (EDB included).  The domain is
+        finite, so termination is guaranteed; *max_iterations* is a safety
+        valve only.
+        """
+        facts = self._edb_facts(doc)
+        for name in self._arities:
+            facts.setdefault(name, set())
+        delta = {name: set(rows) for name, rows in facts.items()}
+        for _ in range(max_iterations):
+            new_delta: dict[str, set] = {name: set() for name in self._arities}
+            produced = False
+            for rule in self.rules:
+                for fresh in self._apply_rule(rule, facts, delta):
+                    if fresh not in facts[rule.head.predicate]:
+                        facts[rule.head.predicate].add(fresh)
+                        new_delta[rule.head.predicate].add(fresh)
+                        produced = True
+            if not produced:
+                return facts
+            delta = new_delta
+        raise SchemaError("datalog fixpoint did not converge (impossible on a finite domain)")
+
+    def _apply_rule(self, rule: Rule, facts, delta):
+        """Semi-naive: at least one body atom must read from the delta."""
+        body = rule.body
+        for delta_index in range(len(body)):
+            bindings = [dict()]
+            for position, atom in enumerate(body):
+                source = (
+                    delta[atom.predicate]
+                    if position == delta_index
+                    else facts[atom.predicate]
+                )
+                extended = []
+                for binding in bindings:
+                    for fact in source:
+                        match = self._match(atom, fact, binding)
+                        if match is not None:
+                            extended.append(match)
+                bindings = extended
+                if not bindings:
+                    break
+            for binding in bindings:
+                yield tuple(binding[var] for var in rule.head.args)
+
+    def query(self, doc: str, predicate: str) -> set[tuple[Span, ...]]:
+        """Evaluate and return one predicate's facts."""
+        facts = self.evaluate(doc)
+        if predicate not in facts:
+            raise SchemaError(f"unknown predicate {predicate!r}")
+        return facts[predicate]

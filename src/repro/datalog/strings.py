@@ -1,0 +1,109 @@
+"""String equality in spanner-datalog — the executable core of the
+"[33]: datalog over regular spanners covers all core spanners" claim the
+survey states in Section 1.
+
+The only non-regular feature of core spanners is ς= (core-simplification
+lemma, Section 2.3).  So to show coverage, it suffices to *define* the
+string-equality relation ``StrEq(x, y)`` in datalog over regular spanner
+atoms — recursion does what the equality selection does:
+
+    StrEq(x, y) :- Empty(x), Empty(y).
+    StrEq(x, y) :- Head_c(x, hx, tx), Head_c(y, hy, ty), StrEq(tx, ty).
+                   (one rule per alphabet character c)
+
+where the EDB spanners are
+
+* ``Empty(x)``      — x is an empty span (regex ``.* !x{()} .*``);
+* ``Head_c(x,h,t)`` — x is a factor whose first character h spells ``c``
+  and whose tail is t (regex ``.* !x{ !h{c} !t{.*} } .*``).
+
+:func:`string_equality_program` builds these rules for a finite alphabet;
+:func:`select_equal_program` stacks a user spanner on top, yielding a
+datalog program whose answer predicate equals ``ς=_{x,y}(⟦spanner⟧)`` —
+cross-checked against the core-spanner evaluator in the test suite.
+"""
+
+from __future__ import annotations
+
+from repro.core.spanner import Spanner
+from repro.datalog.engine import Atom, Program, Rule
+from repro.errors import SchemaError
+from repro.regex.compile import spanner_from_regex
+
+__all__ = ["string_equality_program", "select_equal_program"]
+
+
+def _escaped(ch: str) -> str:
+    return "\\" + ch if ch in set("|*+?(){}[].&!\\") else ch
+
+
+def _strings_edb(alphabet: str):
+    """The EDB spanners for Empty and Head_c over *alphabet*."""
+    sigma = "|".join(_escaped(ch) for ch in alphabet)
+    edb = {
+        "Empty": (
+            spanner_from_regex(f"({sigma})*!x{{()}}({sigma})*"),
+            ("x",),
+        )
+    }
+    for ch in alphabet:
+        edb[f"Head_{ch}"] = (
+            spanner_from_regex(
+                f"({sigma})*!x{{!h{{{_escaped(ch)}}}!t{{({sigma})*}}}}({sigma})*"
+            ),
+            ("x", "h", "t"),
+        )
+    return edb
+
+
+def _streq_rules(alphabet: str) -> list[Rule]:
+    rules = [
+        Rule(
+            Atom("StrEq", ("x", "y")),
+            (Atom("Empty", ("x",)), Atom("Empty", ("y",))),
+        )
+    ]
+    for ch in alphabet:
+        rules.append(
+            Rule(
+                Atom("StrEq", ("x", "y")),
+                (
+                    Atom(f"Head_{ch}", ("x", "hx", "tx")),
+                    Atom(f"Head_{ch}", ("y", "hy", "ty")),
+                    Atom("StrEq", ("tx", "ty")),
+                ),
+            )
+        )
+    return rules
+
+
+def string_equality_program(alphabet: str) -> Program:
+    """A program whose ``StrEq(x, y)`` holds exactly for span pairs with
+    equal content (over documents drawn from *alphabet*)."""
+    return Program(_strings_edb(alphabet), _streq_rules(alphabet))
+
+
+def select_equal_program(
+    spanner: Spanner, var_x: str, var_y: str, alphabet: str
+) -> Program:
+    """A program whose ``Answer`` predicate is ``ς=_{x,y}(⟦spanner⟧)``.
+
+    The spanner becomes an EDB predicate ``S``; one extra rule joins it
+    with the recursive StrEq relation:
+
+        Answer(x, y) :- S(x, y), StrEq(x, y).
+    """
+    if var_x not in spanner.variables or var_y not in spanner.variables:
+        raise SchemaError(
+            f"spanner lacks variables {var_x!r}/{var_y!r}: {sorted(spanner.variables)}"
+        )
+    edb = _strings_edb(alphabet)
+    edb["S"] = (spanner, (var_x, var_y))
+    rules = _streq_rules(alphabet)
+    rules.append(
+        Rule(
+            Atom("Answer", ("x", "y")),
+            (Atom("S", ("x", "y")), Atom("StrEq", ("x", "y"))),
+        )
+    )
+    return Program(edb, rules)

@@ -1,0 +1,168 @@
+"""`SpannerDB`: the integrated system of the paper's Section 4 narrative.
+
+The dynamic setting of [40] is a *system*: an SLP-compressed document
+database, a set of registered spanners M₁…M_k whose evaluation structures
+are maintained, and a stream of complex document edits after which every
+spanner stays immediately queryable.  This module is that system:
+
+* documents are stored strongly balanced (compressed on ingest with
+  Re-Pair, then rebalanced);
+* registering a spanner compiles it once (deterministic eVA) and
+  preprocesses the per-node matrices for every stored document —
+  O(|S|·|Q|³) total, shared across documents through the arena;
+* :meth:`SpannerDB.edit` applies a CDE-expression in O(|φ|·log d) and
+  updates every registered spanner's matrices for the O(log d) fresh
+  nodes only;
+* :meth:`SpannerDB.query` streams results with O(log |D|) delay, and
+  :meth:`SpannerDB.is_nonempty` answers without enumerating.
+
+This is also the "adoption surface" of the library: a downstream user who
+just wants *compressed storage + incremental information extraction* needs
+only this class.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.spans import SpanRelation, SpanTuple
+from repro.errors import SchemaError, SLPError
+from repro.regex.compile import spanner_from_regex
+from repro.slp.balance import rebalance
+from repro.slp.cde import CDE, apply_cde
+from repro.slp.build import repair_node
+from repro.slp.slp import SLP, DocumentDatabase
+from repro.slp.spanner_eval import SLPSpannerEvaluator
+
+__all__ = ["SpannerDB"]
+
+
+class SpannerDB:
+    """A compressed, incrementally editable, spanner-indexed document store."""
+
+    def __init__(self) -> None:
+        self._db = DocumentDatabase(SLP())
+        self._spanners: dict[str, SLPSpannerEvaluator] = {}
+
+    # ------------------------------------------------------------------
+    # documents
+    # ------------------------------------------------------------------
+    @property
+    def slp(self) -> SLP:
+        return self._db.slp
+
+    def add_document(self, name: str, text: str) -> None:
+        """Ingest plain text: compress (Re-Pair), rebalance, store, and
+        preprocess it for every registered spanner."""
+        if not text:
+            raise SLPError("documents must be non-empty")
+        node = rebalance(self.slp, repair_node(self.slp, text))
+        self._db.add_node(name, node)
+        for evaluator in self._spanners.values():
+            evaluator.preprocess(self.slp, node)
+
+    def documents(self) -> list[str]:
+        return self._db.names()
+
+    def document_length(self, name: str) -> int:
+        return self.slp.length(self._db.node(name))
+
+    def document_text(self, name: str, limit: int = 10_000_000) -> str:
+        """Decompress (guarded) — for debugging and small documents."""
+        return self._db.document(name, limit)
+
+    # ------------------------------------------------------------------
+    # spanners
+    # ------------------------------------------------------------------
+    def register_spanner(self, name: str, spanner) -> None:
+        """Register a spanner (regex-formula string, vset-automaton, or
+        RegularSpanner) and preprocess all stored documents for it."""
+        if name in self._spanners:
+            raise SchemaError(f"spanner {name!r} already registered")
+        if isinstance(spanner, str):
+            spanner = spanner_from_regex(spanner)
+        automaton = getattr(spanner, "automaton", spanner)
+        evaluator = SLPSpannerEvaluator(automaton)
+        for _, node in self._db.documents():
+            evaluator.preprocess(self.slp, node)
+        self._spanners[name] = evaluator
+
+    def spanners(self) -> list[str]:
+        return sorted(self._spanners)
+
+    def _evaluator(self, spanner: str) -> SLPSpannerEvaluator:
+        try:
+            return self._spanners[spanner]
+        except KeyError:
+            raise SchemaError(f"no spanner named {spanner!r}") from None
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def query(self, spanner: str, document: str) -> Iterator[SpanTuple]:
+        """Stream ``⟦M⟧(D)`` from the compressed form (O(log |D|) delay)."""
+        evaluator = self._evaluator(spanner)
+        yield from evaluator.enumerate(self.slp, self._db.node(document))
+
+    def evaluate(self, spanner: str, document: str) -> SpanRelation:
+        evaluator = self._evaluator(spanner)
+        return evaluator.evaluate(self.slp, self._db.node(document))
+
+    def is_nonempty(self, spanner: str, document: str) -> bool:
+        evaluator = self._evaluator(spanner)
+        return evaluator.is_nonempty(self.slp, self._db.node(document))
+
+    # ------------------------------------------------------------------
+    # editing (the dynamic setting of [40])
+    # ------------------------------------------------------------------
+    def edit(self, new_name: str, expression: CDE) -> int:
+        """Apply a CDE-expression, store the result as *new_name*, and
+        update every registered spanner's structures for the fresh nodes.
+
+        Returns the total number of fresh node-matrix computations across
+        all spanners (the measurable O(k·log d) update cost)."""
+        node = apply_cde(expression, self._db)
+        self._db.add_node(new_name, node)
+        fresh = 0
+        for evaluator in self._spanners.values():
+            fresh += evaluator.preprocess(self.slp, node)
+        return fresh
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> None:
+        """Persist the store *in compressed form* (documents + sharing).
+
+        Registered spanners are code, not data — re-register after load.
+        """
+        from repro.slp.serialize import dump_database
+
+        with open(path, "w", encoding="utf-8") as stream:
+            dump_database(self._db, stream)
+
+    @classmethod
+    def load(cls, path: str) -> "SpannerDB":
+        """Load a store written by :meth:`save`."""
+        from repro.slp.serialize import load_database
+
+        with open(path, "r", encoding="utf-8") as stream:
+            database = load_database(stream)
+        store = cls()
+        store._db = database
+        return store
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Arena and index statistics (for dashboards and tests)."""
+        nodes = {name: node for name, node in self._db.documents()}
+        return {
+            "documents": len(nodes),
+            "spanners": len(self._spanners),
+            "total_characters": sum(self.slp.length(n) for n in nodes.values()),
+            "slp_nodes": self._db.size(),
+            "cached_matrices": {
+                name: evaluator.cached_nodes()
+                for name, evaluator in self._spanners.items()
+            },
+        }

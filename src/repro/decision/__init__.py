@@ -1,0 +1,24 @@
+"""Decision problems for spanners (paper Sections 2.4 and 3.3)."""
+
+from repro.decision.containment import (
+    contained_in,
+    equivalent_spanners,
+    refl_contained_in,
+)
+from repro.decision.hierarchicality import is_hierarchical, overlap_pattern_nfa
+from repro.decision.model_checking import model_check
+from repro.decision.nonemptiness import first_tuple, is_nonempty_on
+from repro.decision.satisfiability import is_satisfiable, satisfying_document
+
+__all__ = [
+    "contained_in",
+    "equivalent_spanners",
+    "first_tuple",
+    "is_hierarchical",
+    "is_nonempty_on",
+    "is_satisfiable",
+    "model_check",
+    "overlap_pattern_nfa",
+    "refl_contained_in",
+    "satisfying_document",
+]

@@ -1,0 +1,89 @@
+"""The Hierarchicality problem (paper Sections 2.2 and 2.4).
+
+A spanner is *hierarchical* if in every extracted tuple, the spans of any
+two variables are either disjoint or nested — never properly overlapping.
+Regex-formulas are hierarchical by construction; general vset-automata need
+not be (e.g. the subword-marked word (1) of the paper).
+
+For regular spanners the problem is decidable by a purely regular argument:
+the spanner is non-hierarchical iff its subword-marked language intersects,
+for some ordered variable pair (x, y), the *overlap-pattern language*
+
+    Γ* x▷ Γ* c Γ* y▷ Γ* c Γ* ◁x Γ* c Γ* ◁y Γ*
+
+where c ranges over document characters and Γ over all symbols.  (At least
+one character between the markers is exactly what makes the spans properly
+overlap: equal endpoints yield nesting or disjointness.)
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.automata.nfa import NFA
+from repro.automata.ops import intersection, is_empty
+from repro.automata.vset import VSetAutomaton
+from repro.core.alphabet import Close, DOT, Marker, Open
+from repro.spanners.regular import RegularSpanner
+
+__all__ = ["is_hierarchical", "overlap_pattern_nfa"]
+
+
+def overlap_pattern_nfa(x: str, y: str, all_markers: set[Marker]) -> NFA:
+    """The pattern automaton for "x and y properly overlap, x first"."""
+    nfa = NFA()
+    # states 0..4: before x▷ / after x▷ / after y▷ / after ◁x / after ◁y;
+    # the "after" states are doubled: (seen no char yet, seen >= 1 char)
+    s0 = nfa.add_state(initial=True)
+    s1a, s1b = nfa.add_state(), nfa.add_state()
+    s2a, s2b = nfa.add_state(), nfa.add_state()
+    s3a, s3b = nfa.add_state(), nfa.add_state()
+    s4 = nfa.add_state(accepting=True)
+
+    def loops(state: int, with_char: bool = True) -> None:
+        if with_char:
+            nfa.add_arc(state, DOT, state)
+        for marker in all_markers:
+            if marker.var in (x, y):
+                continue
+            nfa.add_arc(state, marker, state)
+
+    loops(s0)
+    nfa.add_arc(s0, Open(x), s1a)
+    loops(s1a, with_char=False)
+    nfa.add_arc(s1a, DOT, s1b)
+    loops(s1b)
+    nfa.add_arc(s1b, Open(y), s2a)
+    loops(s2a, with_char=False)
+    nfa.add_arc(s2a, DOT, s2b)
+    loops(s2b)
+    nfa.add_arc(s2b, Close(x), s3a)
+    loops(s3a, with_char=False)
+    nfa.add_arc(s3a, DOT, s3b)
+    loops(s3b)
+    nfa.add_arc(s3b, Close(y), s4)
+    loops(s4)
+    return nfa
+
+
+def is_hierarchical(spanner) -> bool:
+    """Decide hierarchicality of a regular spanner.
+
+    Accepts a :class:`RegularSpanner` or :class:`VSetAutomaton`.  Runs one
+    regular-language intersection-emptiness test per ordered variable pair.
+    """
+    if isinstance(spanner, RegularSpanner):
+        spanner = spanner.automaton
+    if not isinstance(spanner, VSetAutomaton):
+        raise TypeError(
+            "hierarchicality is decided for regular spanner representations; "
+            f"got {type(spanner).__name__}"
+        )
+    nfa = spanner.nfa
+    all_markers = set(nfa.marker_symbols())
+    variables = sorted(spanner.variables)
+    for x, y in itertools.permutations(variables, 2):
+        pattern = overlap_pattern_nfa(x, y, all_markers)
+        if not is_empty(intersection(nfa, pattern)):
+            return False
+    return True

@@ -1,0 +1,44 @@
+"""The ModelChecking problem (paper Section 2.4).
+
+Given a spanner S, a document D, and a span tuple t, decide ``t ∈ S(D)``.
+
+Complexity landscape reproduced here:
+
+* **regular** spanners: polynomial — membership of the extended word in the
+  eVA view (the marker-ordering issue of Section 2.4 is handled by the
+  extended form);
+* **refl**-spanners: polynomial — reference expansion (Section 3.3): the
+  tuple fixes the content of every reference;
+* **core** spanners: NP-hard in general [12] — implemented by evaluation of
+  the core-simplification normal form and membership (an auxiliary-variable
+  assignment must be *guessed*, which is where the hardness lives).
+"""
+
+from __future__ import annotations
+
+from repro.automata.vset import VSetAutomaton
+from repro.core.spanner import Spanner
+from repro.core.spans import SpanTuple
+from repro.spanners.core import CoreSpanner
+from repro.spanners.refl import ReflSpanner
+from repro.spanners.regular import RegularSpanner
+
+__all__ = ["model_check"]
+
+
+def model_check(spanner: Spanner, doc: str, tup: SpanTuple) -> bool:
+    """Decide ``tup ∈ spanner(doc)``, dispatching to the best algorithm.
+
+    For regular spanners (``RegularSpanner`` / ``VSetAutomaton``) and
+    refl-spanners this runs in polynomial time; for core spanner
+    expressions the call may take exponential time (ModelChecking for core
+    spanners is NP-hard).
+    """
+    if isinstance(spanner, (RegularSpanner, VSetAutomaton, ReflSpanner)):
+        return spanner.model_check(doc, tup)
+    if isinstance(spanner, CoreSpanner):
+        form = spanner.simplify()
+        if not tup.variables <= form.visible or not tup.fits(doc):
+            return False
+        return tup in spanner.evaluate(doc)
+    return spanner.model_check(doc, tup)

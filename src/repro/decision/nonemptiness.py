@@ -1,0 +1,56 @@
+"""The NonEmptiness problem: given S and D, decide ``S(D) ≠ ∅``
+(paper Sections 2.4 and 3.3).
+
+* **regular**: PTIME — interpret marker transitions as ε and test NFA
+  membership of the document (the Section 3.3 recipe);
+* **refl**: NP-hard [38] — backtracking search, stopping at the first
+  witness;
+* **core**: NP-hard [12] — the core-simplification normal form's automaton
+  is *enumerated* (constant-delay pipeline) and each candidate is filtered
+  through the equality selections, stopping at the first survivor.  The
+  exponential behaviour this exhibits on the Section 2.4 gadgets is
+  benchmark experiment C6.
+"""
+
+from __future__ import annotations
+
+from repro.automata.vset import VSetAutomaton
+from repro.core.spanner import Spanner
+from repro.enumeration.constant_delay import Enumerator
+from repro.spanners.core import CoreSpanner
+from repro.spanners.refl import ReflSpanner
+from repro.spanners.regular import RegularSpanner
+
+__all__ = ["is_nonempty_on", "first_tuple"]
+
+
+def first_tuple(spanner: Spanner, doc: str):
+    """A witness tuple of ``spanner(doc)``, or ``None`` if empty.
+
+    For core spanner expressions, candidates are streamed from the
+    simplified automaton and filtered through the equality selections, so a
+    witness (if any) is found without materialising the full relation.
+    """
+    if isinstance(spanner, CoreSpanner):
+        form = spanner.simplify()
+        enumerator = Enumerator(form.automaton)
+        for candidate in enumerator.enumerate(doc):
+            if all(
+                candidate.satisfies_equality(doc, group) for group in form.groups
+            ):
+                return candidate.project(form.visible)
+        return None
+    for tup in spanner.enumerate(doc):
+        return tup
+    return None
+
+
+def is_nonempty_on(spanner: Spanner, doc: str) -> bool:
+    """Decide ``spanner(doc) ≠ ∅`` with the class-appropriate algorithm."""
+    if isinstance(spanner, RegularSpanner):
+        return spanner.is_nonempty_on(doc)
+    if isinstance(spanner, VSetAutomaton):
+        return spanner.nonemptiness_nfa().accepts(doc)
+    if isinstance(spanner, (CoreSpanner, ReflSpanner)):
+        return first_tuple(spanner, doc) is not None
+    return spanner.is_nonempty_on(doc)

@@ -1,0 +1,69 @@
+"""The Satisfiability problem: does some document D have ``S(D) ≠ ∅``?
+(paper Sections 2.4 and 3.3).
+
+* **regular** and **refl**: PTIME — reduces to NFA non-emptiness: any
+  accepted (ref-)word dereferences to a witness document ([38]);
+* **core**: PSpace-complete [12] — a single string-equality selection can
+  express *intersection non-emptiness of regular languages*.  The
+  implementation searches documents of bounded length and raises
+  :class:`~repro.errors.EvaluationLimitError` when the budget is exhausted
+  without a verdict (the bound is the caller's completeness trade-off).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.automata.vset import VSetAutomaton
+from repro.core.marked import MarkedWord
+from repro.core.spanner import Spanner
+from repro.decision.nonemptiness import is_nonempty_on
+from repro.errors import EvaluationLimitError
+from repro.spanners.core import CoreSpanner
+from repro.spanners.refl import ReflSpanner
+from repro.spanners.regular import RegularSpanner
+
+__all__ = ["is_satisfiable", "satisfying_document"]
+
+
+def satisfying_document(
+    spanner: Spanner, alphabet: str = "ab", max_length: int = 8
+) -> str | None:
+    """A witness document with ``S(D) ≠ ∅``, or ``None``.
+
+    Polynomial for regular and refl-spanners (the witness is read off a
+    shortest accepted word).  For core spanners, documents over *alphabet*
+    up to *max_length* are searched; :class:`EvaluationLimitError` is
+    raised when the budget runs out undecided.
+    """
+    if isinstance(spanner, RegularSpanner):
+        spanner = spanner.automaton
+    if isinstance(spanner, VSetAutomaton):
+        word = spanner.nfa.trim().shortest_word()
+        if word is None:
+            return None
+        return MarkedWord(word).erase()
+    if isinstance(spanner, ReflSpanner):
+        word = spanner.nfa.trim().shortest_word()
+        if word is None:
+            return None
+        return MarkedWord(word).deref().erase()
+    if isinstance(spanner, CoreSpanner):
+        for length in range(max_length + 1):
+            for letters in itertools.product(alphabet, repeat=length):
+                doc = "".join(letters)
+                if is_nonempty_on(spanner, doc):
+                    return doc
+        raise EvaluationLimitError(
+            f"core-spanner satisfiability undecided up to document length "
+            f"{max_length} over alphabet {alphabet!r} (the problem is "
+            f"PSpace-complete in general)"
+        )
+    raise TypeError(f"unsupported spanner representation: {spanner!r}")
+
+
+def is_satisfiable(
+    spanner: Spanner, alphabet: str = "ab", max_length: int = 8
+) -> bool:
+    """Decide Satisfiability (see :func:`satisfying_document`)."""
+    return satisfying_document(spanner, alphabet, max_length) is not None

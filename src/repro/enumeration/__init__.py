@@ -1,0 +1,20 @@
+"""Enumeration algorithms for regular spanners (paper Section 2.5)."""
+
+from repro.enumeration.constant_delay import Enumerator, measure_delays
+from repro.enumeration.naive import (
+    brute_force_tuples,
+    emissions_to_tuple,
+    evaluate_eva,
+    evaluate_vset,
+)
+from repro.enumeration.product import ProductIndex
+
+__all__ = [
+    "Enumerator",
+    "ProductIndex",
+    "brute_force_tuples",
+    "emissions_to_tuple",
+    "evaluate_eva",
+    "evaluate_vset",
+    "measure_delays",
+]

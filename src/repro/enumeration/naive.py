@@ -1,0 +1,113 @@
+"""Baseline evaluation of regular spanners by backward dynamic programming.
+
+This is the reference evaluator: simple, obviously correct, and used as
+ground truth by the test suite and as the baseline in the enumeration
+benchmarks (experiment C1).  It materialises, for every (state, position)
+of the (eVA × document) product, the set of *suffix outputs* — the marker
+emissions of all accepting continuations — and combines them backwards.
+
+Deduplication is inherent: outputs are sets of (position, marker) pairs, and
+two runs producing the same span tuple produce the same set.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.automata.evset import ExtendedVSetAutomaton
+from repro.core.alphabet import Marker, symbol_matches
+from repro.core.spans import Span, SpanRelation, SpanTuple
+
+__all__ = ["evaluate_vset", "evaluate_eva", "emissions_to_tuple", "brute_force_tuples"]
+
+Emission = frozenset  # of (position, Marker) pairs
+
+
+def emissions_to_tuple(emissions: Iterable[tuple[int, Marker]]) -> SpanTuple:
+    """Convert a set of (1-based position, marker) emissions to a span tuple."""
+    opens: dict[str, int] = {}
+    closes: dict[str, int] = {}
+    for position, marker in emissions:
+        if marker.is_open:
+            opens[marker.var] = position
+        else:
+            closes[marker.var] = position
+    return SpanTuple(
+        {var: Span(opens[var], closes[var]) for var in opens if var in closes}
+    )
+
+
+def evaluate_eva(eva: ExtendedVSetAutomaton, doc: str) -> SpanRelation:
+    """Materialise ``⟦eva⟧(doc)`` by backward DP over the product graph."""
+    n = len(doc)
+    # after_block[state]: suffix outputs assuming the block at the current
+    # position has already been read (so the next event is a character, or
+    # acceptance if the document is exhausted).
+    after_block: dict[int, set[Emission]] = {
+        state: ({Emission()} if state in eva.accepting else set())
+        for state in range(eva.num_states)
+    }
+    full = _with_blocks(eva, after_block, n)
+    for position in range(n - 1, -1, -1):
+        ch = doc[position]
+        next_full = full
+        after_block = {state: set() for state in range(eva.num_states)}
+        for state in range(eva.num_states):
+            collected = after_block[state]
+            for symbol, target in eva.char_arcs[state]:
+                if symbol_matches(symbol, ch):
+                    collected.update(next_full[target])
+        full = _with_blocks(eva, after_block, position)
+    outputs: set[Emission] = set()
+    for state in eva.initial:
+        outputs.update(full[state])
+    return SpanRelation(eva.variables, (emissions_to_tuple(e) for e in outputs))
+
+
+def _with_blocks(
+    eva: ExtendedVSetAutomaton,
+    after_block: dict[int, set[Emission]],
+    position: int,
+) -> dict[int, set[Emission]]:
+    """Prepend the optional marker block at *position* (0-based char index)."""
+    marker_position = position + 1  # spans are 1-based
+    full: dict[int, set[Emission]] = {
+        state: set(suffixes) for state, suffixes in after_block.items()
+    }
+    for state in range(eva.num_states):
+        for marker_set, target in eva.set_arcs[state]:
+            emitted = Emission((marker_position, m) for m in marker_set)
+            for suffix in after_block[target]:
+                full[state].add(emitted | suffix)
+    return full
+
+
+def evaluate_vset(vset, doc: str) -> SpanRelation:
+    """Materialise ``⟦M⟧(doc)`` for a vset-automaton."""
+    return evaluate_eva(ExtendedVSetAutomaton.from_vset(vset), doc)
+
+
+def brute_force_tuples(variables: Iterable[str], doc: str):
+    """Generate *every* span tuple over *variables* and *doc* (total tuples).
+
+    Exponential in the number of variables — used only as an oracle on tiny
+    inputs in the test suite.
+    """
+    variables = sorted(variables)
+    spans = [
+        Span(i, j)
+        for i in range(1, len(doc) + 2)
+        for j in range(i, len(doc) + 2)
+    ]
+
+    def assign(index: int, current: dict[str, Span]):
+        if index == len(variables):
+            yield SpanTuple(current)
+            return
+        var = variables[index]
+        for span in spans:
+            current[var] = span
+            yield from assign(index + 1, current)
+        current.pop(var, None)
+
+    yield from assign(0, {})

@@ -1,0 +1,63 @@
+"""Exception hierarchy for spanlib.
+
+Every error raised by the library derives from :class:`SpanlibError`, so
+callers can catch library failures without also catching programming errors
+such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class SpanlibError(Exception):
+    """Base class of all errors raised by the ``repro`` package."""
+
+
+class InvalidSpanError(SpanlibError, ValueError):
+    """A span's bounds are outside ``1 <= i <= j <= len(doc) + 1``."""
+
+
+class InvalidMarkedWordError(SpanlibError, ValueError):
+    """A sequence of symbols is not a valid subword-marked word or ref-word."""
+
+
+class RegexSyntaxError(SpanlibError, ValueError):
+    """A spanner regex failed to parse.
+
+    Attributes
+    ----------
+    position:
+        0-based offset into the pattern at which parsing failed.
+    """
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at position {position})")
+        self.position = position
+
+
+class NotFunctionalError(SpanlibError, ValueError):
+    """An operation required a functional spanner but got a non-functional one."""
+
+
+class SchemaError(SpanlibError, ValueError):
+    """Variable sets of operands are incompatible for the requested operation."""
+
+
+class UnsupportedSpannerError(SpanlibError, ValueError):
+    """The spanner lies outside the fragment an algorithm supports.
+
+    For example, refl-spanner evaluation on documents requires *sequential*
+    references (each reference occurs after its variable's closing marker).
+    """
+
+
+class EvaluationLimitError(SpanlibError, RuntimeError):
+    """A deliberately bounded search (e.g. core-spanner satisfiability,
+    which is PSpace-complete in general) exhausted its budget."""
+
+
+class SLPError(SpanlibError, ValueError):
+    """Malformed straight-line program or out-of-range compressed access."""
+
+
+class CDEError(SpanlibError, ValueError):
+    """Malformed complex-document-editing expression."""

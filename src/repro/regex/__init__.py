@@ -1,0 +1,53 @@
+"""Spanner regex engine: AST, parser, and Thompson compilation."""
+
+from repro.regex.ast import (
+    Alt,
+    AnyChar,
+    Capture,
+    ClassNode,
+    Concat,
+    Epsilon,
+    Literal,
+    Maybe,
+    Node,
+    Plus,
+    Reference,
+    Repeat,
+    Star,
+    check_capture_validity,
+    references_of,
+    variables_of,
+)
+from repro.regex.compile import (
+    compile_ast,
+    compile_nfa,
+    ref_nfa_from_regex,
+    spanner_from_regex,
+)
+from repro.regex.optimize import simplify
+from repro.regex.parser import parse
+
+__all__ = [
+    "Alt",
+    "AnyChar",
+    "Capture",
+    "ClassNode",
+    "Concat",
+    "Epsilon",
+    "Literal",
+    "Maybe",
+    "Node",
+    "Plus",
+    "Reference",
+    "Repeat",
+    "Star",
+    "check_capture_validity",
+    "compile_ast",
+    "compile_nfa",
+    "parse",
+    "ref_nfa_from_regex",
+    "references_of",
+    "simplify",
+    "spanner_from_regex",
+    "variables_of",
+]

@@ -1,0 +1,279 @@
+"""Abstract syntax trees for spanner regexes.
+
+The concrete syntax (see :mod:`repro.regex.parser`) extends classical
+regular expressions with two constructs from the document-spanner world:
+
+* ``!x{ … }`` — a *variable capture*, the paper's ``x▷ … ◁x``.  Regexes
+  whose only extension is capture are exactly the *regex-formulas* (RGX)
+  of [9];
+* ``&x`` — a *reference*, the ref-word symbol ``x`` of refl-spanners
+  (Section 3).
+
+AST nodes are immutable dataclasses.  :func:`variables_of` /
+:func:`references_of` collect symbol usage, and
+:func:`check_capture_validity` enforces that the regex denotes a valid
+subword-marked/ref language: no variable captured twice on the same path
+and no capture under an unbounded repetition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import RegexSyntaxError
+
+__all__ = [
+    "Node",
+    "Epsilon",
+    "Literal",
+    "AnyChar",
+    "ClassNode",
+    "Concat",
+    "Alt",
+    "Star",
+    "Plus",
+    "Maybe",
+    "Repeat",
+    "Capture",
+    "Reference",
+    "variables_of",
+    "references_of",
+    "check_capture_validity",
+]
+
+
+class Node:
+    """Base class of all regex AST nodes."""
+
+    def children(self) -> tuple["Node", ...]:
+        return ()
+
+    def walk(self) -> Iterator["Node"]:
+        """Pre-order traversal of the subtree."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+@dataclass(frozen=True)
+class Epsilon(Node):
+    """Matches the empty word (spelled ``()`` in the concrete syntax)."""
+
+    def __str__(self) -> str:
+        return "()"
+
+
+@dataclass(frozen=True)
+class Literal(Node):
+    """A single concrete character."""
+
+    char: str
+
+    def __str__(self) -> str:
+        return "\\" + self.char if self.char in _METACHARS else self.char
+
+
+@dataclass(frozen=True)
+class AnyChar(Node):
+    """The wildcard ``.``."""
+
+    def __str__(self) -> str:
+        return "."
+
+
+@dataclass(frozen=True)
+class ClassNode(Node):
+    """A character class ``[abc]`` / ``[^abc]`` (ranges already expanded)."""
+
+    chars: frozenset[str]
+    negated: bool = False
+
+    def __str__(self) -> str:
+        inner = "".join(sorted(self.chars))
+        return f"[^{inner}]" if self.negated else f"[{inner}]"
+
+
+@dataclass(frozen=True)
+class Concat(Node):
+    parts: tuple[Node, ...]
+
+    def children(self) -> tuple[Node, ...]:
+        return self.parts
+
+    def __str__(self) -> str:
+        return "".join(_wrap(p, for_concat=True) for p in self.parts)
+
+
+@dataclass(frozen=True)
+class Alt(Node):
+    parts: tuple[Node, ...]
+
+    def children(self) -> tuple[Node, ...]:
+        return self.parts
+
+    def __str__(self) -> str:
+        return "|".join(str(p) for p in self.parts)
+
+
+@dataclass(frozen=True)
+class Star(Node):
+    inner: Node
+
+    def children(self) -> tuple[Node, ...]:
+        return (self.inner,)
+
+    def __str__(self) -> str:
+        return _wrap(self.inner) + "*"
+
+
+@dataclass(frozen=True)
+class Plus(Node):
+    inner: Node
+
+    def children(self) -> tuple[Node, ...]:
+        return (self.inner,)
+
+    def __str__(self) -> str:
+        return _wrap(self.inner) + "+"
+
+
+@dataclass(frozen=True)
+class Maybe(Node):
+    """Zero-or-one (``?``)."""
+
+    inner: Node
+
+    def children(self) -> tuple[Node, ...]:
+        return (self.inner,)
+
+    def __str__(self) -> str:
+        return _wrap(self.inner) + "?"
+
+
+@dataclass(frozen=True)
+class Repeat(Node):
+    """Bounded repetition ``{low,high}``; ``high is None`` means unbounded."""
+
+    inner: Node
+    low: int
+    high: int | None
+
+    def children(self) -> tuple[Node, ...]:
+        return (self.inner,)
+
+    def __str__(self) -> str:
+        if self.high is None:
+            spec = f"{{{self.low},}}"
+        elif self.high == self.low:
+            spec = f"{{{self.low}}}"
+        else:
+            spec = f"{{{self.low},{self.high}}}"
+        return _wrap(self.inner) + spec
+
+
+@dataclass(frozen=True)
+class Capture(Node):
+    """A variable capture ``!var{inner}`` — the paper's ``var▷ inner ◁var``."""
+
+    var: str
+    inner: Node
+
+    def children(self) -> tuple[Node, ...]:
+        return (self.inner,)
+
+    def __str__(self) -> str:
+        return f"!{self.var}{{{self.inner}}}"
+
+
+@dataclass(frozen=True)
+class Reference(Node):
+    """A reference ``&var`` to the factor captured by *var* (refl-spanners)."""
+
+    var: str
+
+    def __str__(self) -> str:
+        return f"&{self.var}"
+
+
+_METACHARS = set("|*+?(){}[].&!\\")
+
+
+def _wrap(node: Node, for_concat: bool = False) -> str:
+    """Parenthesise where needed when unparsing."""
+    needs = isinstance(node, Alt) or (for_concat and isinstance(node, Concat))
+    text = str(node)
+    return f"({text})" if needs else text
+
+
+def variables_of(node: Node) -> frozenset[str]:
+    """All capture variables occurring in the regex."""
+    return frozenset(n.var for n in node.walk() if isinstance(n, Capture))
+
+
+def references_of(node: Node) -> frozenset[str]:
+    """All referenced variables occurring in the regex."""
+    return frozenset(n.var for n in node.walk() if isinstance(n, Reference))
+
+
+def _may_repeat(node: Node) -> bool:
+    return (
+        isinstance(node, (Star, Plus))
+        or (isinstance(node, Repeat) and (node.high is None or node.high > 1))
+    )
+
+
+def check_capture_validity(node: Node) -> None:
+    """Reject regexes that cannot denote valid subword-marked languages.
+
+    Two rules (matching the definition of regex-formulas in [9]):
+
+    1. a capture must not occur under an unbounded or >1 repetition
+       (its markers would occur more than once);
+    2. the same variable must not be captured twice on one concatenation
+       path, or nested within itself.  Re-capturing the same variable in
+       *different alternation branches* is fine.
+    """
+    for ancestor in node.walk():
+        if _may_repeat(ancestor):
+            captured = variables_of(ancestor.children()[0])
+            if captured:
+                raise RegexSyntaxError(
+                    f"variable(s) {sorted(captured)} captured under repetition",
+                    position=0,
+                )
+    _check_path_uniqueness(node)
+
+
+def _check_path_uniqueness(node: Node) -> frozenset[str]:
+    """Return the variables captured on *some* path through *node*,
+    raising if any path captures a variable twice."""
+    if isinstance(node, Capture):
+        inner = _check_path_uniqueness(node.inner)
+        if node.var in inner:
+            raise RegexSyntaxError(
+                f"variable {node.var!r} captured within its own capture",
+                position=0,
+            )
+        return inner | {node.var}
+    if isinstance(node, Concat):
+        seen: set[str] = set()
+        for part in node.parts:
+            captured = _check_path_uniqueness(part)
+            clash = seen & captured
+            if clash:
+                raise RegexSyntaxError(
+                    f"variable(s) {sorted(clash)} captured twice on one path",
+                    position=0,
+                )
+            seen |= captured
+        return frozenset(seen)
+    if isinstance(node, Alt):
+        union: set[str] = set()
+        for part in node.parts:
+            union |= _check_path_uniqueness(part)
+        return frozenset(union)
+    collected: set[str] = set()
+    for child in node.children():
+        collected |= _check_path_uniqueness(child)
+    return frozenset(collected)

@@ -1,0 +1,132 @@
+"""Thompson compilation of spanner regexes to automata.
+
+Three entry points, by increasing expressiveness:
+
+* :func:`compile_nfa` — any regex without captures/references → plain NFA
+  (a classical regular expression);
+* :func:`spanner_from_regex` — a regex-formula (captures, no references) →
+  :class:`~repro.automata.vset.VSetAutomaton`, i.e. a regular spanner;
+* :func:`ref_nfa_from_regex` — a regex with references → the NFA over
+  ``Σ ∪ markers ∪ refs`` underlying a refl-spanner (Section 3).
+"""
+
+from __future__ import annotations
+
+from repro.automata.nfa import NFA
+from repro.automata.ops import concat as nfa_concat
+from repro.automata.ops import epsilon_nfa, never_nfa, optional as nfa_optional
+from repro.automata.ops import plus as nfa_plus, star as nfa_star, union as nfa_union
+from repro.automata.vset import VSetAutomaton
+from repro.core.alphabet import CharClass, Close, DOT, Open
+from repro.core.alphabet import Ref as RefSymbol
+from repro.errors import RegexSyntaxError
+from repro.regex import ast
+from repro.regex.parser import parse
+
+__all__ = [
+    "compile_ast",
+    "compile_nfa",
+    "spanner_from_regex",
+    "ref_nfa_from_regex",
+]
+
+
+def _single_symbol(symbol) -> NFA:
+    nfa = NFA()
+    source = nfa.add_state(initial=True)
+    target = nfa.add_state(accepting=True)
+    nfa.add_arc(source, symbol, target)
+    return nfa
+
+
+def compile_ast(node: ast.Node) -> NFA:
+    """Thompson construction over the extended alphabet."""
+    if isinstance(node, ast.Epsilon):
+        return epsilon_nfa()
+    if isinstance(node, ast.Literal):
+        return _single_symbol(node.char)
+    if isinstance(node, ast.AnyChar):
+        return _single_symbol(DOT)
+    if isinstance(node, ast.ClassNode):
+        return _single_symbol(CharClass(node.chars, node.negated))
+    if isinstance(node, ast.Concat):
+        return nfa_concat(*(compile_ast(p) for p in node.parts))
+    if isinstance(node, ast.Alt):
+        return nfa_union(*(compile_ast(p) for p in node.parts))
+    if isinstance(node, ast.Star):
+        return nfa_star(compile_ast(node.inner))
+    if isinstance(node, ast.Plus):
+        return nfa_plus(compile_ast(node.inner))
+    if isinstance(node, ast.Maybe):
+        return nfa_optional(compile_ast(node.inner))
+    if isinstance(node, ast.Repeat):
+        inner = node.inner
+        required = [compile_ast(inner) for _ in range(node.low)]
+        if node.high is None:
+            return nfa_concat(*required, nfa_star(compile_ast(inner)))
+        extras = [nfa_optional(compile_ast(inner)) for _ in range(node.high - node.low)]
+        pieces = required + extras
+        return nfa_concat(*pieces) if pieces else epsilon_nfa()
+    if isinstance(node, ast.Capture):
+        return nfa_concat(
+            _single_symbol(Open(node.var)),
+            compile_ast(node.inner),
+            _single_symbol(Close(node.var)),
+        )
+    if isinstance(node, ast.Reference):
+        return _single_symbol(RefSymbol(node.var))
+    raise RegexSyntaxError(f"cannot compile node {node!r}", 0)  # pragma: no cover
+
+
+def _parse_checked(pattern: str | ast.Node) -> ast.Node:
+    node = parse(pattern) if isinstance(pattern, str) else pattern
+    ast.check_capture_validity(node)
+    return node
+
+
+def compile_nfa(pattern: str | ast.Node) -> NFA:
+    """Compile a *plain* regular expression (no captures, no references)."""
+    node = _parse_checked(pattern)
+    if ast.variables_of(node) or ast.references_of(node):
+        raise RegexSyntaxError(
+            "plain regex expected; use spanner_from_regex for captures", 0
+        )
+    return compile_ast(node)
+
+
+def spanner_from_regex(
+    pattern: str | ast.Node, functional: bool | None = None
+) -> VSetAutomaton:
+    """Compile a regex-formula into a regular spanner.
+
+    If *functional* is ``None`` it is inferred: the spanner is flagged
+    functional iff every accepted word marks every variable (checked on the
+    compiled automaton).
+    """
+    node = _parse_checked(pattern)
+    if ast.references_of(node):
+        raise RegexSyntaxError(
+            "regex contains references; build a ReflSpanner instead", 0
+        )
+    spanner = VSetAutomaton(compile_ast(node), ast.variables_of(node))
+    if functional is None:
+        functional = spanner.is_functional()
+    spanner.functional = functional
+    return spanner
+
+
+def ref_nfa_from_regex(pattern: str | ast.Node) -> tuple[NFA, frozenset[str]]:
+    """Compile a regex with references into the NFA of a ref-language.
+
+    Returns ``(nfa, variables)`` where *variables* are the captured
+    variables.  Every referenced variable must also be captured somewhere
+    in the regex.
+    """
+    node = _parse_checked(pattern)
+    variables = ast.variables_of(node)
+    dangling = ast.references_of(node) - variables
+    if dangling:
+        raise RegexSyntaxError(
+            f"references to variables never captured: {sorted(dangling)}", 0
+        )
+    return compile_ast(node), variables

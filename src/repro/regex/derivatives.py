@@ -1,0 +1,150 @@
+"""Brzozowski derivatives: a second, independent regex matching engine.
+
+The library's primary pipeline compiles regexes via Thompson's construction
+and runs NFAs.  This module evaluates plain regular expressions *directly
+on the AST* using Brzozowski derivatives:
+
+    ∂_c(r) = the regex matching { w : c·w ∈ L(r) }
+
+Membership is then ``nullable(∂_{c1}(… ∂_{cn}(r) …))``.  The two engines
+share nothing beyond the parser, so agreement between them is a strong
+cross-check — exercised by the property tests — and the derivative engine
+doubles as a reference oracle for the automata toolkit.
+
+Only capture- and reference-free regexes are supported (derivatives of
+spanner captures would need Antimirov-style partial derivative machinery,
+out of scope here).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.errors import RegexSyntaxError
+from repro.regex import ast
+from repro.regex.parser import parse
+
+__all__ = ["nullable", "derivative", "matches"]
+
+_EMPTY = ast.ClassNode(frozenset(), negated=False)  # matches no character
+
+
+def _is_void(node: ast.Node) -> bool:
+    """Syntactic check for the empty *language* (sound, not complete —
+    used only to keep derivatives small)."""
+    if isinstance(node, ast.ClassNode):
+        return not node.negated and not node.chars
+    if isinstance(node, ast.Concat):
+        return any(_is_void(part) for part in node.parts)
+    if isinstance(node, ast.Alt):
+        return all(_is_void(part) for part in node.parts)
+    return False
+
+
+def nullable(node: ast.Node) -> bool:
+    """Does the regex match the empty word?"""
+    if isinstance(node, ast.Epsilon):
+        return True
+    if isinstance(node, (ast.Literal, ast.AnyChar, ast.ClassNode)):
+        return False
+    if isinstance(node, ast.Concat):
+        return all(nullable(part) for part in node.parts)
+    if isinstance(node, ast.Alt):
+        return any(nullable(part) for part in node.parts)
+    if isinstance(node, (ast.Star, ast.Maybe)):
+        return True
+    if isinstance(node, ast.Plus):
+        return nullable(node.inner)
+    if isinstance(node, ast.Repeat):
+        return node.low == 0 or nullable(node.inner)
+    raise RegexSyntaxError(
+        f"derivatives do not support {type(node).__name__} nodes", 0
+    )
+
+
+def _concat(parts: tuple[ast.Node, ...]) -> ast.Node:
+    flat: list[ast.Node] = []
+    for part in parts:
+        if _is_void(part):
+            return _EMPTY
+        if isinstance(part, ast.Epsilon):
+            continue
+        if isinstance(part, ast.Concat):
+            flat.extend(part.parts)
+        else:
+            flat.append(part)
+    if not flat:
+        return ast.Epsilon()
+    if len(flat) == 1:
+        return flat[0]
+    return ast.Concat(tuple(flat))
+
+
+def _alt(parts: tuple[ast.Node, ...]) -> ast.Node:
+    flat: list[ast.Node] = []
+    for part in parts:
+        if _is_void(part):
+            continue
+        if isinstance(part, ast.Alt):
+            flat.extend(p for p in part.parts if p not in flat)
+        elif part not in flat:
+            flat.append(part)
+    if not flat:
+        return _EMPTY
+    if len(flat) == 1:
+        return flat[0]
+    return ast.Alt(tuple(flat))
+
+
+def derivative(node: ast.Node, ch: str) -> ast.Node:
+    """The Brzozowski derivative ∂_ch(node), lightly simplified."""
+    if isinstance(node, ast.Epsilon):
+        return _EMPTY
+    if isinstance(node, ast.Literal):
+        return ast.Epsilon() if node.char == ch else _EMPTY
+    if isinstance(node, ast.AnyChar):
+        return ast.Epsilon()
+    if isinstance(node, ast.ClassNode):
+        matched = (ch in node.chars) != node.negated
+        return ast.Epsilon() if matched else _EMPTY
+    if isinstance(node, ast.Concat):
+        head, *tail = node.parts
+        rest = tuple(tail)
+        first = _concat((derivative(head, ch),) + rest)
+        if nullable(head) and rest:
+            return _alt((first, derivative(_concat(rest), ch)))
+        return first
+    if isinstance(node, ast.Alt):
+        return _alt(tuple(derivative(part, ch) for part in node.parts))
+    if isinstance(node, ast.Star):
+        return _concat((derivative(node.inner, ch), node))
+    if isinstance(node, ast.Plus):
+        return _concat((derivative(node.inner, ch), ast.Star(node.inner)))
+    if isinstance(node, ast.Maybe):
+        return derivative(node.inner, ch)
+    if isinstance(node, ast.Repeat):
+        if node.high == 0:
+            return _EMPTY
+        low = max(0, node.low - 1)
+        high = None if node.high is None else node.high - 1
+        remainder: ast.Node
+        if high == 0:
+            remainder = ast.Epsilon()
+        else:
+            remainder = ast.Repeat(node.inner, low, high)
+        return _concat((derivative(node.inner, ch), remainder))
+    raise RegexSyntaxError(
+        f"derivatives do not support {type(node).__name__} nodes", 0
+    )
+
+
+def matches(pattern: str | ast.Node, word: str) -> bool:
+    """Full-match membership via iterated derivatives."""
+    node = parse(pattern) if isinstance(pattern, str) else pattern
+    if ast.variables_of(node) or ast.references_of(node):
+        raise RegexSyntaxError("derivatives support plain regexes only", 0)
+    for ch in word:
+        node = derivative(node, ch)
+        if _is_void(node):
+            return False
+    return nullable(node)

@@ -1,0 +1,144 @@
+"""Regex AST simplification.
+
+A light, provably language-preserving rewrite pass used to keep compiled
+automata small (smaller Thompson graphs → smaller determinised eVAs → less
+preprocessing everywhere downstream):
+
+* flatten nested concatenations and alternations;
+* drop ε units from concatenations; collapse the empty class ∅ (annihilator);
+* deduplicate alternation branches;
+* collapse ``(r*)*``, ``(r?)?``, ``(r*)?``/``(r?)*`` to ``r*``;
+* merge single-character alternation branches into one character class;
+* canonicalise ``Repeat``: ``{1,1}`` disappears, ``{0,}`` becomes ``*``,
+  ``{1,}`` becomes ``+``, ``{0,1}`` becomes ``?``.
+
+Captures and references are left untouched (their positions are
+semantics), but simplification recurses through them.  Property tests
+check language equality against the unsimplified AST.
+"""
+
+from __future__ import annotations
+
+from repro.regex import ast
+
+__all__ = ["simplify"]
+
+_EMPTY = ast.ClassNode(frozenset(), negated=False)
+
+
+def _is_empty_language(node: ast.Node) -> bool:
+    return isinstance(node, ast.ClassNode) and not node.negated and not node.chars
+
+
+def _single_char_class(node: ast.Node) -> frozenset[str] | None:
+    """The character set of a one-character node, else None."""
+    if isinstance(node, ast.Literal):
+        return frozenset({node.char})
+    if isinstance(node, ast.ClassNode) and not node.negated and node.chars:
+        return node.chars
+    return None
+
+
+def simplify(node: ast.Node) -> ast.Node:
+    """A language-equivalent, usually smaller AST."""
+    if isinstance(node, ast.Concat):
+        parts: list[ast.Node] = []
+        for part in map(simplify, node.parts):
+            if isinstance(part, ast.Epsilon):
+                continue
+            if _is_empty_language(part):
+                return _EMPTY
+            if isinstance(part, ast.Concat):
+                parts.extend(part.parts)
+            else:
+                parts.append(part)
+        if not parts:
+            return ast.Epsilon()
+        return parts[0] if len(parts) == 1 else ast.Concat(tuple(parts))
+    if isinstance(node, ast.Alt):
+        branches: list[ast.Node] = []
+        merged_chars: set[str] = set()
+        saw_epsilon = False
+        for part in map(simplify, node.parts):
+            if _is_empty_language(part):
+                continue
+            if isinstance(part, ast.Epsilon):
+                saw_epsilon = True
+                continue
+            chars = _single_char_class(part)
+            if chars is not None:
+                merged_chars |= chars
+                continue
+            if isinstance(part, ast.Alt):
+                for sub in part.parts:
+                    if sub not in branches:
+                        branches.append(sub)
+            elif part not in branches:
+                branches.append(part)
+        if merged_chars:
+            merged: ast.Node = (
+                ast.Literal(next(iter(merged_chars)))
+                if len(merged_chars) == 1
+                else ast.ClassNode(frozenset(merged_chars))
+            )
+            if merged not in branches:
+                branches.insert(0, merged)
+        if saw_epsilon:
+            if not branches:
+                return ast.Epsilon()
+            inner = branches[0] if len(branches) == 1 else ast.Alt(tuple(branches))
+            return simplify(ast.Maybe(inner))
+        if not branches:
+            return _EMPTY
+        return branches[0] if len(branches) == 1 else ast.Alt(tuple(branches))
+    if isinstance(node, ast.Star):
+        inner = simplify(node.inner)
+        if isinstance(inner, (ast.Star, ast.Plus, ast.Maybe)):
+            return ast.Star(inner.inner)
+        if isinstance(inner, ast.Epsilon) or _is_empty_language(inner):
+            return ast.Epsilon()
+        return ast.Star(inner)
+    if isinstance(node, ast.Plus):
+        inner = simplify(node.inner)
+        if isinstance(inner, ast.Star):
+            return inner
+        if isinstance(inner, ast.Maybe):
+            return ast.Star(inner.inner)
+        if isinstance(inner, ast.Plus):
+            return inner
+        if isinstance(inner, ast.Epsilon):
+            return ast.Epsilon()
+        if _is_empty_language(inner):
+            return _EMPTY
+        return ast.Plus(inner)
+    if isinstance(node, ast.Maybe):
+        inner = simplify(node.inner)
+        if isinstance(inner, (ast.Star, ast.Maybe)):
+            return inner
+        if isinstance(inner, ast.Plus):
+            return ast.Star(inner.inner)
+        if isinstance(inner, ast.Epsilon):
+            return ast.Epsilon()
+        if _is_empty_language(inner):
+            return ast.Epsilon()
+        return ast.Maybe(inner)
+    if isinstance(node, ast.Repeat):
+        inner = simplify(node.inner)
+        if _is_empty_language(inner):
+            return ast.Epsilon() if node.low == 0 else _EMPTY
+        if isinstance(inner, ast.Epsilon):
+            return ast.Epsilon()
+        if node.low == 1 and node.high == 1:
+            return inner
+        if node.low == 0 and node.high is None:
+            return ast.Star(inner)
+        if node.low == 1 and node.high is None:
+            return ast.Plus(inner)
+        if node.low == 0 and node.high == 1:
+            return ast.Maybe(inner)
+        if node.high == 0:
+            return ast.Epsilon()
+        return ast.Repeat(inner, node.low, node.high)
+    if isinstance(node, ast.Capture):
+        return ast.Capture(node.var, simplify(node.inner))
+    return node

@@ -1,0 +1,237 @@
+"""Recursive-descent parser for spanner regexes.
+
+Concrete syntax
+---------------
+
+::
+
+    regex    :=  alt
+    alt      :=  concat ('|' concat)*
+    concat   :=  repeated*
+    repeated :=  atom ('*' | '+' | '?' | '{' m (',' n?)? '}')*
+    atom     :=  literal | '.' | class | '(' alt? ')'
+              |  '!' name '{' alt '}'          -- variable capture x▷…◁x
+              |  '&' name                      -- reference (refl-spanners)
+    class    :=  '[' '^'? (char | char '-' char)+ ']'
+    literal  :=  any non-metacharacter, or '\\' metacharacter
+
+Metacharacters are ``| * + ? ( ) { } [ ] . & ! \\``; escape them with a
+backslash.  Variable names match ``[A-Za-z_][A-Za-z0-9_]*``.
+
+Examples (the paper's expressions in this syntax):
+
+* Example 1.1's ``α``:        ``!x{(a|b)*}!y{b}!z{(a|b)*}``
+* the refl-spanner (3):       ``ab*!x{(a|b)*}(b|c)*!y{&x}b*``
+"""
+
+from __future__ import annotations
+
+from repro.errors import RegexSyntaxError
+from repro.regex.ast import (
+    Alt,
+    AnyChar,
+    Capture,
+    ClassNode,
+    Concat,
+    Epsilon,
+    Literal,
+    Maybe,
+    Node,
+    Plus,
+    Reference,
+    Repeat,
+    Star,
+)
+
+__all__ = ["parse"]
+
+_META = set("|*+?(){}[].&!\\")
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_NAME_CONT = _NAME_START | set("0123456789")
+
+#: control-character escapes; any other escaped character stands for itself
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "0": "\0"}
+
+
+class _Parser:
+    def __init__(self, pattern: str) -> None:
+        self.pattern = pattern
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # token helpers
+    # ------------------------------------------------------------------
+    def peek(self) -> str | None:
+        if self.pos < len(self.pattern):
+            return self.pattern[self.pos]
+        return None
+
+    def take(self) -> str:
+        ch = self.peek()
+        if ch is None:
+            raise RegexSyntaxError("unexpected end of pattern", self.pos)
+        self.pos += 1
+        return ch
+
+    def expect(self, ch: str) -> None:
+        if self.peek() != ch:
+            raise RegexSyntaxError(f"expected {ch!r}", self.pos)
+        self.pos += 1
+
+    def error(self, message: str) -> RegexSyntaxError:
+        return RegexSyntaxError(message, self.pos)
+
+    # ------------------------------------------------------------------
+    # grammar
+    # ------------------------------------------------------------------
+    def parse(self) -> Node:
+        node = self.alt()
+        if self.pos != len(self.pattern):
+            raise self.error(f"unexpected {self.peek()!r}")
+        return node
+
+    def alt(self) -> Node:
+        parts = [self.concat()]
+        while self.peek() == "|":
+            self.take()
+            parts.append(self.concat())
+        return parts[0] if len(parts) == 1 else Alt(tuple(parts))
+
+    def concat(self) -> Node:
+        parts: list[Node] = []
+        while True:
+            ch = self.peek()
+            if ch is None or ch in "|)}":
+                break
+            parts.append(self.repeated())
+        if not parts:
+            return Epsilon()
+        return parts[0] if len(parts) == 1 else Concat(tuple(parts))
+
+    def repeated(self) -> Node:
+        node = self.atom()
+        while True:
+            ch = self.peek()
+            if ch == "*":
+                self.take()
+                node = Star(node)
+            elif ch == "+":
+                self.take()
+                node = Plus(node)
+            elif ch == "?":
+                self.take()
+                node = Maybe(node)
+            elif ch == "{":
+                node = self.repetition(node)
+            else:
+                return node
+
+    def repetition(self, inner: Node) -> Node:
+        self.expect("{")
+        low = self.number()
+        high: int | None = low
+        if self.peek() == ",":
+            self.take()
+            high = None if self.peek() == "}" else self.number()
+        self.expect("}")
+        if high is not None and high < low:
+            raise self.error(f"bad repetition bounds {{{low},{high}}}")
+        return Repeat(inner, low, high)
+
+    def number(self) -> int:
+        digits = ""
+        while (ch := self.peek()) is not None and ch.isdigit():
+            digits += self.take()
+        if not digits:
+            raise self.error("expected a number")
+        return int(digits)
+
+    def name(self) -> str:
+        ch = self.peek()
+        if ch is None or ch not in _NAME_START:
+            raise self.error("expected a variable name")
+        chars = [self.take()]
+        while (ch := self.peek()) is not None and ch in _NAME_CONT:
+            chars.append(self.take())
+        return "".join(chars)
+
+    def atom(self) -> Node:
+        ch = self.peek()
+        if ch is None:
+            raise self.error("expected an atom")
+        if ch == "(":
+            self.take()
+            if self.peek() == ")":
+                self.take()
+                return Epsilon()
+            node = self.alt()
+            self.expect(")")
+            return node
+        if ch == "[":
+            return self.char_class()
+        if ch == ".":
+            self.take()
+            return AnyChar()
+        if ch == "!":
+            self.take()
+            var = self.name()
+            self.expect("{")
+            inner = self.alt()
+            self.expect("}")
+            return Capture(var, inner)
+        if ch == "&":
+            self.take()
+            return Reference(self.name())
+        if ch == "\\":
+            self.take()
+            escaped = self.take()
+            return Literal(_ESCAPES.get(escaped, escaped))
+        if ch in _META:
+            raise self.error(f"unexpected metacharacter {ch!r}")
+        return Literal(self.take())
+
+    def char_class(self) -> Node:
+        self.expect("[")
+        negated = False
+        if self.peek() == "^":
+            self.take()
+            negated = True
+        chars: set[str] = set()
+        first = True
+        while True:
+            ch = self.peek()
+            if ch is None:
+                raise self.error("unterminated character class")
+            if ch == "]" and not first:
+                self.take()
+                break
+            first = False
+            low = self._class_char()
+            if self.peek() == "-" and self.pattern[self.pos + 1: self.pos + 2] not in ("]", ""):
+                self.take()
+                high = self._class_char()
+                if ord(high) < ord(low):
+                    raise self.error(f"bad range {low}-{high}")
+                chars.update(chr(code) for code in range(ord(low), ord(high) + 1))
+            else:
+                chars.add(low)
+        if not chars:
+            raise self.error("empty character class")
+        return ClassNode(frozenset(chars), negated)
+
+    def _class_char(self) -> str:
+        """One (possibly escaped) character inside a character class."""
+        ch = self.take()
+        if ch != "\\":
+            return ch
+        escaped = self.take()
+        return _ESCAPES.get(escaped, escaped)
+
+
+def parse(pattern: str) -> Node:
+    """Parse *pattern* into a regex AST.
+
+    Raises :class:`~repro.errors.RegexSyntaxError` with the failing offset
+    on malformed input.
+    """
+    return _Parser(pattern).parse()

@@ -1,0 +1,79 @@
+"""SLP-compressed documents: representation, building, balancing, editing,
+and spanner evaluation without decompression (paper Section 4)."""
+
+from repro.slp.access import Fingerprinter, char_at, extract
+from repro.slp.balance import (
+    assert_strongly_balanced,
+    concat_balanced,
+    extract_balanced,
+    rebalance,
+    split_balanced,
+)
+from repro.slp.build import (
+    balanced_node,
+    fibonacci_node,
+    lz78_node,
+    power_node,
+    repair_node,
+    repeat_node,
+)
+from repro.slp.cde import (
+    CDE,
+    Concat,
+    Copy,
+    Delete,
+    Doc,
+    Editor,
+    Extract,
+    Insert,
+    apply_cde,
+    eval_cde,
+)
+from repro.slp.lce import FactorHasher, compare_suffixes, longest_common_extension
+from repro.slp.membership import CompressedMembership, simulate_uncompressed
+from repro.slp.serialize import dump_database, dumps_database, load_database, loads_database
+from repro.slp.pattern import CompressedPatternMatcher
+from repro.slp.slp import SLP, DocumentDatabase, figure_1_database, figure_1_slp
+from repro.slp.spanner_eval import SLPSpannerEvaluator
+
+__all__ = [
+    "CDE",
+    "CompressedMembership",
+    "CompressedPatternMatcher",
+    "Concat",
+    "Copy",
+    "Delete",
+    "Doc",
+    "DocumentDatabase",
+    "Editor",
+    "Extract",
+    "FactorHasher",
+    "Fingerprinter",
+    "Insert",
+    "SLP",
+    "SLPSpannerEvaluator",
+    "apply_cde",
+    "assert_strongly_balanced",
+    "balanced_node",
+    "char_at",
+    "compare_suffixes",
+    "concat_balanced",
+    "dump_database",
+    "dumps_database",
+    "eval_cde",
+    "extract",
+    "extract_balanced",
+    "fibonacci_node",
+    "figure_1_database",
+    "figure_1_slp",
+    "longest_common_extension",
+    "load_database",
+    "loads_database",
+    "lz78_node",
+    "power_node",
+    "rebalance",
+    "repair_node",
+    "repeat_node",
+    "simulate_uncompressed",
+    "split_balanced",
+]

@@ -1,0 +1,111 @@
+"""Algorithmics on compressed strings: random access, extraction,
+fingerprint equality (the toolbox Section 4's footnote 5 alludes to).
+
+All routines work *without decompressing*: random access costs O(depth)
+(= O(log |D|) on balanced SLPs), extraction O(depth + output), and node
+equality is decided by Karp–Rabin fingerprints maintained per node.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SLPError
+from repro.slp.slp import SLP
+
+__all__ = ["char_at", "extract", "Fingerprinter"]
+
+
+def char_at(slp: SLP, node: int, position: int) -> str:
+    """The character ``D(node)[position]`` (0-based), in O(depth)."""
+    length = slp.length(node)
+    if not 0 <= position < length:
+        raise SLPError(f"position {position} outside document of length {length}")
+    while not slp.is_terminal(node):
+        left, right = slp.children(node)
+        left_length = slp.length(left)
+        if position < left_length:
+            node = left
+        else:
+            node = right
+            position -= left_length
+    return slp.char(node)
+
+
+def extract(slp: SLP, node: int, begin: int, end: int) -> str:
+    """The factor ``D(node)[begin:end]`` in O(depth + (end − begin)).
+
+    This is the read-only sibling of the CDE ``extract`` operation: it
+    materialises the factor as a string instead of adding a node.
+    """
+    length = slp.length(node)
+    if not 0 <= begin <= end <= length:
+        raise SLPError(f"bad extract range [{begin}, {end}) for length {length}")
+    out: list[str] = []
+    target = end - begin
+
+    def walk(current: int, offset: int) -> None:
+        """Append D(current)[offset : offset + remaining_needed]."""
+        stack: list[tuple[int, int]] = [(current, offset)]
+        while stack and len(out) < target:
+            node_id, skip = stack.pop()
+            node_length = slp.length(node_id)
+            if skip >= node_length:
+                continue
+            if slp.is_terminal(node_id):
+                out.append(slp.char(node_id))
+                continue
+            left, right = slp.children(node_id)
+            left_length = slp.length(left)
+            # push right first so the left side is expanded first
+            if skip < left_length:
+                stack.append((right, 0))
+                stack.append((left, skip))
+            else:
+                stack.append((right, skip - left_length))
+
+    walk(node, begin)
+    return "".join(out)
+
+
+class Fingerprinter:
+    """Karp–Rabin fingerprints of SLP nodes, with per-node memoisation.
+
+    ``fingerprint(pair(A, B)) = fp(A) · base^|D(B)| + fp(B)  (mod p)`` with
+    a 61-bit Mersenne prime, so two nodes with equal fingerprints *and*
+    equal lengths derive equal documents except with probability
+    ≈ |D| / 2^61.  ``base^|D(B)|`` is computed by modular exponentiation,
+    so exponentially long documents are fine.
+    """
+
+    PRIME = (1 << 61) - 1
+    BASE = 1_000_003
+
+    def __init__(self, slp: SLP) -> None:
+        self.slp = slp
+        self._cache: dict[int, int] = {}
+
+    def fingerprint(self, node: int) -> int:
+        cached = self._cache.get(node)
+        if cached is not None:
+            return cached
+        # iterative bottom-up over the reachable sub-DAG
+        for current in self.slp.topological(node):
+            if current in self._cache:
+                continue
+            if self.slp.is_terminal(current):
+                value = ord(self.slp.char(current)) % self.PRIME
+            else:
+                left, right = self.slp.children(current)
+                shift = pow(self.BASE, self.slp.length(right), self.PRIME)
+                value = (
+                    self._cache[left] * shift + self._cache[right]
+                ) % self.PRIME
+            self._cache[current] = value
+        return self._cache[node]
+
+    def equal(self, left: int, right: int) -> bool:
+        """Probabilistic document equality of two nodes (no decompression)."""
+        if left == right:
+            return True
+        if self.slp.length(left) != self.slp.length(right):
+            return False
+        return self.fingerprint(left) == self.fingerprint(right)

@@ -1,0 +1,156 @@
+"""Balanced SLP primitives (paper Section 4.1 and the engine of 4.3).
+
+The paper's complex-document-editing results rest on two primitives over
+*strongly balanced* SLPs (every node has ``bal ∈ {−1, 0, 1}``, exactly the
+AVL condition):
+
+* :func:`concat_balanced` — concatenate two strongly balanced nodes into a
+  strongly balanced node in ``O(|ord(a) − ord(b)|)`` new nodes, by the
+  AVL-join construction (descend the taller operand's spine, attach, and
+  re-balance with single/double rotations on the way back).  This is the
+  [36]-style construction the paper describes for ``concat(D(B), D(C))``.
+* :func:`split_balanced` — split a strongly balanced node at a position
+  into two strongly balanced nodes in ``O(ord)`` concat steps; ``extract``,
+  ``delete``, ``insert`` and ``copy`` all reduce to splits and concats.
+
+Because the arena hash-conses, all of these are *persistent*: old documents
+keep sharing the untouched subtrees, which is why a database of edited
+versions stays small.
+
+:func:`rebalance` converts an arbitrary SLP node into a strongly balanced
+one (cost ``O(|S| · log |D|)`` — the paper notes the log factor cannot be
+avoided [17]); :func:`assert_strongly_balanced` is the guard used by the
+editing layer.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SLPError
+from repro.slp.slp import SLP
+
+__all__ = [
+    "concat_balanced",
+    "split_balanced",
+    "extract_balanced",
+    "rebalance",
+    "assert_strongly_balanced",
+]
+
+
+def _balance_pair(slp: SLP, left: int, right: int) -> int:
+    """Combine two strongly balanced nodes whose orders differ by ≤ 2,
+    applying AVL rotations when the difference is exactly 2."""
+    diff = slp.order(left) - slp.order(right)
+    if -1 <= diff <= 1:
+        return slp.pair(left, right)
+    if diff == 2:
+        ll, lr = slp.children(left)
+        if slp.order(ll) >= slp.order(lr):
+            # single right rotation: (ll lr) r -> ll (lr r)
+            return slp.pair(ll, slp.pair(lr, right))
+        # double rotation: lr = (lrl, lrr): (ll (lrl lrr)) r -> (ll lrl)(lrr r)
+        lrl, lrr = slp.children(lr)
+        return slp.pair(slp.pair(ll, lrl), slp.pair(lrr, right))
+    if diff == -2:
+        rl, rr = slp.children(right)
+        if slp.order(rr) >= slp.order(rl):
+            # single left rotation: l (rl rr) -> (l rl) rr
+            return slp.pair(slp.pair(left, rl), rr)
+        rll, rlr = slp.children(rl)
+        return slp.pair(slp.pair(left, rll), slp.pair(rlr, rr))
+    raise SLPError(
+        f"_balance_pair got order difference {diff}; operands were not "
+        f"strongly balanced"
+    )
+
+
+def concat_balanced(slp: SLP, left: int | None, right: int | None) -> int | None:
+    """AVL-join of two strongly balanced nodes (``None`` = empty document).
+
+    The result is strongly balanced and derives ``D(left)·D(right)``; the
+    number of freshly created nodes is O(|ord(left) − ord(right)|), i.e.
+    O(log) of the document lengths.
+    """
+    if left is None:
+        return right
+    if right is None:
+        return left
+    diff = slp.order(left) - slp.order(right)
+    if -1 <= diff <= 1:
+        return slp.pair(left, right)
+    if diff > 1:
+        l_child, r_child = slp.children(left)
+        merged = concat_balanced(slp, r_child, right)
+        return _balance_pair(slp, l_child, merged)
+    l_child, r_child = slp.children(right)
+    merged = concat_balanced(slp, left, l_child)
+    return _balance_pair(slp, merged, r_child)
+
+
+def split_balanced(
+    slp: SLP, node: int, position: int
+) -> tuple[int | None, int | None]:
+    """Split ``D(node)`` after its first *position* characters.
+
+    Returns ``(prefix, suffix)`` as strongly balanced nodes (``None`` for
+    the empty side).  Requires ``0 <= position <= |D(node)|``.
+    """
+    length = slp.length(node)
+    if not 0 <= position <= length:
+        raise SLPError(
+            f"split position {position} outside document of length {length}"
+        )
+    if position == 0:
+        return None, node
+    if position == length:
+        return node, None
+    left, right = slp.children(node)
+    left_length = slp.length(left)
+    if position <= left_length:
+        prefix, middle = split_balanced(slp, left, position)
+        return prefix, concat_balanced(slp, middle, right)
+    middle, suffix = split_balanced(slp, right, position - left_length)
+    return concat_balanced(slp, left, middle), suffix
+
+
+def extract_balanced(slp: SLP, node: int, begin: int, end: int) -> int | None:
+    """The strongly balanced node deriving ``D(node)[begin:end]``
+    (0-based, half-open slice offsets; ``None`` if empty)."""
+    if not 0 <= begin <= end <= slp.length(node):
+        raise SLPError(f"bad extract range [{begin}, {end})")
+    _, tail = split_balanced(slp, node, begin)
+    if tail is None:
+        return None
+    middle, _ = split_balanced(slp, tail, end - begin)
+    return middle
+
+
+def rebalance(slp: SLP, node: int, _memo: dict[int, int] | None = None) -> int:
+    """A strongly balanced node with the same derivation as *node*.
+
+    Works bottom-up over the reachable sub-DAG with memoisation, so shared
+    subtrees are rebalanced once; the worst-case cost carries the
+    unavoidable log factor of [17].  Iterative, so degenerate chain SLPs of
+    arbitrary depth are handled.
+    """
+    memo = _memo if _memo is not None else {}
+    for current in slp.topological(node):
+        if current in memo:
+            continue
+        if slp.is_terminal(current):
+            memo[current] = current
+            continue
+        left, right = slp.children(current)
+        balanced = concat_balanced(slp, memo[left], memo[right])
+        assert balanced is not None
+        memo[current] = balanced
+    return memo[node]
+
+
+def assert_strongly_balanced(slp: SLP, node: int) -> None:
+    """Raise :class:`SLPError` unless *node* is strongly balanced."""
+    if not slp.is_strongly_balanced(node):
+        raise SLPError(
+            "operation requires a strongly balanced SLP node; call "
+            "rebalance() first"
+        )

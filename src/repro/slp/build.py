@@ -1,0 +1,185 @@
+"""Building SLPs from plain text (grammar-based compression).
+
+The paper points out that many practical dictionary compressors are covered
+by SLPs and that computing a *smallest* SLP is NP-complete [3, 4]; practical
+algorithms are approximate.  Provided here:
+
+* :func:`balanced_node` — the trivial strongly balanced parse (no
+  compression beyond hash-consing; size O(|D|)).  The baseline.
+* :func:`repair_node` — Re-Pair-style global pair replacement: repeatedly
+  replace the most frequent adjacent digram by a fresh nonterminal.  On
+  repetitive inputs this reaches size O(log |D|)-ish.
+* :func:`lz78_node` — the LZ78 parse folded into an SLP (each phrase is
+  "previous phrase + one character", which *is* an SLP production).
+* :func:`repeat_node` / :func:`power_node` — exact exponential compression
+  ``w^k`` by binary exponentiation; the workhorse of the compressed-
+  evaluation benchmarks (experiments C2/C3), where ``|S| = O(|w| + log k)``.
+* :func:`fibonacci_node` — the Fibonacci-word SLP ``F_n = F_{n−1}·F_{n−2}``
+  (pleasantly, strongly balanced by construction).
+
+All builders return nodes whose derivation round-trips exactly; the test
+suite checks this property with hypothesis.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.errors import SLPError
+from repro.slp.balance import concat_balanced
+from repro.slp.slp import SLP
+
+__all__ = [
+    "balanced_node",
+    "repair_node",
+    "lz78_node",
+    "repeat_node",
+    "power_node",
+    "fibonacci_node",
+]
+
+
+def balanced_node(slp: SLP, text: str) -> int:
+    """A strongly balanced parse of *text* (mid-point recursion)."""
+    if not text:
+        raise SLPError("SLPs derive non-empty documents")
+
+    def build(lo: int, hi: int) -> int:
+        if hi - lo == 1:
+            return slp.terminal(text[lo])
+        mid = (lo + hi) // 2
+        return slp.pair(build(lo, mid), build(mid, hi))
+
+    return build(0, len(text))
+
+
+def repair_node(slp: SLP, text: str) -> int:
+    """Re-Pair-style compression of *text* into an SLP node.
+
+    Repeatedly replaces the most frequent adjacent node pair (counted over
+    non-overlapping, left-to-right occurrences) with a fresh pair node until
+    no digram occurs twice; the remaining sequence is folded pairwise.
+    The result is generally *not* strongly balanced — rebalance if needed.
+    """
+    if not text:
+        raise SLPError("SLPs derive non-empty documents")
+    sequence = [slp.terminal(ch) for ch in text]
+    while len(sequence) > 1:
+        counts: Counter[tuple[int, int]] = Counter()
+        index = 0
+        while index + 1 < len(sequence):
+            digram = (sequence[index], sequence[index + 1])
+            counts[digram] += 1
+            # skip one position on aa-runs so occurrences never overlap
+            if (
+                index + 2 < len(sequence)
+                and sequence[index + 1] == sequence[index]
+                and sequence[index + 2] == sequence[index]
+            ):
+                index += 2
+            else:
+                index += 1
+        if not counts:
+            break
+        digram, count = counts.most_common(1)[0]
+        if count < 2:
+            break
+        replacement = slp.pair(*digram)
+        rewritten: list[int] = []
+        index = 0
+        while index < len(sequence):
+            if (
+                index + 1 < len(sequence)
+                and (sequence[index], sequence[index + 1]) == digram
+            ):
+                rewritten.append(replacement)
+                index += 2
+            else:
+                rewritten.append(sequence[index])
+                index += 1
+        sequence = rewritten
+    return _fold(slp, sequence)
+
+
+def lz78_node(slp: SLP, text: str) -> int:
+    """The LZ78 parse of *text* as an SLP node.
+
+    LZ78 phrases have the shape "longest previously seen phrase + one fresh
+    character", which maps directly onto SLP pair nodes.
+    """
+    if not text:
+        raise SLPError("SLPs derive non-empty documents")
+    # trie of phrases: maps (phrase_node_or_root, char) -> phrase node
+    trie: dict[tuple[int | None, str], int] = {}
+    phrases: list[int] = []
+    current: int | None = None
+    for ch in text:
+        step = trie.get((current, ch))
+        if step is not None:
+            current = step
+            continue
+        node = slp.terminal(ch) if current is None else slp.pair(current, slp.terminal(ch))
+        trie[(current, ch)] = node
+        phrases.append(node)
+        current = None
+    if current is not None:  # unfinished phrase at the end of the text
+        phrases.append(current)
+    return _fold(slp, phrases)
+
+
+def repeat_node(slp: SLP, node: int, times: int) -> int:
+    """The node deriving ``D(node)`` repeated *times* (binary exponentiation).
+
+    Uses balanced concatenation, so the result of repeating a strongly
+    balanced node is strongly balanced, with O(log times) fresh nodes.
+    """
+    if times < 1:
+        raise SLPError("repetition count must be >= 1")
+    result: int | None = None
+    power = node
+    remaining = times
+    while remaining:
+        if remaining & 1:
+            result = concat_balanced(slp, result, power)
+        remaining >>= 1
+        if remaining:
+            power = slp.pair(power, power)
+    assert result is not None
+    return result
+
+
+def power_node(slp: SLP, text: str, exponent: int) -> int:
+    """``text^(2^exponent)`` with ``|S| = O(|text| + exponent)`` nodes."""
+    node = balanced_node(slp, text)
+    for _ in range(exponent):
+        node = slp.pair(node, node)
+    return node
+
+
+def fibonacci_node(slp: SLP, n: int) -> int:
+    """The n-th Fibonacci word (``F_1 = b``, ``F_2 = a``,
+    ``F_n = F_{n−1}·F_{n−2}``) — an O(n)-node, strongly balanced SLP for a
+    document of length ``fib(n)``."""
+    if n < 1:
+        raise SLPError("Fibonacci index must be >= 1")
+    previous = slp.terminal("b")
+    if n == 1:
+        return previous
+    current = slp.terminal("a")
+    for _ in range(n - 2):
+        previous, current = current, slp.pair(current, previous)
+    return current
+
+
+def _fold(slp: SLP, nodes: list[int]) -> int:
+    """Fold a sequence of nodes pairwise into a single node."""
+    if not nodes:
+        raise SLPError("cannot fold an empty sequence")
+    while len(nodes) > 1:
+        folded = [
+            slp.pair(nodes[i], nodes[i + 1]) for i in range(0, len(nodes) - 1, 2)
+        ]
+        if len(nodes) % 2:
+            folded.append(nodes[-1])
+        nodes = folded
+    return nodes[0]

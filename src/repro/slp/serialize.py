@@ -1,0 +1,122 @@
+"""Serialisation of SLP document databases.
+
+A compressed document store is only useful if it can be *persisted in its
+compressed form* — decompress-on-save would defeat the point (and is
+impossible for the exponentially long documents SLPs can hold).  This
+module writes and reads a compact, versioned, line-oriented text format:
+
+    SLPDB 1
+    T 0 a            # terminal node: id, character (escaped)
+    P 2 0 1          # pair node: id, left id, right id
+    D name 2         # designated document: name (escaped), node id
+
+Node ids are renumbered densely in topological order, so files round-trip
+through arenas of any history.  Only nodes reachable from the stored
+documents are written.
+"""
+
+from __future__ import annotations
+
+from typing import TextIO
+
+from repro.errors import SLPError
+from repro.slp.slp import SLP, DocumentDatabase
+
+__all__ = ["dump_database", "load_database", "dumps_database", "loads_database"]
+
+_MAGIC = "SLPDB 1"
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace("\r", "\\r")
+        .replace(" ", "\\s")
+    )
+
+
+def _unescape(text: str) -> str:
+    out: list[str] = []
+    index = 0
+    while index < len(text):
+        ch = text[index]
+        if ch != "\\":
+            out.append(ch)
+            index += 1
+            continue
+        if index + 1 >= len(text):
+            raise SLPError("dangling escape in serialised SLP")
+        code = text[index + 1]
+        out.append({"\\": "\\", "n": "\n", "r": "\r", "s": " "}.get(code, code))
+        index += 2
+    return "".join(out)
+
+
+def dump_database(db: DocumentDatabase, stream: TextIO) -> None:
+    """Write the database (compressed form) to a text stream."""
+    roots = [node for _, node in db.documents()]
+    order = db.slp.topological(*roots) if roots else []
+    renumber: dict[int, int] = {}
+    stream.write(_MAGIC + "\n")
+    for node in order:
+        fresh = len(renumber)
+        renumber[node] = fresh
+        if db.slp.is_terminal(node):
+            stream.write(f"T {fresh} {_escape(db.slp.char(node))}\n")
+        else:
+            left, right = db.slp.children(node)
+            stream.write(f"P {fresh} {renumber[left]} {renumber[right]}\n")
+    for name, node in db.documents():
+        stream.write(f"D {_escape(name)} {renumber[node]}\n")
+
+
+def load_database(stream: TextIO) -> DocumentDatabase:
+    """Read a database written by :func:`dump_database`.
+
+    The loaded arena is hash-consed afresh, so sharing is at least as good
+    as in the original.
+    """
+    header = stream.readline().rstrip("\n")
+    if header != _MAGIC:
+        raise SLPError(f"not an SLP database file (header {header!r})")
+    db = DocumentDatabase(SLP())
+    nodes: dict[int, int] = {}
+    for line_number, raw in enumerate(stream, start=2):
+        line = raw.rstrip("\n")
+        if not line:
+            continue
+        parts = line.split(" ")
+        kind = parts[0]
+        try:
+            if kind == "T" and len(parts) == 3:
+                nodes[int(parts[1])] = db.slp.terminal(_unescape(parts[2]))
+            elif kind == "P" and len(parts) == 4:
+                nodes[int(parts[1])] = db.slp.pair(
+                    nodes[int(parts[2])], nodes[int(parts[3])]
+                )
+            elif kind == "D" and len(parts) == 3:
+                db.add_node(_unescape(parts[1]), nodes[int(parts[2])])
+            else:
+                raise SLPError(f"bad record kind {kind!r}")
+        except (KeyError, ValueError) as exc:
+            raise SLPError(
+                f"corrupt SLP database at line {line_number}: {line!r} ({exc})"
+            ) from None
+    return db
+
+
+def dumps_database(db: DocumentDatabase) -> str:
+    """Serialise to a string."""
+    import io
+
+    buffer = io.StringIO()
+    dump_database(db, buffer)
+    return buffer.getvalue()
+
+
+def loads_database(text: str) -> DocumentDatabase:
+    """Deserialise from a string."""
+    import io
+
+    return load_database(io.StringIO(text))

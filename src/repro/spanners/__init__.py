@@ -1,0 +1,53 @@
+"""Spanner representations: regular, core, and refl-spanners."""
+
+from repro.spanners.algebra import duplicate_variable, forbid_variables, join_lenient
+from repro.spanners.core import (
+    CoreNormalForm,
+    CoreSpanner,
+    Join,
+    Prim,
+    Project,
+    SelectEq,
+    Union,
+    prim,
+)
+from repro.spanners.compose import ComposedSpanner, within
+from repro.spanners.refl import ReflSpanner, core_to_refl_concat
+from repro.spanners.split import is_split_correct_on, split_document, split_evaluate
+from repro.spanners.weighted import (
+    BOOLEAN,
+    COUNTING,
+    PROBABILITY,
+    TROPICAL,
+    Semiring,
+    WeightedSpanner,
+)
+from repro.spanners.regular import RegularSpanner
+
+__all__ = [
+    "BOOLEAN",
+    "COUNTING",
+    "ComposedSpanner",
+    "CoreNormalForm",
+    "CoreSpanner",
+    "Join",
+    "Prim",
+    "Project",
+    "PROBABILITY",
+    "ReflSpanner",
+    "RegularSpanner",
+    "Semiring",
+    "TROPICAL",
+    "WeightedSpanner",
+    "SelectEq",
+    "Union",
+    "core_to_refl_concat",
+    "duplicate_variable",
+    "forbid_variables",
+    "is_split_correct_on",
+    "join_lenient",
+    "split_document",
+    "split_evaluate",
+    "within",
+    "prim",
+]

@@ -1,0 +1,115 @@
+"""Spanner algebra utilities beyond the closed regular operations.
+
+Two things live here:
+
+* :func:`join_lenient` — the *lenient* natural join for schemaless
+  spanners: a shared variable may be defined by both operands (at the same
+  span), by exactly one of them, or by neither.  Regular spanners are
+  closed under this operation too, but the product construction must guess,
+  per shared variable, which side defines it; the guesses multiply the
+  automaton by at most ``3^|shared|``.  For functional spanners the lenient
+  and strict joins coincide.
+* :func:`duplicate_variable` — the marker-duplication transform used by the
+  constructive core-simplification lemma (Section 2.3): a second variable is
+  made to mark exactly the same spans as an existing one, so that
+  string-equality selections can be made *branch-private* when pushing them
+  through unions.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.automata.evset import ExtendedVSetAutomaton
+from repro.automata.evset import join as eva_join
+from repro.automata.nfa import NFA
+from repro.automata.ops import union as nfa_union
+from repro.automata.vset import VSetAutomaton
+from repro.core.alphabet import Close, Marker, Open
+
+__all__ = ["join_lenient", "duplicate_variable", "forbid_variables"]
+
+
+def forbid_variables(automaton: VSetAutomaton, variables) -> VSetAutomaton:
+    """Restrict the automaton to runs that never mark any of *variables*.
+
+    Arcs carrying markers of the forbidden variables are dropped, and the
+    variables leave the schema entirely (so that downstream product
+    constructions no longer synchronise on them).
+    """
+    forbidden = frozenset(variables)
+    nfa = NFA()
+    nfa.add_states(automaton.nfa.num_states)
+    nfa.initial = set(automaton.nfa.initial)
+    nfa.accepting = set(automaton.nfa.accepting)
+    for source, symbol, target in automaton.nfa.arcs():
+        if isinstance(symbol, Marker) and symbol.var in forbidden:
+            continue
+        nfa.add_arc(source, symbol, target)
+    return VSetAutomaton(nfa, automaton.variables - forbidden, functional=False)
+
+
+def join_lenient(left: VSetAutomaton, right: VSetAutomaton) -> VSetAutomaton:
+    """Natural join with the lenient schemaless semantics of [27].
+
+    For every shared variable, one of three modes is guessed:
+
+    * ``sync``  — both operands may define it (synchronised markers);
+    * ``left``  — the right operand must not mark it;
+    * ``right`` — the left operand must not mark it.
+
+    The result is the union over all mode assignments; duplicates across
+    overlapping modes are harmless because relations are sets and the
+    enumeration pipeline determinises the union.
+    """
+    shared = sorted(left.variables & right.variables)
+    if not shared:
+        return left.join(right)
+    pieces: list[VSetAutomaton] = []
+    for modes in itertools.product(("sync", "left", "right"), repeat=len(shared)):
+        banned_left = [v for v, m in zip(shared, modes) if m == "right"]
+        banned_right = [v for v, m in zip(shared, modes) if m == "left"]
+        left_variant = forbid_variables(left, banned_left) if banned_left else left
+        right_variant = forbid_variables(right, banned_right) if banned_right else right
+        product = eva_join(
+            ExtendedVSetAutomaton.from_vset(left_variant),
+            ExtendedVSetAutomaton.from_vset(right_variant),
+        ).to_vset()
+        pieces.append(product)
+    result = pieces[0]
+    for piece in pieces[1:]:
+        result = result.union(piece)
+    return VSetAutomaton(
+        result.nfa,
+        left.variables | right.variables,
+        functional=left.functional and right.functional,
+    )
+
+
+def duplicate_variable(
+    automaton: VSetAutomaton, var: str, copy: str
+) -> VSetAutomaton:
+    """Make *copy* mark exactly the same spans as *var*.
+
+    Every ``var▷`` arc is followed by a fresh ``copy▷`` arc and every
+    ``◁var`` arc by a ``◁copy`` arc, so in every accepted word the two
+    variables carry identical spans.  Used by the core-simplification
+    compiler to give each union branch private equality variables.
+    """
+    if copy in automaton.variables:
+        raise ValueError(f"variable {copy!r} already present")
+    nfa = NFA()
+    nfa.add_states(automaton.nfa.num_states)
+    nfa.initial = set(automaton.nfa.initial)
+    nfa.accepting = set(automaton.nfa.accepting)
+    for source, symbol, target in automaton.nfa.arcs():
+        if isinstance(symbol, Marker) and symbol.var == var:
+            midway = nfa.add_state()
+            twin = Open(copy) if symbol.is_open else Close(copy)
+            nfa.add_arc(source, symbol, midway)
+            nfa.add_arc(midway, twin, target)
+        else:
+            nfa.add_arc(source, symbol, target)
+    return VSetAutomaton(
+        nfa, automaton.variables | {copy}, functional=automaton.functional
+    )

@@ -1,0 +1,85 @@
+"""Spanner composition: apply a spanner *inside* another spanner's capture.
+
+SystemT's AQL (the system whose formalisation document spanners are,
+Section 1 of the paper) composes extractors: a coarse spanner finds
+regions, a finer spanner runs on each region's content.  This module
+provides that operator:
+
+    within(outer, var, inner)
+
+evaluates *outer* on the document, and for every output tuple evaluates
+*inner* on the factor extracted by *var*, shifting the inner spans to
+global coordinates.  The result's schema is outer's schema plus inner's
+(inner variable names must be disjoint from outer's).
+
+For *regular* operands the composition is again a spanner (function from
+documents to relations) and is implemented lazily; note it is generally
+**not** a regular spanner — inner matches are constrained to lie inside
+the outer span, which regular joins cannot express without re-anchoring —
+which is precisely why AQL has it as a primitive.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.spanner import Spanner
+from repro.core.spans import SpanRelation, SpanTuple
+from repro.errors import SchemaError
+
+__all__ = ["within", "ComposedSpanner"]
+
+
+class ComposedSpanner(Spanner):
+    """The result of :func:`within` — itself a spanner."""
+
+    def __init__(self, outer: Spanner, var: str, inner: Spanner) -> None:
+        if var not in outer.variables:
+            raise SchemaError(
+                f"composition variable {var!r} is not extracted by the outer "
+                f"spanner {sorted(outer.variables)}"
+            )
+        clash = outer.variables & inner.variables
+        if clash:
+            raise SchemaError(
+                f"inner and outer schemas overlap on {sorted(clash)}; rename first"
+            )
+        self.outer = outer
+        self.var = var
+        self.inner = inner
+
+    @property
+    def variables(self) -> frozenset[str]:
+        return self.outer.variables | self.inner.variables
+
+    def enumerate(self, doc: str) -> Iterator[SpanTuple]:
+        inner_cache: dict[str, list[SpanTuple]] = {}
+        for outer_tuple in self.outer.enumerate(doc):
+            span = outer_tuple.get(self.var)
+            if span is None:
+                continue  # schemaless: nothing to recurse into
+            content = span.extract(doc)
+            if content not in inner_cache:
+                inner_cache[content] = list(self.inner.enumerate(content))
+            offset = span.start - 1
+            for inner_tuple in inner_cache[content]:
+                shifted = SpanTuple(
+                    (var, inner_span.shift(offset))
+                    for var, inner_span in inner_tuple
+                )
+                yield outer_tuple.merge(shifted)
+
+    def evaluate(self, doc: str) -> SpanRelation:
+        return SpanRelation(self.variables, self.enumerate(doc))
+
+
+def within(outer: Spanner, var: str, inner: Spanner) -> ComposedSpanner:
+    """Compose: run *inner* on the content of *outer*'s capture *var*.
+
+    Example — fields inside records::
+
+        records = RegularSpanner.from_regex("(.|\\n)*!rec{[^\\n]+}\\n(.|\\n)*")
+        fields = RegularSpanner.from_regex("[^=]*=!value{[^ ]+}( [^=]*)?")
+        query = within(records, "rec", fields)
+    """
+    return ComposedSpanner(outer, var, inner)

@@ -1,0 +1,333 @@
+"""Core spanners: the algebra ``[RGX]^{∪, ⋈, π, ς=}`` and the
+core-simplification lemma (paper Sections 1, 2.3).
+
+A :class:`CoreSpanner` is an expression tree over
+
+* primitive regular spanners (regex-formulas or vset-automata),
+* union ``∪``, natural join ``⋈``, projection ``π``, and
+* the (non-regular!) string-equality selection ``ς=_Z``.
+
+Two evaluation strategies are provided:
+
+* :meth:`CoreSpanner.evaluate_direct` — recursive evaluation over span
+  relations, the textbook semantics;
+* :meth:`CoreSpanner.evaluate` — via the **core-simplification normal form**
+  ``π_Y(ς=_{Z1} … ς=_{Zk}(⟦M⟧))`` computed by :meth:`CoreSpanner.simplify`.
+  The compiler is a constructive proof of the core-simplification lemma:
+  union, join, and projection are pushed into a single vset-automaton M,
+  leaving only equality selections and one final projection outside.
+
+The only delicate case is pushing ``ς=`` through ``∪``: an equality group
+of one branch must not accidentally constrain tuples of the other branch.
+The compiler therefore *privatises* equality variables — for each branch,
+every variable occurring in one of its equality groups gets a fresh twin
+variable marking exactly the same spans (see
+:func:`repro.spanners.algebra.duplicate_variable`), and the groups are
+rewritten to the twins.  Tuples from the other branch leave the twins
+undefined, and under the schemaless convention of [38] the selection then
+passes them vacuously.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+from dataclasses import dataclass
+
+from repro.automata.vset import VSetAutomaton
+from repro.core.spanner import Spanner
+from repro.core.spans import SpanRelation
+from repro.errors import SchemaError
+from repro.regex.compile import spanner_from_regex
+from repro.spanners.algebra import duplicate_variable, join_lenient
+
+__all__ = [
+    "CoreSpanner",
+    "Prim",
+    "Union",
+    "Join",
+    "Project",
+    "SelectEq",
+    "CoreNormalForm",
+    "prim",
+]
+
+_fresh_counter = itertools.count()
+
+
+def _fresh_aux(hint: str) -> str:
+    """A fresh auxiliary variable name (never collides with user names,
+    which cannot contain '#')."""
+    return f"{hint}#{next(_fresh_counter)}"
+
+
+@dataclass(frozen=True)
+class CoreNormalForm:
+    """The normal form ``π_visible(ς=_{groups}(⟦automaton⟧))``."""
+
+    automaton: VSetAutomaton
+    groups: tuple[frozenset[str], ...]
+    visible: frozenset[str]
+
+    def evaluate(self, doc: str) -> SpanRelation:
+        relation = self.automaton.evaluate(doc)
+        for group in self.groups:
+            relation = relation.select_equal(doc, group)
+        return relation.project(self.visible)
+
+    def equality_variables(self) -> frozenset[str]:
+        out: set[str] = set()
+        for group in self.groups:
+            out |= group
+        return frozenset(out)
+
+
+class CoreSpanner(Spanner, abc.ABC):
+    """Base class of core spanner expression trees."""
+
+    _normal_form: CoreNormalForm | None = None
+
+    # -- structure ------------------------------------------------------
+    @abc.abstractmethod
+    def _compile(self) -> CoreNormalForm:
+        """Compile this subtree to the core-simplification normal form."""
+
+    @abc.abstractmethod
+    def evaluate_direct(self, doc: str) -> SpanRelation:
+        """Recursive relation-level evaluation (the textbook semantics)."""
+
+    # -- public API ------------------------------------------------------
+    def simplify(self) -> CoreNormalForm:
+        """The (cached) core-simplification normal form of this spanner."""
+        if self._normal_form is None:
+            self._normal_form = self._compile()
+        return self._normal_form
+
+    def evaluate(self, doc: str) -> SpanRelation:
+        return self.simplify().evaluate(doc)
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """The algebraic expression in the paper's notation, e.g.
+        ``π_{x}(ς=_{x,y}(⟦M0⟧ ⋈ ⟦M1⟧))``."""
+
+    def __str__(self) -> str:
+        return self.describe()
+
+    # -- combinators -----------------------------------------------------
+    def union(self, other: "CoreSpanner") -> "Union":
+        return Union(self, _as_core(other))
+
+    def join(self, other: "CoreSpanner") -> "Join":
+        return Join(self, _as_core(other))
+
+    def project(self, keep) -> "Project":
+        return Project(self, frozenset(keep))
+
+    def select_equal(self, group) -> "SelectEq":
+        return SelectEq(self, frozenset(group))
+
+
+def _as_core(value) -> CoreSpanner:
+    if isinstance(value, CoreSpanner):
+        return value
+    return prim(value)
+
+
+def prim(spanner) -> "Prim":
+    """Wrap a regex-formula string, vset-automaton, or RegularSpanner."""
+    from repro.spanners.regular import RegularSpanner
+
+    if isinstance(spanner, str):
+        return Prim(spanner_from_regex(spanner))
+    if isinstance(spanner, RegularSpanner):
+        return Prim(spanner.automaton)
+    if isinstance(spanner, VSetAutomaton):
+        return Prim(spanner)
+    raise SchemaError(f"cannot build a primitive core spanner from {spanner!r}")
+
+
+class Prim(CoreSpanner):
+    """A primitive regular spanner."""
+
+    def __init__(self, automaton: VSetAutomaton) -> None:
+        self.automaton = automaton
+
+    @property
+    def variables(self) -> frozenset[str]:
+        return self.automaton.variables
+
+    def evaluate_direct(self, doc: str) -> SpanRelation:
+        return self.automaton.evaluate(doc)
+
+    def describe(self) -> str:
+        return f"⟦M({', '.join(sorted(self.automaton.variables))})⟧"
+
+    def _compile(self) -> CoreNormalForm:
+        return CoreNormalForm(self.automaton, (), self.automaton.variables)
+
+
+class Union(CoreSpanner):
+    """Spanner union ``∪`` (schemas merged, schemaless semantics)."""
+
+    def __init__(self, left: CoreSpanner, right: CoreSpanner) -> None:
+        self.left = left
+        self.right = right
+
+    @property
+    def variables(self) -> frozenset[str]:
+        return self.left.variables | self.right.variables
+
+    def evaluate_direct(self, doc: str) -> SpanRelation:
+        return self.left.evaluate_direct(doc).union(self.right.evaluate_direct(doc))
+
+    def describe(self) -> str:
+        return f"({self.left.describe()} ∪ {self.right.describe()})"
+
+    def _compile(self) -> CoreNormalForm:
+        left = _privatize(self.left.simplify())
+        right = _privatize(self.right.simplify())
+        automaton = left.automaton.union(right.automaton)
+        return CoreNormalForm(
+            automaton,
+            left.groups + right.groups,
+            left.visible | right.visible,
+        )
+
+
+class Join(CoreSpanner):
+    """Natural join ``⋈`` (lenient schemaless semantics)."""
+
+    def __init__(self, left: CoreSpanner, right: CoreSpanner) -> None:
+        self.left = left
+        self.right = right
+
+    @property
+    def variables(self) -> frozenset[str]:
+        return self.left.variables | self.right.variables
+
+    def evaluate_direct(self, doc: str) -> SpanRelation:
+        return self.left.evaluate_direct(doc).natural_join(
+            self.right.evaluate_direct(doc)
+        )
+
+    def describe(self) -> str:
+        return f"({self.left.describe()} ⋈ {self.right.describe()})"
+
+    def _compile(self) -> CoreNormalForm:
+        left = self.left.simplify()
+        right = self.right.simplify()
+        # hidden (auxiliary / projected-away) variables must not be shared
+        # between the operands: only *visible* variables join
+        left = _rename_hidden(left)
+        right = _rename_hidden(right, avoid=set(left.automaton.variables))
+        automaton = join_lenient(left.automaton, right.automaton)
+        return CoreNormalForm(
+            automaton,
+            left.groups + right.groups,
+            left.visible | right.visible,
+        )
+
+
+class Project(CoreSpanner):
+    """Projection ``π_Y`` onto a subset of the visible variables."""
+
+    def __init__(self, inner: CoreSpanner, keep: frozenset[str]) -> None:
+        unknown = keep - inner.variables
+        if unknown:
+            raise SchemaError(f"projection onto unknown variables {sorted(unknown)}")
+        self.inner = inner
+        self.keep = keep
+
+    @property
+    def variables(self) -> frozenset[str]:
+        return self.keep
+
+    def evaluate_direct(self, doc: str) -> SpanRelation:
+        return self.inner.evaluate_direct(doc).project(self.keep)
+
+    def describe(self) -> str:
+        keep = ",".join(sorted(self.keep))
+        return f"π_{{{keep}}}({self.inner.describe()})"
+
+    def _compile(self) -> CoreNormalForm:
+        inner = self.inner.simplify()
+        # the projection is simply deferred to the outermost level; the
+        # dropped variables stay marked in the automaton (they may still be
+        # needed by equality groups)
+        return CoreNormalForm(inner.automaton, inner.groups, self.keep)
+
+
+class SelectEq(CoreSpanner):
+    """String-equality selection ``ς=_Z`` — the non-regular operator."""
+
+    def __init__(self, inner: CoreSpanner, group: frozenset[str]) -> None:
+        unknown = group - inner.variables
+        if unknown:
+            raise SchemaError(
+                f"equality selection on unknown variables {sorted(unknown)}"
+            )
+        self.inner = inner
+        self.group = group
+
+    @property
+    def variables(self) -> frozenset[str]:
+        return self.inner.variables
+
+    def evaluate_direct(self, doc: str) -> SpanRelation:
+        return self.inner.evaluate_direct(doc).select_equal(doc, self.group)
+
+    def describe(self) -> str:
+        group = ",".join(sorted(self.group))
+        return f"ς=_{{{group}}}({self.inner.describe()})"
+
+    def _compile(self) -> CoreNormalForm:
+        inner = self.inner.simplify()
+        return CoreNormalForm(
+            inner.automaton, inner.groups + (self.group,), inner.visible
+        )
+
+
+# ---------------------------------------------------------------------------
+# compilation helpers
+# ---------------------------------------------------------------------------
+def _privatize(form: CoreNormalForm) -> CoreNormalForm:
+    """Rewrite every equality group to fresh twin variables.
+
+    After privatisation, no equality group mentions a variable that any
+    *other* normal form could define, so groups from different union
+    branches cannot interfere.
+    """
+    if not form.groups:
+        return form
+    automaton = form.automaton
+    twins: dict[str, str] = {}
+    for var in sorted(form.equality_variables()):
+        twin = _fresh_aux(var)
+        automaton = duplicate_variable(automaton, var, twin)
+        twins[var] = twin
+    groups = tuple(
+        frozenset(twins[var] for var in group) for group in form.groups
+    )
+    return CoreNormalForm(automaton, groups, form.visible)
+
+
+def _rename_hidden(
+    form: CoreNormalForm, avoid: set[str] | None = None
+) -> CoreNormalForm:
+    """Rename the hidden (non-visible) variables of a normal form freshly.
+
+    Needed before joins so that auxiliary variables of the two operands do
+    not accidentally join with each other or with visible variables.
+    """
+    avoid = avoid or set()
+    hidden = form.automaton.variables - form.visible
+    clashes = {var for var in hidden if "#" not in var or var in avoid}
+    if not clashes:
+        return form
+    renaming = {var: _fresh_aux(var) for var in sorted(clashes)}
+    automaton = form.automaton.rename(renaming)
+    groups = tuple(
+        frozenset(renaming.get(var, var) for var in group) for group in form.groups
+    )
+    return CoreNormalForm(automaton, groups, form.visible)

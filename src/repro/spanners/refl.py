@@ -1,0 +1,440 @@
+"""Refl-spanners (Schmid & Schweikardt [38]; paper Section 3).
+
+A refl-spanner is represented by an NFA over ``Σ ∪ {x▷, ◁x} ∪ {x}`` whose
+language is a regular *ref-language*: accepted words may contain reference
+symbols ``x`` standing for a copy of whatever the span of ``x`` captured.
+The semantics is ``⟦L⟧(D) = { st(d(w)) : w ∈ L, e(d(w)) = D }`` with
+``d(·)`` the dereferencing function of Section 3.1.
+
+Provided here:
+
+* :class:`ReflSpanner` with
+
+  - full **evaluation** by backtracking product search (NonEmptiness for
+    refl-spanners is NP-hard [38], so no polynomial algorithm is expected);
+  - polynomial **model checking** via reference expansion — the Section 3.3
+    algorithm: given the candidate tuple, the content of every reference is
+    known, so the ref-arcs can be interpreted as reading a concrete factor
+    of the document;
+  - **sequentiality** and **reference-boundedness** analysis;
+  - the **refl → core translation** of Section 3.2 (for reference-bounded
+    spanners);
+
+* :func:`core_to_refl_concat` — the converse direction for the
+  non-overlapping, concatenation-shaped case illustrated by the paper's
+  expressions (2)/(3) and β/β′: all captures of the equality group are
+  siblings of one concatenation, all but the leftmost are replaced by a
+  reference, and the leftmost content language is refined to the
+  intersection of all the group's content languages.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.automata.nfa import EPSILON, NFA
+from repro.automata.ops import intersection as nfa_intersection
+from repro.core.alphabet import Close, Marker, Open, Ref, symbol_matches
+from repro.core.spanner import Spanner
+from repro.core.spans import Span, SpanRelation, SpanTuple
+from repro.errors import SchemaError, UnsupportedSpannerError
+from repro.regex import ast as regex_ast
+from repro.regex.compile import compile_ast, ref_nfa_from_regex
+from repro.regex.parser import parse as parse_regex
+
+__all__ = ["ReflSpanner", "core_to_refl_concat"]
+
+_UNSEEN, _OPEN, _CLOSED = 0, 1, 2
+
+
+class ReflSpanner(Spanner):
+    """A spanner represented by a regular ref-language."""
+
+    def __init__(self, nfa: NFA, variables: frozenset[str] | None = None) -> None:
+        marked = frozenset(m.var for m in nfa.marker_symbols())
+        referenced = frozenset(r.var for r in nfa.ref_symbols())
+        if variables is None:
+            variables = marked
+        dangling = referenced - variables
+        if dangling:
+            raise SchemaError(
+                f"references to variables never captured: {sorted(dangling)}"
+            )
+        self.nfa = nfa
+        self._variables = frozenset(variables)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_regex(cls, pattern: str) -> "ReflSpanner":
+        """Compile a spanner regex with references, e.g. the paper's (3):
+        ``ab*!x{(a|b)*}(b|c)*!y{&x}b*``."""
+        nfa, variables = ref_nfa_from_regex(pattern)
+        return cls(nfa, variables)
+
+    # ------------------------------------------------------------------
+    # Spanner interface
+    # ------------------------------------------------------------------
+    @property
+    def variables(self) -> frozenset[str]:
+        return self._variables
+
+    def evaluate(self, doc: str) -> SpanRelation:
+        return SpanRelation(self._variables, self.enumerate(doc))
+
+    def enumerate(self, doc: str) -> Iterator[SpanTuple]:
+        """Enumerate ``S(doc)`` by backtracking search over the product.
+
+        Requires the spanner to be *sequential* (references occur only
+        after their variable closed), which is the fragment for which [38]
+        states its algorithms; see DESIGN.md.  Worst-case exponential, as
+        expected from NP-hardness.
+        """
+        self._require_sequential()
+        n = len(doc)
+        seen: set = set()
+        produced: set[SpanTuple] = set()
+        # configuration: (state, position, open-positions, closed spans)
+        start = [
+            (state, 0, frozenset(), frozenset()) for state in self.nfa.initial
+        ]
+        stack = list(start)
+        seen.update(start)
+        while stack:
+            state, pos, opened, closed = stack.pop()
+            if pos == n and state in self.nfa.accepting:
+                tup = SpanTuple({var: Span(a, b) for var, a, b in closed})
+                if tup not in produced:
+                    produced.add(tup)
+                    yield tup
+            for symbol, target in self.nfa.arcs_from(state):
+                successors = self._step(symbol, target, doc, pos, opened, closed)
+                for config in successors:
+                    if config not in seen:
+                        seen.add(config)
+                        stack.append(config)
+
+    def _step(self, symbol, target, doc, pos, opened, closed):
+        if symbol is EPSILON:
+            return [(target, pos, opened, closed)]
+        if isinstance(symbol, Marker):
+            if symbol.is_open:
+                if any(v == symbol.var for v, _ in opened) or any(
+                    v == symbol.var for v, _, _ in closed
+                ):
+                    return []
+                return [(target, pos, opened | {(symbol.var, pos + 1)}, closed)]
+            begin = next((b for v, b in opened if v == symbol.var), None)
+            if begin is None:
+                return []
+            return [
+                (
+                    target,
+                    pos,
+                    frozenset(p for p in opened if p[0] != symbol.var),
+                    closed | {(symbol.var, begin, pos + 1)},
+                )
+            ]
+        if isinstance(symbol, Ref):
+            span = next(
+                ((b, e) for v, b, e in closed if v == symbol.var), None
+            )
+            if span is None:
+                return []
+            factor = doc[span[0] - 1: span[1] - 1]
+            if doc.startswith(factor, pos):
+                return [(target, pos + len(factor), opened, closed)]
+            return []
+        # character predicate
+        if pos < len(doc) and symbol_matches(symbol, doc[pos]):
+            return [(target, pos + 1, opened, closed)]
+        return []
+
+    def model_check(self, doc: str, tup: SpanTuple) -> bool:
+        """Polynomial ModelChecking by reference expansion (Section 3.3).
+
+        The candidate tuple fixes the content of every variable, so a
+        reference arc is interpreted as reading the concrete factor
+        ``doc[t(x)]``; marker arcs must be taken exactly at the scheduled
+        positions of the tuple.
+        """
+        if not tup.variables <= self._variables or not tup.fits(doc):
+            return False
+        n = len(doc)
+        scheduled: dict[int, set[Marker]] = {}
+        for var, span in tup:
+            scheduled.setdefault(span.start, set()).add(Open(var))
+            scheduled.setdefault(span.end, set()).add(Close(var))
+
+        def block(position: int) -> frozenset[Marker]:
+            return frozenset(scheduled.get(position, ()))
+
+        # prefix sums for "no marker strictly inside a reference region"
+        marker_positions = sorted(scheduled)
+
+        def markers_in_range(lo: int, hi: int) -> bool:
+            """Any marker at a span position p with lo <= p <= hi?"""
+            import bisect
+
+            index = bisect.bisect_left(marker_positions, lo)
+            return index < len(marker_positions) and marker_positions[index] <= hi
+
+        # configuration: (state, position, consumed markers at position+1)
+        start = [(state, 0, frozenset()) for state in self.nfa.initial]
+        seen = set(start)
+        stack = list(start)
+        while stack:
+            state, pos, consumed = stack.pop()
+            if (
+                pos == n
+                and state in self.nfa.accepting
+                and consumed == block(n + 1)
+            ):
+                return True
+            here_block = block(pos + 1)
+            for symbol, target in self.nfa.arcs_from(state):
+                configs = []
+                if symbol is EPSILON:
+                    configs.append((target, pos, consumed))
+                elif isinstance(symbol, Marker):
+                    if symbol in here_block and symbol not in consumed:
+                        configs.append((target, pos, consumed | {symbol}))
+                elif isinstance(symbol, Ref):
+                    span = tup.get(symbol.var)
+                    if span is None:
+                        continue
+                    factor = span.extract(doc)
+                    if not doc.startswith(factor, pos):
+                        continue
+                    if factor:
+                        if consumed != here_block:
+                            continue  # markers before the factor must be done
+                        if markers_in_range(pos + 2, pos + len(factor)):
+                            continue  # a marker would fall inside the copy
+                        configs.append((target, pos + len(factor), frozenset()))
+                    else:
+                        configs.append((target, pos, consumed))
+                else:
+                    if (
+                        pos < n
+                        and symbol_matches(symbol, doc[pos])
+                        and consumed == here_block
+                    ):
+                        configs.append((target, pos + 1, frozenset()))
+                for config in configs:
+                    if config not in seen:
+                        seen.add(config)
+                        stack.append(config)
+        return False
+
+    # ------------------------------------------------------------------
+    # analysis
+    # ------------------------------------------------------------------
+    def _status_reachable(self) -> set[tuple[int, tuple]]:
+        """Reachable (state, per-variable status) pairs on *useful* states,
+        pruning transitions that could not occur on a valid ref-word."""
+        variables = sorted(self._variables)
+        index = {var: i for i, var in enumerate(variables)}
+        useful = self.nfa.coreachable_states()
+        start_status = tuple([_UNSEEN] * len(variables))
+        seen = {
+            (state, start_status)
+            for state in self.nfa.initial
+            if state in useful
+        }
+        stack = list(seen)
+        while stack:
+            state, status = stack.pop()
+            for symbol, target in self.nfa.arcs_from(state):
+                if target not in useful:
+                    continue
+                new_status = status
+                if isinstance(symbol, Marker):
+                    i = index[symbol.var]
+                    expected = _UNSEEN if symbol.is_open else _OPEN
+                    if status[i] != expected:
+                        continue
+                    updated = list(status)
+                    updated[i] = _OPEN if symbol.is_open else _CLOSED
+                    new_status = tuple(updated)
+                elif isinstance(symbol, Ref):
+                    if status[index[symbol.var]] == _OPEN:
+                        continue  # reference inside its own span: invalid
+                node = (target, new_status)
+                if node not in seen:
+                    seen.add(node)
+                    stack.append(node)
+        return seen
+
+    def is_sequential(self) -> bool:
+        """True if on every useful run, references occur only after their
+        variable's closing marker."""
+        variables = sorted(self._variables)
+        index = {var: i for i, var in enumerate(variables)}
+        for state, status in self._status_reachable():
+            for symbol, _ in self.nfa.arcs_from(state):
+                if isinstance(symbol, Ref) and status[index[symbol.var]] != _CLOSED:
+                    if state in self.nfa.coreachable_states():
+                        return False
+        return True
+
+    def _require_sequential(self) -> None:
+        if not self.is_sequential():
+            raise UnsupportedSpannerError(
+                "refl-spanner evaluation requires sequential references "
+                "(every reference after its variable closed)"
+            )
+
+    def is_reference_bounded(self) -> bool:
+        """True if some bound k limits the references per variable in every
+        accepted word (Section 3.2) — equivalently, no reference arc lies on
+        a cycle of useful states."""
+        useful = self.nfa.reachable_states() & self.nfa.coreachable_states()
+        # build adjacency over useful states
+        adjacency: dict[int, list[int]] = {s: [] for s in useful}
+        ref_arcs: list[tuple[int, int]] = []
+        for source, symbol, target in self.nfa.arcs():
+            if source in useful and target in useful:
+                adjacency[source].append(target)
+                if isinstance(symbol, Ref):
+                    ref_arcs.append((source, target))
+        if not ref_arcs:
+            return True
+
+        def reaches(start: int, goal: int) -> bool:
+            seen = {start}
+            stack = [start]
+            while stack:
+                node = stack.pop()
+                if node == goal:
+                    return True
+                for nxt in adjacency[node]:
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        stack.append(nxt)
+            return False
+
+        return not any(reaches(target, source) for source, target in ref_arcs)
+
+    # ------------------------------------------------------------------
+    # translation to core spanners (Section 3.2)
+    # ------------------------------------------------------------------
+    def to_core(self):
+        """Translate a reference-bounded refl-spanner into a core spanner.
+
+        Every reference arc ``q --x--> q'`` is replaced by a fresh capture
+        ``y▷ Σ* ◁y``; a string-equality selection ``ς=_{x, y, …}`` then
+        forces every copy to equal the content of ``x``, and the fresh
+        variables are projected away.  This is the construction sketched in
+        Section 3.2 of the paper.
+        """
+        from repro.automata.vset import VSetAutomaton
+        from repro.core.alphabet import DOT
+        from repro.spanners.core import Prim
+
+        if not self.is_reference_bounded():
+            raise UnsupportedSpannerError(
+                "refl-spanner is not reference-bounded; it has no core "
+                "equivalent ([9, Theorem 6.1])"
+            )
+        nfa = NFA()
+        nfa.add_states(self.nfa.num_states)
+        nfa.initial = set(self.nfa.initial)
+        nfa.accepting = set(self.nfa.accepting)
+        groups: dict[str, set[str]] = {var: {var} for var in self._variables}
+        counter = 0
+        for source, symbol, target in self.nfa.arcs():
+            if isinstance(symbol, Ref):
+                copy = f"{symbol.var}~ref{counter}#"
+                counter += 1
+                groups[symbol.var].add(copy)
+                opened = nfa.add_state()
+                body = nfa.add_state()
+                nfa.add_arc(source, Open(copy), opened)
+                nfa.add_arc(opened, EPSILON, body)
+                nfa.add_arc(body, DOT, body)
+                nfa.add_arc(body, Close(copy), target)
+            else:
+                nfa.add_arc(source, symbol, target)
+        all_variables = frozenset(
+            var for group in groups.values() for var in group
+        )
+        expr = Prim(VSetAutomaton(nfa, all_variables))
+        result = expr
+        for var in sorted(self._variables):
+            if len(groups[var]) > 1:
+                result = result.select_equal(frozenset(groups[var]))
+        return result.project(self._variables)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ReflSpanner(variables={sorted(self._variables)})"
+
+
+def core_to_refl_concat(pattern: str, group) -> ReflSpanner:
+    """Translate ``ς=_group(⟦pattern⟧)`` into a refl-spanner.
+
+    Supported fragment (the paper's (2)→(3) and β→β′ examples): *pattern*
+    parses to a concatenation in which each variable of *group* is captured
+    by exactly one top-level capture, so the captured spans are pairwise
+    non-overlapping by construction.  The leftmost capture keeps its
+    variable with its content language refined to the **intersection** of
+    all the group's content languages; every other capture's body is
+    replaced by a reference to the leftmost variable.
+    """
+    group = frozenset(group)
+    node = parse_regex(pattern)
+    regex_ast.check_capture_validity(node)
+    parts = list(node.parts) if isinstance(node, regex_ast.Concat) else [node]
+    capture_slots: dict[str, int] = {}
+    for position, part in enumerate(parts):
+        if isinstance(part, regex_ast.Capture) and part.var in group:
+            capture_slots[part.var] = position
+    missing = group - set(capture_slots)
+    if missing:
+        raise UnsupportedSpannerError(
+            f"variables {sorted(missing)} are not top-level concatenation "
+            f"captures; the general core→refl translation is out of scope"
+        )
+    for var in group:
+        inner_vars = regex_ast.variables_of(parts[capture_slots[var]].inner)
+        if inner_vars:
+            raise UnsupportedSpannerError(
+                f"capture of {var!r} contains nested captures "
+                f"{sorted(inner_vars)}: equality group is not non-overlapping"
+            )
+    ordered = sorted(capture_slots, key=capture_slots.get)
+    leader, followers = ordered[0], ordered[1:]
+    # content language intersection (the γ of the paper's β′ example)
+    content = compile_ast(parts[capture_slots[leader]].inner)
+    for var in followers:
+        content = nfa_intersection(content, compile_ast(parts[capture_slots[var]].inner))
+    # assemble the ref-language NFA: parts in order, with substitutions
+    from repro.automata.ops import concat as nfa_concat
+
+    pieces = []
+    for position, part in enumerate(parts):
+        if position == capture_slots.get(leader):
+            open_nfa = _marker_nfa(Open(leader))
+            close_nfa = _marker_nfa(Close(leader))
+            pieces.append(nfa_concat(open_nfa, content, close_nfa))
+        elif isinstance(part, regex_ast.Capture) and part.var in followers:
+            pieces.append(
+                nfa_concat(
+                    _marker_nfa(Open(part.var)),
+                    _marker_nfa(Ref(leader)),
+                    _marker_nfa(Close(part.var)),
+                )
+            )
+        else:
+            pieces.append(compile_ast(part))
+    nfa = nfa_concat(*pieces)
+    return ReflSpanner(nfa, regex_ast.variables_of(node))
+
+
+def _marker_nfa(symbol) -> NFA:
+    nfa = NFA()
+    source = nfa.add_state(initial=True)
+    target = nfa.add_state(accepting=True)
+    nfa.add_arc(source, symbol, target)
+    return nfa

@@ -1,0 +1,116 @@
+"""Regular spanners: the user-facing representation.
+
+A :class:`RegularSpanner` bundles a vset-automaton with its compiled
+deterministic extended form and exposes evaluation, streaming enumeration
+(Section 2.5), model checking, and the algebra operations under which
+regular spanners are closed (union, projection, natural join, renaming).
+
+Construct one from a regex-formula (:meth:`RegularSpanner.from_regex`) or
+from an explicit automaton (:meth:`RegularSpanner.from_automaton`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.automata.vset import VSetAutomaton
+from repro.core.spanner import Spanner
+from repro.core.spans import SpanRelation, SpanTuple
+from repro.enumeration.constant_delay import Enumerator
+from repro.regex.compile import spanner_from_regex
+
+__all__ = ["RegularSpanner"]
+
+
+class RegularSpanner(Spanner):
+    """A regular spanner with a cached compiled enumeration pipeline."""
+
+    def __init__(self, automaton: VSetAutomaton) -> None:
+        self.automaton = automaton
+        self._enumerator: Enumerator | None = None
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_regex(cls, pattern: str, functional: bool | None = None) -> "RegularSpanner":
+        """Compile a regex-formula, e.g. ``"!x{(a|b)*}!y{b}!z{(a|b)*}"``."""
+        return cls(spanner_from_regex(pattern, functional))
+
+    @classmethod
+    def from_automaton(cls, automaton: VSetAutomaton) -> "RegularSpanner":
+        return cls(automaton)
+
+    # ------------------------------------------------------------------
+    # Spanner interface
+    # ------------------------------------------------------------------
+    @property
+    def variables(self) -> frozenset[str]:
+        return self.automaton.variables
+
+    @property
+    def functional(self) -> bool:
+        return self.automaton.functional
+
+    def enumerator(self) -> Enumerator:
+        """The compiled two-phase enumerator (built once, then cached)."""
+        if self._enumerator is None:
+            self._enumerator = Enumerator(self.automaton)
+        return self._enumerator
+
+    def evaluate(self, doc: str) -> SpanRelation:
+        return SpanRelation(self.variables, self.enumerate(doc))
+
+    def enumerate(self, doc: str) -> Iterator[SpanTuple]:
+        """Stream ``S(doc)`` with linear preprocessing and constant delay."""
+        yield from self.enumerator().enumerate(doc)
+
+    def model_check(self, doc: str, tup: SpanTuple) -> bool:
+        return self.automaton.model_check(doc, tup)
+
+    def is_nonempty_on(self, doc: str) -> bool:
+        """PTIME NonEmptiness: markers read as ε (Section 2.4)."""
+        return self.automaton.nonemptiness_nfa().accepts(doc)
+
+    # ------------------------------------------------------------------
+    # algebra (regular-closed operations)
+    # ------------------------------------------------------------------
+    def union(self, other: "RegularSpanner") -> "RegularSpanner":
+        return RegularSpanner(self.automaton.union(other.automaton))
+
+    def project(self, keep) -> "RegularSpanner":
+        return RegularSpanner(self.automaton.project(frozenset(keep)))
+
+    def join(self, other: "RegularSpanner") -> "RegularSpanner":
+        """Natural join (strict schemaless semantics: shared variables are
+        either defined by both operands at the same span, or by neither)."""
+        return RegularSpanner(self.automaton.join(other.automaton))
+
+    def difference(self, other: "RegularSpanner") -> "RegularSpanner":
+        """Spanner difference (regular spanners are closed under it, [9])."""
+        return RegularSpanner(self.automaton.difference(other.automaton))
+
+    def minimized(self) -> "RegularSpanner":
+        """A canonical minimal representation of the same spanner.
+
+        Normalise to the canonical marker order, determinise, minimise the
+        DFA, and re-embed — the resulting automaton is the minimal DFA of
+        the spanner's canonical subword-marked language, so two equivalent
+        spanners minimise to isomorphic automata.
+        """
+        from repro.automata.dfa import determinize, dfa_to_nfa
+        from repro.automata.vset import VSetAutomaton
+
+        canonical = self.automaton.normalized().nfa
+        minimal = determinize(canonical).minimize()
+        return RegularSpanner(
+            VSetAutomaton(
+                dfa_to_nfa(minimal).trim(), self.variables, self.automaton.functional
+            )
+        )
+
+    def rename(self, renaming: Mapping[str, str]) -> "RegularSpanner":
+        return RegularSpanner(self.automaton.rename(renaming))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RegularSpanner(variables={sorted(self.variables)})"

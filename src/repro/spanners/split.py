@@ -1,0 +1,97 @@
+"""Split evaluation and split-correctness (Doleschal et al. [7], cited in
+Section 1 of the paper).
+
+Real IE systems rarely run a spanner over a terabyte document in one piece;
+they *split* the document (by newlines, by records, …), evaluate per chunk,
+and union the shifted results.  That strategy is sound only when the
+spanner is *split-correct* with respect to the splitter — [7] studies the
+decision problem; this module provides the executable side:
+
+* :func:`split_document` — split by a separator regex, keeping offsets;
+* :func:`split_evaluate` — per-chunk evaluation with span shifting;
+* :func:`is_split_correct_on` — the per-document correctness check
+  (compare with the global evaluation), the empirical companion to [7]'s
+  static analysis.
+"""
+
+from __future__ import annotations
+
+from repro.automata.nfa import NFA
+from repro.core.spanner import Spanner
+from repro.core.spans import SpanRelation, SpanTuple
+from repro.errors import SchemaError
+from repro.regex.compile import compile_nfa
+
+__all__ = ["split_document", "split_evaluate", "is_split_correct_on"]
+
+
+def _separator_matcher(separator: str | NFA) -> NFA:
+    nfa = compile_nfa(separator) if isinstance(separator, str) else separator
+    if nfa.accepts(""):
+        raise SchemaError("separator language must not contain the empty word")
+    return nfa
+
+
+def split_document(doc: str, separator: str | NFA) -> list[tuple[int, str]]:
+    """Split *doc* at maximal leftmost separator matches.
+
+    Returns ``(offset, chunk)`` pairs (0-based offsets); separators are
+    dropped; empty chunks are kept (they can still carry empty-span
+    matches).  The separator is a plain regex or NFA; matching is greedy
+    leftmost-longest, scanning left to right.
+    """
+    matcher = _separator_matcher(separator)
+    chunks: list[tuple[int, str]] = []
+    chunk_start = 0
+    position = 0
+    n = len(doc)
+    while position < n:
+        # longest separator match starting at `position`
+        states = matcher.start_states()
+        longest = -1
+        index = position
+        while states and index < n:
+            states = matcher.step_char(states, doc[index])
+            index += 1
+            if states & matcher.accepting:
+                longest = index
+        if longest >= 0:
+            chunks.append((chunk_start, doc[chunk_start:position]))
+            chunk_start = longest
+            position = longest
+        else:
+            position += 1
+    chunks.append((chunk_start, doc[chunk_start:]))
+    return chunks
+
+
+def split_evaluate(
+    spanner: Spanner, doc: str, separator: str | NFA
+) -> SpanRelation:
+    """Evaluate per chunk and union the offset-shifted relations.
+
+    Equals the global ``spanner.evaluate(doc)`` exactly when the spanner is
+    split-correct w.r.t. the splitter on this document — e.g. a per-record
+    extractor split at record boundaries.  Matches crossing a separator are
+    *lost* by design; that loss is what :func:`is_split_correct_on`
+    detects.
+    """
+    tuples: list[SpanTuple] = []
+    for offset, chunk in split_document(doc, separator):
+        for tup in spanner.evaluate(chunk):
+            tuples.append(
+                SpanTuple((var, span.shift(offset)) for var, span in tup)
+            )
+    return SpanRelation(spanner.variables, tuples)
+
+
+def is_split_correct_on(
+    spanner: Spanner, doc: str, separator: str | NFA
+) -> bool:
+    """Does split evaluation equal global evaluation on *doc*?
+
+    (The language-level version of this question — for *all* documents —
+    is the split-correctness problem of [7]; per-document checking is the
+    pragmatic fallback and the test oracle.)
+    """
+    return split_evaluate(spanner, doc, separator) == spanner.evaluate(doc)

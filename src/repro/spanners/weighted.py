@@ -1,0 +1,246 @@
+"""Weighted (K-annotated) document spanners — the [8] direction
+(Doleschal, Kimelfeld, Martens, Peterfreund: *Weight Annotation in
+Information Extraction*, ICDT 2020; cited in the survey's introduction).
+
+A weighted spanner annotates every arc of a vset-automaton with a value
+from a commutative semiring K; the annotation of an output tuple is
+
+    ⊕ over accepting runs producing the tuple of (⊗ of the run's arc weights)
+
+so a K-annotated spanner maps a document to a K-relation (tuple → weight)
+instead of a plain set.  Stock semirings:
+
+* :data:`BOOLEAN`      — recovers ordinary spanner semantics;
+* :data:`COUNTING`     — the weight of a tuple is its number of runs
+  (ambiguity counting — useful for testing determinisation!);
+* :data:`TROPICAL`     — min-cost annotation (weights as costs);
+* :data:`PROBABILITY`  — sum of products (e.g. noisy extraction scores).
+
+Evaluation is the weighted generalisation of the backward-DP evaluator in
+:mod:`repro.enumeration.naive`: per (state, position) we keep a map from
+suffix emissions to their aggregated weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generic, Iterable, TypeVar
+
+from repro.automata.nfa import EPSILON, NFA
+from repro.core.alphabet import Marker, symbol_matches
+from repro.core.spans import SpanTuple
+from repro.enumeration.naive import emissions_to_tuple
+from repro.errors import SchemaError
+
+__all__ = [
+    "Semiring",
+    "BOOLEAN",
+    "COUNTING",
+    "TROPICAL",
+    "PROBABILITY",
+    "WeightedSpanner",
+]
+
+K = TypeVar("K")
+
+
+@dataclass(frozen=True)
+class Semiring(Generic[K]):
+    """A commutative semiring (K, ⊕, ⊗, 0̄, 1̄)."""
+
+    name: str
+    zero: K
+    one: K
+    plus: Callable[[K, K], K]
+    times: Callable[[K, K], K]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Semiring({self.name})"
+
+
+BOOLEAN: Semiring[bool] = Semiring(
+    "boolean", False, True, lambda a, b: a or b, lambda a, b: a and b
+)
+COUNTING: Semiring[int] = Semiring(
+    "counting", 0, 1, lambda a, b: a + b, lambda a, b: a * b
+)
+TROPICAL: Semiring[float] = Semiring(
+    "tropical", float("inf"), 0.0, min, lambda a, b: a + b
+)
+PROBABILITY: Semiring[float] = Semiring(
+    "probability", 0.0, 1.0, lambda a, b: a + b, lambda a, b: a * b
+)
+
+
+class WeightedSpanner(Generic[K]):
+    """A vset-automaton whose arcs carry semiring weights.
+
+    Build imperatively like an :class:`~repro.automata.nfa.NFA` but pass a
+    weight per arc (``None`` = the semiring's 1̄), or lift an existing
+    spanner with :meth:`from_spanner` and re-weight selected arcs.
+    """
+
+    def __init__(self, semiring: Semiring[K]) -> None:
+        self.semiring = semiring
+        self.nfa = NFA()
+        self._weights: dict[int, K] = {}  # arc index (per source) is implicit
+        self._arc_weights: list[K] = []
+        self._arc_index: dict[tuple[int, int], K] = {}
+        # we store weights parallel to nfa arcs: (source, position-in-list)
+        self._weights_by_source: dict[int, list[K]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_state(self, initial: bool = False, accepting: bool = False) -> int:
+        state = self.nfa.add_state(initial=initial, accepting=accepting)
+        self._weights_by_source[state] = []
+        return state
+
+    def add_arc(self, source: int, symbol, target: int, weight: K | None = None) -> None:
+        self.nfa.add_arc(source, symbol, target)
+        self._weights_by_source[source].append(
+            self.semiring.one if weight is None else weight
+        )
+
+    @classmethod
+    def from_spanner(
+        cls,
+        spanner,
+        semiring: Semiring[K],
+        arc_weight: Callable[[object], K] | None = None,
+    ) -> "WeightedSpanner[K]":
+        """Lift a vset-automaton / RegularSpanner into K.
+
+        *arc_weight* maps each non-ε arc symbol to a weight (default: 1̄
+        everywhere, which makes evaluation the ordinary semantics under
+        :data:`BOOLEAN` and run-counting under :data:`COUNTING`).
+        ε-arcs always carry 1̄ — Thompson automata are full of them and
+        they are representation artefacts, not run structure.
+        """
+        automaton = getattr(spanner, "automaton", spanner)
+        weighted = cls(semiring)
+        weighted.nfa = automaton.nfa.copy()
+        weighted._weights_by_source = {
+            state: [] for state in weighted.nfa.states()
+        }
+        for state in weighted.nfa.states():
+            for symbol, _ in weighted.nfa.arcs_from(state):
+                weight = (
+                    semiring.one
+                    if arc_weight is None or symbol is None
+                    else arc_weight(symbol)
+                )
+                weighted._weights_by_source[state].append(weight)
+        weighted._variables = automaton.variables
+        return weighted
+
+    @property
+    def variables(self) -> frozenset[str]:
+        stored = getattr(self, "_variables", None)
+        if stored is not None:
+            return stored
+        return frozenset(m.var for m in self.nfa.marker_symbols())
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, doc: str) -> dict[SpanTuple, K]:
+        """The K-relation: every output tuple with its aggregate weight.
+
+        Weighted backward DP over the product graph.  ε-arcs participate
+        with their weights; ε-cycles with non-1̄ weights are not supported
+        (they would need a semiring star operation) and raise.
+        """
+        semiring = self.semiring
+        n = len(doc)
+        # suffix[state] : dict emissions-tuple -> weight, where emissions is
+        # a frozenset of (position, marker)
+        suffix: list[dict[int, dict[frozenset, K]]] = [
+            dict() for _ in range(n + 1)
+        ]
+
+        def add(table: dict[frozenset, K], emissions: frozenset, weight: K) -> None:
+            seen = table.get(emissions)
+            table[emissions] = weight if seen is None else semiring.plus(seen, weight)
+
+        for position in range(n, -1, -1):
+            # fixed contributions of this position: character steps into the
+            # already-computed next layer, plus acceptance at the end
+            base: dict[int, dict[frozenset, K]] = {}
+            for state in self.nfa.states():
+                table: dict[frozenset, K] = {}
+                if position == n and state in self.nfa.accepting:
+                    add(table, frozenset(), semiring.one)
+                arcs = self.nfa.arcs_from(state)
+                weights = self._weights_by_source[state]
+                for (symbol, target), weight in zip(arcs, weights):
+                    if (
+                        symbol is not EPSILON
+                        and not isinstance(symbol, Marker)
+                        and position < n
+                        and symbol_matches(symbol, doc[position])
+                    ):
+                        for emissions, value in suffix[position + 1].get(
+                            target, {}
+                        ).items():
+                            add(table, emissions, semiring.times(weight, value))
+                base[state] = table
+            # Jacobi iteration over the ε/marker subgraph: recompute every
+            # table from scratch each sweep, so non-idempotent semirings
+            # (counting, probability) sum each run exactly once.  Acyclic
+            # subgraphs stabilise within num_states sweeps; cyclic ones with
+            # non-idempotent ⊕ diverge and trip the guard (they would need a
+            # star operation), while idempotent ⊕ (boolean, tropical)
+            # converges to the least fixpoint.
+            layer = base
+            for sweep in range(2 * self.nfa.num_states + 3):
+                new_layer: dict[int, dict[frozenset, K]] = {}
+                for state in self.nfa.states():
+                    table = dict(base[state])
+                    arcs = self.nfa.arcs_from(state)
+                    weights = self._weights_by_source[state]
+                    for (symbol, target), weight in zip(arcs, weights):
+                        if symbol is EPSILON:
+                            for emissions, value in layer[target].items():
+                                add(table, emissions, semiring.times(weight, value))
+                        elif isinstance(symbol, Marker):
+                            emitted = (position + 1, symbol)
+                            for emissions, value in layer[target].items():
+                                if emitted in emissions:
+                                    continue
+                                add(
+                                    table,
+                                    emissions | {emitted},
+                                    semiring.times(weight, value),
+                                )
+                    new_layer[state] = table
+                if new_layer == layer:
+                    break
+                layer = new_layer
+            else:
+                raise SchemaError(
+                    "weighted evaluation diverged: ε/marker cycle with "
+                    "non-idempotent aggregation (no star operation available)"
+                )
+            for state, table in layer.items():
+                if table:
+                    suffix[position][state] = table
+        result: dict[SpanTuple, K] = {}
+        for state in self.nfa.initial:
+            for emissions, weight in suffix[0].get(state, {}).items():
+                tup = emissions_to_tuple(emissions)
+                seen = result.get(tup)
+                result[tup] = (
+                    weight if seen is None else semiring.plus(seen, weight)
+                )
+        return result
+
+    def best(self, doc: str) -> tuple[SpanTuple, K] | None:
+        """The minimum-weight tuple under the tropical semiring (or any
+        semiring whose values are comparable)."""
+        relation = self.evaluate(doc)
+        if not relation:
+            return None
+        tup = min(relation, key=lambda t: relation[t])
+        return tup, relation[tup]

@@ -1,0 +1,17 @@
+"""Utilities: synthetic workload generators."""
+
+from repro.util.workloads import (
+    gene_sequence,
+    log_document,
+    random_text,
+    repetitive_text,
+    sparse_matches,
+)
+
+__all__ = [
+    "gene_sequence",
+    "log_document",
+    "random_text",
+    "repetitive_text",
+    "sparse_matches",
+]

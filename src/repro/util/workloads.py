@@ -1,0 +1,72 @@
+"""Deterministic synthetic workload generators.
+
+The paper's motivating data — AQL/SystemT-style text corpora, bio-sequences
+and "sequential log-files of large systems" (Section 4) — are not shipped
+with the paper, so the benchmarks substitute deterministic generators with
+tunable size and compressibility (see DESIGN.md, "Substitutions").  All
+generators are seeded, so every benchmark run sees identical documents.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+
+__all__ = [
+    "random_text",
+    "repetitive_text",
+    "gene_sequence",
+    "log_document",
+    "sparse_matches",
+]
+
+
+def random_text(length: int, alphabet: str = "ab", seed: int = 0) -> str:
+    """Uniform random (hence barely compressible) text."""
+    rng = random.Random(seed)
+    return "".join(rng.choice(alphabet) for _ in range(length))
+
+
+def repetitive_text(unit: str, repeats: int) -> str:
+    """``unit^repeats`` — maximally SLP-compressible."""
+    return unit * repeats
+
+
+def gene_sequence(length: int, seed: int = 0, motif: str = "ACGTGACT") -> str:
+    """A DNA-like sequence: random ACGT with frequent copies of *motif*
+    (moderate compressibility, realistic repeat structure)."""
+    rng = random.Random(seed)
+    out: list[str] = []
+    while sum(len(part) for part in out) < length:
+        if rng.random() < 0.3:
+            out.append(motif)
+        else:
+            out.append(rng.choice("ACGT"))
+    return "".join(out)[:length]
+
+
+def log_document(
+    lines: int, seed: int = 0, codes: tuple[int, int] = (100, 599)
+) -> str:
+    """A synthetic server log: one ``level user=NAME code=NNN msg;`` record
+    per line — the information-extraction workload of the examples and the
+    algebra benchmark (experiment C9).  Narrow the *codes* range to force
+    repeated (user, code) pairs for equality-selection demos."""
+    rng = random.Random(seed)
+    levels = ["INFO", "WARN", "ERROR"]
+    users = ["ada", "bob", "cleo", "dan", "eve"]
+    words = ["login", "logout", "read", "write", "retry", "timeout"]
+    records = []
+    for _ in range(lines):
+        level = rng.choice(levels)
+        user = rng.choice(users)
+        code = rng.randint(*codes)
+        message = " ".join(rng.choice(words) for _ in range(rng.randint(1, 3)))
+        records.append(f"{level} user={user} code={code} {message};")
+    return "\n".join(records) + "\n"
+
+
+def sparse_matches(match: str, filler: str, count: int, gap: int) -> str:
+    """*count* copies of *match*, separated by *gap* copies of *filler* —
+    the far-apart-matches document of the constant-delay benchmark (C1)."""
+    return (filler * gap + match) * count

@@ -1,0 +1,22 @@
+"""Word combinatorics via core spanners (paper Section 2.4, [12])."""
+
+from repro.wordeq.patterns import Pattern, Var, repetition_pattern, square_pattern
+from repro.wordeq.relations import (
+    adjacent_commuting_spanner,
+    commute,
+    cyclic_shift_spanner,
+    is_cyclic_shift,
+    primitive_root,
+)
+
+__all__ = [
+    "Pattern",
+    "Var",
+    "adjacent_commuting_spanner",
+    "commute",
+    "cyclic_shift_spanner",
+    "is_cyclic_shift",
+    "primitive_root",
+    "repetition_pattern",
+    "square_pattern",
+]

@@ -1,0 +1,179 @@
+"""Pattern matching with variables (paper Section 2.4's first gadget).
+
+A *pattern* is a sequence of terminal strings and variables, e.g.
+``x · ab · x · y``; a document matches if the variables can be substituted
+by strings so that the pattern spells the document.  Deciding this
+(the membership problem for pattern languages) is NP-complete, and the
+paper uses it to show that core spanner evaluation is NP-hard: the pattern
+translates into the core spanner
+
+    π_∅ ( ς=_{Z1} … ς=_{Zk} ( ⟦ x1▷Σ*◁x1 · … · xn▷Σ*◁xn ⟧ ) )
+
+where the equality groups Z identify the slots holding the same variable.
+
+Provided here:
+
+* :class:`Pattern` with a backtracking :meth:`Pattern.matches` (the direct
+  NP algorithm, used as the baseline in benchmark C6);
+* :meth:`Pattern.to_core_spanner` — the paper's encoding, evaluated through
+  the core-spanner machinery;
+* :func:`square_pattern` etc. — the stock hard instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.automata.nfa import NFA
+from repro.automata.vset import VSetAutomaton
+from repro.core.alphabet import Close, DOT, Open
+from repro.errors import SchemaError
+from repro.spanners.core import CoreSpanner, Prim
+
+__all__ = ["Pattern", "square_pattern", "repetition_pattern"]
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """A pattern over terminals and variables.
+
+    ``items`` mixes plain strings (terminal factors) and :class:`Var`
+    markers.  For ergonomic construction use :meth:`parse`: uppercase
+    letters are variables, everything else is terminal — e.g.
+    ``Pattern.parse("XabXY")`` is ``x · ab · x · y``.
+    """
+
+    items: tuple
+
+    def __post_init__(self) -> None:
+        for item in self.items:
+            if isinstance(item, str):
+                continue
+            if isinstance(item, Var):
+                continue
+            raise SchemaError(f"pattern items must be str or Var, got {item!r}")
+
+    @classmethod
+    def parse(cls, text: str) -> "Pattern":
+        """Uppercase letters are variables; other characters are terminals."""
+        items: list = []
+        for ch in text:
+            if ch.isupper():
+                items.append(Var(ch.lower()))
+            elif items and isinstance(items[-1], str):
+                items[-1] += ch
+            else:
+                items.append(ch)
+        return cls(tuple(items))
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        """Variable names in order of first occurrence."""
+        seen: list[str] = []
+        for item in self.items:
+            if isinstance(item, Var) and item.name not in seen:
+                seen.append(item.name)
+        return tuple(seen)
+
+    # ------------------------------------------------------------------
+    # direct NP algorithm
+    # ------------------------------------------------------------------
+    def matches(self, doc: str) -> bool:
+        """Backtracking membership test (assignment may use empty strings)."""
+        return self.match_assignment(doc) is not None
+
+    def match_assignment(self, doc: str) -> dict[str, str] | None:
+        """A satisfying variable assignment, or ``None``."""
+        items = self.items
+
+        def search(index: int, position: int, bound: dict[str, str]):
+            if index == len(items):
+                return dict(bound) if position == len(doc) else None
+            item = items[index]
+            if isinstance(item, str):
+                if doc.startswith(item, position):
+                    return search(index + 1, position + len(item), bound)
+                return None
+            name = item.name
+            if name in bound:
+                value = bound[name]
+                if doc.startswith(value, position):
+                    return search(index + 1, position + len(value), bound)
+                return None
+            for end in range(position, len(doc) + 1):
+                bound[name] = doc[position:end]
+                found = search(index + 1, end, bound)
+                if found is not None:
+                    return found
+            del bound[name]
+            return None
+
+        return search(0, 0, {})
+
+    # ------------------------------------------------------------------
+    # the paper's core-spanner encoding
+    # ------------------------------------------------------------------
+    def to_core_spanner(self) -> CoreSpanner:
+        """``π_∅(ς=…ς=(⟦slot automaton⟧))``: nonempty on D iff D matches.
+
+        Each pattern item becomes a slot: terminals are spelled literally,
+        variable occurrences become ``slot_i▷ Σ* ◁slot_i`` captures; each
+        variable's slots form one string-equality group.
+        """
+        nfa = NFA()
+        current = nfa.add_state(initial=True)
+        groups: dict[str, list[str]] = {}
+        slot = 0
+        for item in self.items:
+            if isinstance(item, str):
+                for ch in item:
+                    nxt = nfa.add_state()
+                    nfa.add_arc(current, ch, nxt)
+                    current = nxt
+                continue
+            name = f"slot{slot}"
+            slot += 1
+            groups.setdefault(item.name, []).append(name)
+            opened = nfa.add_state()
+            nfa.add_arc(current, Open(name), opened)
+            nfa.add_arc(opened, DOT, opened)
+            closed = nfa.add_state()
+            nfa.add_arc(opened, Close(name), closed)
+            current = closed
+        nfa.accepting = {current}
+        expr: CoreSpanner = Prim(VSetAutomaton(nfa, functional=True))
+        for slots in groups.values():
+            if len(slots) > 1:
+                expr = expr.select_equal(frozenset(slots))
+        return expr.project(set())
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "·".join(
+            item if isinstance(item, str) else item.name.upper()
+            for item in self.items
+        )
+
+
+@dataclass(frozen=True)
+class Var:
+    """A variable occurrence inside a :class:`Pattern`."""
+
+    name: str
+
+
+def square_pattern() -> Pattern:
+    """``X·X`` — matches exactly the squares (the copy language ww)."""
+    return Pattern((Var("x"), Var("x")))
+
+
+def repetition_pattern(variables: int, repeats: int = 2) -> Pattern:
+    """``X1^repeats · X2^repeats · … · Xn^repeats`` — the scaling family
+    used by the NP-hardness benchmark (experiment C6)."""
+    items: list = []
+    for index in range(variables):
+        items.extend([Var(f"x{index}")] * repeats)
+    return Pattern(tuple(items))
+
+
+Pattern.Var = Var  # convenient alias
+__all__.append("Var")

@@ -1,0 +1,178 @@
+"""Word-combinatorial relations as core spanners (paper Section 2.4).
+
+The paper recalls from Freydenberger & Holldack [12] that core spanners can
+express relations classically described by *word equations*:
+
+* ``u ~com v`` (commutation): ∃p with u, v ∈ p* — the equation xy = yx;
+* ``u ~cyc v`` (conjugacy / cyclic shift): ∃w1, w2 with u = w1·w2 and
+  v = w2·w1 — the equation xz = zy.
+
+This module gives **constructive** core spanners for both relations on the
+natural spanner reading "u and v are factors of the document":
+
+* :func:`cyclic_shift_spanner` — u = contents of the fused pair (x1, x2),
+  v = contents of (y1, y2), with the cross equalities ς={x1,y2}, ς={x2,y1}.
+  This is precisely the equation xz = zy written with spans, and works for
+  any non-overlapping placement of the two factors.
+* :func:`adjacent_commuting_spanner` — for *adjacent* factors u = D[i..j),
+  v = D[j..k): writing z = uv = D[i..k), the classical Fine–Wilf argument
+  shows  ``uv = vu  ⟺  z has borders of lengths |u| and |v|``, i.e. the
+  prefix of z of length |u| (= the span of x itself) equals its suffix of
+  length |u|, and symmetrically for v.  Borders of z are *overlapping*
+  string equalities — exactly the feature that separates core spanners
+  from refl-spanners (Section 3).
+
+Direct combinatorial oracles (:func:`commute`, :func:`is_cyclic_shift`,
+:func:`primitive_root`) are provided for cross-validation and for the
+benchmark baselines.
+"""
+
+from __future__ import annotations
+
+from repro.automata.nfa import EPSILON, NFA
+from repro.automata.vset import VSetAutomaton
+from repro.core.alphabet import Close, Open
+from repro.spanners.core import CoreSpanner, Prim
+
+__all__ = [
+    "commute",
+    "is_cyclic_shift",
+    "primitive_root",
+    "cyclic_shift_spanner",
+    "adjacent_commuting_spanner",
+]
+
+
+# ---------------------------------------------------------------------------
+# combinatorial oracles
+# ---------------------------------------------------------------------------
+def commute(u: str, v: str) -> bool:
+    """``u ~com v``: u·v == v·u (⇔ both are powers of a common root)."""
+    return u + v == v + u
+
+
+def is_cyclic_shift(u: str, v: str) -> bool:
+    """``u ~cyc v``: v is a rotation of u."""
+    return len(u) == len(v) and v in u + u
+
+
+def primitive_root(word: str) -> str:
+    """The primitive root p of *word* (the shortest p with word ∈ p*).
+
+    Uses the classical border trick: the root length is
+    ``n − border(word)`` when that divides n, else n.
+    """
+    n = len(word)
+    if n == 0:
+        return ""
+    # longest proper border via the KMP failure function
+    failure = [0] * n
+    k = 0
+    for i in range(1, n):
+        while k and word[i] != word[k]:
+            k = failure[k - 1]
+        if word[i] == word[k]:
+            k += 1
+        failure[i] = k
+    period = n - failure[-1]
+    return word[:period] if n % period == 0 else word
+
+
+# ---------------------------------------------------------------------------
+# core spanner constructions
+# ---------------------------------------------------------------------------
+def _loop(nfa: NFA, state: int, alphabet: str) -> None:
+    for ch in alphabet:
+        nfa.add_arc(state, ch, state)
+
+
+def cyclic_shift_spanner(alphabet: str = "ab") -> CoreSpanner:
+    """The core spanner S_cyc of [12, Prop. 3.7] (split-variable form).
+
+    Schema ``{x1, x2, y1, y2}``: x1·x2 is the factor u (x2 starts where x1
+    ends), y1·y2 is the factor v, u ends at or before v's start, and the
+    string equalities ς={x1,y2}, ς={x2,y1} force v = w2·w1 whenever
+    u = w1·w2.  Fusing (x1, x2) → x and (y1, y2) → y with the Section 3.2
+    operator recovers the paper's two-column S_cyc.
+    """
+    nfa = NFA()
+    states = [nfa.add_state() for _ in range(9)]
+    nfa.initial = {states[0]}
+    nfa.accepting = {states[8]}
+    _loop(nfa, states[0], alphabet)          # prefix
+    nfa.add_arc(states[0], Open("x1"), states[1])
+    _loop(nfa, states[1], alphabet)          # w1
+    nfa.add_arc(states[1], Close("x1"), states[2])
+    nfa.add_arc(states[2], Open("x2"), states[3])
+    _loop(nfa, states[3], alphabet)          # w2
+    nfa.add_arc(states[3], Close("x2"), states[4])
+    _loop(nfa, states[4], alphabet)          # gap
+    nfa.add_arc(states[4], Open("y1"), states[5])
+    _loop(nfa, states[5], alphabet)          # w2 again
+    nfa.add_arc(states[5], Close("y1"), states[6])
+    nfa.add_arc(states[6], Open("y2"), states[7])
+    _loop(nfa, states[7], alphabet)          # w1 again
+    nfa.add_arc(states[7], Close("y2"), states[8])
+    _loop(nfa, states[8], alphabet)          # suffix
+    regular = Prim(VSetAutomaton(nfa, functional=True))
+    return regular.select_equal({"x1", "y2"}).select_equal({"x2", "y1"})
+
+
+def adjacent_commuting_spanner(alphabet: str = "ab") -> CoreSpanner:
+    """The core spanner for ``u ~com v`` on adjacent factors.
+
+    Schema ``{x, y, px, sx}`` projected to ``{x, y}``: x = u = D[i..j),
+    y = v = D[j..k), and with z := D[i..k) = u·v,
+
+    * ``sx`` is a suffix of z (it closes exactly where y closes) and
+      ς={x, sx} forces sx to spell u — i.e. z has a border of length |u|;
+    * ``px`` is a prefix of z (it opens exactly where x opens) and
+      ς={y, px} forces px to spell v — i.e. z has a border of length |v|.
+
+    By Fine and Wilf (|z| = |u| + |v| ≥ |u| + |v| − gcd), the two borders
+    force z to have period gcd(|u|, |v|), hence u·v = v·u.  Note that px
+    and sx *properly overlap* x and y in general — this spanner lives in
+    the overlapping-equality fragment that refl-spanners deliberately
+    exclude (Section 3).
+    """
+    nfa = NFA()
+    start = nfa.add_state(initial=True)
+    _loop(nfa, start, alphabet)
+    # at position i: open x and px together
+    opened = nfa.add_state()
+    nfa.add_arc(start, Open("x"), opened)
+    both_open = nfa.add_state()
+    nfa.add_arc(opened, Open("px"), both_open)
+    # px closes somewhere in [i, k]; sx opens somewhere in [i, k];
+    # ◁x and y▷ happen together at j; ◁y and ◁sx happen together at k.
+    # state = (x-phase, px closed?, sx open?) with x-phase ∈ {in_x, in_y}
+    phase: dict[tuple[str, bool, bool], int] = {}
+    for in_y in (False, True):
+        for px_closed in (False, True):
+            for sx_open in (False, True):
+                phase[("y" if in_y else "x", px_closed, sx_open)] = nfa.add_state()
+    nfa.add_arc(both_open, EPSILON, phase[("x", False, False)])
+    for in_y in (False, True):
+        tag = "y" if in_y else "x"
+        for px_closed in (False, True):
+            for sx_open in (False, True):
+                here = phase[(tag, px_closed, sx_open)]
+                _loop(nfa, here, alphabet)
+                if not px_closed:
+                    nfa.add_arc(here, Close("px"), phase[(tag, True, sx_open)])
+                if not sx_open:
+                    nfa.add_arc(here, Open("sx"), phase[(tag, px_closed, True)])
+                if not in_y:
+                    # the j boundary: close x, open y
+                    mid = nfa.add_state()
+                    nfa.add_arc(here, Close("x"), mid)
+                    nfa.add_arc(mid, Open("y"), phase[("y", px_closed, sx_open)])
+    # the k boundary: close y and sx together (requires px closed, sx open)
+    closing = nfa.add_state()
+    done = nfa.add_state(accepting=True)
+    nfa.add_arc(phase[("y", True, True)], Close("y"), closing)
+    nfa.add_arc(closing, Close("sx"), done)
+    _loop(nfa, done, alphabet)
+    regular = Prim(VSetAutomaton(nfa, functional=True))
+    constrained = regular.select_equal({"x", "sx"}).select_equal({"y", "px"})
+    return constrained.project({"x", "y"})

@@ -1,0 +1,82 @@
+"""Tests for the algebra utilities: lenient join, variable duplication."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Span, SpanTuple
+from repro.regex import spanner_from_regex
+from repro.spanners import duplicate_variable, forbid_variables, join_lenient
+
+
+class TestForbidVariables:
+    def test_drops_marker_arcs(self):
+        spanner = spanner_from_regex("(!x{a})?b")
+        restricted = forbid_variables(spanner, {"x"})
+        relation = restricted.evaluate("ab")
+        assert not relation  # the x-marking run was the only way to read 'ab'
+        relation_b = restricted.evaluate("b")
+        assert SpanTuple.empty() in relation_b
+
+    def test_removes_variable_from_schema(self):
+        spanner = spanner_from_regex("(!x{a})?b")
+        restricted = forbid_variables(spanner, {"x"})
+        assert "x" not in restricted.variables
+
+
+class TestDuplicateVariable:
+    def test_twin_marks_identical_spans(self):
+        spanner = spanner_from_regex("(a|b)*!x{ab}(a|b)*")
+        doubled = duplicate_variable(spanner, "x", "x2")
+        relation = doubled.evaluate("abab")
+        assert relation
+        for tup in relation:
+            assert tup["x"] == tup["x2"]
+
+    def test_twin_of_optional_variable(self):
+        spanner = spanner_from_regex("(!x{a})?b*")
+        doubled = duplicate_variable(spanner, "x", "x2")
+        for tup in doubled.evaluate("ab"):
+            assert ("x" in tup) == ("x2" in tup)
+
+    def test_existing_name_rejected(self):
+        import pytest
+
+        spanner = spanner_from_regex("!x{a}")
+        with pytest.raises(ValueError):
+            duplicate_variable(spanner, "x", "x")
+
+
+class TestLenientJoin:
+    def test_coincides_with_strict_join_for_functional(self):
+        left = spanner_from_regex("(a|b)*!x{a+}(a|b)*")
+        right = spanner_from_regex("(a|b)*!x{a+}b(a|b)*")
+        strict = left.join(right)
+        lenient = join_lenient(left, right)
+        for doc in ["aab", "aba", "baab", ""]:
+            assert strict.evaluate(doc) == lenient.evaluate(doc), doc
+
+    def test_undefined_side_joins(self):
+        """Schemaless: a tuple leaving x undefined joins with any x."""
+        left = spanner_from_regex("(!x{a})?(a|b)*")   # x optional
+        right = spanner_from_regex("(a|b)*!x{a}(a|b)*!y{b}(a|b)*")
+        lenient = join_lenient(left.automaton if hasattr(left, "automaton") else left, right)
+        relation = lenient.evaluate("ab")
+        # right defines x=[1,2), y=[2,3); left may leave x undefined,
+        # in which case the joined tuple takes right's x
+        assert SpanTuple.of(x=Span(1, 2), y=Span(2, 3)) in relation
+
+    def test_matches_relation_level_join(self):
+        left = spanner_from_regex("(!x{a})?(a|b)*")
+        right = spanner_from_regex("(!x{a})?(a|b)*!y{b}(a|b)*")
+        lenient = join_lenient(left, right)
+        for doc in ["ab", "ba", "aab"]:
+            expected = left.evaluate(doc).natural_join(right.evaluate(doc))
+            assert lenient.evaluate(doc) == expected, doc
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.text(alphabet="ab", max_size=4))
+    def test_relation_join_property(self, doc):
+        left = spanner_from_regex("(!x{a+})?b*")
+        right = spanner_from_regex("(a|b)*(!x{a+})?!y{b}")
+        lenient = join_lenient(left, right)
+        expected = left.evaluate(doc).natural_join(right.evaluate(doc))
+        assert lenient.evaluate(doc) == expected

@@ -1,0 +1,158 @@
+"""Algebraic laws of the spanner operations, as property tests.
+
+These pin down the semantics: union is a set-union, join is lenient
+natural join, projection composes, string-equality selections commute, and
+the fusion operator respects containment.  Each law is checked both at the
+relation level and (where the operation stays regular) at the automaton
+level.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Span, SpanRelation, SpanTuple, fuse
+from repro.regex import spanner_from_regex
+from repro.spanners import RegularSpanner
+
+
+# ---------------------------------------------------------------------------
+# relation-level strategies
+# ---------------------------------------------------------------------------
+def spans(doc_length=6):
+    return st.tuples(
+        st.integers(1, doc_length + 1), st.integers(0, doc_length)
+    ).map(lambda p: Span(p[0], min(p[0] + p[1], doc_length + 1)))
+
+
+def tuples_over(variables):
+    return st.fixed_dictionaries(
+        {}, optional={var: spans() for var in variables}
+    ).map(SpanTuple)
+
+
+def relations(variables):
+    return st.lists(tuples_over(variables), max_size=5).map(
+        lambda ts: SpanRelation(variables, ts)
+    )
+
+
+XY = ("x", "y")
+YZ = ("y", "z")
+
+
+class TestRelationLaws:
+    @settings(max_examples=40)
+    @given(relations(XY), relations(XY))
+    def test_union_commutative(self, a, b):
+        assert a.union(b) == b.union(a)
+
+    @settings(max_examples=40)
+    @given(relations(XY), relations(XY), relations(XY))
+    def test_union_associative(self, a, b, c):
+        assert a.union(b).union(c) == a.union(b.union(c))
+
+    @settings(max_examples=40)
+    @given(relations(XY))
+    def test_union_idempotent(self, a):
+        assert a.union(a) == a
+
+    @settings(max_examples=40)
+    @given(relations(XY), relations(YZ))
+    def test_join_commutative(self, a, b):
+        assert a.natural_join(b) == b.natural_join(a)
+
+    @settings(max_examples=25)
+    @given(relations(("x",)), relations(("y",)), relations(("z",)))
+    def test_join_associative_disjoint_schemas(self, a, b, c):
+        left = a.natural_join(b).natural_join(c)
+        right = a.natural_join(b.natural_join(c))
+        assert left == right
+
+    @settings(max_examples=40)
+    @given(relations(XY))
+    def test_projection_composes(self, a):
+        assert a.project(["x", "y"]).project(["x"]) == a.project(["x"])
+
+    @settings(max_examples=40)
+    @given(relations(XY), relations(YZ))
+    def test_join_distributes_over_union(self, a, b):
+        c = SpanRelation(XY, [SpanTuple.of(x=Span(1, 2))])
+        left = a.union(c).natural_join(b)
+        right = a.natural_join(b).union(c.natural_join(b))
+        assert left == right
+
+    @settings(max_examples=40)
+    @given(relations(XY), st.text(alphabet="ab", min_size=6, max_size=6))
+    def test_select_equal_commutes_and_is_idempotent(self, a, doc):
+        one = a.select_equal(doc, ["x", "y"]).select_equal(doc, ["x"])
+        other = a.select_equal(doc, ["x"]).select_equal(doc, ["x", "y"])
+        assert one == other
+        assert a.select_equal(doc, ["x", "y"]).select_equal(doc, ["x", "y"]) == a.select_equal(doc, ["x", "y"])
+
+    @settings(max_examples=40)
+    @given(relations(XY))
+    def test_select_equal_is_a_selection(self, a):
+        doc = "abab" + "ab"
+        selected = a.select_equal(doc, ["x", "y"])
+        assert selected.tuples <= a.tuples
+
+    @settings(max_examples=40)
+    @given(relations(XY))
+    def test_fusion_preserves_cardinality_bound(self, a):
+        fused = fuse(a, ["x", "y"], "z")
+        assert len(fused) <= len(a)
+
+
+class TestAutomatonLaws:
+    """The same laws through the automaton-level operations."""
+
+    A = "(a|b)*!x{a+}(a|b)*"
+    B = "(a|b)*!x{(a|b)b}(a|b)*"
+    DOCS = ["", "a", "ab", "abab", "bbaa"]
+
+    def _s(self, pattern):
+        return RegularSpanner.from_regex(pattern)
+
+    def test_union_commutative(self):
+        left = self._s(self.A).union(self._s(self.B))
+        right = self._s(self.B).union(self._s(self.A))
+        for doc in self.DOCS:
+            assert left.evaluate(doc) == right.evaluate(doc)
+
+    def test_union_with_self_is_identity(self):
+        spanner = self._s(self.A)
+        doubled = spanner.union(spanner)
+        for doc in self.DOCS:
+            assert doubled.evaluate(doc) == spanner.evaluate(doc)
+
+    def test_join_with_universal_is_identity(self):
+        spanner = self._s(self.A)
+        universal = self._s("(a|b)*!x{a+}(a|b)*")  # same spanner
+        joined = spanner.join(universal)
+        for doc in self.DOCS:
+            assert joined.evaluate(doc) == spanner.evaluate(doc)
+
+    def test_difference_then_union_recovers_superset(self):
+        big = self._s(self.B)
+        small = self._s("(a|b)*!x{ab}(a|b)*")  # subset of B's captures
+        recombined = big.difference(small).union(small)
+        for doc in self.DOCS:
+            assert recombined.evaluate(doc) == big.evaluate(doc)
+
+    def test_minimized_preserves_spanner(self):
+        from repro.decision import equivalent_spanners
+
+        spanner = self._s(self.B)
+        minimal = spanner.minimized()
+        for doc in self.DOCS:
+            assert minimal.evaluate(doc) == spanner.evaluate(doc)
+        assert equivalent_spanners(minimal, spanner)
+
+    def test_minimized_is_canonical(self):
+        """Two different representations of one spanner minimise to the
+        same number of states."""
+        one = self._s("!x{ab|ac}")
+        two = self._s("!x{a(b|c)}")
+        assert (
+            one.minimized().automaton.nfa.num_states
+            == two.minimized().automaton.nfa.num_states
+        )

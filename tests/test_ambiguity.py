@@ -1,0 +1,94 @@
+"""Tests for NFA/vset-automaton ambiguity analysis."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.automata import NFA, literal_nfa, union
+from repro.automata.ambiguity import ambiguous_witness, is_unambiguous
+from repro.regex import compile_nfa, spanner_from_regex
+
+
+class TestUnambiguous:
+    def test_literal(self):
+        assert is_unambiguous(literal_nfa("abc"))
+
+    def test_deterministic_star(self):
+        assert is_unambiguous(compile_nfa("(ab)*"))
+
+    def test_disjoint_union(self):
+        assert is_unambiguous(union(literal_nfa("a"), literal_nfa("b")))
+
+    def test_no_witness(self):
+        assert ambiguous_witness(literal_nfa("ab")) is None
+
+
+class TestAmbiguous:
+    def test_duplicate_word_union(self):
+        nfa = union(literal_nfa("ab"), literal_nfa("ab"))
+        assert not is_unambiguous(nfa)
+        assert ambiguous_witness(nfa) == ["a", "b"]
+
+    def test_duplicated_arc(self):
+        nfa = NFA()
+        s = nfa.add_state(initial=True)
+        t = nfa.add_state(accepting=True)
+        nfa.add_arc(s, "a", t)
+        nfa.add_arc(s, "a", t)
+        assert not is_unambiguous(nfa)
+
+    def test_classic_ambiguous_pattern(self):
+        # a*a* : 'a' can split in two ways
+        nfa = compile_nfa("a*a*")
+        assert not is_unambiguous(nfa)
+        witness = ambiguous_witness(nfa)
+        assert witness is not None and set(witness) <= {"a"}
+
+    def test_overlapping_char_classes(self):
+        nfa = NFA()
+        s = nfa.add_state(initial=True)
+        t = nfa.add_state(accepting=True)
+        from repro.core import char_class
+
+        nfa.add_arc(s, char_class("ab"), t)
+        nfa.add_arc(s, char_class("bc"), t)
+        assert not is_unambiguous(nfa)
+        assert ambiguous_witness(nfa) == ["b"]
+
+    def test_witness_really_is_ambiguous(self):
+        nfa = compile_nfa("(a|ab)(b|())")
+        if not is_unambiguous(nfa):
+            witness = ambiguous_witness(nfa)
+            assert nfa.accepts("".join(witness))
+
+
+class TestSpannerConnection:
+    def test_unambiguous_spanner_counts_one_per_tuple(self):
+        """The weighted-spanner connection: unambiguous ⇒ all counts 1."""
+        from repro.spanners import COUNTING, WeightedSpanner
+
+        spanner = spanner_from_regex("!x{(ab)*}")
+        if is_unambiguous(spanner.nfa):
+            weighted = WeightedSpanner.from_spanner(spanner, COUNTING)
+            assert all(
+                count == 1 for count in weighted.evaluate("abab").values()
+            )
+
+    def test_epsilon_paths_do_not_count(self):
+        """ε-ambiguity is invisible to runs over symbols."""
+        nfa = NFA()
+        s = nfa.add_state(initial=True)
+        m1 = nfa.add_state()
+        m2 = nfa.add_state()
+        t = nfa.add_state(accepting=True)
+        nfa.add_arc(s, None, m1)
+        nfa.add_arc(s, None, m2)
+        nfa.add_arc(m1, "a", t)
+        nfa.add_arc(m2, "b", t)
+        assert is_unambiguous(nfa)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.text(alphabet="ab", min_size=1, max_size=3),
+                    min_size=1, max_size=4))
+    def test_union_of_distinct_words_unambiguous_iff_no_duplicates(self, words):
+        nfa = union(*(literal_nfa(w) for w in words))
+        assert is_unambiguous(nfa) == (len(set(words)) == len(words))

@@ -1,0 +1,17 @@
+"""docs/API.md must match the code (regenerate with tools/generate_api_doc.py)."""
+
+import pathlib
+import sys
+
+
+def test_api_doc_is_fresh():
+    root = pathlib.Path(__file__).resolve().parent.parent
+    sys.path.insert(0, str(root / "tools"))
+    try:
+        import generate_api_doc
+    finally:
+        sys.path.pop(0)
+    committed = (root / "docs" / "API.md").read_text(encoding="utf-8")
+    assert committed == generate_api_doc.render(), (
+        "docs/API.md is stale; run: python tools/generate_api_doc.py"
+    )

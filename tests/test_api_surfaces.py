@@ -1,0 +1,112 @@
+"""Direct tests for small public API surfaces exercised only indirectly
+elsewhere (identified by a coverage sweep of the test corpus)."""
+
+import pytest
+
+from repro.core import (
+    Close,
+    MarkedWord,
+    Open,
+    Ref,
+    Span,
+    SpanTuple,
+    marker_sort_key,
+    sort_markers,
+    symbol_matches,
+)
+from repro.core.alphabet import canonical_marker_set, char_class
+from repro.errors import InvalidMarkedWordError
+
+
+class TestMarkerOrdering:
+    def test_canonical_order_opens_before_closes(self):
+        markers = [Close("a"), Open("z"), Close("z"), Open("a")]
+        assert sort_markers(markers) == [Open("a"), Open("z"), Close("a"), Close("z")]
+
+    def test_sort_key_shape(self):
+        assert marker_sort_key(Open("x")) < marker_sort_key(Close("x"))
+        assert marker_sort_key(Open("a")) < marker_sort_key(Open("b"))
+
+    def test_canonical_marker_set_rejects_duplicates(self):
+        with pytest.raises(InvalidMarkedWordError):
+            canonical_marker_set([Open("x"), Open("x")])
+        assert canonical_marker_set([Open("x"), Close("x")]) == frozenset(
+            {Open("x"), Close("x")}
+        )
+
+    def test_marker_kind_properties(self):
+        assert Open("x").is_open and not Open("x").is_close
+        assert Close("x").is_close and not Close("x").is_open
+
+
+class TestSymbolMatches:
+    def test_char_symbols(self):
+        assert symbol_matches("a", "a")
+        assert not symbol_matches("a", "b")
+        assert symbol_matches(char_class("ab"), "b")
+        assert not symbol_matches(char_class("ab", negated=True), "b")
+
+    def test_markers_and_refs_never_match_chars(self):
+        assert not symbol_matches(Open("x"), "x")
+        assert not symbol_matches(Ref("x"), "x")
+
+
+class TestMarkedWordPredicates:
+    def test_has_references(self):
+        with_ref = MarkedWord([Open("x"), "a", Close("x"), Ref("x")])
+        without = MarkedWord([Open("x"), "a", Close("x")])
+        assert with_ref.has_references()
+        assert not without.has_references()
+
+    def test_is_functional_for(self):
+        word = MarkedWord([Open("x"), "a", Close("x")])
+        assert word.is_functional_for({"x"})
+        assert not word.is_functional_for({"x", "y"})
+
+
+class TestSpanTupleHelpers:
+    def test_as_dict(self):
+        tup = SpanTuple.of(x=Span(1, 2), y=Span(3, 4))
+        assert tup.as_dict() == {"x": Span(1, 2), "y": Span(3, 4)}
+
+    def test_sort_key_orders_undefined_first(self):
+        defined = SpanTuple.of(x=Span(1, 2))
+        undefined = SpanTuple.empty()
+        assert undefined.sort_key(("x",)) < defined.sort_key(("x",))
+
+
+class TestConstructors:
+    def test_regular_spanner_from_automaton(self):
+        from repro.regex import spanner_from_regex
+        from repro.spanners import RegularSpanner
+
+        automaton = spanner_from_regex("!x{a}")
+        spanner = RegularSpanner.from_automaton(automaton)
+        assert spanner.evaluate("a").tuples == frozenset(
+            {SpanTuple.of(x=Span(1, 2))}
+        )
+
+    def test_core_normal_form_equality_variables(self):
+        from repro.spanners import prim
+
+        form = prim("!x{a+}!y{a+}").select_equal({"x", "y"}).simplify()
+        assert form.equality_variables() == frozenset().union(*form.groups)
+
+
+class TestEmissionsAPI:
+    def test_enumerate_emissions_positions(self):
+        from repro.enumeration import Enumerator
+        from repro.regex import spanner_from_regex
+
+        enumerator = Enumerator(spanner_from_regex("!x{ab}"))
+        index = enumerator.preprocess("ab")
+        emissions = list(enumerator.enumerate_emissions(index))
+        assert len(emissions) == 1
+        positions = sorted(position for position, _ in emissions[0])
+        assert positions == [1, 3]  # open at 1, close at 3
+
+    def test_emissions_to_tuple_drops_dangling_open(self):
+        from repro.enumeration import emissions_to_tuple
+
+        tup = emissions_to_tuple([(1, Open("x")), (3, Close("x")), (2, Open("y"))])
+        assert tup == SpanTuple.of(x=Span(1, 3))

@@ -1,0 +1,164 @@
+"""Tests for complex document editing (paper Section 4.3, experiment C4)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CDEError, SLPError
+from repro.slp import (
+    Concat,
+    Copy,
+    Delete,
+    Doc,
+    DocumentDatabase,
+    Editor,
+    Extract,
+    Insert,
+    apply_cde,
+    eval_cde,
+)
+
+TEXTS = {"D1": "ababbcabca", "D2": "bcabcaabbca", "D3": "ababbca"}
+
+
+def editor():
+    return Editor.from_texts(dict(TEXTS))
+
+
+class TestStringSemantics:
+    def test_concat(self):
+        assert eval_cde(Concat(Doc("D2"), Doc("D1")), TEXTS) == TEXTS["D2"] + TEXTS["D1"]
+
+    def test_extract_is_one_based_inclusive(self):
+        assert eval_cde(Extract(Doc("D1"), 2, 4), TEXTS) == "bab"
+        assert eval_cde(Extract(Doc("D1"), 1, 1), TEXTS) == "a"
+
+    def test_delete(self):
+        assert eval_cde(Delete(Doc("D3"), 2, 3), TEXTS) == "abbca"
+
+    def test_insert(self):
+        assert eval_cde(Insert(Doc("D3"), Doc("D1"), 1), TEXTS) == TEXTS["D1"] + TEXTS["D3"]
+        assert eval_cde(Insert(Doc("D3"), Doc("D1"), 8), TEXTS) == TEXTS["D3"] + TEXTS["D1"]
+        assert eval_cde(Insert(Doc("D3"), Doc("D1"), 3), TEXTS) == "ab" + TEXTS["D1"] + "abbca"
+
+    def test_copy(self):
+        # copy 'ba' (positions 2-3 of D1) to the front
+        assert eval_cde(Copy(Doc("D1"), 2, 3, 1), TEXTS) == "ba" + TEXTS["D1"]
+
+    def test_nested_expression(self):
+        expr = Concat(Extract(Doc("D1"), 1, 2), Delete(Doc("D2"), 1, 9))
+        assert eval_cde(expr, TEXTS) == "ab" + TEXTS["D2"][9:]
+
+    def test_paper_style_compound_edit(self):
+        """'cut a factor from one document, insert it into another, append
+        a third' — the Section 4 narrative."""
+        cut = Extract(Doc("D2"), 4, 6)
+        inserted = Insert(Doc("D3"), cut, 3)
+        appended = Concat(inserted, Doc("D1"))
+        manual = TEXTS["D3"][:2] + TEXTS["D2"][3:6] + TEXTS["D3"][2:] + TEXTS["D1"]
+        assert eval_cde(appended, TEXTS) == manual
+
+    def test_errors(self):
+        with pytest.raises(CDEError):
+            eval_cde(Doc("missing"), TEXTS)
+        with pytest.raises(CDEError):
+            eval_cde(Extract(Doc("D1"), 0, 3), TEXTS)
+        with pytest.raises(CDEError):
+            eval_cde(Extract(Doc("D1"), 3, 99), TEXTS)
+        with pytest.raises(CDEError):
+            eval_cde(Insert(Doc("D1"), Doc("D2"), 99), TEXTS)
+
+    def test_size(self):
+        expr = Concat(Extract(Doc("D1"), 1, 2), Doc("D2"))
+        assert expr.size() == 4
+
+
+class TestSLPSemantics:
+    EXPRESSIONS = [
+        Concat(Doc("D2"), Doc("D1")),
+        Extract(Doc("D1"), 2, 4),
+        Delete(Doc("D3"), 2, 3),
+        Insert(Doc("D3"), Doc("D1"), 3),
+        Copy(Doc("D1"), 2, 3, 1),
+        Concat(Extract(Doc("D1"), 1, 2), Delete(Doc("D2"), 1, 9)),
+        Insert(Doc("D3"), Extract(Doc("D2"), 4, 6), 3),
+        Copy(Concat(Doc("D1"), Doc("D3")), 5, 9, 17),
+    ]
+
+    @pytest.mark.parametrize(
+        "expr", EXPRESSIONS, ids=[f"{type(e).__name__}{i}" for i, e in enumerate(EXPRESSIONS)]
+    )
+    def test_matches_string_semantics(self, expr):
+        ed = editor()
+        node = apply_cde(expr, ed.db)
+        assert ed.db.slp.derive(node) == eval_cde(expr, TEXTS)
+        assert ed.db.slp.is_strongly_balanced(node)
+
+    def test_editor_stores_result(self):
+        ed = editor()
+        ed.apply("D4", Concat(Doc("D2"), Doc("D1")))
+        assert ed.db.document("D4") == TEXTS["D2"] + TEXTS["D1"]
+        # D4 is queryable in further expressions
+        ed.apply("D5", Extract(Doc("D4"), 3, 7))
+        assert ed.db.document("D5") == (TEXTS["D2"] + TEXTS["D1"])[2:7]
+
+    def test_empty_result_rejected(self):
+        ed = editor()
+        with pytest.raises(CDEError):
+            apply_cde(Delete(Doc("D3"), 1, len(TEXTS["D3"])), ed.db)
+
+    def test_editor_requires_balanced_database(self):
+        from repro.slp import figure_1_database
+
+        db, _ = figure_1_database()  # A1..A3 are NOT balanced
+        with pytest.raises(SLPError):
+            Editor(db)
+
+    def test_rebalance_document(self):
+        from repro.slp import figure_1_database
+
+        db, _ = figure_1_database()
+        from repro.slp.balance import rebalance
+
+        docs = {name: db.document(name) for name in db.names()}
+        for name in db.names():
+            db._docs[name] = rebalance(db.slp, db.node(name))
+        ed = Editor(db)
+        ed.apply("D4", Concat(Doc("D2"), Doc("D1")))
+        assert ed.db.document("D4") == docs["D2"] + docs["D1"]
+
+    def test_update_cost_is_logarithmic(self):
+        """The [40] headline: a CDE step on a huge document creates only
+        O(log d) fresh nodes."""
+        from repro.slp import SLP, power_node
+
+        slp = SLP()
+        node = power_node(slp, "abcd", 18)  # document of length 2^20
+        db = DocumentDatabase(slp)
+        db.add_node("big", node)
+        ed = Editor(db)
+        before = slp.num_nodes()
+        ed.apply("edited", Delete(Doc("big"), 12345, 23456))
+        created = slp.num_nodes() - before
+        assert created <= 60 * 21  # O(log d) with a generous constant
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.text(alphabet="ab", min_size=2, max_size=30),
+        st.text(alphabet="ab", min_size=1, max_size=20),
+        st.data(),
+    )
+    def test_property_random_edit_scripts(self, base, other, data):
+        ed = Editor.from_texts({"A": base, "B": other})
+        texts = {"A": base, "B": other}
+        i = data.draw(st.integers(1, len(base)))
+        j = data.draw(st.integers(i, len(base)))
+        k = data.draw(st.integers(1, len(base) + 1))
+        for expr in [
+            Extract(Doc("A"), i, j),
+            Insert(Doc("A"), Doc("B"), k),
+            Copy(Doc("A"), i, j, k),
+            Concat(Doc("B"), Extract(Doc("A"), i, j)),
+        ]:
+            node = apply_cde(expr, ed.db)
+            assert ed.db.slp.derive(node) == eval_cde(expr, texts)
+            assert ed.db.slp.is_strongly_balanced(node)

@@ -1,0 +1,73 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestEval:
+    def test_eval_prints_table(self, capsys):
+        assert main(["eval", "!x{(a|b)*}!y{b}!z{(a|b)*}", "ababbab"]) == 0
+        out = capsys.readouterr().out
+        assert "[1,2⟩" in out and out.count("\n") >= 5
+
+    def test_eval_contents(self, capsys):
+        assert main(["eval", "!x{a+}b", "aab", "--contents"]) == 0
+        out = capsys.readouterr().out
+        assert "aa" in out and "[1,3⟩" not in out
+
+    def test_eval_limit_streams(self, capsys):
+        assert main(["eval", "(a|b)*!x{a}(a|b)*", "aaaa", "--limit", "2"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 2
+
+    def test_eval_from_file(self, tmp_path, capsys):
+        doc = tmp_path / "doc.txt"
+        doc.write_text("abab")
+        assert main(["eval", "(a|b)*!x{ab}(a|b)*", "--file", str(doc)]) == 0
+        assert "[1,3⟩" in capsys.readouterr().out
+
+    def test_missing_document(self):
+        with pytest.raises(SystemExit):
+            main(["eval", "!x{a}"])
+
+    def test_regex_error_is_reported(self, capsys):
+        assert main(["eval", "!x{a", "a"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestRefl:
+    def test_refl_eval(self, capsys):
+        assert main(["refl", "!x{(a|b)+}&x", "abab"]) == 0
+        assert "[1,3⟩" in capsys.readouterr().out
+
+
+class TestCompress:
+    def test_compress_stats(self, capsys):
+        assert main(["compress", "abab" * 64, "--builder", "repair"]) == 0
+        out = capsys.readouterr().out
+        assert "document length : 256" in out
+        assert "slp nodes" in out
+
+    @pytest.mark.parametrize("builder", ["repair", "lz78", "balanced"])
+    def test_all_builders(self, builder, capsys):
+        assert main(["compress", "abcabc", "--builder", builder]) == 0
+
+
+class TestCheck:
+    def test_match(self, capsys):
+        assert main(["check", "!x{a+}!y{b+}", "aab", "x=1:3", "y=3:4"]) == 0
+        assert "MATCH" in capsys.readouterr().out
+
+    def test_no_match(self, capsys):
+        assert main(["check", "!x{a+}!y{b+}", "aab", "x=1:2", "y=3:4"]) == 1
+        assert "NO MATCH" in capsys.readouterr().out
+
+    def test_bad_binding(self):
+        with pytest.raises(SystemExit):
+            main(["check", "!x{a}", "a", "x=zzz"])
+
+
+def test_parser_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,82 @@
+"""Tests for spanner composition (AQL-style nested extraction)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Span, SpanTuple
+from repro.errors import SchemaError
+from repro.spanners import RegularSpanner
+from repro.spanners.compose import within
+
+
+def records_spanner():
+    """Whole ';'-separated records (anchored)."""
+    return RegularSpanner.from_regex(
+        "(([ab=]|;)*;)?!rec{[ab=]+}(;([ab=]|;)*)?"
+    )
+
+
+def value_spanner():
+    """The value after '=' inside one record."""
+    return RegularSpanner.from_regex("[ab]*=!value{[ab]+}")
+
+
+class TestWithin:
+    def test_nested_extraction(self):
+        doc = "a=bb;b=a"
+        query = within(records_spanner(), "rec", value_spanner())
+        relation = query.evaluate(doc)
+        got = {
+            (t["rec"].extract(doc), t["value"].extract(doc)) for t in relation
+        }
+        assert got == {("a=bb", "bb"), ("b=a", "a")}
+
+    def test_inner_spans_are_global(self):
+        doc = "a=bb;b=a"
+        query = within(records_spanner(), "rec", value_spanner())
+        for tup in query.evaluate(doc):
+            assert tup["rec"].contains(tup["value"])
+            assert tup["value"].extract(doc) == tup["value"].extract(doc)
+
+    def test_no_inner_match_drops_tuple(self):
+        doc = "ab;a=b"
+        query = within(records_spanner(), "rec", value_spanner())
+        relation = query.evaluate(doc)
+        assert {t["rec"].extract(doc) for t in relation} == {"a=b"}
+
+    def test_schema_is_union(self):
+        query = within(records_spanner(), "rec", value_spanner())
+        assert query.variables == {"rec", "value"}
+
+    def test_unknown_outer_variable(self):
+        with pytest.raises(SchemaError):
+            within(records_spanner(), "nope", value_spanner())
+
+    def test_clashing_schemas(self):
+        with pytest.raises(SchemaError):
+            within(records_spanner(), "rec", records_spanner())
+
+    def test_composition_is_a_spanner(self):
+        """The composed object supports the whole Spanner interface."""
+        doc = "a=bb;b=a"
+        query = within(records_spanner(), "rec", value_spanner())
+        some = next(iter(query.enumerate(doc)))
+        assert query.model_check(doc, some)
+        assert query.is_nonempty_on(doc)
+
+    def test_three_level_composition(self):
+        doc = "a=bb;b=a"
+        inner_b = RegularSpanner.from_regex("[ab]*!ch{b}[ab]*")
+        query = within(
+            within(records_spanner(), "rec", value_spanner()), "value", inner_b
+        )
+        relation = query.evaluate(doc)
+        # only record 'a=bb' has b's inside its value
+        assert {t["ch"] for t in relation} == {Span(3, 4), Span(4, 5)}
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.text(alphabet="ab=;", max_size=12))
+    def test_inner_always_inside_outer(self, doc):
+        query = within(records_spanner(), "rec", value_spanner())
+        for tup in query.evaluate(doc):
+            assert tup["rec"].contains(tup["value"])

@@ -1,0 +1,203 @@
+"""Tests for core spanners and the core-simplification lemma (Section 2.3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Span, SpanTuple
+from repro.errors import SchemaError
+from repro.spanners import Prim, prim
+from repro.spanners.core import CoreNormalForm
+
+
+def occurrences(pattern):
+    """All occurrences of a factor pattern: (a|b|c)* !x{pattern} (a|b|c)*."""
+    return prim(f"(a|b|c)*!x{{{pattern}}}(a|b|c)*")
+
+
+class TestDirectEvaluation:
+    def test_select_equal_intro_example(self):
+        """Experiment P3: ς={x,y} on S_α(abaaab)."""
+        core = prim("!x{(a|b)*}(a|b)*!y{a*b*}").select_equal({"x", "y"})
+        relation = core.evaluate_direct("abaaab")
+        assert SpanTuple.of(x=Span(1, 3), y=Span(5, 7)) in relation
+        assert SpanTuple.of(x=Span(1, 3), y=Span(4, 7)) not in relation
+
+    def test_union(self):
+        core = occurrences("ab").union(occurrences("ba"))
+        relation = core.evaluate_direct("aba")
+        assert {t["x"] for t in relation} == {Span(1, 3), Span(2, 4)}
+
+    def test_join(self):
+        # factors starting with a  ⋈  factors ending with b  = both
+        starts = prim("(a|b)*!x{a(a|b)*}(a|b)*")
+        ends = prim("(a|b)*!x{(a|b)*b}(a|b)*")
+        core = starts.join(ends)
+        relation = core.evaluate_direct("ab")
+        assert {t["x"] for t in relation} == {Span(1, 3)}
+
+    def test_project(self):
+        core = prim("!x{a}!y{b}").project({"y"})
+        relation = core.evaluate_direct("ab")
+        assert relation.variables == ("y",)
+        assert relation.tuples == frozenset({SpanTuple.of(y=Span(2, 3))})
+
+    def test_select_equal_unknown_variable(self):
+        with pytest.raises(SchemaError):
+            prim("!x{a}").select_equal({"x", "zzz"})
+
+    def test_project_unknown_variable(self):
+        with pytest.raises(SchemaError):
+            prim("!x{a}").project({"q"})
+
+    def test_nested_expression(self):
+        # π_x( ς={x,y}( occurrences(x) ⋈ occurrences2(y) ) )
+        left = prim("(a|b)*!x{(a|b)+}(a|b)*")
+        right = prim("(a|b)*!y{(a|b)+}(a|b)*")
+        core = left.join(right).select_equal({"x", "y"}).project({"x"})
+        relation = core.evaluate_direct("aa")
+        # x must have an equal-content partner somewhere (always true here)
+        assert {t["x"] for t in relation} == {Span(1, 2), Span(2, 3), Span(1, 3)}
+
+
+class TestSimplification:
+    """The constructive core-simplification lemma (experiment C9's core)."""
+
+    CASES = [
+        ("select", lambda: prim("!x{(a|b)*}(a|b)*!y{a*b*}").select_equal({"x", "y"})),
+        ("union", lambda: occurrences("ab").union(occurrences("ba"))),
+        (
+            "union_of_selects",
+            lambda: prim("!x{(a|b)*}!y{(a|b)*}")
+            .select_equal({"x", "y"})
+            .union(prim("!x{a*}!y{b*}")),
+        ),
+        (
+            "select_then_union_shared_vars",
+            lambda: prim("!x{(a|b)+}!y{(a|b)+}")
+            .select_equal({"x", "y"})
+            .union(prim("!x{(a|b)+}b!y{(a|b)+}")),
+        ),
+        (
+            "join_then_select",
+            lambda: prim("(a|b)*!x{(a|b)+}(a|b)*")
+            .join(prim("(a|b)*!y{(a|b)+}(a|b)*"))
+            .select_equal({"x", "y"}),
+        ),
+        (
+            "project_keeps_equality_vars_alive",
+            lambda: prim("!x{(a|b)+}!y{(a|b)+}")
+            .select_equal({"x", "y"})
+            .project({"x"}),
+        ),
+        (
+            "select_after_project",
+            lambda: prim("!x{(a|b)+}!y{(a|b)+}!z{(a|b)*}")
+            .project({"x", "y"})
+            .select_equal({"x", "y"}),
+        ),
+    ]
+
+    @pytest.mark.parametrize("name,builder", CASES, ids=[c[0] for c in CASES])
+    def test_simplified_equals_direct(self, name, builder):
+        core = builder()
+        for doc in ["", "a", "ab", "ba", "abab", "aabb"]:
+            direct = core.evaluate_direct(doc)
+            simplified = core.evaluate(doc)
+            assert simplified == direct, (name, doc)
+
+    def test_normal_form_shape(self):
+        """The lemma's statement: π_Y(ς=…ς=(⟦M⟧)) with M one automaton."""
+        core = (
+            occurrences("ab")
+            .union(occurrences("ba"))
+            .select_equal({"x"})
+            .project({"x"})
+        )
+        form = core.simplify()
+        assert isinstance(form, CoreNormalForm)
+        assert form.visible == {"x"}
+        # exactly the equality groups introduced, on privatised variables
+        assert all(isinstance(g, frozenset) for g in form.groups)
+
+    def test_normal_form_is_cached(self):
+        core = occurrences("ab")
+        assert core.simplify() is core.simplify()
+
+    def test_union_does_not_leak_equalities_across_branches(self):
+        """The privatisation trick: ς={x,y}(S1) ∪ S2 must keep S2's tuples
+        even when they violate the equality."""
+        constrained = prim("!x{(a|b)+}!y{(a|b)+}").select_equal({"x", "y"})
+        free = prim("!x{a+}!y{b+}")
+        core = constrained.union(free)
+        relation = core.evaluate("ab")
+        # from the free branch: x=a, y=b with different contents
+        assert SpanTuple.of(x=Span(1, 2), y=Span(2, 3)) in relation
+        # from the constrained branch on 'aa': only equal contents
+        relation_aa = core.evaluate("aa")
+        assert SpanTuple.of(x=Span(1, 2), y=Span(2, 3)) in relation_aa
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.text(alphabet="ab", max_size=5))
+    def test_simplification_property(self, doc):
+        core = (
+            prim("!x{(a|b)*}(a|b)*!y{(a|b)*}")
+            .select_equal({"x", "y"})
+            .project({"x"})
+        )
+        assert core.evaluate(doc) == core.evaluate_direct(doc)
+
+
+class TestSection24Encodings:
+    """The paper's three hardness gadgets, as *correctness* tests here;
+    their scaling is benchmarked in experiment C6/C8."""
+
+    def test_pattern_matching_with_variables(self):
+        """ς-selections on !x1{Σ*}!x2{Σ*}… encode pattern matching:
+        the empty tuple is extracted iff the document factorises."""
+        # pattern x·x (a square): D in language iff D = ww
+        core = (
+            prim("!x1{(a|b)*}!x2{(a|b)*}")
+            .select_equal({"x1", "x2"})
+            .project(set())
+        )
+        assert core.evaluate("abab")  # ab·ab
+        assert core.evaluate("")      # ε·ε
+        assert not core.evaluate("aba")
+        assert not core.evaluate("aab")
+
+    def test_intersection_nonemptiness_encoding(self):
+        """ς={x1..xn} over !xi{ri} is satisfiable iff ∩L(ri) ≠ ∅."""
+        # L(a(a|b)*) ∩ L((a|b)*b): nonempty (e.g. 'ab')
+        core = prim("!x1{a(a|b)*}!x2{a(a|b)*}").select_equal({"x1", "x2"})
+        assert core.evaluate("abab")  # x1 = x2 = 'ab'
+        # L(a+) ∩ L(b+): empty — no document ever satisfies the selection
+        disjoint = prim("!x1{a+}!x2{b+}").select_equal({"x1", "x2"})
+        for doc in ["ab", "aabb", "ba", "aaabbb"]:
+            assert not disjoint.evaluate(doc)
+
+    def test_equal_length_windows(self):
+        # all pairs of equal factors of length >= 1 at different starts
+        core = (
+            prim("(a|b)*!x{(a|b)+}(a|b)*")
+            .join(prim("(a|b)*!y{(a|b)+}(a|b)*"))
+            .select_equal({"x", "y"})
+        )
+        relation = core.evaluate("abab")
+        pair = SpanTuple.of(x=Span(1, 3), y=Span(3, 5))  # 'ab' == 'ab'
+        assert pair in relation
+        bad = SpanTuple.of(x=Span(1, 3), y=Span(2, 4))   # 'ab' != 'ba'
+        assert bad not in relation
+
+
+class TestDescribe:
+    """The algebraic pretty-printer (paper notation)."""
+
+    def test_normal_form_shaped_expression(self):
+        core = prim("!x{a+}!y{b+}").select_equal({"x", "y"}).project({"x"})
+        assert core.describe() == "π_{x}(ς=_{x,y}(⟦M(x, y)⟧))"
+
+    def test_union_and_join(self):
+        core = prim("!x{a}").union(prim("!x{b}")).join(prim("!y{c}"))
+        text = core.describe()
+        assert "∪" in text and "⋈" in text
+        assert str(core) == text

@@ -1,0 +1,139 @@
+"""Cross-validation property tests: every evaluation path must agree.
+
+For randomly generated regex-formulas and documents, the library offers
+four independent routes to the same span relation:
+
+1. the naive backward-DP evaluator (``evaluate_vset``);
+2. the two-phase constant-delay enumerator;
+3. the SLP evaluator on a compressed parse of the document;
+4. per-tuple model checking (membership of the extended word).
+
+Any disagreement is a bug in one of the pipelines; hypothesis hunts for it.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import SpanRelation
+from repro.enumeration import Enumerator, evaluate_vset
+from repro.regex import ast, compile_ast, spanner_from_regex
+from repro.automata.vset import VSetAutomaton
+from repro.slp import SLP, SLPSpannerEvaluator, repair_node
+
+
+# ---------------------------------------------------------------------------
+# a strategy for valid regex-formulas over {a, b}
+# ---------------------------------------------------------------------------
+def _leaf():
+    return st.sampled_from(
+        [ast.Literal("a"), ast.Literal("b"), ast.Epsilon(), ast.AnyChar()]
+    )
+
+
+def _combine(children):
+    return st.one_of(
+        st.tuples(children, children).map(lambda p: ast.Concat(p)),
+        st.tuples(children, children).map(lambda p: ast.Alt(p)),
+        children.map(ast.Star),
+        children.map(ast.Maybe),
+    )
+
+
+#: capture-free regex bodies
+_BODIES = st.recursive(_leaf(), _combine, max_leaves=6)
+
+
+@st.composite
+def regex_formulas(draw):
+    """Σ*-padded formulas with 1–2 captures whose bodies are capture-free
+    (so validity is guaranteed by construction)."""
+    how_many = draw(st.integers(1, 2))
+    pieces = [draw(_BODIES)]
+    for index in range(how_many):
+        pieces.append(ast.Capture(f"v{index}", draw(_BODIES)))
+        pieces.append(draw(_BODIES))
+    return ast.Concat(tuple(pieces))
+
+
+@st.composite
+def nested_formulas(draw):
+    """Formulas with a capture nested inside another capture (hierarchical
+    by construction, distinct variable names)."""
+    inner = ast.Capture("inner", draw(_BODIES))
+    body = ast.Concat((draw(_BODIES), inner, draw(_BODIES)))
+    outer = ast.Capture("outer", body)
+    return ast.Concat((draw(_BODIES), outer, draw(_BODIES)))
+
+
+DOCS = st.text(alphabet="ab", max_size=6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(regex_formulas(), DOCS)
+def test_enumerator_agrees_with_naive(formula, doc):
+    spanner = VSetAutomaton(compile_ast(formula))
+    expected = evaluate_vset(spanner, doc)
+    streamed = SpanRelation(spanner.variables, Enumerator(spanner).enumerate(doc))
+    assert streamed == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(regex_formulas(), st.text(alphabet="ab", min_size=1, max_size=6))
+def test_slp_evaluator_agrees_with_naive(formula, doc):
+    spanner = VSetAutomaton(compile_ast(formula))
+    expected = evaluate_vset(spanner, doc)
+    slp = SLP()
+    node = repair_node(slp, doc)
+    compressed = SLPSpannerEvaluator(spanner).evaluate(slp, node)
+    assert compressed == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(regex_formulas(), DOCS)
+def test_model_check_agrees_with_membership(formula, doc):
+    spanner = VSetAutomaton(compile_ast(formula))
+    relation = evaluate_vset(spanner, doc)
+    for tup in relation:
+        assert spanner.model_check(doc, tup), (str(formula), doc, tup)
+
+
+@settings(max_examples=30, deadline=None)
+@given(regex_formulas())
+def test_self_containment_and_equivalence(formula):
+    from repro.decision import contained_in, equivalent_spanners
+
+    spanner = VSetAutomaton(compile_ast(formula))
+    assert contained_in(spanner, spanner)
+    assert equivalent_spanners(spanner, spanner)
+
+
+@settings(max_examples=30, deadline=None)
+@given(regex_formulas(), DOCS)
+def test_union_with_self_is_identity(formula, doc):
+    spanner = VSetAutomaton(compile_ast(formula))
+    union = spanner.union(spanner)
+    assert evaluate_vset(union, doc) == evaluate_vset(spanner, doc)
+
+
+@settings(max_examples=40, deadline=None)
+@given(nested_formulas(), DOCS)
+def test_nested_captures_all_pipelines_agree(formula, doc):
+    spanner = VSetAutomaton(compile_ast(formula))
+    expected = evaluate_vset(spanner, doc)
+    streamed = SpanRelation(spanner.variables, Enumerator(spanner).enumerate(doc))
+    assert streamed == expected
+    # nesting is hierarchical: inner inside outer whenever both defined
+    for tup in expected:
+        if "inner" in tup and "outer" in tup:
+            assert tup["outer"].contains(tup["inner"])
+
+
+@settings(max_examples=30, deadline=None)
+@given(regex_formulas(), DOCS)
+def test_projection_commutes_with_evaluation(formula, doc):
+    spanner = VSetAutomaton(compile_ast(formula))
+    if not spanner.variables:
+        return
+    keep = {sorted(spanner.variables)[0]}
+    projected_first = evaluate_vset(spanner.project(keep), doc)
+    evaluated_first = evaluate_vset(spanner, doc).project(keep)
+    assert projected_first == evaluated_first

@@ -1,0 +1,139 @@
+"""Tests for spanner-datalog (the [33] coverage direction, Section 1)."""
+
+import pytest
+
+from repro.core import Span, SpanTuple
+from repro.datalog import (
+    Atom,
+    Program,
+    Rule,
+    select_equal_program,
+    string_equality_program,
+)
+from repro.errors import SchemaError
+from repro.regex import spanner_from_regex
+from repro.spanners import prim
+
+
+class TestEngineBasics:
+    def test_atom_and_rule_validation(self):
+        with pytest.raises(SchemaError):
+            Atom("", ("x",))
+        with pytest.raises(SchemaError):
+            Rule(Atom("P", ("x",)), ())
+        with pytest.raises(SchemaError):
+            Rule(Atom("P", ("x",)), (Atom("Q", ("y",)),))  # unsafe head
+
+    def test_arity_consistency(self):
+        edb = {"E": (spanner_from_regex("!x{a}"), ("x",))}
+        rules = [Rule(Atom("P", ("x",)), (Atom("E", ("x",)),)),
+                 Rule(Atom("P", ("x", "x")), (Atom("E", ("x",)),))]
+        with pytest.raises(SchemaError):
+            Program(edb, rules)
+
+    def test_edb_idb_clash(self):
+        edb = {"E": (spanner_from_regex("!x{a}"), ("x",))}
+        rules = [Rule(Atom("E", ("x",)), (Atom("E", ("x",)),))]
+        with pytest.raises(SchemaError):
+            Program(edb, rules)
+
+    def test_copy_rule(self):
+        edb = {"E": (spanner_from_regex("(a|b)*!x{a}(a|b)*"), ("x",))}
+        program = Program(edb, [Rule(Atom("P", ("x",)), (Atom("E", ("x",)),))])
+        facts = program.query("aba", "P")
+        assert facts == {(Span(1, 2),), (Span(3, 4),)}
+
+    def test_join_rule(self):
+        # P(x, y) :- A(x), B(y)
+        edb = {
+            "A": (spanner_from_regex("(a|b)*!x{a}(a|b)*"), ("x",)),
+            "B": (spanner_from_regex("(a|b)*!y{b}(a|b)*"), ("y",)),
+        }
+        program = Program(
+            edb, [Rule(Atom("P", ("x", "y")), (Atom("A", ("x",)), Atom("B", ("y",))))]
+        )
+        facts = program.query("ab", "P")
+        assert facts == {(Span(1, 2), Span(2, 3))}
+
+    def test_shared_variable_joins(self):
+        # Same(x) :- A(x), B(x)
+        edb = {
+            "A": (spanner_from_regex("(a|b)*!x{a+}(a|b)*"), ("x",)),
+            "B": (spanner_from_regex("(a|b)*!x{(a|b)}(a|b)*"), ("x",)),
+        }
+        program = Program(
+            edb, [Rule(Atom("Same", ("x",)), (Atom("A", ("x",)), Atom("B", ("x",))))]
+        )
+        # length-1 'a' spans only
+        facts = program.query("aab", "Same")
+        assert facts == {(Span(1, 2),), (Span(2, 3),)}
+
+    def test_recursion_transitive_closure(self):
+        """Reach(x, y): y starts where x ends (chained adjacency)."""
+        edb = {
+            "Adj": (
+                spanner_from_regex("(a|b)*!x{(a|b)}!y{(a|b)}(a|b)*"),
+                ("x", "y"),
+            )
+        }
+        rules = [
+            Rule(Atom("Reach", ("x", "y")), (Atom("Adj", ("x", "y")),)),
+            Rule(
+                Atom("Reach", ("x", "z")),
+                (Atom("Adj", ("x", "y")), Atom("Reach", ("y", "z"))),
+            ),
+        ]
+        program = Program(edb, rules)
+        facts = program.query("abab", "Reach")
+        # from position 1, every later single-char span is reachable
+        assert (Span(1, 2), Span(4, 5)) in facts
+        assert (Span(2, 3), Span(1, 2)) not in facts
+
+    def test_unknown_query_predicate(self):
+        program = Program({"E": (spanner_from_regex("!x{a}"), ("x",))}, [
+            Rule(Atom("P", ("x",)), (Atom("E", ("x",)),))
+        ])
+        with pytest.raises(SchemaError):
+            program.query("a", "Nope")
+
+
+class TestStringEquality:
+    def test_streq_on_small_document(self):
+        program = string_equality_program("ab")
+        doc = "aba"
+        facts = program.query(doc, "StrEq")
+        pairs = {(x, y) for x, y in facts}
+        # every pair of equal-content spans, including empty ones
+        assert (Span(1, 2), Span(3, 4)) in pairs       # 'a' == 'a'
+        assert (Span(1, 1), Span(2, 2)) in pairs       # '' == ''
+        assert (Span(1, 2), Span(2, 3)) not in pairs   # 'a' != 'b'
+        for x, y in pairs:
+            assert x.extract(doc) == y.extract(doc)
+
+    def test_streq_is_complete(self):
+        program = string_equality_program("ab")
+        doc = "abab"
+        pairs = program.query(doc, "StrEq")
+        for i in range(1, len(doc) + 2):
+            for j in range(i, len(doc) + 2):
+                for k in range(1, len(doc) + 2):
+                    for l in range(k, len(doc) + 2):
+                        x, y = Span(i, j), Span(k, l)
+                        expected = x.extract(doc) == y.extract(doc)
+                        assert ((x, y) in pairs) == expected, (x, y)
+
+    def test_datalog_simulates_string_equality_selection(self):
+        """The [33] claim, executably: Answer == ς=_{x,y}(⟦spanner⟧)."""
+        pattern = "(a|b)*!x{(a|b)+}(a|b)*!y{(a|b)+}(a|b)*"
+        spanner = spanner_from_regex(pattern)
+        program = select_equal_program(spanner, "x", "y", "ab")
+        core = prim(pattern).select_equal({"x", "y"})
+        doc = "abab"
+        datalog_answer = {
+            SpanTuple.of(x=x, y=y) for x, y in program.query(doc, "Answer")
+        }
+        assert datalog_answer == core.evaluate(doc).tuples
+
+    def test_select_equal_program_validates_variables(self):
+        with pytest.raises(SchemaError):
+            select_equal_program(spanner_from_regex("!x{a}"), "x", "zz", "ab")

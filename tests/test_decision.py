@@ -1,0 +1,190 @@
+"""Tests for the decision problems of Sections 2.4 and 3.3."""
+
+import pytest
+
+from repro.automata import NFA, VSetAutomaton
+from repro.core import Close, Open, Span, SpanTuple
+from repro.decision import (
+    contained_in,
+    equivalent_spanners,
+    first_tuple,
+    is_hierarchical,
+    is_nonempty_on,
+    is_satisfiable,
+    model_check,
+    refl_contained_in,
+    satisfying_document,
+)
+from repro.errors import EvaluationLimitError, UnsupportedSpannerError
+from repro.regex import spanner_from_regex
+from repro.spanners import ReflSpanner, RegularSpanner, prim
+
+
+class TestModelChecking:
+    def test_regular(self):
+        spanner = RegularSpanner.from_regex("!x{(a|b)*}!y{b}!z{(a|b)*}")
+        doc = "ababbab"
+        assert model_check(spanner, doc, SpanTuple.of(x=Span(1, 2), y=Span(2, 3), z=Span(3, 8)))
+        assert not model_check(spanner, doc, SpanTuple.of(x=Span(1, 3), y=Span(3, 4), z=Span(4, 8)))
+
+    def test_core(self):
+        core = prim("!x{(a|b)+}(a|b)*!y{(a|b)+}").select_equal({"x", "y"})
+        doc = "abab"
+        assert model_check(core, doc, SpanTuple.of(x=Span(1, 3), y=Span(3, 5)))
+        assert not model_check(core, doc, SpanTuple.of(x=Span(1, 3), y=Span(2, 5)))
+
+    def test_core_after_projection(self):
+        core = prim("!x{(a|b)+}!y{(a|b)+}").select_equal({"x", "y"}).project({"x"})
+        assert model_check(core, "abab", SpanTuple.of(x=Span(1, 3)))
+        assert not model_check(core, "abab", SpanTuple.of(x=Span(1, 2)))
+
+    def test_refl(self):
+        refl = ReflSpanner.from_regex("!x{(a|b)+}&x")
+        assert model_check(refl, "abab", SpanTuple.of(x=Span(1, 3)))
+        assert not model_check(refl, "abab", SpanTuple.of(x=Span(1, 2)))
+
+
+class TestNonEmptiness:
+    def test_regular_ptime_route(self):
+        spanner = RegularSpanner.from_regex("(a|b)*!x{ab}(a|b)*")
+        assert is_nonempty_on(spanner, "aab")
+        assert not is_nonempty_on(spanner, "bba")
+        assert is_nonempty_on(spanner.automaton, "aab")
+
+    def test_core_with_equality(self):
+        # squares: D = w w with |w| >= 1
+        square = (
+            prim("!x1{(a|b)+}!x2{(a|b)+}")
+            .select_equal({"x1", "x2"})
+            .project(set())
+        )
+        assert is_nonempty_on(square, "abab")
+        assert is_nonempty_on(square, "aa")
+        assert not is_nonempty_on(square, "ab")
+        assert not is_nonempty_on(square, "aba")
+
+    def test_first_tuple_witness(self):
+        square = prim("!x1{(a|b)+}!x2{(a|b)+}").select_equal({"x1", "x2"})
+        witness = first_tuple(square, "abab")
+        assert witness is not None
+        assert witness["x1"].extract("abab") == witness["x2"].extract("abab")
+        assert first_tuple(square, "aba") is None
+
+    def test_refl(self):
+        refl = ReflSpanner.from_regex("!x{(a|b)+}&x")
+        assert is_nonempty_on(refl, "abab")
+        assert not is_nonempty_on(refl, "aba")
+
+
+class TestSatisfiability:
+    def test_regular(self):
+        assert is_satisfiable(RegularSpanner.from_regex("!x{ab}"))
+        assert satisfying_document(RegularSpanner.from_regex("c!x{ab}c")) == "cabc"
+
+    def test_regular_unsatisfiable(self):
+        # an automaton with no accepting run
+        nfa = NFA()
+        nfa.add_state(initial=True)
+        spanner = VSetAutomaton(nfa, frozenset({"x"}))
+        assert not is_satisfiable(spanner)
+
+    def test_refl_witness_dereferences(self):
+        refl = ReflSpanner.from_regex("!x{ab}c&x")
+        assert satisfying_document(refl) == "abcab"
+
+    def test_core_intersection_nonemptiness(self):
+        """The PSpace gadget: ς={x1,x2} satisfiable iff L(r1) ∩ L(r2) ≠ ∅."""
+        sat = prim("!x1{a(a|b)*}!x2{a(a|b)*}").select_equal({"x1", "x2"})
+        assert is_satisfiable(sat, max_length=4)
+        unsat = prim("!x1{a+}!x2{b+}").select_equal({"x1", "x2"})
+        with pytest.raises(EvaluationLimitError):
+            is_satisfiable(unsat, max_length=3)
+
+    def test_core_without_budget_exhaustion(self):
+        trivially_sat = prim("!x{a}").select_equal({"x"})
+        assert satisfying_document(trivially_sat, max_length=2) == "a"
+
+
+class TestHierarchicality:
+    def test_regex_formulas_are_hierarchical(self):
+        for pattern in ["!x{a}!y{b}", "!x{a!y{b}c}", "!x{(a|b)*}!y{b}!z{(a|b)*}"]:
+            assert is_hierarchical(spanner_from_regex(pattern))
+
+    def test_overlapping_automaton_detected(self):
+        # x = [1,3), y = [2,4) on 'aaa': properly overlapping
+        nfa = NFA()
+        states = nfa.add_states(8)
+        nfa.initial = {states[0]}
+        nfa.accepting = {states[7]}
+        nfa.add_arc(states[0], Open("x"), states[1])
+        nfa.add_arc(states[1], "a", states[2])
+        nfa.add_arc(states[2], Open("y"), states[3])
+        nfa.add_arc(states[3], "a", states[4])
+        nfa.add_arc(states[4], Close("x"), states[5])
+        nfa.add_arc(states[5], "a", states[6])
+        nfa.add_arc(states[6], Close("y"), states[7])
+        assert not is_hierarchical(VSetAutomaton(nfa))
+
+    def test_nested_is_hierarchical(self):
+        nfa = NFA()
+        states = nfa.add_states(6)
+        nfa.initial = {states[0]}
+        nfa.accepting = {states[5]}
+        nfa.add_arc(states[0], Open("x"), states[1])
+        nfa.add_arc(states[1], Open("y"), states[2])
+        nfa.add_arc(states[2], "a", states[3])
+        nfa.add_arc(states[3], Close("y"), states[4])
+        nfa.add_arc(states[4], Close("x"), states[5])
+        assert is_hierarchical(VSetAutomaton(nfa))
+
+    def test_touching_spans_are_hierarchical(self):
+        # x=[1,2), y=[2,3): disjoint (touching), not overlapping
+        assert is_hierarchical(spanner_from_regex("!x{a}!y{b}"))
+
+
+class TestContainmentEquivalence:
+    def test_equivalent_up_to_marker_order(self):
+        """Two automata emitting adjacent markers in different orders
+        describe the same spanner."""
+        def build(first, second):
+            nfa = NFA()
+            states = nfa.add_states(5)
+            nfa.initial = {states[0]}
+            nfa.accepting = {states[4]}
+            nfa.add_arc(states[0], Open("x"), states[1])
+            nfa.add_arc(states[1], "a", states[2])
+            nfa.add_arc(states[2], first, states[3])
+            nfa.add_arc(states[3], second, states[4])
+            return VSetAutomaton(nfa)
+
+        left = build(Close("x"), Open("y"))
+        right = build(Open("y"), Close("x"))
+        # y never closes: restrict to x-only spanners via projection
+        left = left.project({"x"})
+        right = right.project({"x"})
+        assert equivalent_spanners(left, right)
+
+    def test_strict_containment(self):
+        small = spanner_from_regex("(a|b)*!x{ab}(a|b)*")
+        big = spanner_from_regex("(a|b)*!x{(a|b)(a|b)}(a|b)*")
+        assert contained_in(small, big)
+        assert not contained_in(big, small)
+        assert not equivalent_spanners(small, big)
+
+    def test_self_equivalence(self):
+        spanner = spanner_from_regex("!x{(a|b)*}!y{b}!z{(a|b)*}")
+        assert equivalent_spanners(spanner, spanner)
+        assert contained_in(spanner, spanner)
+
+    def test_core_spanners_rejected(self):
+        core = prim("!x{a}").select_equal({"x"})
+        with pytest.raises(UnsupportedSpannerError):
+            contained_in(core, core)
+        with pytest.raises(UnsupportedSpannerError):
+            equivalent_spanners(core, core)
+
+    def test_refl_containment_sound(self):
+        small = ReflSpanner.from_regex("a!x{ab}c&x")
+        big = ReflSpanner.from_regex("a!x{(a|b)+}c&x")
+        assert refl_contained_in(small, big)
+        assert not refl_contained_in(big, small)

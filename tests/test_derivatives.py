@@ -1,0 +1,97 @@
+"""Tests for the Brzozowski-derivative engine and its agreement with the
+Thompson/NFA pipeline (two independent engines, one language)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import RegexSyntaxError
+from repro.regex import compile_nfa, parse
+from repro.regex.derivatives import derivative, matches, nullable
+
+
+class TestNullable:
+    @pytest.mark.parametrize(
+        "pattern,expected",
+        [
+            ("()", True),
+            ("a", False),
+            ("a*", True),
+            ("a+", False),
+            ("a?", True),
+            ("a|()", True),
+            ("ab", False),
+            ("a*b*", True),
+            ("a{0,3}", True),
+            ("a{2}", False),
+        ],
+    )
+    def test_cases(self, pattern, expected):
+        assert nullable(parse(pattern)) == expected
+
+
+class TestDerivative:
+    def test_literal(self):
+        assert matches("a", "a")
+        assert not matches("a", "b")
+        assert not matches("a", "aa")
+
+    def test_classic_examples(self):
+        assert matches("(a|b)*abb", "aababb")
+        assert not matches("(a|b)*abb", "aabab")
+        assert matches("a*b*", "aabbb")
+        assert matches(".*", "xyz")
+        assert matches("[a-c]+", "cab")
+        assert not matches("[^a]", "a")
+
+    def test_repeat(self):
+        assert matches("a{2,3}", "aa")
+        assert matches("a{2,3}", "aaa")
+        assert not matches("a{2,3}", "aaaa")
+        assert matches("(ab){2,}", "ababab")
+
+    def test_derivative_shape(self):
+        # ∂_a(ab) = b
+        node = derivative(parse("ab"), "a")
+        assert str(node) == "b"
+
+    def test_captures_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            matches("!x{a}", "a")
+        with pytest.raises(RegexSyntaxError):
+            matches("!x{a}&x", "aa")
+
+
+PATTERNS = [
+    "(a|b)*abb",
+    "a*b*a*",
+    "(ab|ba)+",
+    "a?b{2,3}(a|b)*",
+    "((a|b)(a|b))*",
+    ".[ab]*",
+    "(a+b)*a*",
+]
+
+
+class TestAgreementWithThompson:
+    @pytest.mark.parametrize("pattern", PATTERNS)
+    def test_catalogue(self, pattern):
+        nfa = compile_nfa(pattern)
+        for length in range(0, 6):
+            for value in range(2 ** length):
+                word = "".join(
+                    "ab"[(value >> bit) & 1] for bit in range(length)
+                )
+                assert matches(pattern, word) == nfa.accepts(word), (pattern, word)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.sampled_from(PATTERNS), st.text(alphabet="abc", max_size=8))
+    def test_property(self, pattern, word):
+        assert matches(pattern, word) == compile_nfa(pattern).accepts(word)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.text(alphabet="ab", max_size=6))
+    def test_against_python_re(self, word):
+        import re
+
+        pattern = "(a|b)*a(a|b)b*"
+        assert matches(pattern, word) == bool(re.fullmatch(pattern, word))

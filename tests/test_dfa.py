@@ -1,0 +1,173 @@
+"""Tests for determinisation, minimisation, equivalence, and containment."""
+
+from hypothesis import given, strategies as st
+
+from repro.automata import (
+    NFA,
+    compute_atoms,
+    concat,
+    contains,
+    determinize,
+    equivalent,
+    literal_nfa,
+    star,
+    union,
+)
+from repro.core import Close, DOT, Open, char_class
+
+
+def word_nfa(*words):
+    return union(*(literal_nfa(w) for w in words))
+
+
+class TestDeterminize:
+    def test_simple(self):
+        dfa = determinize(word_nfa("ab", "ac"))
+        assert dfa.accepts("ab") and dfa.accepts("ac")
+        assert not dfa.accepts("ad") and not dfa.accepts("a")
+
+    def test_char_classes_are_atomised(self):
+        nfa = NFA()
+        s = nfa.add_state(initial=True)
+        t = nfa.add_state(accepting=True)
+        nfa.add_arc(s, char_class("ab"), t)
+        nfa.add_arc(s, "a", s)  # 'a' also loops
+        dfa = determinize(nfa)
+        assert dfa.accepts("b")
+        assert dfa.accepts("ab")
+        assert dfa.accepts("aab")
+        assert not dfa.accepts("ba")
+
+    def test_remainder_atom_handles_unseen_chars(self):
+        nfa = NFA()
+        s = nfa.add_state(initial=True)
+        t = nfa.add_state(accepting=True)
+        nfa.add_arc(s, DOT, t)
+        dfa = determinize(nfa)
+        assert dfa.accepts("z")  # 'z' never mentioned on any arc
+        assert dfa.accepts("α")
+        assert not dfa.accepts("zz")
+
+    def test_markers_are_atoms(self):
+        nfa = NFA()
+        s = nfa.add_state(initial=True)
+        t = nfa.add_state(accepting=True)
+        nfa.add_arc(s, Open("x"), t)
+        dfa = determinize(nfa)
+        assert dfa.accepts([Open("x")])
+        assert not dfa.accepts([Close("x")])
+        assert not dfa.accepts("a")
+
+    @given(st.lists(st.text(alphabet="abc", max_size=4), max_size=5),
+           st.text(alphabet="abcd", max_size=6))
+    def test_determinize_preserves_language(self, words, probe):
+        nfa = word_nfa(*words) if words else literal_nfa("zzz")
+        dfa = determinize(nfa)
+        assert dfa.accepts(probe) == nfa.accepts(probe)
+
+
+class TestComplementAndEmptiness:
+    def test_complement(self):
+        dfa = determinize(literal_nfa("ab"))
+        comp = dfa.complement()
+        assert not comp.accepts("ab")
+        assert comp.accepts("a") and comp.accepts("") and comp.accepts("abc")
+
+    def test_double_complement_is_identity_language(self):
+        dfa = determinize(word_nfa("a", "bb"))
+        twice = dfa.complement().complement()
+        for probe in ["a", "bb", "", "b", "ab"]:
+            assert twice.accepts(probe) == dfa.accepts(probe)
+
+    def test_is_empty(self):
+        assert determinize(literal_nfa("a")).complement().complement().is_empty() is False
+        nfa = NFA()
+        nfa.add_state(initial=True)
+        assert determinize(nfa).is_empty()
+
+
+class TestMinimize:
+    def test_minimize_collapses_equivalent_states(self):
+        # (a|b)(a|b) built redundantly: 2-letter words over {a,b}
+        nfa = word_nfa("aa", "ab", "ba", "bb")
+        dfa = determinize(nfa).minimize()
+        # minimal DFA: start, after-1, accept, dead = 4 states
+        assert dfa.num_states <= 4
+
+    def test_minimize_preserves_language(self):
+        nfa = union(star(literal_nfa("ab")), literal_nfa("ab"))
+        dfa = determinize(nfa)
+        mini = dfa.minimize()
+        for probe in ["", "ab", "abab", "a", "ba", "ababab"]:
+            assert mini.accepts(probe) == dfa.accepts(probe)
+
+
+class TestEquivalence:
+    def test_same_language_different_shape(self):
+        left = union(star(literal_nfa("a")), literal_nfa("aa"))  # a*
+        right = star(literal_nfa("a"))
+        assert equivalent(left, right)
+
+    def test_different_languages(self):
+        assert not equivalent(literal_nfa("a"), literal_nfa("b"))
+        assert not equivalent(star(literal_nfa("a")), concat(literal_nfa("a"), star(literal_nfa("a"))))
+
+    def test_equivalence_with_classes_vs_literals(self):
+        by_class = NFA()
+        s = by_class.add_state(initial=True)
+        t = by_class.add_state(accepting=True)
+        by_class.add_arc(s, char_class("ab"), t)
+        by_literals = word_nfa("a", "b")
+        assert equivalent(by_class, by_literals)
+
+    def test_marker_language_equivalence(self):
+        def build(order):
+            nfa = NFA()
+            states = nfa.add_states(3)
+            nfa.initial = {states[0]}
+            nfa.accepting = {states[-1]}
+            nfa.add_arc(states[0], order[0], states[1])
+            nfa.add_arc(states[1], order[1], states[2])
+            return nfa
+
+        same = build([Open("x"), Close("x")])
+        also = build([Open("x"), Close("x")])
+        different = build([Open("x"), Close("y")])
+        assert equivalent(same, also)
+        assert not equivalent(same, different)
+
+
+class TestContainment:
+    def test_strict_containment(self):
+        small = literal_nfa("ab")
+        big = star(char_nfa := word_nfa("a", "b"))
+        assert contains(big, small)
+        assert not contains(small, big)
+
+    def test_self_containment(self):
+        nfa = star(literal_nfa("ab"))
+        assert contains(nfa, nfa)
+
+    def test_containment_with_dot(self):
+        anything = NFA()
+        s = anything.add_state(initial=True, accepting=True)
+        anything.add_arc(s, DOT, s)
+        assert contains(anything, word_nfa("hello", "world"))
+        assert not contains(word_nfa("hello"), anything)
+
+    @given(st.lists(st.text(alphabet="ab", max_size=3), max_size=4),
+           st.lists(st.text(alphabet="ab", max_size=3), max_size=4))
+    def test_containment_matches_subset(self, small_words, big_words):
+        small = word_nfa(*small_words) if small_words else literal_nfa("x")
+        big = word_nfa(*big_words) if big_words else literal_nfa("x")
+        expected = set(small_words or ["x"]) <= set(big_words or ["x"])
+        assert contains(big, small) == expected
+
+    def test_shared_atoms(self):
+        left = literal_nfa("ab")
+        right = word_nfa("ab", "cd")
+        atoms = compute_atoms(left, right)
+        assert "a" in atoms.base and "d" in atoms.base
+        d1 = determinize(left, atoms)
+        d2 = determinize(right, atoms)
+        assert d1.accepts("ab") and d2.accepts("cd")

@@ -1,0 +1,92 @@
+"""Tests for spanner difference (closure of regular spanners, [9])."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.dfa import dfa_to_nfa, determinize, difference
+from repro.automata import literal_nfa, star, union
+from repro.errors import SchemaError
+from repro.spanners import RegularSpanner
+
+
+class TestLanguageDifference:
+    def test_basic(self):
+        left = union(literal_nfa("a"), literal_nfa("b"), literal_nfa("c"))
+        right = literal_nfa("b")
+        diff = difference(left, right)
+        assert diff.accepts("a") and diff.accepts("c")
+        assert not diff.accepts("b")
+
+    def test_difference_with_star(self):
+        left = star(literal_nfa("a"))            # a*
+        right = union(literal_nfa(""), literal_nfa("aa"))
+        diff = difference(left, right)           # a* minus {ε, aa}
+        assert diff.accepts("a") and diff.accepts("aaa")
+        assert not diff.accepts("") and not diff.accepts("aa")
+
+    def test_empty_difference(self):
+        nfa = literal_nfa("ab")
+        diff = difference(nfa, nfa)
+        assert diff.is_empty()
+
+    @given(st.lists(st.text(alphabet="ab", max_size=3), max_size=5),
+           st.lists(st.text(alphabet="ab", max_size=3), max_size=5),
+           st.text(alphabet="ab", max_size=4))
+    def test_property(self, left_words, right_words, probe):
+        left = union(*(literal_nfa(w) for w in left_words)) if left_words else literal_nfa("zz")
+        right = union(*(literal_nfa(w) for w in right_words)) if right_words else literal_nfa("zz")
+        diff = difference(left, right)
+        expected = probe in (set(left_words or ["zz"]) - set(right_words or ["zz"]))
+        assert diff.accepts(probe) == expected
+
+    def test_dfa_round_trip(self):
+        nfa = union(literal_nfa("ab"), star(literal_nfa("ba")))
+        back = dfa_to_nfa(determinize(nfa))
+        for probe in ["ab", "ba", "baba", "", "abab"]:
+            assert back.accepts(probe) == nfa.accepts(probe)
+
+
+class TestSpannerDifference:
+    def test_removes_matching_tuples(self):
+        all_pairs = RegularSpanner.from_regex("(a|b)*!x{(a|b)(a|b)}(a|b)*")
+        just_ab = RegularSpanner.from_regex("(a|b)*!x{ab}(a|b)*")
+        diff = all_pairs.difference(just_ab)
+        doc = "abba"
+        expected = all_pairs.evaluate(doc).tuples - just_ab.evaluate(doc).tuples
+        assert diff.evaluate(doc).tuples == expected
+        assert expected  # sanity: something remains ('bb', 'ba')
+
+    def test_marker_order_insensitive(self):
+        """Difference normalises first, so representations with different
+        marker orders subtract correctly."""
+        spanner = RegularSpanner.from_regex("!x{a}!y{b}")
+        diff = spanner.difference(spanner)
+        assert len(diff.evaluate("ab")) == 0
+
+    def test_schema_mismatch_rejected(self):
+        left = RegularSpanner.from_regex("!x{a}")
+        right = RegularSpanner.from_regex("!y{a}")
+        with pytest.raises(SchemaError):
+            left.difference(right)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.text(alphabet="ab", max_size=5))
+    def test_difference_property(self, doc):
+        big = RegularSpanner.from_regex("(a|b)*!x{(a|b)+}(a|b)*")
+        small = RegularSpanner.from_regex("(a|b)*!x{a+}(a|b)*")
+        diff = big.difference(small)
+        assert diff.evaluate(doc).tuples == (
+            big.evaluate(doc).tuples - small.evaluate(doc).tuples
+        )
+
+    def test_schemaless_difference(self):
+        left = RegularSpanner.from_regex("(!x{a})?(a|b)*")
+        right = RegularSpanner.from_regex("(a|b)+")  # only the empty tuple
+        right = RegularSpanner(right.automaton.__class__(right.automaton.nfa, frozenset({"x"})))
+        diff = left.difference(right)
+        relation = diff.evaluate("ab")
+        # the empty tuple came from both sides and is subtracted
+        from repro.core import SpanTuple, Span
+
+        assert SpanTuple.empty() not in relation
+        assert SpanTuple.of(x=Span(1, 2)) in relation

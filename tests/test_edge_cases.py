@@ -1,0 +1,156 @@
+"""Edge-case tests across modules: unicode, empty inputs, odd shapes."""
+
+import pytest
+
+from repro.automata import NFA, VSetAutomaton, literal_nfa
+from repro.automata.dfa import Atoms, DFA, determinize
+from repro.core import (
+    CharClass,
+    Close,
+    Open,
+    Span,
+    SpanRelation,
+    SpanTuple,
+    char_class,
+    mark_document,
+)
+from repro.enumeration import Enumerator
+from repro.regex import spanner_from_regex
+from repro.spanners import ReflSpanner
+
+
+class TestUnicode:
+    def test_unicode_documents(self):
+        spanner = spanner_from_regex("!x{ü+}")
+        relation = spanner.evaluate("üü")
+        assert relation.tuples == frozenset({SpanTuple.of(x=Span(1, 3))})
+
+    def test_unicode_in_char_class(self):
+        spanner = spanner_from_regex("(.)*!x{[αβγ]+}(.)*")
+        relation = spanner.evaluate("xαβy")
+        assert {t["x"].extract("xαβy") for t in relation} == {"α", "β", "αβ"}
+
+    def test_dot_matches_unicode(self):
+        spanner = spanner_from_regex("!x{.}")
+        assert len(spanner.evaluate("漢")) == 1
+
+
+class TestEmptyDocument:
+    def test_regular_spanner(self):
+        spanner = spanner_from_regex("!x{a*}")
+        assert spanner.evaluate("").tuples == frozenset(
+            {SpanTuple.of(x=Span(1, 1))}
+        )
+
+    def test_enumeration(self):
+        enumerator = Enumerator(spanner_from_regex("(!x{a})?"))
+        results = list(enumerator.enumerate(""))
+        assert SpanTuple.empty() in results
+        assert SpanTuple.of(x=Span(1, 1)) not in results  # x{a} needs an 'a'
+
+    def test_refl(self):
+        refl = ReflSpanner.from_regex("!x{a*}&x")
+        assert refl.evaluate("").tuples == frozenset({SpanTuple.of(x=Span(1, 1))})
+
+    def test_empty_capture_at_every_position(self):
+        spanner = spanner_from_regex("(a)*!x{()}(a)*")
+        relation = spanner.evaluate("aa")
+        assert {t["x"] for t in relation} == {Span(1, 1), Span(2, 2), Span(3, 3)}
+
+
+class TestAtomsEdgeCases:
+    def test_classify_unknown_marker(self):
+        atoms = Atoms({"a", Open("x")})
+        assert atoms.classify(Open("x")) == Open("x")
+        assert atoms.classify(Close("x")) is None
+        assert atoms.classify("z") == atoms.remainder
+
+    def test_classify_non_symbol(self):
+        atoms = Atoms({"a"})
+        assert atoms.classify(3.14) is None
+
+    def test_atomise_rejects_junk(self):
+        with pytest.raises(TypeError):
+            Atoms({42})
+
+    def test_dfa_step_from_dead(self):
+        dfa = determinize(literal_nfa("a"))
+        from repro.automata.dfa import DEAD
+
+        assert dfa.step(DEAD, "a") == DEAD
+
+
+class TestCharClassAlgebra:
+    def test_intersections(self):
+        pos = char_class("abc")
+        neg = char_class("bc", negated=True)
+        assert pos.intersect(neg).chars == frozenset("a")
+        assert neg.intersect(pos).chars == frozenset("a")
+        both_neg = neg.intersect(char_class("cd", negated=True))
+        assert both_neg.negated and both_neg.chars == frozenset("bcd")
+
+    def test_witness(self):
+        assert char_class("ba").witness() == "a"
+        assert char_class("", negated=False).witness() is None
+        witness = char_class("ab", negated=True).witness("abc")
+        assert witness == "c"
+        # falls back to a pool when the hint alphabet is exhausted
+        assert char_class("ab", negated=True).witness("ab") not in ("a", "b")
+
+    def test_empty(self):
+        assert char_class("").is_empty()
+        assert not char_class("", negated=True).is_empty()
+
+
+class TestMarkerOrderRobustness:
+    def test_model_check_accepts_any_adjacent_order(self):
+        """The automaton emits Close(x) before Open(y); the tuple's
+        canonical word has them in the other order — model checking must
+        still succeed (the Section 2.4 pitfall)."""
+        nfa = NFA()
+        states = nfa.add_states(7)
+        nfa.initial = {states[0]}
+        nfa.accepting = {states[6]}
+        nfa.add_arc(states[0], Open("x"), states[1])
+        nfa.add_arc(states[1], "a", states[2])
+        nfa.add_arc(states[2], Close("x"), states[3])
+        nfa.add_arc(states[3], Open("y"), states[4])
+        nfa.add_arc(states[4], "b", states[5])
+        nfa.add_arc(states[5], Close("y"), states[6])
+        spanner = VSetAutomaton(nfa)
+        tup = SpanTuple.of(x=Span(1, 2), y=Span(2, 3))
+        assert spanner.model_check("ab", tup)
+        # and the canonical word indeed interleaves differently
+        word = mark_document("ab", tup)
+        assert not spanner.accepts_marked_word(word)
+
+
+class TestRelationEdgeCases:
+    def test_empty_schema_relation(self):
+        rel = SpanRelation([], [SpanTuple.empty()])
+        assert len(rel) == 1
+        rel.to_table()  # renders without crashing (degenerate zero columns)
+        assert rel.project([]) == rel
+
+    def test_rename_relation(self):
+        rel = SpanRelation(["x"], [SpanTuple.of(x=Span(1, 2))])
+        renamed = rel.rename({"x": "y"})
+        assert renamed.variables == ("y",)
+        with pytest.raises(Exception):
+            SpanRelation(["x", "y"], []).rename({"x": "y"})
+
+    def test_bool_and_contains(self):
+        empty = SpanRelation(["x"])
+        assert not empty
+        full = SpanRelation(["x"], [SpanTuple.of(x=Span(1, 1))])
+        assert full and SpanTuple.of(x=Span(1, 1)) in full
+
+
+class TestShortestWordWithMarkers:
+    def test_witness_contains_markers(self):
+        spanner = spanner_from_regex("c!x{ab}c")
+        word = spanner.nfa.trim().shortest_word()
+        assert Open("x") in word and Close("x") in word
+        from repro.core import MarkedWord
+
+        assert MarkedWord(word).erase() == "cabc"

@@ -1,0 +1,141 @@
+"""Tests for extended vset-automata and their determinisation (Section 2.2)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.automata import NFA, VSetAutomaton
+from repro.automata.evset import ExtendedVSetAutomaton
+from repro.core import Close, Open, Span, SpanTuple, mark_document
+
+
+def capture_word(var, word, alphabet="ab"):
+    """Σ* var{word} Σ* as a vset-automaton."""
+    nfa = NFA()
+    s = nfa.add_state(initial=True)
+    for ch in alphabet:
+        nfa.add_arc(s, ch, s)
+    here = nfa.add_state()
+    nfa.add_arc(s, Open(var), here)
+    for ch in word:
+        nxt = nfa.add_state()
+        nfa.add_arc(here, ch, nxt)
+        here = nxt
+    t = nfa.add_state(accepting=True)
+    nfa.add_arc(here, Close(var), t)
+    for ch in alphabet:
+        nfa.add_arc(t, ch, t)
+    return VSetAutomaton(nfa)
+
+
+def adjacent_captures():
+    """x{a} immediately followed by y{b}: Close(x) and Open(y) coincide."""
+    nfa = NFA()
+    states = nfa.add_states(7)
+    nfa.initial = {states[0]}
+    nfa.accepting = {states[6]}
+    nfa.add_arc(states[0], Open("x"), states[1])
+    nfa.add_arc(states[1], "a", states[2])
+    nfa.add_arc(states[2], Close("x"), states[3])
+    nfa.add_arc(states[3], Open("y"), states[4])
+    nfa.add_arc(states[4], "b", states[5])
+    nfa.add_arc(states[5], Close("y"), states[6])
+    return VSetAutomaton(nfa)
+
+
+class TestFromVset:
+    def test_marker_runs_become_sets(self):
+        eva = ExtendedVSetAutomaton.from_vset(adjacent_captures())
+        letters = set()
+        for arcs in eva.set_arcs.values():
+            letters.update(s for s, _ in arcs)
+        # the run Close(x)·Open(y) must be available as the combined set
+        assert frozenset({Close("x"), Open("y")}) in letters
+
+    def test_run_on_extended_word(self):
+        eva = ExtendedVSetAutomaton.from_vset(adjacent_captures())
+        word = mark_document("ab", SpanTuple.of(x=Span(1, 2), y=Span(2, 3)))
+        blocks, doc = word.extended_blocks()
+        assert eva.run(blocks, doc)
+
+    def test_run_rejects_wrong_tuple(self):
+        eva = ExtendedVSetAutomaton.from_vset(adjacent_captures())
+        word = mark_document("ab", SpanTuple.of(x=Span(1, 3), y=Span(3, 3)))
+        blocks, doc = word.extended_blocks()
+        assert not eva.run(blocks, doc)
+
+    def test_run_rejects_wrong_document(self):
+        eva = ExtendedVSetAutomaton.from_vset(adjacent_captures())
+        word = mark_document("ba", SpanTuple.of(x=Span(1, 2), y=Span(2, 3)))
+        blocks, doc = word.extended_blocks()
+        assert not eva.run(blocks, doc)
+
+    def test_epsilon_arcs_are_eliminated(self):
+        nfa = NFA()
+        s = nfa.add_state(initial=True)
+        mid = nfa.add_state()
+        t = nfa.add_state(accepting=True)
+        nfa.add_arc(s, None, mid)
+        nfa.add_arc(mid, Open("x"), mid2 := nfa.add_state())
+        nfa.add_arc(mid2, Close("x"), t)
+        eva = ExtendedVSetAutomaton.from_vset(VSetAutomaton(nfa))
+        word = mark_document("", SpanTuple.of(x=Span(1, 1)))
+        blocks, doc = word.extended_blocks()
+        assert eva.run(blocks, doc)
+
+
+class TestToVset:
+    def test_round_trip_preserves_spanner(self):
+        original = adjacent_captures()
+        round_tripped = ExtendedVSetAutomaton.from_vset(original).to_vset()
+        for doc in ["ab", "ba", "aab", ""]:
+            assert round_tripped.evaluate(doc) == original.evaluate(doc)
+
+    def test_expansion_uses_canonical_order(self):
+        round_tripped = ExtendedVSetAutomaton.from_vset(adjacent_captures()).to_vset()
+        canonical = mark_document("ab", SpanTuple.of(x=Span(1, 2), y=Span(2, 3)))
+        assert round_tripped.accepts_marked_word(canonical)
+        # the non-canonical order Close(x)·Open(y) must be rejected
+        non_canonical = [Open("x"), "a", Close("x"), Open("y"), "b", Close("y")]
+        assert not round_tripped.nfa.accepts_symbols(non_canonical)
+
+
+class TestDeterminize:
+    def test_deterministic_run_agrees(self):
+        eva = ExtendedVSetAutomaton.from_vset(capture_word("x", "ab"))
+        det = eva.determinize()
+        for tup in [
+            SpanTuple.of(x=Span(1, 3)),
+            SpanTuple.of(x=Span(3, 5)),
+            SpanTuple.of(x=Span(2, 4)),
+        ]:
+            word = mark_document("abab", tup)
+            blocks, doc = word.extended_blocks()
+            assert det.run(blocks, doc) == eva.run(blocks, doc)
+
+    def test_char_transitions_are_functions(self):
+        det = ExtendedVSetAutomaton.from_vset(capture_word("x", "ab")).determinize()
+        for row in det.char_trans:
+            assert all(isinstance(target, int) for target in row.values())
+
+    def test_marker_set_alphabet(self):
+        det = ExtendedVSetAutomaton.from_vset(adjacent_captures()).determinize()
+        alphabet = det.marker_set_alphabet()
+        assert frozenset({Open("x")}) in alphabet
+        assert frozenset({Close("x"), Open("y")}) in alphabet
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.text(alphabet="ab", max_size=5))
+    def test_determinization_preserves_evaluation(self, doc):
+        from repro.enumeration.naive import evaluate_eva
+
+        vset = capture_word("x", "ab")
+        eva = ExtendedVSetAutomaton.from_vset(vset)
+        relation = evaluate_eva(eva, doc)
+        det = eva.determinize()
+        # every tuple of the relation must be accepted by the deterministic
+        # automaton, and no other total tuple may be
+        for start in range(1, len(doc) + 2):
+            for end in range(start, len(doc) + 2):
+                tup = SpanTuple.of(x=Span(start, end))
+                word = mark_document(doc, tup)
+                blocks, chars = word.extended_blocks()
+                assert det.run(blocks, chars) == (tup in relation)

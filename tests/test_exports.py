@@ -1,0 +1,88 @@
+"""Tests for relation export formats (to_dicts / to_json / to_csv) and the
+CLI --format flag."""
+
+import json
+
+from repro.__main__ import main
+from repro.core import Span, SpanRelation, SpanTuple
+from repro.regex import spanner_from_regex
+
+
+def relation():
+    return SpanRelation(
+        ["x", "y"],
+        [
+            SpanTuple.of(x=Span(1, 3), y=Span(3, 5)),
+            SpanTuple.of(x=Span(2, 4)),
+        ],
+    )
+
+
+class TestToDicts:
+    def test_spans_only(self):
+        rows = relation().to_dicts()
+        assert rows == [
+            {"x": [1, 3], "y": [3, 5]},
+            {"x": [2, 4], "y": None},
+        ]
+
+    def test_with_contents(self):
+        rows = relation().to_dicts("abab")
+        assert rows[0]["x"] == {"span": [1, 3], "content": "ab"}
+        assert rows[1]["y"] is None
+
+
+class TestToJson:
+    def test_round_trips_through_json(self):
+        parsed = json.loads(relation().to_json())
+        assert parsed[0]["y"] == [3, 5]
+
+    def test_with_doc(self):
+        parsed = json.loads(relation().to_json("abab"))
+        assert parsed[0]["y"]["content"] == "ab"
+
+    def test_empty_relation(self):
+        assert json.loads(SpanRelation(["x"]).to_json()) == []
+
+
+class TestToCsv:
+    def test_header_and_rows(self):
+        text = relation().to_csv()
+        lines = text.strip().split("\n")
+        assert lines[0] == "x,y"
+        assert lines[1] == "1:3,3:5"
+        assert lines[2] == "2:4,"
+
+    def test_contents_mode(self):
+        text = relation().to_csv("abab")
+        assert "ab,ab" in text
+
+    def test_csv_quotes_commas(self):
+        spanner = spanner_from_regex("!x{(a|,)+}")
+        rel = spanner.evaluate("a,a")
+        text = rel.to_csv("a,a")
+        assert '"a,a"' in text
+
+
+class TestCliFormats:
+    def test_json_format(self, capsys):
+        assert main(["eval", "!x{ab}", "ab", "--format", "json"]) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed == [{"x": [1, 3]}]
+
+    def test_json_with_contents(self, capsys):
+        assert main(
+            ["eval", "!x{ab}", "ab", "--format", "json", "--contents"]
+        ) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed[0]["x"]["content"] == "ab"
+
+    def test_csv_format(self, capsys):
+        assert main(["eval", "!x{ab}", "ab", "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines() == ["x", "1:3"]
+
+    def test_refl_json(self, capsys):
+        assert main(["refl", "!x{a+}&x", "aa", "--format", "json"]) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed == [{"x": [1, 2]}]

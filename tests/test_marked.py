@@ -1,0 +1,254 @@
+"""Tests for subword-marked words and ref-words (paper Sections 2.1, 2.2, 3.1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    Close,
+    MarkedWord,
+    Open,
+    Ref,
+    Span,
+    SpanTuple,
+    mark_document,
+    parse_marked,
+    sequence_is_sequential,
+    unmarked,
+)
+from repro.errors import InvalidMarkedWordError
+
+
+def mw(*symbols):
+    return MarkedWord(symbols)
+
+
+# ---------------------------------------------------------------------------
+# validity
+# ---------------------------------------------------------------------------
+class TestValidity:
+    def test_plain_document_is_valid(self):
+        word = unmarked("abc")
+        assert word.erase() == "abc"
+        assert word.span_tuple() == SpanTuple.empty()
+
+    def test_well_formed_word(self):
+        word = mw(Open("x"), "a", "b", Close("x"), "c")
+        assert word.variables == {"x"}
+
+    def test_close_before_open_rejected(self):
+        with pytest.raises(InvalidMarkedWordError):
+            mw(Close("x"), "a", Open("x"))
+
+    def test_double_open_rejected(self):
+        with pytest.raises(InvalidMarkedWordError):
+            mw(Open("x"), Open("x"), Close("x"))
+
+    def test_double_close_rejected(self):
+        with pytest.raises(InvalidMarkedWordError):
+            mw(Open("x"), Close("x"), Close("x"))
+
+    def test_unclosed_variable_rejected(self):
+        with pytest.raises(InvalidMarkedWordError):
+            mw(Open("x"), "a")
+
+    def test_reference_inside_own_span_rejected(self):
+        with pytest.raises(InvalidMarkedWordError):
+            mw(Open("x"), Ref("x"), Close("x"))
+
+    def test_multicharacter_symbol_rejected(self):
+        with pytest.raises(InvalidMarkedWordError):
+            mw("ab")
+
+    def test_reference_before_definition_is_syntactically_valid(self):
+        # Forward references are valid ref-words; deref resolves them.
+        word = mw(Ref("x"), Open("x"), "a", Close("x"))
+        assert word.references == {"x"}
+
+
+# ---------------------------------------------------------------------------
+# e(·) and st(·)
+# ---------------------------------------------------------------------------
+class TestEraseAndSpanTuple:
+    def test_paper_word_1(self):
+        """The subword-marked word (1) of Section 2.1."""
+        word = mw(
+            Open("z"), "a", Open("x"), "b", "c", Open("y"), "a", "c",
+            Close("x"), "a", "c", Close("y"), Close("z"), "b", "b", "a", "a",
+        )
+        assert word.erase() == "abcacacbbaa"
+        assert word.span_tuple() == SpanTuple.of(
+            x=Span(2, 6), y=Span(4, 8), z=Span(1, 8)
+        )
+
+    def test_example_1_1_first_row(self):
+        word = mw(
+            Open("x"), "a", Close("x"), Open("y"), "b", Close("y"),
+            Open("z"), "a", "b", "b", "a", "b", Close("z"),
+        )
+        assert word.erase() == "ababbab"
+        assert word.span_tuple() == SpanTuple.of(
+            x=Span(1, 2), y=Span(2, 3), z=Span(3, 8)
+        )
+
+    def test_empty_span(self):
+        word = mw("a", Open("x"), Close("x"), "b")
+        assert word.span_tuple() == SpanTuple.of(x=Span(2, 2))
+
+    def test_erase_refuses_ref_words(self):
+        word = mw(Open("x"), "a", Close("x"), Ref("x"))
+        with pytest.raises(InvalidMarkedWordError):
+            word.erase()
+        with pytest.raises(InvalidMarkedWordError):
+            word.span_tuple()
+
+
+# ---------------------------------------------------------------------------
+# mark_document: the inverse direction
+# ---------------------------------------------------------------------------
+class TestMarkDocument:
+    def test_round_trip_simple(self):
+        doc = "ababbab"
+        tup = SpanTuple.of(x=Span(1, 2), y=Span(2, 3), z=Span(3, 8))
+        word = mark_document(doc, tup)
+        assert word.erase() == doc
+        assert word.span_tuple() == tup
+
+    def test_tuple_must_fit(self):
+        with pytest.raises(InvalidMarkedWordError):
+            mark_document("ab", SpanTuple.of(x=Span(1, 9)))
+
+    def test_canonical_marker_order_at_shared_position(self):
+        # y closes and z opens at position 3: canonical order is opens first.
+        doc = "abab"
+        tup = SpanTuple.of(y=Span(2, 3), z=Span(3, 5))
+        word = mark_document(doc, tup)
+        symbols = word.symbols
+        pos = symbols.index(Open("z"))
+        assert symbols[pos + 1] == Close("y")
+
+    @given(
+        st.text(alphabet="ab", min_size=0, max_size=8),
+        st.dictionaries(
+            st.sampled_from(["x", "y", "z"]),
+            st.tuples(st.integers(0, 8), st.integers(0, 8)),
+            max_size=3,
+        ),
+    )
+    def test_round_trip_property(self, doc, raw):
+        spans = {}
+        for var, (a, b) in raw.items():
+            lo, hi = sorted((a % (len(doc) + 1), b % (len(doc) + 1)))
+            spans[var] = Span(lo + 1, hi + 1)
+        tup = SpanTuple(spans)
+        word = mark_document(doc, tup)
+        assert word.erase() == doc
+        assert word.span_tuple() == tup
+        # canonical form is a fixed point
+        assert word.canonicalize() == word
+
+
+# ---------------------------------------------------------------------------
+# canonicalisation / extended blocks
+# ---------------------------------------------------------------------------
+class TestNormalForms:
+    def test_canonicalize_reorders_consecutive_markers(self):
+        messy = mw(Open("x"), "a", Close("x"), Open("y"), "b", Close("y"))
+        canonical = messy.canonicalize()
+        symbols = canonical.symbols
+        # at the position after 'a', Open(y) must precede Close(x)
+        assert symbols.index(Open("y")) < symbols.index(Close("x"))
+        assert canonical.span_tuple() == messy.span_tuple()
+        assert canonical.erase() == messy.erase()
+
+    def test_two_orderings_have_equal_canonical_forms(self):
+        a = mw(Open("x"), "a", Close("x"), Open("y"), "b", Close("y"))
+        b = mw(Open("x"), "a", Open("y"), Close("x"), "b", Close("y"))
+        assert a.canonicalize() == b.canonicalize()
+
+    def test_extended_blocks_of_paper_word(self):
+        """Extended form of word (1): {z▷}a{x▷}bc{y▷}ac{◁x}ac{◁y,◁z}bbaa."""
+        word = mw(
+            Open("z"), "a", Open("x"), "b", "c", Open("y"), "a", "c",
+            Close("x"), "a", "c", Close("y"), Close("z"), "b", "b", "a", "a",
+        )
+        blocks, doc = word.extended_blocks()
+        assert doc == "abcacacbbaa"
+        assert len(blocks) == len(doc) + 1
+        assert blocks[0] == frozenset({Open("z")})
+        assert blocks[1] == frozenset({Open("x")})
+        assert blocks[3] == frozenset({Open("y")})
+        assert blocks[5] == frozenset({Close("x")})
+        assert blocks[7] == frozenset({Close("y"), Close("z")})
+        assert blocks[8] == frozenset()
+
+
+# ---------------------------------------------------------------------------
+# dereferencing d(·) — Section 3.1
+# ---------------------------------------------------------------------------
+class TestDeref:
+    def test_no_references_is_identity(self):
+        word = mw(Open("x"), "a", Close("x"))
+        assert word.deref() is word
+
+    def test_simple_reference(self):
+        # x captures "ab"; reference expands to "ab".
+        word = mw(Open("x"), "a", "b", Close("x"), "c", Ref("x"))
+        assert word.deref().erase() == "abcab"
+
+    def test_paper_section_3_1_nested_derivation(self):
+        """w := x▷ aa y▷ bbb ◁x cc x ◁y abc y  ⇒  aabbbccaabbbabcbbbccaabbb."""
+        word = mw(
+            Open("x"), "a", "a", Open("y"), "b", "b", "b", Close("x"),
+            "c", "c", Ref("x"), Close("y"), "a", "b", "c", Ref("y"),
+        )
+        result = word.deref()
+        assert result.erase() == "aabbbccaabbbabcbbbccaabbb"
+        # spans of x and y in the final document:
+        tup = result.span_tuple()
+        doc = result.erase()
+        assert tup["x"].extract(doc) == "aabbb"
+        assert tup["y"].extract(doc) == "bbbccaabbb"
+
+    def test_reference_to_unmarked_variable_rejected(self):
+        word = mw("a", Ref("x"))
+        with pytest.raises(InvalidMarkedWordError):
+            word.deref()
+
+    def test_cyclic_references_rejected(self):
+        word = mw(
+            Open("x"), Ref("y"), Close("x"),
+            Open("y"), Ref("x"), Close("y"),
+        )
+        with pytest.raises(InvalidMarkedWordError):
+            word.deref()
+
+    def test_forward_reference_resolves(self):
+        word = mw(Ref("x"), Open("x"), "a", "b", Close("x"))
+        assert word.deref().erase() == "abab"
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+class TestHelpers:
+    def test_parse_marked(self):
+        word = parse_marked("[<x]ab[x>]c[&x]")
+        assert word.variables == {"x"}
+        assert word.references == {"x"}
+        assert word.deref().erase() == "abcab"
+
+    def test_parse_marked_bad_token(self):
+        with pytest.raises(InvalidMarkedWordError):
+            parse_marked("[!]a")
+        with pytest.raises(InvalidMarkedWordError):
+            parse_marked("[<x")
+
+    def test_sequence_is_sequential(self):
+        ok = (Open("x"), "a", Close("x"), Ref("x"))
+        bad = (Ref("x"), Open("x"), "a", Close("x"))
+        assert sequence_is_sequential(ok)
+        assert not sequence_is_sequential(bad)
+
+    def test_str_rendering(self):
+        word = mw(Open("x"), "a", Close("x"), Ref("x"))
+        assert str(word) == "x▷a◁x&x"

@@ -1,0 +1,212 @@
+"""Tests for the NFA substrate and regular-language operations."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.automata import (
+    EPSILON,
+    NFA,
+    concat,
+    epsilon_nfa,
+    intersection,
+    is_empty,
+    is_universal,
+    literal_nfa,
+    never_nfa,
+    optional,
+    plus,
+    star,
+    union,
+)
+from repro.core import CharClass, Close, DOT, Open, char_class
+from repro.errors import SpanlibError
+
+
+def word_nfa(*words):
+    return union(*(literal_nfa(w) for w in words))
+
+
+class TestNFABasics:
+    def test_literal(self):
+        nfa = literal_nfa("abc")
+        assert nfa.accepts("abc")
+        assert not nfa.accepts("ab")
+        assert not nfa.accepts("abcd")
+        assert not nfa.accepts("")
+
+    def test_empty_word(self):
+        assert literal_nfa("").accepts("")
+        assert epsilon_nfa().accepts("")
+        assert not epsilon_nfa().accepts("a")
+
+    def test_never(self):
+        nfa = never_nfa()
+        assert not nfa.accepts("")
+        assert is_empty(nfa)
+
+    def test_unknown_state_rejected(self):
+        nfa = NFA()
+        with pytest.raises(SpanlibError):
+            nfa.add_arc(0, "a", 1)
+
+    def test_epsilon_closure(self):
+        nfa = NFA()
+        a, b, c = nfa.add_states(3)
+        nfa.add_arc(a, EPSILON, b)
+        nfa.add_arc(b, EPSILON, c)
+        assert nfa.epsilon_closure([a]) == {a, b, c}
+        assert nfa.epsilon_closure([c]) == {c}
+
+    def test_char_class_arcs(self):
+        nfa = NFA()
+        s = nfa.add_state(initial=True)
+        t = nfa.add_state(accepting=True)
+        nfa.add_arc(s, char_class("ab"), t)
+        assert nfa.accepts("a") and nfa.accepts("b")
+        assert not nfa.accepts("c")
+
+    def test_dot_matches_anything(self):
+        nfa = NFA()
+        s = nfa.add_state(initial=True)
+        t = nfa.add_state(accepting=True)
+        nfa.add_arc(s, DOT, t)
+        assert nfa.accepts("a") and nfa.accepts("ü")
+        assert not nfa.accepts("ab")
+
+    def test_accepts_symbols_with_markers(self):
+        nfa = NFA()
+        s = nfa.add_state(initial=True)
+        m = nfa.add_state()
+        t = nfa.add_state(accepting=True)
+        nfa.add_arc(s, Open("x"), m)
+        nfa.add_arc(m, "a", t)
+        assert nfa.accepts_symbols([Open("x"), "a"])
+        assert not nfa.accepts_symbols([Close("x"), "a"])
+        assert not nfa.accepts_symbols(["a"])
+
+    def test_trim_removes_useless_states(self):
+        nfa = literal_nfa("ab")
+        dead = nfa.add_state()
+        nfa.add_arc(next(iter(nfa.initial)), "z", dead)  # dead end
+        trimmed = nfa.trim()
+        assert trimmed.num_states == 3
+        assert trimmed.accepts("ab")
+
+    def test_reverse(self):
+        nfa = literal_nfa("abc").reverse()
+        assert nfa.accepts("cba")
+        assert not nfa.accepts("abc")
+
+    def test_remove_epsilon_preserves_language(self):
+        nfa = concat(literal_nfa("a"), star(literal_nfa("b")))
+        stripped = nfa.remove_epsilon()
+        assert not any(s is EPSILON for _, s, _ in stripped.arcs())
+        for word in ["a", "ab", "abbb", "", "b", "ba"]:
+            assert stripped.accepts(word) == nfa.accepts(word)
+
+    def test_shortest_word(self):
+        nfa = word_nfa("abc", "ab", "abcd")
+        assert nfa.shortest_word() == ["a", "b"]
+        assert never_nfa().shortest_word() is None
+
+    def test_shortest_word_with_char_class(self):
+        nfa = NFA()
+        s = nfa.add_state(initial=True)
+        t = nfa.add_state(accepting=True)
+        nfa.add_arc(s, char_class("xy"), t)
+        assert nfa.shortest_word() in (["x"], ["y"])
+
+    def test_map_symbols_to_epsilon(self):
+        nfa = NFA()
+        s = nfa.add_state(initial=True)
+        m = nfa.add_state()
+        t = nfa.add_state(accepting=True)
+        nfa.add_arc(s, Open("x"), m)
+        nfa.add_arc(m, "a", t)
+        erased = nfa.map_symbols(lambda sym: None if sym == Open("x") else sym)
+        assert erased.accepts("a")
+
+
+class TestOperations:
+    def test_union(self):
+        nfa = word_nfa("cat", "dog")
+        assert nfa.accepts("cat") and nfa.accepts("dog")
+        assert not nfa.accepts("cow")
+
+    def test_concat(self):
+        nfa = concat(literal_nfa("ab"), literal_nfa("cd"), literal_nfa("e"))
+        assert nfa.accepts("abcde")
+        assert not nfa.accepts("abcd")
+
+    def test_concat_no_operands_is_epsilon(self):
+        assert concat().accepts("")
+
+    def test_star(self):
+        nfa = star(literal_nfa("ab"))
+        for word, expected in [("", True), ("ab", True), ("abab", True), ("aba", False)]:
+            assert nfa.accepts(word) == expected
+
+    def test_plus(self):
+        nfa = plus(literal_nfa("a"))
+        assert not nfa.accepts("")
+        assert nfa.accepts("a") and nfa.accepts("aaa")
+
+    def test_optional(self):
+        nfa = optional(literal_nfa("a"))
+        assert nfa.accepts("") and nfa.accepts("a")
+        assert not nfa.accepts("aa")
+
+    def test_intersection(self):
+        # (ab)* ∩ a(ba)*b... words in both
+        left = star(word_nfa("ab"))
+        right = concat(literal_nfa("a"), star(literal_nfa("ba")), literal_nfa("b"))
+        both = intersection(left, right)
+        assert both.accepts("ab")
+        assert both.accepts("abab")
+        assert not both.accepts("")
+        assert not both.accepts("ba")
+
+    def test_intersection_of_char_classes(self):
+        left = NFA()
+        s = left.add_state(initial=True)
+        t = left.add_state(accepting=True)
+        left.add_arc(s, char_class("abc"), t)
+        right = NFA()
+        u = right.add_state(initial=True)
+        v = right.add_state(accepting=True)
+        right.add_arc(u, char_class("bcd"), v)
+        both = intersection(left, right)
+        assert both.accepts("b") and both.accepts("c")
+        assert not both.accepts("a") and not both.accepts("d")
+
+    def test_intersection_negated_class(self):
+        anything = NFA()
+        s = anything.add_state(initial=True)
+        t = anything.add_state(accepting=True)
+        anything.add_arc(s, CharClass(frozenset("x"), negated=True), t)
+        just_a = literal_nfa("a")
+        both = intersection(anything, just_a)
+        assert both.accepts("a")
+        assert not both.accepts("x")
+
+    def test_empty_intersection(self):
+        assert is_empty(intersection(literal_nfa("a"), literal_nfa("b")))
+
+    def test_is_universal(self):
+        nfa = NFA()
+        s = nfa.add_state(initial=True, accepting=True)
+        nfa.add_arc(s, DOT, s)
+        assert is_universal(nfa)
+        assert not is_universal(literal_nfa("a"))
+
+    @given(st.lists(st.text(alphabet="ab", max_size=3), min_size=1, max_size=4),
+           st.text(alphabet="ab", max_size=6))
+    def test_union_property(self, words, probe):
+        nfa = word_nfa(*words)
+        assert nfa.accepts(probe) == (probe in words)
+
+    @given(st.text(alphabet="ab", max_size=4), st.text(alphabet="ab", max_size=4),
+           st.text(alphabet="ab", max_size=8))
+    def test_concat_property(self, u, v, probe):
+        nfa = concat(literal_nfa(u), literal_nfa(v))
+        assert nfa.accepts(probe) == (probe == u + v)

@@ -1,0 +1,103 @@
+"""Tests for the regex AST simplifier (language preservation)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.automata import equivalent
+from repro.regex import ast, compile_ast, parse
+from repro.regex.optimize import simplify
+
+
+def lang_equal(pattern: str) -> bool:
+    node = parse(pattern)
+    return equivalent(compile_ast(node), compile_ast(simplify(node)))
+
+
+class TestRewrites:
+    @pytest.mark.parametrize(
+        "pattern,expected",
+        [
+            ("(a)(b)", "ab"),
+            ("a()b", "ab"),
+            ("(a*)*", "a*"),
+            ("(a+)+", "a+"),
+            ("(a?)?", "a?"),
+            ("(a*)?", "a*"),
+            ("(a?)*", "a*"),
+            ("(a+)*", "a*"),
+            ("(a+)?", "a*"),
+            ("a{1}", "a"),
+            ("a{0,}", "a*"),
+            ("a{1,}", "a+"),
+            ("a{0,1}", "a?"),
+            ("a|b|c", "[abc]"),
+            ("a|a", "a"),
+            ("a|[bc]", "[abc]"),
+            ("(a|b)|c", "[abc]"),
+            ("ab|ab", "ab"),
+        ],
+    )
+    def test_expected_shape(self, pattern, expected):
+        assert str(simplify(parse(pattern))) == str(parse(expected))
+
+    def test_epsilon_in_alternation_becomes_maybe(self):
+        node = simplify(parse("a|()"))
+        assert isinstance(node, ast.Maybe)
+
+    def test_empty_class_annihilates_concat(self):
+        node = ast.Concat((ast.Literal("a"), ast.ClassNode(frozenset())))
+        simplified = simplify(node)
+        assert isinstance(simplified, ast.ClassNode) and not simplified.chars
+
+    def test_capture_bodies_are_simplified_but_kept(self):
+        node = simplify(parse("!x{(a*)*}"))
+        assert isinstance(node, ast.Capture)
+        assert isinstance(node.inner, ast.Star)
+        assert isinstance(node.inner.inner, ast.Literal)
+
+    def test_reference_untouched(self):
+        node = simplify(parse("!x{a}&x"))
+        assert ast.references_of(node) == {"x"}
+
+
+PATTERNS = [
+    "(a|b)*abb",
+    "((a)|(b))((a)|(b))*",
+    "(a*)*(b?)?",
+    "a{0,3}(b|b|a)+",
+    "(()|a)(b|())",
+    "((ab)*)*",
+    "a|b|a|[ab]",
+    "(a+)?b{1}",
+]
+
+
+class TestLanguagePreservation:
+    @pytest.mark.parametrize("pattern", PATTERNS)
+    def test_catalogue(self, pattern):
+        assert lang_equal(pattern)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.sampled_from(PATTERNS), st.text(alphabet="ab", max_size=7))
+    def test_membership_property(self, pattern, word):
+        node = parse(pattern)
+        before = compile_ast(node).accepts(word)
+        after = compile_ast(simplify(node)).accepts(word)
+        assert before == after
+
+    def test_spanner_preservation(self):
+        from repro.automata.vset import VSetAutomaton
+
+        pattern = "!x{(a*)*}((b|b))*!y{a|b|a}"
+        node = parse(pattern)
+        before = VSetAutomaton(compile_ast(node))
+        after = VSetAutomaton(compile_ast(simplify(node)))
+        for doc in ["", "a", "ab", "aab", "abab"]:
+            assert before.evaluate(doc) == after.evaluate(doc), doc
+
+    def test_simplified_is_never_larger(self):
+        for pattern in PATTERNS:
+            node = parse(pattern)
+            assert sum(1 for _ in simplify(node).walk()) <= sum(
+                1 for _ in node.walk()
+            )

@@ -1,0 +1,70 @@
+"""Sanity tests of the public package surface."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.automata",
+    "repro.regex",
+    "repro.enumeration",
+    "repro.spanners",
+    "repro.decision",
+    "repro.slp",
+    "repro.wordeq",
+    "repro.util",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_names_resolve(name):
+    """Every name in each package's __all__ is actually importable."""
+    module = importlib.import_module(name)
+    assert hasattr(module, "__all__"), name
+    for symbol in module.__all__:
+        assert hasattr(module, symbol), f"{name}.{symbol}"
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__
+
+
+def test_top_level_quickstart_snippet():
+    """The README quickstart must keep working verbatim."""
+    from repro import RegularSpanner
+
+    spanner = RegularSpanner.from_regex("!x{(a|b)*}!y{b}!z{(a|b)*}")
+    table = spanner.evaluate("ababbab").to_table()
+    assert table.count("\n") == 5  # header + rule + 4 rows
+
+
+def test_errors_hierarchy():
+    from repro import errors
+
+    for name in [
+        "InvalidSpanError",
+        "InvalidMarkedWordError",
+        "RegexSyntaxError",
+        "NotFunctionalError",
+        "SchemaError",
+        "UnsupportedSpannerError",
+        "EvaluationLimitError",
+        "SLPError",
+        "CDEError",
+    ]:
+        cls = getattr(errors, name)
+        assert issubclass(cls, errors.SpanlibError), name
+
+
+def test_spanner_abc_contract():
+    """Every concrete spanner class implements the Spanner interface."""
+    from repro import CoreSpanner, ReflSpanner, RegularSpanner, Spanner
+    from repro.automata import VSetAutomaton
+
+    for cls in [RegularSpanner, ReflSpanner, VSetAutomaton]:
+        assert issubclass(cls, Spanner), cls
+    assert issubclass(CoreSpanner, Spanner)

@@ -1,0 +1,188 @@
+"""Tests for refl-spanners (paper Section 3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Span, SpanTuple
+from repro.errors import SchemaError, UnsupportedSpannerError
+from repro.spanners import ReflSpanner, core_to_refl_concat, prim
+from repro.spanners.refl import ReflSpanner as _R
+
+
+ALPHA2 = "ab*!x{(a|b)*}(b|c)*!y{(a|b)*}b*"   # the paper's (2)
+ALPHA3 = "ab*!x{(a|b)*}(b|c)*!y{&x}b*"       # the paper's (3)
+
+
+class TestConstruction:
+    def test_from_regex(self):
+        spanner = ReflSpanner.from_regex(ALPHA3)
+        assert spanner.variables == {"x", "y"}
+
+    def test_dangling_reference_rejected(self):
+        import repro.automata as automata
+        from repro.core import Ref
+
+        nfa = automata.NFA()
+        s = nfa.add_state(initial=True)
+        t = nfa.add_state(accepting=True)
+        nfa.add_arc(s, Ref("x"), t)
+        with pytest.raises(SchemaError):
+            ReflSpanner(nfa)
+
+
+class TestSemantics:
+    """Experiment P6: (3) expresses ς={x,y}(⟦(2)⟧)."""
+
+    DOCS = ["a", "ab", "abb", "abba", "abbabba", "abcab", "abacb", "aabb"]
+
+    def test_equals_core_spanner_on_catalogue(self):
+        refl = ReflSpanner.from_regex(ALPHA3)
+        core = prim(ALPHA2).select_equal({"x", "y"})
+        for doc in self.DOCS:
+            assert refl.evaluate(doc) == core.evaluate(doc), doc
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.text(alphabet="abc", max_size=6))
+    def test_equals_core_spanner_property(self, doc):
+        refl = ReflSpanner.from_regex(ALPHA3)
+        core = prim(ALPHA2).select_equal({"x", "y"})
+        assert refl.evaluate(doc) == core.evaluate(doc)
+
+    def test_repeated_factor_extraction(self):
+        # find x such that doc = x x (the square/copy language)
+        refl = ReflSpanner.from_regex("!x{(a|b)*}&x")
+        assert refl.evaluate("abab").tuples == frozenset(
+            {SpanTuple.of(x=Span(1, 3))}
+        )
+        assert not refl.evaluate("aba")
+        assert refl.evaluate("").tuples == frozenset({SpanTuple.of(x=Span(1, 1))})
+
+    def test_multiple_references(self):
+        # doc = x x x
+        refl = ReflSpanner.from_regex("!x{(a|b)+}&x&x")
+        assert refl.evaluate("ababab").tuples == frozenset(
+            {SpanTuple.of(x=Span(1, 3))}
+        )
+        assert not refl.evaluate("abab")
+
+    def test_reference_without_own_span_extraction(self):
+        """A reference is a string-equality *without* extracting a span —
+        wrap it in a capture to also extract it (Section 3.1)."""
+        refl = ReflSpanner.from_regex("!x{(a|b)+}!z{&x}")
+        relation = refl.evaluate("abab")
+        assert relation.tuples == frozenset(
+            {SpanTuple.of(x=Span(1, 3), z=Span(3, 5))}
+        )
+
+
+class TestModelChecking:
+    """Section 3.3: ModelChecking for refl-spanners is tractable."""
+
+    def test_positive_and_negative(self):
+        refl = ReflSpanner.from_regex(ALPHA3)
+        doc = "abbabba"
+        good = SpanTuple.of(x=Span(2, 5), y=Span(5, 8))
+        bad = SpanTuple.of(x=Span(2, 5), y=Span(4, 8))
+        assert refl.model_check(doc, good)
+        assert not refl.model_check(doc, bad)
+
+    def test_agrees_with_evaluation(self):
+        refl = ReflSpanner.from_regex("c*!x{(a|b)+}c+!y{&x}c*")
+        doc = "cabcabc"
+        relation = refl.evaluate(doc)
+        for start1 in range(1, len(doc) + 2):
+            for end1 in range(start1, len(doc) + 2):
+                for start2 in range(1, len(doc) + 2):
+                    for end2 in range(start2, len(doc) + 2):
+                        tup = SpanTuple.of(
+                            x=Span(start1, end1), y=Span(start2, end2)
+                        )
+                        assert refl.model_check(doc, tup) == (tup in relation)
+
+    def test_empty_reference_factor(self):
+        refl = ReflSpanner.from_regex("!x{a*}b&x")
+        assert refl.model_check("b", SpanTuple.of(x=Span(1, 1)))
+        assert refl.model_check("aba", SpanTuple.of(x=Span(1, 2)))
+        assert not refl.model_check("aba", SpanTuple.of(x=Span(1, 3)))
+
+    def test_marker_inside_reference_region_rejected(self):
+        # y's open marker cannot fall strictly inside the copied region
+        refl = ReflSpanner.from_regex("!x{(a|b)+}&x!y{b}")
+        doc = "abab" + "b"
+        ok = SpanTuple.of(x=Span(1, 3), y=Span(5, 6))
+        assert refl.model_check(doc, ok)
+        inside = SpanTuple.of(x=Span(1, 3), y=Span(4, 5))
+        assert not refl.model_check(doc, inside)
+
+    def test_tuple_must_define_referenced_variable(self):
+        refl = ReflSpanner.from_regex("!x{a+}&x")
+        assert not refl.model_check("aa", SpanTuple.empty())
+
+
+class TestAnalysis:
+    def test_sequential(self):
+        assert ReflSpanner.from_regex(ALPHA3).is_sequential()
+
+    def test_non_sequential_detected(self):
+        # reference before the variable is captured
+        spanner = ReflSpanner.from_regex("&x!x{a+}")
+        assert not spanner.is_sequential()
+        with pytest.raises(UnsupportedSpannerError):
+            spanner.evaluate("aa")
+
+    def test_reference_bounded(self):
+        assert ReflSpanner.from_regex(ALPHA3).is_reference_bounded()
+        assert ReflSpanner.from_regex("!x{a+}&x&x&x").is_reference_bounded()
+
+    def test_unbounded_references_detected(self):
+        """The paper's example a+ x{b+} (a+ x)* a+ of a refl-spanner that is
+        provably not a core spanner."""
+        spanner = ReflSpanner.from_regex("a+!x{b+}(a+&x)*a+")
+        assert not spanner.is_reference_bounded()
+        with pytest.raises(UnsupportedSpannerError):
+            spanner.to_core()
+
+
+class TestReflToCore:
+    """Section 3.2: reference-bounded refl-spanners are core spanners."""
+
+    CASES = [
+        ("!x{(a|b)*}&x", ["abab", "aa", "aba", ""]),
+        (ALPHA3, ["abbabba", "abcab", "a"]),
+        ("!x{a+}b!z{&x}", ["aabaa", "aba", "ab"]),
+        ("c*!x{(a|b)+}c+!y{&x}c*", ["cabcabc", "acbca"]),
+    ]
+
+    @pytest.mark.parametrize("pattern,docs", CASES, ids=[c[0] for c in CASES])
+    def test_translation_preserves_semantics(self, pattern, docs):
+        refl = ReflSpanner.from_regex(pattern)
+        core = refl.to_core()
+        for doc in docs:
+            assert core.evaluate(doc) == refl.evaluate(doc), doc
+
+
+class TestCoreToRefl:
+    """Section 3.2's converse, for the non-overlapping concat fragment."""
+
+    def test_paper_example_2_to_3(self):
+        refl = core_to_refl_concat(ALPHA2, {"x", "y"})
+        core = prim(ALPHA2).select_equal({"x", "y"})
+        for doc in ["abbabba", "abcab", "ab", "a"]:
+            assert refl.evaluate(doc) == core.evaluate(doc), doc
+
+    def test_paper_beta_example_needs_intersection(self):
+        """β := ab* x{a(a|b)*} (b|c)* y{(a|b)*b} b*: the content language of
+        the leader becomes L(a(a|b)*) ∩ L((a|b)*b)."""
+        beta = "ab*!x{a(a|b)*}(b|c)*!y{(a|b)*b}b*"
+        refl = core_to_refl_concat(beta, {"x", "y"})
+        core = prim(beta).select_equal({"x", "y"})
+        for doc in ["aabab", "aabcaab", "abbabb", "aababb", "aabaab"]:
+            assert refl.evaluate(doc) == core.evaluate(doc), doc
+
+    def test_nested_captures_rejected(self):
+        with pytest.raises(UnsupportedSpannerError):
+            core_to_refl_concat("!x{a!z{b}}!y{ab}", {"x", "y"})
+
+    def test_non_toplevel_capture_rejected(self):
+        with pytest.raises(UnsupportedSpannerError):
+            core_to_refl_concat("(!x{a}|b)!y{a}", {"x", "y"})

@@ -1,0 +1,83 @@
+"""Tests for references nested inside other captures (sequential case).
+
+A reference ``&x`` may occur inside the capture of *another* variable y —
+the Section 3.1 example has exactly this shape.  As long as x closes
+before the reference (the sequential fragment), evaluation, model
+checking, and the refl→core translation must all handle it.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Span, SpanTuple
+from repro.spanners import ReflSpanner, prim
+
+
+class TestReferenceInsideCapture:
+    def test_evaluation(self):
+        # y captures b·(copy of x)·b
+        refl = ReflSpanner.from_regex("!x{a+}!y{b(&x)b}")
+        relation = refl.evaluate("aabaab")
+        assert relation.tuples == frozenset(
+            {SpanTuple.of(x=Span(1, 3), y=Span(3, 7))}
+        )
+
+    def test_y_span_covers_the_copy(self):
+        refl = ReflSpanner.from_regex("!x{a+}!y{b(&x)b}")
+        doc = "abab"
+        relation = refl.evaluate(doc)
+        tup = next(iter(relation))
+        assert tup["y"].extract(doc) == "b" + tup["x"].extract(doc) + "b"
+
+    def test_model_check(self):
+        refl = ReflSpanner.from_regex("!x{a+}!y{b(&x)b}")
+        doc = "aabaab"
+        good = SpanTuple.of(x=Span(1, 3), y=Span(3, 7))
+        bad = SpanTuple.of(x=Span(1, 2), y=Span(3, 7))
+        assert refl.model_check(doc, good)
+        assert not refl.model_check(doc, bad)
+
+    def test_to_core_translation(self):
+        refl = ReflSpanner.from_regex("!x{a+}!y{b(&x)b}")
+        core = refl.to_core()
+        for doc in ["aabaab", "abab", "aabab", "ab"]:
+            assert core.evaluate(doc) == refl.evaluate(doc), doc
+
+    def test_double_nesting(self):
+        # z captures c·(copy of y)·c where y itself contained a copy of x;
+        # (&y) is parenthesised so the following 'c' is not read as part of
+        # the variable name
+        refl = ReflSpanner.from_regex("!x{a}!y{b&x}!z{c(&y)c}")
+        doc = "a" + "ba" + "c" + "ba" + "c"
+        relation = refl.evaluate(doc)
+        assert relation.tuples == frozenset(
+            {SpanTuple.of(x=Span(1, 2), y=Span(2, 4), z=Span(4, 8))}
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.text(alphabet="ab", max_size=7))
+    def test_against_core_equivalent(self, doc):
+        refl = ReflSpanner.from_regex("!x{a+}!y{b(&x)b}(a|b)*")
+        # the same spanner as a core expression with an auxiliary variable
+        core = (
+            prim("!x{a+}!y{b!aux{a+}b}(a|b)*")
+            .select_equal({"x", "aux"})
+            .project({"x", "y"})
+        )
+        assert refl.evaluate(doc) == core.evaluate(doc)
+
+
+class TestSequentialityBoundary:
+    def test_reference_inside_own_capture_rejected(self):
+        from repro.errors import UnsupportedSpannerError
+
+        # &x inside x's own capture never denotes a valid ref-word, so the
+        # spanner is outside the sequential fragment and evaluation refuses
+        refl = ReflSpanner.from_regex("!x{a(&x)}")
+        assert not refl.is_sequential()
+        with pytest.raises(UnsupportedSpannerError):
+            refl.evaluate("aa")
+
+    def test_reference_before_close_is_non_sequential(self):
+        refl = ReflSpanner.from_regex("!y{&x}!x{a}")
+        assert not refl.is_sequential()

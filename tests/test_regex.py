@@ -1,0 +1,210 @@
+"""Tests for the spanner regex engine: parser, validity, compilation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Span, SpanTuple
+from repro.errors import RegexSyntaxError
+from repro.regex import (
+    Alt,
+    Capture,
+    Concat,
+    Literal,
+    Reference,
+    Star,
+    check_capture_validity,
+    compile_nfa,
+    parse,
+    ref_nfa_from_regex,
+    references_of,
+    spanner_from_regex,
+    variables_of,
+)
+
+
+class TestParser:
+    def test_literal_concat(self):
+        node = parse("abc")
+        assert isinstance(node, Concat)
+        assert [p.char for p in node.parts] == ["a", "b", "c"]
+
+    def test_alternation_precedence(self):
+        node = parse("ab|c")
+        assert isinstance(node, Alt)
+        assert isinstance(node.parts[0], Concat)
+
+    def test_star_binds_tighter_than_concat(self):
+        node = parse("ab*")
+        assert isinstance(node, Concat)
+        assert isinstance(node.parts[1], Star)
+
+    def test_grouping(self):
+        node = parse("(ab)*")
+        assert isinstance(node, Star)
+        assert isinstance(node.inner, Concat)
+
+    def test_empty_group_is_epsilon(self):
+        nfa = compile_nfa("()")
+        assert nfa.accepts("")
+        assert not nfa.accepts("a")
+
+    def test_capture(self):
+        node = parse("!x{ab}")
+        assert isinstance(node, Capture)
+        assert node.var == "x"
+        assert variables_of(node) == {"x"}
+
+    def test_reference(self):
+        node = parse("&foo")
+        assert isinstance(node, Reference)
+        assert references_of(node) == {"foo"}
+
+    def test_variable_names(self):
+        node = parse("!long_name2{a}")
+        assert node.var == "long_name2"
+
+    def test_escapes(self):
+        node = parse(r"\*\{\&")
+        assert [p.char for p in node.parts] == ["*", "{", "&"]
+
+    def test_char_class_with_range(self):
+        nfa = compile_nfa("[a-c]")
+        for ch, ok in [("a", True), ("b", True), ("c", True), ("d", False)]:
+            assert nfa.accepts(ch) == ok
+
+    def test_negated_class(self):
+        nfa = compile_nfa("[^ab]")
+        assert nfa.accepts("z") and not nfa.accepts("a")
+
+    def test_class_with_literal_dash_and_bracket(self):
+        nfa = compile_nfa(r"[\]a]")
+        assert nfa.accepts("]") and nfa.accepts("a")
+
+    def test_syntax_errors_report_position(self):
+        for pattern in ["(", "a)", "a{", "a{2,1}", "[", "[]", "!x", "!{a}", "a**b|)"]:
+            with pytest.raises(RegexSyntaxError):
+                parse(pattern)
+
+    def test_unparse_round_trip(self):
+        for pattern in ["abc", "(a|b)*c+d?", "!x{(a|b)*}", "a{2,4}", "[abc]", "&x", "."]:
+            node = parse(pattern)
+            assert parse(str(node)) == node
+
+
+class TestValidity:
+    def test_capture_under_star_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            check_capture_validity(parse("(!x{a})*"))
+
+    def test_capture_under_bounded_repeat_gt1_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            check_capture_validity(parse("(!x{a}){2}"))
+
+    def test_capture_under_repeat_1_allowed(self):
+        check_capture_validity(parse("(!x{a}){1}"))
+        check_capture_validity(parse("(!x{a}){0,1}"))
+
+    def test_duplicate_capture_on_path_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            check_capture_validity(parse("!x{a}!x{b}"))
+
+    def test_nested_same_variable_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            check_capture_validity(parse("!x{a!x{b}c}"))
+
+    def test_duplicate_capture_across_branches_allowed(self):
+        check_capture_validity(parse("!x{a}|!x{b}"))
+
+    def test_capture_under_maybe_allowed(self):
+        # zero-or-one occurrences: schemaless semantics
+        check_capture_validity(parse("(!x{a})?"))
+
+
+class TestCompileNFA:
+    @pytest.mark.parametrize(
+        "pattern,accepted,rejected",
+        [
+            ("a*b", ["b", "ab", "aaab"], ["a", "ba", ""]),
+            ("(a|b)+", ["a", "ab", "bba"], ["", "c"]),
+            ("a{2,3}", ["aa", "aaa"], ["a", "aaaa"]),
+            ("a{2}", ["aa"], ["a", "aaa"]),
+            ("a{2,}", ["aa", "aaaaa"], ["a", ""]),
+            ("a?b", ["b", "ab"], ["aab"]),
+            (".*", ["", "xyz"], []),
+            ("a.c", ["abc", "azc"], ["ac", "abbc"]),
+        ],
+    )
+    def test_membership(self, pattern, accepted, rejected):
+        nfa = compile_nfa(pattern)
+        for word in accepted:
+            assert nfa.accepts(word), (pattern, word)
+        for word in rejected:
+            assert not nfa.accepts(word), (pattern, word)
+
+    def test_captures_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            compile_nfa("!x{a}")
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.text(alphabet="ab", max_size=6))
+    def test_agrees_with_python_re(self, probe):
+        import re
+
+        pattern = "(a|b)*abb"
+        assert compile_nfa(pattern).accepts(probe) == bool(
+            re.fullmatch("(a|b)*abb", probe)
+        )
+
+
+class TestSpannerFromRegex:
+    def test_example_1_1(self):
+        """Experiment P1: the regex α of the paper's introduction."""
+        spanner = spanner_from_regex("!x{(a|b)*}!y{b}!z{(a|b)*}")
+        relation = spanner.evaluate("ababbab")
+        expected = {
+            SpanTuple.of(x=Span(1, 2), y=Span(2, 3), z=Span(3, 8)),
+            SpanTuple.of(x=Span(1, 4), y=Span(4, 5), z=Span(5, 8)),
+            SpanTuple.of(x=Span(1, 5), y=Span(5, 6), z=Span(6, 8)),
+            SpanTuple.of(x=Span(1, 7), y=Span(7, 8), z=Span(8, 8)),
+        }
+        assert relation.tuples == expected
+        assert spanner.functional
+
+    def test_functional_inference(self):
+        assert spanner_from_regex("!x{a}").functional
+        assert not spanner_from_regex("(!x{a})?").functional
+        assert spanner_from_regex("!x{a}|!x{b}").functional
+
+    def test_nested_captures(self):
+        spanner = spanner_from_regex("!x{a!y{b}c}")
+        relation = spanner.evaluate("abc")
+        assert relation.tuples == frozenset(
+            {SpanTuple.of(x=Span(1, 4), y=Span(2, 3))}
+        )
+
+    def test_hierarchicality_of_regex_formulas(self):
+        # regex-formulas are hierarchical by construction (Section 2.2):
+        # nested or disjoint, never properly overlapping
+        spanner = spanner_from_regex("!x{ab}!y{ab}")
+        for tup in spanner.evaluate("abab"):
+            assert not tup["x"].overlaps(tup["y"])
+
+    def test_references_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            spanner_from_regex("!x{a}&x")
+
+    def test_empty_capture(self):
+        spanner = spanner_from_regex("a!x{()}b")
+        relation = spanner.evaluate("ab")
+        assert relation.tuples == frozenset({SpanTuple.of(x=Span(2, 2))})
+
+
+class TestRefNFA:
+    def test_compiles_reference_arcs(self):
+        nfa, variables = ref_nfa_from_regex("!x{(a|b)*}c&x")
+        assert variables == {"x"}
+        assert len(nfa.ref_symbols()) == 1
+
+    def test_dangling_reference_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            ref_nfa_from_regex("a&x")

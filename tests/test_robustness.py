@@ -1,0 +1,115 @@
+"""Failure injection and fuzz robustness.
+
+The contract under attack: malformed *input* must produce a
+:class:`~repro.errors.SpanlibError` subclass (or a clean boolean result) —
+never an arbitrary internal exception.  Hypothesis feeds each parser /
+loader garbage and asserts the error discipline.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SpanlibError
+from repro.regex.parser import parse
+from repro.slp.serialize import dumps_database, loads_database
+
+
+class TestRegexParserFuzz:
+    @settings(max_examples=200, deadline=None)
+    @given(st.text(max_size=25))
+    def test_parse_raises_only_spanlib_errors(self, pattern):
+        try:
+            parse(pattern)
+        except SpanlibError:
+            pass  # RegexSyntaxError is the contract
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.text(alphabet="ab|*+?(){}[].&!\\x0-9,^-", max_size=20))
+    def test_metacharacter_soup(self, pattern):
+        from repro.regex.compile import spanner_from_regex
+
+        try:
+            spanner = spanner_from_regex(pattern)
+        except SpanlibError:
+            return
+        # if it parsed, it must also evaluate without blowing up
+        spanner.evaluate("ab")
+
+
+class TestSerializationFuzz:
+    @settings(max_examples=150, deadline=None)
+    @given(st.text(max_size=120))
+    def test_loads_raises_only_slp_errors(self, blob):
+        try:
+            loads_database(blob)
+        except SpanlibError:
+            pass
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_mutated_valid_dump(self, data):
+        """Flip one line of a valid dump: either still loads (to *some*
+        database) or fails with a clean error."""
+        from repro.slp import DocumentDatabase
+
+        db = DocumentDatabase.from_texts({"d": "abab"})
+        lines = dumps_database(db).splitlines()
+        index = data.draw(st.integers(0, len(lines) - 1))
+        mutation = data.draw(st.text(max_size=12))
+        lines[index] = mutation
+        try:
+            loads_database("\n".join(lines) + "\n")
+        except SpanlibError:
+            pass
+
+
+class TestMarkedWordFuzz:
+    @settings(max_examples=150, deadline=None)
+    @given(st.text(alphabet="ab[]<>&x", max_size=20))
+    def test_parse_marked_error_discipline(self, text):
+        from repro.core import parse_marked
+
+        try:
+            parse_marked(text)
+        except SpanlibError:
+            pass
+
+
+class TestCdeFuzz:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.integers(-3, 40),
+        st.integers(-3, 40),
+        st.integers(-3, 40),
+    )
+    def test_random_positions_never_corrupt_the_store(self, i, j, k):
+        from repro.errors import CDEError, SLPError
+        from repro.slp import Copy, Doc, Editor, apply_cde, eval_cde
+
+        editor = Editor.from_texts({"d": "abcdefgh"})
+        expr = Copy(Doc("d"), i, j, k)
+        try:
+            node = apply_cde(expr, editor.db)
+        except (CDEError, SLPError):
+            # rejected cleanly; the stored document must be intact
+            assert editor.db.document("d") == "abcdefgh"
+            return
+        # accepted: must agree with the string semantics
+        assert editor.db.slp.derive(node) == eval_cde(expr, {"d": "abcdefgh"})
+
+
+class TestSpanFuzz:
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(-5, 15), st.integers(-5, 15), st.text(alphabet="ab", max_size=8))
+    def test_span_construction_discipline(self, start, end, doc):
+        from repro.core import Span
+
+        try:
+            span = Span(start, end)
+        except SpanlibError:
+            return
+        try:
+            content = span.extract(doc)
+        except SpanlibError:
+            return
+        assert content == doc[start - 1: end - 1]

@@ -1,0 +1,102 @@
+"""Tests for SLP database serialisation and SpannerDB persistence."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.db import SpannerDB
+from repro.errors import SLPError
+from repro.slp import DocumentDatabase, figure_1_database
+from repro.slp.serialize import dumps_database, loads_database
+
+
+class TestRoundTrip:
+    def test_figure_1_database(self):
+        db, _ = figure_1_database()
+        loaded = loads_database(dumps_database(db))
+        assert loaded.names() == db.names()
+        for name in db.names():
+            assert loaded.document(name) == db.document(name)
+
+    def test_sharing_survives(self):
+        db = DocumentDatabase.from_texts({"a": "abab" * 16, "b": "abab" * 32})
+        loaded = loads_database(dumps_database(db))
+        # the loaded arena is freshly hash-consed: sharing at least as good
+        assert loaded.size() <= db.size()
+
+    def test_only_reachable_nodes_written(self):
+        db = DocumentDatabase.from_texts({"a": "ab"})
+        # create unreachable garbage in the arena
+        db.slp.pair(db.slp.terminal("z"), db.slp.terminal("z"))
+        text = dumps_database(db)
+        assert "z" not in text
+
+    def test_special_characters(self):
+        db = DocumentDatabase.from_texts({"weird name\n": "a b\nc\\d"})
+        loaded = loads_database(dumps_database(db))
+        assert loaded.document("weird name\n") == "a b\nc\\d"
+
+    def test_empty_database(self):
+        db = DocumentDatabase()
+        loaded = loads_database(dumps_database(db))
+        assert loaded.names() == []
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.dictionaries(
+            st.text(min_size=1, max_size=6),
+            st.text(alphabet="ab \n\\", min_size=1, max_size=20),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    def test_round_trip_property(self, texts):
+        db = DocumentDatabase.from_texts(texts)
+        loaded = loads_database(dumps_database(db))
+        for name, text in texts.items():
+            assert loaded.document(name) == text
+
+
+class TestCorruption:
+    def test_bad_header(self):
+        with pytest.raises(SLPError):
+            loads_database("NOPE 9\n")
+
+    def test_bad_record(self):
+        with pytest.raises(SLPError):
+            loads_database("SLPDB 1\nX what\n")
+
+    def test_forward_reference(self):
+        with pytest.raises(SLPError):
+            loads_database("SLPDB 1\nP 0 1 2\n")
+
+    def test_unknown_document_node(self):
+        with pytest.raises(SLPError):
+            loads_database("SLPDB 1\nT 0 a\nD doc 7\n")
+
+
+class TestSpannerDBPersistence:
+    def test_save_and_load(self, tmp_path):
+        store = SpannerDB()
+        store.add_document("d1", "ababbab")
+        store.register_spanner("pairs", "(a|b)*!x{ab}(a|b)*")
+        before = store.evaluate("pairs", "d1")
+        path = tmp_path / "store.slpdb"
+        store.save(str(path))
+
+        loaded = SpannerDB.load(str(path))
+        assert loaded.documents() == ["d1"]
+        assert loaded.document_text("d1") == "ababbab"
+        # spanners are re-registered after load
+        loaded.register_spanner("pairs", "(a|b)*!x{ab}(a|b)*")
+        assert loaded.evaluate("pairs", "d1") == before
+
+    def test_loaded_store_is_editable(self, tmp_path):
+        from repro.slp import Concat, Doc
+
+        store = SpannerDB()
+        store.add_document("d1", "abc" * 10)
+        path = tmp_path / "store.slpdb"
+        store.save(str(path))
+        loaded = SpannerDB.load(str(path))
+        loaded.edit("d2", Concat(Doc("d1"), Doc("d1")))
+        assert loaded.document_text("d2") == "abc" * 20

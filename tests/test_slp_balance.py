@@ -1,0 +1,193 @@
+"""Tests for balanced-SLP primitives (paper Section 4.1)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SLPError
+from repro.slp import (
+    SLP,
+    balanced_node,
+    concat_balanced,
+    extract_balanced,
+    figure_1_slp,
+    rebalance,
+    repair_node,
+    split_balanced,
+)
+from repro.slp.balance import assert_strongly_balanced
+
+
+class TestConcatBalanced:
+    def test_preserves_derivation_and_balance(self):
+        slp = SLP()
+        left = balanced_node(slp, "abcabc")
+        right = balanced_node(slp, "xy")
+        node = concat_balanced(slp, left, right)
+        assert slp.derive(node) == "abcabcxy"
+        assert slp.is_strongly_balanced(node)
+
+    def test_none_is_empty(self):
+        slp = SLP()
+        node = balanced_node(slp, "ab")
+        assert concat_balanced(slp, None, node) == node
+        assert concat_balanced(slp, node, None) == node
+        assert concat_balanced(slp, None, None) is None
+
+    def test_extremely_unequal_orders(self):
+        slp = SLP()
+        big = balanced_node(slp, "ab" * 512)
+        small = slp.terminal("z")
+        for left, right in [(big, small), (small, big)]:
+            node = concat_balanced(slp, left, right)
+            assert slp.is_strongly_balanced(node)
+            assert slp.length(node) == 1025
+
+    def test_cost_is_logarithmic(self):
+        """O(|ord(a) − ord(b)|) fresh nodes per concat."""
+        slp = SLP()
+        big = balanced_node(slp, "ab" * 2048)
+        small = slp.terminal("z")
+        before = slp.num_nodes()
+        concat_balanced(slp, big, small)
+        created = slp.num_nodes() - before
+        assert created <= 3 * (slp.order(big) + 2)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.text(alphabet="ab", min_size=1, max_size=40),
+           st.text(alphabet="ab", min_size=1, max_size=40))
+    def test_property(self, s, t):
+        slp = SLP()
+        node = concat_balanced(slp, balanced_node(slp, s), balanced_node(slp, t))
+        assert slp.derive(node) == s + t
+        assert slp.is_strongly_balanced(node)
+
+
+class TestSplitBalanced:
+    @settings(max_examples=40, deadline=None)
+    @given(st.text(alphabet="abc", min_size=1, max_size=50), st.data())
+    def test_split_round_trip(self, text, data):
+        slp = SLP()
+        node = balanced_node(slp, text)
+        position = data.draw(st.integers(0, len(text)))
+        prefix, suffix = split_balanced(slp, node, position)
+        derived = (slp.derive(prefix) if prefix is not None else "") + (
+            slp.derive(suffix) if suffix is not None else ""
+        )
+        assert derived == text
+        if prefix is not None:
+            assert slp.length(prefix) == position
+            assert slp.is_strongly_balanced(prefix)
+        if suffix is not None:
+            assert slp.is_strongly_balanced(suffix)
+
+    def test_out_of_range(self):
+        slp = SLP()
+        node = balanced_node(slp, "abc")
+        with pytest.raises(SLPError):
+            split_balanced(slp, node, 4)
+        with pytest.raises(SLPError):
+            split_balanced(slp, node, -1)
+
+    def test_split_on_exponential_document(self):
+        """Splitting a doubly-exponential document stays cheap: the paper's
+        point that updates cost O(log d) regardless of compressibility."""
+        slp = SLP()
+        node = balanced_node(slp, "ab")
+        for _ in range(40):
+            node = slp.pair(node, node)
+        before = slp.num_nodes()
+        prefix, suffix = split_balanced(slp, node, 3)
+        created = slp.num_nodes() - before
+        assert slp.derive(prefix) == "aba"
+        assert slp.length(suffix) == 2 ** 41 - 3
+        assert created <= 10 * 41  # O(depth), NOT O(length)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.text(alphabet="ab", min_size=2, max_size=40), st.data())
+    def test_extract_balanced(self, text, data):
+        slp = SLP()
+        node = balanced_node(slp, text)
+        begin = data.draw(st.integers(0, len(text)))
+        end = data.draw(st.integers(begin, len(text)))
+        middle = extract_balanced(slp, node, begin, end)
+        if begin == end:
+            assert middle is None
+        else:
+            assert slp.derive(middle) == text[begin:end]
+            assert slp.is_strongly_balanced(middle)
+
+
+class TestRebalance:
+    def test_figure_1_roots_become_balanced(self):
+        slp, nodes = figure_1_slp()
+        for name in ["A1", "A2", "A3"]:
+            balanced = rebalance(slp, nodes[name])
+            assert slp.derive(balanced) == slp.derive(nodes[name])
+            assert slp.is_strongly_balanced(balanced)
+
+    def test_left_chain(self):
+        """A degenerate left-spine SLP (order = n) becomes logarithmic."""
+        slp = SLP()
+        node = slp.terminal("a")
+        for __ in range(63):
+            node = slp.pair(node, slp.terminal("a"))
+        assert slp.order(node) == 64
+        balanced = rebalance(slp, node)
+        assert slp.length(balanced) == 64
+        assert slp.order(balanced) <= 2 * math.log2(64) + 2
+        assert slp.is_strongly_balanced(balanced)
+
+    def test_memoisation_shares_work(self):
+        slp = SLP()
+        chain = slp.terminal("a")
+        for __ in range(20):
+            chain = slp.pair(chain, slp.terminal("b"))
+        shared = slp.pair(chain, chain)
+        memo: dict[int, int] = {}
+        balanced = rebalance(slp, shared, memo)
+        assert slp.derive(balanced) == slp.derive(shared)
+        # the shared chain was rebalanced once, not twice
+        assert memo[chain] == memo[chain]
+
+    def test_repair_output_can_be_rebalanced(self):
+        slp = SLP()
+        text = "abcabcabcabc" * 5
+        node = repair_node(slp, text)
+        balanced = rebalance(slp, node)
+        assert slp.derive(balanced) == text
+        assert slp.is_strongly_balanced(balanced)
+
+
+class TestBalancednessPredicates:
+    def test_strongly_balanced_implies_2_shallow(self):
+        """Section 4.1: any strongly balanced SLP is 2-shallow."""
+        slp = SLP()
+        for text in ["ab" * 37, "abcabc" * 11, "a" * 100]:
+            node = balanced_node(slp, text)
+            assert slp.is_strongly_balanced(node)
+            assert slp.is_c_shallow(node, 2.0)
+
+    def test_chain_is_not_shallow(self):
+        slp = SLP()
+        node = slp.terminal("a")
+        for __ in range(63):
+            node = slp.pair(node, slp.terminal("a"))
+        assert not slp.is_c_shallow(node, 2.0)
+
+    def test_assert_strongly_balanced(self):
+        slp, nodes = figure_1_slp()
+        assert_strongly_balanced(slp, nodes["B"])
+        with pytest.raises(SLPError):
+            assert_strongly_balanced(slp, nodes["A1"])
+
+    def test_order_bounds_of_strongly_balanced_nodes(self):
+        """Section 4.1: log|D(A)| ≤ ord(A) − 1 ≤ 2·log|D(A)| for strongly
+        balanced A (with |D(A)| ≥ 2)."""
+        slp = SLP()
+        for length in [2, 3, 7, 64, 100, 255]:
+            node = balanced_node(slp, "ab" * length)  # length 2·length
+            size = slp.length(node)
+            order = slp.order(node)
+            assert math.log2(size) <= order - 1 <= 2 * math.log2(size)

@@ -1,0 +1,124 @@
+"""Tests for factor fingerprints, LCE, and suffix comparison on SLPs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SLPError
+from repro.slp import SLP, balanced_node, power_node, repair_node
+from repro.slp.lce import FactorHasher, compare_suffixes, longest_common_extension
+
+
+def naive_lce(a: str, b: str) -> int:
+    length = 0
+    for ca, cb in zip(a, b):
+        if ca != cb:
+            break
+        length += 1
+    return length
+
+
+class TestFactorHasher:
+    def test_prefix_fingerprints_distinguish(self):
+        slp = SLP()
+        node = balanced_node(slp, "abcdef")
+        hasher = FactorHasher(slp)
+        values = {hasher.prefix_fingerprint(node, k) for k in range(7)}
+        assert len(values) == 7  # all prefixes distinct
+
+    def test_factor_equality(self):
+        slp = SLP()
+        node = balanced_node(slp, "abcabc")
+        hasher = FactorHasher(slp)
+        assert hasher.factors_equal(node, 0, node, 3, 3)   # abc == abc
+        assert not hasher.factors_equal(node, 0, node, 1, 3)
+
+    def test_cross_document_equality(self):
+        slp = SLP()
+        a = balanced_node(slp, "xxabcyy")
+        b = repair_node(slp, "qabcq")
+        hasher = FactorHasher(slp)
+        assert hasher.factors_equal(a, 2, b, 1, 3)
+
+    def test_range_validation(self):
+        slp = SLP()
+        node = balanced_node(slp, "abc")
+        hasher = FactorHasher(slp)
+        with pytest.raises(SLPError):
+            hasher.prefix_fingerprint(node, 4)
+        with pytest.raises(SLPError):
+            hasher.factor_fingerprint(node, 2, 1)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.text(alphabet="ab", min_size=1, max_size=40), st.data())
+    def test_factor_hash_matches_string_hash(self, text, data):
+        slp = SLP()
+        node = balanced_node(slp, text)
+        hasher = FactorHasher(slp)
+        begin = data.draw(st.integers(0, len(text)))
+        end = data.draw(st.integers(begin, len(text)))
+        other = balanced_node(slp, text[begin:end] + "#")
+        if end > begin:
+            assert hasher.factor_fingerprint(node, begin, end) == \
+                hasher.prefix_fingerprint(other, end - begin)
+
+
+class TestLCE:
+    def test_simple(self):
+        slp = SLP()
+        node = balanced_node(slp, "abcabd")
+        assert longest_common_extension(slp, node, 0, node, 3) == 2  # ab
+        assert longest_common_extension(slp, node, 0, node, 0) == 6
+
+    def test_across_documents(self):
+        slp = SLP()
+        a = balanced_node(slp, "hello world")
+        b = balanced_node(slp, "hellish")
+        assert longest_common_extension(slp, a, 0, b, 0) == 4  # hell
+
+    def test_on_exponential_document(self):
+        slp = SLP()
+        node = power_node(slp, "ab", 40)  # (ab)^(2^40)
+        # suffixes at even offsets agree for the whole overlap
+        lce = longest_common_extension(slp, node, 0, node, 2)
+        assert lce == slp.length(node) - 2
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.text(alphabet="ab", min_size=1, max_size=30), st.data())
+    def test_matches_naive(self, text, data):
+        slp = SLP()
+        node = repair_node(slp, text)
+        i = data.draw(st.integers(0, len(text) - 1))
+        j = data.draw(st.integers(0, len(text) - 1))
+        assert longest_common_extension(slp, node, i, node, j) == naive_lce(
+            text[i:], text[j:]
+        )
+
+
+class TestCompareSuffixes:
+    @settings(max_examples=40, deadline=None)
+    @given(st.text(alphabet="abc", min_size=1, max_size=25), st.data())
+    def test_matches_python_comparison(self, text, data):
+        slp = SLP()
+        node = balanced_node(slp, text)
+        i = data.draw(st.integers(0, len(text) - 1))
+        j = data.draw(st.integers(0, len(text) - 1))
+        expected = (text[i:] > text[j:]) - (text[i:] < text[j:])
+        assert compare_suffixes(slp, node, i, node, j) == expected
+
+    def test_suffix_sorting_via_comparisons(self):
+        """Sort all suffixes of a document compressed-only, check against
+        the naive suffix array."""
+        import functools
+
+        slp = SLP()
+        text = "banana"
+        node = balanced_node(slp, text)
+        hasher = FactorHasher(slp)
+        order = sorted(
+            range(len(text)),
+            key=functools.cmp_to_key(
+                lambda i, j: compare_suffixes(slp, node, i, node, j, hasher)
+            ),
+        )
+        expected = sorted(range(len(text)), key=lambda i: text[i:])
+        assert order == expected

@@ -1,0 +1,85 @@
+"""Tests for compressed NFA membership (paper Section 4.2, experiment C2)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.regex import compile_nfa
+from repro.slp import (
+    SLP,
+    CompressedMembership,
+    balanced_node,
+    fibonacci_node,
+    power_node,
+    repair_node,
+    simulate_uncompressed,
+)
+
+
+class TestCorrectness:
+    PATTERNS = ["(ab)*", "a*b*", "(a|b)*abb(a|b)*", "a(ba)*", ".*bb.*"]
+    TEXTS = ["ab", "abab", "ba", "aabb", "abb", "bab", "a", "b", "abba"]
+
+    def test_agrees_with_simulation_on_catalogue(self):
+        for pattern in self.PATTERNS:
+            nfa = compile_nfa(pattern)
+            oracle = CompressedMembership(nfa)
+            for text in self.TEXTS:
+                slp = SLP()
+                node = balanced_node(slp, text)
+                assert oracle.accepts(slp, node) == simulate_uncompressed(nfa, text), (
+                    pattern,
+                    text,
+                )
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.text(alphabet="ab", min_size=1, max_size=40))
+    def test_property(self, text):
+        nfa = compile_nfa("(a|b)*ab(a|b)*")
+        oracle = CompressedMembership(nfa)
+        slp = SLP()
+        node = repair_node(slp, text)
+        assert oracle.accepts(slp, node) == simulate_uncompressed(nfa, text)
+
+    def test_exponential_document(self):
+        """Membership on (ab)^(2^40) without decompressing — impossible for
+        the baseline, trivial in the compressed setting."""
+        nfa = compile_nfa("(ab)*")
+        oracle = CompressedMembership(nfa)
+        slp = SLP()
+        node = power_node(slp, "ab", 40)
+        assert slp.length(node) == 2 * 2 ** 40
+        assert oracle.accepts(slp, node)
+        # shift by one character: no longer in (ab)*
+        shifted = slp.pair(slp.terminal("a"), node)
+        assert not oracle.accepts(slp, shifted)
+
+    def test_fibonacci_document(self):
+        # Fibonacci words never contain 'bb'
+        nfa = compile_nfa("(a|b)*bb(a|b)*")
+        oracle = CompressedMembership(nfa)
+        slp = SLP()
+        node = fibonacci_node(slp, 40)
+        assert not oracle.accepts(slp, node)
+        with_bb = slp.pair(node, slp.pair(slp.terminal("b"), slp.terminal("b")))
+        assert oracle.accepts(slp, with_bb)
+
+    def test_memoisation_across_documents(self):
+        """Shared nodes are processed once across queries."""
+        nfa = compile_nfa("(ab)*")
+        oracle = CompressedMembership(nfa)
+        slp = SLP()
+        small = power_node(slp, "ab", 10)
+        big = slp.pair(small, small)
+        oracle.accepts(slp, small)
+        cached_before = len(oracle._node_matrices)
+        oracle.accepts(slp, big)
+        cached_after = len(oracle._node_matrices)
+        assert cached_after == cached_before + 1  # only 'big' is new
+
+    def test_empty_language(self):
+        from repro.automata import NFA
+
+        nfa = NFA()
+        nfa.add_state(initial=True)  # no accepting states
+        oracle = CompressedMembership(nfa)
+        slp = SLP()
+        assert not oracle.accepts(slp, balanced_node(slp, "ab"))

@@ -1,0 +1,128 @@
+"""Tests for compressed pattern matching on SLPs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SLPError
+from repro.slp import (
+    SLP,
+    CompressedPatternMatcher,
+    balanced_node,
+    fibonacci_node,
+    power_node,
+    repair_node,
+)
+
+
+def overlapping_count(text: str, pattern: str) -> int:
+    return sum(
+        1 for i in range(len(text) - len(pattern) + 1)
+        if text.startswith(pattern, i)
+    )
+
+
+def overlapping_positions(text: str, pattern: str) -> list[int]:
+    return [
+        i for i in range(len(text) - len(pattern) + 1)
+        if text.startswith(pattern, i)
+    ]
+
+
+class TestCounting:
+    def test_simple(self):
+        slp = SLP()
+        node = balanced_node(slp, "abababa")
+        matcher = CompressedPatternMatcher("aba")
+        assert matcher.count(slp, node) == 3  # overlapping!
+        assert matcher.contains(slp, node)
+
+    def test_no_match(self):
+        slp = SLP()
+        node = balanced_node(slp, "aaaa")
+        assert CompressedPatternMatcher("b").count(slp, node) == 0
+
+    def test_single_char_pattern(self):
+        slp = SLP()
+        node = balanced_node(slp, "abcabc")
+        assert CompressedPatternMatcher("c").count(slp, node) == 2
+
+    def test_pattern_longer_than_document(self):
+        slp = SLP()
+        node = balanced_node(slp, "ab")
+        assert CompressedPatternMatcher("abc").count(slp, node) == 0
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(SLPError):
+            CompressedPatternMatcher("")
+
+    def test_boundary_crossing_matches(self):
+        slp = SLP()
+        left = balanced_node(slp, "xxab")
+        right = balanced_node(slp, "cdyy")
+        node = slp.pair(left, right)
+        assert CompressedPatternMatcher("abcd").count(slp, node) == 1
+
+    def test_exponential_document(self):
+        """(ab)^(2^40): 2^40 occurrences of 'ab', counted in O(log |D|)."""
+        slp = SLP()
+        node = power_node(slp, "ab", 40)
+        matcher = CompressedPatternMatcher("ab")
+        assert matcher.count(slp, node) == 2 ** 40
+        # 'ba' occurs at every boundary: 2^40 - 1 times
+        assert CompressedPatternMatcher("ba").count(slp, node) == 2 ** 40 - 1
+
+    def test_fibonacci_never_contains_bb(self):
+        slp = SLP()
+        node = fibonacci_node(slp, 35)
+        assert CompressedPatternMatcher("bb").count(slp, node) == 0
+        assert CompressedPatternMatcher("aa").count(slp, node) > 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.text(alphabet="ab", min_size=1, max_size=60),
+        st.text(alphabet="ab", min_size=1, max_size=4),
+    )
+    def test_count_property(self, text, pattern):
+        slp = SLP()
+        node = repair_node(slp, text)
+        matcher = CompressedPatternMatcher(pattern)
+        assert matcher.count(slp, node) == overlapping_count(text, pattern)
+
+
+class TestOccurrences:
+    def test_positions_in_order(self):
+        slp = SLP()
+        text = "abaabababa"
+        node = balanced_node(slp, text)
+        matcher = CompressedPatternMatcher("aba")
+        assert list(matcher.occurrences(slp, node)) == overlapping_positions(text, "aba")
+
+    def test_lazy_on_huge_document(self):
+        import itertools
+
+        slp = SLP()
+        node = power_node(slp, "ab", 40)
+        matcher = CompressedPatternMatcher("ab")
+        first = list(itertools.islice(matcher.occurrences(slp, node), 4))
+        assert first == [0, 2, 4, 6]
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.text(alphabet="abc", min_size=1, max_size=40),
+        st.text(alphabet="abc", min_size=1, max_size=3),
+    )
+    def test_positions_property(self, text, pattern):
+        slp = SLP()
+        node = repair_node(slp, text)
+        matcher = CompressedPatternMatcher(pattern)
+        assert list(matcher.occurrences(slp, node)) == overlapping_positions(
+            text, pattern
+        )
+
+    def test_shared_matcher_across_documents(self):
+        slp = SLP()
+        matcher = CompressedPatternMatcher("ab")
+        a = balanced_node(slp, "abab")
+        b = slp.pair(a, a)
+        assert matcher.count(slp, a) == 2
+        assert matcher.count(slp, b) == 4

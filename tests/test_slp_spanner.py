@@ -1,0 +1,168 @@
+"""Tests for spanner evaluation over SLP-compressed documents
+(paper Section 4 / [39, 40]; experiments C3 and C4)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Span, SpanTuple
+from repro.enumeration import Enumerator
+from repro.regex import spanner_from_regex
+from repro.slp import (
+    Concat,
+    Delete,
+    Doc,
+    DocumentDatabase,
+    Editor,
+    Insert,
+    SLP,
+    SLPSpannerEvaluator,
+    balanced_node,
+    figure_1_slp,
+    power_node,
+    repair_node,
+)
+
+
+PATTERNS = [
+    "!x{(a|b)*}!y{b}!z{(a|b)*}",
+    "(a|b)*!x{ab}(a|b)*",
+    "(a|b)*!x{a+}!y{b+}(a|b)*",
+    "(!x{a})?(a|b)*",
+    "!x{a*}",
+]
+
+DOCS = ["a", "b", "ab", "abab", "ababbab", "bbaab"]
+
+
+class TestCorrectness:
+    def test_agrees_with_uncompressed_pipeline(self):
+        for pattern in PATTERNS:
+            spanner = spanner_from_regex(pattern)
+            compressed = SLPSpannerEvaluator(spanner)
+            uncompressed = Enumerator(spanner)
+            for doc in DOCS:
+                slp = SLP()
+                node = balanced_node(slp, doc)
+                got = compressed.evaluate(slp, node)
+                want = uncompressed.evaluate(doc)
+                assert got == want, (pattern, doc)
+
+    def test_no_duplicates(self):
+        spanner = spanner_from_regex("(a|b)*!x{ab}(a|b)*")
+        evaluator = SLPSpannerEvaluator(spanner)
+        slp = SLP()
+        node = repair_node(slp, "abab" * 8)
+        produced = list(evaluator.enumerate(slp, node))
+        assert len(produced) == len(set(produced))
+
+    def test_compression_does_not_change_results(self):
+        """Different SLPs for the same document give the same relation —
+        the compression-awareness discussion of Section 4.2."""
+        from repro.slp import lz78_node
+
+        spanner = spanner_from_regex("(a|b|c)*!x{bca}(a|b|c)*")
+        evaluator = SLPSpannerEvaluator(spanner)
+        doc = "ababbcabca"
+        relations = []
+        for builder in [balanced_node, repair_node, lz78_node]:
+            slp = SLP()
+            relations.append(evaluator.evaluate(slp, builder(slp, doc)))
+        assert relations[0] == relations[1] == relations[2]
+
+    def test_figure_1_document(self):
+        """Section 4.2's example: extracting from D(A1) = ababbcabca, where
+        the two occurrences of D(C) = bca are shared by one node."""
+        slp, nodes = figure_1_slp()
+        spanner = spanner_from_regex("(a|b|c)*!x{bca}(a|b|c)*")
+        evaluator = SLPSpannerEvaluator(spanner)
+        relation = evaluator.evaluate(slp, nodes["A1"])
+        # bca occurs at positions 5 and 8 of ababbcabca; the span tuples
+        # treat the two shared occurrences differently (partial decompression)
+        assert {t["x"] for t in relation} == {Span(5, 8), Span(8, 11)}
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.text(alphabet="ab", min_size=1, max_size=10))
+    def test_property(self, doc):
+        spanner = spanner_from_regex("(a|b)*!x{a(a|b)*b}(a|b)*")
+        evaluator = SLPSpannerEvaluator(spanner)
+        slp = SLP()
+        node = repair_node(slp, doc)
+        assert evaluator.evaluate(slp, node) == Enumerator(spanner).evaluate(doc)
+
+    def test_empty_relation(self):
+        spanner = spanner_from_regex("(a|b)*!x{c}(a|b)*")
+        evaluator = SLPSpannerEvaluator(spanner)
+        slp = SLP()
+        assert len(evaluator.evaluate(slp, balanced_node(slp, "abab"))) == 0
+
+
+class TestCompressedScaling:
+    def test_preprocessing_linear_in_slp_not_document(self):
+        """Experiment C3's core: |S| matrices, not |D| table columns."""
+        spanner = spanner_from_regex("(a|b)*!x{ab}(a|b)*")
+        evaluator = SLPSpannerEvaluator(spanner)
+        slp = SLP()
+        node = power_node(slp, "ab", 30)  # |D| = 2^31, |S| ~ 33
+        fresh = evaluator.preprocess(slp, node)
+        assert fresh <= 40
+
+    def test_nonemptiness_on_astronomical_document(self):
+        spanner = spanner_from_regex("(a|b)*!x{ab}(a|b)*")
+        evaluator = SLPSpannerEvaluator(spanner)
+        slp = SLP()
+        node = power_node(slp, "ab", 50)
+        assert evaluator.is_nonempty(slp, node)
+        all_a = power_node(slp, "a", 50)
+        assert not evaluator.is_nonempty(slp, all_a)
+
+    def test_first_tuples_of_huge_document(self):
+        """Enumeration is lazy: the first results of a 2^21-char document
+        arrive after descending one root-to-leaf path, not after scanning."""
+        import itertools
+
+        spanner = spanner_from_regex("(a|b)*!x{ab}(a|b)*")
+        evaluator = SLPSpannerEvaluator(spanner)
+        slp = SLP()
+        node = power_node(slp, "ab", 20)
+        first_three = list(itertools.islice(evaluator.enumerate(slp, node), 3))
+        assert SpanTuple.of(x=Span(1, 3)) in first_three
+
+
+class TestDynamicUpdates:
+    """[40]: after a CDE edit, only the fresh nodes need new matrices."""
+
+    def test_incremental_matrices_after_edit(self):
+        spanner = spanner_from_regex("(a|b|c|d)*!x{ab}(a|b|c|d)*")
+        evaluator = SLPSpannerEvaluator(spanner)
+        slp = SLP()
+        node = power_node(slp, "abcd", 12)
+        db = DocumentDatabase(slp)
+        db.add_node("big", node)
+        editor = Editor(db)
+        evaluator.preprocess(slp, node)
+        cached = evaluator.cached_nodes()
+        edited = editor.apply("edited", Delete(Doc("big"), 100, 2000))
+        fresh = evaluator.preprocess(slp, edited)
+        # only the O(log d) fresh spine nodes got new matrices
+        assert fresh <= 60 * 14
+        assert evaluator.cached_nodes() == cached + fresh
+
+    def test_query_after_edits_matches_string_semantics(self):
+        spanner = spanner_from_regex("(a|b)*!x{ab}(a|b)*")
+        evaluator = SLPSpannerEvaluator(spanner)
+        editor = Editor.from_texts({"A": "abba", "B": "baab"})
+        texts = {"A": "abba", "B": "baab"}
+        from repro.slp import eval_cde
+
+        for expr in [
+            Concat(Doc("A"), Doc("B")),
+            Insert(Doc("A"), Doc("B"), 3),
+            Delete(Doc("B"), 2, 3),
+        ]:
+            node = editor.db.slp
+            from repro.slp import apply_cde
+
+            result = apply_cde(expr, editor.db)
+            doc = eval_cde(expr, texts)
+            got = evaluator.evaluate(editor.db.slp, result)
+            want = Enumerator(spanner).evaluate(doc)
+            assert got == want, doc

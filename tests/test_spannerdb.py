@@ -1,0 +1,105 @@
+"""Tests for the integrated SpannerDB system (the Section 4 narrative)."""
+
+import pytest
+
+from repro.core import Span, SpanTuple
+from repro.db import SpannerDB
+from repro.errors import SchemaError, SLPError
+from repro.regex import spanner_from_regex
+from repro.slp import Concat, Delete, Doc, Extract, Insert
+
+
+@pytest.fixture
+def db():
+    store = SpannerDB()
+    store.add_document("d1", "ababbab")
+    store.add_document("d2", "bbaabb")
+    store.register_spanner("pairs", "(a|b)*!x{ab}(a|b)*")
+    return store
+
+
+class TestDocuments:
+    def test_ingest_and_read_back(self, db):
+        assert db.documents() == ["d1", "d2"]
+        assert db.document_text("d1") == "ababbab"
+        assert db.document_length("d2") == 6
+
+    def test_empty_document_rejected(self, db):
+        with pytest.raises(SLPError):
+            db.add_document("bad", "")
+
+    def test_duplicate_name_rejected(self, db):
+        with pytest.raises(SLPError):
+            db.add_document("d1", "zz")
+
+    def test_documents_are_strongly_balanced(self, db):
+        for name in db.documents():
+            node = db._db.node(name)
+            assert db.slp.is_strongly_balanced(node)
+
+
+class TestQueries:
+    def test_evaluate_matches_uncompressed(self, db):
+        spanner = spanner_from_regex("(a|b)*!x{ab}(a|b)*")
+        for name in db.documents():
+            assert db.evaluate("pairs", name) == spanner.evaluate(
+                db.document_text(name)
+            )
+
+    def test_streaming_query(self, db):
+        first = next(db.query("pairs", "d1"))
+        assert first == SpanTuple.of(x=Span(1, 3))
+
+    def test_is_nonempty(self, db):
+        assert db.is_nonempty("pairs", "d1")
+        db.add_document("no_ab", "bbb")
+        assert not db.is_nonempty("pairs", "no_ab")
+
+    def test_unknown_names(self, db):
+        with pytest.raises(SchemaError):
+            db.evaluate("nope", "d1")
+        with pytest.raises(SLPError):
+            db.evaluate("pairs", "nope")
+
+    def test_register_after_ingest_preprocesses(self, db):
+        db.register_spanner("runs", "(a|b)*!x{a+}(a|b)*")
+        assert len(db.evaluate("runs", "d2")) > 0
+
+    def test_duplicate_spanner_rejected(self, db):
+        with pytest.raises(SchemaError):
+            db.register_spanner("pairs", "!x{a}")
+
+
+class TestEditing:
+    def test_edit_and_requery(self, db):
+        db.edit("d3", Concat(Doc("d1"), Doc("d2")))
+        expected_doc = "ababbab" + "bbaabb"
+        assert db.document_text("d3") == expected_doc
+        spanner = spanner_from_regex("(a|b)*!x{ab}(a|b)*")
+        assert db.evaluate("pairs", "d3") == spanner.evaluate(expected_doc)
+
+    def test_compound_edit_script(self, db):
+        db.edit("cut", Extract(Doc("d1"), 2, 5))          # "babb"
+        db.edit("spliced", Insert(Doc("d2"), Doc("cut"), 3))
+        db.edit("final", Delete(Doc("spliced"), 1, 2))
+        text = db.document_text("final")
+        assert text == ("bb" + "babb" + "aabb")[2:]
+        spanner = spanner_from_regex("(a|b)*!x{ab}(a|b)*")
+        assert db.evaluate("pairs", "final") == spanner.evaluate(text)
+
+    def test_edit_updates_are_incremental(self):
+        db = SpannerDB()
+        db.add_document("big", "abcd" * 4096)
+        db.register_spanner("cd", "(a|b|c|d)*!x{cd}(a|b|c|d)*")
+        fresh = db.edit("edited", Delete(Doc("big"), 100, 200))
+        # one spanner, O(log d) fresh nodes
+        assert 0 < fresh <= 80 * 15
+        assert db.is_nonempty("cd", "edited")
+
+    def test_stats(self, db):
+        stats = db.stats()
+        assert stats["documents"] == 2
+        assert stats["spanners"] == 1
+        assert stats["total_characters"] == 13
+        assert stats["slp_nodes"] >= 1
+        assert "pairs" in stats["cached_matrices"]

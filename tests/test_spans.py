@@ -1,0 +1,354 @@
+"""Unit and property tests for spans, span tuples, and span relations."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import Span, SpanRelation, SpanTuple, fuse, fuse_tuple
+from repro.errors import InvalidSpanError, SchemaError
+
+
+# ---------------------------------------------------------------------------
+# Span
+# ---------------------------------------------------------------------------
+class TestSpan:
+    def test_paper_convention_is_one_based_half_open(self):
+        # Example 1.1: [1,2⟩ of "ababbab" is the first character.
+        assert Span(1, 2).extract("ababbab") == "a"
+        assert Span(3, 8).extract("ababbab") == "abbab"
+
+    def test_empty_span(self):
+        span = Span(4, 4)
+        assert len(span) == 0
+        assert span.is_empty()
+        assert span.extract("abc") == ""
+
+    def test_full_document_span(self):
+        doc = "ababbab"
+        assert Span(1, len(doc) + 1).extract(doc) == doc
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(InvalidSpanError):
+            Span(0, 2)
+        with pytest.raises(InvalidSpanError):
+            Span(3, 2)
+        with pytest.raises(InvalidSpanError):
+            Span(1.5, 2)  # type: ignore[arg-type]
+
+    def test_extract_out_of_range(self):
+        with pytest.raises(InvalidSpanError):
+            Span(1, 9).extract("abc")
+
+    def test_from_offsets_round_trip(self):
+        span = Span.from_offsets(2, 5)
+        assert span == Span(3, 6)
+        assert span.offsets == (2, 5)
+
+    def test_contains(self):
+        assert Span(2, 6).contains(Span(3, 5))
+        assert Span(2, 6).contains(Span(2, 6))
+        assert not Span(3, 5).contains(Span(2, 6))
+
+    def test_disjoint_touching_spans(self):
+        assert Span(1, 3).disjoint(Span(3, 5))
+        assert Span(3, 5).disjoint(Span(1, 3))
+        assert not Span(1, 4).disjoint(Span(3, 5))
+
+    def test_overlap_is_proper_overlap_only(self):
+        # The configuration of subword-marked word (1) in the paper:
+        # x=[2,6⟩ and y=[4,8⟩ properly overlap.
+        assert Span(2, 6).overlaps(Span(4, 8))
+        assert Span(4, 8).overlaps(Span(2, 6))
+        # nesting is not overlap
+        assert not Span(1, 8).overlaps(Span(2, 6))
+        # disjointness is not overlap
+        assert not Span(1, 3).overlaps(Span(5, 7))
+
+    def test_shift(self):
+        assert Span(2, 6).shift(3) == Span(5, 9)
+
+    def test_ordering_is_lexicographic(self):
+        assert Span(1, 4) < Span(2, 3)
+        assert Span(2, 3) < Span(2, 5)
+
+    @given(st.integers(1, 50), st.integers(0, 50))
+    def test_len_matches_extract(self, start, length):
+        span = Span(start, start + length)
+        doc = "a" * (span.end - 1)
+        assert len(span.extract(doc)) == len(span) == length
+
+    @given(
+        st.tuples(st.integers(1, 20), st.integers(0, 10)),
+        st.tuples(st.integers(1, 20), st.integers(0, 10)),
+    )
+    def test_overlap_trichotomy(self, a, b):
+        """Any two spans are disjoint, nested, or properly overlapping."""
+        s = Span(a[0], a[0] + a[1])
+        t = Span(b[0], b[0] + b[1])
+        nested = s.contains(t) or t.contains(s)
+        assert s.disjoint(t) + nested + s.overlaps(t) >= 1
+        # proper overlap excludes the other two
+        if s.overlaps(t):
+            assert not s.disjoint(t) and not nested
+
+
+# ---------------------------------------------------------------------------
+# SpanTuple
+# ---------------------------------------------------------------------------
+class TestSpanTuple:
+    def test_construction_and_lookup(self):
+        tup = SpanTuple.of(x=Span(1, 2), y=Span(2, 3))
+        assert tup["x"] == Span(1, 2)
+        assert tup.get("z") is None
+        assert "y" in tup and "z" not in tup
+        assert tup.variables == {"x", "y"}
+
+    def test_none_means_undefined(self):
+        tup = SpanTuple.of(x=Span(1, 2), y=None)
+        assert tup.variables == {"x"}
+        assert not tup.is_total_on({"x", "y"})
+        assert tup.is_total_on({"x"})
+
+    def test_duplicate_variable_rejected(self):
+        with pytest.raises(SchemaError):
+            SpanTuple([("x", Span(1, 2)), ("x", Span(2, 3))])
+
+    def test_equality_ignores_insertion_order(self):
+        a = SpanTuple([("x", Span(1, 2)), ("y", Span(2, 3))])
+        b = SpanTuple([("y", Span(2, 3)), ("x", Span(1, 2))])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_contents(self):
+        tup = SpanTuple.of(x=Span(1, 3), y=Span(5, 7))
+        assert tup.contents("abaaab") == {"x": "ab", "y": "ab"}
+
+    def test_satisfies_equality_from_paper_intro(self):
+        # S_alpha(abaaab): ([1,3⟩,[5,7⟩) selected, ([1,3⟩,[4,7⟩) discarded.
+        doc = "abaaab"
+        kept = SpanTuple.of(x=Span(1, 3), y=Span(5, 7))
+        dropped = SpanTuple.of(x=Span(1, 3), y=Span(4, 7))
+        assert kept.satisfies_equality(doc, ["x", "y"])
+        assert not dropped.satisfies_equality(doc, ["x", "y"])
+
+    def test_satisfies_equality_ignores_undefined(self):
+        tup = SpanTuple.of(x=Span(1, 3))
+        assert tup.satisfies_equality("abaaab", ["x", "y"])
+
+    def test_project(self):
+        tup = SpanTuple.of(x=Span(1, 2), y=Span(2, 3), z=Span(3, 4))
+        assert tup.project(["x", "z"]) == SpanTuple.of(x=Span(1, 2), z=Span(3, 4))
+
+    def test_rename(self):
+        tup = SpanTuple.of(x=Span(1, 2))
+        assert tup.rename({"x": "u"}) == SpanTuple.of(u=Span(1, 2))
+
+    def test_compatible_and_merge(self):
+        a = SpanTuple.of(x=Span(1, 2), y=Span(2, 3))
+        b = SpanTuple.of(y=Span(2, 3), z=Span(4, 5))
+        c = SpanTuple.of(y=Span(9, 9))
+        assert a.compatible(b)
+        assert not a.compatible(c)
+        assert a.merge(b) == SpanTuple.of(x=Span(1, 2), y=Span(2, 3), z=Span(4, 5))
+        with pytest.raises(SchemaError):
+            a.merge(c)
+
+    def test_fits(self):
+        assert SpanTuple.of(x=Span(1, 4)).fits("abc")
+        assert not SpanTuple.of(x=Span(1, 5)).fits("abc")
+
+
+# ---------------------------------------------------------------------------
+# SpanRelation
+# ---------------------------------------------------------------------------
+def _rel(variables, *tuples):
+    return SpanRelation(variables, tuples)
+
+
+class TestSpanRelation:
+    def test_schema_is_sorted_and_enforced(self):
+        rel = _rel(["y", "x"], SpanTuple.of(x=Span(1, 2)))
+        assert rel.variables == ("x", "y")
+        with pytest.raises(SchemaError):
+            _rel(["x"], SpanTuple.of(z=Span(1, 2)))
+
+    def test_deduplication(self):
+        tup = SpanTuple.of(x=Span(1, 2))
+        rel = _rel(["x"], tup, tup)
+        assert len(rel) == 1
+
+    def test_union(self):
+        a = _rel(["x"], SpanTuple.of(x=Span(1, 2)))
+        b = _rel(["y"], SpanTuple.of(y=Span(2, 3)))
+        u = a.union(b)
+        assert u.variables == ("x", "y")
+        assert len(u) == 2
+
+    def test_project(self):
+        rel = _rel(
+            ["x", "y"],
+            SpanTuple.of(x=Span(1, 2), y=Span(2, 3)),
+            SpanTuple.of(x=Span(1, 2), y=Span(3, 4)),
+        )
+        projected = rel.project(["x"])
+        assert projected.variables == ("x",)
+        assert len(projected) == 1  # both rows collapse
+
+    def test_natural_join_on_shared_variable(self):
+        left = _rel(
+            ["x", "y"],
+            SpanTuple.of(x=Span(1, 2), y=Span(2, 3)),
+            SpanTuple.of(x=Span(1, 2), y=Span(3, 4)),
+        )
+        right = _rel(
+            ["y", "z"],
+            SpanTuple.of(y=Span(2, 3), z=Span(5, 6)),
+        )
+        joined = left.natural_join(right)
+        assert joined.variables == ("x", "y", "z")
+        assert joined.tuples == frozenset(
+            {SpanTuple.of(x=Span(1, 2), y=Span(2, 3), z=Span(5, 6))}
+        )
+
+    def test_join_with_disjoint_schemas_is_cross_product(self):
+        left = _rel(["x"], SpanTuple.of(x=Span(1, 2)), SpanTuple.of(x=Span(2, 3)))
+        right = _rel(["y"], SpanTuple.of(y=Span(1, 2)), SpanTuple.of(y=Span(2, 3)))
+        assert len(left.natural_join(right)) == 4
+
+    def test_select_equal(self):
+        doc = "abaaab"
+        rel = _rel(
+            ["x", "y"],
+            SpanTuple.of(x=Span(1, 3), y=Span(5, 7)),
+            SpanTuple.of(x=Span(1, 3), y=Span(4, 7)),
+        )
+        selected = rel.select_equal(doc, ["x", "y"])
+        assert selected.tuples == frozenset({SpanTuple.of(x=Span(1, 3), y=Span(5, 7))})
+        with pytest.raises(SchemaError):
+            rel.select_equal(doc, ["q"])
+
+    def test_is_functional(self):
+        total = _rel(["x"], SpanTuple.of(x=Span(1, 2)))
+        partial = _rel(["x", "y"], SpanTuple.of(x=Span(1, 2)))
+        assert total.is_functional()
+        assert not partial.is_functional()
+
+    def test_to_table_matches_example_1_1_shape(self):
+        rel = _rel(
+            ["x", "y", "z"],
+            SpanTuple.of(x=Span(1, 2), y=Span(2, 3), z=Span(3, 8)),
+            SpanTuple.of(x=Span(1, 4), y=Span(4, 5), z=Span(5, 8)),
+        )
+        table = rel.to_table()
+        lines = table.splitlines()
+        assert lines[0].split(" | ")[0].strip() == "x"
+        assert "[1,2⟩" in lines[2]
+        assert len(lines) == 4  # header + rule + two rows
+
+    def test_iteration_is_deterministic(self):
+        rel = _rel(
+            ["x"],
+            SpanTuple.of(x=Span(3, 4)),
+            SpanTuple.of(x=Span(1, 2)),
+            SpanTuple.of(x=Span(2, 2)),
+        )
+        assert [t["x"] for t in rel] == [Span(1, 2), Span(2, 2), Span(3, 4)]
+
+
+# ---------------------------------------------------------------------------
+# fusion operator (Section 3.2)
+# ---------------------------------------------------------------------------
+class TestFusion:
+    def test_paper_example(self):
+        # ⨝_{x1,x3→y}(([1,3⟩,[2,6⟩,[3,7⟩)) = ([1,7⟩,[2,6⟩)
+        tup = SpanTuple.of(x1=Span(1, 3), x2=Span(2, 6), x3=Span(3, 7))
+        fused = fuse_tuple(tup, ["x1", "x3"], "y")
+        assert fused == SpanTuple.of(y=Span(1, 7), x2=Span(2, 6))
+
+    def test_fusing_undefined_group_leaves_target_undefined(self):
+        tup = SpanTuple.of(x2=Span(2, 6))
+        fused = fuse_tuple(tup, ["x1", "x3"], "y")
+        assert fused == SpanTuple.of(x2=Span(2, 6))
+
+    def test_fusion_on_relation(self):
+        rel = _rel(
+            ["a", "b"],
+            SpanTuple.of(a=Span(1, 3), b=Span(2, 5)),
+            SpanTuple.of(a=Span(4, 6), b=Span(1, 2)),
+        )
+        fused = fuse(rel, ["a", "b"], "c")
+        assert fused.variables == ("c",)
+        assert fused.tuples == frozenset(
+            {SpanTuple.of(c=Span(1, 5)), SpanTuple.of(c=Span(1, 6))}
+        )
+
+    def test_fusion_name_clash_rejected(self):
+        tup = SpanTuple.of(a=Span(1, 3), b=Span(2, 5))
+        with pytest.raises(SchemaError):
+            fuse_tuple(tup, ["a"], "b")
+
+    @given(
+        st.dictionaries(
+            st.sampled_from(["x", "y", "z"]),
+            st.tuples(st.integers(1, 10), st.integers(0, 5)),
+            min_size=1,
+        )
+    )
+    def test_fused_span_covers_all_group_spans(self, raw):
+        tup = SpanTuple({v: Span(s, s + l) for v, (s, l) in raw.items()})
+        fused = fuse_tuple(tup, list(raw), "f")
+        target = fused["f"]
+        for var in raw:
+            assert target.contains(tup[var])
+
+
+# ---------------------------------------------------------------------------
+# span arithmetic and relation-level hierarchicality (added utilities)
+# ---------------------------------------------------------------------------
+class TestSpanArithmetic:
+    def test_intersect(self):
+        assert Span(1, 5).intersect(Span(3, 8)) == Span(3, 5)
+        assert Span(1, 3).intersect(Span(3, 5)) == Span(3, 3)  # touching
+        assert Span(1, 2).intersect(Span(4, 5)) is None
+        assert Span(2, 6).intersect(Span(3, 4)) == Span(3, 4)  # nested
+
+    def test_hull(self):
+        assert Span(1, 3).hull(Span(5, 7)) == Span(1, 7)
+        assert Span(2, 6).hull(Span(3, 4)) == Span(2, 6)
+
+    @given(
+        st.tuples(st.integers(1, 20), st.integers(0, 8)),
+        st.tuples(st.integers(1, 20), st.integers(0, 8)),
+    )
+    def test_hull_contains_both_and_intersect_is_contained(self, a, b):
+        s = Span(a[0], a[0] + a[1])
+        t = Span(b[0], b[0] + b[1])
+        hull = s.hull(t)
+        assert hull.contains(s) and hull.contains(t)
+        meet = s.intersect(t)
+        if meet is not None:
+            assert s.contains(meet) and t.contains(meet)
+
+    def test_intersect_commutative(self):
+        assert Span(1, 5).intersect(Span(3, 8)) == Span(3, 8).intersect(Span(1, 5))
+
+
+class TestRelationHierarchicality:
+    def test_hierarchical_relation(self):
+        rel = _rel(
+            ["x", "y"],
+            SpanTuple.of(x=Span(1, 8), y=Span(2, 4)),   # nested
+            SpanTuple.of(x=Span(1, 2), y=Span(5, 6)),   # disjoint
+        )
+        assert rel.is_hierarchical()
+
+    def test_overlapping_relation(self):
+        rel = _rel(["x", "y"], SpanTuple.of(x=Span(1, 4), y=Span(2, 6)))
+        assert not rel.is_hierarchical()
+
+    def test_word_1_of_the_paper_is_not_hierarchical(self):
+        # the tuple of subword-marked word (1): x=[2,6), y=[4,8), z=[1,8)
+        rel = _rel(
+            ["x", "y", "z"],
+            SpanTuple.of(x=Span(2, 6), y=Span(4, 8), z=Span(1, 8)),
+        )
+        assert not rel.is_hierarchical()

@@ -1,0 +1,80 @@
+"""Tests for split evaluation / split-correctness ([7], cited in Section 1)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Span, SpanTuple
+from repro.errors import SchemaError
+from repro.regex import spanner_from_regex
+from repro.spanners.split import is_split_correct_on, split_document, split_evaluate
+
+
+class TestSplitDocument:
+    def test_single_char_separator(self):
+        assert split_document("a;bb;c", ";") == [(0, "a"), (2, "bb"), (5, "c")]
+
+    def test_no_separator_occurrence(self):
+        assert split_document("abc", ";") == [(0, "abc")]
+
+    def test_adjacent_separators_give_empty_chunk(self):
+        assert split_document("a;;b", ";") == [(0, "a"), (2, ""), (3, "b")]
+
+    def test_leading_and_trailing(self):
+        assert split_document(";a;", ";") == [(0, ""), (1, "a"), (3, "")]
+
+    def test_multichar_greedy_separator(self):
+        # separator ;+ takes the maximal run
+        assert split_document("a;;;b", ";+") == [(0, "a"), (4, "b")]
+
+    def test_empty_separator_language_rejected(self):
+        with pytest.raises(SchemaError):
+            split_document("ab", "x*")
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.text(alphabet="ab;", max_size=15))
+    def test_offsets_are_consistent(self, doc):
+        for offset, chunk in split_document(doc, ";"):
+            assert doc[offset: offset + len(chunk)] == chunk
+
+
+class TestSplitEvaluate:
+    def test_record_extractor_is_split_correct(self):
+        # the filler may cross separators, the capture may not
+        spanner = spanner_from_regex("([ab]|;)*!x{a+}b([ab]|;)*")
+        doc = "aab;ba;aaab"
+        assert is_split_correct_on(spanner, doc, ";")
+        relation = split_evaluate(spanner, doc, ";")
+        assert relation == spanner.evaluate(doc)
+
+    def test_spans_are_shifted_to_global_positions(self):
+        spanner = spanner_from_regex("[ab]*!x{ab}[ab]*")
+        relation = split_evaluate(spanner, "ab;ab", ";")
+        assert {t["x"] for t in relation} == {Span(1, 3), Span(4, 6)}
+
+    def test_cross_separator_matches_detected_as_incorrect(self):
+        # the spanner matches 'a;a' across the separator: split loses it
+        spanner = spanner_from_regex("(a|b|;)*!x{a;a}(a|b|;)*")
+        doc = "ba;ab"
+        assert not is_split_correct_on(spanner, doc, ";")
+        global_relation = spanner.evaluate(doc)
+        split_relation = split_evaluate(spanner, doc, ";")
+        assert split_relation.tuples < global_relation.tuples
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.text(alphabet="ab;", max_size=12))
+    def test_split_is_always_a_subset(self, doc):
+        """Split evaluation never invents tuples — it can only lose the
+        separator-crossing ones."""
+        spanner = spanner_from_regex("(a|b|;)*!x{a+}(a|b|;)*")
+        split_relation = split_evaluate(spanner, doc, ";")
+        assert split_relation.tuples <= spanner.evaluate(doc).tuples
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.text(alphabet="ab;", max_size=12))
+    def test_separator_free_spanners_are_split_correct(self, doc):
+        """A spanner whose matches cannot contain or touch the separator is
+        split-correct on every document."""
+        spanner = spanner_from_regex("([^;]|;)*(()|;)!x{[^;]+}(;([^;]|;)*)?")
+        # x is a maximal-or-not ;-free factor anchored after a separator:
+        # never crosses a separator
+        assert is_split_correct_on(spanner, doc, ";")

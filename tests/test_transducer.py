@@ -1,0 +1,125 @@
+"""Tests for finite-state transducers (the Section 2.1 closure toolbox)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.automata import NFA, VSetAutomaton, equivalent, literal_nfa, union
+from repro.automata.transducer import Transducer, marker_eraser, marker_inserter
+from repro.core import DOT, Span, SpanTuple
+from repro.errors import SpanlibError
+from repro.regex import compile_nfa, spanner_from_regex
+
+
+class TestBasics:
+    def test_identity_transducer(self):
+        fst = Transducer()
+        s = fst.add_state(initial=True, accepting=True)
+        fst.add_rule(s, DOT, (Transducer.COPY,), s)
+        image = fst.apply_to_nfa(compile_nfa("(ab)*"))
+        assert equivalent(image, compile_nfa("(ab)*"))
+
+    def test_relabelling(self):
+        # a -> x, b -> y
+        fst = Transducer()
+        s = fst.add_state(initial=True, accepting=True)
+        fst.add_rule(s, "a", ("x",), s)
+        fst.add_rule(s, "b", ("y",), s)
+        image = fst.apply_to_nfa(compile_nfa("ab+"))
+        assert image.accepts("xy")
+        assert image.accepts("xyyy")
+        assert not image.accepts("ab")
+
+    def test_deleting_transducer(self):
+        # delete all b's
+        fst = Transducer()
+        s = fst.add_state(initial=True, accepting=True)
+        fst.add_rule(s, "a", (Transducer.COPY,), s)
+        fst.add_rule(s, "b", (), s)
+        image = fst.apply_to_nfa(compile_nfa("(ab)*"))
+        assert equivalent(image, compile_nfa("a*"))
+
+    def test_duplicating_transducer(self):
+        # each a becomes aa
+        fst = Transducer()
+        s = fst.add_state(initial=True, accepting=True)
+        fst.add_rule(s, "a", ("a", "a"), s)
+        image = fst.apply_to_nfa(literal_nfa("aaa"))
+        assert image.accepts("aaaaaa")
+        assert not image.accepts("aaa")
+
+    def test_epsilon_input_rule(self):
+        # insert exactly one '#' anywhere
+        fst = Transducer()
+        before = fst.add_state(initial=True)
+        after = fst.add_state(accepting=True)
+        fst.add_rule(before, DOT, (Transducer.COPY,), before)
+        fst.add_rule(before, None, ("#",), after)
+        fst.add_rule(after, DOT, (Transducer.COPY,), after)
+        image = fst.apply_to_nfa(literal_nfa("ab"))
+        for word, expected in [("#ab", True), ("a#b", True), ("ab#", True),
+                               ("ab", False), ("a#b#", False)]:
+            assert image.accepts(word) == expected, word
+
+    def test_copy_in_epsilon_rule_rejected(self):
+        fst = Transducer()
+        s = fst.add_state(initial=True, accepting=True)
+        fst.add_rule(s, None, (Transducer.COPY,), s)
+        with pytest.raises(SpanlibError):
+            fst.apply_to_nfa(literal_nfa("a"))
+
+    def test_unknown_state_rejected(self):
+        fst = Transducer()
+        with pytest.raises(SpanlibError):
+            fst.add_rule(0, "a", (), 0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.text(alphabet="ab", max_size=6))
+    def test_uppercase_transduction_property(self, word):
+        fst = Transducer()
+        s = fst.add_state(initial=True, accepting=True)
+        fst.add_rule(s, "a", ("A",), s)
+        fst.add_rule(s, "b", ("B",), s)
+        image = fst.apply_to_nfa(literal_nfa(word))
+        assert image.accepts(word.upper())
+        if word:
+            assert not image.accepts(word)
+
+
+class TestMarkerEraser:
+    def test_erases_to_nonemptiness_language(self):
+        """e(L(M)) computed by transduction equals the markers-as-ε NFA."""
+        spanner = spanner_from_regex("!x{(a|b)*}!y{b}!z{(a|b)*}")
+        erased = marker_eraser(spanner.variables).apply_to_nfa(spanner.nfa)
+        assert equivalent(erased, spanner.nonemptiness_nfa())
+
+    def test_partial_erasure_is_projection(self):
+        spanner = spanner_from_regex("!x{a}!y{b}")
+        eraser = marker_eraser({"y"}, passthrough={"x"})
+        erased = eraser.apply_to_nfa(spanner.nfa)
+        projected = spanner.project({"x"})
+        assert equivalent(erased, projected.nfa)
+
+
+class TestMarkerInserter:
+    def test_universal_spanner_over_fixed_document(self):
+        universal = marker_inserter({"x"}).apply_to_nfa(literal_nfa("ab"))
+        spanner = VSetAutomaton(universal, frozenset({"x"}))
+        relation = spanner.evaluate("ab")
+        # all 6 spans of a 2-char document
+        assert len(relation) == 6
+        assert SpanTuple.of(x=Span(1, 3)) in relation
+        assert SpanTuple.of(x=Span(3, 3)) in relation
+
+    def test_two_variables_allow_overlap(self):
+        universal = marker_inserter({"x", "y"}).apply_to_nfa(literal_nfa("abc"))
+        spanner = VSetAutomaton(universal, frozenset({"x", "y"}))
+        relation = spanner.evaluate("abc")
+        # the properly-overlapping configuration is present
+        assert SpanTuple.of(x=Span(1, 3), y=Span(2, 4)) in relation
+        # and it is the full cross product of spans: 10 * 10 tuples
+        assert len(relation) == 100
+
+    def test_functionality(self):
+        universal = marker_inserter({"x"}).apply_to_nfa(compile_nfa("a*"))
+        spanner = VSetAutomaton(universal, frozenset({"x"}))
+        assert spanner.is_functional()

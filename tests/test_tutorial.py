@@ -1,0 +1,38 @@
+"""Execute every python code block of docs/TUTORIAL.md.
+
+Documentation that is run cannot rot: each fenced ``python`` block is
+compiled and executed in a shared namespace (so later blocks may build on
+earlier ones), and any failing assert fails this test.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+TUTORIAL = pathlib.Path(__file__).resolve().parent.parent / "docs" / "TUTORIAL.md"
+
+
+def _blocks() -> list[tuple[int, str]]:
+    text = TUTORIAL.read_text(encoding="utf-8")
+    pattern = re.compile(r"```python\n(.*?)```", re.DOTALL)
+    blocks = []
+    for match in pattern.finditer(text):
+        line = text[: match.start()].count("\n") + 2
+        blocks.append((line, match.group(1)))
+    return blocks
+
+
+BLOCKS = _blocks()
+
+
+def test_tutorial_has_blocks():
+    assert len(BLOCKS) >= 8
+
+
+@pytest.mark.parametrize(
+    "line,code", BLOCKS, ids=[f"line{line}" for line, _ in BLOCKS]
+)
+def test_tutorial_block(line, code, tutorial_namespace={}):
+    compiled = compile(code, f"{TUTORIAL}:{line}", "exec")
+    exec(compiled, tutorial_namespace)  # noqa: S102 - that's the point

@@ -1,0 +1,300 @@
+"""Tests for vset-automata: evaluation, analysis, algebra (paper Section 2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.automata import NFA, VSetAutomaton
+from repro.core import Close, Open, Ref, Span, SpanTuple, char_class, mark_document
+from repro.errors import SchemaError
+
+
+def sigma_star_loop(nfa, state, alphabet="ab"):
+    for ch in alphabet:
+        nfa.add_arc(state, ch, state)
+
+
+def build_example_1_1():
+    """The spanner of Example 1.1:  x{(a|b)*} · y{b} · z{(a|b)*}."""
+    nfa = NFA()
+    states = nfa.add_states(8)
+    nfa.initial = {states[0]}
+    nfa.accepting = {states[7]}
+    nfa.add_arc(states[0], Open("x"), states[1])
+    sigma_star_loop(nfa, states[1])
+    nfa.add_arc(states[1], Close("x"), states[2])
+    nfa.add_arc(states[2], Open("y"), states[3])
+    nfa.add_arc(states[3], "b", states[4])
+    nfa.add_arc(states[4], Close("y"), states[5])
+    nfa.add_arc(states[5], Open("z"), states[6])
+    sigma_star_loop(nfa, states[6])
+    nfa.add_arc(states[6], Close("z"), states[7])
+    return VSetAutomaton(nfa, functional=True)
+
+
+class TestExample11:
+    """The paper's running example, reproduced exactly (experiment P1)."""
+
+    def test_span_relation_of_ababbab(self):
+        spanner = build_example_1_1()
+        relation = spanner.evaluate("ababbab")
+        expected = {
+            SpanTuple.of(x=Span(1, 2), y=Span(2, 3), z=Span(3, 8)),
+            SpanTuple.of(x=Span(1, 4), y=Span(4, 5), z=Span(5, 8)),
+            SpanTuple.of(x=Span(1, 5), y=Span(5, 6), z=Span(6, 8)),
+            SpanTuple.of(x=Span(1, 7), y=Span(7, 8), z=Span(8, 8)),
+        }
+        assert relation.tuples == expected
+
+    def test_relation_is_functional(self):
+        spanner = build_example_1_1()
+        assert spanner.is_functional()
+        assert spanner.evaluate("ababbab").is_functional()
+
+    def test_document_without_b_gives_empty_relation(self):
+        spanner = build_example_1_1()
+        assert len(spanner.evaluate("aaaa")) == 0
+
+    def test_model_check_rows(self):
+        spanner = build_example_1_1()
+        doc = "ababbab"
+        assert spanner.model_check(doc, SpanTuple.of(x=Span(1, 4), y=Span(4, 5), z=Span(5, 8)))
+        assert not spanner.model_check(doc, SpanTuple.of(x=Span(1, 3), y=Span(3, 4), z=Span(4, 8)))
+
+    def test_model_check_rejects_out_of_range_tuple(self):
+        spanner = build_example_1_1()
+        assert not spanner.model_check("ab", SpanTuple.of(x=Span(1, 9), y=Span(9, 9), z=Span(9, 9)))
+
+    def test_model_check_rejects_foreign_variable(self):
+        spanner = build_example_1_1()
+        assert not spanner.model_check("ab", SpanTuple.of(q=Span(1, 2)))
+
+
+class TestConstruction:
+    def test_variables_inferred_from_markers(self):
+        nfa = NFA()
+        s = nfa.add_state(initial=True)
+        t = nfa.add_state(accepting=True)
+        nfa.add_arc(s, Open("v"), t)
+        # not wellformed (v never closed), but schema inference still works
+        assert VSetAutomaton(nfa).variables == {"v"}
+
+    def test_declared_schema_must_cover_markers(self):
+        nfa = NFA()
+        s = nfa.add_state(initial=True)
+        t = nfa.add_state(accepting=True)
+        nfa.add_arc(s, Open("v"), t)
+        with pytest.raises(SchemaError):
+            VSetAutomaton(nfa, variables=frozenset({"w"}))
+
+    def test_refs_rejected(self):
+        nfa = NFA()
+        s = nfa.add_state(initial=True)
+        t = nfa.add_state(accepting=True)
+        nfa.add_arc(s, Ref("v"), t)
+        with pytest.raises(SchemaError):
+            VSetAutomaton(nfa)
+
+
+class TestAnalysis:
+    def test_wellformed_and_functional(self):
+        assert build_example_1_1().is_wellformed()
+        assert build_example_1_1().is_functional()
+
+    def test_not_wellformed_unclosed_variable(self):
+        nfa = NFA()
+        s = nfa.add_state(initial=True)
+        t = nfa.add_state(accepting=True)
+        nfa.add_arc(s, Open("x"), t)
+        spanner = VSetAutomaton(nfa)
+        assert not spanner.is_wellformed()
+        assert not spanner.is_functional()
+
+    def test_not_wellformed_close_before_open(self):
+        nfa = NFA()
+        s = nfa.add_state(initial=True)
+        m = nfa.add_state()
+        t = nfa.add_state(accepting=True)
+        nfa.add_arc(s, Close("x"), m)
+        nfa.add_arc(m, Open("x"), t)
+        assert not VSetAutomaton(nfa).is_wellformed()
+
+    def test_invalid_branch_pruned_if_not_coaccessible(self):
+        """An invalid marker path that cannot reach acceptance is harmless."""
+        nfa = NFA()
+        s = nfa.add_state(initial=True)
+        t = nfa.add_state(accepting=True)
+        dead = nfa.add_state()
+        nfa.add_arc(s, Open("x"), t)
+        nfa.add_arc(t, Close("x"), t)  # wait - this makes close valid
+        nfa2 = NFA()
+        s = nfa2.add_state(initial=True)
+        m = nfa2.add_state()
+        t = nfa2.add_state(accepting=True)
+        dead = nfa2.add_state()
+        nfa2.add_arc(s, Open("x"), m)
+        nfa2.add_arc(m, Close("x"), t)
+        nfa2.add_arc(m, Open("x"), dead)  # invalid, but dead end
+        assert VSetAutomaton(nfa2).is_wellformed()
+
+    def test_schemaless_is_wellformed_but_not_functional(self):
+        # (x{a} | a): variable sometimes missing
+        nfa = NFA()
+        s = nfa.add_state(initial=True)
+        m1 = nfa.add_state()
+        m2 = nfa.add_state()
+        t = nfa.add_state(accepting=True)
+        nfa.add_arc(s, Open("x"), m1)
+        nfa.add_arc(m1, "a", m2)
+        nfa.add_arc(m2, Close("x"), t)
+        nfa.add_arc(s, "a", t)
+        spanner = VSetAutomaton(nfa)
+        assert spanner.is_wellformed()
+        assert not spanner.is_functional()
+        relation = spanner.evaluate("a")
+        assert SpanTuple.of(x=Span(1, 2)) in relation
+        assert SpanTuple.empty() in relation
+
+
+class TestAlgebra:
+    def test_projection(self):
+        spanner = build_example_1_1()
+        projected = spanner.project({"y"})
+        relation = projected.evaluate("ababbab")
+        assert relation.variables == ("y",)
+        assert {t["y"] for t in relation} == {Span(2, 3), Span(4, 5), Span(5, 6), Span(7, 8)}
+
+    def test_projection_unknown_variable(self):
+        with pytest.raises(SchemaError):
+            build_example_1_1().project({"nope"})
+
+    def test_union(self):
+        spanner = build_example_1_1()
+        left = spanner.project({"x"})
+        right = spanner.project({"y"})
+        union = left.union(right)
+        relation = union.evaluate("ab")
+        assert relation.variables == ("x", "y")
+        # left contributes x-only tuples, right y-only tuples
+        assert any("x" in t and "y" not in t for t in relation)
+        assert any("y" in t and "x" not in t for t in relation)
+
+    def test_rename(self):
+        renamed = build_example_1_1().rename({"x": "u"})
+        assert renamed.variables == {"u", "y", "z"}
+        relation = renamed.evaluate("ab")
+        assert all("u" in t for t in relation)
+
+    def test_rename_collision(self):
+        with pytest.raises(SchemaError):
+            build_example_1_1().rename({"x": "y"})
+
+    def test_join_on_shared_variable(self):
+        # left: x{a} anywhere; right: x{a} followed by b
+        def capture_a(trailing_b):
+            nfa = NFA()
+            s = nfa.add_state(initial=True)
+            m1 = nfa.add_state()
+            m2 = nfa.add_state()
+            t = nfa.add_state(accepting=True)
+            sigma_star_loop(nfa, s)
+            nfa.add_arc(s, Open("x"), m1)
+            nfa.add_arc(m1, "a", m2)
+            nfa.add_arc(m2, Close("x"), t)
+            if trailing_b:
+                end = nfa.add_state(accepting=True)
+                nfa.accepting = {end}
+                nfa.add_arc(t, "b", end)
+                sigma_star_loop(nfa, end)
+            else:
+                sigma_star_loop(nfa, t)
+            return VSetAutomaton(nfa)
+
+        left = capture_a(False)
+        right = capture_a(True)
+        doc = "aab"
+        joined = left.join(right)
+        relation = joined.evaluate(doc)
+        # only the second 'a' is followed by 'b'
+        assert {t["x"] for t in relation} == {Span(2, 3)}
+
+    def test_join_with_disjoint_variables_is_cross_product(self):
+        def capture(var, ch):
+            nfa = NFA()
+            s = nfa.add_state(initial=True)
+            m1 = nfa.add_state()
+            m2 = nfa.add_state()
+            t = nfa.add_state(accepting=True)
+            sigma_star_loop(nfa, s)
+            nfa.add_arc(s, Open(var), m1)
+            nfa.add_arc(m1, ch, m2)
+            nfa.add_arc(m2, Close(var), t)
+            sigma_star_loop(nfa, t)
+            return VSetAutomaton(nfa)
+
+        joined = capture("x", "a").join(capture("y", "b"))
+        relation = joined.evaluate("ab")
+        assert relation.tuples == frozenset(
+            {SpanTuple.of(x=Span(1, 2), y=Span(2, 3))}
+        )
+
+    def test_join_variables_at_same_position(self):
+        """Shared-variable markers must be emitted at the same position."""
+        def exact(var, word):
+            nfa = NFA()
+            s = nfa.add_state(initial=True)
+            here = nfa.add_state()
+            nfa.add_arc(s, Open(var), here)
+            for ch in word:
+                nxt = nfa.add_state()
+                nfa.add_arc(here, ch, nxt)
+                here = nxt
+            t = nfa.add_state(accepting=True)
+            nfa.add_arc(here, Close(var), t)
+            return VSetAutomaton(nfa)
+
+        same = exact("x", "ab").join(exact("x", "ab"))
+        different = exact("x", "ab").join(exact("x", "ba"))
+        assert len(same.evaluate("ab")) == 1
+        assert len(different.evaluate("ab")) == 0
+        assert len(different.evaluate("ba")) == 0
+
+
+class TestNormalization:
+    def test_normalized_accepts_canonical_order_only(self):
+        # automaton that emits Close(x) Open(y) in the "wrong" order
+        nfa = NFA()
+        states = nfa.add_states(6)
+        nfa.initial = {states[0]}
+        nfa.accepting = {states[5]}
+        nfa.add_arc(states[0], Open("x"), states[1])
+        nfa.add_arc(states[1], "a", states[2])
+        nfa.add_arc(states[2], Close("x"), states[3])
+        nfa.add_arc(states[3], Open("y"), states[4])
+        nfa.add_arc(states[4], Close("y"), states[5])
+        spanner = VSetAutomaton(nfa)
+        normalized = spanner.normalized()
+        tup = SpanTuple.of(x=Span(1, 2), y=Span(2, 2))
+        canonical = mark_document("a", tup)  # Open(y) before Close(x)
+        assert normalized.accepts_marked_word(canonical)
+        assert not spanner.accepts_marked_word(canonical)
+        assert normalized.evaluate("a") == spanner.evaluate("a")
+
+    def test_nonemptiness_nfa(self):
+        spanner = build_example_1_1()
+        plain = spanner.nonemptiness_nfa()
+        assert plain.accepts("ababbab")
+        assert plain.accepts("b")
+        assert not plain.accepts("aaa")
+        assert not plain.accepts("")
+
+
+class TestEvaluationAgainstBruteForce:
+    @settings(max_examples=25, deadline=None)
+    @given(st.text(alphabet="ab", min_size=0, max_size=5))
+    def test_example_1_1_against_model_check(self, doc):
+        from repro.enumeration.naive import brute_force_tuples
+
+        spanner = build_example_1_1()
+        relation = spanner.evaluate(doc)
+        for tup in brute_force_tuples(spanner.variables, doc):
+            assert (tup in relation) == spanner.model_check(doc, tup)

@@ -1,0 +1,137 @@
+"""Tests for weighted (K-annotated) spanners (the [8] direction)."""
+
+import pytest
+
+from repro.core import Close, Open, Span, SpanTuple
+from repro.errors import SchemaError
+from repro.regex import spanner_from_regex
+from repro.spanners.weighted import (
+    BOOLEAN,
+    COUNTING,
+    PROBABILITY,
+    TROPICAL,
+    Semiring,
+    WeightedSpanner,
+)
+
+
+def build_two_path_spanner(semiring, weight_a, weight_b):
+    """x captures either via an 'a-path' or a 'b-path' arc with weights."""
+    spanner = WeightedSpanner(semiring)
+    s0 = spanner.add_state(initial=True)
+    s1 = spanner.add_state()
+    s2 = spanner.add_state()
+    s3 = spanner.add_state(accepting=True)
+    spanner.add_arc(s0, Open("x"), s1)
+    spanner.add_arc(s1, "a", s2, weight=weight_a)
+    spanner.add_arc(s1, "a", s2, weight=weight_b)  # ambiguous second arc
+    spanner.add_arc(s2, Close("x"), s3)
+    return spanner
+
+
+class TestSemirings:
+    def test_boolean_recovers_ordinary_semantics(self):
+        spanner = build_two_path_spanner(BOOLEAN, True, True)
+        relation = spanner.evaluate("a")
+        assert relation == {SpanTuple.of(x=Span(1, 2)): True}
+
+    def test_counting_counts_runs(self):
+        spanner = build_two_path_spanner(COUNTING, 1, 1)
+        relation = spanner.evaluate("a")
+        assert relation == {SpanTuple.of(x=Span(1, 2)): 2}
+
+    def test_tropical_takes_cheapest_run(self):
+        spanner = build_two_path_spanner(TROPICAL, 5.0, 2.0)
+        relation = spanner.evaluate("a")
+        assert relation[SpanTuple.of(x=Span(1, 2))] == 2.0
+        assert spanner.best("a") == (SpanTuple.of(x=Span(1, 2)), 2.0)
+
+    def test_probability_sums_products(self):
+        spanner = build_two_path_spanner(PROBABILITY, 0.5, 0.25)
+        relation = spanner.evaluate("a")
+        assert relation[SpanTuple.of(x=Span(1, 2))] == pytest.approx(0.75)
+
+    def test_best_on_empty_relation(self):
+        spanner = build_two_path_spanner(TROPICAL, 1.0, 1.0)
+        assert spanner.best("b") is None
+
+
+class TestLifting:
+    def test_lifted_boolean_equals_plain_evaluation(self):
+        plain = spanner_from_regex("(a|b)*!x{ab}(a|b)*")
+        weighted = WeightedSpanner.from_spanner(plain, BOOLEAN)
+        doc = "abab"
+        relation = weighted.evaluate(doc)
+        assert set(relation) == plain.evaluate(doc).tuples
+        assert all(relation.values())
+
+    def test_arc_weight_function(self):
+        # tropical: charge 1 per consumed character, 0 per marker
+        from repro.core.alphabet import Marker
+
+        plain = spanner_from_regex("!x{a+}")
+        weighted = WeightedSpanner.from_spanner(
+            plain,
+            TROPICAL,
+            arc_weight=lambda s: 0.0 if s is None or isinstance(s, Marker) else 1.0,
+        )
+        relation = weighted.evaluate("aaa")
+        assert relation[SpanTuple.of(x=Span(1, 4))] == 3.0
+
+    def test_counting_detects_ambiguity(self):
+        """(a|a) has two runs per match — the counting semiring sees it."""
+        spanner = WeightedSpanner(COUNTING)
+        s0 = spanner.add_state(initial=True)
+        s1 = spanner.add_state()
+        s2 = spanner.add_state()
+        s3 = spanner.add_state(accepting=True)
+        spanner.add_arc(s0, Open("x"), s1)
+        spanner.add_arc(s1, "a", s2)
+        spanner.add_arc(s1, "a", s2)
+        spanner.add_arc(s2, Close("x"), s3)
+        assert spanner.evaluate("a")[SpanTuple.of(x=Span(1, 2))] == 2
+
+    def test_unambiguous_automaton_counts_one(self):
+        spanner = WeightedSpanner(COUNTING)
+        s0 = spanner.add_state(initial=True)
+        s1 = spanner.add_state()
+        s2 = spanner.add_state(accepting=True)
+        spanner.add_arc(s0, Open("x"), s1)
+        spanner.add_arc(s1, "a", s1)
+        spanner.add_arc(s1, Close("x"), s2)
+        relation = spanner.evaluate("aaa")
+        assert relation == {SpanTuple.of(x=Span(1, 4)): 1}
+
+
+class TestDivergence:
+    def test_epsilon_cycle_with_counting_raises(self):
+        spanner = WeightedSpanner(COUNTING)
+        s0 = spanner.add_state(initial=True, accepting=True)
+        s1 = spanner.add_state()
+        spanner.add_arc(s0, None, s1)
+        spanner.add_arc(s1, None, s0)
+        with pytest.raises(SchemaError):
+            spanner.evaluate("")
+
+    def test_epsilon_cycle_with_boolean_converges(self):
+        spanner = WeightedSpanner(BOOLEAN)
+        s0 = spanner.add_state(initial=True, accepting=True)
+        s1 = spanner.add_state()
+        spanner.add_arc(s0, None, s1)
+        spanner.add_arc(s1, None, s0)
+        assert spanner.evaluate("") == {SpanTuple.empty(): True}
+
+    def test_epsilon_cycle_with_tropical_converges(self):
+        spanner = WeightedSpanner(TROPICAL)
+        s0 = spanner.add_state(initial=True, accepting=True)
+        s1 = spanner.add_state()
+        spanner.add_arc(s0, None, s1, weight=1.0)
+        spanner.add_arc(s1, None, s0, weight=1.0)
+        assert spanner.evaluate("")[SpanTuple.empty()] == 0.0
+
+
+class TestCustomSemiring:
+    def test_max_plus(self):
+        max_plus = Semiring("max-plus", float("-inf"), 0.0, max, lambda a, b: a + b)
+        spanner = build_two_path_spanner(max_plus, 5.0, 2.0)
+        assert spanner.evaluate("a")[SpanTuple.of(x=Span(1, 2))] == 5.0

@@ -1,0 +1,166 @@
+"""Tests for word-combinatorial core spanners (Section 2.4, experiment C8)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Span, SpanTuple, fuse
+from repro.decision import is_nonempty_on
+from repro.wordeq import (
+    Pattern,
+    Var,
+    adjacent_commuting_spanner,
+    commute,
+    cyclic_shift_spanner,
+    is_cyclic_shift,
+    primitive_root,
+    repetition_pattern,
+    square_pattern,
+)
+
+
+class TestOracles:
+    def test_commute(self):
+        assert commute("abab", "ab")
+        assert commute("aa", "aaa")
+        assert commute("", "ab")
+        assert not commute("ab", "ba")
+        assert not commute("ab", "aba")
+
+    def test_cyclic_shift(self):
+        assert is_cyclic_shift("abc", "bca")
+        assert is_cyclic_shift("ab", "ab")
+        assert not is_cyclic_shift("abc", "acb")
+        assert not is_cyclic_shift("ab", "aba")
+
+    def test_primitive_root(self):
+        assert primitive_root("ababab") == "ab"
+        assert primitive_root("abab") == "ab"
+        assert primitive_root("aba") == "aba"
+        assert primitive_root("aaaa") == "a"
+        assert primitive_root("") == ""
+
+    @given(st.text(alphabet="ab", min_size=1, max_size=8),
+           st.text(alphabet="ab", min_size=1, max_size=8))
+    def test_commute_iff_common_root(self, u, v):
+        assert commute(u, v) == (primitive_root(u) == primitive_root(v))
+
+
+class TestCyclicShiftSpanner:
+    def test_extracts_exactly_conjugate_pairs(self):
+        spanner = cyclic_shift_spanner()
+        doc = "abba"
+        relation = fuse(fuse(spanner.evaluate(doc), ["x1", "x2"], "x"), ["y1", "y2"], "y")
+        for tup in relation:
+            u = tup["x"].extract(doc)
+            v = tup["y"].extract(doc)
+            assert is_cyclic_shift(u, v), (u, v)
+
+    def test_finds_known_conjugates(self):
+        spanner = cyclic_shift_spanner()
+        doc = "abba"  # u = ab at [1,3), v = ba at [3,5)
+        relation = spanner.evaluate(doc)
+        witness = SpanTuple.of(
+            x1=Span(1, 2), x2=Span(2, 3), y1=Span(3, 4), y2=Span(4, 5)
+        )
+        assert witness in relation
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.text(alphabet="ab", min_size=0, max_size=5))
+    def test_complete_on_adjacent_pairs(self, doc):
+        """Every conjugate pair of adjacent factors is found."""
+        spanner = cyclic_shift_spanner()
+        fused = fuse(fuse(spanner.evaluate(doc), ["x1", "x2"], "x"), ["y1", "y2"], "y")
+        found = {
+            (tup["x"], tup["y"]) for tup in fused if "x" in tup and "y" in tup
+        }
+        for i in range(1, len(doc) + 2):
+            for j in range(i, len(doc) + 2):
+                for k in range(j, len(doc) + 2):
+                    for l in range(k, len(doc) + 2):
+                        u = doc[i - 1: j - 1]
+                        v = doc[k - 1: l - 1]
+                        if is_cyclic_shift(u, v):
+                            assert (Span(i, j), Span(k, l)) in found, (u, v)
+
+
+class TestAdjacentCommutingSpanner:
+    def test_sound_and_complete_small(self):
+        spanner = adjacent_commuting_spanner()
+        doc = "ababab"
+        relation = spanner.evaluate(doc)
+        found = {(tup["x"], tup["y"]) for tup in relation}
+        for i in range(1, len(doc) + 2):
+            for j in range(i, len(doc) + 2):
+                for k in range(j, len(doc) + 2):
+                    u = doc[i - 1: j - 1]
+                    v = doc[j - 1: k - 1]
+                    expected = commute(u, v)
+                    got = (Span(i, j), Span(j, k)) in found
+                    assert got == expected, (u, v)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.text(alphabet="ab", min_size=0, max_size=5))
+    def test_property(self, doc):
+        spanner = adjacent_commuting_spanner()
+        relation = spanner.evaluate(doc)
+        found = {(tup["x"], tup["y"]) for tup in relation}
+        for i in range(1, len(doc) + 2):
+            for j in range(i, len(doc) + 2):
+                for k in range(j, len(doc) + 2):
+                    u, v = doc[i - 1: j - 1], doc[j - 1: k - 1]
+                    assert ((Span(i, j), Span(j, k)) in found) == commute(u, v)
+
+
+class TestPatterns:
+    def test_parse(self):
+        pattern = Pattern.parse("XabXY")
+        assert pattern.items == (Var("x"), "ab", Var("x"), Var("y"))
+        assert pattern.variables == ("x", "y")
+
+    def test_backtracking_matcher(self):
+        pattern = Pattern.parse("XX")
+        assert pattern.matches("abab")
+        assert pattern.matches("")
+        assert not pattern.matches("aba")
+        assignment = pattern.match_assignment("abab")
+        assert assignment == {"x": "ab"}
+
+    def test_terminals_and_variables(self):
+        pattern = Pattern.parse("XabY")
+        assert pattern.matches("ab")          # x = y = ε
+        assert pattern.matches("zabq")
+        assert not pattern.matches("aX")
+
+    def test_repeated_variable_consistency(self):
+        pattern = Pattern.parse("XaX")
+        assert pattern.matches("bab")
+        assert not pattern.matches("bac")
+
+    def test_core_spanner_encoding_agrees(self):
+        for text, docs in [
+            ("XX", ["abab", "aba", "", "aa"]),
+            ("XaX", ["bab", "bac", "a"]),
+            ("XYX", ["aba", "abc"]),
+        ]:
+            pattern = Pattern.parse(text)
+            core = pattern.to_core_spanner()
+            for doc in docs:
+                assert is_nonempty_on(core, doc) == pattern.matches(doc), (text, doc)
+
+    def test_square_pattern(self):
+        assert square_pattern().matches("aa")
+        assert not square_pattern().matches("ab")
+
+    def test_repetition_pattern(self):
+        pattern = repetition_pattern(2, repeats=2)
+        # x0 x0 x1 x1
+        assert pattern.matches("aabb")
+        assert pattern.matches("abab" * 2)  # x0 = abab? No: x0x0 x1x1
+        assert not pattern.matches("aab")
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.text(alphabet="ab", max_size=6))
+    def test_encoding_property(self, doc):
+        pattern = Pattern.parse("XYX")
+        core = pattern.to_core_spanner()
+        assert is_nonempty_on(core, doc) == pattern.matches(doc)

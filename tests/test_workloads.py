@@ -1,0 +1,49 @@
+"""Tests for the synthetic workload generators."""
+
+import re
+
+from repro.util import (
+    gene_sequence,
+    log_document,
+    random_text,
+    repetitive_text,
+    sparse_matches,
+)
+
+
+class TestGenerators:
+    def test_random_text_deterministic(self):
+        assert random_text(50, seed=1) == random_text(50, seed=1)
+        assert random_text(50, seed=1) != random_text(50, seed=2)
+        assert len(random_text(50)) == 50
+        assert set(random_text(100, alphabet="xy")) <= {"x", "y"}
+
+    def test_repetitive_text(self):
+        assert repetitive_text("ab", 3) == "ababab"
+
+    def test_gene_sequence(self):
+        seq = gene_sequence(500, seed=4)
+        assert len(seq) == 500
+        assert set(seq) <= set("ACGT")
+        # the motif makes it compressible: it must actually occur
+        assert "ACGTGACT" in seq
+
+    def test_log_document_shape(self):
+        doc = log_document(10, seed=0)
+        lines = doc.strip().split("\n")
+        assert len(lines) == 10
+        pattern = re.compile(
+            r"^(INFO|WARN|ERROR) user=[a-z]+ code=\d+ [a-z ]+;$"
+        )
+        for line in lines:
+            assert pattern.match(line), line
+
+    def test_log_document_code_range(self):
+        doc = log_document(20, seed=0, codes=(500, 501))
+        codes = set(re.findall(r"code=(\d+)", doc))
+        assert codes <= {"500", "501"}
+
+    def test_sparse_matches(self):
+        doc = sparse_matches("ab", "x", count=3, gap=2)
+        assert doc == "xxabxxabxxab"
+        assert doc.count("ab") == 3
