@@ -24,6 +24,25 @@ Quickstart::
 """
 
 from repro.db import SpannerDB
+from repro.errors import (
+    CDEError,
+    DeadlineExceededError,
+    EvaluationLimitError,
+    FaultInjectedError,
+    InvalidMarkedWordError,
+    InvalidSpanError,
+    JournalError,
+    MemoryLimitError,
+    NotFunctionalError,
+    PersistenceError,
+    RegexSyntaxError,
+    SchemaError,
+    SLPError,
+    SpanlibError,
+    TransactionError,
+    UnsupportedSpannerError,
+)
+from repro.util import Budget, Deadline
 from repro.core import (
     CharClass,
     Close,
@@ -53,22 +72,40 @@ from repro.spanners import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "Budget",
+    "CDEError",
     "CharClass",
     "Close",
     "CoreSpanner",
     "DOT",
+    "Deadline",
+    "DeadlineExceededError",
     "Enumerator",
+    "EvaluationLimitError",
+    "FaultInjectedError",
+    "InvalidMarkedWordError",
+    "InvalidSpanError",
+    "JournalError",
     "MarkedWord",
     "Marker",
+    "MemoryLimitError",
+    "NotFunctionalError",
     "Open",
+    "PersistenceError",
     "Ref",
     "ReflSpanner",
+    "RegexSyntaxError",
     "RegularSpanner",
+    "SLPError",
+    "SchemaError",
     "Span",
     "SpanRelation",
     "SpanTuple",
     "Spanner",
     "SpannerDB",
+    "SpanlibError",
+    "TransactionError",
+    "UnsupportedSpannerError",
     "__version__",
     "compile_nfa",
     "core_to_refl_concat",

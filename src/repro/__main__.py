@@ -19,6 +19,19 @@ Subcommands
 ``check``     model-check one span tuple, e.g. ``x=1:4 y=4:5``::
 
     python -m repro check '!x{a+}!y{b+}' aab x=1:3 y=3:4
+
+``db``        operate on a persistent, crash-safe SpannerDB store::
+
+    python -m repro db store.slpdb add logs "error at line 3"
+    python -m repro db store.slpdb edit head 'extract(doc(logs),1,6)'
+    python -m repro db store.slpdb query '!x{[a-z]+}' logs --deadline 2.0
+    python -m repro db store.slpdb text head
+    python -m repro db store.slpdb ls
+    python -m repro db store.slpdb stats
+
+All ``db`` subcommands accept ``--deadline SECONDS``, ``--max-steps N``,
+and ``--max-bytes N`` resource-governance flags; exceeding a limit exits
+with a typed error instead of hanging.
 """
 
 from __future__ import annotations
@@ -107,6 +120,67 @@ def _cmd_check(args) -> int:
     return 0 if verdict else 1
 
 
+def _budget(args):
+    from repro.util import Budget, Deadline
+
+    if args.deadline is None and args.max_steps is None and args.max_bytes is None:
+        return None
+    deadline = Deadline.after(args.deadline) if args.deadline is not None else None
+    return Budget(
+        deadline=deadline, max_steps=args.max_steps, max_bytes=args.max_bytes
+    )
+
+
+def _cmd_db(args) -> int:
+    import os
+
+    from repro.db import SpannerDB
+    from repro.slp import parse_cde
+
+    budget = _budget(args)
+    store = SpannerDB.open(args.store) if os.path.exists(args.store) else SpannerDB()
+    action = args.action
+
+    if action == "add":
+        if len(args.operands) != 2:
+            raise SystemExit("usage: db STORE add NAME TEXT")
+        with_save = store._journal_path is None
+        store.add_document(args.operands[0], args.operands[1], budget)
+        if with_save:
+            store.save(args.store)
+        print(f"added {args.operands[0]!r} ({store.document_length(args.operands[0])} chars)")
+    elif action == "edit":
+        if len(args.operands) != 2:
+            raise SystemExit("usage: db STORE edit NEW_NAME CDE_EXPRESSION")
+        with_save = store._journal_path is None
+        store.edit(args.operands[0], parse_cde(args.operands[1]), budget)
+        if with_save:
+            store.save(args.store)
+        print(f"edited -> {args.operands[0]!r} ({store.document_length(args.operands[0])} chars)")
+    elif action == "query":
+        if len(args.operands) != 2:
+            raise SystemExit("usage: db STORE query PATTERN DOCUMENT")
+        store.register_spanner("__cli__", args.operands[0], budget)
+        for tup in store.query("__cli__", args.operands[1], budget):
+            print(tup)
+    elif action == "text":
+        if len(args.operands) != 1:
+            raise SystemExit("usage: db STORE text NAME")
+        print(store.document_text(args.operands[0], budget=budget))
+    elif action == "ls":
+        for name in store.documents():
+            print(f"{name}\t{store.document_length(name)}")
+    elif action == "stats":
+        for key, value in store.stats().items():
+            print(f"{key}: {value}")
+    elif action == "save":
+        store.save(args.store)
+        print(f"snapshot written to {args.store}")
+    else:
+        raise SystemExit(f"unknown db action {action!r}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -151,6 +225,28 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("doc")
     check.add_argument("bindings", nargs="+", help="var=start:end (1-based spans)")
     check.set_defaults(handler=_cmd_check)
+
+    db = commands.add_parser(
+        "db", help="operate on a persistent, crash-safe SpannerDB store"
+    )
+    db.add_argument("store", help="path of the snapshot file")
+    db.add_argument(
+        "action", choices=["add", "edit", "query", "text", "ls", "stats", "save"]
+    )
+    db.add_argument("operands", nargs="*", help="action-specific operands")
+    db.add_argument(
+        "--deadline", type=float, default=None,
+        help="wall-clock budget in seconds for the operation",
+    )
+    db.add_argument(
+        "--max-steps", type=int, default=None,
+        help="abstract step budget for evaluation/editing",
+    )
+    db.add_argument(
+        "--max-bytes", type=int, default=None,
+        help="decompression-bomb guard: refuse to materialise more bytes",
+    )
+    db.set_defaults(handler=_cmd_db)
     return parser
 
 

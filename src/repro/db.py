@@ -16,25 +16,57 @@ spanner stays immediately queryable.  This module is that system:
 * :meth:`SpannerDB.query` streams results with O(log |D|) delay, and
   :meth:`SpannerDB.is_nonempty` answers without enumerating.
 
-This is also the "adoption surface" of the library: a downstream user who
-just wants *compressed storage + incremental information extraction* needs
-only this class.
+This is also the "adoption surface" of the library, and it is hardened
+accordingly (see ``docs/RELIABILITY.md``):
+
+* **transactional mutations** — :meth:`add_document`,
+  :meth:`register_spanner`, and :meth:`edit` are atomic: staged SLP nodes,
+  evaluator matrices, and catalog entries are rolled back together on any
+  failure, and :meth:`transaction` batches several mutations with
+  all-or-nothing semantics;
+* **resource governance** — evaluation entry points accept a
+  :class:`~repro.util.Budget` (wall-clock deadline, step budget,
+  decompression-bomb guard);
+* **crash-safe persistence** — :meth:`save` writes an atomic, checksummed
+  snapshot; committed mutations are appended to an fsync'd redo journal;
+  :meth:`open` recovers the last committed state after a crash, tolerating
+  torn snapshot and journal writes.
 """
 
 from __future__ import annotations
 
+import contextlib
+import os
+from dataclasses import dataclass
 from typing import Iterator
 
 from repro.core.spans import SpanRelation, SpanTuple
-from repro.errors import SchemaError, SLPError
+from repro.errors import (
+    JournalError,
+    PersistenceError,
+    SchemaError,
+    SLPError,
+    SpanlibError,
+    TransactionError,
+)
 from repro.regex.compile import spanner_from_regex
 from repro.slp.balance import rebalance
-from repro.slp.cde import CDE, apply_cde
+from repro.slp.cde import CDE, apply_cde, format_cde, parse_cde
 from repro.slp.build import repair_node
 from repro.slp.slp import SLP, DocumentDatabase
 from repro.slp.spanner_eval import SLPSpannerEvaluator
 
 __all__ = ["SpannerDB"]
+
+
+@dataclass
+class _Checkpoint:
+    """Everything needed to undo a (possibly nested) transaction scope."""
+
+    arena_mark: int
+    docs: dict[str, int]
+    spanners: dict[str, SLPSpannerEvaluator]
+    pending: int
 
 
 class SpannerDB:
@@ -43,6 +75,97 @@ class SpannerDB:
     def __init__(self) -> None:
         self._db = DocumentDatabase(SLP())
         self._spanners: dict[str, SLPSpannerEvaluator] = {}
+        #: attached journal file (set by save/open); None = not persistent
+        self._journal_path: str | None = None
+        #: open transaction checkpoints, innermost last
+        self._txn: list[_Checkpoint] = []
+        #: encoded journal records awaiting the outermost commit
+        self._pending: list[str] = []
+
+    # ------------------------------------------------------------------
+    # transactions
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def transaction(self) -> Iterator["SpannerDB"]:
+        """All-or-nothing scope for a batch of mutations.
+
+        ::
+
+            with db.transaction():
+                db.add_document("d", text)
+                db.edit("d2", Delete(Doc("d"), 1, 10))
+
+        On any exception the arena, the per-spanner matrices, the document
+        catalog, and the pending journal records are restored to the state
+        at entry, and the exception propagates.  On success, the batched
+        journal records become durable in one append.  Transactions nest:
+        inner scopes roll back to their own entry point; records only reach
+        the journal when the outermost scope commits.
+
+        Every single mutation runs in its own (auto-)transaction, so a bare
+        ``db.edit(...)`` is atomic too.
+        """
+        self._begin()
+        try:
+            yield self
+        except BaseException:
+            self._rollback()
+            raise
+        else:
+            self._commit()
+
+    def _begin(self) -> None:
+        self._txn.append(
+            _Checkpoint(
+                arena_mark=self.slp.mark(),
+                docs=dict(self._db._docs),
+                spanners=dict(self._spanners),
+                pending=len(self._pending),
+            )
+        )
+
+    def _commit(self) -> None:
+        if not self._txn:
+            raise TransactionError("commit without a matching begin")
+        self._txn.pop()
+        if self._txn:
+            return  # inner scope: defer durability to the outermost commit
+        if self._pending:
+            records, self._pending = self._pending, []
+            if self._journal_path is not None:
+                self._journal_write("".join(r + "\n" for r in records))
+
+    def _rollback(self) -> None:
+        if not self._txn:
+            raise TransactionError("rollback without a matching begin")
+        cp = self._txn.pop()
+        del self._pending[cp.pending:]
+        self._db._docs = cp.docs
+        self._spanners = cp.spanners
+        # invalidate caches *before* truncating: ids >= mark will be reused
+        for evaluator in self._spanners.values():
+            evaluator.invalidate_from(self.slp, cp.arena_mark)
+        self.slp.truncate(cp.arena_mark)
+
+    def _journal_record(self, *fields: str) -> None:
+        """Stage one redo record; it becomes durable at outermost commit."""
+        if self._journal_path is None:
+            return
+        from repro.slp.serialize import encode_journal_record
+
+        self._pending.append(encode_journal_record(fields))
+
+    def _journal_write(self, payload: str) -> None:
+        """Append *payload* to the journal and force it to disk.
+
+        This is the durability point of a commit — and the injection point
+        :func:`repro.util.faults.truncate_journal_write` tears to simulate
+        a crash mid-append."""
+        assert self._journal_path is not None
+        with open(self._journal_path, "a", encoding="utf-8") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
 
     # ------------------------------------------------------------------
     # documents
@@ -51,15 +174,21 @@ class SpannerDB:
     def slp(self) -> SLP:
         return self._db.slp
 
-    def add_document(self, name: str, text: str) -> None:
+    def add_document(self, name: str, text: str, budget=None) -> None:
         """Ingest plain text: compress (Re-Pair), rebalance, store, and
-        preprocess it for every registered spanner."""
+        preprocess it for every registered spanner.
+
+        Atomic: if any step fails — including a preprocess failure for one
+        of several registered spanners — the staged SLP nodes, the document
+        entry, and any partially computed matrices are all rolled back."""
         if not text:
             raise SLPError("documents must be non-empty")
-        node = rebalance(self.slp, repair_node(self.slp, text))
-        self._db.add_node(name, node)
-        for evaluator in self._spanners.values():
-            evaluator.preprocess(self.slp, node)
+        with self.transaction():
+            node = rebalance(self.slp, repair_node(self.slp, text))
+            self._db.add_node(name, node)
+            for evaluator in self._spanners.values():
+                evaluator.preprocess(self.slp, node, budget)
+            self._journal_record("A", name, text)
 
     def documents(self) -> list[str]:
         return self._db.names()
@@ -67,25 +196,39 @@ class SpannerDB:
     def document_length(self, name: str) -> int:
         return self.slp.length(self._db.node(name))
 
-    def document_text(self, name: str, limit: int = 10_000_000) -> str:
-        """Decompress (guarded) — for debugging and small documents."""
+    def document_text(self, name: str, limit: int = 10_000_000, budget=None) -> str:
+        """Decompress (guarded) — for debugging and small documents.
+
+        The *limit* guard raises :class:`~repro.errors.SLPError`; a
+        :class:`~repro.util.Budget` with ``max_bytes`` additionally raises
+        :class:`~repro.errors.MemoryLimitError` (the decompression-bomb
+        guard, since SLP documents can be exponentially long)."""
+        node = self._db.node(name)
+        if budget is not None:
+            budget.charge_bytes(
+                self.slp.length(node), what=f"decompressing document {name!r}"
+            )
         return self._db.document(name, limit)
 
     # ------------------------------------------------------------------
     # spanners
     # ------------------------------------------------------------------
-    def register_spanner(self, name: str, spanner) -> None:
+    def register_spanner(self, name: str, spanner, budget=None) -> None:
         """Register a spanner (regex-formula string, vset-automaton, or
-        RegularSpanner) and preprocess all stored documents for it."""
+        RegularSpanner) and preprocess all stored documents for it.
+
+        Atomic: a preprocess failure on the n-th stored document leaves no
+        half-registered spanner and no orphan matrices."""
         if name in self._spanners:
             raise SchemaError(f"spanner {name!r} already registered")
         if isinstance(spanner, str):
             spanner = spanner_from_regex(spanner)
         automaton = getattr(spanner, "automaton", spanner)
         evaluator = SLPSpannerEvaluator(automaton)
-        for _, node in self._db.documents():
-            evaluator.preprocess(self.slp, node)
-        self._spanners[name] = evaluator
+        with self.transaction():
+            for _, node in self._db.documents():
+                evaluator.preprocess(self.slp, node, budget)
+            self._spanners[name] = evaluator
 
     def spanners(self) -> list[str]:
         return sorted(self._spanners)
@@ -99,51 +242,186 @@ class SpannerDB:
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
-    def query(self, spanner: str, document: str) -> Iterator[SpanTuple]:
-        """Stream ``⟦M⟧(D)`` from the compressed form (O(log |D|) delay)."""
-        evaluator = self._evaluator(spanner)
-        yield from evaluator.enumerate(self.slp, self._db.node(document))
+    def query(self, spanner: str, document: str, budget=None) -> Iterator[SpanTuple]:
+        """Stream ``⟦M⟧(D)`` from the compressed form (O(log |D|) delay).
 
-    def evaluate(self, spanner: str, document: str) -> SpanRelation:
+        With a :class:`~repro.util.Budget`, enumeration over pathological
+        (e.g. exponential-length) documents terminates at the deadline or
+        step limit with a clean typed error."""
         evaluator = self._evaluator(spanner)
-        return evaluator.evaluate(self.slp, self._db.node(document))
+        yield from evaluator.enumerate(self.slp, self._db.node(document), budget)
 
-    def is_nonempty(self, spanner: str, document: str) -> bool:
+    def evaluate(self, spanner: str, document: str, budget=None) -> SpanRelation:
         evaluator = self._evaluator(spanner)
-        return evaluator.is_nonempty(self.slp, self._db.node(document))
+        return evaluator.evaluate(self.slp, self._db.node(document), budget)
+
+    def is_nonempty(self, spanner: str, document: str, budget=None) -> bool:
+        evaluator = self._evaluator(spanner)
+        return evaluator.is_nonempty(self.slp, self._db.node(document), budget)
 
     # ------------------------------------------------------------------
     # editing (the dynamic setting of [40])
     # ------------------------------------------------------------------
-    def edit(self, new_name: str, expression: CDE) -> int:
+    def edit(self, new_name: str, expression: CDE, budget=None) -> int:
         """Apply a CDE-expression, store the result as *new_name*, and
         update every registered spanner's structures for the fresh nodes.
 
         Returns the total number of fresh node-matrix computations across
-        all spanners (the measurable O(k·log d) update cost)."""
-        node = apply_cde(expression, self._db)
-        self._db.add_node(new_name, node)
-        fresh = 0
-        for evaluator in self._spanners.values():
-            fresh += evaluator.preprocess(self.slp, node)
-        return fresh
+        all spanners (the measurable O(k·log d) update cost).  Atomic: a
+        failure at any point — CDE application, catalog insert, or matrix
+        update for any spanner — rolls the store back to its prior state."""
+        with self.transaction():
+            node = apply_cde(expression, self._db, budget)
+            self._db.add_node(new_name, node)
+            fresh = 0
+            for evaluator in self._spanners.values():
+                fresh += evaluator.preprocess(self.slp, node, budget)
+            self._journal_record("E", new_name, format_cde(expression))
+            return fresh
 
     # ------------------------------------------------------------------
     # persistence
     # ------------------------------------------------------------------
     def save(self, path: str) -> None:
-        """Persist the store *in compressed form* (documents + sharing).
+        """Persist the store *in compressed form* as an atomic, checksummed
+        snapshot, and reset the attached edit journal.
+
+        Write protocol: snapshot to ``path + ".tmp"`` and fsync; demote any
+        existing snapshot to ``path + ".bak"``; rename the fresh snapshot
+        into place (atomic on POSIX); truncate the journal.  A crash at any
+        point leaves either the old or the new snapshot loadable — torn
+        writes are detected by checksum and :meth:`open` falls back to the
+        ``.bak`` copy.
 
         Registered spanners are code, not data — re-register after load.
         """
-        from repro.slp.serialize import dump_database
+        from repro.slp.serialize import dump_snapshot
 
-        with open(path, "w", encoding="utf-8") as stream:
-            dump_database(self._db, stream)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as stream:
+            dump_snapshot(self._db, stream)
+            stream.flush()
+            os.fsync(stream.fileno())
+        if os.path.exists(path):
+            os.replace(path, path + ".bak")
+        os.replace(tmp, path)
+        self._journal_path = path + ".journal"
+        self._reset_journal()
+
+    def _reset_journal(self) -> None:
+        from repro.slp.serialize import JOURNAL_MAGIC
+
+        assert self._journal_path is not None
+        with open(self._journal_path, "w", encoding="utf-8") as handle:
+            handle.write(JOURNAL_MAGIC + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    @classmethod
+    def open(cls, path: str) -> "SpannerDB":
+        """Open (or create) a persistent store, recovering committed state.
+
+        Recovery procedure:
+
+        1. load the snapshot at *path*; if it is torn or corrupt
+           (checksum mismatch), fall back to ``path + ".bak"``;
+        2. replay the edit journal ``path + ".journal"`` record by record,
+           stopping at the first torn record (a crash mid-append loses only
+           the record being written, never earlier commits) — or at the
+           first record that no longer applies (after a fall back to the
+           older ``.bak`` snapshot, tail records may reference documents
+           that only the torn snapshot contained: replay is best-effort);
+        3. if anything was replayed or the journal was torn, checkpoint:
+           write a fresh snapshot and truncate the journal.
+
+        The returned store is *attached*: every committed mutation is
+        appended to the journal (fsync'd), so a later :meth:`open` after a
+        crash recovers it.  Spanners are code, not data — re-register them.
+        """
+        from repro.slp.serialize import read_journal
+
+        store = cls()
+        database, used_fallback = cls._load_snapshot_with_fallback(path)
+        if database is not None:
+            store._db = database
+
+        journal_path = path + ".journal"
+        records: list[list[str]] = []
+        clean = True
+        if os.path.exists(journal_path):
+            with open(journal_path, "r", encoding="utf-8") as stream:
+                records, clean = read_journal(stream)
+            replayed = []
+            for record in records:
+                try:
+                    store._apply_journal_record(record)
+                except JournalError:
+                    # best-effort: everything past an inapplicable record
+                    # is untrusted (see step 2 above)
+                    clean = False
+                    break
+                replayed.append(record)
+            records = replayed
+
+        store._journal_path = journal_path
+        if records or not clean or used_fallback:
+            # checkpoint the recovered state and truncate the torn journal
+            store.save(path)
+        elif not os.path.exists(journal_path):
+            store._reset_journal()
+        return store
+
+    @staticmethod
+    def _load_snapshot_with_fallback(path: str):
+        """(database, used_fallback) — or (None, False) for a fresh store."""
+        from repro.slp.serialize import load_database
+
+        primary_error: SpanlibError | None = None
+        for candidate, is_fallback in ((path, False), (path + ".bak", True)):
+            if not os.path.exists(candidate):
+                continue
+            try:
+                with open(candidate, "r", encoding="utf-8") as stream:
+                    return load_database(stream), is_fallback
+            except SpanlibError as exc:
+                if primary_error is None:
+                    primary_error = exc
+        if primary_error is not None:
+            raise PersistenceError(
+                f"no loadable snapshot for {path!r} "
+                f"(primary and fallback both unreadable: {primary_error})"
+            )
+        return None, False
+
+    def _apply_journal_record(self, record: list[str]) -> None:
+        """Replay one committed mutation during recovery.
+
+        Idempotent with respect to the snapshot: records whose target
+        document already exists are skipped (a crash between snapshot
+        rotation and journal truncation in :meth:`save` leaves already
+        applied records behind)."""
+        kind = record[0] if record else ""
+        try:
+            if kind == "A" and len(record) == 3:
+                if record[1] not in self._db:
+                    self.add_document(record[1], record[2])
+            elif kind == "E" and len(record) == 3:
+                if record[1] not in self._db:
+                    self.edit(record[1], parse_cde(record[2]))
+            else:
+                raise JournalError(f"unknown journal record {record!r}")
+        except JournalError:
+            raise
+        except SpanlibError as exc:
+            raise JournalError(
+                f"journal record {record!r} cannot be replayed: {exc}"
+            ) from exc
 
     @classmethod
     def load(cls, path: str) -> "SpannerDB":
-        """Load a store written by :meth:`save`."""
+        """Load a snapshot written by :meth:`save` (either format version),
+        *without* attaching the journal — a read-only-style load kept for
+        backwards compatibility; prefer :meth:`open`."""
         from repro.slp.serialize import load_database
 
         with open(path, "r", encoding="utf-8") as stream:
@@ -165,4 +443,6 @@ class SpannerDB:
                 name: evaluator.cached_nodes()
                 for name, evaluator in self._spanners.items()
             },
+            "journal": self._journal_path,
+            "open_transactions": len(self._txn),
         }

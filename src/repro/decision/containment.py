@@ -46,22 +46,32 @@ def _as_vset(spanner) -> VSetAutomaton:
     raise TypeError(f"unsupported spanner representation: {spanner!r}")
 
 
-def contained_in(small, big) -> bool:
+def contained_in(small, big, budget=None) -> bool:
     """Decide ``small(D) ⊆ big(D)`` for all documents D (regular spanners).
 
     Both spanners are normalised to the canonical marker order, after which
     spanner containment coincides with containment of the subword-marked
-    languages.
+    languages.  The problem is PSpace-hard, so an optional
+    :class:`~repro.util.Budget` deadline is checked between the pipeline
+    stages (normalisation, per operand, and the language test).
     """
     small_nfa = _as_vset(small).normalized().nfa
+    if budget is not None:
+        budget.check_deadline()
     big_nfa = _as_vset(big).normalized().nfa
+    if budget is not None:
+        budget.check_deadline()
     return language_contains(big_nfa, small_nfa)
 
 
-def equivalent_spanners(left, right) -> bool:
+def equivalent_spanners(left, right, budget=None) -> bool:
     """Decide ``left(D) = right(D)`` for all documents D (regular spanners)."""
     left_nfa = _as_vset(left).normalized().nfa
+    if budget is not None:
+        budget.check_deadline()
     right_nfa = _as_vset(right).normalized().nfa
+    if budget is not None:
+        budget.check_deadline()
     return language_equivalent(left_nfa, right_nfa)
 
 

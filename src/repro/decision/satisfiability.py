@@ -27,14 +27,16 @@ __all__ = ["is_satisfiable", "satisfying_document"]
 
 
 def satisfying_document(
-    spanner: Spanner, alphabet: str = "ab", max_length: int = 8
+    spanner: Spanner, alphabet: str = "ab", max_length: int = 8, budget=None
 ) -> str | None:
     """A witness document with ``S(D) ≠ ∅``, or ``None``.
 
     Polynomial for regular and refl-spanners (the witness is read off a
     shortest accepted word).  For core spanners, documents over *alphabet*
     up to *max_length* are searched; :class:`EvaluationLimitError` is
-    raised when the budget runs out undecided.
+    raised when the budget runs out undecided.  An optional
+    :class:`~repro.util.Budget` is charged one step per candidate document,
+    so a deadline or step limit cuts the exponential search off cleanly.
     """
     if isinstance(spanner, RegularSpanner):
         spanner = spanner.automaton
@@ -51,6 +53,8 @@ def satisfying_document(
     if isinstance(spanner, CoreSpanner):
         for length in range(max_length + 1):
             for letters in itertools.product(alphabet, repeat=length):
+                if budget is not None:
+                    budget.step()
                 doc = "".join(letters)
                 if is_nonempty_on(spanner, doc):
                     return doc
@@ -63,7 +67,7 @@ def satisfying_document(
 
 
 def is_satisfiable(
-    spanner: Spanner, alphabet: str = "ab", max_length: int = 8
+    spanner: Spanner, alphabet: str = "ab", max_length: int = 8, budget=None
 ) -> bool:
     """Decide Satisfiability (see :func:`satisfying_document`)."""
-    return satisfying_document(spanner, alphabet, max_length) is not None
+    return satisfying_document(spanner, alphabet, max_length, budget) is not None

@@ -56,20 +56,25 @@ class Enumerator:
     # ------------------------------------------------------------------
     # phase 1
     # ------------------------------------------------------------------
-    def preprocess(self, doc: str) -> ProductIndex:
-        """Build the product index for *doc* (linear-time preprocessing)."""
-        return ProductIndex(self.det, doc)
+    def preprocess(self, doc: str, budget=None) -> ProductIndex:
+        """Build the product index for *doc* (linear-time preprocessing).
+
+        A :class:`~repro.util.Budget` guards the Θ(n·|Q|) index size
+        against ``max_bytes`` and is charged one step per position."""
+        if budget is not None:
+            budget.charge_bytes(len(doc), what="enumeration preprocessing")
+        return ProductIndex(self.det, doc, budget)
 
     # ------------------------------------------------------------------
     # phase 2
     # ------------------------------------------------------------------
-    def enumerate_index(self, index: ProductIndex) -> Iterator[SpanTuple]:
+    def enumerate_index(self, index: ProductIndex, budget=None) -> Iterator[SpanTuple]:
         """Enumerate the span relation from a prebuilt index."""
-        for emissions in self.enumerate_emissions(index):
+        for emissions in self.enumerate_emissions(index, budget):
             yield emissions_to_tuple(emissions)
 
     def enumerate_emissions(
-        self, index: ProductIndex
+        self, index: ProductIndex, budget=None
     ) -> Iterator[tuple[tuple[int, object], ...]]:
         """Enumerate outputs as tuples of (span position, marker) emissions."""
         det = self.det
@@ -78,6 +83,8 @@ class Enumerator:
         def node(state: int, position: int, emissions: tuple) -> Iterator[tuple]:
             # *state* is the state reached right after consuming the marker
             # block at char-index *position*.
+            if budget is not None:
+                budget.step()
             if index.acc_pure[position][state]:
                 yield emissions
             if position < n:
@@ -94,13 +101,13 @@ class Enumerator:
             emitted = tuple((j + 1, m) for m in block)
             yield from node(target, j, emitted)
 
-    def enumerate(self, doc: str) -> Iterator[SpanTuple]:
+    def enumerate(self, doc: str, budget=None) -> Iterator[SpanTuple]:
         """Preprocess and enumerate ``S(doc)`` without repetition."""
-        yield from self.enumerate_index(self.preprocess(doc))
+        yield from self.enumerate_index(self.preprocess(doc, budget), budget)
 
-    def evaluate(self, doc: str) -> SpanRelation:
+    def evaluate(self, doc: str, budget=None) -> SpanRelation:
         """Materialise the relation via the enumeration pipeline."""
-        return SpanRelation(self.det.variables, self.enumerate(doc))
+        return SpanRelation(self.det.variables, self.enumerate(doc, budget))
 
 
 def measure_delays(iterator: Iterator) -> tuple[list, list[float]]:

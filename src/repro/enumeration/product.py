@@ -52,7 +52,12 @@ class ProductIndex:
         "_set_arcs",
     )
 
-    def __init__(self, det: DeterministicEVA, doc: str) -> None:
+    def __init__(self, det: DeterministicEVA, doc: str, budget=None) -> None:
+        if budget is not None:
+            # the index is Θ(n·|Q|) cells — guard it like a materialisation
+            budget.charge_bytes(
+                6 * (len(doc) + 1) * det.num_states, what="product index"
+            )
         self.det = det
         self.doc = doc
         n = len(doc)
@@ -111,6 +116,8 @@ class ProductIndex:
         state_ids = np.arange(num_states)
 
         for i in range(n, -1, -1):
+            if budget is not None:
+                budget.step()
             if i < n:
                 cn = self.char_next[i]
                 valid = cn != _NO_STATE

@@ -3,9 +3,44 @@
 Every error raised by the library derives from :class:`SpanlibError`, so
 callers can catch library failures without also catching programming errors
 such as :class:`TypeError`.
+
+The hierarchy has three robustness-oriented branches:
+
+* **resource governance** — :class:`EvaluationLimitError` and its
+  subclasses :class:`DeadlineExceededError` and :class:`MemoryLimitError`
+  are raised by :class:`repro.util.Budget`-governed evaluation instead of
+  hanging or exhausting memory;
+* **persistence** — :class:`PersistenceError` and :class:`JournalError`
+  signal corrupt or torn on-disk state detected by the checksummed
+  snapshot/journal machinery of :mod:`repro.slp.serialize`;
+* **fault injection** — :class:`FaultInjectedError` is raised by the
+  :mod:`repro.util.faults` harness, and is a :class:`SpanlibError` so that
+  injected failures exercise exactly the error paths real failures take.
+
+All public errors are exported from :mod:`repro` (asserted by
+``tests/test_exports.py``).
 """
 
 from __future__ import annotations
+
+__all__ = [
+    "SpanlibError",
+    "InvalidSpanError",
+    "InvalidMarkedWordError",
+    "RegexSyntaxError",
+    "NotFunctionalError",
+    "SchemaError",
+    "UnsupportedSpannerError",
+    "EvaluationLimitError",
+    "DeadlineExceededError",
+    "MemoryLimitError",
+    "TransactionError",
+    "SLPError",
+    "PersistenceError",
+    "JournalError",
+    "CDEError",
+    "FaultInjectedError",
+]
 
 
 class SpanlibError(Exception):
@@ -51,13 +86,71 @@ class UnsupportedSpannerError(SpanlibError, ValueError):
 
 
 class EvaluationLimitError(SpanlibError, RuntimeError):
-    """A deliberately bounded search (e.g. core-spanner satisfiability,
-    which is PSpace-complete in general) exhausted its budget."""
+    """A deliberately bounded computation exhausted its budget.
+
+    Raised both by intrinsically bounded searches (e.g. core-spanner
+    satisfiability, which is PSpace-complete in general) and by any
+    evaluation governed by a :class:`repro.util.Budget` whose ``max_steps``
+    allowance ran out.  The subclasses :class:`DeadlineExceededError` and
+    :class:`MemoryLimitError` distinguish the wall-clock and memory guards.
+    """
+
+
+class DeadlineExceededError(EvaluationLimitError):
+    """The wall-clock deadline of a :class:`repro.util.Budget` expired.
+
+    Deadline checks are amortised (every ``check_interval`` budget steps),
+    so evaluation terminates shortly after — not exactly at — the deadline,
+    but always within a bounded number of cheap steps.
+    """
+
+
+class MemoryLimitError(EvaluationLimitError):
+    """An operation would materialise more bytes than its budget allows.
+
+    This is the decompression-bomb guard: SLPs can represent documents
+    exponentially longer than their compressed size, so ``document_text``,
+    CDE expansion, and enumeration preprocessing refuse to grow past the
+    budget's ``max_bytes`` instead of exhausting memory.
+    """
+
+
+class TransactionError(SpanlibError, RuntimeError):
+    """A :class:`repro.db.SpannerDB` transaction was misused (e.g. a commit
+    or rollback without a matching begin) or could not complete cleanly."""
 
 
 class SLPError(SpanlibError, ValueError):
     """Malformed straight-line program or out-of-range compressed access."""
 
 
+class PersistenceError(SLPError):
+    """On-disk store state failed validation.
+
+    Raised when a checksummed snapshot is torn or corrupt (the checksum
+    does not match), or when no readable snapshot — primary or ``.bak``
+    fallback — can be found for a store that should have one.
+    """
+
+
+class JournalError(PersistenceError):
+    """An edit-journal record is corrupt or cannot be replayed.
+
+    Torn *tails* (a crash mid-append) are not errors — recovery stops at
+    the last durable record; this error signals records that pass their
+    checksum but cannot be applied to the recovered store.
+    """
+
+
 class CDEError(SpanlibError, ValueError):
-    """Malformed complex-document-editing expression."""
+    """Malformed complex-document-editing expression (construction, textual
+    parsing via :func:`repro.slp.parse_cde`, or out-of-range application)."""
+
+
+class FaultInjectedError(SpanlibError, RuntimeError):
+    """The error raised by :mod:`repro.util.faults` injection points.
+
+    It derives from :class:`SpanlibError` deliberately: an injected fault
+    must travel the same rollback/recovery paths as a genuine library
+    failure, and the fault-injection test suite asserts precisely that.
+    """

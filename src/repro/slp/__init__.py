@@ -28,10 +28,20 @@ from repro.slp.cde import (
     Insert,
     apply_cde,
     eval_cde,
+    format_cde,
+    parse_cde,
 )
 from repro.slp.lce import FactorHasher, compare_suffixes, longest_common_extension
 from repro.slp.membership import CompressedMembership, simulate_uncompressed
-from repro.slp.serialize import dump_database, dumps_database, load_database, loads_database
+from repro.slp.serialize import (
+    dump_database,
+    dump_snapshot,
+    dumps_database,
+    dumps_snapshot,
+    load_database,
+    loads_database,
+    read_journal,
+)
 from repro.slp.pattern import CompressedPatternMatcher
 from repro.slp.slp import SLP, DocumentDatabase, figure_1_database, figure_1_slp
 from repro.slp.spanner_eval import SLPSpannerEvaluator
@@ -59,8 +69,11 @@ __all__ = [
     "compare_suffixes",
     "concat_balanced",
     "dump_database",
+    "dump_snapshot",
     "dumps_database",
+    "dumps_snapshot",
     "eval_cde",
+    "format_cde",
     "extract",
     "extract_balanced",
     "fibonacci_node",
@@ -70,7 +83,9 @@ __all__ = [
     "load_database",
     "loads_database",
     "lz78_node",
+    "parse_cde",
     "power_node",
+    "read_journal",
     "rebalance",
     "repair_node",
     "repeat_node",

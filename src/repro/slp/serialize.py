@@ -1,4 +1,4 @@
-"""Serialisation of SLP document databases.
+"""Serialisation of SLP document databases, with crash-safe extensions.
 
 A compressed document store is only useful if it can be *persisted in its
 compressed form* — decompress-on-save would defeat the point (and is
@@ -13,18 +13,46 @@ module writes and reads a compact, versioned, line-oriented text format:
 Node ids are renumbered densely in topological order, so files round-trip
 through arenas of any history.  Only nodes reachable from the stored
 documents are written.
+
+Version 2 (:func:`dump_snapshot`) appends a CRC-32 trailer line
+
+    C deadbeef
+
+over everything before it, so a torn or bit-flipped snapshot is *detected*
+(:class:`~repro.errors.PersistenceError`) instead of silently loading a
+corrupt store.  :func:`load_database` accepts both versions.
+
+The edit journal (:func:`encode_journal_record` / :func:`read_journal`) is
+an append-only redo log used by :class:`~repro.db.SpannerDB`: one record
+per committed mutation, each line individually checksummed.  Recovery
+replays records until the first line that fails its checksum — a torn tail
+left by a crash mid-append loses only the record being written.
 """
 
 from __future__ import annotations
 
+import zlib
 from typing import TextIO
 
-from repro.errors import SLPError
+from repro.errors import PersistenceError, SLPError
 from repro.slp.slp import SLP, DocumentDatabase
 
-__all__ = ["dump_database", "load_database", "dumps_database", "loads_database"]
+__all__ = [
+    "dump_database",
+    "load_database",
+    "dumps_database",
+    "loads_database",
+    "dump_snapshot",
+    "dumps_snapshot",
+    "JOURNAL_MAGIC",
+    "encode_journal_record",
+    "decode_journal_line",
+    "read_journal",
+]
 
 _MAGIC = "SLPDB 1"
+_MAGIC_V2 = "SLPDB 2"
+JOURNAL_MAGIC = "SLPJRNL 1"
 
 
 def _escape(text: str) -> str:
@@ -53,37 +81,70 @@ def _unescape(text: str) -> str:
     return "".join(out)
 
 
-def dump_database(db: DocumentDatabase, stream: TextIO) -> None:
-    """Write the database (compressed form) to a text stream."""
+def _render_records(db: DocumentDatabase) -> list[str]:
+    """The T/P/D record lines of *db* (reachable nodes, densely renumbered)."""
     roots = [node for _, node in db.documents()]
     order = db.slp.topological(*roots) if roots else []
     renumber: dict[int, int] = {}
-    stream.write(_MAGIC + "\n")
+    lines: list[str] = []
     for node in order:
         fresh = len(renumber)
         renumber[node] = fresh
         if db.slp.is_terminal(node):
-            stream.write(f"T {fresh} {_escape(db.slp.char(node))}\n")
+            lines.append(f"T {fresh} {_escape(db.slp.char(node))}")
         else:
             left, right = db.slp.children(node)
-            stream.write(f"P {fresh} {renumber[left]} {renumber[right]}\n")
+            lines.append(f"P {fresh} {renumber[left]} {renumber[right]}")
     for name, node in db.documents():
-        stream.write(f"D {_escape(name)} {renumber[node]}\n")
+        lines.append(f"D {_escape(name)} {renumber[node]}")
+    return lines
+
+
+def dump_database(db: DocumentDatabase, stream: TextIO) -> None:
+    """Write the database (compressed form, version-1 format) to a stream."""
+    stream.write(_MAGIC + "\n")
+    for line in _render_records(db):
+        stream.write(line + "\n")
+
+
+def dump_snapshot(db: DocumentDatabase, stream: TextIO) -> None:
+    """Write a version-2 *checksummed* snapshot.
+
+    Identical to :func:`dump_database` plus a trailing ``C <crc32>`` line
+    over everything before it; :func:`load_database` refuses a version-2
+    file whose checksum does not match (torn-write detection)."""
+    body = _MAGIC_V2 + "\n" + "".join(
+        line + "\n" for line in _render_records(db)
+    )
+    stream.write(body)
+    stream.write(f"C {zlib.crc32(body.encode('utf-8')):08x}\n")
 
 
 def load_database(stream: TextIO) -> DocumentDatabase:
-    """Read a database written by :func:`dump_database`.
+    """Read a database written by :func:`dump_database` or
+    :func:`dump_snapshot`.
 
     The loaded arena is hash-consed afresh, so sharing is at least as good
-    as in the original.
+    as in the original.  Version-2 snapshots are checksum-verified first
+    and raise :class:`~repro.errors.PersistenceError` when torn or corrupt.
     """
-    header = stream.readline().rstrip("\n")
-    if header != _MAGIC:
+    return loads_database(stream.read())
+
+
+def loads_database(text: str) -> DocumentDatabase:
+    """Deserialise from a string (either format version)."""
+    lines = text.split("\n")
+    header = lines[0] if lines else ""
+    if header == _MAGIC_V2:
+        record_lines = _verify_snapshot(text, lines)
+    elif header == _MAGIC:
+        record_lines = lines[1:]
+    else:
         raise SLPError(f"not an SLP database file (header {header!r})")
+
     db = DocumentDatabase(SLP())
     nodes: dict[int, int] = {}
-    for line_number, raw in enumerate(stream, start=2):
-        line = raw.rstrip("\n")
+    for line_number, line in enumerate(record_lines, start=2):
         if not line:
             continue
         parts = line.split(" ")
@@ -106,8 +167,36 @@ def load_database(stream: TextIO) -> DocumentDatabase:
     return db
 
 
+def _verify_snapshot(text: str, lines: list[str]) -> list[str]:
+    """Checksum-check a version-2 snapshot; return its record lines."""
+    # the last non-empty line must be the checksum trailer
+    trailer_index = len(lines) - 1
+    while trailer_index >= 0 and lines[trailer_index] == "":
+        trailer_index -= 1
+    trailer = lines[trailer_index] if trailer_index >= 0 else ""
+    parts = trailer.split(" ")
+    if len(parts) != 2 or parts[0] != "C":
+        raise PersistenceError(
+            "snapshot is torn: checksum trailer missing or malformed"
+        )
+    body = "".join(line + "\n" for line in lines[:trailer_index])
+    try:
+        expected = int(parts[1], 16)
+    except ValueError:
+        raise PersistenceError(
+            f"snapshot checksum trailer unreadable: {trailer!r}"
+        ) from None
+    actual = zlib.crc32(body.encode("utf-8"))
+    if actual != expected:
+        raise PersistenceError(
+            f"snapshot failed checksum (expected {expected:08x}, "
+            f"got {actual:08x}) — torn write or corruption"
+        )
+    return lines[1:trailer_index]
+
+
 def dumps_database(db: DocumentDatabase) -> str:
-    """Serialise to a string."""
+    """Serialise to a string (version-1 format)."""
     import io
 
     buffer = io.StringIO()
@@ -115,8 +204,64 @@ def dumps_database(db: DocumentDatabase) -> str:
     return buffer.getvalue()
 
 
-def loads_database(text: str) -> DocumentDatabase:
-    """Deserialise from a string."""
+def dumps_snapshot(db: DocumentDatabase) -> str:
+    """Serialise to a string (version-2 checksummed format)."""
     import io
 
-    return load_database(io.StringIO(text))
+    buffer = io.StringIO()
+    dump_snapshot(db, buffer)
+    return buffer.getvalue()
+
+
+# ----------------------------------------------------------------------
+# the append-only edit journal
+# ----------------------------------------------------------------------
+
+def encode_journal_record(fields: tuple[str, ...] | list[str]) -> str:
+    """Encode one journal record: space-separated escaped fields, prefixed
+    with a CRC-32 of the payload.  One line, no trailing newline."""
+    payload = " ".join(_escape(field) for field in fields)
+    return f"{zlib.crc32(payload.encode('utf-8')):08x} {payload}"
+
+
+def decode_journal_line(line: str) -> list[str] | None:
+    """Decode one journal line; ``None`` if it is torn or corrupt (checksum
+    mismatch, bad structure) — the caller stops replaying there."""
+    head, sep, payload = line.partition(" ")
+    if not sep or len(head) != 8:
+        return None
+    try:
+        expected = int(head, 16)
+    except ValueError:
+        return None
+    if zlib.crc32(payload.encode("utf-8")) != expected:
+        return None
+    try:
+        return [_unescape(field) for field in payload.split(" ")]
+    except SLPError:
+        return None
+
+
+def read_journal(stream: TextIO) -> tuple[list[list[str]], bool]:
+    """Read an edit journal: ``(records, clean)``.
+
+    Replay-safe by construction: records are returned up to the first line
+    that fails its checksum, and ``clean`` is ``False`` when such a torn
+    tail (or a bad header) was found.  A journal that does not even carry
+    the magic header is treated as entirely torn — empty, not an error —
+    because a crash can tear the very first write.
+    """
+    header = stream.readline().rstrip("\n")
+    if header != JOURNAL_MAGIC:
+        return [], False
+    records: list[list[str]] = []
+    for raw in stream:
+        line = raw.rstrip("\n")
+        if not line:
+            continue
+        record = decode_journal_line(line)
+        if record is None or raw[-1:] != "\n":
+            # torn or corrupt: everything from here on is untrusted
+            return records, False
+        records.append(record)
+    return records, True

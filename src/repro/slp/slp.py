@@ -88,6 +88,42 @@ class SLP:
         if not 0 <= node < len(self._char):
             raise SLPError(f"unknown SLP node {node}")
 
+    # ------------------------------------------------------------------
+    # transactional staging
+    # ------------------------------------------------------------------
+    def mark(self) -> int:
+        """A rollback token: the current arena size.
+
+        Nodes are allocated densely, so every node created after ``mark()``
+        has id ``>= mark`` and :meth:`truncate` can discard exactly the
+        staged allocations of a failed mutation.
+        """
+        return len(self._char)
+
+    def truncate(self, mark: int) -> int:
+        """Discard every node allocated at or after *mark*.
+
+        Safe only when no live structure references the discarded ids —
+        ``SpannerDB``'s transaction rollback guarantees this by restoring
+        the document table and evaluator caches in the same step.  Returns
+        the number of nodes discarded.  Old nodes can never reference new
+        ones (children are always allocated before their parents), so the
+        surviving prefix is closed under reachability.
+        """
+        if not 0 <= mark <= len(self._char):
+            raise SLPError(f"invalid arena mark {mark}")
+        discarded = len(self._char) - mark
+        if discarded == 0:
+            return 0
+        del self._char[mark:]
+        del self._left[mark:]
+        del self._right[mark:]
+        del self._length[mark:]
+        del self._order[mark:]
+        self._terminals = {ch: n for ch, n in self._terminals.items() if n < mark}
+        self._pairs = {key: n for key, n in self._pairs.items() if n < mark}
+        return discarded
+
     def from_text(self, text: str) -> int:
         """A balanced parse of *text* (no compression beyond sharing).
 

@@ -113,15 +113,20 @@ class SLPSpannerEvaluator:
         gathered[sigma == _DEAD] = False
         return gathered
 
-    def preprocess(self, slp: SLP, node: int) -> int:
+    def preprocess(self, slp: SLP, node: int, budget=None) -> int:
         """Compute (σ, T, T_em) for every reachable node; returns the number
-        of *fresh* nodes processed (0 when everything was already cached)."""
+        of *fresh* nodes processed (0 when everything was already cached).
+
+        An optional :class:`~repro.util.Budget` is charged one step per
+        fresh node (each step is an O(|Q|³) matrix product)."""
         fresh = 0
         for current in slp.topological(node):
             key = (id(slp), current)
             if key in self._node_data:
                 continue
             fresh += 1
+            if budget is not None:
+                budget.step()
             if slp.is_terminal(current):
                 self._node_data[key] = self._char_tables(slp.char(current))
                 continue
@@ -141,19 +146,39 @@ class SLPSpannerEvaluator:
         """How many (SLP node → matrices) entries are cached."""
         return len(self._node_data)
 
+    def invalidate_from(self, slp: SLP, mark: int) -> int:
+        """Drop cached matrices for nodes of *slp* with id ``>= mark``.
+
+        Transaction rollback truncates the arena back to a mark; node ids
+        at or above it will be *reused* by later allocations, so any cached
+        matrices keyed on them would silently describe the wrong document.
+        Returns the number of entries dropped."""
+        slp_id = id(slp)
+        stale = [
+            key for key in self._node_data
+            if key[0] == slp_id and key[1] >= mark
+        ]
+        for key in stale:
+            del self._node_data[key]
+        return len(stale)
+
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
-    def is_nonempty(self, slp: SLP, node: int) -> bool:
+    def is_nonempty(self, slp: SLP, node: int, budget=None) -> bool:
         """``⟦M⟧(D(node)) ≠ ∅`` without decompression: one T-product chain."""
-        self.preprocess(slp, node)
+        self.preprocess(slp, node, budget)
         _, T, _ = self._node_data[(id(slp), node)]
         reachable = T[self.det.initial]
         return bool((reachable & self._cont_end).any())
 
-    def enumerate(self, slp: SLP, node: int) -> Iterator[SpanTuple]:
-        """Enumerate ``⟦M⟧(D(node))`` with delay O(depth · |Q|^2)."""
-        self.preprocess(slp, node)
+    def enumerate(self, slp: SLP, node: int, budget=None) -> Iterator[SpanTuple]:
+        """Enumerate ``⟦M⟧(D(node))`` with delay O(depth · |Q|^2).
+
+        When a :class:`~repro.util.Budget` is given, one step is charged
+        per DAG descent, so a deadline or step limit terminates even the
+        enumeration of an exponentially long document cleanly."""
+        self.preprocess(slp, node, budget)
         det = self.det
         n = slp.length(node)
         key = (id(slp), node)
@@ -173,12 +198,14 @@ class SLPSpannerEvaluator:
         # runs with at least one emission strictly inside (or at the left
         # boundary of) the document
         for q_out, emissions in self._runs(
-            slp, node, det.initial, 0, self._cont_end
+            slp, node, det.initial, 0, self._cont_end, budget
         ):
             yield from map(emissions_to_tuple, trailing(q_out, emissions))
 
-    def evaluate(self, slp: SLP, node: int) -> SpanRelation:
-        return SpanRelation(self.det.variables, self.enumerate(slp, node))
+    def evaluate(self, slp: SLP, node: int, budget=None) -> SpanRelation:
+        return SpanRelation(
+            self.det.variables, self.enumerate(slp, node, budget)
+        )
 
     # ------------------------------------------------------------------
     def _runs(
@@ -188,6 +215,7 @@ class SLPSpannerEvaluator:
         state: int,
         offset: int,
         cont: np.ndarray,
+        budget=None,
     ) -> Iterator[tuple[int, tuple]]:
         """All runs through ``D(node)`` from *state* with ≥ 1 emission whose
         exit state satisfies *cont*, as (exit state, emissions) pairs.
@@ -198,6 +226,8 @@ class SLPSpannerEvaluator:
         the O(log |D|) delay of [39] on balanced SLPs.
         """
         det = self.det
+        if budget is not None:
+            budget.step()
         if slp.is_terminal(node):
             ch = slp.char(node)
             atom = det.atoms.classify(ch)
@@ -217,15 +247,19 @@ class SLPSpannerEvaluator:
         cont_left = (self._boolmat(t_r) @ cont_f32) > 0.5
         if bool((t_em_l[state] & cont_left).any()):
             cont_right_em = (self._boolmat(t_em_r) @ cont_f32) > 0.5
-            for p, emissions in self._runs(slp, left, state, offset, cont_left):
+            for p, emissions in self._runs(
+                slp, left, state, offset, cont_left, budget
+            ):
                 pure_exit = int(sigma_r[p])
                 if pure_exit != _DEAD and cont[pure_exit]:
                     yield pure_exit, emissions
                 if cont_right_em[p]:
                     for q_out, more in self._runs(
-                        slp, right, p, offset + left_length, cont
+                        slp, right, p, offset + left_length, cont, budget
                     ):
                         yield q_out, emissions + more
         pure_mid = int(sigma_l[state])
         if pure_mid != _DEAD and bool((t_em_r[pure_mid] & cont).any()):
-            yield from self._runs(slp, right, pure_mid, offset + left_length, cont)
+            yield from self._runs(
+                slp, right, pure_mid, offset + left_length, cont, budget
+            )

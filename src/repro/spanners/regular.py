@@ -58,12 +58,16 @@ class RegularSpanner(Spanner):
             self._enumerator = Enumerator(self.automaton)
         return self._enumerator
 
-    def evaluate(self, doc: str) -> SpanRelation:
-        return SpanRelation(self.variables, self.enumerate(doc))
+    def evaluate(self, doc: str, budget=None) -> SpanRelation:
+        return SpanRelation(self.variables, self.enumerate(doc, budget))
 
-    def enumerate(self, doc: str) -> Iterator[SpanTuple]:
-        """Stream ``S(doc)`` with linear preprocessing and constant delay."""
-        yield from self.enumerator().enumerate(doc)
+    def enumerate(self, doc: str, budget=None) -> Iterator[SpanTuple]:
+        """Stream ``S(doc)`` with linear preprocessing and constant delay.
+
+        An optional :class:`~repro.util.Budget` bounds wall-clock time,
+        steps, and index size (:class:`~repro.errors.EvaluationLimitError`
+        subclasses instead of hanging)."""
+        yield from self.enumerator().enumerate(doc, budget)
 
     def model_check(self, doc: str, tup: SpanTuple) -> bool:
         return self.automaton.model_check(doc, tup)

@@ -1,5 +1,13 @@
-"""Utilities: synthetic workload generators."""
+"""Utilities: synthetic workloads, resource budgets, fault injection."""
 
+from repro.util.budget import Budget, Deadline
+from repro.util.faults import (
+    fail_at_allocation,
+    fail_at_call,
+    fail_in_preprocess,
+    truncate_file,
+    truncate_journal_write,
+)
 from repro.util.workloads import (
     gene_sequence,
     log_document,
@@ -9,9 +17,16 @@ from repro.util.workloads import (
 )
 
 __all__ = [
+    "Budget",
+    "Deadline",
+    "fail_at_allocation",
+    "fail_at_call",
+    "fail_in_preprocess",
     "gene_sequence",
     "log_document",
     "random_text",
     "repetitive_text",
     "sparse_matches",
+    "truncate_file",
+    "truncate_journal_write",
 ]

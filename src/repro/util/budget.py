@@ -1,0 +1,153 @@
+"""Resource governance for evaluation: deadlines, step budgets, byte guards.
+
+SLP-compressed documents can be exponentially longer than their compressed
+representation, and several spanner problems are intrinsically expensive
+(core-spanner satisfiability is PSpace-complete).  A :class:`Budget` turns
+"this call may hang or OOM" into "this call raises a clean, typed error":
+
+>>> from repro.util import Budget
+>>> budget = Budget(deadline=2.0, max_steps=1_000_000, max_bytes=10**8)
+
+and is threaded through ``RegularSpanner.evaluate/enumerate``, the
+constant-delay :class:`~repro.enumeration.constant_delay.Enumerator`,
+:class:`~repro.slp.spanner_eval.SLPSpannerEvaluator`, CDE application,
+``SpannerDB.query``/``evaluate``/``document_text``, and the decision
+procedures.  Exhaustion raises
+
+* :class:`~repro.errors.DeadlineExceededError` — wall-clock deadline hit;
+* :class:`~repro.errors.EvaluationLimitError` — step allowance exhausted;
+* :class:`~repro.errors.MemoryLimitError` — an operation would materialise
+  more than ``max_bytes`` (the decompression-bomb guard).
+
+Budgets are deliberately cheap: :meth:`Budget.step` is an integer
+decrement, and the (comparatively costly) clock read happens only every
+``check_interval`` steps, so governed evaluation stays within a few percent
+of ungoverned evaluation (``benchmarks/bench_faults.py`` measures this).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import (
+    DeadlineExceededError,
+    EvaluationLimitError,
+    MemoryLimitError,
+)
+
+__all__ = ["Budget", "Deadline"]
+
+
+class Deadline:
+    """A wall-clock deadline on the monotonic clock.
+
+    Construct with :meth:`after` (relative seconds) or directly from a
+    ``time.monotonic()`` instant.  Shared between budgets if desired.
+    """
+
+    __slots__ = ("at",)
+
+    def __init__(self, at: float) -> None:
+        self.at = float(at)
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        """The deadline *seconds* from now."""
+        return cls(time.monotonic() + float(seconds))
+
+    def remaining(self) -> float:
+        """Seconds left (negative once expired)."""
+        return self.at - time.monotonic()
+
+    def expired(self) -> bool:
+        return time.monotonic() >= self.at
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Deadline(remaining={self.remaining():.3f}s)"
+
+
+class Budget:
+    """A combined wall-clock / step / byte allowance for one unit of work.
+
+    Parameters
+    ----------
+    deadline:
+        Either a number of seconds from now or a :class:`Deadline`.
+        Checked every ``check_interval`` steps;
+        :class:`~repro.errors.DeadlineExceededError` on expiry.
+    max_steps:
+        Total abstract work units (matrix products, enumeration nodes,
+        candidate documents, …) before
+        :class:`~repro.errors.EvaluationLimitError`.
+    max_bytes:
+        High-water guard against materialising huge strings or indexes
+        (:class:`~repro.errors.MemoryLimitError`).  This is a per-operation
+        guard, not a cumulative allocator account.
+    check_interval:
+        How many steps between clock reads; the amortisation knob.
+
+    A budget is *stateful*: ``steps`` accumulates across every call it is
+    passed to, so one budget can govern a whole request end-to-end.
+    """
+
+    __slots__ = ("deadline", "max_steps", "max_bytes", "steps", "check_interval", "_until_check")
+
+    def __init__(
+        self,
+        deadline: float | Deadline | None = None,
+        max_steps: int | None = None,
+        max_bytes: int | None = None,
+        check_interval: int = 64,
+    ) -> None:
+        if deadline is not None and not isinstance(deadline, Deadline):
+            deadline = Deadline.after(deadline)
+        self.deadline = deadline
+        self.max_steps = max_steps
+        self.max_bytes = max_bytes
+        self.steps = 0
+        self.check_interval = max(1, int(check_interval))
+        self._until_check = 0  # check the clock on the very first step
+
+    # ------------------------------------------------------------------
+    def step(self, cost: int = 1) -> None:
+        """Charge *cost* abstract work units; raise when exhausted."""
+        self.steps += cost
+        if self.max_steps is not None and self.steps > self.max_steps:
+            raise EvaluationLimitError(
+                f"evaluation exceeded its step budget of {self.max_steps}"
+            )
+        self._until_check -= cost
+        if self._until_check <= 0:
+            self._until_check = self.check_interval
+            self.check_deadline()
+
+    def check_deadline(self) -> None:
+        """Unconditionally check the wall-clock deadline (if any)."""
+        if self.deadline is not None and self.deadline.expired():
+            raise DeadlineExceededError(
+                f"evaluation deadline exceeded after {self.steps} steps"
+            )
+
+    def charge_bytes(self, count: int, what: str = "operation") -> None:
+        """Guard one materialisation of *count* bytes against ``max_bytes``."""
+        if self.max_bytes is not None and count > self.max_bytes:
+            raise MemoryLimitError(
+                f"{what} would materialise {count} bytes "
+                f"(budget allows {self.max_bytes})"
+            )
+
+    def remaining_steps(self) -> int | None:
+        """Steps left, or ``None`` when unlimited."""
+        if self.max_steps is None:
+            return None
+        return max(0, self.max_steps - self.steps)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [f"steps={self.steps}"]
+        if self.max_steps is not None:
+            parts.append(f"max_steps={self.max_steps}")
+        if self.max_bytes is not None:
+            parts.append(f"max_bytes={self.max_bytes}")
+        if self.deadline is not None:
+            parts.append(f"deadline={self.deadline!r}")
+        return f"Budget({', '.join(parts)})"

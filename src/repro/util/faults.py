@@ -1,0 +1,135 @@
+"""Fault injection for robustness testing (monkeypatch-style).
+
+The fault-tolerance contract of :class:`~repro.db.SpannerDB` — mutations
+are atomic, budgets terminate cleanly, crashes lose at most the last
+non-durable record — is only worth anything if it survives failures at the
+*worst* moments.  This module provides those moments on demand:
+
+* :func:`fail_at_allocation` — raise on the N-th SLP node allocation
+  (mid-``edit``/``add_document``, after some staged nodes already exist);
+* :func:`fail_in_preprocess` — raise on the N-th spanner preprocess call
+  (mid-``register_spanner``, or mid-``add_document`` between spanners);
+* :func:`truncate_journal_write` — emit only a prefix of a journal record
+  and then die (a torn write followed by a crash);
+* :func:`truncate_file` — post-hoc torn-write simulation on any file;
+* :func:`fail_at_call` — the generic primitive behind the above.
+
+All injected errors are :class:`~repro.errors.FaultInjectedError`, a
+:class:`~repro.errors.SpanlibError`, so they travel exactly the rollback
+and recovery paths genuine failures take.  Every helper is a context
+manager that restores the patched attribute on exit, so faults never leak
+between tests.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Iterator
+
+from repro.errors import FaultInjectedError
+
+__all__ = [
+    "fail_at_call",
+    "fail_at_allocation",
+    "fail_in_preprocess",
+    "truncate_journal_write",
+    "truncate_file",
+]
+
+
+@contextlib.contextmanager
+def fail_at_call(
+    target: object,
+    attribute: str,
+    at: int = 1,
+    error: Exception | None = None,
+) -> Iterator[dict]:
+    """Patch ``target.attribute`` so its *at*-th invocation raises.
+
+    Calls before the *at*-th pass through to the original; calls after it
+    pass through again (the fault fires exactly once).  Yields a mutable
+    ``{"calls": int}`` dict so tests can assert how far execution got.
+    """
+    if at < 1:
+        raise ValueError(f"fault trigger must be >= 1, got {at}")
+    original = getattr(target, attribute)
+    state = {"calls": 0}
+
+    def wrapper(*args, **kwargs):
+        state["calls"] += 1
+        if state["calls"] == at:
+            raise error if error is not None else FaultInjectedError(
+                f"injected fault in {attribute!r} (call {at})"
+            )
+        return original(*args, **kwargs)
+
+    setattr(target, attribute, wrapper)
+    try:
+        yield state
+    finally:
+        setattr(target, attribute, original)
+
+
+def fail_at_allocation(at: int = 1, error: Exception | None = None):
+    """Raise on the *at*-th SLP node allocation (``SLP._new_node``).
+
+    This is the sharpest mid-mutation failure point: ``edit`` and
+    ``add_document`` allocate O(log d) staged nodes before committing, so a
+    fault here leaves staged arena state for rollback to clean up.
+    """
+    from repro.slp.slp import SLP
+
+    return fail_at_call(SLP, "_new_node", at=at, error=error)
+
+
+def fail_in_preprocess(at: int = 1, error: Exception | None = None):
+    """Raise on the *at*-th ``SLPSpannerEvaluator.preprocess`` call.
+
+    With k spanners registered, ``add_document`` preprocesses the new node
+    k times; ``register_spanner`` preprocesses once per stored document —
+    so *at* selects "fail on the at-th spanner/document".
+    """
+    from repro.slp.spanner_eval import SLPSpannerEvaluator
+
+    return fail_at_call(SLPSpannerEvaluator, "preprocess", at=at, error=error)
+
+
+@contextlib.contextmanager
+def truncate_journal_write(keep_bytes: int = 0, at: int = 1) -> Iterator[dict]:
+    """Tear the *at*-th journal append after *keep_bytes* bytes, then die.
+
+    Patches ``SpannerDB._journal_write`` so the targeted append writes only
+    a prefix of its payload and raises :class:`FaultInjectedError` — the
+    on-disk effect of a crash mid-``write(2)``.  Recovery must stop replay
+    at the torn record.
+    """
+    from repro.db import SpannerDB
+
+    original = SpannerDB._journal_write
+    state = {"calls": 0}
+
+    def wrapper(self, payload: str):
+        state["calls"] += 1
+        if state["calls"] == at:
+            original(self, payload[:keep_bytes])
+            raise FaultInjectedError(
+                f"injected torn journal write (kept {keep_bytes} bytes)"
+            )
+        return original(self, payload)
+
+    SpannerDB._journal_write = wrapper
+    try:
+        yield state
+    finally:
+        SpannerDB._journal_write = original
+
+
+def truncate_file(path: str, keep_bytes: int) -> int:
+    """Truncate *path* to *keep_bytes* bytes, simulating a torn write that
+    a crash left behind.  Returns the number of bytes removed."""
+    size = os.path.getsize(path)
+    keep = max(0, min(size, keep_bytes))
+    with open(path, "rb+") as handle:
+        handle.truncate(keep)
+    return size - keep

@@ -1,0 +1,161 @@
+"""Resource governance: deadlines, step budgets, and byte guards.
+
+The acceptance test of this suite: a pathological exponential-length SLP
+workload, which ungoverned would run (nearly) forever, terminates with a
+clean :class:`~repro.errors.DeadlineExceededError` under a budget.
+"""
+
+import pytest
+
+from repro import Budget, Deadline, RegularSpanner, SpannerDB
+from repro.errors import (
+    DeadlineExceededError,
+    EvaluationLimitError,
+    MemoryLimitError,
+)
+from repro.slp import SLP, Concat, Doc, SLPSpannerEvaluator, power_node
+
+
+class TestDeadline:
+    def test_remaining_counts_down(self):
+        deadline = Deadline.after(60.0)
+        assert 59.0 < deadline.remaining() <= 60.0
+        assert not deadline.expired()
+
+    def test_expired(self):
+        assert Deadline.after(-1.0).expired()
+
+
+class TestBudgetPrimitives:
+    def test_step_budget_raises_on_exhaustion(self):
+        budget = Budget(max_steps=10)
+        for _ in range(10):
+            budget.step()
+        with pytest.raises(EvaluationLimitError):
+            budget.step()
+
+    def test_deadline_exceeded_is_an_evaluation_limit_error(self):
+        budget = Budget(deadline=Deadline(at=0.0))
+        with pytest.raises(DeadlineExceededError):
+            budget.check_deadline()
+        assert issubclass(DeadlineExceededError, EvaluationLimitError)
+
+    def test_deadline_checked_amortised_inside_step(self):
+        budget = Budget(deadline=Deadline(at=0.0), check_interval=8)
+        with pytest.raises(DeadlineExceededError):
+            for _ in range(9):
+                budget.step()
+
+    def test_charge_bytes(self):
+        budget = Budget(max_bytes=100)
+        budget.charge_bytes(100)  # at the limit: fine
+        with pytest.raises(MemoryLimitError):
+            budget.charge_bytes(101, what="test blob")
+
+    def test_remaining_steps(self):
+        budget = Budget(max_steps=5)
+        budget.step(3)
+        assert budget.remaining_steps() == 2
+        assert Budget().remaining_steps() is None
+
+    def test_budget_accumulates_across_calls(self):
+        budget = Budget(max_steps=30)
+        spanner = RegularSpanner.from_regex("(a|b)*!x{b}(a|b)*")
+        spanner.evaluate("ab", budget)
+        first = budget.steps
+        spanner.evaluate("ab", budget)
+        assert budget.steps > first
+
+
+class TestGovernedEvaluation:
+    def test_enumerate_respects_step_budget(self):
+        spanner = RegularSpanner.from_regex("(a|b)*!x{b}(a|b)*")
+        doc = "ab" * 200
+        with pytest.raises(EvaluationLimitError):
+            list(spanner.enumerate(doc, Budget(max_steps=50)))
+
+    def test_evaluate_unbudgeted_still_works(self):
+        spanner = RegularSpanner.from_regex("(a|b)*!x{b}(a|b)*")
+        assert len(spanner.evaluate("abb")) == 2
+
+    def test_product_index_byte_guard(self):
+        spanner = RegularSpanner.from_regex("(a|b)*!x{b}(a|b)*")
+        with pytest.raises(MemoryLimitError):
+            spanner.evaluate("ab" * 500, Budget(max_bytes=64))
+
+    def test_core_satisfiability_search_is_governed(self):
+        from repro.decision import is_satisfiable
+        from repro.spanners import prim
+
+        spanner = prim("!x1{a+}!x2{b+}").select_equal({"x1", "x2"})
+        with pytest.raises(EvaluationLimitError):
+            is_satisfiable(spanner, max_length=10, budget=Budget(max_steps=100))
+
+
+class TestExponentialWorkloads:
+    """The raison d'être: SLP documents of length 2^k are easy to *store*
+    and pathological to *enumerate over* — budgets make that safe."""
+
+    def evaluator(self):
+        return SLPSpannerEvaluator(
+            RegularSpanner.from_regex("(a|b)*!x{b}(a|b)*").automaton
+        )
+
+    def test_deadline_cuts_off_exponential_enumeration(self):
+        slp = SLP()
+        node = power_node(slp, "ab", 40)  # |D| = 2^40 · 2 characters
+        evaluator = self.evaluator()
+        budget = Budget(deadline=0.2)
+        with pytest.raises(DeadlineExceededError):
+            for _ in evaluator.enumerate(slp, node, budget):
+                pass
+
+    def test_step_budget_cuts_off_exponential_enumeration(self):
+        slp = SLP()
+        node = power_node(slp, "ab", 30)
+        evaluator = self.evaluator()
+        with pytest.raises(EvaluationLimitError):
+            for _ in evaluator.enumerate(slp, node, Budget(max_steps=10_000)):
+                pass
+
+    def test_spannerdb_doubling_edits_governed(self):
+        """40 doubling edits make a 2^40-character document inside SpannerDB;
+        a budgeted query dies cleanly, the store stays intact."""
+        db = SpannerDB()
+        db.add_document("d0", "ab")
+        for index in range(40):
+            db.edit(f"d{index + 1}", Concat(Doc(f"d{index}"), Doc(f"d{index}")))
+        db.register_spanner("m", "(a|b)*!x{b}(a|b)*")
+        assert db.document_length("d40") == 2 ** 41
+
+        with pytest.raises(DeadlineExceededError):
+            for _ in db.query("m", "d40", Budget(deadline=0.2)):
+                pass
+        # the store survived: small documents still answer instantly
+        assert len(list(db.query("m", "d0"))) == 1
+
+    def test_decompression_bomb_guard_on_document_text(self):
+        db = SpannerDB()
+        db.add_document("d0", "ab")
+        for index in range(40):
+            db.edit(f"d{index + 1}", Concat(Doc(f"d{index}"), Doc(f"d{index}")))
+        with pytest.raises(MemoryLimitError):
+            db.document_text("d40", budget=Budget(max_bytes=10**6))
+        from repro.errors import SLPError
+
+        with pytest.raises(SLPError):  # the plain limit guard still applies
+            db.document_text("d40")
+
+    def test_cde_expansion_bomb_guard(self):
+        """A CDE expression that doubles 50 times is rejected mid-expansion
+        by the byte guard, and rolled back."""
+        db = SpannerDB()
+        db.add_document("d", "ab")
+        expr = Doc("d")
+        for _ in range(50):
+            expr = Concat(expr, expr)
+        mark = db.slp.mark()
+        with pytest.raises(MemoryLimitError):
+            db.edit("bomb", expr, Budget(max_bytes=10**6))
+        assert db.slp.mark() == mark
+        assert db.documents() == ["d"]

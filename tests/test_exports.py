@@ -64,6 +64,32 @@ class TestToCsv:
         assert '"a,a"' in text
 
 
+class TestErrorExports:
+    """Every public error type must be importable from the top level, so
+    callers can catch precisely without reaching into ``repro.errors``."""
+
+    def test_all_spanlib_errors_are_exported_from_repro(self):
+        import repro
+        from repro import errors
+
+        for name in errors.__all__:
+            assert name in repro.__all__, f"{name} missing from repro.__all__"
+            assert getattr(repro, name) is getattr(errors, name)
+
+    def test_error_hierarchy_roots_at_spanlib_error(self):
+        from repro import errors
+
+        for name in errors.__all__:
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.SpanlibError)
+
+    def test_budget_types_are_exported(self):
+        import repro
+
+        assert repro.Budget is not None
+        assert repro.Deadline is not None
+
+
 class TestCliFormats:
     def test_json_format(self, capsys):
         assert main(["eval", "!x{ab}", "ab", "--format", "json"]) == 0

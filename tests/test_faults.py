@@ -1,0 +1,201 @@
+"""The fault-injection suite (docs/RELIABILITY.md's acceptance tests).
+
+Three properties are asserted after every injected failure:
+
+(a) the failure surfaces as a :class:`~repro.errors.SpanlibError`
+    subclass — never a bare internal exception;
+(b) invariants hold — every registered spanner still answers correctly
+    on every committed document;
+(c) after a simulated crash, :meth:`SpannerDB.open` recovers exactly the
+    committed state.
+"""
+
+import pytest
+
+from repro import SpannerDB
+from repro.errors import FaultInjectedError, SpanlibError
+from repro.slp import Concat, Delete, Doc
+from repro.util import (
+    fail_at_allocation,
+    fail_at_call,
+    fail_in_preprocess,
+    truncate_file,
+    truncate_journal_write,
+)
+
+PATTERN = "(a|b)*!x{b}(a|b)*"
+
+
+def store():
+    db = SpannerDB()
+    db.add_document("d1", "ababbab")
+    db.register_spanner("m", PATTERN)
+    return db
+
+
+def assert_invariants(db, expected_docs):
+    """Property (b): committed documents answer exactly as an uncompressed
+    reference evaluation says they should."""
+    from repro import RegularSpanner
+
+    assert db.documents() == sorted(expected_docs)
+    reference = RegularSpanner.from_regex(PATTERN)
+    for name in expected_docs:
+        text = db.document_text(name)
+        got = sorted(map(str, db.query("m", name)))
+        want = sorted(map(str, reference.enumerate(text)))
+        assert got == want, f"spanner answers drifted on {name!r}"
+
+
+class TestAllocationFaults:
+    def test_fault_surfaces_as_spanlib_error(self):
+        db = store()
+        with fail_at_allocation(at=3):
+            with pytest.raises(SpanlibError):
+                db.add_document("d2", "a fresh document with many new nodes")
+
+    @pytest.mark.parametrize("at", [1, 2, 5, 9])
+    def test_add_document_rolls_back_at_every_depth(self, at):
+        db = store()
+        mark = db.slp.mark()
+        with fail_at_allocation(at=at):
+            with pytest.raises(FaultInjectedError):
+                db.add_document("d2", "xyzxyzxyzw")
+        assert db.slp.mark() == mark
+        assert_invariants(db, ["d1"])
+
+    @pytest.mark.parametrize("at", [1, 2, 4])
+    def test_edit_rolls_back_at_every_depth(self, at):
+        db = store()
+        mark = db.slp.mark()
+        with fail_at_allocation(at=at):
+            with pytest.raises(FaultInjectedError):
+                db.edit("d2", Concat(Doc("d1"), Delete(Doc("d1"), 2, 5)))
+        assert db.slp.mark() == mark
+        assert_invariants(db, ["d1"])
+
+    def test_store_usable_after_fault(self):
+        db = store()
+        with fail_at_allocation(at=2):
+            with pytest.raises(FaultInjectedError):
+                db.add_document("d2", "xyzw")
+        db.add_document("d2", "xyzw")  # same mutation, no fault: succeeds
+        assert_invariants(db, ["d1", "d2"])
+
+
+class TestPreprocessFaults:
+    def test_add_document_with_failing_spanner_update(self):
+        """ISSUE satellite (a): the partial-failure window where the document
+        is in the catalog but a spanner's matrices are missing."""
+        db = store()
+        db.register_spanner("m2", "!y{a}(a|b)*")
+        with fail_in_preprocess(at=2):  # first spanner updates, second dies
+            with pytest.raises(FaultInjectedError):
+                db.add_document("d2", "abab")
+        assert_invariants(db, ["d1"])
+        # both spanners still answer on committed docs
+        assert list(db.query("m2", "d1"))
+
+    def test_register_spanner_rollback_mid_corpus(self):
+        """ISSUE satellite (b): preprocess fails on the 3rd of 5 documents."""
+        db = SpannerDB()
+        for index in range(5):
+            db.add_document(f"doc{index}", "ab" * (index + 1))
+        with fail_in_preprocess(at=3):
+            with pytest.raises(FaultInjectedError):
+                db.register_spanner("m", PATTERN)
+        assert db.spanners() == []
+        # registration is retryable and then fully functional
+        db.register_spanner("m", PATTERN)
+        assert_invariants(db, [f"doc{index}" for index in range(5)])
+
+    def test_no_orphan_matrices_after_failed_registration(self):
+        db = SpannerDB()
+        for index in range(3):
+            db.add_document(f"doc{index}", "abba" * (index + 1))
+        with fail_in_preprocess(at=2):
+            with pytest.raises(FaultInjectedError):
+                db.register_spanner("m", PATTERN)
+        assert db.stats()["cached_matrices"] == {}
+
+
+class TestCrashRecovery:
+    """Property (c): open() after a crash recovers committed state."""
+
+    def make_store(self, tmp_path):
+        path = str(tmp_path / "store.slpdb")
+        db = SpannerDB()
+        db.add_document("base", "ababbab")
+        db.save(path)
+        return db, path
+
+    def reopen(self, path):
+        db = SpannerDB.open(path)
+        db.register_spanner("m", PATTERN)
+        return db
+
+    def test_torn_journal_write_loses_only_that_record(self, tmp_path):
+        db, path = self.make_store(tmp_path)
+        db.add_document("committed", "aabb")  # durable
+        with truncate_journal_write(keep_bytes=5):
+            with pytest.raises(FaultInjectedError):
+                db.add_document("torn", "bbbb")  # "crash" mid-append
+        recovered = self.reopen(path)
+        assert_invariants(recovered, ["base", "committed"])
+
+    def test_fully_torn_record_recovers_earlier_commits(self, tmp_path):
+        db, path = self.make_store(tmp_path)
+        db.add_document("first", "aa")
+        db.add_document("second", "bb")
+        with truncate_journal_write(keep_bytes=0):
+            with pytest.raises(FaultInjectedError):
+                db.edit("third", Doc("first"))
+        recovered = self.reopen(path)
+        assert_invariants(recovered, ["base", "first", "second"])
+
+    def test_torn_snapshot_falls_back_to_previous(self, tmp_path):
+        db, path = self.make_store(tmp_path)
+        db.add_document("extra", "abab")
+        db.save(path)  # good snapshot rotated to .bak on the next save
+        db.add_document("newer", "bb")
+        db.save(path)
+        truncate_file(path, keep_bytes=30)  # crash tore the latest snapshot
+        recovered = self.reopen(path)
+        # the .bak snapshot has base+extra; "newer" was only in the torn one
+        assert_invariants(recovered, ["base", "extra"])
+
+    def test_recovery_replays_edits_not_just_adds(self, tmp_path):
+        db, path = self.make_store(tmp_path)
+        db.edit("head", Delete(Doc("base"), 4, 7))
+        db.add_document("tail", "zz")
+        recovered = self.reopen(path)
+        assert recovered.document_text("head") == db.document_text("head")
+        assert_invariants(recovered, ["base", "head", "tail"])
+
+    def test_crash_between_snapshot_and_journal_reset(self, tmp_path):
+        """save() replaces the snapshot, then truncates the journal; a crash
+        between the two leaves already-applied records behind.  Replay must
+        be idempotent."""
+        db, path = self.make_store(tmp_path)
+        db.add_document("doc", "abab")
+        with fail_at_call(SpannerDB, "_reset_journal"):
+            with pytest.raises(FaultInjectedError):
+                db.save(path)  # snapshot written; journal NOT truncated
+        recovered = self.reopen(path)
+        assert_invariants(recovered, ["base", "doc"])
+
+    def test_open_on_missing_path_is_a_fresh_attached_store(self, tmp_path):
+        path = str(tmp_path / "new.slpdb")
+        db = SpannerDB.open(path)
+        assert db.documents() == []
+        db.add_document("d", "abc")  # journaled even before the first save
+        recovered = SpannerDB.open(path)
+        assert recovered.documents() == ["d"]
+
+    def test_recovery_checkpoint_truncates_the_journal(self, tmp_path):
+        db, path = self.make_store(tmp_path)
+        db.add_document("x", "aa")
+        SpannerDB.open(path)  # recovery replays "x" and checkpoints
+        with open(path + ".journal", encoding="utf-8") as handle:
+            assert len(handle.read().splitlines()) == 1  # header only
+        assert SpannerDB.open(path).documents() == ["base", "x"]

@@ -1,0 +1,164 @@
+"""Checksummed snapshots, the edit journal, and SpannerDB.save/open."""
+
+import io
+import os
+
+import pytest
+
+from repro import SpannerDB
+from repro.errors import PersistenceError, SLPError
+from repro.slp import (
+    Delete,
+    Doc,
+    DocumentDatabase,
+    dumps_database,
+    dumps_snapshot,
+    loads_database,
+    read_journal,
+)
+from repro.slp.serialize import (
+    JOURNAL_MAGIC,
+    decode_journal_line,
+    encode_journal_record,
+)
+
+
+def sample_db():
+    return DocumentDatabase.from_texts({"d1": "ababbab", "d2": "bb aa\nz"})
+
+
+class TestSnapshotFormat:
+    def test_snapshot_round_trips(self):
+        blob = dumps_snapshot(sample_db())
+        loaded = loads_database(blob)
+        assert loaded.document("d1") == "ababbab"
+        assert loaded.document("d2") == "bb aa\nz"
+
+    def test_snapshot_carries_checksum_trailer(self):
+        blob = dumps_snapshot(sample_db())
+        assert blob.startswith("SLPDB 2\n")
+        assert blob.splitlines()[-1].startswith("C ")
+
+    def test_v1_format_still_loads(self):
+        blob = dumps_database(sample_db())
+        assert blob.startswith("SLPDB 1\n")
+        assert loads_database(blob).document("d1") == "ababbab"
+
+    def test_torn_snapshot_detected(self):
+        blob = dumps_snapshot(sample_db())
+        with pytest.raises(PersistenceError):
+            loads_database(blob[: len(blob) // 2])
+
+    def test_bit_flip_detected(self):
+        blob = dumps_snapshot(sample_db())
+        index = len(blob) // 2
+        flipped = blob[:index] + ("X" if blob[index] != "X" else "Y") + blob[index + 1:]
+        with pytest.raises((PersistenceError, SLPError)):
+            loads_database(flipped)
+
+    def test_missing_trailer_detected(self):
+        blob = dumps_snapshot(sample_db())
+        body = "\n".join(blob.splitlines()[:-1]) + "\n"  # drop the C line
+        with pytest.raises(PersistenceError):
+            loads_database(body)
+
+
+class TestJournalFormat:
+    def test_record_round_trips(self):
+        fields = ["A", "my doc", "text with\nnewline and \\ backslash"]
+        assert decode_journal_line(encode_journal_record(fields)) == fields
+
+    def test_corrupt_line_returns_none(self):
+        line = encode_journal_record(["A", "d", "text"])
+        assert decode_journal_line(line[:-1]) is None  # torn tail
+        assert decode_journal_line("deadbeef not the payload") is None
+        assert decode_journal_line("") is None
+
+    def test_read_journal_stops_at_torn_record(self):
+        good = encode_journal_record(["A", "d1", "aa"])
+        torn = encode_journal_record(["A", "d2", "bb"])[:-3]
+        stream = io.StringIO(f"{JOURNAL_MAGIC}\n{good}\n{torn}\n")
+        records, clean = read_journal(stream)
+        assert records == [["A", "d1", "aa"]]
+        assert clean is False
+
+    def test_read_journal_clean(self):
+        good = encode_journal_record(["E", "d", "doc(x)"])
+        records, clean = read_journal(io.StringIO(f"{JOURNAL_MAGIC}\n{good}\n"))
+        assert records == [["E", "d", "doc(x)"]]
+        assert clean is True
+
+    def test_torn_header_is_an_empty_journal(self):
+        records, clean = read_journal(io.StringIO("SLPJR"))
+        assert records == [] and clean is False
+
+
+class TestSaveOpen:
+    def test_save_open_round_trip(self, tmp_path):
+        path = str(tmp_path / "s.slpdb")
+        db = SpannerDB()
+        db.add_document("d", "ababbab")
+        db.save(path)
+        db.edit("e", Delete(Doc("d"), 1, 3))
+        reopened = SpannerDB.open(path)
+        assert reopened.documents() == ["d", "e"]
+        assert reopened.document_text("e") == "bbab"
+
+    def test_save_is_atomic_keeps_bak(self, tmp_path):
+        path = str(tmp_path / "s.slpdb")
+        db = SpannerDB()
+        db.add_document("d", "aa")
+        db.save(path)
+        db.add_document("d2", "bb")
+        db.save(path)
+        assert os.path.exists(path + ".bak")
+        assert SpannerDB.load(path + ".bak").documents() == ["d"]
+
+    def test_open_missing_and_corrupt_bak_raises(self, tmp_path):
+        path = str(tmp_path / "s.slpdb")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("garbage")
+        with open(path + ".bak", "w", encoding="utf-8") as handle:
+            handle.write("more garbage")
+        with pytest.raises(PersistenceError):
+            SpannerDB.open(path)
+
+    def test_legacy_load_still_works(self, tmp_path):
+        path = str(tmp_path / "s.slpdb")
+        db = SpannerDB()
+        db.add_document("d", "abc")
+        db.save(path)
+        assert SpannerDB.load(path).documents() == ["d"]
+
+    def test_journal_grows_and_resets(self, tmp_path):
+        path = str(tmp_path / "s.slpdb")
+        db = SpannerDB()
+        db.save(path)
+        db.add_document("a", "xy")
+        db.add_document("b", "zw")
+        with open(path + ".journal", encoding="utf-8") as handle:
+            assert len(handle.read().splitlines()) == 3  # header + 2 records
+        db.save(path)
+        with open(path + ".journal", encoding="utf-8") as handle:
+            assert handle.read() == JOURNAL_MAGIC + "\n"
+
+    def test_transaction_batches_journal_records(self, tmp_path):
+        path = str(tmp_path / "s.slpdb")
+        db = SpannerDB()
+        db.save(path)
+        with db.transaction():
+            db.add_document("a", "xy")
+            db.add_document("b", "zw")
+        assert SpannerDB.open(path).documents() == ["a", "b"]
+
+    def test_rolled_back_transaction_writes_no_journal_records(self, tmp_path):
+        path = str(tmp_path / "s.slpdb")
+        db = SpannerDB()
+        db.save(path)
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.add_document("a", "xy")
+                raise RuntimeError
+        with open(path + ".journal", encoding="utf-8") as handle:
+            assert handle.read() == JOURNAL_MAGIC + "\n"
+        assert SpannerDB.open(path).documents() == []

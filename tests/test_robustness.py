@@ -98,6 +98,114 @@ class TestCdeFuzz:
         assert editor.db.slp.derive(node) == eval_cde(expr, {"d": "abcdefgh"})
 
 
+class TestCdeParserFuzz:
+    """The textual CDE format (used by the edit journal) under attack."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.text(max_size=40))
+    def test_parse_cde_raises_only_spanlib_errors(self, blob):
+        from repro.slp import parse_cde
+
+        try:
+            parse_cde(blob)
+        except SpanlibError:
+            pass  # CDEError is the contract
+
+    @settings(max_examples=120, deadline=None)
+    @given(st.text(alphabet="docncatexrilpy(),0123456789\\ ", max_size=40))
+    def test_cde_keyword_soup(self, blob):
+        from repro.slp import parse_cde
+
+        try:
+            parse_cde(blob)
+        except SpanlibError:
+            pass
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_formatted_cde_round_trips_and_mutations_fail_cleanly(self, data):
+        from repro.slp import Copy, Delete, Doc, Extract, format_cde, parse_cde
+
+        expr = data.draw(
+            st.sampled_from(
+                [
+                    Doc("a b\\c"),
+                    Delete(Doc("d"), 1, 3),
+                    Extract(Doc("d"), 2, 2),
+                    Copy(Doc("x,y"), 1, 2, 3),
+                ]
+            )
+        )
+        text = format_cde(expr)
+        assert format_cde(parse_cde(text)) == text
+        index = data.draw(st.integers(0, max(0, len(text) - 1)))
+        mutation = data.draw(st.characters(blacklist_categories=("Cs",)))
+        mutated = text[:index] + mutation + text[index + 1:]
+        try:
+            parse_cde(mutated)
+        except SpanlibError:
+            pass
+
+    def test_deeply_nested_cde_rejected_not_recursion_error(self):
+        from repro.slp import parse_cde
+
+        blob = "delete(" * 2000 + "doc(d),1,2" + ",1,2)" * 2000
+        try:
+            parse_cde(blob)
+        except SpanlibError:
+            pass
+
+
+class TestJournalFuzz:
+    """The journal loader must never raise on garbage and never return a
+    record that was not written — corruption means replay stops."""
+
+    @settings(max_examples=150, deadline=None)
+    @given(st.text(max_size=200))
+    def test_read_journal_never_raises(self, blob):
+        import io
+
+        from repro.slp import read_journal
+
+        records, clean = read_journal(io.StringIO(blob))
+        assert isinstance(records, list)
+        assert isinstance(clean, bool)
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.data())
+    def test_bit_flips_never_forge_records(self, data):
+        """Flip one character of a valid journal: every record returned must
+        be one of the records actually written (prefix property)."""
+        import io
+
+        from repro.slp.serialize import JOURNAL_MAGIC, encode_journal_record
+        from repro.slp import read_journal
+
+        written = [["A", "d1", "aaaa"], ["E", "d2", "doc(d1)"], ["A", "d3", "zz"]]
+        text = JOURNAL_MAGIC + "\n" + "".join(
+            encode_journal_record(r) + "\n" for r in written
+        )
+        index = data.draw(st.integers(0, len(text) - 1))
+        mutation = data.draw(st.characters(blacklist_categories=("Cs",)))
+        mutated = text[:index] + mutation + text[index + 1:]
+        records, clean = read_journal(io.StringIO(mutated))
+        for record in records:
+            assert record in written
+        if mutated != text:
+            assert records == written[: len(records)] or not clean
+
+    @pytest.mark.slow_fuzz
+    @settings(max_examples=2000, deadline=None)
+    @given(st.text(max_size=400))
+    def test_deep_snapshot_fuzz(self, blob):
+        """Extended-depth fuzz of the snapshot loader (excluded from the
+        default run; enable with ``pytest -m slow_fuzz``)."""
+        try:
+            loads_database(blob)
+        except SpanlibError:
+            pass
+
+
 class TestSpanFuzz:
     @settings(max_examples=100, deadline=None)
     @given(st.integers(-5, 15), st.integers(-5, 15), st.text(alphabet="ab", max_size=8))
