@@ -122,7 +122,7 @@ def demo_crash_recovery() -> None:
         recovered.add_document("inflight", "half written")
         journal = path + ".journal"
         truncate_file(journal, keep_bytes=os.path.getsize(journal) - 5)
-        recovered = SpannerDB.open(path)  # replay stops at the torn record
+        recovered = SpannerDB.open(path)  # the torn batch is dropped whole
         print("after a torn journal tail:", recovered.documents())
 
 

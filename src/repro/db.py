@@ -28,9 +28,10 @@ accordingly (see ``docs/RELIABILITY.md``):
   :class:`~repro.util.Budget` (wall-clock deadline, step budget,
   decompression-bomb guard);
 * **crash-safe persistence** — :meth:`save` writes an atomic, checksummed
-  snapshot; committed mutations are appended to an fsync'd redo journal;
-  :meth:`open` recovers the last committed state after a crash, tolerating
-  torn snapshot and journal writes.
+  snapshot; each committed mutation batch is appended to an fsync'd redo
+  journal sealed by a commit marker; :meth:`open` recovers the last
+  committed state after a crash, tolerating torn snapshot and journal
+  writes, and replaying transactions all-or-nothing.
 """
 
 from __future__ import annotations
@@ -59,6 +60,26 @@ from repro.slp.spanner_eval import SLPSpannerEvaluator
 __all__ = ["SpannerDB"]
 
 
+def _fsync_dir(path: str) -> None:
+    """fsync the directory containing *path*.
+
+    On POSIX a rename or file creation is durable only once the containing
+    directory's metadata reaches disk; without this a committed
+    :meth:`SpannerDB.save` could vanish entirely on power loss.  Platforms
+    whose directories cannot be opened (e.g. Windows) skip silently."""
+    directory = os.path.dirname(os.path.abspath(path)) or os.sep
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 @dataclass
 class _Checkpoint:
     """Everything needed to undo a (possibly nested) transaction scope."""
@@ -81,6 +102,10 @@ class SpannerDB:
         self._txn: list[_Checkpoint] = []
         #: encoded journal records awaiting the outermost commit
         self._pending: list[str] = []
+        #: set when a journal append failed partway: the torn tail would
+        #: hide any later append from recovery, so commits are refused
+        #: until :meth:`save` rewrites the journal
+        self._journal_poisoned = False
 
     # ------------------------------------------------------------------
     # transactions
@@ -98,9 +123,11 @@ class SpannerDB:
         On any exception the arena, the per-spanner matrices, the document
         catalog, and the pending journal records are restored to the state
         at entry, and the exception propagates.  On success, the batched
-        journal records become durable in one append.  Transactions nest:
-        inner scopes roll back to their own entry point; records only reach
-        the journal when the outermost scope commits.
+        journal records plus a commit marker sealing them become durable in
+        one append — recovery replays the batch all-or-nothing, and if the
+        append itself fails the whole batch rolls back in memory too.
+        Transactions nest: inner scopes roll back to their own entry point;
+        records only reach the journal when the outermost scope commits.
 
         Every single mutation runs in its own (auto-)transaction, so a bare
         ``db.edit(...)`` is atomic too.
@@ -127,13 +154,27 @@ class SpannerDB:
     def _commit(self) -> None:
         if not self._txn:
             raise TransactionError("commit without a matching begin")
-        self._txn.pop()
-        if self._txn:
+        if len(self._txn) > 1:
+            self._txn.pop()
             return  # inner scope: defer durability to the outermost commit
+        # Outermost scope: make the batch durable *before* discarding the
+        # checkpoint, so a failed append (ENOSPC, I/O error, injected
+        # fault) rolls the mutation back instead of acknowledging a commit
+        # the journal never recorded.  The batch is sealed with a commit
+        # marker written in the same append: recovery applies it
+        # all-or-nothing, never a torn prefix.
         if self._pending:
-            records, self._pending = self._pending, []
-            if self._journal_path is not None:
-                self._journal_write("".join(r + "\n" for r in records))
+            from repro.slp.serialize import encode_commit_marker
+
+            lines = self._pending + [encode_commit_marker(len(self._pending))]
+            try:
+                self._journal_write("".join(line + "\n" for line in lines))
+            except BaseException:
+                self._journal_poisoned = True
+                self._rollback()
+                raise
+        self._txn.pop()
+        self._pending.clear()
 
     def _rollback(self) -> None:
         if not self._txn:
@@ -162,6 +203,11 @@ class SpannerDB:
         :func:`repro.util.faults.truncate_journal_write` tears to simulate
         a crash mid-append."""
         assert self._journal_path is not None
+        if self._journal_poisoned:
+            raise PersistenceError(
+                "journal has a torn tail from an earlier failed append; "
+                "call save() to checkpoint before committing further mutations"
+            )
         with open(self._journal_path, "a", encoding="utf-8") as handle:
             handle.write(payload)
             handle.flush()
@@ -288,15 +334,26 @@ class SpannerDB:
 
         Write protocol: snapshot to ``path + ".tmp"`` and fsync; demote any
         existing snapshot to ``path + ".bak"``; rename the fresh snapshot
-        into place (atomic on POSIX); truncate the journal.  A crash at any
-        point leaves either the old or the new snapshot loadable — torn
+        into place (atomic on POSIX) and fsync the containing directory so
+        the rename survives power loss; truncate the journal.  A crash at
+        any point leaves either the old or the new snapshot loadable — torn
         writes are detected by checksum and :meth:`open` falls back to the
-        ``.bak`` copy.
+        ``.bak`` copy.  A successful save also re-arms a journal poisoned
+        by an earlier failed append.
+
+        Raises :class:`~repro.errors.TransactionError` inside an open
+        :meth:`transaction`: the snapshot would capture uncommitted staged
+        state that a later rollback could not undo on disk.
 
         Registered spanners are code, not data — re-register after load.
         """
         from repro.slp.serialize import dump_snapshot
 
+        if self._txn:
+            raise TransactionError(
+                "save() inside an open transaction would snapshot "
+                "uncommitted state; commit or roll back first"
+            )
         tmp = path + ".tmp"
         with open(tmp, "w", encoding="utf-8") as stream:
             dump_snapshot(self._db, stream)
@@ -305,8 +362,10 @@ class SpannerDB:
         if os.path.exists(path):
             os.replace(path, path + ".bak")
         os.replace(tmp, path)
+        _fsync_dir(path)
         self._journal_path = path + ".journal"
         self._reset_journal()
+        self._journal_poisoned = False
 
     def _reset_journal(self) -> None:
         from repro.slp.serialize import JOURNAL_MAGIC
@@ -316,6 +375,7 @@ class SpannerDB:
             handle.write(JOURNAL_MAGIC + "\n")
             handle.flush()
             os.fsync(handle.fileno())
+        _fsync_dir(self._journal_path)
 
     @classmethod
     def open(cls, path: str) -> "SpannerDB":
@@ -325,12 +385,14 @@ class SpannerDB:
 
         1. load the snapshot at *path*; if it is torn or corrupt
            (checksum mismatch), fall back to ``path + ".bak"``;
-        2. replay the edit journal ``path + ".journal"`` record by record,
-           stopping at the first torn record (a crash mid-append loses only
-           the record being written, never earlier commits) — or at the
-           first record that no longer applies (after a fall back to the
-           older ``.bak`` snapshot, tail records may reference documents
-           that only the torn snapshot contained: replay is best-effort);
+        2. replay the edit journal ``path + ".journal"`` batch by batch,
+           applying only batches sealed by an intact commit marker (a
+           crash mid-append loses the in-flight batch whole — never a
+           prefix of a transaction, never earlier commits) — and stopping
+           at the first record that no longer applies (after a fall back
+           to the older ``.bak`` snapshot, tail records may reference
+           documents that only the torn snapshot contained: replay is
+           best-effort);
         3. if anything was replayed or the journal was torn, checkpoint:
            write a fresh snapshot and truncate the journal.
 

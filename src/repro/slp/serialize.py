@@ -24,9 +24,13 @@ corrupt store.  :func:`load_database` accepts both versions.
 
 The edit journal (:func:`encode_journal_record` / :func:`read_journal`) is
 an append-only redo log used by :class:`~repro.db.SpannerDB`: one record
-per committed mutation, each line individually checksummed.  Recovery
-replays records until the first line that fails its checksum — a torn tail
-left by a crash mid-append loses only the record being written.
+per committed mutation, each line individually checksummed.  A commit
+appends its whole batch of records *plus* a commit marker
+(:func:`encode_commit_marker`) in a single write, and
+:func:`read_journal` returns only records from batches whose marker is
+intact — so a torn append loses the in-flight batch *whole*, never a
+prefix of it, keeping multi-mutation transactions all-or-nothing across
+crash recovery.
 """
 
 from __future__ import annotations
@@ -46,13 +50,14 @@ __all__ = [
     "dumps_snapshot",
     "JOURNAL_MAGIC",
     "encode_journal_record",
+    "encode_commit_marker",
     "decode_journal_line",
     "read_journal",
 ]
 
 _MAGIC = "SLPDB 1"
 _MAGIC_V2 = "SLPDB 2"
-JOURNAL_MAGIC = "SLPJRNL 1"
+JOURNAL_MAGIC = "SLPJRNL 2"
 
 
 def _escape(text: str) -> str:
@@ -224,6 +229,16 @@ def encode_journal_record(fields: tuple[str, ...] | list[str]) -> str:
     return f"{zlib.crc32(payload.encode('utf-8')):08x} {payload}"
 
 
+def encode_commit_marker(count: int) -> str:
+    """Encode the commit marker sealing a batch of *count* records.
+
+    A marker is an ordinary checksummed journal line with the reserved
+    record kind ``C``; written in the *same* append as its batch, its
+    presence proves the whole batch reached the disk, so recovery replays
+    the batch all-or-nothing."""
+    return encode_journal_record(("C", str(count)))
+
+
 def decode_journal_line(line: str) -> list[str] | None:
     """Decode one journal line; ``None`` if it is torn or corrupt (checksum
     mismatch, bad structure) — the caller stops replaying there."""
@@ -245,16 +260,23 @@ def decode_journal_line(line: str) -> list[str] | None:
 def read_journal(stream: TextIO) -> tuple[list[list[str]], bool]:
     """Read an edit journal: ``(records, clean)``.
 
-    Replay-safe by construction: records are returned up to the first line
-    that fails its checksum, and ``clean`` is ``False`` when such a torn
-    tail (or a bad header) was found.  A journal that does not even carry
-    the magic header is treated as entirely torn — empty, not an error —
-    because a crash can tear the very first write.
+    Only *committed* records are returned: a batch counts once the
+    ``C <n>`` commit marker sealing it (written in the same append) is
+    present, intact, and carries the right count.  Replay-safe by
+    construction: reading stops at the first line that fails its checksum,
+    and trailing records not sealed by a marker are discarded — a torn
+    append loses the in-flight batch whole, never a prefix of it, so
+    multi-mutation transactions stay all-or-nothing across recovery.
+    ``clean`` is ``False`` when a torn tail, an unsealed batch, or a bad
+    header was found.  A journal that does not even carry the magic header
+    is treated as entirely torn — empty, not an error — because a crash
+    can tear the very first write.
     """
     header = stream.readline().rstrip("\n")
     if header != JOURNAL_MAGIC:
         return [], False
-    records: list[list[str]] = []
+    committed: list[list[str]] = []
+    batch: list[list[str]] = []
     for raw in stream:
         line = raw.rstrip("\n")
         if not line:
@@ -262,6 +284,13 @@ def read_journal(stream: TextIO) -> tuple[list[list[str]], bool]:
         record = decode_journal_line(line)
         if record is None or raw[-1:] != "\n":
             # torn or corrupt: everything from here on is untrusted
-            return records, False
-        records.append(record)
-    return records, True
+            return committed, False
+        if record and record[0] == "C":
+            if len(record) != 2 or record[1] != str(len(batch)):
+                # the marker does not seal the records before it: corrupt
+                return committed, False
+            committed.extend(batch)
+            batch = []
+        else:
+            batch.append(record)
+    return committed, not batch

@@ -13,7 +13,7 @@ Three properties are asserted after every injected failure:
 import pytest
 
 from repro import SpannerDB
-from repro.errors import FaultInjectedError, SpanlibError
+from repro.errors import FaultInjectedError, PersistenceError, SpanlibError
 from repro.slp import Concat, Delete, Doc
 from repro.util import (
     fail_at_allocation,
@@ -152,6 +152,43 @@ class TestCrashRecovery:
                 db.edit("third", Doc("first"))
         recovered = self.reopen(path)
         assert_invariants(recovered, ["base", "first", "second"])
+
+    def test_torn_transaction_batch_is_all_or_nothing(self, tmp_path):
+        """A multi-mutation transaction whose journal append tears *between*
+        records must recover neither mutation, not a surviving prefix."""
+        from repro.slp.serialize import encode_journal_record
+
+        db, path = self.make_store(tmp_path)
+        # tear after the first record line: "a" is on disk whole, "b" and
+        # the commit marker never make it
+        keep = len(encode_journal_record(["A", "a", "xxxx"])) + 1
+        with truncate_journal_write(keep_bytes=keep):
+            with pytest.raises(FaultInjectedError):
+                with db.transaction():
+                    db.add_document("a", "xxxx")
+                    db.add_document("b", "yyyy")
+        assert db.documents() == ["base"]  # in-memory batch rolled back
+        recovered = self.reopen(path)
+        assert_invariants(recovered, ["base"])  # "a" not resurrected alone
+
+    def test_failed_append_rolls_back_and_poisons_the_journal(self, tmp_path):
+        """A commit whose journal append fails must not stay committed in
+        memory, and its torn tail must not silently swallow later commits
+        at the next open()."""
+        db, path = self.make_store(tmp_path)
+        with truncate_journal_write(keep_bytes=5):
+            with pytest.raises(FaultInjectedError):
+                db.add_document("lost", "aaaa")
+        assert db.documents() == ["base"]  # rolled back, not half-committed
+        # further commits are refused until a checkpoint rewrites the
+        # journal — otherwise recovery would stop at the tear and drop them
+        with pytest.raises(PersistenceError):
+            db.add_document("after", "bbbb")
+        assert db.documents() == ["base"]
+        db.save(path)  # checkpoint re-arms durability
+        db.add_document("after", "bbbb")
+        recovered = self.reopen(path)
+        assert_invariants(recovered, ["base", "after"])
 
     def test_torn_snapshot_falls_back_to_previous(self, tmp_path):
         db, path = self.make_store(tmp_path)

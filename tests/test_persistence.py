@@ -6,7 +6,7 @@ import os
 import pytest
 
 from repro import SpannerDB
-from repro.errors import PersistenceError, SLPError
+from repro.errors import PersistenceError, SLPError, TransactionError
 from repro.slp import (
     Delete,
     Doc,
@@ -19,6 +19,7 @@ from repro.slp import (
 from repro.slp.serialize import (
     JOURNAL_MAGIC,
     decode_journal_line,
+    encode_commit_marker,
     encode_journal_record,
 )
 
@@ -76,17 +77,52 @@ class TestJournalFormat:
 
     def test_read_journal_stops_at_torn_record(self):
         good = encode_journal_record(["A", "d1", "aa"])
+        seal = encode_commit_marker(1)
         torn = encode_journal_record(["A", "d2", "bb"])[:-3]
-        stream = io.StringIO(f"{JOURNAL_MAGIC}\n{good}\n{torn}\n")
+        stream = io.StringIO(f"{JOURNAL_MAGIC}\n{good}\n{seal}\n{torn}\n")
         records, clean = read_journal(stream)
         assert records == [["A", "d1", "aa"]]
         assert clean is False
 
     def test_read_journal_clean(self):
         good = encode_journal_record(["E", "d", "doc(x)"])
-        records, clean = read_journal(io.StringIO(f"{JOURNAL_MAGIC}\n{good}\n"))
+        seal = encode_commit_marker(1)
+        stream = io.StringIO(f"{JOURNAL_MAGIC}\n{good}\n{seal}\n")
+        records, clean = read_journal(stream)
         assert records == [["E", "d", "doc(x)"]]
         assert clean is True
+
+    def test_unsealed_batch_is_discarded_whole(self):
+        """A torn append can leave complete record lines without their
+        commit marker; replay must not resurrect part of a transaction."""
+        first = encode_journal_record(["A", "a", "xx"])
+        second = encode_journal_record(["A", "b", "yy"])
+        stream = io.StringIO(f"{JOURNAL_MAGIC}\n{first}\n{second}\n")
+        records, clean = read_journal(stream)
+        assert records == []
+        assert clean is False
+
+    def test_sealed_batch_then_unsealed_tail(self):
+        batch = (
+            encode_journal_record(["A", "a", "xx"])
+            + "\n"
+            + encode_journal_record(["A", "b", "yy"])
+            + "\n"
+            + encode_commit_marker(2)
+        )
+        tail = encode_journal_record(["A", "c", "zz"])
+        stream = io.StringIO(f"{JOURNAL_MAGIC}\n{batch}\n{tail}\n")
+        records, clean = read_journal(stream)
+        assert records == [["A", "a", "xx"], ["A", "b", "yy"]]
+        assert clean is False
+
+    def test_commit_marker_with_wrong_count_stops_replay(self):
+        record = encode_journal_record(["A", "a", "xx"])
+        bad_seal = encode_commit_marker(2)  # claims 2 records, only 1 present
+        stream = io.StringIO(f"{JOURNAL_MAGIC}\n{record}\n{bad_seal}\n")
+        records, clean = read_journal(stream)
+        assert records == []
+        assert clean is False
 
     def test_torn_header_is_an_empty_journal(self):
         records, clean = read_journal(io.StringIO("SLPJR"))
@@ -137,7 +173,8 @@ class TestSaveOpen:
         db.add_document("a", "xy")
         db.add_document("b", "zw")
         with open(path + ".journal", encoding="utf-8") as handle:
-            assert len(handle.read().splitlines()) == 3  # header + 2 records
+            # header + 2 × (record + commit marker)
+            assert len(handle.read().splitlines()) == 5
         db.save(path)
         with open(path + ".journal", encoding="utf-8") as handle:
             assert handle.read() == JOURNAL_MAGIC + "\n"
@@ -162,3 +199,31 @@ class TestSaveOpen:
         with open(path + ".journal", encoding="utf-8") as handle:
             assert handle.read() == JOURNAL_MAGIC + "\n"
         assert SpannerDB.open(path).documents() == []
+
+    def test_transaction_batch_shares_one_commit_marker(self, tmp_path):
+        path = str(tmp_path / "s.slpdb")
+        db = SpannerDB()
+        db.save(path)
+        with db.transaction():
+            db.add_document("a", "xy")
+            db.add_document("b", "zw")
+        with open(path + ".journal", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        assert len(lines) == 4  # header + 2 records + 1 marker
+        assert decode_journal_line(lines[-1]) == ["C", "2"]
+
+    def test_save_inside_transaction_is_refused(self, tmp_path):
+        """A mid-transaction snapshot would persist uncommitted staged
+        state that a rollback could not undo on disk."""
+        path = str(tmp_path / "s.slpdb")
+        db = SpannerDB()
+        db.add_document("d", "aa")
+        with pytest.raises(TransactionError):
+            with db.transaction():
+                db.add_document("e", "bb")
+                db.save(path)
+        # the refusal aborted the transaction; nothing leaked to disk
+        assert db.documents() == ["d"]
+        assert not os.path.exists(path)
+        db.save(path)  # fine outside the transaction
+        assert SpannerDB.open(path).documents() == ["d"]

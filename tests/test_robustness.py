@@ -178,12 +178,17 @@ class TestJournalFuzz:
         be one of the records actually written (prefix property)."""
         import io
 
-        from repro.slp.serialize import JOURNAL_MAGIC, encode_journal_record
+        from repro.slp.serialize import (
+            JOURNAL_MAGIC,
+            encode_commit_marker,
+            encode_journal_record,
+        )
         from repro.slp import read_journal
 
         written = [["A", "d1", "aaaa"], ["E", "d2", "doc(d1)"], ["A", "d3", "zz"]]
         text = JOURNAL_MAGIC + "\n" + "".join(
-            encode_journal_record(r) + "\n" for r in written
+            encode_journal_record(r) + "\n" + encode_commit_marker(1) + "\n"
+            for r in written
         )
         index = data.draw(st.integers(0, len(text) - 1))
         mutation = data.draw(st.characters(blacklist_categories=("Cs",)))
