@@ -28,10 +28,15 @@ Subcommands
     python -m repro db store.slpdb text head
     python -m repro db store.slpdb ls
     python -m repro db store.slpdb stats
+    python -m repro db store.slpdb metrics
+    python -m repro db store.slpdb query '!x{[a-z]+}' logs --trace out.jsonl
 
 All ``db`` subcommands accept ``--deadline SECONDS``, ``--max-steps N``,
 and ``--max-bytes N`` resource-governance flags; exceeding a limit exits
-with a typed error instead of hanging.
+with a typed error instead of hanging.  ``--trace FILE`` switches
+:mod:`repro.obs` on and writes the operation's spans/events as JSONL to
+FILE; the ``metrics`` action runs the store open (including any journal
+recovery) under observability and prints the metrics registry.
 """
 
 from __future__ import annotations
@@ -131,9 +136,45 @@ def _budget(args):
     )
 
 
+def _print_metrics(snapshot: dict) -> None:
+    for name, value in snapshot["counters"].items():
+        print(f"counter   {name} = {value}")
+    for name, value in snapshot["gauges"].items():
+        print(f"gauge     {name} = {value}")
+    for name, summary in snapshot["histograms"].items():
+        print(
+            f"histogram {name} count={summary['count']} mean={summary['mean']:.0f} "
+            f"p50={summary['p50']:.0f} p90={summary['p90']:.0f} p99={summary['p99']:.0f}"
+        )
+
+
+def _print_stats(stats: dict, indent: str = "") -> None:
+    for key, value in stats.items():
+        if isinstance(value, dict):
+            print(f"{indent}{key}:")
+            _print_stats(value, indent + "  ")
+        else:
+            print(f"{indent}{key}: {value}")
+
+
 def _cmd_db(args) -> int:
+    from repro import obs
+
+    observing = args.trace is not None or args.action == "metrics"
+    if observing:
+        obs.configure(enabled=True, sink=args.trace)
+    try:
+        return _run_db_action(args)
+    finally:
+        if observing:
+            # flush the JSONL sink and return the process to zero-cost mode
+            obs.configure(enabled=False)
+
+
+def _run_db_action(args) -> int:
     import os
 
+    from repro import obs
     from repro.db import SpannerDB
     from repro.slp import parse_cde
 
@@ -171,8 +212,9 @@ def _cmd_db(args) -> int:
         for name in store.documents():
             print(f"{name}\t{store.document_length(name)}")
     elif action == "stats":
-        for key, value in store.stats().items():
-            print(f"{key}: {value}")
+        _print_stats(store.stats())
+    elif action == "metrics":
+        _print_metrics(obs.metrics().snapshot())
     elif action == "save":
         store.save(args.store)
         print(f"snapshot written to {args.store}")
@@ -231,9 +273,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     db.add_argument("store", help="path of the snapshot file")
     db.add_argument(
-        "action", choices=["add", "edit", "query", "text", "ls", "stats", "save"]
+        "action",
+        choices=["add", "edit", "query", "text", "ls", "stats", "metrics", "save"],
     )
     db.add_argument("operands", nargs="*", help="action-specific operands")
+    db.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="enable repro.obs and write the operation's trace as JSONL",
+    )
     db.add_argument(
         "--deadline", type=float, default=None,
         help="wall-clock budget in seconds for the operation",

@@ -31,19 +31,29 @@ accordingly (see ``docs/RELIABILITY.md``):
   snapshot; each committed mutation batch is appended to an fsync'd redo
   journal sealed by a commit marker; :meth:`open` recovers the last
   committed state after a crash, tolerating torn snapshot and journal
-  writes, and replaying transactions all-or-nothing.
+  writes, and replaying transactions all-or-nothing;
+* **observability** — every entry point runs inside a :mod:`repro.obs`
+  span (``db.query``, ``db.edit``, ``db.save``, ``db.open``, …), journal
+  append latency and recovery replay statistics are recorded as metrics,
+  budget exhaustion becomes a ``db.budget_exceeded`` event, and
+  :meth:`stats` reports the live registry (see ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
 
 import contextlib
 import os
+import time
 from dataclasses import dataclass
 from typing import Iterator
 
+from repro import obs
 from repro.core.spans import SpanRelation, SpanTuple
 from repro.errors import (
+    DeadlineExceededError,
+    EvaluationLimitError,
     JournalError,
+    MemoryLimitError,
     PersistenceError,
     SchemaError,
     SLPError,
@@ -58,6 +68,22 @@ from repro.slp.slp import SLP, DocumentDatabase
 from repro.slp.spanner_eval import SLPSpannerEvaluator
 
 __all__ = ["SpannerDB"]
+
+#: budget exhaustion errors that get surfaced as observability events
+_BUDGET_ERRORS = (DeadlineExceededError, EvaluationLimitError, MemoryLimitError)
+
+
+def _budget_event(op: str, exc: BaseException, budget) -> None:
+    """Record a budget-exhaustion event (caller checks ``obs.enabled()``)."""
+    registry = obs.metrics()
+    registry.counter("db.budget_exceeded").inc()
+    registry.counter(f"db.budget_exceeded.{type(exc).__name__}").inc()
+    obs.tracer().event(
+        "db.budget_exceeded",
+        op=op,
+        error=type(exc).__name__,
+        steps=getattr(budget, "steps", None),
+    )
 
 
 def _fsync_dir(path: str) -> None:
@@ -106,6 +132,9 @@ class SpannerDB:
         #: hide any later append from recovery, so commits are refused
         #: until :meth:`save` rewrites the journal
         self._journal_poisoned = False
+        #: replay statistics from the last :meth:`open` (None for a store
+        #: that was never recovered from disk)
+        self._recovery: dict | None = None
 
     # ------------------------------------------------------------------
     # transactions
@@ -208,10 +237,19 @@ class SpannerDB:
                 "journal has a torn tail from an earlier failed append; "
                 "call save() to checkpoint before committing further mutations"
             )
+        observing = obs.enabled()
+        t0 = time.perf_counter_ns() if observing else 0
         with open(self._journal_path, "a", encoding="utf-8") as handle:
             handle.write(payload)
             handle.flush()
             os.fsync(handle.fileno())
+        if observing:
+            registry = obs.metrics()
+            registry.histogram("db.journal.append_ns").record(
+                time.perf_counter_ns() - t0
+            )
+            registry.counter("db.journal.appends").inc()
+            registry.counter("db.journal.bytes").inc(len(payload))
 
     # ------------------------------------------------------------------
     # documents
@@ -229,12 +267,18 @@ class SpannerDB:
         entry, and any partially computed matrices are all rolled back."""
         if not text:
             raise SLPError("documents must be non-empty")
-        with self.transaction():
-            node = rebalance(self.slp, repair_node(self.slp, text))
-            self._db.add_node(name, node)
-            for evaluator in self._spanners.values():
-                evaluator.preprocess(self.slp, node, budget)
-            self._journal_record("A", name, text)
+        with obs.tracer().span("db.add_document", document=name, chars=len(text)):
+            try:
+                with self.transaction():
+                    node = rebalance(self.slp, repair_node(self.slp, text))
+                    self._db.add_node(name, node)
+                    for evaluator in self._spanners.values():
+                        evaluator.preprocess(self.slp, node, budget)
+                    self._journal_record("A", name, text)
+            except _BUDGET_ERRORS as exc:
+                if obs.enabled():
+                    _budget_event("add_document", exc, budget)
+                raise
 
     def documents(self) -> list[str]:
         return self._db.names()
@@ -271,10 +315,16 @@ class SpannerDB:
             spanner = spanner_from_regex(spanner)
         automaton = getattr(spanner, "automaton", spanner)
         evaluator = SLPSpannerEvaluator(automaton)
-        with self.transaction():
-            for _, node in self._db.documents():
-                evaluator.preprocess(self.slp, node, budget)
-            self._spanners[name] = evaluator
+        with obs.tracer().span("db.register_spanner", spanner=name):
+            try:
+                with self.transaction():
+                    for _, node in self._db.documents():
+                        evaluator.preprocess(self.slp, node, budget)
+                    self._spanners[name] = evaluator
+            except _BUDGET_ERRORS as exc:
+                if obs.enabled():
+                    _budget_event("register_spanner", exc, budget)
+                raise
 
     def spanners(self) -> list[str]:
         return sorted(self._spanners)
@@ -293,9 +343,25 @@ class SpannerDB:
 
         With a :class:`~repro.util.Budget`, enumeration over pathological
         (e.g. exponential-length) documents terminates at the deadline or
-        step limit with a clean typed error."""
+        step limit with a clean typed error.  With :mod:`repro.obs`
+        enabled, the stream runs inside a ``db.query`` span and budget
+        exhaustion is recorded as a ``db.budget_exceeded`` event."""
         evaluator = self._evaluator(spanner)
-        yield from evaluator.enumerate(self.slp, self._db.node(document), budget)
+        stream = evaluator.enumerate(self.slp, self._db.node(document), budget)
+        if not obs.enabled():
+            yield from stream
+            return
+        produced = 0
+        with obs.tracer().span("db.query", spanner=spanner, document=document) as span:
+            try:
+                for tup in stream:
+                    produced += 1
+                    yield tup
+            except _BUDGET_ERRORS as exc:
+                _budget_event("query", exc, budget)
+                raise
+            finally:
+                span.attrs["tuples"] = produced
 
     def evaluate(self, spanner: str, document: str, budget=None) -> SpanRelation:
         evaluator = self._evaluator(spanner)
@@ -316,14 +382,23 @@ class SpannerDB:
         all spanners (the measurable O(k·log d) update cost).  Atomic: a
         failure at any point — CDE application, catalog insert, or matrix
         update for any spanner — rolls the store back to its prior state."""
-        with self.transaction():
-            node = apply_cde(expression, self._db, budget)
-            self._db.add_node(new_name, node)
-            fresh = 0
-            for evaluator in self._spanners.values():
-                fresh += evaluator.preprocess(self.slp, node, budget)
-            self._journal_record("E", new_name, format_cde(expression))
-            return fresh
+        with obs.tracer().span("db.edit", document=new_name) as span:
+            try:
+                with self.transaction():
+                    node = apply_cde(expression, self._db, budget)
+                    self._db.add_node(new_name, node)
+                    fresh = 0
+                    for evaluator in self._spanners.values():
+                        fresh += evaluator.preprocess(self.slp, node, budget)
+                    self._journal_record("E", new_name, format_cde(expression))
+                    if obs.enabled():
+                        span.attrs["fresh_matrices"] = fresh
+                        obs.metrics().counter("db.edit.fresh_matrices").inc(fresh)
+                    return fresh
+            except _BUDGET_ERRORS as exc:
+                if obs.enabled():
+                    _budget_event("edit", exc, budget)
+                raise
 
     # ------------------------------------------------------------------
     # persistence
@@ -354,18 +429,21 @@ class SpannerDB:
                 "save() inside an open transaction would snapshot "
                 "uncommitted state; commit or roll back first"
             )
-        tmp = path + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as stream:
-            dump_snapshot(self._db, stream)
-            stream.flush()
-            os.fsync(stream.fileno())
-        if os.path.exists(path):
-            os.replace(path, path + ".bak")
-        os.replace(tmp, path)
-        _fsync_dir(path)
-        self._journal_path = path + ".journal"
-        self._reset_journal()
-        self._journal_poisoned = False
+        with obs.tracer().span("db.save", path=path):
+            tmp = path + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as stream:
+                dump_snapshot(self._db, stream)
+                stream.flush()
+                os.fsync(stream.fileno())
+            if os.path.exists(path):
+                os.replace(path, path + ".bak")
+            os.replace(tmp, path)
+            _fsync_dir(path)
+            self._journal_path = path + ".journal"
+            self._reset_journal()
+            self._journal_poisoned = False
+            if obs.enabled():
+                obs.metrics().counter("db.saves").inc()
 
     def _reset_journal(self) -> None:
         from repro.slp.serialize import JOURNAL_MAGIC
@@ -402,36 +480,50 @@ class SpannerDB:
         """
         from repro.slp.serialize import read_journal
 
-        store = cls()
-        database, used_fallback = cls._load_snapshot_with_fallback(path)
-        if database is not None:
-            store._db = database
+        with obs.tracer().span("db.open", path=path) as span:
+            store = cls()
+            database, used_fallback = cls._load_snapshot_with_fallback(path)
+            if database is not None:
+                store._db = database
 
-        journal_path = path + ".journal"
-        records: list[list[str]] = []
-        clean = True
-        if os.path.exists(journal_path):
-            with open(journal_path, "r", encoding="utf-8") as stream:
-                records, clean = read_journal(stream)
-            replayed = []
-            for record in records:
-                try:
-                    store._apply_journal_record(record)
-                except JournalError:
-                    # best-effort: everything past an inapplicable record
-                    # is untrusted (see step 2 above)
-                    clean = False
-                    break
-                replayed.append(record)
-            records = replayed
+            journal_path = path + ".journal"
+            records: list[list[str]] = []
+            clean = True
+            if os.path.exists(journal_path):
+                with open(journal_path, "r", encoding="utf-8") as stream:
+                    records, clean = read_journal(stream)
+                replayed = []
+                for record in records:
+                    try:
+                        store._apply_journal_record(record)
+                    except JournalError:
+                        # best-effort: everything past an inapplicable record
+                        # is untrusted (see step 2 above)
+                        clean = False
+                        break
+                    replayed.append(record)
+                records = replayed
 
-        store._journal_path = journal_path
-        if records or not clean or used_fallback:
-            # checkpoint the recovered state and truncate the torn journal
-            store.save(path)
-        elif not os.path.exists(journal_path):
-            store._reset_journal()
-        return store
+            store._journal_path = journal_path
+            store._recovery = {
+                "replayed_records": len(records),
+                "journal_clean": clean,
+                "used_fallback_snapshot": used_fallback,
+            }
+            if obs.enabled():
+                registry = obs.metrics()
+                registry.counter("db.recovery.replayed_records").inc(len(records))
+                if not clean:
+                    registry.counter("db.recovery.torn_journals").inc()
+                if used_fallback:
+                    registry.counter("db.recovery.fallback_snapshots").inc()
+                span.attrs.update(store._recovery)
+            if records or not clean or used_fallback:
+                # checkpoint the recovered state and truncate the torn journal
+                store.save(path)
+            elif not os.path.exists(journal_path):
+                store._reset_journal()
+            return store
 
     @staticmethod
     def _load_snapshot_with_fallback(path: str):
@@ -493,18 +585,41 @@ class SpannerDB:
         return store
 
     # ------------------------------------------------------------------
+    def _journal_records(self) -> int | None:
+        """Number of record lines in the attached journal (``None`` when
+        not persistent or the journal file is missing)."""
+        if self._journal_path is None or not os.path.exists(self._journal_path):
+            return None
+        with open(self._journal_path, "r", encoding="utf-8") as handle:
+            # first line is the magic header; the rest are records/markers
+            return max(0, sum(1 for _ in handle) - 1)
+
     def stats(self) -> dict:
-        """Arena and index statistics (for dashboards and tests)."""
+        """Arena, index, persistence, and live-metrics statistics.
+
+        Diagnostic enough to answer "why is this store big / slow": the
+        SLP arena footprint in bytes, per-spanner and total evaluator-cache
+        entry counts, the journal backlog since the last checkpoint, the
+        last recovery's replay stats, and — when :mod:`repro.obs` is
+        enabled — a snapshot of the live metrics registry."""
         nodes = {name: node for name, node in self._db.documents()}
         return {
             "documents": len(nodes),
             "spanners": len(self._spanners),
             "total_characters": sum(self.slp.length(n) for n in nodes.values()),
             "slp_nodes": self._db.size(),
+            "slp_arena_bytes": self.slp.arena_bytes(),
             "cached_matrices": {
                 name: evaluator.cached_nodes()
                 for name, evaluator in self._spanners.items()
             },
+            "evaluator_cache_entries": sum(
+                evaluator.cached_nodes() for evaluator in self._spanners.values()
+            ),
             "journal": self._journal_path,
+            "journal_records": self._journal_records(),
+            "recovery": self._recovery,
             "open_transactions": len(self._txn),
+            "observability_enabled": obs.enabled(),
+            "metrics": obs.metrics().snapshot() if obs.enabled() else None,
         }

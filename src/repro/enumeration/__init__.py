@@ -1,6 +1,6 @@
 """Enumeration algorithms for regular spanners (paper Section 2.5)."""
 
-from repro.enumeration.constant_delay import Enumerator, measure_delays
+from repro.enumeration.constant_delay import Enumerator, measure_delays, profile_delays
 from repro.enumeration.naive import (
     brute_force_tuples,
     emissions_to_tuple,
@@ -17,4 +17,5 @@ __all__ = [
     "evaluate_eva",
     "evaluate_vset",
     "measure_delays",
+    "profile_delays",
 ]

@@ -21,15 +21,16 @@ of Florenzano et al. [10] and Amarilli et al. [2].
 
 from __future__ import annotations
 
-import time
 from typing import Iterator
 
+from repro import obs
 from repro.automata.evset import DeterministicEVA, ExtendedVSetAutomaton
 from repro.core.spans import SpanRelation, SpanTuple
 from repro.enumeration.naive import emissions_to_tuple
 from repro.enumeration.product import ProductIndex
+from repro.obs.profile import DelayProfiler
 
-__all__ = ["Enumerator", "measure_delays"]
+__all__ = ["Enumerator", "measure_delays", "profile_delays"]
 
 _NO_STATE = -1
 
@@ -63,15 +64,27 @@ class Enumerator:
         against ``max_bytes`` and is charged one step per position."""
         if budget is not None:
             budget.charge_bytes(len(doc), what="enumeration preprocessing")
-        return ProductIndex(self.det, doc, budget)
+        with obs.tracer().span("enumerate.preprocess", doc_length=len(doc)):
+            return ProductIndex(self.det, doc, budget)
 
     # ------------------------------------------------------------------
     # phase 2
     # ------------------------------------------------------------------
     def enumerate_index(self, index: ProductIndex, budget=None) -> Iterator[SpanTuple]:
-        """Enumerate the span relation from a prebuilt index."""
-        for emissions in self.enumerate_emissions(index, budget):
-            yield emissions_to_tuple(emissions)
+        """Enumerate the span relation from a prebuilt index.
+
+        When :mod:`repro.obs` is enabled, the stream runs inside an
+        ``enumerate.stream`` span and each tuple's production delay is
+        recorded in the ``enumeration.delay_ns`` histogram — the empirical
+        form of the constant-delay claim.  Disabled, the only extra cost is
+        one boolean check per *call* (not per tuple)."""
+        stream = map(emissions_to_tuple, self.enumerate_emissions(index, budget))
+        if not obs.enabled():
+            yield from stream
+            return
+        profiler = DelayProfiler(obs.metrics().histogram("enumeration.delay_ns"))
+        with obs.tracer().span("enumerate.stream", doc_length=index.length):
+            yield from profiler.wrap(stream)
 
     def enumerate_emissions(
         self, index: ProductIndex, budget=None
@@ -110,20 +123,28 @@ class Enumerator:
         return SpanRelation(self.det.variables, self.enumerate(doc, budget))
 
 
-def measure_delays(iterator: Iterator) -> tuple[list, list[float]]:
-    """Drain *iterator*, recording the wall-clock delay before each item.
+def profile_delays(iterator: Iterator) -> tuple[list, DelayProfiler]:
+    """Drain *iterator* under a :class:`~repro.obs.profile.DelayProfiler`.
 
-    Returns ``(items, delays)`` where ``delays[k]`` is the time spent
-    producing item ``k`` (including, for ``k = 0``, any lazy setup in the
-    iterator itself but not the preprocessing if that already happened).
-    Used by the enumeration benchmarks (experiment C1, C3).
+    Returns ``(items, profiler)``; the profiler holds the per-item delay
+    histogram (ns), raw samples, and percentile queries.  This is the
+    histogram-backed successor of :func:`measure_delays` and what the
+    delay-profile benchmarks (C1, C3, O1) use to test that delays stay
+    flat as documents grow.
     """
-    items = []
-    delays: list[float] = []
-    last = time.perf_counter()
-    for item in iterator:
-        now = time.perf_counter()
-        delays.append(now - last)
-        items.append(item)
-        last = now
-    return items, delays
+    profiler = DelayProfiler(keep_samples=True)
+    items = profiler.drain(iterator)
+    return items, profiler
+
+
+def measure_delays(iterator: Iterator) -> tuple[list, list[float]]:
+    """Drain *iterator*, recording the monotonic delay before each item.
+
+    Returns ``(items, delays)`` where ``delays[k]`` is the time in seconds
+    spent producing item ``k`` (including, for ``k = 0``, any lazy setup in
+    the iterator itself but not the preprocessing if that already
+    happened).  Thin compatibility wrapper over :func:`profile_delays` —
+    timing is :func:`time.perf_counter_ns` throughout."""
+    items, profiler = profile_delays(iterator)
+    assert profiler.samples_ns is not None
+    return items, [ns / 1e9 for ns in profiler.samples_ns]

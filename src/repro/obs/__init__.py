@@ -1,0 +1,98 @@
+"""``repro.obs`` — tracing, metrics, and delay profiling for the engine.
+
+A dependency-free observability layer with near-zero cost when disabled
+(the default).  One global :class:`~repro.obs.trace.Tracer` and one global
+:class:`~repro.obs.metrics.Metrics` registry serve the whole process;
+instrumented code guards with :func:`enabled` (a bool read) and therefore
+adds nothing measurable to hot paths until :func:`configure` switches
+observability on.
+
+Usage::
+
+    from repro import obs
+
+    obs.configure(enabled=True, sink="trace.jsonl")
+    with obs.tracer().span("ingest", doc="logs"):
+        db.add_document("logs", text)
+    print(obs.metrics().snapshot())
+    obs.configure(enabled=False)       # flushes and detaches the sink
+
+The CLI exposes the same switches: ``python -m repro db store.slpdb query
+... --trace out.jsonl`` and ``python -m repro db store.slpdb metrics``.
+See ``docs/OBSERVABILITY.md`` for the trace-file schema and the measured
+overhead numbers.
+
+This package imports only the standard library — it must never depend on
+the rest of :mod:`repro` (everything in :mod:`repro` is allowed to depend
+on it, including :mod:`repro.util.budget` during package initialisation).
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import Counter, Gauge, Histogram, Metrics
+from repro.obs.profile import DelayProfiler
+from repro.obs.trace import Tracer
+
+__all__ = [
+    "Counter",
+    "DelayProfiler",
+    "Gauge",
+    "Histogram",
+    "Metrics",
+    "Tracer",
+    "configure",
+    "enabled",
+    "metrics",
+    "tracer",
+]
+
+_tracer = Tracer(enabled=False)
+_metrics = Metrics()
+_enabled = False
+
+
+def configure(
+    enabled: bool | None = None,
+    sink=None,
+    reset: bool = False,
+) -> None:
+    """Reconfigure the global tracer and metrics registry.
+
+    Parameters
+    ----------
+    enabled:
+        Turn the whole layer on or off; ``None`` leaves the state as is.
+        Disabling flushes and detaches any file sink.
+    sink:
+        New trace sink — a JSONL file path or a file-like object; passing
+        one implies tracing output goes there instead of the in-memory
+        ring.  Ignored unless provided.
+    reset:
+        Also clear accumulated metrics and in-memory trace records.
+    """
+    global _enabled
+    if reset:
+        _metrics.reset()
+        _tracer.clear()
+    if sink is not None:
+        _tracer.set_sink(sink)
+    if enabled is not None:
+        _enabled = bool(enabled)
+        _tracer.enabled = _enabled
+        if not _enabled:
+            _tracer.close()
+
+
+def enabled() -> bool:
+    """Is observability globally on?  (The hot-path guard.)"""
+    return _enabled
+
+
+def tracer() -> Tracer:
+    """The process-wide tracer."""
+    return _tracer
+
+
+def metrics() -> Metrics:
+    """The process-wide metrics registry."""
+    return _metrics

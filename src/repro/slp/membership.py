@@ -11,8 +11,11 @@ which is exactly the crossover benchmark C2 measures.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+from repro import obs
 from repro.automata.nfa import NFA
 from repro.core.alphabet import symbol_matches
 from repro.slp.slp import SLP
@@ -50,15 +53,26 @@ class CompressedMembership:
         return matrix
 
     def node_matrix(self, slp: SLP, node: int) -> np.ndarray:
-        """The reachability matrix of ``D(node)``, bottom-up with memo."""
+        """The reachability matrix of ``D(node)``, bottom-up with memo.
+
+        With :mod:`repro.obs` enabled, memo effectiveness and kernel time
+        are recorded (``slp.membership.cache_hits`` / ``.cache_misses`` /
+        ``.kernel_ns``) — once per call, not per node."""
         key = (id(slp), node)
         cached = self._node_matrices.get(key)
         if cached is not None:
+            if obs.enabled():
+                obs.metrics().counter("slp.membership.cache_hits").inc()
             return cached
-        for current in slp.topological(node):
+        observing = obs.enabled()
+        t0 = time.perf_counter_ns() if observing else 0
+        nodes = slp.topological(node)
+        fresh = 0
+        for current in nodes:
             current_key = (id(slp), current)
             if current_key in self._node_matrices:
                 continue
+            fresh += 1
             if slp.is_terminal(current):
                 matrix = self.char_matrix(slp.char(current))
             else:
@@ -70,6 +84,13 @@ class CompressedMembership:
                     left_m.astype(np.float32) @ right_m.astype(np.float32)
                 ) > 0.5
             self._node_matrices[current_key] = matrix
+        if observing:
+            registry = obs.metrics()
+            registry.counter("slp.membership.cache_misses").inc(fresh)
+            registry.counter("slp.membership.cache_hits").inc(len(nodes) - fresh)
+            registry.counter("slp.membership.kernel_ns").inc(
+                time.perf_counter_ns() - t0
+            )
         return self._node_matrices[key]
 
     def accepts(self, slp: SLP, node: int) -> bool:

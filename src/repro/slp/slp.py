@@ -175,6 +175,26 @@ class SLP:
         """Total nodes in the arena (shared across all documents)."""
         return len(self._char)
 
+    def arena_bytes(self) -> int:
+        """Approximate heap footprint of the arena containers in bytes.
+
+        Counts the five parallel per-node lists and the two hash-consing
+        dicts (container overhead plus slot pointers); the shared
+        small-int/char objects they reference are not double-counted.
+        Surfaced by :meth:`repro.db.SpannerDB.stats` as
+        ``slp_arena_bytes``."""
+        import sys
+
+        return (
+            sys.getsizeof(self._char)
+            + sys.getsizeof(self._left)
+            + sys.getsizeof(self._right)
+            + sys.getsizeof(self._length)
+            + sys.getsizeof(self._order)
+            + sys.getsizeof(self._terminals)
+            + sys.getsizeof(self._pairs)
+        )
+
     # ------------------------------------------------------------------
     # derivation
     # ------------------------------------------------------------------

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import time
 
+from repro import obs
 from repro.errors import (
     DeadlineExceededError,
     EvaluationLimitError,
@@ -119,6 +120,10 @@ class Budget:
         self._until_check -= cost
         if self._until_check <= 0:
             self._until_check = self.check_interval
+            # piggyback the (amortised) gauge publish on the same cadence
+            # as the clock read, so the hot path stays a decrement
+            if obs.enabled():
+                obs.metrics().gauge("budget.steps").set(self.steps)
             self.check_deadline()
 
     def check_deadline(self) -> None:
@@ -130,6 +135,10 @@ class Budget:
 
     def charge_bytes(self, count: int, what: str = "operation") -> None:
         """Guard one materialisation of *count* bytes against ``max_bytes``."""
+        if obs.enabled():
+            registry = obs.metrics()
+            registry.counter("budget.bytes_charged").inc(count)
+            registry.gauge("budget.bytes_last").set(count)
         if self.max_bytes is not None and count > self.max_bytes:
             raise MemoryLimitError(
                 f"{what} would materialise {count} bytes "

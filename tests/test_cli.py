@@ -1,5 +1,7 @@
 """Tests for the command-line interface (python -m repro)."""
 
+import json
+
 import pytest
 
 from repro.__main__ import build_parser, main
@@ -66,6 +68,100 @@ class TestCheck:
     def test_bad_binding(self):
         with pytest.raises(SystemExit):
             main(["check", "!x{a}", "a", "x=zzz"])
+
+
+class TestDb:
+    """Round-trip coverage for the persistent `db` subcommand."""
+
+    @pytest.fixture
+    def store(self, tmp_path):
+        return str(tmp_path / "store.slpdb")
+
+    def test_add_text_ls_roundtrip(self, store, capsys):
+        assert main(["db", store, "add", "logs", "error at line three"]) == 0
+        assert "added 'logs' (19 chars)" in capsys.readouterr().out
+        assert main(["db", store, "text", "logs"]) == 0
+        assert capsys.readouterr().out.strip() == "error at line three"
+        assert main(["db", store, "ls"]) == 0
+        assert capsys.readouterr().out == "logs\t19\n"
+
+    def test_edit_derives_document(self, store, capsys):
+        assert main(["db", store, "add", "logs", "abcdef"]) == 0
+        assert main(["db", store, "edit", "head", "extract(doc(logs),1,4)"]) == 0
+        assert "edited -> 'head' (4 chars)" in capsys.readouterr().out
+        assert main(["db", store, "text", "head"]) == 0
+        assert capsys.readouterr().out.strip() == "abcd"
+
+    def test_query_streams_tuples(self, store, capsys):
+        assert main(["db", store, "add", "d", "aabab"]) == 0
+        capsys.readouterr()
+        assert main(["db", store, "query", "(a|b)*!x{ab}(a|b)*", "d"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 2 and all("x=" in line for line in out)
+
+    def test_state_persists_across_invocations(self, store, capsys):
+        assert main(["db", store, "add", "a", "xyz"]) == 0
+        assert main(["db", store, "add", "b", "pqr"]) == 0
+        capsys.readouterr()
+        assert main(["db", store, "ls"]) == 0
+        assert capsys.readouterr().out == "a\t3\nb\t3\n"
+
+    def test_save_checkpoints(self, store, capsys):
+        assert main(["db", store, "add", "a", "xyz"]) == 0
+        assert main(["db", store, "save"]) == 0
+        assert f"snapshot written to {store}" in capsys.readouterr().out
+
+    def test_stats_reports_diagnostics(self, store, capsys):
+        assert main(["db", store, "add", "logs", "aabb"]) == 0
+        capsys.readouterr()
+        assert main(["db", store, "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "documents: 1" in out
+        assert "slp_arena_bytes:" in out
+        assert "journal_records: 0" in out
+
+    def test_metrics_action_prints_registry(self, store, capsys):
+        assert main(["db", store, "add", "d", "aabab"]) == 0
+        capsys.readouterr()
+        assert main(["db", store, "metrics"]) == 0
+        out = capsys.readouterr().out
+        # opening the store replays the (empty) journal under observability
+        assert "counter   db.recovery.replayed_records = 0" in out
+
+    def test_trace_writes_valid_jsonl(self, store, tmp_path, capsys):
+        trace = str(tmp_path / "trace.jsonl")
+        assert main(["db", store, "add", "d", "aabab"]) == 0
+        capsys.readouterr()
+        assert (
+            main(["db", store, "query", "(a|b)*!x{ab}(a|b)*", "d", "--trace", trace]) == 0
+        )
+        records = [
+            json.loads(line)
+            for line in open(trace, encoding="utf-8").read().splitlines()
+        ]
+        assert records, "trace file must contain JSONL records"
+        names = {r["name"] for r in records}
+        assert {"db.open", "db.query"} <= names
+        query_span = next(r for r in records if r["name"] == "db.query")
+        assert query_span["attrs"]["tuples"] == 2
+        assert all({"type", "name", "t0_ns"} <= r.keys() for r in records)
+        # the CLI detaches the sink afterwards: the process is back to off
+        from repro import obs
+
+        assert not obs.enabled()
+
+    def test_budget_flag_exits_with_typed_error(self, store, capsys):
+        assert main(["db", store, "add", "d", "ab" * 200]) == 0
+        capsys.readouterr()
+        code = main(
+            ["db", store, "query", "(a|b)*!x{ab}(a|b)*", "d", "--max-steps", "1"]
+        )
+        assert code == 2
+        assert "step budget" in capsys.readouterr().err
+
+    def test_bad_operands_exit(self, store):
+        with pytest.raises(SystemExit):
+            main(["db", store, "add", "only-name"])
 
 
 def test_parser_requires_subcommand():

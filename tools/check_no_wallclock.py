@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Lint: no wall-clock timing primitives in library code.
+
+Timing code in ``src/`` must use the monotonic clock —
+``time.perf_counter_ns()`` (durations) or ``time.monotonic()`` (deadlines)
+— never ``time.time()`` or ``datetime.now()``: the wall clock can jump
+backwards under NTP corrections, which turns delay histograms and deadline
+checks into lies.  (ISSUE 2 audited and removed the last offenders; this
+check keeps them out.)
+
+A line may opt out with a trailing ``# wallclock-ok`` comment when actual
+calendar time is genuinely needed (none is today).
+
+Usage::
+
+    python tools/check_no_wallclock.py        # exits 1 on violations
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+SCANNED = ["src"]
+
+FORBIDDEN = [
+    (re.compile(r"\btime\.time\(\)"), "time.time() — use time.perf_counter_ns()"),
+    (re.compile(r"\bdatetime\.now\("), "datetime.now() — wall clock in library code"),
+    (re.compile(r"\butcnow\("), "utcnow() — wall clock in library code"),
+]
+WAIVER = "# wallclock-ok"
+
+
+def violations() -> list[str]:
+    found = []
+    for directory in SCANNED:
+        for path in sorted((ROOT / directory).rglob("*.py")):
+            for lineno, line in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), start=1
+            ):
+                if WAIVER in line:
+                    continue
+                for pattern, message in FORBIDDEN:
+                    if pattern.search(line):
+                        rel = path.relative_to(ROOT)
+                        found.append(f"{rel}:{lineno}: {message}\n    {line.strip()}")
+    return found
+
+
+def main() -> int:
+    found = violations()
+    if found:
+        print("wall-clock timing primitives found in library code:")
+        for item in found:
+            print(item)
+        return 1
+    print("check_no_wallclock: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

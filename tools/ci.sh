@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Single CI entrypoint: lints + the default test suite.
+#
+#   tools/ci.sh            # what CI runs; fast (slow_fuzz stays excluded
+#                          # via the pytest addopts in pyproject.toml)
+#
+# The benchmark suite is intentionally separate (it is a perf workload,
+# not a correctness gate):  PYTHONPATH=src python -m pytest benchmarks/
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== lint: no wall-clock timing in src/"
+python tools/check_no_wallclock.py
+
+echo "== docs: API index is fresh"
+python - <<'EOF'
+import pathlib, sys
+sys.path.insert(0, "src")
+sys.path.insert(0, "tools")
+import generate_api_doc
+committed = pathlib.Path("docs/API.md").read_text(encoding="utf-8")
+if committed != generate_api_doc.render():
+    sys.exit("docs/API.md is stale; run: PYTHONPATH=src python tools/generate_api_doc.py")
+print("docs/API.md ok")
+EOF
+
+echo "== tests (slow_fuzz excluded by default addopts)"
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q
