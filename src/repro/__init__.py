@@ -26,6 +26,7 @@ Quickstart::
 from repro.db import SpannerDB
 from repro.errors import (
     CDEError,
+    CircuitOpenError,
     DeadlineExceededError,
     EvaluationLimitError,
     FaultInjectedError,
@@ -34,14 +35,18 @@ from repro.errors import (
     JournalError,
     MemoryLimitError,
     NotFunctionalError,
+    OverloadedError,
     PersistenceError,
     RegexSyntaxError,
     SchemaError,
+    ServeError,
+    ServiceStoppedError,
     SLPError,
     SpanlibError,
     TransactionError,
     UnsupportedSpannerError,
 )
+from repro.serve import ServeConfig, SpannerService
 from repro.util import Budget, Deadline
 from repro.core import (
     CharClass,
@@ -75,6 +80,7 @@ __all__ = [
     "Budget",
     "CDEError",
     "CharClass",
+    "CircuitOpenError",
     "Close",
     "CoreSpanner",
     "DOT",
@@ -91,6 +97,7 @@ __all__ = [
     "MemoryLimitError",
     "NotFunctionalError",
     "Open",
+    "OverloadedError",
     "PersistenceError",
     "Ref",
     "ReflSpanner",
@@ -98,11 +105,15 @@ __all__ = [
     "RegularSpanner",
     "SLPError",
     "SchemaError",
+    "ServeConfig",
+    "ServeError",
+    "ServiceStoppedError",
     "Span",
     "SpanRelation",
     "SpanTuple",
     "Spanner",
     "SpannerDB",
+    "SpannerService",
     "SpanlibError",
     "TransactionError",
     "UnsupportedSpannerError",

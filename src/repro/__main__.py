@@ -20,6 +20,18 @@ Subcommands
 
     python -m repro check '!x{a+}!y{b+}' aab x=1:3 y=3:4
 
+``serve``     drive a concurrent query workload through the serving layer::
+
+    python -m repro serve store.slpdb '!x{[a-z]+}' logs --requests 100 --workers 4
+    python -m repro serve store.slpdb '!x{[a-z]+}' logs --fault-rate 0.3 --seed 7
+
+    Opens (or builds, with ``--doc``) a store, registers the pattern,
+    and pushes ``--requests`` queries through a
+    :class:`~repro.serve.SpannerService` thread pool — optionally with
+    seeded chaos faults injected into the compressed path — then prints
+    completion/shed/degraded counts, latency percentiles, and the
+    circuit-breaker state.
+
 ``db``        operate on a persistent, crash-safe SpannerDB store::
 
     python -m repro db store.slpdb add logs "error at line 3"
@@ -223,6 +235,80 @@ def _run_db_action(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import os
+
+    from repro import SpannerDB
+    from repro.errors import OverloadedError, SpanlibError as _SpanlibError
+    from repro.serve import ServeConfig, SpannerService, serve_queries
+
+    if os.path.exists(args.store):
+        store = SpannerDB.open(args.store)
+    elif args.doc is not None:
+        store = SpannerDB()
+    else:
+        raise SystemExit(f"error: no store at {args.store!r} (use --doc to build one)")
+    if args.doc is not None and args.document not in store.documents():
+        store.add_document(args.document, args.doc)
+    if args.document not in store.documents():
+        raise SystemExit(f"error: store has no document {args.document!r}")
+    store.register_spanner("__serve__", args.pattern)
+
+    config = ServeConfig(
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        default_deadline=args.deadline,
+        seed=args.seed,
+    )
+    injector = None
+    chaos_scope = None
+    if args.fault_rate > 0.0:
+        from repro.slp.spanner_eval import SLPSpannerEvaluator
+        from repro.util import ChaosInjector
+
+        injector = ChaosInjector(seed=args.seed)
+        chaos_scope = injector.chaos(
+            SLPSpannerEvaluator,
+            "enumerate",
+            site="serve.enumerate",
+            error_rate=args.fault_rate,
+        )
+
+    with SpannerService(store, config) as service:
+        if chaos_scope is not None:
+            chaos_scope.__enter__()
+        try:
+            outcomes = list(
+                serve_queries(
+                    service,
+                    (("__serve__", args.document) for _ in range(args.requests)),
+                    deadline=args.deadline,
+                )
+            )
+        finally:
+            if chaos_scope is not None:
+                chaos_scope.__exit__(None, None, None)
+        stats = service.stats()
+
+    completed = [o for o in outcomes if not isinstance(o, _SpanlibError)]
+    shed = sum(isinstance(o, OverloadedError) for o in outcomes)
+    errors = len(outcomes) - len(completed) - shed
+    degraded = sum(o.degraded for o in completed)
+    print(f"requests  : {args.requests}")
+    print(f"completed : {len(completed)}")
+    print(f"shed      : {shed}")
+    print(f"errors    : {errors}")
+    print(f"degraded  : {degraded}")
+    print(f"retries   : {stats['retries']}")
+    print(f"p50       : {stats['p50_s'] * 1e3:.2f} ms")
+    print(f"p99       : {stats['p99_s'] * 1e3:.2f} ms")
+    print(f"breaker   : {stats['breaker']['state']} "
+          f"(opened {stats['breaker']['times_opened']}x)")
+    if injector is not None:
+        print(f"faults    : {injector.fired()}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -267,6 +353,36 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("doc")
     check.add_argument("bindings", nargs="+", help="var=start:end (1-based spans)")
     check.set_defaults(handler=_cmd_check)
+
+    serve = commands.add_parser(
+        "serve", help="drive a concurrent query workload through repro.serve"
+    )
+    serve.add_argument("store", help="path of the snapshot file")
+    serve.add_argument("pattern", help="spanner regex to register and query")
+    serve.add_argument("document", help="document name to query")
+    serve.add_argument(
+        "--doc", default=None,
+        help="document text (builds an in-memory store when STORE is absent)",
+    )
+    serve.add_argument("--requests", type=int, default=50, help="queries to issue")
+    serve.add_argument("--workers", type=int, default=4, help="worker threads")
+    serve.add_argument(
+        "--queue-limit", type=int, default=64,
+        help="admission-control queue bound (requests beyond it are shed)",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=None,
+        help="per-request wall-clock deadline in seconds",
+    )
+    serve.add_argument(
+        "--fault-rate", type=float, default=0.0,
+        help="chaos: probability of an injected fault per compressed evaluation",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for the chaos schedule and retry jitter",
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     db = commands.add_parser(
         "db", help="operate on a persistent, crash-safe SpannerDB store"

@@ -367,6 +367,42 @@ class SpannerDB:
         evaluator = self._evaluator(spanner)
         return evaluator.evaluate(self.slp, self._db.node(document), budget)
 
+    def query_decompressed(self, spanner: str, document: str, budget=None) -> SpanRelation:
+        """Evaluate *spanner* on the **decompressed** text of *document*.
+
+        The graceful-degradation path of :mod:`repro.serve`: when the
+        circuit breaker around the compressed evaluator is open, queries
+        fall back here — same results (asserted by the differential fuzz
+        suite), worse latency, service up.  It shares nothing with the
+        compressed path except the compiled automaton: no SLP matrices are
+        read or written, so a fault or poisoned cache on the compressed
+        side cannot leak into degraded answers.
+
+        The budget's ``max_bytes`` guard is charged for the decompression
+        (SLP documents can be exponentially long) and its step/deadline
+        allowances govern the text-side dynamic program."""
+        evaluator = self._evaluator(spanner)
+        node = self._db.node(document)
+        if budget is not None:
+            budget.charge_bytes(
+                self.slp.length(node),
+                what=f"decompressing document {document!r} for degraded evaluation",
+            )
+        with obs.tracer().span(
+            "db.query_decompressed", spanner=spanner, document=document
+        ) as span:
+            try:
+                text = self._db.document(document)
+                relation = evaluator.evaluate_text(text, budget)
+                if obs.enabled():
+                    span.attrs["tuples"] = len(relation)
+                    obs.metrics().counter("db.query_decompressed").inc()
+                return relation
+            except _BUDGET_ERRORS as exc:
+                if obs.enabled():
+                    _budget_event("query_decompressed", exc, budget)
+                raise
+
     def is_nonempty(self, spanner: str, document: str, budget=None) -> bool:
         evaluator = self._evaluator(spanner)
         return evaluator.is_nonempty(self.slp, self._db.node(document), budget)

@@ -15,7 +15,12 @@ The hierarchy has three robustness-oriented branches:
   snapshot/journal machinery of :mod:`repro.slp.serialize`;
 * **fault injection** — :class:`FaultInjectedError` is raised by the
   :mod:`repro.util.faults` harness, and is a :class:`SpanlibError` so that
-  injected failures exercise exactly the error paths real failures take.
+  injected failures exercise exactly the error paths real failures take;
+* **serving** — :class:`ServeError` and its subclasses
+  :class:`OverloadedError` (admission control shed the request, with a
+  ``retry_after`` hint), :class:`CircuitOpenError` (the compressed path is
+  tripped and degradation is disabled), and :class:`ServiceStoppedError`
+  are raised by the :mod:`repro.serve` query service.
 
 All public errors are exported from :mod:`repro` (asserted by
 ``tests/test_exports.py``).
@@ -40,6 +45,10 @@ __all__ = [
     "JournalError",
     "CDEError",
     "FaultInjectedError",
+    "ServeError",
+    "OverloadedError",
+    "CircuitOpenError",
+    "ServiceStoppedError",
 ]
 
 
@@ -154,3 +163,33 @@ class FaultInjectedError(SpanlibError, RuntimeError):
     must travel the same rollback/recovery paths as a genuine library
     failure, and the fault-injection test suite asserts precisely that.
     """
+
+
+class ServeError(SpanlibError, RuntimeError):
+    """Base class of failures raised by the :mod:`repro.serve` layer."""
+
+
+class OverloadedError(ServeError):
+    """Admission control shed the request: the queue is full.
+
+    Attributes
+    ----------
+    retry_after:
+        Suggested seconds to wait before resubmitting, derived from the
+        current queue depth and the observed mean service time.  Clients
+        that honour it drain the backlog instead of amplifying it.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class CircuitOpenError(ServeError):
+    """The compressed-evaluation circuit is open and graceful degradation
+    is disabled, so the request cannot be served at all right now."""
+
+
+class ServiceStoppedError(ServeError):
+    """The request was submitted to (or was still queued in) a service
+    that has been stopped."""

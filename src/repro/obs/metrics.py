@@ -18,6 +18,7 @@ for ``SpannerDB.stats()``, the ``db ... metrics`` CLI action, and tests.
 from __future__ import annotations
 
 import math
+import threading
 
 __all__ = ["Counter", "Gauge", "Histogram", "Metrics"]
 
@@ -148,32 +149,52 @@ class Metrics:
     Instruments are created on first access and live for the registry's
     lifetime; hot paths should hoist the instrument handle out of loops
     (``hist = metrics.histogram("x"); ... hist.record(v)``) so the per-event
-    cost is one method call, not a dict lookup."""
+    cost is one method call, not a dict lookup.
 
-    __slots__ = ("_counters", "_gauges", "_histograms")
+    Thread-safety: instrument *creation* is locked (double-checked, so the
+    common get path stays a lock-free dict read) — without this, two
+    threads racing on first access would each create an instrument and one
+    would silently swallow the other's updates.  Instrument *updates* are
+    deliberately unlocked: under the GIL an interleaved ``+=`` can at worst
+    lose an occasional increment, which is an acceptable trade for keeping
+    the hot path a single attribute update; correctness-critical serving
+    counters are accounted separately under the service's own lock (see
+    ``SpannerService.stats``)."""
+
+    __slots__ = ("_counters", "_gauges", "_histograms", "_create_lock")
 
     def __init__(self) -> None:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._create_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def counter(self, name: str) -> Counter:
         instrument = self._counters.get(name)
         if instrument is None:
-            instrument = self._counters[name] = Counter()
+            with self._create_lock:
+                instrument = self._counters.get(name)
+                if instrument is None:
+                    instrument = self._counters[name] = Counter()
         return instrument
 
     def gauge(self, name: str) -> Gauge:
         instrument = self._gauges.get(name)
         if instrument is None:
-            instrument = self._gauges[name] = Gauge()
+            with self._create_lock:
+                instrument = self._gauges.get(name)
+                if instrument is None:
+                    instrument = self._gauges[name] = Gauge()
         return instrument
 
     def histogram(self, name: str) -> Histogram:
         instrument = self._histograms.get(name)
         if instrument is None:
-            instrument = self._histograms[name] = Histogram()
+            with self._create_lock:
+                instrument = self._histograms.get(name)
+                if instrument is None:
+                    instrument = self._histograms[name] = Histogram()
         return instrument
 
     # ------------------------------------------------------------------

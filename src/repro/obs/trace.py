@@ -20,13 +20,18 @@ Record schema (one JSON object per line)::
     {"type": "event", "name": str, "parent": int | null,
      "t0_ns": int, "attrs": {...}}
 
-Tracers are intentionally single-threaded (one per worker); the span stack
-is a plain list.
+Thread-safety: the span stack is *per-thread* (thread-local), so spans
+opened by concurrent :mod:`repro.serve` workers nest correctly within
+their own thread and never adopt another thread's span as parent.  Record
+emission (ring append / sink write) and id allocation are serialised by a
+small lock, so JSONL lines never interleave mid-line; the lock is only
+ever touched when tracing is enabled.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 import time
 from typing import IO
 
@@ -107,7 +112,8 @@ class Tracer:
     def __init__(self, enabled: bool = False, sink=None, max_records: int = 100_000) -> None:
         self.enabled = bool(enabled)
         self._records: list[dict] = []
-        self._stack: list[_Span] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
         self._ids = 0
         self._epoch = time.perf_counter_ns()
         self._max_records = max_records
@@ -116,6 +122,14 @@ class Tracer:
         self._sink_file: IO[str] | None = None
         self._owns_sink = False
         self.set_sink(sink)
+
+    @property
+    def _stack(self) -> list:
+        """This thread's open-span stack (created on first use)."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # ------------------------------------------------------------------
     # configuration
@@ -153,8 +167,9 @@ class Tracer:
     # recording
     # ------------------------------------------------------------------
     def _next_id(self) -> int:
-        self._ids += 1
-        return self._ids
+        with self._lock:
+            self._ids += 1
+            return self._ids
 
     def span(self, name: str, **attrs):
         """A context manager timing one named scope (no-op when disabled).
@@ -183,15 +198,16 @@ class Tracer:
         )
 
     def _emit(self, record: dict) -> None:
-        if self._sink_path is not None and self._sink_file is None:
-            self._sink_file = open(self._sink_path, "a", encoding="utf-8")
-            self._owns_sink = True
-        if self._sink_file is not None:
-            self._sink_file.write(json.dumps(record, default=str) + "\n")
-        elif len(self._records) < self._max_records:
-            self._records.append(record)
-        else:
-            self.dropped += 1
+        with self._lock:
+            if self._sink_path is not None and self._sink_file is None:
+                self._sink_file = open(self._sink_path, "a", encoding="utf-8")
+                self._owns_sink = True
+            if self._sink_file is not None:
+                self._sink_file.write(json.dumps(record, default=str) + "\n")
+            elif len(self._records) < self._max_records:
+                self._records.append(record)
+            else:
+                self.dropped += 1
 
     # ------------------------------------------------------------------
     # inspection

@@ -49,6 +49,15 @@ _META = set("|*+?(){}[].&!\\")
 _NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
 _NAME_CONT = _NAME_START | set("0123456789")
 
+#: maximum nesting depth of groups/captures.  The parser (and every later
+#: AST walk: compilation, optimisation) recurses once per nesting level, so
+#: a hostile pattern like "(" * 10_000 would otherwise escape as an uncaught
+#: RecursionError — a crash vector for the serving layer, where patterns
+#: arrive from untrusted requests.  100 levels is far beyond any real
+#: spanner regex and keeps the whole pipeline comfortably inside the
+#: interpreter's default stack.
+_MAX_DEPTH = 100
+
 #: control-character escapes; any other escaped character stands for itself
 _ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "0": "\0"}
 
@@ -57,6 +66,7 @@ class _Parser:
     def __init__(self, pattern: str) -> None:
         self.pattern = pattern
         self.pos = 0
+        self.depth = 0
 
     # ------------------------------------------------------------------
     # token helpers
@@ -91,11 +101,21 @@ class _Parser:
         return node
 
     def alt(self) -> Node:
-        parts = [self.concat()]
-        while self.peek() == "|":
-            self.take()
-            parts.append(self.concat())
-        return parts[0] if len(parts) == 1 else Alt(tuple(parts))
+        # every nesting level — '(...)' and '!x{...}' — re-enters here, so
+        # one guard bounds the recursion of the whole grammar
+        self.depth += 1
+        if self.depth > _MAX_DEPTH:
+            raise self.error(
+                f"pattern nesting exceeds the depth limit of {_MAX_DEPTH}"
+            )
+        try:
+            parts = [self.concat()]
+            while self.peek() == "|":
+                self.take()
+                parts.append(self.concat())
+            return parts[0] if len(parts) == 1 else Alt(tuple(parts))
+        finally:
+            self.depth -= 1
 
     def concat(self) -> Node:
         parts: list[Node] = []

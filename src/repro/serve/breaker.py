@@ -1,0 +1,162 @@
+"""A circuit breaker around the SLP-compressed evaluation path.
+
+The compressed evaluator is the fast path — O(log |D|) delay — but it is
+also the *stateful* path: shared matrix caches, arena-backed nodes, and
+(under fault injection or real trouble) the path that fails first.  The
+breaker keeps a run of failures on it from taking the whole service down:
+
+* **closed** (healthy): requests use the compressed path; each failure
+  increments a consecutive-failure count, each success resets it.
+* **open** (tripped): after ``failure_threshold`` consecutive failures the
+  breaker opens for ``reset_after`` seconds; :meth:`allow` answers False
+  and the service degrades those queries to decompressed evaluation —
+  identical results, worse latency, service up.
+* **half-open** (probing): once ``reset_after`` elapses, up to
+  ``half_open_probes`` requests are let through as probes.  A probe
+  failure re-opens the breaker (with a fresh timer); ``half_open_probes``
+  consecutive probe successes close it again.
+
+All timing uses the monotonic clock; an injectable ``clock`` makes state
+transitions unit-testable without sleeping.  Thread-safe: every
+transition happens under one lock, and :meth:`allow` accounts in-flight
+half-open probes so a thundering herd cannot over-probe.
+
+State changes are observable: ``serve.breaker.state`` (gauge, 0 = closed,
+1 = half-open, 2 = open), ``serve.breaker.opened`` / ``.closed``
+(transition counters) via :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro import obs
+
+__all__ = ["CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+_STATE_GAUGE = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+class CircuitBreaker:
+    """Trip on consecutive failures, recover through half-open probes."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_after: float = 0.25,
+        half_open_probes: int = 2,
+        clock=time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if half_open_probes < 1:
+            raise ValueError("half_open_probes must be >= 1")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_after = float(reset_after)
+        self.half_open_probes = int(half_open_probes)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        self._probe_successes = 0
+        #: lifetime transition counts (accurate under the lock; the obs
+        #: metrics mirror them best-effort)
+        self._times_opened = 0
+        self._times_closed = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state_locked()
+
+    def _state_locked(self) -> str:
+        # an expired open breaker *is* half-open; the transition is lazy
+        if self._state == OPEN and (
+            self._clock() - self._opened_at >= self.reset_after
+        ):
+            self._enter(HALF_OPEN)
+        return self._state
+
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """May this request take the guarded (compressed) path?
+
+        In half-open state, grants are counted as in-flight probes — at
+        most ``half_open_probes`` outstanding — and every grant **must**
+        be paired with :meth:`record_success` or :meth:`record_failure`.
+        """
+        with self._lock:
+            state = self._state_locked()
+            if state == CLOSED:
+                return True
+            if state == OPEN:
+                return False
+            if self._probes_in_flight < self.half_open_probes:
+                self._probes_in_flight += 1
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            state = self._state_locked()
+            if state == HALF_OPEN:
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+                self._probe_successes += 1
+                if self._probe_successes >= self.half_open_probes:
+                    self._enter(CLOSED)
+            else:
+                self._consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            state = self._state_locked()
+            if state == HALF_OPEN:
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+                self._enter(OPEN)  # one failed probe re-opens, fresh timer
+            elif state == CLOSED:
+                self._consecutive_failures += 1
+                if self._consecutive_failures >= self.failure_threshold:
+                    self._enter(OPEN)
+            # already open: a straggler failure changes nothing
+
+    # ------------------------------------------------------------------
+    def _enter(self, state: str) -> None:
+        previous, self._state = self._state, state
+        if state == OPEN:
+            self._opened_at = self._clock()
+            self._times_opened += 1
+        elif state == CLOSED:
+            self._consecutive_failures = 0
+            self._times_closed += 1
+        if state in (CLOSED, HALF_OPEN):
+            self._probes_in_flight = 0
+            self._probe_successes = 0
+        if previous != state and obs.enabled():
+            registry = obs.metrics()
+            registry.gauge("serve.breaker.state").set(_STATE_GAUGE[state])
+            if state == OPEN:
+                registry.counter("serve.breaker.opened").inc()
+            elif state == CLOSED:
+                registry.counter("serve.breaker.closed").inc()
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "state": self._state_locked(),
+                "consecutive_failures": self._consecutive_failures,
+                "times_opened": self._times_opened,
+                "times_closed": self._times_closed,
+                "probes_in_flight": self._probes_in_flight,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CircuitBreaker(state={self.state!r})"

@@ -1,0 +1,93 @@
+"""Retry with exponential backoff + jitter, capped by a retry budget.
+
+Transient failures — an injected fault, a step budget exhausted on a cold
+matrix cache — are worth one or two more attempts: the cache is warmer,
+the fault schedule has moved on.  But naive retries *amplify* load
+exactly when the service is least able to absorb it, so two mechanisms
+bound them:
+
+* :class:`RetryPolicy` — per-request attempt limit and exponential
+  backoff with **seeded, deterministic jitter** (full-jitter style: the
+  sleep is uniform in ``[base/2, base] · 2^attempt``, capped).  The jitter
+  sequence comes from a policy-owned ``random.Random(seed)`` drawn under
+  a lock — no module-level RNG state, so a chaos run's sleep schedule
+  replays from its seed.
+* :class:`RetryBudget` — a service-wide token bucket.  Each retry spends
+  one token; each *successful first attempt* refills a fraction of one.
+  During a fault storm the bucket drains and further failures fall
+  through to degradation/error immediately instead of multiplying
+  traffic; in steady state it stays full and retries are free.
+
+Deadlines always win: the service never sleeps past a request's deadline.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+__all__ = ["RetryPolicy", "RetryBudget"]
+
+
+class RetryPolicy:
+    """Attempt limits and deterministic backoff delays."""
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base_delay: float = 0.005,
+        max_delay: float = 0.25,
+        seed: int = 0,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.max_attempts = int(max_attempts)
+        self.base_delay = float(base_delay)
+        self.max_delay = float(max_delay)
+        self.seed = int(seed)
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+
+    def backoff(self, attempt: int) -> float:
+        """Sleep before retry number *attempt* (1-based): exponential with
+        jitter in ``[1/2, 1]`` of the step, capped at ``max_delay``."""
+        step = min(self.max_delay, self.base_delay * (2 ** max(0, attempt - 1)))
+        with self._lock:
+            fraction = 0.5 + 0.5 * self._rng.random()
+        return step * fraction
+
+
+class RetryBudget:
+    """A token bucket that stops retry storms from amplifying load.
+
+    Starts full at *capacity* tokens.  :meth:`try_spend` takes one token
+    (or refuses — no retry); :meth:`refill` adds ``refill_per_success``
+    on each successful non-retried request, capped at capacity.  With the
+    default ratio, sustained retries are bounded at ~10% of successful
+    traffic once the initial burst allowance is spent.
+    """
+
+    def __init__(self, capacity: float = 20.0, refill_per_success: float = 0.1) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = float(capacity)
+        self.refill_per_success = float(refill_per_success)
+        self._tokens = float(capacity)
+        self._lock = threading.Lock()
+        self._denied = 0
+
+    def try_spend(self) -> bool:
+        with self._lock:
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return True
+            self._denied += 1
+            return False
+
+    def refill(self) -> None:
+        with self._lock:
+            self._tokens = min(self.capacity, self._tokens + self.refill_per_success)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {"tokens": self._tokens, "denied": self._denied}

@@ -1,0 +1,571 @@
+"""`SpannerService`: a concurrent, fault-tolerant query service over
+:class:`~repro.db.SpannerDB`.
+
+The request path, end to end:
+
+1. **Admission.**  :meth:`SpannerService.submit` enqueues the request in a
+   bounded queue.  A full queue *sheds* instead of buffering without
+   bound: :class:`~repro.errors.OverloadedError` carries a ``retry_after``
+   hint derived from the backlog and the observed mean service time, so
+   well-behaved clients drain the overload instead of amplifying it.
+2. **Deadline.**  Each request gets the tightest of its own deadline and
+   the service default (:meth:`Deadline.earliest <repro.util.Deadline.earliest>`),
+   threaded into a fresh :class:`~repro.util.Budget` per attempt — the
+   step allowance resets on retry (the cache is warmer), the wall-clock
+   deadline never does.  A request that expires while queued is failed
+   without doing any work.
+3. **Execution.**  A worker evaluates on the SLP-compressed path under
+   the coordinator's read lock, guarded by the
+   :class:`~repro.serve.breaker.CircuitBreaker`.  Transient failures
+   (injected faults, step budgets hit on a cold cache) are retried with
+   seeded exponential backoff while the service-wide
+   :class:`~repro.serve.retry.RetryBudget` lasts.
+4. **Degradation.**  When the breaker is open — or the final retry of a
+   compressed attempt fails — the query falls back to decompressed
+   evaluation (:meth:`SpannerDB.query_decompressed`): identical tuples,
+   worse latency, service up.  Every degraded answer is flagged on its
+   :class:`QueryResult` and counted in ``serve.degraded``.
+5. **Mutations** (:meth:`add_document` / :meth:`edit` /
+   :meth:`register_spanner` / :meth:`transaction`) run under the
+   exclusive write lock, so queries always see fully committed state and
+   a rollback's arena truncation can never race a reader.
+
+Everything emits :mod:`repro.obs` spans and metrics (queue depth, shed
+count, breaker state, degraded/retry counts, queue-wait and execution
+histograms); correctness-critical counts are *also* kept under the
+service's own lock and reported by :meth:`stats`, immune to the
+best-effort nature of unlocked metric updates under concurrency.
+
+See ``docs/RELIABILITY.md`` ("Serving runbook") for the operational
+semantics of every state and counter.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro import obs
+from repro.core.spans import SpanTuple
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    EvaluationLimitError,
+    FaultInjectedError,
+    MemoryLimitError,
+    OverloadedError,
+    ServiceStoppedError,
+    SpanlibError,
+)
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.coordination import StoreCoordinator
+from repro.serve.retry import RetryBudget, RetryPolicy
+from repro.util.budget import Budget, Deadline
+
+__all__ = ["ServeConfig", "SpannerService", "QueryResult", "Ticket"]
+
+_STOP = object()
+
+
+def _is_transient(exc: BaseException) -> bool:
+    """Worth another attempt?  Injected faults are, and so are step
+    budgets exhausted on a cold cache — but an expired *deadline* stays
+    expired and a *memory* guard will trip again on the same input."""
+    if isinstance(exc, (DeadlineExceededError, MemoryLimitError)):
+        return False
+    return isinstance(exc, (FaultInjectedError, EvaluationLimitError))
+
+
+@dataclass
+class ServeConfig:
+    """Tunables for one :class:`SpannerService` (defaults serve tests and
+    small deployments; production would raise ``workers``/``queue_limit``)."""
+
+    workers: int = 4
+    queue_limit: int = 64
+    #: seconds; every request's deadline is clamped to at most this
+    default_deadline: float | None = None
+    #: per-attempt step allowance threaded into each request's Budget
+    max_steps: int | None = None
+    #: allow degraded (decompressed) evaluation when the breaker is open
+    degrade: bool = True
+    retry_max_attempts: int = 3
+    retry_base_delay: float = 0.005
+    retry_max_delay: float = 0.1
+    retry_budget_capacity: float = 20.0
+    retry_budget_refill: float = 0.1
+    breaker_failure_threshold: int = 5
+    breaker_reset_after: float = 0.25
+    breaker_half_open_probes: int = 2
+    #: seeds the backoff jitter sequence (deterministic chaos replays)
+    seed: int = 0
+
+
+@dataclass
+class QueryResult:
+    """A completed query: the tuples plus how the service got them."""
+
+    tuples: list[SpanTuple]
+    degraded: bool
+    attempts: int
+    queue_ns: int = 0
+    exec_ns: int = 0
+
+
+class Ticket:
+    """A handle to one submitted request (a minimal future)."""
+
+    __slots__ = ("_event", "_result", "_error")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._result: QueryResult | None = None
+        self._error: BaseException | None = None
+
+    def _complete(self, result: QueryResult) -> None:
+        self._result = result
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> QueryResult:
+        """Block for the outcome; re-raises the request's typed error.
+
+        Raises :class:`~repro.errors.DeadlineExceededError` if *timeout*
+        elapses first (the request itself keeps running)."""
+        if not self._event.wait(timeout):
+            raise DeadlineExceededError(
+                f"no result within {timeout}s (request still in flight)"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+
+@dataclass
+class _Request:
+    spanner: str
+    document: str
+    deadline: Deadline | None
+    max_steps: int | None
+    ticket: Ticket
+    enqueued_ns: int = field(default_factory=time.perf_counter_ns)
+
+
+class SpannerService:
+    """A thread-pool query executor with admission control, retries,
+    circuit-broken degradation, and reader/writer coordination."""
+
+    def __init__(self, db, config: ServeConfig | None = None) -> None:
+        self.config = config or ServeConfig()
+        self.coordinator = StoreCoordinator(db)
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_failure_threshold,
+            reset_after=self.config.breaker_reset_after,
+            half_open_probes=self.config.breaker_half_open_probes,
+        )
+        self.retry_policy = RetryPolicy(
+            max_attempts=self.config.retry_max_attempts,
+            base_delay=self.config.retry_base_delay,
+            max_delay=self.config.retry_max_delay,
+            seed=self.config.seed,
+        )
+        self.retry_budget = RetryBudget(
+            capacity=self.config.retry_budget_capacity,
+            refill_per_success=self.config.retry_budget_refill,
+        )
+        self._queue: queue.Queue = queue.Queue(maxsize=self.config.queue_limit)
+        self._threads: list[threading.Thread] = []
+        self._running = False
+        self._stats_lock = threading.Lock()
+        self._counts: dict[str, int] = {
+            "submitted": 0,
+            "completed": 0,
+            "failed": 0,
+            "shed": 0,
+            "expired_in_queue": 0,
+            "degraded": 0,
+            "retries": 0,
+            "mutations": 0,
+            "mutation_failures": 0,
+        }
+        #: recent per-request service times (ns), for p50/p99 and the
+        #: retry-after hint; bounded so a long-lived service stays O(1)
+        self._latencies_ns: deque[int] = deque(maxlen=4096)
+        self._exec_ema_s = 0.0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "SpannerService":
+        if self._running:
+            return self
+        self._running = True
+        for index in range(self.config.workers):
+            thread = threading.Thread(
+                target=self._worker, name=f"serve-worker-{index}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self, timeout: float | None = 10.0) -> None:
+        """Stop accepting work, fail everything still queued, join workers."""
+        if not self._running:
+            return
+        self._running = False
+        # fail queued requests (workers also re-check _running on dequeue)
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not _STOP:
+                item.ticket._fail(ServiceStoppedError("service stopped"))
+        for _ in self._threads:
+            self._queue.put(_STOP)
+        for thread in self._threads:
+            thread.join(timeout)
+        alive = [t for t in self._threads if t.is_alive()]
+        self._threads = []
+        if alive:
+            raise ServiceStoppedError(
+                f"{len(alive)} worker(s) failed to stop within {timeout}s"
+            )
+
+    def __enter__(self) -> "SpannerService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # submission (admission control)
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        spanner: str,
+        document: str,
+        deadline: float | Deadline | None = None,
+        max_steps: int | None = None,
+    ) -> Ticket:
+        """Enqueue one query; sheds with a retry-after hint when full."""
+        if not self._running:
+            raise ServiceStoppedError("submit on a stopped service")
+        if deadline is not None and not isinstance(deadline, Deadline):
+            deadline = Deadline.after(deadline)
+        default = (
+            Deadline.after(self.config.default_deadline)
+            if self.config.default_deadline is not None
+            else None
+        )
+        request = _Request(
+            spanner=spanner,
+            document=document,
+            deadline=Deadline.earliest(deadline, default),
+            max_steps=max_steps if max_steps is not None else self.config.max_steps,
+            ticket=Ticket(),
+        )
+        self._count("submitted")
+        try:
+            self._queue.put_nowait(request)
+        except queue.Full:
+            self._count("shed")
+            retry_after = self._retry_after_hint()
+            if obs.enabled():
+                obs.metrics().counter("serve.shed").inc()
+                obs.tracer().event(
+                    "serve.shed", spanner=spanner, retry_after=retry_after
+                )
+            raise OverloadedError(
+                f"queue full ({self.config.queue_limit} requests); "
+                f"retry after {retry_after:.3f}s",
+                retry_after=retry_after,
+            ) from None
+        if obs.enabled():
+            obs.metrics().gauge("serve.queue_depth").set(self._queue.qsize())
+            obs.metrics().counter("serve.submitted").inc()
+        return request.ticket
+
+    def query(
+        self,
+        spanner: str,
+        document: str,
+        deadline: float | Deadline | None = None,
+        max_steps: int | None = None,
+        timeout: float | None = 30.0,
+    ) -> QueryResult:
+        """Synchronous convenience: :meth:`submit` + :meth:`Ticket.result`."""
+        return self.submit(spanner, document, deadline, max_steps).result(timeout)
+
+    def _retry_after_hint(self) -> float:
+        """Backlog drain estimate: queued requests x mean service time per
+        worker, floored so clients never busy-spin."""
+        with self._stats_lock:
+            ema = self._exec_ema_s
+        depth = self._queue.qsize()
+        return max(0.001, ema * max(1, depth) / max(1, self.config.workers))
+
+    # ------------------------------------------------------------------
+    # mutations (write-locked)
+    # ------------------------------------------------------------------
+    def add_document(self, name: str, text: str, budget=None, timeout: float | None = None) -> None:
+        self._mutate(lambda db: db.add_document(name, text, budget), timeout)
+
+    def edit(self, new_name: str, expression, budget=None, timeout: float | None = None) -> int:
+        return self._mutate(lambda db: db.edit(new_name, expression, budget), timeout)
+
+    def register_spanner(self, name: str, spanner, budget=None, timeout: float | None = None) -> None:
+        self._mutate(lambda db: db.register_spanner(name, spanner, budget), timeout)
+
+    def save(self, path: str, timeout: float | None = None) -> None:
+        self._mutate(lambda db: db.save(path), timeout)
+
+    def transaction(self, timeout: float | None = None):
+        """A write-locked all-or-nothing batch (see
+        :meth:`StoreCoordinator.transaction <repro.serve.coordination.StoreCoordinator.transaction>`)."""
+        self._count("mutations")
+        return self.coordinator.transaction(timeout)
+
+    def _mutate(self, operation, timeout: float | None):
+        self._count("mutations")
+        try:
+            with self.coordinator.write(timeout) as db:
+                return operation(db)
+        except SpanlibError:
+            self._count("mutation_failures")
+            if obs.enabled():
+                obs.metrics().counter("serve.mutation_failures").inc()
+            raise
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            if obs.enabled():
+                obs.metrics().gauge("serve.queue_depth").set(self._queue.qsize())
+            if not self._running:
+                item.ticket._fail(ServiceStoppedError("service stopped"))
+                continue
+            queue_ns = time.perf_counter_ns() - item.enqueued_ns
+            t0 = time.perf_counter_ns()
+            try:
+                if item.deadline is not None and item.deadline.expired():
+                    self._count("expired_in_queue")
+                    raise DeadlineExceededError(
+                        "request deadline expired while queued "
+                        f"(waited {queue_ns / 1e9:.3f}s)"
+                    )
+                tuples, degraded, attempts = self._execute(item)
+            except Exception as exc:  # noqa: BLE001 - tickets must resolve
+                self._count("failed")
+                if obs.enabled():
+                    obs.metrics().counter("serve.failed").inc()
+                    obs.metrics().counter(
+                        f"serve.failed.{type(exc).__name__}"
+                    ).inc()
+                item.ticket._fail(exc)
+                continue
+            exec_ns = time.perf_counter_ns() - t0
+            self._note_completion(exec_ns, degraded)
+            if obs.enabled():
+                registry = obs.metrics()
+                registry.counter("serve.completed").inc()
+                registry.histogram("serve.queue_ns").record(queue_ns)
+                registry.histogram("serve.exec_ns").record(exec_ns)
+                if degraded:
+                    registry.counter("serve.degraded").inc()
+            item.ticket._complete(
+                QueryResult(
+                    tuples=tuples,
+                    degraded=degraded,
+                    attempts=attempts,
+                    queue_ns=queue_ns,
+                    exec_ns=exec_ns,
+                )
+            )
+
+    def _execute(self, request: _Request) -> tuple[list[SpanTuple], bool, int]:
+        """The retry/degradation loop for one request (see module doc)."""
+        attempt = 0
+        while True:
+            attempt += 1
+            if request.deadline is not None and request.deadline.expired():
+                raise DeadlineExceededError(
+                    f"request deadline expired before attempt {attempt}"
+                )
+            compressed = self.breaker.allow()
+            span = (
+                obs.tracer().span(
+                    "serve.attempt",
+                    spanner=request.spanner,
+                    document=request.document,
+                    attempt=attempt,
+                    path="slp" if compressed else "decompressed",
+                )
+                if obs.enabled()
+                else None
+            )
+            try:
+                if span is not None:
+                    span.__enter__()
+                if compressed:
+                    tuples = self._attempt_compressed(request)
+                    if attempt == 1:
+                        self.retry_budget.refill()
+                    return tuples, False, attempt
+                if not self.config.degrade:
+                    raise CircuitOpenError(
+                        "compressed evaluation tripped and degradation is disabled"
+                    )
+                return self._attempt_decompressed(request), True, attempt
+            except SpanlibError as exc:
+                if span is not None:
+                    span.__exit__(type(exc), exc, None)
+                    span = None
+                if not _is_transient(exc):
+                    raise
+                if attempt >= self.retry_policy.max_attempts or not self.retry_budget.try_spend():
+                    # retries exhausted: one last-resort degradation if the
+                    # failure was on the compressed path (its matrices, its
+                    # faults); a failing decompressed path has nothing left
+                    # to fall back to
+                    if compressed and self.config.degrade:
+                        return self._attempt_decompressed(request), True, attempt
+                    raise
+                self._count("retries")
+                if obs.enabled():
+                    obs.metrics().counter("serve.retries").inc()
+                delay = self.retry_policy.backoff(attempt)
+                if request.deadline is not None:
+                    delay = min(delay, max(0.0, request.deadline.remaining()))
+                if delay > 0:
+                    time.sleep(delay)
+            finally:
+                if span is not None:
+                    span.__exit__(None, None, None)
+
+    def _attempt_compressed(self, request: _Request) -> list[SpanTuple]:
+        """One compressed attempt, with breaker accounting.
+
+        The stream is materialised *inside* the read lock: tuples must not
+        be produced lazily after a writer may have truncated the arena."""
+        budget = self._budget_for(request)
+        try:
+            with self.coordinator.read() as db:
+                tuples = list(db.query(request.spanner, request.document, budget))
+        except SpanlibError as exc:
+            if _is_transient(exc):
+                self.breaker.record_failure()
+            else:
+                # a schema error or expired deadline says nothing about
+                # the health of the compressed path
+                self.breaker.record_success()
+            raise
+        self.breaker.record_success()
+        return tuples
+
+    def _attempt_decompressed(self, request: _Request) -> list[SpanTuple]:
+        budget = self._budget_for(request)
+        with self.coordinator.read() as db:
+            return list(
+                db.query_decompressed(request.spanner, request.document, budget)
+            )
+
+    def _budget_for(self, request: _Request) -> Budget | None:
+        if request.deadline is None and request.max_steps is None:
+            return None
+        return Budget(deadline=request.deadline, max_steps=request.max_steps)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def _count(self, key: str, amount: int = 1) -> None:
+        with self._stats_lock:
+            self._counts[key] += amount
+
+    def _note_completion(self, exec_ns: int, degraded: bool) -> None:
+        with self._stats_lock:
+            self._counts["completed"] += 1
+            if degraded:
+                self._counts["degraded"] += 1
+            self._latencies_ns.append(exec_ns)
+            seconds = exec_ns / 1e9
+            # EMA over ~32 requests; seeds from the first sample
+            if self._exec_ema_s == 0.0:
+                self._exec_ema_s = seconds
+            else:
+                self._exec_ema_s += (seconds - self._exec_ema_s) / 32.0
+
+    def latency_percentile(self, p: float) -> float:
+        """Exact percentile (seconds) over the recent-latency window."""
+        with self._stats_lock:
+            window = sorted(self._latencies_ns)
+        if not window:
+            return 0.0
+        rank = min(len(window) - 1, max(0, int(len(window) * p / 100.0)))
+        return window[rank] / 1e9
+
+    def stats(self) -> dict:
+        """Accurate (service-locked) serving statistics plus component
+        states — the numbers the chaos suite asserts on."""
+        with self._stats_lock:
+            counts = dict(self._counts)
+            ema = self._exec_ema_s
+        return {
+            **counts,
+            "running": self._running,
+            "workers": self.config.workers,
+            "queue_depth": self._queue.qsize(),
+            "queue_limit": self.config.queue_limit,
+            "exec_ema_s": ema,
+            "p50_s": self.latency_percentile(50),
+            "p99_s": self.latency_percentile(99),
+            "breaker": self.breaker.stats(),
+            "retry_budget": self.retry_budget.stats(),
+            "lock": self.coordinator.lock.stats(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "running" if self._running else "stopped"
+        return f"SpannerService({state}, workers={self.config.workers})"
+
+
+def serve_queries(
+    service: SpannerService,
+    requests: Iterator[tuple[str, str]],
+    deadline: float | None = None,
+) -> Iterator[QueryResult | SpanlibError]:
+    """Drive *requests* (``(spanner, document)`` pairs) through *service*,
+    yielding a :class:`QueryResult` or the typed error for each — shed
+    requests surface as :class:`~repro.errors.OverloadedError` items, not
+    exceptions, so callers can measure shed rates.  Used by the CLI
+    ``serve`` subcommand and the benchmark driver."""
+    tickets: list[Ticket | SpanlibError] = []
+    for spanner, document in requests:
+        try:
+            tickets.append(service.submit(spanner, document, deadline=deadline))
+        except SpanlibError as exc:
+            tickets.append(exc)
+    for ticket in tickets:
+        if isinstance(ticket, SpanlibError):
+            yield ticket
+            continue
+        try:
+            yield ticket.result(timeout=None)
+        except SpanlibError as exc:
+            yield exc

@@ -58,7 +58,7 @@ class CompressedMembership:
         With :mod:`repro.obs` enabled, memo effectiveness and kernel time
         are recorded (``slp.membership.cache_hits`` / ``.cache_misses`` /
         ``.kernel_ns``) — once per call, not per node."""
-        key = (id(slp), node)
+        key = (slp.serial, node)
         cached = self._node_matrices.get(key)
         if cached is not None:
             if obs.enabled():
@@ -69,7 +69,7 @@ class CompressedMembership:
         nodes = slp.topological(node)
         fresh = 0
         for current in nodes:
-            current_key = (id(slp), current)
+            current_key = (slp.serial, current)
             if current_key in self._node_matrices:
                 continue
             fresh += 1
@@ -77,8 +77,8 @@ class CompressedMembership:
                 matrix = self.char_matrix(slp.char(current))
             else:
                 left, right = slp.children(current)
-                left_m = self._node_matrices[(id(slp), left)]
-                right_m = self._node_matrices[(id(slp), right)]
+                left_m = self._node_matrices[(slp.serial, left)]
+                right_m = self._node_matrices[(slp.serial, right)]
                 # boolean matrix product via float32 (exact: counts < 2^24)
                 matrix = (
                     left_m.astype(np.float32) @ right_m.astype(np.float32)

@@ -44,19 +44,19 @@ class CompressedPatternMatcher:
         if not pattern:
             raise SLPError("pattern must be non-empty")
         self.pattern = pattern
-        #: (id(slp), node) -> (count, prefix, suffix)
+        #: (slp.serial, node) -> (count, prefix, suffix)
         self._data: dict[tuple[int, int], tuple[int, str, str]] = {}
 
     # ------------------------------------------------------------------
     def _node_data(self, slp: SLP, node: int) -> tuple[int, str, str]:
-        key = (id(slp), node)
+        key = (slp.serial, node)
         cached = self._data.get(key)
         if cached is not None:
             return cached
         m = len(self.pattern)
         keep = m - 1
         for current in slp.topological(node):
-            current_key = (id(slp), current)
+            current_key = (slp.serial, current)
             if current_key in self._data:
                 continue
             if slp.is_terminal(current):
@@ -66,8 +66,8 @@ class CompressedPatternMatcher:
                 self._data[current_key] = (count, context, context)
                 continue
             left, right = slp.children(current)
-            count_l, pref_l, suf_l = self._data[(id(slp), left)]
-            count_r, pref_r, suf_r = self._data[(id(slp), right)]
+            count_l, pref_l, suf_l = self._data[(slp.serial, left)]
+            count_r, pref_r, suf_r = self._data[(slp.serial, right)]
             window = suf_l + pref_r
             crossing = sum(
                 1
@@ -106,7 +106,7 @@ class CompressedPatternMatcher:
         m = len(self.pattern)
 
         def walk(current: int, offset: int) -> Iterator[int]:
-            count, _, _ = self._data[(id(slp), current)]
+            count, _, _ = self._data[(slp.serial, current)]
             if count == 0:
                 return
             if slp.is_terminal(current):
@@ -114,8 +114,8 @@ class CompressedPatternMatcher:
                 return
             left, right = slp.children(current)
             left_length = slp.length(left)
-            _, _, suf_l = self._data[(id(slp), left)]
-            _, pref_r, _ = self._data[(id(slp), right)]
+            _, _, suf_l = self._data[(slp.serial, left)]
+            _, pref_r, _ = self._data[(slp.serial, right)]
             window = suf_l + pref_r
             window_start = offset + left_length - len(suf_l)
             yield from walk(left, offset)

@@ -22,6 +22,7 @@ Implementation notes
 
 from __future__ import annotations
 
+import itertools
 from typing import Iterable, Iterator
 
 from repro.errors import SLPError
@@ -36,9 +37,25 @@ class SLP:
     :meth:`terminal` and :meth:`pair` and never mutated or deleted.
     """
 
-    __slots__ = ("_char", "_left", "_right", "_length", "_order", "_terminals", "_pairs")
+    __slots__ = (
+        "_char",
+        "_left",
+        "_right",
+        "_length",
+        "_order",
+        "_terminals",
+        "_pairs",
+        "_serial",
+        "__weakref__",
+    )
+
+    #: process-wide arena serials; ``id()`` is reused after collection, so
+    #: evaluator caches keyed by it could silently serve matrices computed
+    #: for a dead arena — serials are unique for the life of the process
+    _serials = itertools.count()
 
     def __init__(self) -> None:
+        self._serial = next(SLP._serials)
         self._char: list[str | None] = []
         self._left: list[int] = []
         self._right: list[int] = []
@@ -46,6 +63,11 @@ class SLP:
         self._order: list[int] = []
         self._terminals: dict[str, int] = {}
         self._pairs: dict[tuple[int, int], int] = {}
+
+    @property
+    def serial(self) -> int:
+        """A process-unique arena identifier, safe to key caches by."""
+        return self._serial
 
     # ------------------------------------------------------------------
     # construction

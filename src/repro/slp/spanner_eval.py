@@ -30,6 +30,7 @@ edited document only pays for the fresh nodes — the dynamic behaviour of
 from __future__ import annotations
 
 import time
+import weakref
 from typing import Iterator
 
 import numpy as np
@@ -75,11 +76,14 @@ class SLPSpannerEvaluator:
             self._boolmat(mark1) @ self._accepting.astype(np.float32) > 0.5
         )
         self._char_tables_cache: dict[str, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
-        #: (id(slp), node) -> (σ, T, T_em) where T_em only counts runs with
+        #: (slp.serial, node) -> (σ, T, T_em) where T_em only counts runs with
         #: at least one marker emission (the enumeration pruning matrix)
         self._node_data: dict[
             tuple[int, int], tuple[np.ndarray, np.ndarray, np.ndarray]
         ] = {}
+        #: serial -> finalizer purging that arena's entries on collection,
+        #: so a long-lived evaluator does not pin dead arenas' matrices
+        self._arena_finalizers: dict[int, weakref.finalize] = {}
 
     # ------------------------------------------------------------------
     # matrices
@@ -129,10 +133,15 @@ class SLPSpannerEvaluator:
         the instrumentation runs once per call, outside the node loop."""
         observing = obs.enabled()
         t0 = time.perf_counter_ns() if observing else 0
+        serial = slp.serial
+        if serial not in self._arena_finalizers:
+            self._arena_finalizers[serial] = weakref.finalize(
+                slp, self._purge_arena, serial
+            )
         nodes = slp.topological(node)
         fresh = 0
         for current in nodes:
-            key = (id(slp), current)
+            key = (slp.serial, current)
             if key in self._node_data:
                 continue
             fresh += 1
@@ -142,8 +151,8 @@ class SLPSpannerEvaluator:
                 self._node_data[key] = self._char_tables(slp.char(current))
                 continue
             left, right = slp.children(current)
-            sigma_l, t_l, t_em_l = self._node_data[(id(slp), left)]
-            sigma_r, t_r, t_em_r = self._node_data[(id(slp), right)]
+            sigma_l, t_l, t_em_l = self._node_data[(slp.serial, left)]
+            sigma_r, t_r, t_em_r = self._node_data[(slp.serial, right)]
             sigma = np.where(sigma_l == _DEAD, _DEAD, sigma_r[sigma_l])
             T = (self._boolmat(t_l) @ self._boolmat(t_r)) > 0.5
             # ≥1 emission: left emits (right any), or left pure + right emits
@@ -164,6 +173,13 @@ class SLPSpannerEvaluator:
         """How many (SLP node → matrices) entries are cached."""
         return len(self._node_data)
 
+    def _purge_arena(self, serial: int) -> None:
+        """Drop every cached entry of a collected arena (weakref callback)."""
+        self._arena_finalizers.pop(serial, None)
+        stale = [key for key in self._node_data if key[0] == serial]
+        for key in stale:
+            del self._node_data[key]
+
     def invalidate_from(self, slp: SLP, mark: int) -> int:
         """Drop cached matrices for nodes of *slp* with id ``>= mark``.
 
@@ -171,7 +187,7 @@ class SLPSpannerEvaluator:
         at or above it will be *reused* by later allocations, so any cached
         matrices keyed on them would silently describe the wrong document.
         Returns the number of entries dropped."""
-        slp_id = id(slp)
+        slp_id = slp.serial
         stale = [
             key for key in self._node_data
             if key[0] == slp_id and key[1] >= mark
@@ -186,7 +202,7 @@ class SLPSpannerEvaluator:
     def is_nonempty(self, slp: SLP, node: int, budget=None) -> bool:
         """``⟦M⟧(D(node)) ≠ ∅`` without decompression: one T-product chain."""
         self.preprocess(slp, node, budget)
-        _, T, _ = self._node_data[(id(slp), node)]
+        _, T, _ = self._node_data[(slp.serial, node)]
         reachable = T[self.det.initial]
         return bool((reachable & self._cont_end).any())
 
@@ -212,7 +228,7 @@ class SLPSpannerEvaluator:
         self.preprocess(slp, node, budget)
         det = self.det
         n = slp.length(node)
-        key = (id(slp), node)
+        key = (slp.serial, node)
         sigma_root, _, _ = self._node_data[key]
 
         def trailing(q_out: int, emissions: tuple) -> Iterator[tuple]:
@@ -236,6 +252,61 @@ class SLPSpannerEvaluator:
     def evaluate(self, slp: SLP, node: int, budget=None) -> SpanRelation:
         return SpanRelation(
             self.det.variables, self.enumerate(slp, node, budget)
+        )
+
+    # ------------------------------------------------------------------
+    # decompressed fallback (the degraded path of repro.serve)
+    # ------------------------------------------------------------------
+    def evaluate_text(self, text: str, budget=None) -> SpanRelation:
+        """Evaluate the *same* spanner on raw, decompressed text.
+
+        Backward dynamic programming over the deterministic eVA and the
+        plain string — no SLP, no per-node matrix cache, no shared state.
+        This is the graceful-degradation path of :mod:`repro.serve`: when
+        the circuit breaker trips on the compressed evaluator, queries are
+        answered from the decompressed document instead.  Results are
+        tuple-for-tuple identical to :meth:`evaluate` (asserted by the
+        differential fuzz suite); the price is O(|D| · |Q|) work instead
+        of O(log |D|) delay — latency, not correctness.
+
+        A :class:`~repro.util.Budget` is charged ``|Q|`` steps per
+        document position, so deadlines and step limits govern this path
+        exactly like the compressed one."""
+        det = self.det
+        q = det.num_states
+        n = len(text)
+
+        def with_blocks(after_block: list[set], position: int) -> list[set]:
+            # prepend the optional marker block at *position* (1-based)
+            full = [set(suffixes) for suffixes in after_block]
+            for state in range(q):
+                for block, target in det.set_trans[state].items():
+                    if not after_block[target]:
+                        continue
+                    emitted = frozenset((position, m) for m in block)
+                    full[state].update(
+                        emitted | suffix for suffix in after_block[target]
+                    )
+            return full
+
+        after_block: list[set] = [
+            {frozenset()} if self._accepting[state] else set()
+            for state in range(q)
+        ]
+        full = with_blocks(after_block, n + 1)
+        for position in range(n - 1, -1, -1):
+            if budget is not None:
+                budget.step(q)
+            atom = det.atoms.classify(text[position])
+            after_block = [set() for _ in range(q)]
+            if atom is not None:
+                for state in range(q):
+                    target = det.char_trans[state].get(atom)
+                    if target is not None:
+                        after_block[state] |= full[target]
+            full = with_blocks(after_block, position + 1)
+        return SpanRelation(
+            det.variables, map(emissions_to_tuple, full[det.initial])
         )
 
     # ------------------------------------------------------------------
@@ -270,8 +341,8 @@ class SLPSpannerEvaluator:
                     yield target, tuple((offset + 1, m) for m in block)
             return
         left, right = slp.children(node)
-        sigma_l, _, t_em_l = self._node_data[(id(slp), left)]
-        sigma_r, t_r, t_em_r = self._node_data[(id(slp), right)]
+        sigma_l, _, t_em_l = self._node_data[(slp.serial, left)]
+        sigma_r, t_r, t_em_r = self._node_data[(slp.serial, right)]
         left_length = slp.length(left)
         # continuation for the left part: exits p that R can carry to cont
         cont_f32 = cont.astype(np.float32)

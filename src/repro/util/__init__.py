@@ -2,6 +2,7 @@
 
 from repro.util.budget import Budget, Deadline
 from repro.util.faults import (
+    ChaosInjector,
     fail_at_allocation,
     fail_at_call,
     fail_in_preprocess,
@@ -18,6 +19,7 @@ from repro.util.workloads import (
 
 __all__ = [
     "Budget",
+    "ChaosInjector",
     "Deadline",
     "fail_at_allocation",
     "fail_at_call",

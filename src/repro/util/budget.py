@@ -56,6 +56,18 @@ class Deadline:
         """The deadline *seconds* from now."""
         return cls(time.monotonic() + float(seconds))
 
+    @classmethod
+    def earliest(cls, *deadlines: "Deadline | None") -> "Deadline | None":
+        """The tightest of several optional deadlines (``None`` = unbounded).
+
+        The serving layer combines a per-request deadline with the
+        service-wide default this way; a request can tighten but never
+        loosen the service's bound."""
+        instants = [d.at for d in deadlines if d is not None]
+        if not instants:
+            return None
+        return cls(min(instants))
+
     def remaining(self) -> float:
         """Seconds left (negative once expired)."""
         return self.at - time.monotonic()

@@ -12,24 +12,44 @@ non-durable record — is only worth anything if it survives failures at the
 * :func:`truncate_journal_write` — emit only a prefix of a journal record
   and then die (a torn write followed by a crash);
 * :func:`truncate_file` — post-hoc torn-write simulation on any file;
-* :func:`fail_at_call` — the generic primitive behind the above.
+* :func:`fail_at_call` — the generic primitive behind the above;
+* :class:`ChaosInjector` — a *seedable, concurrency-aware* probabilistic
+  schedule of errors and delays for multi-threaded chaos runs (the
+  :mod:`repro.serve` chaos suite).
 
 All injected errors are :class:`~repro.errors.FaultInjectedError`, a
 :class:`~repro.errors.SpanlibError`, so they travel exactly the rollback
 and recovery paths genuine failures take.  Every helper is a context
 manager that restores the patched attribute on exit, so faults never leak
 between tests.
+
+Determinism contract
+--------------------
+
+Every injection in this module is a pure function of explicit inputs — a
+call counter (:func:`fail_at_call` family) or an explicit integer seed
+(:class:`ChaosInjector`).  There is **no module-level RNG state**: two
+runs with the same seed draw the same fault schedule, so a chaos-test
+failure replays exactly from its seed.  For multi-threaded runs the
+schedule is *concurrency-aware*: the decision for the k-th call at a
+given site is ``f(seed, site, k)`` regardless of which thread makes it,
+so the multiset of injected faults is identical across interleavings even
+though thread schedules are not.
 """
 
 from __future__ import annotations
 
 import contextlib
 import os
+import random
+import threading
+import time
 from typing import Iterator
 
 from repro.errors import FaultInjectedError
 
 __all__ = [
+    "ChaosInjector",
     "fail_at_call",
     "fail_at_allocation",
     "fail_in_preprocess",
@@ -123,6 +143,105 @@ def truncate_journal_write(keep_bytes: int = 0, at: int = 1) -> Iterator[dict]:
         yield state
     finally:
         SpannerDB._journal_write = original
+
+
+class ChaosInjector:
+    """A seeded, thread-safe schedule of probabilistic faults and delays.
+
+    One injector drives a whole chaos run.  Each *site* (a short string
+    naming an injection point, e.g. ``"preprocess"`` or ``"journal"``) has
+    its own call counter; the decision for the k-th call at a site is::
+
+        random.Random(f"{seed}:{site}:{k}").random() < rate
+
+    ``random.Random`` seeded with a string hashes it with SHA-512, so the
+    draw is stable across processes and interpreter runs (unlike ``hash``,
+    which is salted).  The per-site counters are incremented under a lock,
+    making the schedule *concurrency-aware*: however threads interleave,
+    the k-th call at a site always gets the same verdict, so a run's fault
+    multiset is a pure function of its seed.
+
+    Use :meth:`maybe_fail` / :meth:`maybe_delay` directly at a call site
+    you control, or :meth:`chaos` to monkeypatch one into an existing
+    method for the duration of a ``with`` block.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self.seed = int(seed)
+        self._lock = threading.Lock()
+        self._calls: dict[str, int] = {}
+        self._fired: dict[str, int] = {}
+
+    def _draw(self, site: str) -> float:
+        with self._lock:
+            k = self._calls.get(site, 0)
+            self._calls[site] = k + 1
+        return random.Random(f"{self.seed}:{site}:{k}").random()
+
+    def _record(self, site: str) -> None:
+        with self._lock:
+            self._fired[site] = self._fired.get(site, 0) + 1
+
+    def maybe_fail(self, site: str, rate: float, error: Exception | None = None) -> None:
+        """Raise :class:`~repro.errors.FaultInjectedError` with probability
+        *rate* (per the deterministic schedule) at this site."""
+        if rate <= 0.0:
+            return
+        if self._draw(site) < rate:
+            self._record(site)
+            raise error if error is not None else FaultInjectedError(
+                f"chaos fault at {site!r} (seed {self.seed})"
+            )
+
+    def maybe_delay(self, site: str, rate: float, seconds: float) -> bool:
+        """Sleep *seconds* with probability *rate*; returns whether it slept."""
+        if rate <= 0.0:
+            return False
+        if self._draw(site) < rate:
+            self._record(site)
+            time.sleep(seconds)
+            return True
+        return False
+
+    def fired(self) -> dict[str, int]:
+        """Per-site count of faults/delays that actually fired so far."""
+        with self._lock:
+            return dict(self._fired)
+
+    def calls(self) -> dict[str, int]:
+        """Per-site call counts (schedule positions consumed so far)."""
+        with self._lock:
+            return dict(self._calls)
+
+    @contextlib.contextmanager
+    def chaos(
+        self,
+        target: object,
+        attribute: str,
+        site: str | None = None,
+        error_rate: float = 0.0,
+        delay_rate: float = 0.0,
+        delay: float = 0.0005,
+    ) -> Iterator["ChaosInjector"]:
+        """Patch ``target.attribute`` to consult this schedule on every call.
+
+        A targeted call first (maybe) sleeps, then (maybe) raises, then
+        passes through to the original — delays exercise slow-path races,
+        errors exercise rollback/retry/degradation paths.  The patch is
+        removed on exit, like every helper in this module."""
+        point = site if site is not None else attribute
+        original = getattr(target, attribute)
+
+        def wrapper(*args, **kwargs):
+            self.maybe_delay(f"{point}.delay", delay_rate, delay)
+            self.maybe_fail(point, error_rate)
+            return original(*args, **kwargs)
+
+        setattr(target, attribute, wrapper)
+        try:
+            yield self
+        finally:
+            setattr(target, attribute, original)
 
 
 def truncate_file(path: str, keep_bytes: int) -> int:

@@ -1,0 +1,98 @@
+"""Differential fuzzing: the SLP-compressed path and the decompressed
+fallback must agree tuple-for-tuple (satellite of the serving issue).
+
+The degraded path (:meth:`SLPSpannerEvaluator.evaluate_text`,
+:meth:`SpannerDB.query_decompressed`) exists so the circuit breaker can
+trade latency for availability — it is only sound if it is *extensionally
+identical* to compressed evaluation.  Both are also checked against the
+uncompressed reference pipeline, so a shared bug cannot hide.
+"""
+
+import random
+
+import pytest
+
+from repro import RegularSpanner, SpannerDB
+from repro.errors import EvaluationLimitError
+from repro.regex import spanner_from_regex
+from repro.slp import SLP, balanced_node
+from repro.slp.spanner_eval import SLPSpannerEvaluator
+from repro.util import Budget
+
+PATTERNS = [
+    "!x{(a|b)*}",
+    "(a|b)*!x{b}(a|b)*",
+    "(a|b)*!x{ab}(a|b)*",
+    "(a|b)*!x{a}(a|b)*!y{b}(a|b)*",
+    "!x{a*}!y{b*}",
+    "(a|b)*!x{(ab)*}(a|b)*",
+]
+
+
+def random_doc(rng: random.Random, max_len: int) -> str:
+    return "".join(rng.choice("ab") for _ in range(rng.randint(0, max_len)))
+
+
+def answers(pattern: str, text: str) -> tuple[list[str], list[str], list[str]]:
+    """(compressed, decompressed-fallback, reference) for one input."""
+    evaluator = SLPSpannerEvaluator(spanner_from_regex(pattern))
+    slp = SLP()
+    node = balanced_node(slp, text) if text else None
+    if node is None:
+        # empty document: fallback and reference still answer
+        compressed = None
+    else:
+        compressed = sorted(map(str, evaluator.evaluate(slp, node)))
+    fallback = sorted(map(str, evaluator.evaluate_text(text)))
+    reference = sorted(
+        map(str, RegularSpanner.from_regex(pattern).enumerate(text))
+    )
+    return compressed, fallback, reference
+
+
+class TestDifferentialAgreement:
+    @pytest.mark.parametrize("pattern", PATTERNS)
+    def test_seeded_random_documents(self, pattern):
+        rng = random.Random(1234)  # explicit seed, replayable
+        for _ in range(20):
+            text = random_doc(rng, 24)
+            compressed, fallback, reference = answers(pattern, text)
+            assert fallback == reference, (pattern, text)
+            if compressed is not None:
+                assert compressed == reference, (pattern, text)
+
+    def test_highly_compressible_documents(self):
+        for text in ["ab" * 64, "a" * 100 + "b", "b" * 128, ("abb" * 20) + "a"]:
+            for pattern in PATTERNS[:4]:
+                compressed, fallback, reference = answers(pattern, text)
+                assert compressed == fallback == reference, (pattern, text)
+
+    def test_through_the_database_layer(self):
+        db = SpannerDB()
+        rng = random.Random(77)
+        for index in range(8):
+            db.add_document(f"d{index}", random_doc(rng, 30) + "b")
+        db.register_spanner("m", PATTERNS[1])
+        for index in range(8):
+            name = f"d{index}"
+            fast = sorted(map(str, db.evaluate("m", name)))
+            slow = sorted(map(str, db.query_decompressed("m", name)))
+            assert fast == slow, name
+
+    def test_fallback_respects_step_budgets(self):
+        evaluator = SLPSpannerEvaluator(spanner_from_regex(PATTERNS[1]))
+        with pytest.raises(EvaluationLimitError):
+            evaluator.evaluate_text("ab" * 50, budget=Budget(max_steps=3))
+
+
+@pytest.mark.slow_fuzz
+class TestDifferentialDeep:
+    def test_many_seeds_and_longer_documents(self):
+        rng = random.Random(20260805)
+        for _ in range(300):
+            pattern = rng.choice(PATTERNS)
+            text = random_doc(rng, 200)
+            compressed, fallback, reference = answers(pattern, text)
+            assert fallback == reference, (pattern, text)
+            if compressed is not None:
+                assert compressed == reference, (pattern, text)

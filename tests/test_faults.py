@@ -236,3 +236,110 @@ class TestCrashRecovery:
         with open(path + ".journal", encoding="utf-8") as handle:
             assert len(handle.read().splitlines()) == 1  # header only
         assert SpannerDB.open(path).documents() == ["base", "x"]
+
+
+class TestChaosInjectorDeterminism:
+    """Satellite property: every injection decision is a pure function of
+    (seed, site, call index) — no module-level RNG, no thread sensitivity."""
+
+    def drive(self, injector, sites, calls_per_site, threads=1):
+        """Hammer maybe_fail from N threads; return the decision multiset."""
+        import threading
+
+        from repro.util import ChaosInjector  # noqa: F401 - imported for docs
+
+        lock = threading.Lock()
+        outcomes = []
+
+        def worker():
+            while True:
+                with lock:
+                    if not schedule:
+                        return
+                    site = schedule.pop()
+                try:
+                    injector.maybe_fail(site, rate=0.3)
+                    with lock:
+                        outcomes.append((site, False))
+                except SpanlibError:
+                    with lock:
+                        outcomes.append((site, True))
+
+        schedule = [site for site in sites for _ in range(calls_per_site)]
+        pool = [threading.Thread(target=worker) for _ in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join(timeout=30)
+        return sorted(outcomes)
+
+    def test_same_seed_same_fault_multiset_across_thread_counts(self):
+        from repro.util import ChaosInjector
+
+        single = self.drive(ChaosInjector(5), ["a", "b"], 40, threads=1)
+        fleet = self.drive(ChaosInjector(5), ["a", "b"], 40, threads=4)
+        assert single == fleet
+
+    def test_different_seeds_draw_different_schedules(self):
+        from repro.util import ChaosInjector
+
+        runs = {
+            tuple(self.drive(ChaosInjector(seed), ["s"], 60)) for seed in range(5)
+        }
+        assert len(runs) > 1
+
+    def test_fired_and_calls_account_exactly(self):
+        from repro.util import ChaosInjector
+
+        injector = ChaosInjector(9)
+        fired = 0
+        for _ in range(50):
+            try:
+                injector.maybe_fail("site", rate=0.5)
+            except SpanlibError:
+                fired += 1
+        assert injector.calls() == {"site": 50}
+        assert injector.fired().get("site", 0) == fired
+        assert 0 < fired < 50  # the schedule actually mixes outcomes
+
+    def test_zero_rate_never_fires_and_consumes_no_schedule(self):
+        from repro.util import ChaosInjector
+
+        injector = ChaosInjector(9)
+        for _ in range(10):
+            injector.maybe_fail("site", rate=0.0)
+        assert injector.calls() == {}
+        assert injector.fired() == {}
+
+    def test_delays_share_the_deterministic_schedule(self):
+        from repro.util import ChaosInjector
+
+        first = ChaosInjector(3)
+        second = ChaosInjector(3)
+        slept_first = [first.maybe_delay("d", 0.5, 0.0) for _ in range(30)]
+        slept_second = [second.maybe_delay("d", 0.5, 0.0) for _ in range(30)]
+        assert slept_first == slept_second
+
+    def test_chaos_contextmanager_restores_the_patched_attribute(self):
+        from repro.slp.spanner_eval import SLPSpannerEvaluator
+        from repro.util import ChaosInjector
+
+        original = SLPSpannerEvaluator.enumerate
+        with ChaosInjector(1).chaos(
+            SLPSpannerEvaluator, "enumerate", error_rate=1.0
+        ):
+            assert SLPSpannerEvaluator.enumerate is not original
+        assert SLPSpannerEvaluator.enumerate is original
+
+    def test_no_module_level_rng_state(self):
+        """Two interleaved injectors never perturb each other's schedules."""
+        from repro.util import ChaosInjector
+
+        alone = ChaosInjector(7)
+        alone_draws = [alone._draw("s") for _ in range(20)]
+        a, b = ChaosInjector(7), ChaosInjector(99)
+        interleaved = []
+        for _ in range(20):
+            interleaved.append(a._draw("s"))
+            b._draw("s")
+        assert alone_draws == interleaved

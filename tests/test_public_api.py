@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.slp",
     "repro.wordeq",
     "repro.util",
+    "repro.serve",
     "repro.obs",
 ]
 

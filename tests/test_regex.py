@@ -59,6 +59,23 @@ class TestParser:
         assert isinstance(node, Reference)
         assert references_of(node) == {"foo"}
 
+    def test_nesting_inside_the_depth_limit_parses(self):
+        depth = 50
+        node = parse("(" * depth + "a" + ")" * depth)
+        assert node is not None
+
+    def test_pathological_nesting_raises_typed_error_not_recursionerror(self):
+        depth = 5000
+        pattern = "(" * depth + "a" + ")" * depth
+        with pytest.raises(RegexSyntaxError, match="depth limit"):
+            parse(pattern)
+
+    def test_deep_capture_nesting_is_also_guarded(self):
+        pattern = "".join(f"!v{i}{{" for i in range(5000))
+        pattern += "a" + "}" * 5000
+        with pytest.raises(RegexSyntaxError, match="depth limit"):
+            parse(pattern)
+
     def test_variable_names(self):
         node = parse("!long_name2{a}")
         assert node.var == "long_name2"

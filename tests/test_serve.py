@@ -1,0 +1,400 @@
+"""Unit tests for the serving layer's primitives and request path.
+
+Breaker transitions run against a fake clock (no sleeping); service-level
+behaviour (admission control, degradation, lifecycle) is pinned down by
+blocking the worker pool behind the coordinator's write lock, which is
+deterministic where "submit faster than the workers drain" is not.
+"""
+
+import threading
+
+import pytest
+
+from repro import SpannerDB
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    FaultInjectedError,
+    OverloadedError,
+    SchemaError,
+    ServiceStoppedError,
+    SLPError,
+)
+from repro.serve import (
+    CircuitBreaker,
+    RetryBudget,
+    RetryPolicy,
+    RWLock,
+    ServeConfig,
+    SpannerService,
+)
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN
+from repro.slp.spanner_eval import SLPSpannerEvaluator
+from repro.util import ChaosInjector
+
+PATTERN = "(a|b)*!x{b}(a|b)*"
+
+
+def drain_to_worker(service, timeout: float = 5.0) -> None:
+    """Wait until the (parked) worker pool has dequeued everything."""
+    waited = 0.0
+    while service._queue.qsize() and waited < timeout:
+        threading.Event().wait(0.005)
+        waited += 0.005
+    assert not service._queue.qsize(), "worker never dequeued"
+
+
+def store():
+    db = SpannerDB()
+    db.add_document("d1", "ababbab")
+    db.register_spanner("m", PATTERN)
+    return db
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestCircuitBreaker:
+    def make(self, **kwargs):
+        clock = FakeClock()
+        defaults = dict(
+            failure_threshold=3, reset_after=1.0, half_open_probes=2, clock=clock
+        )
+        defaults.update(kwargs)
+        return CircuitBreaker(**defaults), clock
+
+    def test_trips_after_consecutive_failures(self):
+        breaker, _ = self.make()
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_count(self):
+        breaker, _ = self.make()
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_half_open_after_reset_and_probe_cap(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(1.0)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()
+        assert breaker.allow()
+        # both probe slots in flight: a third caller is refused
+        assert not breaker.allow()
+
+    def test_probe_successes_close(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.stats()["times_closed"] == 1
+
+    def test_probe_failure_reopens_with_fresh_timer(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.stats()["times_opened"] == 2
+        clock.advance(0.5)  # fresh timer: not yet half-open
+        assert breaker.state == OPEN
+        clock.advance(0.5)
+        assert breaker.state == HALF_OPEN
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(half_open_probes=0)
+
+
+class TestRetryPolicy:
+    def test_backoff_is_exponential_with_bounded_jitter(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=0.01, max_delay=1.0, seed=7)
+        for attempt in range(1, 5):
+            step = 0.01 * 2 ** (attempt - 1)
+            delay = policy.backoff(attempt)
+            assert step / 2 <= delay <= step
+
+    def test_backoff_caps_at_max_delay(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=0.2, seed=0)
+        assert policy.backoff(10) <= 0.2
+
+    def test_same_seed_same_schedule(self):
+        a = RetryPolicy(seed=42)
+        b = RetryPolicy(seed=42)
+        assert [a.backoff(i) for i in range(1, 6)] == [
+            b.backoff(i) for i in range(1, 6)
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+
+class TestRetryBudget:
+    def test_spends_down_then_denies(self):
+        budget = RetryBudget(capacity=2.0, refill_per_success=0.5)
+        assert budget.try_spend()
+        assert budget.try_spend()
+        assert not budget.try_spend()
+        assert budget.stats()["denied"] == 1
+
+    def test_refill_restores_and_caps(self):
+        budget = RetryBudget(capacity=1.0, refill_per_success=0.6)
+        assert budget.try_spend()
+        budget.refill()
+        assert not budget.try_spend()  # 0.6 < 1 token
+        budget.refill()
+        assert budget.try_spend()  # capped at 1.0, spendable
+        budget.refill()
+        budget.refill()
+        assert budget.stats()["tokens"] <= 1.0
+
+
+class TestRWLock:
+    def test_readers_share(self):
+        lock = RWLock()
+        with lock.read():
+            with lock.read():
+                assert lock.stats()["readers"] == 2
+
+    def test_writer_excludes_readers(self):
+        lock = RWLock()
+        lock.acquire_write()
+        with pytest.raises(DeadlineExceededError):
+            lock.acquire_read(timeout=0.05)
+        lock.release_write()
+        with lock.read():
+            pass
+
+    def test_writer_preference_blocks_new_readers(self):
+        lock = RWLock()
+        lock.acquire_read()
+        blocked = threading.Thread(target=lock.acquire_write)
+        blocked.start()
+        # wait until the writer is parked
+        for _ in range(100):
+            if lock.stats()["writers_waiting"] == 1:
+                break
+            threading.Event().wait(0.01)
+        with pytest.raises(DeadlineExceededError):
+            lock.acquire_read(timeout=0.05)  # parks behind the waiting writer
+        lock.release_read()
+        blocked.join(timeout=5)
+        assert not blocked.is_alive()
+        lock.release_write()
+
+    def test_write_timeout_raises_typed_error(self):
+        lock = RWLock()
+        lock.acquire_read()
+        with pytest.raises(DeadlineExceededError):
+            lock.acquire_write(timeout=0.05)
+        lock.release_read()
+
+
+class TestAdmissionControl:
+    def test_sheds_with_retry_after_when_full(self):
+        service = SpannerService(store(), ServeConfig(workers=1, queue_limit=2))
+        with service:
+            # park the pool behind the write lock: nothing drains
+            service.coordinator.lock.acquire_write()
+            try:
+                tickets = [service.submit("m", "d1")]
+                drain_to_worker(service)  # worker holds it, blocked on read
+                tickets += [service.submit("m", "d1") for _ in range(2)]
+                with pytest.raises(OverloadedError) as shed:
+                    service.submit("m", "d1")
+                assert shed.value.retry_after > 0
+            finally:
+                service.coordinator.lock.release_write()
+            for ticket in tickets:
+                assert len(ticket.result(timeout=10).tuples) == 4
+        stats = service.stats()
+        assert stats["shed"] == 1
+        assert stats["completed"] == 3
+
+    def test_expired_in_queue_fails_without_work(self):
+        service = SpannerService(store(), ServeConfig(workers=1))
+        with service:
+            service.coordinator.lock.acquire_write()
+            try:
+                blocker = service.submit("m", "d1")
+                drain_to_worker(service)  # the lone worker is now parked
+                ticket = service.submit("m", "d1", deadline=0.01)  # stays queued
+                threading.Event().wait(0.05)
+            finally:
+                service.coordinator.lock.release_write()
+            blocker.result(timeout=10)
+            with pytest.raises(DeadlineExceededError):
+                ticket.result(timeout=10)
+        assert service.stats()["expired_in_queue"] == 1
+
+
+class TestServiceLifecycle:
+    def test_query_answers_match_direct_evaluation(self):
+        db = store()
+        expected = sorted(map(str, db.query("m", "d1")))
+        with SpannerService(db, ServeConfig(workers=2)) as service:
+            result = service.query("m", "d1")
+            assert not result.degraded
+            assert result.attempts == 1
+            assert sorted(map(str, result.tuples)) == expected
+
+    def test_submit_after_stop_raises(self):
+        service = SpannerService(store())
+        service.start()
+        service.stop()
+        with pytest.raises(ServiceStoppedError):
+            service.submit("m", "d1")
+
+    def test_stop_fails_queued_requests(self):
+        service = SpannerService(store(), ServeConfig(workers=1))
+        service.start()
+        service.coordinator.lock.acquire_write()
+        try:
+            tickets = [service.submit("m", "d1") for _ in range(3)]
+        finally:
+            # stop with the pool still parked: queued requests must resolve
+            service.coordinator.lock.release_write()
+        service.stop()
+        resolved = 0
+        for ticket in tickets:
+            try:
+                ticket.result(timeout=5)
+                resolved += 1
+            except ServiceStoppedError:
+                resolved += 1
+        assert resolved == 3
+
+    def test_unknown_names_surface_typed_errors(self):
+        with SpannerService(store()) as service:
+            with pytest.raises(SchemaError):
+                service.query("nope", "d1")
+            with pytest.raises(SLPError):
+                service.query("m", "nope")
+
+    def test_mutations_are_visible_to_later_queries(self):
+        with SpannerService(store()) as service:
+            service.add_document("d2", "bbb")
+            result = service.query("m", "d2")
+            assert len(result.tuples) == 3
+            assert service.stats()["mutations"] == 1
+
+    def test_ticket_timeout_is_typed(self):
+        service = SpannerService(store(), ServeConfig(workers=1))
+        with service:
+            service.coordinator.lock.acquire_write()
+            try:
+                ticket = service.submit("m", "d1")
+                with pytest.raises(DeadlineExceededError):
+                    ticket.result(timeout=0.05)
+            finally:
+                service.coordinator.lock.release_write()
+            ticket.result(timeout=10)
+
+
+class TestDegradation:
+    def test_faulty_compressed_path_degrades_with_identical_tuples(self):
+        db = store()
+        expected = sorted(map(str, db.query("m", "d1")))
+        config = ServeConfig(
+            workers=2,
+            retry_max_attempts=2,
+            breaker_failure_threshold=2,
+            breaker_reset_after=60.0,
+        )
+        injector = ChaosInjector(seed=1)
+        with SpannerService(db, config) as service:
+            with injector.chaos(
+                SLPSpannerEvaluator, "enumerate", site="enum", error_rate=1.0
+            ):
+                results = [service.query("m", "d1", timeout=30) for _ in range(6)]
+        assert all(r.degraded for r in results)
+        for r in results:
+            assert sorted(map(str, r.tuples)) == expected
+        stats = service.stats()
+        assert stats["degraded"] == 6
+        assert stats["breaker"]["state"] == "open"
+        assert stats["breaker"]["times_opened"] == 1
+
+    def test_degradation_disabled_surfaces_breaker_and_fault_errors(self):
+        config = ServeConfig(
+            workers=1,
+            degrade=False,
+            retry_max_attempts=1,
+            breaker_failure_threshold=1,
+            breaker_reset_after=60.0,
+        )
+        injector = ChaosInjector(seed=2)
+        with SpannerService(store(), config) as service:
+            with injector.chaos(
+                SLPSpannerEvaluator, "enumerate", site="enum", error_rate=1.0
+            ):
+                with pytest.raises(FaultInjectedError):
+                    service.query("m", "d1")
+                with pytest.raises(CircuitOpenError):
+                    service.query("m", "d1")
+
+    def test_breaker_recovers_after_reset(self):
+        config = ServeConfig(
+            workers=1,
+            retry_max_attempts=1,
+            breaker_failure_threshold=1,
+            breaker_reset_after=0.05,
+            breaker_half_open_probes=1,
+        )
+        injector = ChaosInjector(seed=3)
+        with SpannerService(store(), config) as service:
+            with injector.chaos(
+                SLPSpannerEvaluator, "enumerate", site="enum", error_rate=1.0
+            ):
+                assert service.query("m", "d1").degraded
+            threading.Event().wait(0.06)
+            # fault gone, reset elapsed: the half-open probe succeeds
+            result = service.query("m", "d1")
+            assert not result.degraded
+            assert service.breaker.state == "closed"
+
+    def test_retries_recover_from_one_shot_fault(self):
+        db = store()
+        expected = sorted(map(str, db.query("m", "d1")))
+        config = ServeConfig(workers=1, retry_max_attempts=3, breaker_failure_threshold=5)
+        injector = ChaosInjector(seed=11)
+        # rate 0.35: under seed 11 the first draw fires, later ones do not
+        with SpannerService(db, config) as service:
+            with injector.chaos(
+                SLPSpannerEvaluator, "enumerate", site="enum", error_rate=0.35
+            ):
+                results = [service.query("m", "d1", timeout=30) for _ in range(10)]
+        assert all(sorted(map(str, r.tuples)) == expected for r in results)
+        retried = [r for r in results if r.attempts > 1]
+        if injector.fired():
+            assert retried or any(r.degraded for r in results)

@@ -13,6 +13,9 @@ cd "$(dirname "$0")/.."
 echo "== lint: no wall-clock timing in src/"
 python tools/check_no_wallclock.py
 
+echo "== lint: shared evaluator state stays behind the coordination layer"
+python tools/check_thread_safety.py
+
 echo "== docs: API index is fresh"
 python - <<'EOF'
 import pathlib, sys
@@ -27,3 +30,6 @@ EOF
 
 echo "== tests (slow_fuzz excluded by default addopts)"
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q
+
+echo "== chaos smoke lane (seeded concurrent fault injection, fast subset)"
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -q tests/test_chaos.py -m "not slow_fuzz"
