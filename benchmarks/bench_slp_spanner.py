@@ -15,14 +15,77 @@ Claims benchmarked:
 import statistics
 import time
 
+import numpy as np
 import pytest
 
 from repro.enumeration import Enumerator, measure_delays
+from repro.kernels import reference_compose_pure, reference_mm, unpack_rows
 from repro.regex import spanner_from_regex
-from repro.slp import SLP, SLPSpannerEvaluator, power_node
+from repro.slp import SLP, SLPSpannerEvaluator, balanced_node, power_node
 
 PATTERN = "(a|b)*!x{abb}(a|b)*"
 UNIT = "abbab"
+
+_DEAD = -1
+
+# record corpus for the packed-kernel lanes: see bench_slp_membership
+_RECORD_FIXED = "abbabbaabbabaabbbaabababbaababbabaabbbabbaabbaabbaababbabababba"[:60]
+
+
+def _record_corpus(records: int = 2048, ident: int = 4) -> str:
+    rng = np.random.default_rng(7)
+    return "".join(
+        "".join(rng.choice(["a", "b"], size=ident)) + _RECORD_FIXED
+        for _ in range(records)
+    )
+
+
+def _reference_preprocess(det, slp, node):
+    """The seed recurrence verbatim: dense per-node (σ, T, T_em) with two
+    float32 products per pair node and per-use dtype conversions."""
+    q = det.num_states
+    mark_e = np.zeros((q, q), dtype=bool)
+    for state in range(q):
+        for target in det.set_trans[state].values():
+            mark_e[state, target] = True
+    memo = {}
+    char_memo = {}
+
+    def function_matrix(sigma):
+        step = np.zeros((q, q), dtype=bool)
+        valid = sigma != _DEAD
+        step[np.nonzero(valid)[0], sigma[valid]] = True
+        return step
+
+    def char_tables(ch):
+        if ch in char_memo:
+            return char_memo[ch]
+        sigma = np.full(q, _DEAD, dtype=np.int64)
+        atom = det.atoms.classify(ch)
+        if atom is not None:
+            for state in range(q):
+                target = det.char_trans[state].get(atom)
+                if target is not None:
+                    sigma[state] = target
+        step = function_matrix(sigma)
+        t_em = reference_mm(mark_e, step)
+        char_memo[ch] = (sigma, step | t_em, t_em)
+        return char_memo[ch]
+
+    for current in slp.topological(node):
+        if current in memo:
+            continue
+        if slp.is_terminal(current):
+            memo[current] = char_tables(slp.char(current))
+            continue
+        left, right = slp.children(current)
+        sigma_l, _, em_l = memo[left]
+        sigma_r, t_r, em_r = memo[right]
+        dead = sigma_l == _DEAD
+        sigma = np.where(dead, _DEAD, sigma_r[np.where(dead, 0, sigma_l)])
+        em = reference_mm(em_l, t_r) | reference_compose_pure(sigma_l, em_r)
+        memo[current] = (sigma, function_matrix(sigma) | em, em)
+    return memo
 
 
 @pytest.mark.parametrize("exponent", [10, 16, 22])
@@ -39,6 +102,64 @@ def test_c3_preprocessing_linear_in_slp(bench, exponent):
     bench.benchmark.extra_info["doc_length"] = slp.length(node)
     bench.benchmark.extra_info["slp_nodes_processed"] = fresh
     assert fresh <= slp.size(node) + 1
+
+
+@pytest.mark.parametrize(
+    "pattern",
+    [
+        "(a|b)*a(a|b){5}!x{(a|b)*}",  # |Q| = 69 after determinisation
+        "(a|b)*a(a|b){6}!x{a(a|b)*}",  # |Q| = 134
+    ],
+)
+def test_c3_packed_kernel_speedup(bench, pattern):
+    """Packed wave kernels + matrix interning vs the seed recurrence.
+
+    Same record corpus, same (σ, T, T_em) semantics; the reference pays
+    two float32 products per fresh pair node while the packed path pays
+    one batched product per *distinct* operand pair.  The before/after of
+    this PR is recorded as ``reference_seconds`` / ``packed_seconds``."""
+    det = SLPSpannerEvaluator(spanner_from_regex(pattern)).det
+    q = det.num_states
+    assert q >= 64
+    text = _record_corpus()
+    slp = SLP()
+    node = balanced_node(slp, text)
+
+    def timed(fn):
+        start = time.perf_counter()
+        result = fn()
+        return time.perf_counter() - start, result
+
+    def packed_pass():
+        evaluator = SLPSpannerEvaluator(det)
+        evaluator.preprocess(slp, node)
+        return evaluator
+
+    def compare():
+        ref_seconds, ref_memo = min(
+            (timed(lambda: _reference_preprocess(det, slp, node)) for _ in range(2)),
+            key=lambda pair: pair[0],
+        )
+        packed_seconds, evaluator = min(
+            (timed(packed_pass) for _ in range(2)),
+            key=lambda pair: pair[0],
+        )
+        sigma, t, t_em = evaluator._node_data[(slp.serial, node)]
+        ref_sigma, ref_t, ref_em = ref_memo[node]
+        assert np.array_equal(sigma, ref_sigma)
+        assert np.array_equal(unpack_rows(t.rows, q), ref_t)
+        assert np.array_equal(unpack_rows(t_em.rows, q), ref_em)
+        return ref_seconds, packed_seconds
+
+    ref_seconds, packed_seconds = bench(compare, rounds=1)
+    bench.benchmark.extra_info["doc_length"] = len(text)
+    bench.record(
+        states=q,
+        reference_seconds=ref_seconds,
+        packed_seconds=packed_seconds,
+        speedup=ref_seconds / packed_seconds,
+    )
+    assert ref_seconds / packed_seconds >= 3.0
 
 
 def test_c3_delay_logarithmic(bench):

@@ -261,6 +261,9 @@ class DeterministicEVA:
         "set_trans",
         "variables",
         "functional",
+        # weak-referenceable: the shared char-table store is keyed on the
+        # automaton instance without pinning it alive
+        "__weakref__",
     )
 
     def __init__(

@@ -60,7 +60,7 @@ from repro.errors import (
     SpanlibError,
     TransactionError,
 )
-from repro.regex.compile import spanner_from_regex
+from repro.kernels.plan import plan_cache
 from repro.slp.balance import rebalance
 from repro.slp.cde import CDE, apply_cde, format_cde, parse_cde
 from repro.slp.build import repair_node
@@ -312,9 +312,14 @@ class SpannerDB:
         if name in self._spanners:
             raise SchemaError(f"spanner {name!r} already registered")
         if isinstance(spanner, str):
-            spanner = spanner_from_regex(spanner)
-        automaton = getattr(spanner, "automaton", spanner)
-        evaluator = SLPSpannerEvaluator(automaton)
+            # string sources go through the shared plan cache: repeated
+            # registrations of one regex (across stores or service threads)
+            # compile and determinize once and share one evaluator, whose
+            # per-arena matrix caches keep stores isolated
+            evaluator = plan_cache().get_or_compile(spanner).evaluator
+        else:
+            automaton = getattr(spanner, "automaton", spanner)
+            evaluator = SLPSpannerEvaluator(automaton)
         with obs.tracer().span("db.register_spanner", spanner=name):
             try:
                 with self.transaction():
@@ -645,13 +650,17 @@ class SpannerDB:
             "total_characters": sum(self.slp.length(n) for n in nodes.values()),
             "slp_nodes": self._db.size(),
             "slp_arena_bytes": self.slp.arena_bytes(),
+            # evaluators may be shared across stores via the plan cache, so
+            # counts are scoped to this store's arena
             "cached_matrices": {
-                name: evaluator.cached_nodes()
+                name: evaluator.cached_nodes(self.slp.serial)
                 for name, evaluator in self._spanners.items()
             },
             "evaluator_cache_entries": sum(
-                evaluator.cached_nodes() for evaluator in self._spanners.values()
+                evaluator.cached_nodes(self.slp.serial)
+                for evaluator in self._spanners.values()
             ),
+            "plan_cache": plan_cache().stats(),
             "journal": self._journal_path,
             "journal_records": self._journal_records(),
             "recovery": self._recovery,

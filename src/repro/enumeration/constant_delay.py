@@ -93,26 +93,34 @@ class Enumerator:
         det = self.det
         n = index.length
 
-        def node(state: int, position: int, emissions: tuple) -> Iterator[tuple]:
-            # *state* is the state reached right after consuming the marker
-            # block at char-index *position*.
-            if budget is not None:
-                budget.step()
-            if index.acc_pure[position][state]:
-                yield emissions
-            if position < n:
-                after_char = index.char_next[position][state]
-                if after_char != _NO_STATE:
-                    for j, block, target in index.chain(after_char, position + 1):
-                        emitted = emissions + tuple((j + 1, m) for m in block)
-                        yield from node(target, j, emitted)
-
         start = det.initial
         if index.acc_pure[0][start]:
             yield ()
-        for j, block, target in index.chain(start, 0):
-            emitted = tuple((j + 1, m) for m in block)
-            yield from node(target, j, emitted)
+        # DFS over the emission tree with an explicit stack of live chain
+        # iterators (depth is 2·|X|+1 on functional spanners but can reach
+        # the document length on pathological ones — never recurse).  Each
+        # frame pairs the suspended chain with the emissions accumulated on
+        # the path down to it.
+        stack: list[tuple[Iterator, tuple]] = [(index.chain(start, 0), ())]
+        while stack:
+            chain_iter, prefix = stack[-1]
+            descended = False
+            for j, block, target in chain_iter:
+                # *target* is the state reached right after consuming the
+                # marker block at char-index *j*
+                if budget is not None:
+                    budget.step()
+                emitted = prefix + tuple((j + 1, m) for m in block)
+                if index.acc_pure[j][target]:
+                    yield emitted
+                if j < n:
+                    after_char = index.char_next[j][target]
+                    if after_char != _NO_STATE:
+                        stack.append((index.chain(after_char, j + 1), emitted))
+                        descended = True
+                        break
+            if not descended:
+                stack.pop()
 
     def enumerate(self, doc: str, budget=None) -> Iterator[SpanTuple]:
         """Preprocess and enumerate ``S(doc)`` without repetition."""

@@ -31,6 +31,7 @@ from typing import Iterator
 import numpy as np
 
 from repro.automata.evset import DeterministicEVA
+from repro.kernels.bitmat import BitMatrix, pack_vec
 
 __all__ = ["ProductIndex"]
 
@@ -104,15 +105,16 @@ class ProductIndex:
 
         self.back_post[n] = accepting
         self.acc_pure[n] = accepting
-        # all marker-set arcs flattened: has_useful is one scatter per position
-        arc_sources = np.fromiter(
-            (q for q in range(num_states) for _ in det.set_trans[q]),
-            dtype=np.int64,
-        )
-        arc_targets = np.fromiter(
-            (t for q in range(num_states) for t in det.set_trans[q].values()),
-            dtype=np.int64,
-        )
+        # the marker-set arc relation packed into bit-words: has_useful is
+        # one packed mat-vec (word AND + any) per position instead of a
+        # flattened gather/scatter over every arc
+        arc_dense = np.zeros((num_states, num_states), dtype=bool)
+        any_arcs = False
+        for q in range(num_states):
+            for t in det.set_trans[q].values():
+                arc_dense[q, t] = True
+                any_arcs = True
+        arc_rows = BitMatrix.from_bool(arc_dense).rows
         state_ids = np.arange(num_states)
 
         for i in range(n, -1, -1):
@@ -127,9 +129,10 @@ class ProductIndex:
             # a useful marker-set edge exists at (i, q) iff some set arc's
             # target is co-accessible after the block
             bp = self.back_post[i]
-            has_useful = np.zeros(num_states, dtype=bool)
-            if len(arc_sources):
-                has_useful[arc_sources[bp[arc_targets]]] = True
+            if any_arcs:
+                has_useful = (arc_rows & pack_vec(bp)).any(axis=1)
+            else:
+                has_useful = np.zeros(num_states, dtype=bool)
             self.back_pre[i] = bp | has_useful
             # jump pointers
             if i < n:

@@ -1,0 +1,185 @@
+"""The shared query-plan cache: spanner source → compiled plan.
+
+Compiling a regex-formula into a deterministic extended vset-automaton
+(parse → Glushkov → eVA → subset construction) is the document-independent
+but decidedly non-free half of every query; the seed paid it on *every*
+``register_spanner`` call, and a fresh evaluator then re-derived char
+tables and node matrices from nothing.  The plan cache interns the
+compiled artefact per source text:
+
+* a **plan** is the deterministic eVA plus one shared
+  ``SLPSpannerEvaluator``.  Evaluator caches are keyed by the process-
+  unique SLP arena serial, so one evaluator serves any number of stores
+  without cross-talk, and repeated registrations against the same arena
+  skip the node-matrix warm-up entirely;
+* the cache is a **bounded LRU**: at most ``max_entries`` plans and at
+  most ``max_bytes`` of resident matrix bytes, accounted through
+  :class:`repro.util.Budget` (`charge_bytes`), evicting
+  least-recently-used plans until the budget admits the rest — plans
+  grow as their evaluators warm up, so the byte check runs on every
+  access, not only on insert;
+* all operations take one internal lock (compilation included), and
+  hit/miss/eviction counters are published through :mod:`repro.obs`
+  (``kernels.plan_cache.hits`` / ``.misses`` / ``.evictions``).
+
+``SpannerDB.register_spanner`` routes every string-valued spanner through
+the process-wide cache (:func:`plan_cache`); :mod:`repro.serve` and the
+CLI inherit it through the store.  :func:`configure_plan_cache` resizes
+or resets the process-wide instance.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro import obs
+from repro.errors import MemoryLimitError
+from repro.util.budget import Budget
+
+__all__ = ["CompiledPlan", "PlanCache", "configure_plan_cache", "plan_cache"]
+
+#: default bound on resident plan bytes (packed matrices are 8× smaller
+#: than the seed's bool arrays, so this holds hundreds of warm plans)
+DEFAULT_MAX_BYTES = 64 * 1024 * 1024
+DEFAULT_MAX_ENTRIES = 64
+
+
+class CompiledPlan:
+    """One compiled spanner: source text, deterministic eVA, evaluator."""
+
+    __slots__ = ("source", "deva", "evaluator")
+
+    def __init__(self, source: str, deva, evaluator) -> None:
+        self.source = source
+        self.deva = deva
+        self.evaluator = evaluator
+
+    def cache_bytes(self) -> int:
+        """Resident bytes of the plan's evaluator caches (grows with use)."""
+        return int(self.evaluator.cache_bytes())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CompiledPlan({self.source!r}, states={self.deva.num_states})"
+
+
+def _compile(source: str) -> CompiledPlan:
+    # deferred imports: kernels is imported by the slp layer, so pulling
+    # the evaluator in at module load would be circular
+    from repro.regex.compile import spanner_from_regex
+    from repro.slp.spanner_eval import SLPSpannerEvaluator
+
+    spanner = spanner_from_regex(source)
+    automaton = getattr(spanner, "automaton", spanner)
+    evaluator = SLPSpannerEvaluator(automaton)
+    return CompiledPlan(source, evaluator.det, evaluator)
+
+
+class PlanCache:
+    """Bounded, thread-safe LRU of :class:`CompiledPlan` by source text."""
+
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+    ) -> None:
+        self.max_entries = int(max_entries)
+        self.max_bytes = int(max_bytes)
+        self._plans: OrderedDict[str, CompiledPlan] = OrderedDict()
+        self._lock = threading.RLock()
+        self._budget = Budget(max_bytes=self.max_bytes)
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------
+    def get_or_compile(self, source: str) -> CompiledPlan:
+        """The cached plan for *source*, compiling (and caching) on miss."""
+        observing = obs.enabled()
+        with self._lock:
+            plan = self._plans.get(source)
+            if plan is not None:
+                self._plans.move_to_end(source)
+                self._hits += 1
+                if observing:
+                    obs.metrics().counter("kernels.plan_cache.hits").inc()
+                self._shrink()
+                return plan
+            self._misses += 1
+            if observing:
+                obs.metrics().counter("kernels.plan_cache.misses").inc()
+            plan = _compile(source)
+            if self.max_entries > 0:
+                self._plans[source] = plan
+                self._shrink()
+            return plan
+
+    def _shrink(self) -> None:
+        """Evict LRU plans until entry and byte bounds both admit the rest.
+
+        Byte accounting goes through :class:`repro.util.Budget`'s
+        ``charge_bytes`` guard so the cache and every other
+        materialisation bound in the system share one failure model."""
+        evicted = 0
+        while len(self._plans) > max(0, self.max_entries):
+            self._plans.popitem(last=False)
+            evicted += 1
+        while len(self._plans) > 1:
+            total = sum(plan.cache_bytes() for plan in self._plans.values())
+            try:
+                self._budget.charge_bytes(total, what="plan cache")
+            except MemoryLimitError:
+                self._plans.popitem(last=False)
+                evicted += 1
+                continue
+            break
+        if evicted:
+            self._evictions += evicted
+            if obs.enabled():
+                obs.metrics().counter("kernels.plan_cache.evictions").inc(evicted)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    def __contains__(self, source: str) -> bool:
+        with self._lock:
+            return source in self._plans
+
+    def clear(self) -> None:
+        with self._lock:
+            self._plans.clear()
+
+    def stats(self) -> dict:
+        """Sizing and effectiveness counters (also mirrored in obs)."""
+        with self._lock:
+            return {
+                "entries": len(self._plans),
+                "bytes": sum(p.cache_bytes() for p in self._plans.values()),
+                "max_entries": self.max_entries,
+                "max_bytes": self.max_bytes,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+            }
+
+
+_default_cache = PlanCache()
+_default_lock = threading.Lock()
+
+
+def plan_cache() -> PlanCache:
+    """The process-wide plan cache (shared by SpannerDB, serve, and CLI)."""
+    return _default_cache
+
+
+def configure_plan_cache(
+    max_entries: int = DEFAULT_MAX_ENTRIES,
+    max_bytes: int = DEFAULT_MAX_BYTES,
+) -> PlanCache:
+    """Replace the process-wide cache with a freshly sized (empty) one."""
+    global _default_cache
+    with _default_lock:
+        _default_cache = PlanCache(max_entries=max_entries, max_bytes=max_bytes)
+        return _default_cache

@@ -61,6 +61,7 @@ from repro.errors import (
     ServiceStoppedError,
     SpanlibError,
 )
+from repro.kernels.plan import plan_cache
 from repro.serve.breaker import CircuitBreaker
 from repro.serve.coordination import StoreCoordinator
 from repro.serve.retry import RetryBudget, RetryPolicy
@@ -538,6 +539,7 @@ class SpannerService:
             "breaker": self.breaker.stats(),
             "retry_budget": self.retry_budget.stats(),
             "lock": self.coordinator.lock.stats(),
+            "plan_cache": plan_cache().stats(),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

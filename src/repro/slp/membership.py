@@ -7,6 +7,13 @@ state which state is reachable by reading ``D(A)``; for a pair node,
 along the DAG.  Total time ``O(|S| · |Q|^3)`` — possibly *exponentially*
 faster than the ``O(|D| · |Q|^2)`` simulation on the decompressed document,
 which is exactly the crossover benchmark C2 measures.
+
+Matrices are held packed (:class:`repro.kernels.bitmat.BitMatrix`, uint64
+bit-words per row) and pair products run wave-by-wave through
+:func:`repro.kernels.bitmat.bool_mm_many`: all nodes of equal depth are
+multiplied in one batched BLAS call, and duplicate operand pairs — the
+normal case on the repetitive documents SLPs exist for — are computed
+once and shared.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ import numpy as np
 from repro import obs
 from repro.automata.nfa import NFA
 from repro.core.alphabet import symbol_matches
+from repro.kernels.bitmat import BitMatrix, bool_mm_many, pack_vec
 from repro.slp.slp import SLP
 
 __all__ = ["CompressedMembership", "simulate_uncompressed"]
@@ -36,24 +44,40 @@ class CompressedMembership:
     def __init__(self, nfa: NFA) -> None:
         self.nfa = nfa.remove_epsilon()
         self.num_states = self.nfa.num_states
-        self._char_matrices: dict[str, np.ndarray] = {}
-        self._node_matrices: dict[tuple[int, int], np.ndarray] = {}
+        self._char_matrices: dict[str, BitMatrix] = {}
+        self._node_matrices: dict[tuple[int, int], BitMatrix] = {}
+        self._initial_rows = np.array(sorted(self.nfa.initial), dtype=np.int64)
+        accepting = np.zeros(self.num_states, dtype=bool)
+        for state in self.nfa.accepting:
+            accepting[state] = True
+        self._accepting_words = pack_vec(accepting)
 
     # ------------------------------------------------------------------
     def char_matrix(self, ch: str) -> np.ndarray:
         """The one-character transition matrix (bool, |Q|×|Q|)."""
+        return self._char_bitmatrix(ch).to_bool()
+
+    def _char_bitmatrix(self, ch: str) -> BitMatrix:
         matrix = self._char_matrices.get(ch)
         if matrix is None:
-            matrix = np.zeros((self.num_states, self.num_states), dtype=bool)
+            dense = np.zeros((self.num_states, self.num_states), dtype=bool)
             for source in self.nfa.states():
                 for symbol, target in self.nfa.arcs_from(source):
                     if symbol is not None and symbol_matches(symbol, ch):
-                        matrix[source, target] = True
+                        dense[source, target] = True
+            matrix = BitMatrix.from_bool(dense)
             self._char_matrices[ch] = matrix
         return matrix
 
     def node_matrix(self, slp: SLP, node: int) -> np.ndarray:
-        """The reachability matrix of ``D(node)``, bottom-up with memo.
+        """The reachability matrix of ``D(node)`` as a bool array (a dense
+        view of the packed form :meth:`node_bitmatrix` keeps cached)."""
+        return self.node_bitmatrix(slp, node).to_bool()
+
+    def node_bitmatrix(self, slp: SLP, node: int) -> BitMatrix:
+        """The packed reachability matrix of ``D(node)``, bottom-up with
+        memo; fresh pair nodes multiply as depth-waves through the batched,
+        duplicate-collapsing kernel.
 
         With :mod:`repro.obs` enabled, memo effectiveness and kernel time
         are recorded (``slp.membership.cache_hits`` / ``.cache_misses`` /
@@ -66,24 +90,42 @@ class CompressedMembership:
             return cached
         observing = obs.enabled()
         t0 = time.perf_counter_ns() if observing else 0
+        serial = slp.serial
+        matrices = self._node_matrices
         nodes = slp.topological(node)
         fresh = 0
+        level: dict[int, int] = {}
+        waves: list[list[tuple[int, int, int]]] = []
         for current in nodes:
-            current_key = (slp.serial, current)
-            if current_key in self._node_matrices:
+            if (serial, current) in matrices:
                 continue
             fresh += 1
             if slp.is_terminal(current):
-                matrix = self.char_matrix(slp.char(current))
-            else:
-                left, right = slp.children(current)
-                left_m = self._node_matrices[(slp.serial, left)]
-                right_m = self._node_matrices[(slp.serial, right)]
-                # boolean matrix product via float32 (exact: counts < 2^24)
-                matrix = (
-                    left_m.astype(np.float32) @ right_m.astype(np.float32)
-                ) > 0.5
-            self._node_matrices[current_key] = matrix
+                matrices[(serial, current)] = self._char_bitmatrix(
+                    slp.char(current)
+                )
+                continue
+            left, right = slp.children(current)
+            depth = max(level.get(left, 0), level.get(right, 0)) + 1
+            level[current] = depth
+            if depth > len(waves):
+                waves.append([])
+            waves[depth - 1].append((current, left, right))
+        # One intern pool per pass: equal matrices from different subtrees
+        # become one object, so later waves collapse them by identity.
+        intern: dict = {}
+        for wave in waves:
+            products = [
+                (matrices[(serial, left)], matrices[(serial, right)])
+                for _, left, right in wave
+            ]
+            for (current, _, _), product in zip(
+                wave, bool_mm_many(products, intern=intern)
+            ):
+                matrices[(serial, current)] = product
+        for wave in waves:
+            for current, _, _ in wave:
+                matrices[(serial, current)].release_dense()
         if observing:
             registry = obs.metrics()
             registry.counter("slp.membership.cache_misses").inc(fresh)
@@ -91,16 +133,16 @@ class CompressedMembership:
             registry.counter("slp.membership.kernel_ns").inc(
                 time.perf_counter_ns() - t0
             )
-        return self._node_matrices[key]
+        return matrices[key]
 
     def accepts(self, slp: SLP, node: int) -> bool:
         """Decide ``D(node) ∈ L(M)`` in O(new nodes · |Q|^3)."""
-        matrix = self.node_matrix(slp, node)
-        initial = sorted(self.nfa.initial)
-        accepting = sorted(self.nfa.accepting)
-        if not initial or not accepting:
+        matrix = self.node_bitmatrix(slp, node)
+        if not len(self._initial_rows) or not self.nfa.accepting:
             return False
-        return bool(matrix[np.ix_(initial, accepting)].any())
+        return bool(
+            (matrix.rows[self._initial_rows] & self._accepting_words).any()
+        )
 
 
 def simulate_uncompressed(nfa: NFA, doc: str) -> bool:

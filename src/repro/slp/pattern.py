@@ -104,26 +104,36 @@ class CompressedPatternMatcher:
         """
         self._node_data(slp, node)
         m = len(self.pattern)
-
-        def walk(current: int, offset: int) -> Iterator[int]:
-            count, _, _ = self._data[(slp.serial, current)]
+        serial = slp.serial
+        # in-order traversal as an explicit LIFO (an SLP of depth d must
+        # not consume d interpreter stack frames): left matches, crossing
+        # matches, right matches are each emitted in increasing position
+        # order, so frames are pushed right-to-left
+        _DESCEND, _CROSSING = 0, 1
+        stack: list[tuple[int, int, int]] = [(_DESCEND, node, 0)]
+        while stack:
+            kind, current, offset = stack.pop()
+            left_right = None if slp.is_terminal(current) else slp.children(current)
+            if kind == _CROSSING:
+                left, right = left_right
+                left_length = slp.length(left)
+                _, _, suf_l = self._data[(serial, left)]
+                _, pref_r, _ = self._data[(serial, right)]
+                window = suf_l + pref_r
+                window_start = offset + left_length - len(suf_l)
+                for i in range(len(window) - m + 1):
+                    if i < len(suf_l) < i + m and window.startswith(
+                        self.pattern, i
+                    ):
+                        yield window_start + i
+                continue
+            count, _, _ = self._data[(serial, current)]
             if count == 0:
-                return
-            if slp.is_terminal(current):
+                continue
+            if left_right is None:
                 yield offset  # pattern is the single character
-                return
-            left, right = slp.children(current)
-            left_length = slp.length(left)
-            _, _, suf_l = self._data[(slp.serial, left)]
-            _, pref_r, _ = self._data[(slp.serial, right)]
-            window = suf_l + pref_r
-            window_start = offset + left_length - len(suf_l)
-            yield from walk(left, offset)
-            for i in range(len(window) - m + 1):
-                if i < len(suf_l) < i + m and window.startswith(self.pattern, i):
-                    yield window_start + i
-            yield from walk(right, offset + left_length)
-
-        # in-order traversal: left matches, crossing matches, right matches
-        # are each emitted in increasing position order
-        yield from walk(node, 0)
+                continue
+            left, right = left_right
+            stack.append((_DESCEND, right, offset + slp.length(left)))
+            stack.append((_CROSSING, current, offset))
+            stack.append((_DESCEND, left, offset))

@@ -21,6 +21,21 @@ positions where an emission that can still reach acceptance happens
 tuple therefore costs ``O(depth · |Q|^2)`` — i.e. **O(log |D|) delay** on
 balanced SLPs, independent of the compressibility of the document.
 
+All matrices live on :mod:`repro.kernels.bitmat`: σ stays an int64 pure
+transition function, while ``T`` and ``T_em`` are packed
+:class:`~repro.kernels.bitmat.BitMatrix` rows.  Three facts make this fast:
+
+* ``T = T_em ∪ σ`` — a run either emits at least one marker (``T_em``) or
+  none (exactly the σ bit), so only *one* product per pair node is needed
+  where the seed computed two;
+* pair nodes of equal depth are independent, so preprocessing multiplies
+  them as one *wave* through :func:`~repro.kernels.bitmat.bool_mm_many`,
+  which batches the BLAS call and collapses duplicate operand pairs
+  (repetitive documents — the reason SLPs exist — repeat most products
+  verbatim);
+* the per-descent pruning products in enumeration become packed row/word
+  operations with **zero dtype conversions on the hot path**.
+
 Because matrices are memoised per node and CDE editing only creates
 O(|φ| · log d) fresh nodes (sharing the rest), evaluating a spanner on an
 edited document only pays for the fresh nodes — the dynamic behaviour of
@@ -29,8 +44,10 @@ edited document only pays for the fresh nodes — the dynamic behaviour of
 
 from __future__ import annotations
 
+import threading
 import time
 import weakref
+from collections import OrderedDict
 from typing import Iterator
 
 import numpy as np
@@ -39,12 +56,102 @@ from repro import obs
 from repro.automata.evset import DeterministicEVA, ExtendedVSetAutomaton
 from repro.core.spans import SpanRelation, SpanTuple
 from repro.enumeration.naive import emissions_to_tuple
+from repro.kernels.bitmat import (
+    BitMatrix,
+    PackedVec,
+    bool_mm,
+    bool_mm_many,
+    compose_rows,
+    function_bits,
+    function_bits_many,
+    intern_many,
+    matvec,
+)
 from repro.obs.profile import DelayProfiler
 from repro.slp.slp import SLP
 
 __all__ = ["SLPSpannerEvaluator"]
 
 _DEAD = -1
+
+#: bound on per-automaton cached characters (LRU) — generous for text
+#: alphabets, hard cap for adversarial unicode streams
+_CHAR_TABLE_LIMIT = 512
+
+
+class _CharTableStore:
+    """Per-automaton char tables: bounded LRU, shared between evaluators.
+
+    One store exists per :class:`DeterministicEVA` *instance* (see
+    :func:`_char_table_store`); every evaluator compiled from that
+    automaton reads the same tables, so N evaluators pay for each
+    character once instead of N times, and the LRU bound stops an
+    adversarial alphabet from growing the cache without limit.  Holds the
+    automaton's *components* (not the automaton itself) so the registry's
+    weak keying can still collect the automaton."""
+
+    __slots__ = ("q", "atoms", "char_trans", "mark_e", "_tables", "_lock")
+
+    def __init__(self, det: DeterministicEVA) -> None:
+        q = det.num_states
+        self.q = q
+        self.atoms = det.atoms
+        self.char_trans = det.char_trans
+        mark_e = np.zeros((q, q), dtype=bool)
+        for state in range(q):
+            for target in det.set_trans[state].values():
+                mark_e[state, target] = True
+        self.mark_e = BitMatrix.from_bool(mark_e)
+        self._tables: OrderedDict[
+            str, tuple[np.ndarray, BitMatrix, BitMatrix]
+        ] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, ch: str) -> tuple[np.ndarray, BitMatrix, BitMatrix]:
+        """(σ, T, T_em) for a single character."""
+        with self._lock:
+            cached = self._tables.get(ch)
+            if cached is not None:
+                self._tables.move_to_end(ch)
+                return cached
+            q = self.q
+            sigma = np.full(q, _DEAD, dtype=np.int64)
+            atom = self.atoms.classify(ch)
+            if atom is not None:
+                for state in range(q):
+                    target = self.char_trans[state].get(atom)
+                    if target is not None:
+                        sigma[state] = target
+            step = function_bits(sigma, q)
+            # T = Mark1 · step = (I ∪ MarkE) · step = step ∪ T_em
+            t_em = bool_mm(self.mark_e, step)
+            t = BitMatrix(t_em.rows | step.rows, q)
+            entry = (sigma, t, t_em)
+            self._tables[ch] = entry
+            while len(self._tables) > _CHAR_TABLE_LIMIT:
+                self._tables.popitem(last=False)
+            return entry
+
+    def nbytes(self) -> int:
+        with self._lock:
+            return sum(
+                sigma.nbytes + t.rows.nbytes + t_em.rows.nbytes
+                for sigma, t, t_em in self._tables.values()
+            )
+
+
+_char_table_stores: "weakref.WeakKeyDictionary[DeterministicEVA, _CharTableStore]"
+_char_table_stores = weakref.WeakKeyDictionary()
+_char_table_stores_lock = threading.Lock()
+
+
+def _char_table_store(det: DeterministicEVA) -> _CharTableStore:
+    with _char_table_stores_lock:
+        store = _char_table_stores.get(det)
+        if store is None:
+            store = _CharTableStore(det)
+            _char_table_stores[det] = store
+        return store
 
 
 class SLPSpannerEvaluator:
@@ -59,28 +166,22 @@ class SLPSpannerEvaluator:
             det = ExtendedVSetAutomaton.from_vset(spanner).determinize()
         self.det = det
         q = det.num_states
-        # Mark1: one optional marker block (identity ∪ set-arc relation);
-        # MarkE: the strict (≥ one marker block) part
-        mark_e = np.zeros((q, q), dtype=bool)
-        for state in range(q):
-            for target in det.set_trans[state].values():
-                mark_e[state, target] = True
-        mark1 = np.eye(q, dtype=bool) | mark_e
-        self._mark1 = mark1
-        self._mark_e = mark_e
+        #: char tables are shared per deterministic automaton (bounded LRU)
+        self._char_tables_cache = _char_table_store(det)
+        mark_e = self._char_tables_cache.mark_e.to_bool()
         self._accepting = np.zeros(q, dtype=bool)
         for state in det.accepting:
             self._accepting[state] = True
         # trailing continuation: accept directly or via one final block
-        self._cont_end = self._accepting | (
-            self._boolmat(mark1) @ self._accepting.astype(np.float32) > 0.5
+        self._cont_end = PackedVec(
+            self._accepting | mark_e @ self._accepting
         )
-        self._char_tables_cache: dict[str, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
         #: (slp.serial, node) -> (σ, T, T_em) where T_em only counts runs with
         #: at least one marker emission (the enumeration pruning matrix)
         self._node_data: dict[
-            tuple[int, int], tuple[np.ndarray, np.ndarray, np.ndarray]
+            tuple[int, int], tuple[np.ndarray, BitMatrix, BitMatrix]
         ] = {}
+        self._resident_bytes = 0
         #: serial -> finalizer purging that arena's entries on collection,
         #: so a long-lived evaluator does not pin dead arenas' matrices
         self._arena_finalizers: dict[int, weakref.finalize] = {}
@@ -88,37 +189,19 @@ class SLPSpannerEvaluator:
     # ------------------------------------------------------------------
     # matrices
     # ------------------------------------------------------------------
-    @staticmethod
-    def _boolmat(matrix: np.ndarray) -> np.ndarray:
-        return matrix.astype(np.float32)
+    def _char_tables(self, ch: str) -> tuple[np.ndarray, BitMatrix, BitMatrix]:
+        return self._char_tables_cache.get(ch)
 
-    def _char_tables(self, ch: str) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """(σ, T, T_em) for a single character."""
-        cached = self._char_tables_cache.get(ch)
-        if cached is not None:
-            return cached
-        det = self.det
-        q = det.num_states
-        sigma = np.full(q, _DEAD, dtype=np.int64)
-        atom = det.atoms.classify(ch)
-        step = np.zeros((q, q), dtype=bool)
-        if atom is not None:
-            for state in range(q):
-                target = det.char_trans[state].get(atom)
-                if target is not None:
-                    sigma[state] = target
-                    step[state, target] = True
-        T = (self._boolmat(self._mark1) @ self._boolmat(step)) > 0.5
-        T_em = (self._boolmat(self._mark_e) @ self._boolmat(step)) > 0.5
-        self._char_tables_cache[ch] = (sigma, T, T_em)
-        return sigma, T, T_em
+    def _store(
+        self, key: tuple[int, int], entry: tuple[np.ndarray, BitMatrix, BitMatrix]
+    ) -> None:
+        self._node_data[key] = entry
+        sigma, t, t_em = entry
+        self._resident_bytes += sigma.nbytes + t.rows.nbytes + t_em.rows.nbytes
 
-    @staticmethod
-    def _compose_pure(sigma: np.ndarray, matrix: np.ndarray) -> np.ndarray:
-        """Rows of *matrix* pulled through the pure function σ (dead → 0-row)."""
-        gathered = matrix[np.where(sigma == _DEAD, 0, sigma)]
-        gathered[sigma == _DEAD] = False
-        return gathered
+    def _drop(self, key: tuple[int, int]) -> None:
+        sigma, t, t_em = self._node_data.pop(key)
+        self._resident_bytes -= sigma.nbytes + t.rows.nbytes + t_em.rows.nbytes
 
     def preprocess(self, slp: SLP, node: int, budget=None) -> int:
         """Compute (σ, T, T_em) for every reachable node; returns the number
@@ -126,6 +209,13 @@ class SLPSpannerEvaluator:
 
         An optional :class:`~repro.util.Budget` is charged one step per
         fresh node (each step is an O(|Q|³) matrix product).
+
+        Fresh pair nodes are grouped into *waves* of equal depth (all
+        operands already computed) and each wave's products run as one
+        batched, duplicate-collapsing kernel call —
+        :func:`repro.kernels.bitmat.bool_mm_many`.  Only ``T_em`` is ever
+        multiplied: ``T = T_em ∪ σ`` recovers the full reachability matrix
+        as a word-level union.
 
         With :mod:`repro.obs` enabled, cache effectiveness
         (``slp.eval.cache_hits`` / ``slp.eval.cache_misses``) and the time
@@ -139,27 +229,110 @@ class SLPSpannerEvaluator:
                 slp, self._purge_arena, serial
             )
         nodes = slp.topological(node)
+        data = self._node_data
         fresh = 0
+        level: dict[int, int] = {}
+        waves: list[list[tuple[int, int, int]]] = []
         for current in nodes:
-            key = (slp.serial, current)
-            if key in self._node_data:
+            key = (serial, current)
+            if key in data:
                 continue
             fresh += 1
             if budget is not None:
                 budget.step()
             if slp.is_terminal(current):
-                self._node_data[key] = self._char_tables(slp.char(current))
+                self._store(key, self._char_tables(slp.char(current)))
                 continue
             left, right = slp.children(current)
-            sigma_l, t_l, t_em_l = self._node_data[(slp.serial, left)]
-            sigma_r, t_r, t_em_r = self._node_data[(slp.serial, right)]
-            sigma = np.where(sigma_l == _DEAD, _DEAD, sigma_r[sigma_l])
-            T = (self._boolmat(t_l) @ self._boolmat(t_r)) > 0.5
-            # ≥1 emission: left emits (right any), or left pure + right emits
-            T_em = (
-                (self._boolmat(t_em_l) @ self._boolmat(t_r)) > 0.5
-            ) | self._compose_pure(sigma_l, t_em_r)
-            self._node_data[key] = (sigma, T, T_em)
+            depth = max(level.get(left, 0), level.get(right, 0)) + 1
+            level[current] = depth
+            if depth > len(waves):
+                waves.append([])
+            waves[depth - 1].append((current, left, right))
+        q = self.det.num_states
+        # One intern pool per pass: node matrices that come out equal
+        # (different subtrees, same behaviour) become one object, so the
+        # identity grouping inside bool_mm_many collapses every later
+        # wave's repeated products.
+        intern: dict = {}
+        # entry-level canonicalisation: nodes with identical (σ, T, T_em)
+        # share one tuple object, which is what makes the identity
+        # grouping below collapse duplicate nodes in *later* waves
+        entry_pool: dict = {}
+        for wave in waves:
+            # Node-level identity dedup: two nodes whose operand entries
+            # are the same objects (the normal case once matrices are
+            # interned) get one computed (σ, T, T_em), and every batched
+            # step below runs on distinct groups only.
+            group_of: dict[tuple[int, int], int] = {}
+            node_group: list[int] = []
+            distinct_l: list[tuple] = []
+            distinct_r: list[tuple] = []
+            for current, left, right in wave:
+                entry_l = data[(serial, left)]
+                entry_r = data[(serial, right)]
+                ident = (id(entry_l), id(entry_r))
+                g = group_of.get(ident)
+                if g is None:
+                    g = len(distinct_l)
+                    group_of[ident] = g
+                    distinct_l.append(entry_l)
+                    distinct_r.append(entry_r)
+                node_group.append(g)
+            products = [
+                (entry_l[2], entry_r[1])
+                for entry_l, entry_r in zip(distinct_l, distinct_r)
+            ]
+            sig_l = np.stack([entry_l[0] for entry_l in distinct_l])
+            sig_r = np.stack([entry_r[0] for entry_r in distinct_r])
+            em_r_rows = [entry_r[2].rows for entry_r in distinct_r]
+            results = bool_mm_many(products, intern=intern)
+            # batched across the wave: σ composition, the σ_L-pull of the
+            # right T_em (≥1 emission: left emits · right any, or left pure
+            # · right emits), and T = T_em ∪ σ (no emission is exactly the
+            # σ bit — the identity that saves the second matrix product)
+            dead_l = sig_l == _DEAD
+            sigma_all = np.where(
+                dead_l, _DEAD, np.take_along_axis(sig_r, np.where(dead_l, 0, sig_l), axis=1)
+            )
+            pulled = np.stack(em_r_rows)
+            pulled = np.take_along_axis(
+                pulled, np.where(dead_l, 0, sig_l)[:, :, None], axis=1
+            )
+            pulled[dead_l] = 0
+            t_em_rows = np.stack([prod.rows for prod in results]) | pulled
+            t_rows = t_em_rows | function_bits_many(sigma_all, q)
+            d = len(distinct_l)
+            t_em_all = intern_many(
+                intern, [BitMatrix(t_em_rows[k], q) for k in range(d)]
+            )
+            t_all = intern_many(
+                intern, [BitMatrix(t_rows[k], q) for k in range(d)]
+            )
+            entries = []
+            for k in range(d):
+                ekey = (
+                    id(t_all[k]),
+                    id(t_em_all[k]),
+                    sigma_all[k].tobytes(),
+                )
+                entry = entry_pool.get(ekey)
+                if entry is None:
+                    entry = (sigma_all[k], t_all[k], t_em_all[k])
+                    entry_pool[ekey] = entry
+                entries.append(entry)
+            for (current, _, _), g in zip(wave, node_group):
+                self._store((serial, current), entries[g])
+        # pair matrices stay resident packed-only: drop the dense mirrors
+        # the wave products accumulated (recomputed lazily if an
+        # incremental preprocess later multiplies against them); char
+        # tables keep theirs — they are the hottest operands and bounded
+        # by the LRU
+        for wave in waves:
+            for current, _, _ in wave:
+                _, t, t_em = data[(serial, current)]
+                t.release_dense()
+                t_em.release_dense()
         if observing:
             registry = obs.metrics()
             registry.counter("slp.eval.cache_misses").inc(fresh)
@@ -169,16 +342,23 @@ class SLPSpannerEvaluator:
             )
         return fresh
 
-    def cached_nodes(self) -> int:
-        """How many (SLP node → matrices) entries are cached."""
-        return len(self._node_data)
+    def cached_nodes(self, serial: int | None = None) -> int:
+        """How many (SLP node → matrices) entries are cached; restricted to
+        one arena when *serial* is given."""
+        if serial is None:
+            return len(self._node_data)
+        return sum(1 for key in self._node_data if key[0] == serial)
+
+    def cache_bytes(self) -> int:
+        """Resident bytes of packed node matrices plus shared char tables."""
+        return self._resident_bytes + self._char_tables_cache.nbytes()
 
     def _purge_arena(self, serial: int) -> None:
         """Drop every cached entry of a collected arena (weakref callback)."""
         self._arena_finalizers.pop(serial, None)
         stale = [key for key in self._node_data if key[0] == serial]
         for key in stale:
-            del self._node_data[key]
+            self._drop(key)
 
     def invalidate_from(self, slp: SLP, mark: int) -> int:
         """Drop cached matrices for nodes of *slp* with id ``>= mark``.
@@ -193,7 +373,7 @@ class SLPSpannerEvaluator:
             if key[0] == slp_id and key[1] >= mark
         ]
         for key in stale:
-            del self._node_data[key]
+            self._drop(key)
         return len(stale)
 
     # ------------------------------------------------------------------
@@ -203,8 +383,7 @@ class SLPSpannerEvaluator:
         """``⟦M⟧(D(node)) ≠ ∅`` without decompression: one T-product chain."""
         self.preprocess(slp, node, budget)
         _, T, _ = self._node_data[(slp.serial, node)]
-        reachable = T[self.det.initial]
-        return bool((reachable & self._cont_end).any())
+        return T.row_and_any(self.det.initial, self._cont_end.words)
 
     def enumerate(self, slp: SLP, node: int, budget=None) -> Iterator[SpanTuple]:
         """Enumerate ``⟦M⟧(D(node))`` with delay O(depth · |Q|^2).
@@ -270,43 +449,70 @@ class SLPSpannerEvaluator:
         of O(log |D|) delay — latency, not correctness.
 
         A :class:`~repro.util.Budget` is charged ``|Q|`` steps per
-        document position, so deadlines and step limits govern this path
-        exactly like the compressed one."""
+        document position, and — because the suffix-set layers are the
+        memory hazard of this path — each materialised layer's size is
+        charged through ``Budget.charge_bytes``, so a memory budget
+        governs this path exactly like the compressed one.  Layers are
+        sparse dicts: states with no surviving continuation are pruned
+        instead of carrying empty sets across the whole document."""
         det = self.det
         q = det.num_states
         n = len(text)
 
-        def with_blocks(after_block: list[set], position: int) -> list[set]:
+        def charge(layer: dict[int, set]) -> None:
+            if budget is None:
+                return
+            suffixes = sum(len(sets) for sets in layer.values())
+            emissions = sum(
+                len(suffix) for sets in layer.values() for suffix in sets
+            )
+            # dict/set/frozenset overhead dominates the 16-byte span pairs
+            budget.charge_bytes(
+                64 * suffixes + 16 * emissions, what="evaluate_text layer"
+            )
+
+        def with_blocks(after_block: dict[int, set], position: int) -> dict[int, set]:
             # prepend the optional marker block at *position* (1-based)
-            full = [set(suffixes) for suffixes in after_block]
+            full = {state: set(sets) for state, sets in after_block.items()}
             for state in range(q):
+                additions = None
                 for block, target in det.set_trans[state].items():
-                    if not after_block[target]:
+                    suffixes = after_block.get(target)
+                    if not suffixes:
                         continue
                     emitted = frozenset((position, m) for m in block)
-                    full[state].update(
-                        emitted | suffix for suffix in after_block[target]
-                    )
+                    if additions is None:
+                        additions = set()
+                    additions.update(emitted | suffix for suffix in suffixes)
+                if additions:
+                    full.setdefault(state, set()).update(additions)
             return full
 
-        after_block: list[set] = [
-            {frozenset()} if self._accepting[state] else set()
+        after_block: dict[int, set] = {
+            state: {frozenset()}
             for state in range(q)
-        ]
+            if self._accepting[state]
+        }
         full = with_blocks(after_block, n + 1)
+        charge(full)
         for position in range(n - 1, -1, -1):
             if budget is not None:
                 budget.step(q)
             atom = det.atoms.classify(text[position])
-            after_block = [set() for _ in range(q)]
+            after_block = {}
             if atom is not None:
                 for state in range(q):
                     target = det.char_trans[state].get(atom)
-                    if target is not None:
-                        after_block[state] |= full[target]
+                    if target is None:
+                        continue
+                    suffixes = full.get(target)
+                    if suffixes:
+                        after_block.setdefault(state, set()).update(suffixes)
             full = with_blocks(after_block, position + 1)
+            charge(full)
         return SpanRelation(
-            det.variables, map(emissions_to_tuple, full[det.initial])
+            det.variables,
+            map(emissions_to_tuple, full.get(det.initial, ())),
         )
 
     # ------------------------------------------------------------------
@@ -316,52 +522,121 @@ class SLPSpannerEvaluator:
         node: int,
         state: int,
         offset: int,
-        cont: np.ndarray,
+        cont: PackedVec,
         budget=None,
     ) -> Iterator[tuple[int, tuple]]:
         """All runs through ``D(node)`` from *state* with ≥ 1 emission whose
         exit state satisfies *cont*, as (exit state, emissions) pairs.
 
-        Pruning invariant: a recursive call is made only when its subtree is
+        Pruning invariant: a descent happens only when its subtree is
         guaranteed (via the T_em matrices) to produce at least one output,
         so the work between two consecutive outputs is O(depth · |Q|²) —
         the O(log |D|) delay of [39] on balanced SLPs.
-        """
+
+        The DFS is an explicit LIFO of two task kinds (deep or adversarially
+        unbalanced SLPs must not hit the interpreter recursion limit):
+
+        * ``expand`` — enumerate the runs of one subtree from one entry
+          state, with the pending right-context chain alongside;
+        * ``resolve`` — feed one produced run through that chain: exit the
+          pair purely through σ_R (no further emissions on the right) and/or
+          descend into the right child for the emitting completions.
+
+        The pruning tests are packed row/word intersections and
+        :func:`~repro.kernels.bitmat.matvec` products — no float32
+        conversions anywhere on this path."""
         det = self.det
-        if budget is not None:
-            budget.step()
-        if slp.is_terminal(node):
-            ch = slp.char(node)
-            atom = det.atoms.classify(ch)
-            if atom is None:
-                return
-            for block, mid in det.set_trans[state].items():
-                target = det.char_trans[mid].get(atom)
-                if target is not None and cont[target]:
-                    yield target, tuple((offset + 1, m) for m in block)
-            return
-        left, right = slp.children(node)
-        sigma_l, _, t_em_l = self._node_data[(slp.serial, left)]
-        sigma_r, t_r, t_em_r = self._node_data[(slp.serial, right)]
-        left_length = slp.length(left)
-        # continuation for the left part: exits p that R can carry to cont
-        cont_f32 = cont.astype(np.float32)
-        cont_left = (self._boolmat(t_r) @ cont_f32) > 0.5
-        if bool((t_em_l[state] & cont_left).any()):
-            cont_right_em = (self._boolmat(t_em_r) @ cont_f32) > 0.5
-            for p, emissions in self._runs(
-                slp, left, state, offset, cont_left, budget
-            ):
+        serial = slp.serial
+        data = self._node_data
+        atoms = det.atoms
+        char_trans = det.char_trans
+        set_trans = det.set_trans
+        is_terminal = slp.is_terminal
+        # rights chain record: (σ_R, right node, right offset, cont after the
+        # pair, emitting-continuation bools for the right child, tail)
+        _EXPAND, _RESOLVE = 0, 1
+        stack: list[tuple] = [(_EXPAND, node, state, offset, (), cont, None)]
+        while stack:
+            task = stack.pop()
+            if task[0] == _RESOLVE:
+                _, p, emissions, rights = task
+                if rights is None:
+                    yield p, emissions
+                    continue
+                sigma_r, rnode, roff, rcont, right_em, tail = rights
+                # the emitting right-descent is pushed first so the pure
+                # σ_R exit (pushed second, popped first) keeps the seed's
+                # output order: pure completion before right-child runs
+                if right_em[p]:
+                    stack.append(
+                        (_EXPAND, rnode, p, roff, emissions, rcont, tail)
+                    )
                 pure_exit = int(sigma_r[p])
-                if pure_exit != _DEAD and cont[pure_exit]:
-                    yield pure_exit, emissions
-                if cont_right_em[p]:
-                    for q_out, more in self._runs(
-                        slp, right, p, offset + left_length, cont, budget
-                    ):
-                        yield q_out, emissions + more
-        pure_mid = int(sigma_l[state])
-        if pure_mid != _DEAD and bool((t_em_r[pure_mid] & cont).any()):
-            yield from self._runs(
-                slp, right, pure_mid, offset + left_length, cont, budget
-            )
+                if pure_exit != _DEAD and rcont.bools[pure_exit]:
+                    stack.append((_RESOLVE, pure_exit, emissions, tail))
+                continue
+            _, cur, cur_state, cur_offset, prefix, cur_cont, rights = task
+            if budget is not None:
+                budget.step()
+            if is_terminal(cur):
+                ch = slp.char(cur)
+                atom = atoms.classify(ch)
+                if atom is None:
+                    continue
+                produced = []
+                for block, mid in set_trans[cur_state].items():
+                    target = char_trans[mid].get(atom)
+                    if target is not None and cur_cont.bools[target]:
+                        produced.append(
+                            (
+                                _RESOLVE,
+                                target,
+                                prefix + tuple((cur_offset + 1, m) for m in block),
+                                rights,
+                            )
+                        )
+                stack.extend(reversed(produced))
+                continue
+            left, right = slp.children(cur)
+            sigma_l, _, t_em_l = data[(serial, left)]
+            sigma_r, t_r, t_em_r = data[(serial, right)]
+            left_length = slp.length(left)
+            # the pure-left branch (left consumed without emissions, all
+            # emissions in the right child) is pushed first — it comes last
+            pure_mid = int(sigma_l[cur_state])
+            if pure_mid != _DEAD and t_em_r.row_and_any(
+                pure_mid, cur_cont.words
+            ):
+                stack.append(
+                    (
+                        _EXPAND,
+                        right,
+                        pure_mid,
+                        cur_offset + left_length,
+                        prefix,
+                        cur_cont,
+                        rights,
+                    )
+                )
+            # continuation for the left part: exits p that R can carry to cont
+            cont_left = matvec(t_r, cur_cont)
+            if t_em_l.row_and_any(cur_state, cont_left.words):
+                right_em = matvec(t_em_r, cur_cont).bools
+                stack.append(
+                    (
+                        _EXPAND,
+                        left,
+                        cur_state,
+                        cur_offset,
+                        prefix,
+                        cont_left,
+                        (
+                            sigma_r,
+                            right,
+                            cur_offset + left_length,
+                            cur_cont,
+                            right_em,
+                            rights,
+                        ),
+                    )
+                )

@@ -1,0 +1,377 @@
+"""Differential tests for the packed-bitset kernels and the plan cache.
+
+Every packed primitive is checked against the retained seed float32
+implementation (``reference_mm`` / ``reference_compose_pure``) on random
+inputs, including sizes on both sides of the batched-matmul crossover.
+The golden anchors at the bottom pin the packed evaluation pipeline to
+the paper's own examples: the spanner of Example 1.1 and the SLP of
+Figure 1 produce exactly the results they did before the kernel layer
+existed.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels import (
+    BitMatrix,
+    PackedVec,
+    PlanCache,
+    bool_mm,
+    bool_mm_many,
+    compose_rows,
+    function_bits,
+    function_bits_many,
+    intern_many,
+    intern_matrix,
+    matvec,
+    pack_rows,
+    pack_vec,
+    reference_compose_pure,
+    reference_mm,
+    unpack_rows,
+    unpack_vec,
+    words_for,
+)
+
+_DEAD = -1
+
+
+def _random_bool(rng, *shape, density=0.3):
+    return rng.random(shape) < density
+
+
+def _random_sigma(rng, q, dead_fraction=0.3):
+    sigma = rng.integers(0, q, size=q, dtype=np.int64)
+    sigma[rng.random(q) < dead_fraction] = _DEAD
+    return sigma
+
+
+# ----------------------------------------------------------------------
+# packing round-trips
+# ----------------------------------------------------------------------
+class TestPacking:
+    @pytest.mark.parametrize("q", [1, 3, 63, 64, 65, 128, 130, 200])
+    def test_rows_round_trip(self, q):
+        rng = np.random.default_rng(q)
+        bools = _random_bool(rng, 5, q)
+        packed = pack_rows(bools)
+        assert packed.shape == (5, words_for(q))
+        assert packed.dtype == np.uint64
+        assert np.array_equal(unpack_rows(packed, q), bools)
+
+    @pytest.mark.parametrize("q", [1, 64, 65, 130])
+    def test_vec_round_trip(self, q):
+        rng = np.random.default_rng(q)
+        bools = _random_bool(rng, q)
+        assert np.array_equal(unpack_vec(pack_vec(bools), q), bools)
+
+    def test_words_for_minimum_one(self):
+        assert words_for(0) == 1
+        assert words_for(1) == 1
+        assert words_for(64) == 1
+        assert words_for(65) == 2
+
+    def test_padding_bits_are_zero(self):
+        # q=65 leaves 63 pad bits in the second word; they must stay zero
+        # or fingerprints and row_and_any would see ghost states
+        bools = np.ones((2, 65), dtype=bool)
+        packed = pack_rows(bools)
+        assert packed[0, 1] == np.uint64(1)
+
+    def test_bitmatrix_mirrors(self):
+        rng = np.random.default_rng(0)
+        bools = _random_bool(rng, 70, 70)
+        m = BitMatrix.from_bool(bools)
+        assert np.array_equal(m.to_bool(), bools)
+        assert np.array_equal(m.f32() != 0, bools)
+        before = m.nbytes
+        m.release_dense()
+        assert m.nbytes < before
+        # packed rows stay authoritative after dropping the mirrors
+        assert np.array_equal(m.to_bool(), bools)
+
+
+# ----------------------------------------------------------------------
+# products: packed vs the seed reference
+# ----------------------------------------------------------------------
+class TestProducts:
+    @pytest.mark.parametrize("q", [4, 64, 69, 129, 200])
+    def test_bool_mm_matches_reference(self, q):
+        rng = np.random.default_rng(q)
+        a, b = _random_bool(rng, q, q), _random_bool(rng, q, q)
+        got = bool_mm(BitMatrix.from_bool(a), BitMatrix.from_bool(b))
+        assert np.array_equal(got.to_bool(), reference_mm(a, b))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        q=st.integers(min_value=1, max_value=40),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_bool_mm_property(self, q, seed):
+        rng = np.random.default_rng(seed)
+        a = _random_bool(rng, q, q, density=0.4)
+        b = _random_bool(rng, q, q, density=0.4)
+        got = bool_mm(BitMatrix.from_bool(a), BitMatrix.from_bool(b))
+        assert np.array_equal(got.to_bool(), reference_mm(a, b))
+
+    # both sides of the _BATCH_MM_MAX_Q crossover take different code paths
+    @pytest.mark.parametrize("q", [30, 70, 140])
+    def test_bool_mm_many_matches_per_pair_reference(self, q):
+        rng = np.random.default_rng(q)
+        mats = [BitMatrix.from_bool(_random_bool(rng, q, q)) for _ in range(6)]
+        pairs = [(mats[i], mats[(i * 3 + 1) % 6]) for i in range(6)]
+        got = bool_mm_many(pairs)
+        for result, (a, b) in zip(got, pairs):
+            assert np.array_equal(
+                result.to_bool(), reference_mm(a.to_bool(), b.to_bool())
+            )
+
+    def test_bool_mm_many_empty(self):
+        assert bool_mm_many([]) == []
+
+    def test_duplicate_pairs_share_one_result(self):
+        rng = np.random.default_rng(1)
+        a = BitMatrix.from_bool(_random_bool(rng, 20, 20))
+        b = BitMatrix.from_bool(_random_bool(rng, 20, 20))
+        got = bool_mm_many([(a, b), (a, b), (a, b)])
+        assert got[0] is got[1] is got[2]
+
+    def test_intern_pool_canonicalises_equal_content(self):
+        # equal products from *different* operand objects: identity
+        # grouping misses them, the intern pool must catch them
+        rng = np.random.default_rng(2)
+        bools_a = _random_bool(rng, 20, 20)
+        bools_b = _random_bool(rng, 20, 20)
+        a1, a2 = BitMatrix.from_bool(bools_a), BitMatrix.from_bool(bools_a)
+        b1, b2 = BitMatrix.from_bool(bools_b), BitMatrix.from_bool(bools_b)
+        pool: dict = {}
+        got = bool_mm_many([(a1, b1), (a2, b2)], intern=pool)
+        assert got[0] is got[1]
+        # without the pool they stay distinct objects (equal content)
+        bare = bool_mm_many([(a1, b1), (a2, b2)])
+        assert bare[0] is not bare[1]
+        assert np.array_equal(bare[0].to_bool(), bare[1].to_bool())
+
+    def test_intern_matrix_collision_keeps_unequal_apart(self):
+        # force a fingerprint collision by passing the same key: the exact
+        # bytes comparison must keep different matrices distinct
+        m1 = BitMatrix.from_bool(np.eye(10, dtype=bool))
+        m2 = BitMatrix.from_bool(~np.eye(10, dtype=bool))
+        pool: dict = {}
+        assert intern_matrix(pool, m1, key=7) is m1
+        assert intern_matrix(pool, m2, key=7) is m2
+        # and an equal-content matrix under the colliding key still dedups
+        m3 = BitMatrix.from_bool(np.eye(10, dtype=bool))
+        assert intern_matrix(pool, m3, key=7) is m1
+
+    def test_intern_many_matches_one_at_a_time(self):
+        rng = np.random.default_rng(3)
+        bools = _random_bool(rng, 15, 15)
+        batch = [
+            BitMatrix.from_bool(bools),
+            BitMatrix.from_bool(~bools),
+            BitMatrix.from_bool(bools),
+        ]
+        pool: dict = {}
+        out = intern_many(pool, batch)
+        assert out[0] is batch[0]
+        assert out[1] is batch[1]
+        assert out[2] is batch[0]
+        assert intern_many(pool, []) == []
+
+
+# ----------------------------------------------------------------------
+# mat-vec, σ-composition, σ-scatter
+# ----------------------------------------------------------------------
+class TestRowKernels:
+    @pytest.mark.parametrize("q", [5, 64, 100])
+    def test_matvec_matches_dense(self, q):
+        rng = np.random.default_rng(q)
+        a = _random_bool(rng, q, q)
+        v = _random_bool(rng, q)
+        got = matvec(BitMatrix.from_bool(a), PackedVec(v))
+        assert np.array_equal(got.bools, (a & v).any(axis=1))
+        assert got.any() == bool((a @ v).any())
+
+    @pytest.mark.parametrize("q", [5, 64, 100])
+    def test_compose_rows_matches_reference(self, q):
+        rng = np.random.default_rng(q + 1)
+        sigma = _random_sigma(rng, q)
+        matrix = _random_bool(rng, q, q)
+        got = compose_rows(sigma, BitMatrix.from_bool(matrix))
+        assert np.array_equal(got.to_bool(), reference_compose_pure(sigma, matrix))
+
+    @pytest.mark.parametrize("q", [5, 64, 100])
+    def test_function_bits_matches_dense_scatter(self, q):
+        rng = np.random.default_rng(q + 2)
+        sigma = _random_sigma(rng, q)
+        dense = np.zeros((q, q), dtype=bool)
+        valid = np.nonzero(sigma != _DEAD)[0]
+        dense[valid, sigma[valid]] = True
+        assert np.array_equal(function_bits(sigma, q).to_bool(), dense)
+
+    def test_function_bits_many_matches_single(self):
+        rng = np.random.default_rng(9)
+        q = 70
+        sigmas = np.stack([_random_sigma(rng, q) for _ in range(4)])
+        batched = function_bits_many(sigmas, q)
+        for k in range(4):
+            assert np.array_equal(batched[k], function_bits(sigmas[k], q).rows)
+
+    def test_row_and_any(self):
+        a = np.zeros((2, 70), dtype=bool)
+        a[0, 69] = True
+        m = BitMatrix.from_bool(a)
+        v = np.zeros(70, dtype=bool)
+        v[69] = True
+        words = pack_vec(v)
+        assert m.row_and_any(0, words)
+        assert not m.row_and_any(1, words)
+
+
+# ----------------------------------------------------------------------
+# the plan cache
+# ----------------------------------------------------------------------
+class TestPlanCache:
+    SOURCES = ["!x{a}", "!x{b}", "!x{ab}", "!x{a*}"]
+
+    def test_hit_returns_same_plan(self):
+        cache = PlanCache()
+        first = cache.get_or_compile("!x{a*b}")
+        second = cache.get_or_compile("!x{a*b}")
+        assert first is second
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["entries"] == 1
+        assert "!x{a*b}" in cache and len(cache) == 1
+
+    def test_lru_entry_eviction(self):
+        cache = PlanCache(max_entries=2)
+        a = cache.get_or_compile(self.SOURCES[0])
+        cache.get_or_compile(self.SOURCES[1])
+        cache.get_or_compile(self.SOURCES[0])  # refresh a: b is now LRU
+        cache.get_or_compile(self.SOURCES[2])  # evicts b
+        assert self.SOURCES[1] not in cache
+        assert cache.get_or_compile(self.SOURCES[0]) is a
+        assert cache.stats()["evictions"] == 1
+
+    def test_byte_budget_eviction(self):
+        # a 1-byte budget can never hold two *warm* plans (cold plans own
+        # zero matrix bytes); once evaluators warm up, the byte check on
+        # the next access must evict down to a single resident entry
+        from repro.slp import SLP, balanced_node
+
+        cache = PlanCache(max_entries=8, max_bytes=1)
+        slp = SLP()
+        node = balanced_node(slp, "abab")
+        for source in self.SOURCES:
+            plan = cache.get_or_compile(source)
+            assert plan.source == source
+            plan.evaluator.preprocess(slp, node)  # warm: cache_bytes > 0
+        cache.get_or_compile(self.SOURCES[-1])  # byte check runs on access
+        assert len(cache) == 1
+        assert cache.stats()["evictions"] >= len(self.SOURCES) - 1
+
+    def test_zero_entries_disables_retention(self):
+        cache = PlanCache(max_entries=0)
+        first = cache.get_or_compile("!x{a}")
+        second = cache.get_or_compile("!x{a}")
+        assert first is not second
+        assert len(cache) == 0
+
+    def test_clear(self):
+        cache = PlanCache()
+        cache.get_or_compile("!x{a}")
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_plan_evaluates(self):
+        plan = PlanCache().get_or_compile("!x{(a|b)*}!y{b}!z{(a|b)*}")
+        from repro.slp import SLP, balanced_node
+
+        slp = SLP()
+        node = balanced_node(slp, "ababbab")
+        relation = plan.evaluator.evaluate(slp, node)
+        assert len(relation) == 4  # one tuple per 'b' in the document
+
+    def test_thread_hammer(self):
+        cache = PlanCache(max_entries=3)
+        errors = []
+
+        def worker(offset):
+            try:
+                for i in range(20):
+                    source = self.SOURCES[(i + offset) % len(self.SOURCES)]
+                    plan = cache.get_or_compile(source)
+                    assert plan.source == source
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(k,)) for k in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] == 120
+
+
+# ----------------------------------------------------------------------
+# golden anchors: the paper's own examples through the packed path
+# ----------------------------------------------------------------------
+class TestGoldenExamples:
+    def test_example_1_1_packed_equals_uncompressed(self):
+        """The spanner of Example 1.1 on 'ababbab': the packed compressed
+        pipeline returns exactly the uncompressed enumerator's relation."""
+        from repro.enumeration import Enumerator
+        from repro.regex import spanner_from_regex
+        from repro.slp import SLP, SLPSpannerEvaluator, balanced_node
+
+        spanner = spanner_from_regex("!x{(a|b)*}!y{b}!z{(a|b)*}")
+        slp = SLP()
+        node = balanced_node(slp, "ababbab")
+        packed = SLPSpannerEvaluator(spanner).evaluate(slp, node)
+        assert packed == Enumerator(spanner).evaluate("ababbab")
+        assert len(packed) == 4  # one tuple per 'b' in the document
+
+    def test_figure_1_slp_membership_unchanged(self):
+        """NFA membership on the Figure 1 SLP agrees with direct
+        simulation of the derived documents."""
+        from repro.regex import compile_nfa
+        from repro.slp import CompressedMembership, figure_1_slp, simulate_uncompressed
+
+        slp, nodes = figure_1_slp()
+        documents = {
+            "A1": "ababbcabca",
+            "A2": "bcabcaabbca",
+            "A3": "ababbca",
+            "B": "abbca",
+            "D": "bcaabbca",
+        }
+        for pattern in ["(a|b|c)*bca", "(a|b)*c(a|b|c)*", "ab(a|b|c)*", "(ab)*"]:
+            nfa = compile_nfa(pattern)
+            oracle = CompressedMembership(nfa)
+            for name, text in documents.items():
+                assert slp.derive(nodes[name]) == text
+                assert oracle.accepts(slp, nodes[name]) == simulate_uncompressed(
+                    nfa, text
+                ), (pattern, name)
+
+    def test_figure_1_spanner_extraction(self):
+        """Spanner evaluation over the Figure 1 documents matches the
+        uncompressed enumerator for every designated node."""
+        from repro.enumeration import Enumerator
+        from repro.regex import spanner_from_regex
+        from repro.slp import SLPSpannerEvaluator, figure_1_slp
+
+        slp, nodes = figure_1_slp()
+        spanner = spanner_from_regex("(a|b|c)*!x{bca}(a|b|c)*")
+        evaluator = SLPSpannerEvaluator(spanner)
+        enumerator = Enumerator(spanner)
+        for name in ["A1", "A2", "A3"]:
+            text = slp.derive(nodes[name])
+            assert evaluator.evaluate(slp, nodes[name]) == enumerator.evaluate(text)

@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.util",
     "repro.serve",
     "repro.obs",
+    "repro.kernels",
 ]
 
 

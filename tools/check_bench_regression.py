@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Gate benchmark results against regressions.
+
+Two modes, one binary:
+
+``python tools/check_bench_regression.py``
+    *Validate* the committed ``benchmarks/results/`` — every file parses,
+    every module has rows, and every recorded before/after ``speedup``
+    still meets its documented floor (packed kernels ≥ 3x, plan cache
+    ≥ 2x).  This is the cheap invariant CI runs on every push without
+    executing the perf workload.
+
+``python tools/check_bench_regression.py BASELINE_DIR FRESH_DIR``
+    *Compare* a fresh benchmark run against a baseline (typically: copy
+    the committed results aside, re-run ``pytest benchmarks/``, then
+    compare).  Fails when any test got more than ``--max-slowdown``
+    (default 1.3x) slower, or any fitted complexity exponent drifted by
+    more than ``--max-exponent-drift`` (default 0.25) — a slope change
+    means the *shape* of a claim moved, which no amount of noise excuses.
+
+Timing comparisons skip rows whose baseline is below ``--min-seconds``
+(default 5 ms): micro-rows are dominated by interpreter jitter and would
+make the 1.3x gate flap.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+DEFAULT_RESULTS = pathlib.Path(__file__).resolve().parent.parent / "benchmarks" / "results"
+
+# documented floors for the recorded before/after rows (ISSUE 4 acceptance)
+SPEEDUP_FLOORS = {
+    "test_c2_packed_kernel_speedup": 3.0,
+    "test_c3_packed_kernel_speedup": 3.0,
+    "test_o2_repeated_query_plan_cache": 2.0,
+}
+
+
+def _load_rows(directory: pathlib.Path) -> dict[str, dict]:
+    """All result rows across a directory, keyed by 'module::test'."""
+    rows: dict[str, dict] = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        module = payload.get("bench", path.stem)
+        file_rows = payload.get("rows", [])
+        if not file_rows:
+            raise SystemExit(f"{path.name}: no result rows")
+        for row in file_rows:
+            rows[f"{module}::{row['test']}"] = row
+    if not rows:
+        raise SystemExit(f"{directory}: no BENCH_*.json files found")
+    return rows
+
+
+def validate(directory: pathlib.Path) -> list[str]:
+    """Invariants of a single results directory (the committed baseline)."""
+    problems = []
+    for key, row in _load_rows(directory).items():
+        floor = SPEEDUP_FLOORS.get(row.get("name", ""))
+        speedup = row.get("speedup")
+        if floor is not None and isinstance(speedup, (int, float)):
+            if speedup < floor:
+                problems.append(
+                    f"{key}: recorded speedup {speedup:.2f}x below the "
+                    f"{floor:.1f}x floor"
+                )
+        seconds = row.get("seconds")
+        if isinstance(seconds, (int, float)) and seconds < 0:
+            problems.append(f"{key}: negative seconds {seconds}")
+    return problems
+
+
+def compare(
+    baseline_dir: pathlib.Path,
+    fresh_dir: pathlib.Path,
+    max_slowdown: float,
+    max_exponent_drift: float,
+    min_seconds: float,
+) -> list[str]:
+    baseline = _load_rows(baseline_dir)
+    fresh = _load_rows(fresh_dir)
+    problems = []
+    compared = 0
+    for key, base_row in sorted(baseline.items()):
+        fresh_row = fresh.get(key)
+        if fresh_row is None:
+            problems.append(f"{key}: present in baseline, missing from fresh run")
+            continue
+        base_s, fresh_s = base_row.get("seconds"), fresh_row.get("seconds")
+        if (
+            isinstance(base_s, (int, float))
+            and isinstance(fresh_s, (int, float))
+            and base_s >= min_seconds
+        ):
+            compared += 1
+            if fresh_s > base_s * max_slowdown:
+                problems.append(
+                    f"{key}: {fresh_s:.4f}s vs baseline {base_s:.4f}s "
+                    f"({fresh_s / base_s:.2f}x > {max_slowdown:.2f}x)"
+                )
+        base_e = base_row.get("fitted_exponent")
+        fresh_e = fresh_row.get("fitted_exponent")
+        if isinstance(base_e, (int, float)) and isinstance(fresh_e, (int, float)):
+            if abs(fresh_e - base_e) > max_exponent_drift:
+                problems.append(
+                    f"{key}: fitted exponent drifted {base_e:.3f} -> {fresh_e:.3f} "
+                    f"(|Δ| > {max_exponent_drift})"
+                )
+    if compared == 0:
+        problems.append("no timing rows were comparable; check the directories")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", nargs="?", type=pathlib.Path)
+    parser.add_argument("fresh", nargs="?", type=pathlib.Path)
+    parser.add_argument("--max-slowdown", type=float, default=1.3)
+    parser.add_argument("--max-exponent-drift", type=float, default=0.25)
+    parser.add_argument("--min-seconds", type=float, default=0.005)
+    args = parser.parse_args(argv)
+
+    if args.baseline is not None and args.fresh is None:
+        parser.error("compare mode needs both BASELINE_DIR and FRESH_DIR")
+
+    if args.baseline is None:
+        problems = validate(DEFAULT_RESULTS)
+        mode = f"validate {DEFAULT_RESULTS}"
+    else:
+        problems = compare(
+            args.baseline,
+            args.fresh,
+            args.max_slowdown,
+            args.max_exponent_drift,
+            args.min_seconds,
+        )
+        mode = f"compare {args.baseline} -> {args.fresh}"
+
+    if problems:
+        print(f"bench regression check FAILED ({mode}):")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(f"bench regression check ok ({mode})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

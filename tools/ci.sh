@@ -16,6 +16,9 @@ python tools/check_no_wallclock.py
 echo "== lint: shared evaluator state stays behind the coordination layer"
 python tools/check_thread_safety.py
 
+echo "== bench: committed results meet their recorded speedup floors"
+python tools/check_bench_regression.py
+
 echo "== docs: API index is fresh"
 python - <<'EOF'
 import pathlib, sys
