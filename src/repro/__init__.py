@@ -36,6 +36,7 @@ from repro.errors import (
     MemoryLimitError,
     NotFunctionalError,
     OverloadedError,
+    ParallelError,
     PersistenceError,
     RegexSyntaxError,
     SchemaError,
@@ -98,6 +99,7 @@ __all__ = [
     "NotFunctionalError",
     "Open",
     "OverloadedError",
+    "ParallelError",
     "PersistenceError",
     "Ref",
     "ReflSpanner",

@@ -37,6 +37,7 @@ Subcommands
     python -m repro db store.slpdb add logs "error at line 3"
     python -m repro db store.slpdb edit head 'extract(doc(logs),1,6)'
     python -m repro db store.slpdb query '!x{[a-z]+}' logs --deadline 2.0
+    python -m repro db store.slpdb bulk '!x{[a-z]+}' logs head --workers 4
     python -m repro db store.slpdb text head
     python -m repro db store.slpdb ls
     python -m repro db store.slpdb stats
@@ -216,6 +217,20 @@ def _run_db_action(args) -> int:
         store.register_spanner("__cli__", args.operands[0], budget)
         for tup in store.query("__cli__", args.operands[1], budget):
             print(tup)
+    elif action == "bulk":
+        if len(args.operands) < 2:
+            raise SystemExit("usage: db STORE bulk PATTERN DOCUMENT [DOCUMENT ...]")
+        store.register_spanner("__cli__", args.operands[0], budget)
+        relations = store.query_bulk(
+            "__cli__",
+            args.operands[1:],
+            workers=args.workers,
+            backend=args.backend,
+            budget=budget,
+        )
+        for name, relation in relations.items():
+            for tup in relation:
+                print(f"{name}\t{tup}")
     elif action == "text":
         if len(args.operands) != 1:
             raise SystemExit("usage: db STORE text NAME")
@@ -390,9 +405,17 @@ def build_parser() -> argparse.ArgumentParser:
     db.add_argument("store", help="path of the snapshot file")
     db.add_argument(
         "action",
-        choices=["add", "edit", "query", "text", "ls", "stats", "metrics", "save"],
+        choices=["add", "edit", "query", "bulk", "text", "ls", "stats", "metrics", "save"],
     )
     db.add_argument("operands", nargs="*", help="action-specific operands")
+    db.add_argument(
+        "--workers", type=int, default=None,
+        help="bulk: worker threads for the parallel preprocessing fan-out",
+    )
+    db.add_argument(
+        "--backend", choices=["thread", "serial"], default="thread",
+        help="bulk: repro.parallel backend",
+    )
     db.add_argument(
         "--trace", default=None, metavar="FILE",
         help="enable repro.obs and write the operation's trace as JSONL",

@@ -412,6 +412,59 @@ class SpannerDB:
         evaluator = self._evaluator(spanner)
         return evaluator.is_nonempty(self.slp, self._db.node(document), budget)
 
+    def query_bulk(
+        self,
+        spanner: str,
+        documents,
+        *,
+        workers: int | None = None,
+        backend: str = "thread",
+        budget=None,
+    ) -> dict:
+        """Evaluate *spanner* on many stored documents at once.
+
+        One spanner lookup is amortised across the whole batch, and the
+        per-document matrix preprocessing fans out over a
+        :mod:`repro.parallel` worker pool (workers run the pure wave
+        computation against the shared node cache; results merge on this
+        thread, so cache mutation stays single-threaded).  The final
+        relations are materialised serially from the warmed cache.
+
+        Returns ``{document: SpanRelation}`` in input order.  Results are
+        identical to calling :meth:`evaluate` per document — the
+        differential test suite asserts this across backends and worker
+        counts.  A shared :class:`~repro.util.Budget` governs the whole
+        batch, fan-out included."""
+        from repro.parallel import preprocess_bulk
+
+        names = list(documents)
+        evaluator = self._evaluator(spanner)
+        nodes = [self._db.node(name) for name in names]
+        with obs.tracer().span(
+            "db.query_bulk", spanner=spanner, documents=len(names)
+        ) as span:
+            try:
+                fresh = preprocess_bulk(
+                    evaluator,
+                    self.slp,
+                    nodes,
+                    workers=workers,
+                    backend=backend,
+                    budget=budget,
+                )
+                relations = {
+                    name: evaluator.evaluate(self.slp, node, budget)
+                    for name, node in zip(names, nodes)
+                }
+                if obs.enabled():
+                    span.attrs["fresh_matrices"] = fresh
+                    obs.metrics().counter("db.query_bulk").inc()
+                return relations
+            except _BUDGET_ERRORS as exc:
+                if obs.enabled():
+                    _budget_event("query_bulk", exc, budget)
+                raise
+
     # ------------------------------------------------------------------
     # editing (the dynamic setting of [40])
     # ------------------------------------------------------------------

@@ -49,6 +49,7 @@ __all__ = [
     "OverloadedError",
     "CircuitOpenError",
     "ServiceStoppedError",
+    "ParallelError",
 ]
 
 
@@ -193,3 +194,8 @@ class CircuitOpenError(ServeError):
 class ServiceStoppedError(ServeError):
     """The request was submitted to (or was still queued in) a service
     that has been stopped."""
+
+
+class ParallelError(SpanlibError, ValueError):
+    """A misconfigured :mod:`repro.parallel` request (unknown backend,
+    invalid shard/worker count)."""

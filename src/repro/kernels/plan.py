@@ -16,11 +16,20 @@ compiled artefact per source text:
   most ``max_bytes`` of resident matrix bytes, accounted through
   :class:`repro.util.Budget` (`charge_bytes`), evicting
   least-recently-used plans until the budget admits the rest — plans
-  grow as their evaluators warm up, so the byte check runs on every
-  access, not only on insert;
-* all operations take one internal lock (compilation included), and
-  hit/miss/eviction counters are published through :mod:`repro.obs`
-  (``kernels.plan_cache.hits`` / ``.misses`` / ``.evictions``).
+  grow as their evaluators warm up, so the accessed plan's byte account
+  is refreshed on every access, not only on insert, and the running
+  total is maintained incrementally (one ``cache_bytes()`` call per
+  access/eviction, never a full re-summation).  A plan that alone
+  exceeds ``max_bytes`` is evicted too (counted in
+  ``kernels.plan_cache.over_budget``) — an over-budget warm plan is
+  never silently retained;
+* bookkeeping takes one internal lock, but **compilation runs outside
+  it**: concurrent misses on *distinct* sources compile in parallel,
+  while concurrent misses on the *same* source are deduplicated through
+  a per-key in-flight table (one thread compiles, the rest wait for its
+  result).  Hit/miss/eviction counters are published through
+  :mod:`repro.obs` (``kernels.plan_cache.hits`` / ``.misses`` /
+  ``.evictions`` / ``.over_budget``).
 
 ``SpannerDB.register_spanner`` routes every string-valued spanner through
 the process-wide cache (:func:`plan_cache`); :mod:`repro.serve` and the
@@ -86,50 +95,107 @@ class PlanCache:
         self.max_entries = int(max_entries)
         self.max_bytes = int(max_bytes)
         self._plans: OrderedDict[str, CompiledPlan] = OrderedDict()
+        #: last-observed cache_bytes() per plan and their running total —
+        #: refreshed for the plan touched by each access, so eviction
+        #: decisions are O(1) instead of re-summing the whole cache
+        self._bytes: dict[str, int] = {}
+        self._total_bytes = 0
         self._lock = threading.RLock()
+        #: source → event of the thread currently compiling it; misses on
+        #: a source already in flight wait instead of recompiling, misses
+        #: on distinct sources compile concurrently (no cache-wide stall)
+        self._inflight: dict[str, threading.Event] = {}
         self._budget = Budget(max_bytes=self.max_bytes)
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._over_budget = 0
 
     # ------------------------------------------------------------------
     def get_or_compile(self, source: str) -> CompiledPlan:
-        """The cached plan for *source*, compiling (and caching) on miss."""
+        """The cached plan for *source*, compiling (and caching) on miss.
+
+        Compilation happens *outside* the cache lock: a slow compile of
+        one spanner never blocks hits — or other misses — on different
+        sources.  Concurrent misses on the same source are collapsed to
+        one compilation through the in-flight table."""
         observing = obs.enabled()
-        with self._lock:
-            plan = self._plans.get(source)
-            if plan is not None:
-                self._plans.move_to_end(source)
-                self._hits += 1
-                if observing:
-                    obs.metrics().counter("kernels.plan_cache.hits").inc()
-                self._shrink()
-                return plan
-            self._misses += 1
-            if observing:
-                obs.metrics().counter("kernels.plan_cache.misses").inc()
-            plan = _compile(source)
-            if self.max_entries > 0:
-                self._plans[source] = plan
-                self._shrink()
+        counted = False
+        while True:
+            wait_for: threading.Event | None = None
+            with self._lock:
+                plan = self._plans.get(source)
+                if plan is not None:
+                    self._plans.move_to_end(source)
+                    if not counted:
+                        self._hits += 1
+                        if observing:
+                            obs.metrics().counter("kernels.plan_cache.hits").inc()
+                    self._account(source, plan)
+                    self._shrink()
+                    return plan
+                if not counted:
+                    counted = True
+                    self._misses += 1
+                    if observing:
+                        obs.metrics().counter("kernels.plan_cache.misses").inc()
+                wait_for = self._inflight.get(source)
+                if wait_for is None:
+                    self._inflight[source] = threading.Event()
+            if wait_for is not None:
+                # another thread is compiling this source; wait for it and
+                # re-check (it may have failed or been evicted instantly)
+                wait_for.wait()
+                continue
+            try:
+                plan = _compile(source)
+            except BaseException:
+                with self._lock:
+                    self._inflight.pop(source).set()
+                raise
+            with self._lock:
+                self._inflight.pop(source).set()
+                if self.max_entries > 0:
+                    self._plans[source] = plan
+                    self._account(source, plan)
+                    self._shrink()
             return plan
+
+    def _account(self, source: str, plan: CompiledPlan) -> None:
+        """Refresh one plan's byte record and the incremental total."""
+        current = plan.cache_bytes()
+        self._total_bytes += current - self._bytes.get(source, 0)
+        self._bytes[source] = current
+
+    def _evict_lru(self) -> None:
+        source, _ = self._plans.popitem(last=False)
+        self._total_bytes -= self._bytes.pop(source, 0)
 
     def _shrink(self) -> None:
         """Evict LRU plans until entry and byte bounds both admit the rest.
 
         Byte accounting goes through :class:`repro.util.Budget`'s
         ``charge_bytes`` guard so the cache and every other
-        materialisation bound in the system share one failure model."""
+        materialisation bound in the system share one failure model.
+        Totals are maintained incrementally by :meth:`_account`; each
+        eviction is O(1).  A single plan whose warm caches alone exceed
+        ``max_bytes`` is evicted as well (callers keep the reference they
+        were handed; the cache just refuses to retain it)."""
         evicted = 0
         while len(self._plans) > max(0, self.max_entries):
-            self._plans.popitem(last=False)
+            self._evict_lru()
             evicted += 1
-        while len(self._plans) > 1:
-            total = sum(plan.cache_bytes() for plan in self._plans.values())
+        while self._plans:
             try:
-                self._budget.charge_bytes(total, what="plan cache")
+                self._budget.charge_bytes(self._total_bytes, what="plan cache")
             except MemoryLimitError:
-                self._plans.popitem(last=False)
+                if len(self._plans) == 1:
+                    self._over_budget += 1
+                    if obs.enabled():
+                        obs.metrics().counter(
+                            "kernels.plan_cache.over_budget"
+                        ).inc()
+                self._evict_lru()
                 evicted += 1
                 continue
             break
@@ -150,18 +216,23 @@ class PlanCache:
     def clear(self) -> None:
         with self._lock:
             self._plans.clear()
+            self._bytes.clear()
+            self._total_bytes = 0
 
     def stats(self) -> dict:
         """Sizing and effectiveness counters (also mirrored in obs)."""
         with self._lock:
+            for source, plan in self._plans.items():
+                self._account(source, plan)
             return {
                 "entries": len(self._plans),
-                "bytes": sum(p.cache_bytes() for p in self._plans.values()),
+                "bytes": self._total_bytes,
                 "max_entries": self.max_entries,
                 "max_bytes": self.max_bytes,
                 "hits": self._hits,
                 "misses": self._misses,
                 "evictions": self._evictions,
+                "over_budget": self._over_budget,
             }
 
 

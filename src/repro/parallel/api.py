@@ -1,0 +1,180 @@
+"""Shard-parallel evaluation: the public entry points.
+
+Two fan-out shapes, both built on the associative ``(σ, T, T_em)``
+algebra of :mod:`repro.parallel.fold`:
+
+* **within one document** — :func:`document_matrices` splits a plain-text
+  document into balanced shards, folds each shard on a worker, and folds
+  the shard entries on the calling thread.  The result is bit-for-bit the
+  entry ``preprocess`` would compute for the same document's SLP;
+  :func:`is_nonempty_text` answers non-emptiness from it without
+  enumeration.
+* **across documents** — :func:`preprocess_bulk` warms one evaluator's
+  node matrices for many stored documents concurrently: workers run the
+  pure :meth:`~repro.slp.SLPSpannerEvaluator.compute_entries` (reading
+  the shared cache, writing nothing), and results merge on the calling
+  thread afterwards.  :meth:`SpannerDB.query_bulk <repro.db.SpannerDB.query_bulk>`
+  and the batched request type of :mod:`repro.serve` sit on top.
+
+Shard fan-out and fold timings are recorded through :mod:`repro.obs`
+(``parallel.document_matrices`` / ``parallel.preprocess_bulk`` spans, and
+``parallel.shards`` / ``parallel.fanout_ns`` / ``parallel.fold_ns``
+counters) so worker sizing can be tuned from traces instead of guesses —
+see ``docs/PERFORMANCE.md`` for the sizing guidance.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import obs
+from repro.parallel.fold import (
+    DEFAULT_CHUNK,
+    fold_entries,
+    shard_spans,
+    text_entry,
+)
+from repro.parallel.pool import default_workers, run_tasks
+from repro.slp.spanner_eval import SLPSpannerEvaluator
+
+__all__ = [
+    "as_evaluator",
+    "document_matrices",
+    "is_nonempty_text",
+    "preprocess_bulk",
+]
+
+
+def as_evaluator(spanner) -> SLPSpannerEvaluator:
+    """Resolve *spanner* to an evaluator.
+
+    Strings go through the process-wide plan cache (one compile +
+    determinisation amortised across every call that names the same
+    source); evaluators pass through; anything else —
+    :class:`~repro.automata.evset.DeterministicEVA`, a vset-automaton, a
+    ``RegularSpanner`` — gets a fresh evaluator."""
+    if isinstance(spanner, SLPSpannerEvaluator):
+        return spanner
+    if isinstance(spanner, str):
+        from repro.kernels.plan import plan_cache
+
+        return plan_cache().get_or_compile(spanner).evaluator
+    return SLPSpannerEvaluator(spanner)
+
+
+def document_matrices(
+    spanner,
+    text: str,
+    *,
+    workers: int | None = None,
+    backend: str = "thread",
+    shards: int | None = None,
+    chunk_size: int = DEFAULT_CHUNK,
+    budget=None,
+):
+    """``(σ, T, T_em)`` of *text* under *spanner*, computed shard-parallel.
+
+    The document is split into *shards* balanced spans (default: one per
+    worker); each worker folds its span with the chunked kernel of
+    :mod:`repro.parallel.fold`; the per-shard entries fold on the calling
+    thread.  The returned entry is **bit-for-bit identical** for every
+    ``(backend, workers, shards, chunk_size)`` choice — asserted
+    differentially against the SLP ``preprocess`` path by the test suite.
+
+    A shared :class:`~repro.util.Budget` governs all workers: steps are
+    charged per combined pair and ``max_bytes`` guards each level's
+    transient float32 stacks, so deadlines and memory limits hold across
+    the fan-out exactly as they do on the serial path."""
+    evaluator = as_evaluator(spanner)
+    q = evaluator.det.num_states
+    if workers is None:
+        workers = default_workers()
+    if shards is None:
+        shards = workers
+    spans = shard_spans(len(text), shards)
+    # distinct chars resolve through the store's lock exactly once, here;
+    # workers then read a plain dict
+    table = evaluator.char_entries(text)
+    observing = obs.enabled()
+    with obs.tracer().span(
+        "parallel.document_matrices",
+        chars=len(text),
+        shards=len(spans),
+        workers=workers,
+        backend=backend,
+    ):
+        t0 = time.perf_counter_ns() if observing else 0
+        thunks = [
+            lambda start=start, end=end: text_entry(
+                table,
+                text[start:end],
+                q,
+                chunk_size=chunk_size,
+                budget=budget,
+            )
+            for start, end in spans
+        ]
+        shard_entries = run_tasks(thunks, workers=workers, backend=backend)
+        t1 = time.perf_counter_ns() if observing else 0
+        entry = fold_entries(shard_entries, q, budget)
+        if observing:
+            registry = obs.metrics()
+            registry.counter("parallel.shards").inc(len(spans))
+            registry.counter("parallel.fanout_ns").inc(t1 - t0)
+            registry.counter("parallel.fold_ns").inc(
+                time.perf_counter_ns() - t1
+            )
+    return entry
+
+
+def is_nonempty_text(spanner, text: str, **kwargs) -> bool:
+    """``⟦M⟧(text) ≠ ∅`` from one shard-parallel fold (no enumeration,
+    no SLP).  Keyword arguments are those of :func:`document_matrices`."""
+    evaluator = as_evaluator(spanner)
+    return evaluator.entry_is_nonempty(
+        document_matrices(evaluator, text, **kwargs)
+    )
+
+
+def preprocess_bulk(
+    evaluator: SLPSpannerEvaluator,
+    slp,
+    nodes,
+    *,
+    workers: int | None = None,
+    backend: str = "thread",
+    budget=None,
+) -> int:
+    """Warm *evaluator*'s matrices for several documents concurrently.
+
+    Workers run the pure per-document wave computation
+    (:meth:`~repro.slp.SLPSpannerEvaluator.compute_entries`) against the
+    shared node cache — reads only — and the results merge on the calling
+    thread once every worker has finished, so cache mutation is
+    single-threaded by construction.  Documents sharing subtrees may
+    compute a shared node's entry redundantly; the merge keeps one copy.
+    Returns the number of fresh entries adopted."""
+    nodes = list(nodes)
+    evaluator.ensure_finalizer(slp)
+    with obs.tracer().span(
+        "parallel.preprocess_bulk", documents=len(nodes), backend=backend
+    ):
+        observing = obs.enabled()
+        t0 = time.perf_counter_ns() if observing else 0
+        thunks = [
+            lambda node=node: evaluator.compute_entries(slp, node, budget)
+            for node in nodes
+        ]
+        results = run_tasks(thunks, workers=workers, backend=backend)
+        t1 = time.perf_counter_ns() if observing else 0
+        fresh = 0
+        for fresh_entries, _ in results:
+            fresh += evaluator.merge_entries(slp, fresh_entries)
+        if observing:
+            registry = obs.metrics()
+            registry.counter("parallel.fanout_ns").inc(t1 - t0)
+            registry.counter("parallel.fold_ns").inc(
+                time.perf_counter_ns() - t1
+            )
+            registry.counter("parallel.bulk_fresh").inc(fresh)
+    return fresh

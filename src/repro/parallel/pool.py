@@ -1,0 +1,65 @@
+"""Worker-pool backends for shard fan-out.
+
+Two backends, one contract — results in submission order, first worker
+exception re-raised after every task has settled:
+
+* ``"thread"`` — a :class:`~concurrent.futures.ThreadPoolExecutor`.
+  Threads are the right vehicle here because the shard fold of
+  :mod:`repro.parallel.fold` spends its time in batched numpy kernels
+  that release the GIL; workers share the evaluator's caches with zero
+  serialisation cost.
+* ``"serial"`` — the same thunks run inline on the calling thread.  The
+  differential anchor (thread-vs-serial equality is asserted bit-for-bit
+  by the test suite and by ``benchmarks/bench_parallel.py``) and the
+  deterministic fallback for debugging or single-core deployments.
+
+Unknown backends raise :class:`~repro.errors.ParallelError` — a typed,
+catchable configuration error, not an assert.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.errors import ParallelError
+
+__all__ = ["BACKENDS", "default_workers", "run_tasks"]
+
+BACKENDS = ("thread", "serial")
+
+#: cap on the *default* worker count — beyond this, memory bandwidth (not
+#: the GIL) is the bottleneck for the fold kernel's batched matmuls;
+#: callers who know better pass ``workers`` explicitly
+_DEFAULT_WORKER_CAP = 8
+
+
+def default_workers() -> int:
+    return max(1, min(_DEFAULT_WORKER_CAP, os.cpu_count() or 1))
+
+
+def run_tasks(thunks, *, workers: int | None = None, backend: str = "thread"):
+    """Run *thunks* (zero-argument callables), return results in order.
+
+    ``backend="serial"``, a single worker, or a single task all short-
+    circuit to an inline loop — no pool, no threads, deterministic."""
+    if backend not in BACKENDS:
+        raise ParallelError(
+            f"unknown parallel backend {backend!r}; expected one of {BACKENDS}"
+        )
+    if workers is None:
+        workers = default_workers()
+    workers = int(workers)
+    if workers < 1:
+        raise ParallelError(f"workers must be >= 1, got {workers}")
+    thunks = list(thunks)
+    if backend == "serial" or workers == 1 or len(thunks) <= 1:
+        return [thunk() for thunk in thunks]
+    with ThreadPoolExecutor(
+        max_workers=min(workers, len(thunks)),
+        thread_name_prefix="repro-parallel",
+    ) as pool:
+        futures = [pool.submit(thunk) for thunk in thunks]
+        # the pool's shutdown joins every worker, so a raising .result()
+        # never leaves threads touching shared state behind the caller
+        return [future.result() for future in futures]

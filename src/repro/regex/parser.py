@@ -159,8 +159,12 @@ class _Parser:
         return Repeat(inner, low, high)
 
     def number(self) -> int:
+        # ASCII digits only: str.isdigit() also accepts e.g. superscripts
+        # ('²') and other Unicode digit classes, which int() then rejects
+        # with a bare ValueError — the fuzzing contract demands a typed
+        # RegexSyntaxError instead (same fix as repro.slp.cde's integer())
         digits = ""
-        while (ch := self.peek()) is not None and ch.isdigit():
+        while (ch := self.peek()) is not None and ch in "0123456789":
             digits += self.take()
         if not digits:
             raise self.error("expected a number")

@@ -42,6 +42,7 @@ from repro.serve.breaker import CircuitBreaker
 from repro.serve.coordination import RWLock, StoreCoordinator
 from repro.serve.retry import RetryBudget, RetryPolicy
 from repro.serve.service import (
+    BulkQueryResult,
     QueryResult,
     ServeConfig,
     SpannerService,
@@ -50,6 +51,7 @@ from repro.serve.service import (
 )
 
 __all__ = [
+    "BulkQueryResult",
     "CircuitBreaker",
     "QueryResult",
     "RWLock",

@@ -67,7 +67,13 @@ from repro.serve.coordination import StoreCoordinator
 from repro.serve.retry import RetryBudget, RetryPolicy
 from repro.util.budget import Budget, Deadline
 
-__all__ = ["ServeConfig", "SpannerService", "QueryResult", "Ticket"]
+__all__ = [
+    "ServeConfig",
+    "SpannerService",
+    "QueryResult",
+    "BulkQueryResult",
+    "Ticket",
+]
 
 _STOP = object()
 
@@ -117,6 +123,20 @@ class QueryResult:
     exec_ns: int = 0
 
 
+@dataclass
+class BulkQueryResult:
+    """A completed batch: per-document tuples plus how the service got
+    them.  One admission slot, one deadline, one retry/degradation loop
+    for the whole batch — ``degraded`` and ``attempts`` describe the batch
+    as a unit."""
+
+    results: dict[str, list[SpanTuple]]
+    degraded: bool
+    attempts: int
+    queue_ns: int = 0
+    exec_ns: int = 0
+
+
 class Ticket:
     """A handle to one submitted request (a minimal future)."""
 
@@ -155,12 +175,86 @@ class Ticket:
 
 @dataclass
 class _Request:
+    """One single-document query.  The worker loop and the
+    retry/degradation machinery talk to requests only through
+    :meth:`describe` / :meth:`run_compressed` / :meth:`run_decompressed` /
+    :meth:`make_result`, so batched request types slot in without touching
+    the execution path."""
+
     spanner: str
     document: str
     deadline: Deadline | None
     max_steps: int | None
     ticket: Ticket
     enqueued_ns: int = field(default_factory=time.perf_counter_ns)
+
+    def describe(self) -> dict:
+        return {"spanner": self.spanner, "document": self.document}
+
+    def run_compressed(self, db, budget) -> list[SpanTuple]:
+        return list(db.query(self.spanner, self.document, budget))
+
+    def run_decompressed(self, db, budget) -> list[SpanTuple]:
+        return list(db.query_decompressed(self.spanner, self.document, budget))
+
+    def make_result(self, payload, degraded, attempts, queue_ns, exec_ns):
+        return QueryResult(
+            tuples=payload,
+            degraded=degraded,
+            attempts=attempts,
+            queue_ns=queue_ns,
+            exec_ns=exec_ns,
+        )
+
+
+@dataclass
+class _BulkRequest:
+    """One batched query over many stored documents.
+
+    The compressed attempt goes through :meth:`SpannerDB.query_bulk
+    <repro.db.SpannerDB.query_bulk>`, which amortises the spanner lookup
+    across the batch and fans the per-document matrix preprocessing out
+    over a :mod:`repro.parallel` worker pool; the degraded attempt falls
+    back to per-document decompressed evaluation.  Either way the whole
+    batch runs under one admission slot, one deadline, and one shared
+    :class:`~repro.util.Budget`."""
+
+    spanner: str
+    documents: list[str]
+    workers: int | None
+    backend: str
+    deadline: Deadline | None
+    max_steps: int | None
+    ticket: Ticket
+    enqueued_ns: int = field(default_factory=time.perf_counter_ns)
+
+    def describe(self) -> dict:
+        return {"spanner": self.spanner, "documents": len(self.documents)}
+
+    def run_compressed(self, db, budget) -> dict[str, list[SpanTuple]]:
+        relations = db.query_bulk(
+            self.spanner,
+            self.documents,
+            workers=self.workers,
+            backend=self.backend,
+            budget=budget,
+        )
+        return {name: list(relation) for name, relation in relations.items()}
+
+    def run_decompressed(self, db, budget) -> dict[str, list[SpanTuple]]:
+        return {
+            name: list(db.query_decompressed(self.spanner, name, budget))
+            for name in self.documents
+        }
+
+    def make_result(self, payload, degraded, attempts, queue_ns, exec_ns):
+        return BulkQueryResult(
+            results=payload,
+            degraded=degraded,
+            attempts=attempts,
+            queue_ns=queue_ns,
+            exec_ns=exec_ns,
+        )
 
 
 class SpannerService:
@@ -263,6 +357,47 @@ class SpannerService:
         """Enqueue one query; sheds with a retry-after hint when full."""
         if not self._running:
             raise ServiceStoppedError("submit on a stopped service")
+        request = _Request(
+            spanner=spanner,
+            document=document,
+            deadline=self._clamp_deadline(deadline),
+            max_steps=max_steps if max_steps is not None else self.config.max_steps,
+            ticket=Ticket(),
+        )
+        return self._admit(request)
+
+    def submit_bulk(
+        self,
+        spanner: str,
+        documents,
+        *,
+        deadline: float | Deadline | None = None,
+        max_steps: int | None = None,
+        workers: int | None = None,
+        backend: str = "thread",
+    ) -> Ticket:
+        """Enqueue one *batch* of queries over many stored documents.
+
+        The batch occupies a single admission slot (shedding whole batches
+        keeps the retry-after hint honest under overload), shares one
+        deadline and step budget, and amortises the spanner lookup and
+        plan-cache hit across every document; matrix preprocessing fans
+        out over *workers* :mod:`repro.parallel` threads.  The ticket
+        resolves to a :class:`BulkQueryResult`."""
+        if not self._running:
+            raise ServiceStoppedError("submit on a stopped service")
+        request = _BulkRequest(
+            spanner=spanner,
+            documents=list(documents),
+            workers=workers,
+            backend=backend,
+            deadline=self._clamp_deadline(deadline),
+            max_steps=max_steps if max_steps is not None else self.config.max_steps,
+            ticket=Ticket(),
+        )
+        return self._admit(request)
+
+    def _clamp_deadline(self, deadline) -> Deadline | None:
         if deadline is not None and not isinstance(deadline, Deadline):
             deadline = Deadline.after(deadline)
         default = (
@@ -270,13 +405,9 @@ class SpannerService:
             if self.config.default_deadline is not None
             else None
         )
-        request = _Request(
-            spanner=spanner,
-            document=document,
-            deadline=Deadline.earliest(deadline, default),
-            max_steps=max_steps if max_steps is not None else self.config.max_steps,
-            ticket=Ticket(),
-        )
+        return Deadline.earliest(deadline, default)
+
+    def _admit(self, request) -> Ticket:
         self._count("submitted")
         try:
             self._queue.put_nowait(request)
@@ -286,7 +417,7 @@ class SpannerService:
             if obs.enabled():
                 obs.metrics().counter("serve.shed").inc()
                 obs.tracer().event(
-                    "serve.shed", spanner=spanner, retry_after=retry_after
+                    "serve.shed", spanner=request.spanner, retry_after=retry_after
                 )
             raise OverloadedError(
                 f"queue full ({self.config.queue_limit} requests); "
@@ -308,6 +439,27 @@ class SpannerService:
     ) -> QueryResult:
         """Synchronous convenience: :meth:`submit` + :meth:`Ticket.result`."""
         return self.submit(spanner, document, deadline, max_steps).result(timeout)
+
+    def query_bulk(
+        self,
+        spanner: str,
+        documents,
+        *,
+        deadline: float | Deadline | None = None,
+        max_steps: int | None = None,
+        workers: int | None = None,
+        backend: str = "thread",
+        timeout: float | None = 30.0,
+    ) -> BulkQueryResult:
+        """Synchronous convenience: :meth:`submit_bulk` + :meth:`Ticket.result`."""
+        return self.submit_bulk(
+            spanner,
+            documents,
+            deadline=deadline,
+            max_steps=max_steps,
+            workers=workers,
+            backend=backend,
+        ).result(timeout)
 
     def _retry_after_hint(self) -> float:
         """Backlog drain estimate: queued requests x mean service time per
@@ -371,7 +523,7 @@ class SpannerService:
                         "request deadline expired while queued "
                         f"(waited {queue_ns / 1e9:.3f}s)"
                     )
-                tuples, degraded, attempts = self._execute(item)
+                payload, degraded, attempts = self._execute(item)
             except Exception as exc:  # noqa: BLE001 - tickets must resolve
                 self._count("failed")
                 if obs.enabled():
@@ -391,17 +543,15 @@ class SpannerService:
                 if degraded:
                     registry.counter("serve.degraded").inc()
             item.ticket._complete(
-                QueryResult(
-                    tuples=tuples,
-                    degraded=degraded,
-                    attempts=attempts,
-                    queue_ns=queue_ns,
-                    exec_ns=exec_ns,
-                )
+                item.make_result(payload, degraded, attempts, queue_ns, exec_ns)
             )
 
-    def _execute(self, request: _Request) -> tuple[list[SpanTuple], bool, int]:
-        """The retry/degradation loop for one request (see module doc)."""
+    def _execute(self, request) -> tuple:
+        """The retry/degradation loop for one request (see module doc).
+
+        Works for any request type implementing ``describe`` /
+        ``run_compressed`` / ``run_decompressed`` — single queries and
+        batches share one execution path."""
         attempt = 0
         while True:
             attempt += 1
@@ -413,10 +563,9 @@ class SpannerService:
             span = (
                 obs.tracer().span(
                     "serve.attempt",
-                    spanner=request.spanner,
-                    document=request.document,
                     attempt=attempt,
                     path="slp" if compressed else "decompressed",
+                    **request.describe(),
                 )
                 if obs.enabled()
                 else None
@@ -425,10 +574,10 @@ class SpannerService:
                 if span is not None:
                     span.__enter__()
                 if compressed:
-                    tuples = self._attempt_compressed(request)
+                    payload = self._attempt_compressed(request)
                     if attempt == 1:
                         self.retry_budget.refill()
-                    return tuples, False, attempt
+                    return payload, False, attempt
                 if not self.config.degrade:
                     raise CircuitOpenError(
                         "compressed evaluation tripped and degradation is disabled"
@@ -460,7 +609,7 @@ class SpannerService:
                 if span is not None:
                     span.__exit__(None, None, None)
 
-    def _attempt_compressed(self, request: _Request) -> list[SpanTuple]:
+    def _attempt_compressed(self, request):
         """One compressed attempt, with breaker accounting.
 
         The stream is materialised *inside* the read lock: tuples must not
@@ -468,7 +617,7 @@ class SpannerService:
         budget = self._budget_for(request)
         try:
             with self.coordinator.read() as db:
-                tuples = list(db.query(request.spanner, request.document, budget))
+                payload = request.run_compressed(db, budget)
         except SpanlibError as exc:
             if _is_transient(exc):
                 self.breaker.record_failure()
@@ -478,16 +627,14 @@ class SpannerService:
                 self.breaker.record_success()
             raise
         self.breaker.record_success()
-        return tuples
+        return payload
 
-    def _attempt_decompressed(self, request: _Request) -> list[SpanTuple]:
+    def _attempt_decompressed(self, request):
         budget = self._budget_for(request)
         with self.coordinator.read() as db:
-            return list(
-                db.query_decompressed(request.spanner, request.document, budget)
-            )
+            return request.run_decompressed(db, budget)
 
-    def _budget_for(self, request: _Request) -> Budget | None:
+    def _budget_for(self, request) -> Budget | None:
         if request.deadline is None and request.max_steps is None:
             return None
         return Budget(deadline=request.deadline, max_steps=request.max_steps)

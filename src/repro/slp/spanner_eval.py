@@ -192,6 +192,17 @@ class SLPSpannerEvaluator:
     def _char_tables(self, ch: str) -> tuple[np.ndarray, BitMatrix, BitMatrix]:
         return self._char_tables_cache.get(ch)
 
+    def char_entries(
+        self, chars
+    ) -> dict[str, tuple[np.ndarray, BitMatrix, BitMatrix]]:
+        """``{ch: (σ, T, T_em)}`` for every distinct character of *chars*.
+
+        Prefetches through the shared per-automaton store — one lock
+        acquisition per *distinct* character — so shard workers in
+        :mod:`repro.parallel` read a plain dict instead of contending on
+        the store lock once per document position."""
+        return {ch: self._char_tables_cache.get(ch) for ch in set(chars)}
+
     def _store(
         self, key: tuple[int, int], entry: tuple[np.ndarray, BitMatrix, BitMatrix]
     ) -> None:
@@ -210,12 +221,11 @@ class SLPSpannerEvaluator:
         An optional :class:`~repro.util.Budget` is charged one step per
         fresh node (each step is an O(|Q|³) matrix product).
 
-        Fresh pair nodes are grouped into *waves* of equal depth (all
-        operands already computed) and each wave's products run as one
-        batched, duplicate-collapsing kernel call —
-        :func:`repro.kernels.bitmat.bool_mm_many`.  Only ``T_em`` is ever
-        multiplied: ``T = T_em ∪ σ`` recovers the full reachability matrix
-        as a word-level union.
+        The wave computation itself lives in :meth:`compute_entries`
+        (pure — no evaluator state is touched) and the results are adopted
+        through :meth:`merge_entries`; :mod:`repro.parallel` uses the same
+        two halves to fan the computation of several documents out across
+        worker threads and merge on the caller's thread.
 
         With :mod:`repro.obs` enabled, cache effectiveness
         (``slp.eval.cache_hits`` / ``slp.eval.cache_misses``) and the time
@@ -223,25 +233,77 @@ class SLPSpannerEvaluator:
         the instrumentation runs once per call, outside the node loop."""
         observing = obs.enabled()
         t0 = time.perf_counter_ns() if observing else 0
+        fresh_entries, visited = self.compute_entries(slp, node, budget)
+        fresh = self.merge_entries(slp, fresh_entries)
+        if observing:
+            registry = obs.metrics()
+            registry.counter("slp.eval.cache_misses").inc(fresh)
+            registry.counter("slp.eval.cache_hits").inc(visited - fresh)
+            registry.counter("slp.eval.kernel_ns").inc(
+                time.perf_counter_ns() - t0
+            )
+        return fresh
+
+    def ensure_finalizer(self, slp: SLP) -> None:
+        """Arm the purge-on-collection hook for *slp*'s arena (idempotent).
+
+        Must run on the thread that owns the evaluator before worker
+        threads start producing entries for that arena."""
         serial = slp.serial
         if serial not in self._arena_finalizers:
             self._arena_finalizers[serial] = weakref.finalize(
                 slp, self._purge_arena, serial
             )
+
+    def merge_entries(self, slp: SLP, fresh_entries: dict) -> int:
+        """Adopt entries produced by :meth:`compute_entries`; returns how
+        many were actually added (keys another merge beat us to are kept
+        as-is — entries for one node are interchangeable pure values)."""
+        self.ensure_finalizer(slp)
+        added = 0
+        for key, entry in fresh_entries.items():
+            if key not in self._node_data:
+                self._store(key, entry)
+                added += 1
+        return added
+
+    def compute_entries(
+        self, slp: SLP, node: int, budget=None
+    ) -> tuple[dict, int]:
+        """The wave computation of :meth:`preprocess`, as a pure function:
+        ``(fresh_entries, visited)`` where *fresh_entries* maps
+        ``(serial, node) -> (σ, T, T_em)`` for every reachable node not
+        already cached, and *visited* counts all reachable nodes.
+
+        Nothing on the evaluator is mutated, and the shared node cache is
+        only *read* — so any number of threads may run this concurrently
+        (one per document, say) provided no thread mutates the evaluator
+        meanwhile; each then adopts its results via :meth:`merge_entries`
+        on the owning thread.  Documents sharing subtrees may compute a
+        shared node's entry more than once; the merge keeps one copy.
+
+        Fresh pair nodes are grouped into *waves* of equal depth (all
+        operands already computed) and each wave's products run as one
+        batched, duplicate-collapsing kernel call —
+        :func:`repro.kernels.bitmat.bool_mm_many`.  Only ``T_em`` is ever
+        multiplied: ``T = T_em ∪ σ`` recovers the full reachability matrix
+        as a word-level union."""
+        serial = slp.serial
         nodes = slp.topological(node)
         data = self._node_data
-        fresh = 0
+        fresh_entries: dict[
+            tuple[int, int], tuple[np.ndarray, BitMatrix, BitMatrix]
+        ] = {}
         level: dict[int, int] = {}
         waves: list[list[tuple[int, int, int]]] = []
         for current in nodes:
             key = (serial, current)
             if key in data:
                 continue
-            fresh += 1
             if budget is not None:
                 budget.step()
             if slp.is_terminal(current):
-                self._store(key, self._char_tables(slp.char(current)))
+                fresh_entries[key] = self._char_tables(slp.char(current))
                 continue
             left, right = slp.children(current)
             depth = max(level.get(left, 0), level.get(right, 0)) + 1
@@ -269,8 +331,12 @@ class SLPSpannerEvaluator:
             distinct_l: list[tuple] = []
             distinct_r: list[tuple] = []
             for current, left, right in wave:
-                entry_l = data[(serial, left)]
-                entry_r = data[(serial, right)]
+                entry_l = data.get((serial, left))
+                if entry_l is None:
+                    entry_l = fresh_entries[(serial, left)]
+                entry_r = data.get((serial, right))
+                if entry_r is None:
+                    entry_r = fresh_entries[(serial, right)]
                 ident = (id(entry_l), id(entry_r))
                 g = group_of.get(ident)
                 if g is None:
@@ -322,7 +388,7 @@ class SLPSpannerEvaluator:
                     entry_pool[ekey] = entry
                 entries.append(entry)
             for (current, _, _), g in zip(wave, node_group):
-                self._store((serial, current), entries[g])
+                fresh_entries[(serial, current)] = entries[g]
         # pair matrices stay resident packed-only: drop the dense mirrors
         # the wave products accumulated (recomputed lazily if an
         # incremental preprocess later multiplies against them); char
@@ -330,17 +396,10 @@ class SLPSpannerEvaluator:
         # by the LRU
         for wave in waves:
             for current, _, _ in wave:
-                _, t, t_em = data[(serial, current)]
+                _, t, t_em = fresh_entries[(serial, current)]
                 t.release_dense()
                 t_em.release_dense()
-        if observing:
-            registry = obs.metrics()
-            registry.counter("slp.eval.cache_misses").inc(fresh)
-            registry.counter("slp.eval.cache_hits").inc(len(nodes) - fresh)
-            registry.counter("slp.eval.kernel_ns").inc(
-                time.perf_counter_ns() - t0
-            )
-        return fresh
+        return fresh_entries, len(nodes)
 
     def cached_nodes(self, serial: int | None = None) -> int:
         """How many (SLP node → matrices) entries are cached; restricted to
@@ -382,7 +441,14 @@ class SLPSpannerEvaluator:
     def is_nonempty(self, slp: SLP, node: int, budget=None) -> bool:
         """``⟦M⟧(D(node)) ≠ ∅`` without decompression: one T-product chain."""
         self.preprocess(slp, node, budget)
-        _, T, _ = self._node_data[(slp.serial, node)]
+        return self.entry_is_nonempty(self._node_data[(slp.serial, node)])
+
+    def entry_is_nonempty(self, entry) -> bool:
+        """Does a whole-document ``(σ, T, T_em)`` entry admit any accepted
+        run?  Same test as :meth:`is_nonempty`, for entries produced
+        outside the node cache (e.g. the shard-parallel fold of
+        :func:`repro.parallel.document_matrices`)."""
+        _, T, _ = entry
         return T.row_and_any(self.det.initial, self._cont_end.words)
 
     def enumerate(self, slp: SLP, node: int, budget=None) -> Iterator[SpanTuple]:

@@ -259,9 +259,10 @@ class TestPlanCache:
         assert cache.stats()["evictions"] == 1
 
     def test_byte_budget_eviction(self):
-        # a 1-byte budget can never hold two *warm* plans (cold plans own
+        # a 1-byte budget can never hold *any* warm plan (cold plans own
         # zero matrix bytes); once evaluators warm up, the byte check on
-        # the next access must evict down to a single resident entry
+        # the next access must evict every over-budget entry — including
+        # the last one (an over-budget plan is never silently retained)
         from repro.slp import SLP, balanced_node
 
         cache = PlanCache(max_entries=8, max_bytes=1)
@@ -272,8 +273,8 @@ class TestPlanCache:
             assert plan.source == source
             plan.evaluator.preprocess(slp, node)  # warm: cache_bytes > 0
         cache.get_or_compile(self.SOURCES[-1])  # byte check runs on access
-        assert len(cache) == 1
-        assert cache.stats()["evictions"] >= len(self.SOURCES) - 1
+        assert len(cache) == 0
+        assert cache.stats()["evictions"] >= len(self.SOURCES)
 
     def test_zero_entries_disables_retention(self):
         cache = PlanCache(max_entries=0)
@@ -318,6 +319,94 @@ class TestPlanCache:
         assert not errors
         stats = cache.stats()
         assert stats["hits"] + stats["misses"] == 120
+
+    def test_single_over_budget_plan_is_evicted(self):
+        # regression: _shrink used to stop at one entry, silently retaining
+        # a lone warm plan larger than max_bytes forever
+        from repro.slp import SLP, balanced_node
+
+        cache = PlanCache(max_entries=8, max_bytes=1)
+        plan = cache.get_or_compile(self.SOURCES[0])
+        slp = SLP()
+        plan.evaluator.preprocess(slp, balanced_node(slp, "abab"))
+        assert plan.cache_bytes() > 1
+        cache.get_or_compile(self.SOURCES[0])  # access refreshes accounting
+        assert len(cache) == 0
+        stats = cache.stats()
+        assert stats["evictions"] >= 1
+        assert stats["over_budget"] >= 1
+        assert stats["bytes"] == 0
+
+    def test_distinct_sources_compile_concurrently(self, monkeypatch):
+        # regression: get_or_compile used to hold the cache lock across
+        # _compile, so a slow compile of one source stalled every other
+        # miss.  Source A's compile blocks until source B's finishes; if
+        # compilation were serialised under the lock this would deadlock.
+        import repro.kernels.plan as plan_module
+
+        real_compile = plan_module._compile
+        b_compiled = threading.Event()
+
+        def fake_compile(source):
+            if source == self.SOURCES[0]:
+                assert b_compiled.wait(timeout=10), "compiles are serialised"
+            result = real_compile(source)
+            if source == self.SOURCES[1]:
+                b_compiled.set()
+            return result
+
+        monkeypatch.setattr(plan_module, "_compile", fake_compile)
+        cache = PlanCache()
+        threads = [
+            threading.Thread(target=cache.get_or_compile, args=(source,))
+            for source in self.SOURCES[:2]
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=15)
+            assert not t.is_alive(), "distinct-source compiles deadlocked"
+        assert self.SOURCES[0] in cache and self.SOURCES[1] in cache
+
+    def test_same_source_compiles_once_under_concurrency(self, monkeypatch):
+        import repro.kernels.plan as plan_module
+
+        real_compile = plan_module._compile
+        calls = []
+        gate = threading.Barrier(5, timeout=10)
+
+        def fake_compile(source):
+            calls.append(source)
+            return real_compile(source)
+
+        monkeypatch.setattr(plan_module, "_compile", fake_compile)
+        cache = PlanCache()
+        results = []
+
+        def worker():
+            gate.wait()
+            results.append(cache.get_or_compile(self.SOURCES[0]))
+
+        threads = [threading.Thread(target=worker) for _ in range(5)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=15)
+        assert len(calls) == 1, "in-flight dedup failed: compiled repeatedly"
+        assert len(results) == 5 and all(r is results[0] for r in results)
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] == 5
+
+    def test_failed_compile_releases_inflight_slot(self):
+        cache = PlanCache()
+        from repro.errors import RegexSyntaxError
+
+        with pytest.raises(RegexSyntaxError):
+            cache.get_or_compile("0{²")
+        # the in-flight slot must be released so a corrected retry works
+        with pytest.raises(RegexSyntaxError):
+            cache.get_or_compile("0{²")
+        assert cache.get_or_compile(self.SOURCES[0]).source == self.SOURCES[0]
 
 
 # ----------------------------------------------------------------------

@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.serve",
     "repro.obs",
     "repro.kernels",
+    "repro.parallel",
 ]
 
 

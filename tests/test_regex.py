@@ -97,6 +97,27 @@ class TestParser:
         nfa = compile_nfa(r"[\]a]")
         assert nfa.accepts("]") and nfa.accepts("a")
 
+    @pytest.mark.parametrize(
+        "pattern",
+        [
+            "0{²",       # the recorded fuzz counterexample: superscript two
+            "a{²}",      # superscript digit inside complete braces
+            "a{٣}",      # ARABIC-INDIC DIGIT THREE (str.isdigit() accepts it)
+            "a{Ⅷ}",      # ROMAN NUMERAL EIGHT (isnumeric, non-digit to int())
+            "a{1,²}",    # non-ASCII digit in the upper bound
+            "a{١٢}",     # several Unicode digits, no ASCII ones
+        ],
+    )
+    def test_non_ascii_digits_raise_typed_error(self, pattern):
+        """str.isdigit() accepts Unicode digit classes that int() rejects;
+        the parser must turn them into RegexSyntaxError, never ValueError."""
+        with pytest.raises(RegexSyntaxError):
+            parse(pattern)
+
+    def test_ascii_digits_still_parse(self):
+        node = parse("a{2,13}")
+        assert node.low == 2 and node.high == 13
+
     def test_syntax_errors_report_position(self):
         for pattern in ["(", "a)", "a{", "a{2,1}", "[", "[]", "!x", "!{a}", "a**b|)"]:
             with pytest.raises(RegexSyntaxError):

@@ -36,3 +36,11 @@ PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q
 
 echo "== chaos smoke lane (seeded concurrent fault injection, fast subset)"
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -q tests/test_chaos.py -m "not slow_fuzz"
+
+echo "== regex fuzz fast lane (fixed seed, replayable byte-for-byte)"
+# the default suite already runs these hypothesis tests with a random
+# seed; this lane pins the seed so a CI failure here reproduces exactly
+# with the same command locally (the '0{²' regression was found by fuzz
+# — keep the lane deterministic so the next such find is replayable)
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -q \
+    tests/test_robustness.py::TestRegexParserFuzz --hypothesis-seed=20260806
