@@ -38,6 +38,7 @@ from repro.errors import (
     OverloadedError,
     ParallelError,
     PersistenceError,
+    PoolExhaustedError,
     RegexSyntaxError,
     SchemaError,
     ServeError,
@@ -46,6 +47,7 @@ from repro.errors import (
     SpanlibError,
     TransactionError,
     UnsupportedSpannerError,
+    WorkerCrashError,
 )
 from repro.serve import ServeConfig, SpannerService
 from repro.util import Budget, Deadline
@@ -101,6 +103,7 @@ __all__ = [
     "OverloadedError",
     "ParallelError",
     "PersistenceError",
+    "PoolExhaustedError",
     "Ref",
     "ReflSpanner",
     "RegexSyntaxError",
@@ -119,6 +122,7 @@ __all__ = [
     "SpanlibError",
     "TransactionError",
     "UnsupportedSpannerError",
+    "WorkerCrashError",
     "__version__",
     "compile_nfa",
     "core_to_refl_concat",

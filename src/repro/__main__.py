@@ -413,8 +413,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="bulk: worker threads for the parallel preprocessing fan-out",
     )
     db.add_argument(
-        "--backend", choices=["thread", "serial"], default="thread",
-        help="bulk: repro.parallel backend",
+        "--backend",
+        choices=["auto", "thread", "process", "serial"],
+        default="auto",
+        help="bulk: repro.parallel backend (auto picks the crash-isolated"
+        " process pool on multi-core hosts, threads otherwise)",
     )
     db.add_argument(
         "--trace", default=None, metavar="FILE",

@@ -113,6 +113,7 @@ class _Checkpoint:
     arena_mark: int
     docs: dict[str, int]
     spanners: dict[str, SLPSpannerEvaluator]
+    sources: dict[str, str]
     pending: int
 
 
@@ -122,6 +123,12 @@ class SpannerDB:
     def __init__(self) -> None:
         self._db = DocumentDatabase(SLP())
         self._spanners: dict[str, SLPSpannerEvaluator] = {}
+        #: regex source text per spanner registered from a string — what
+        #: the process backend ships to workers so they can compile their
+        #: own (deterministic, hence bit-identical) evaluator; spanners
+        #: registered from automaton objects have no entry and fall back
+        #: to the thread backend under ``backend="auto"``
+        self._spanner_sources: dict[str, str] = {}
         #: attached journal file (set by save/open); None = not persistent
         self._journal_path: str | None = None
         #: open transaction checkpoints, innermost last
@@ -176,6 +183,7 @@ class SpannerDB:
                 arena_mark=self.slp.mark(),
                 docs=dict(self._db._docs),
                 spanners=dict(self._spanners),
+                sources=dict(self._spanner_sources),
                 pending=len(self._pending),
             )
         )
@@ -212,6 +220,7 @@ class SpannerDB:
         del self._pending[cp.pending:]
         self._db._docs = cp.docs
         self._spanners = cp.spanners
+        self._spanner_sources = cp.sources
         # invalidate caches *before* truncating: ids >= mark will be reused
         for evaluator in self._spanners.values():
             evaluator.invalidate_from(self.slp, cp.arena_mark)
@@ -326,6 +335,8 @@ class SpannerDB:
                     for _, node in self._db.documents():
                         evaluator.preprocess(self.slp, node, budget)
                     self._spanners[name] = evaluator
+                    if isinstance(spanner, str):
+                        self._spanner_sources[name] = spanner
             except _BUDGET_ERRORS as exc:
                 if obs.enabled():
                     _budget_event("register_spanner", exc, budget)
@@ -418,7 +429,7 @@ class SpannerDB:
         documents,
         *,
         workers: int | None = None,
-        backend: str = "thread",
+        backend: str = "auto",
         budget=None,
     ) -> dict:
         """Evaluate *spanner* on many stored documents at once.
@@ -429,6 +440,14 @@ class SpannerDB:
         computation against the shared node cache; results merge on this
         thread, so cache mutation stays single-threaded).  The final
         relations are materialised serially from the warmed cache.
+
+        *backend* is ``"auto"`` by default: multi-core hosts with a
+        string-registered spanner fan out to the crash-isolated process
+        pool (the arena ships as a shared-memory snapshot and workers
+        compile the spanner from its source — bit-identical matrices);
+        everything else, and any host where the process path's circuit
+        breaker is open, uses threads.  ``"thread"``, ``"process"``, and
+        ``"serial"`` force a specific backend.
 
         Returns ``{document: SpanRelation}`` in input order.  Results are
         identical to calling :meth:`evaluate` per document — the
@@ -451,6 +470,7 @@ class SpannerDB:
                     workers=workers,
                     backend=backend,
                     budget=budget,
+                    source=self._spanner_sources.get(spanner),
                 )
                 relations = {
                     name: evaluator.evaluate(self.slp, node, budget)

@@ -11,7 +11,16 @@ This package provides
   wall-clock speedup (≥ 2× at 4 workers on ≥ 256 KiB documents, asserted
   by ``benchmarks/bench_parallel.py``);
 * the worker-pool backends (:mod:`repro.parallel.pool`): ``"thread"``
-  for production, ``"serial"`` as the bit-for-bit differential anchor;
+  for production in one address space, ``"process"`` for crash-isolated
+  evaluation on the supervised pool of :mod:`repro.parallel.procpool`
+  (worker deaths are detected, workers respawned, lost shards retried),
+  ``"serial"`` as the bit-for-bit differential anchor — plus ``"auto"``
+  resolution with circuit-broken degradation
+  (:func:`~repro.parallel.api.resolve_backend`);
+* leak-proof zero-copy transport for the process backend
+  (:mod:`repro.parallel.shm`): one shared-memory segment per request,
+  created only by the parent and unlinked on success, failure, and
+  interpreter exit alike;
 * the entry points (:mod:`repro.parallel.api`):
   :func:`document_matrices` / :func:`is_nonempty_text` for one large
   document, :func:`preprocess_bulk` for warming many stored documents —
@@ -29,6 +38,8 @@ from repro.parallel.api import (
     document_matrices,
     is_nonempty_text,
     preprocess_bulk,
+    process_breaker,
+    resolve_backend,
 )
 from repro.parallel.fold import (
     DEFAULT_CHUNK,
@@ -36,26 +47,62 @@ from repro.parallel.fold import (
     combine,
     fold_entries,
     identity_entry,
+    indexed_entry,
     reduce_stack,
     shard_spans,
+    table_stack,
     text_entry,
 )
-from repro.parallel.pool import BACKENDS, default_workers, run_tasks
+from repro.parallel.pool import (
+    BACKENDS,
+    default_workers,
+    run_tasks,
+    usable_cores,
+)
+from repro.parallel.procpool import (
+    ProcCall,
+    ProcPool,
+    configure_pool,
+    get_pool,
+    pool_stats,
+    shutdown_pool,
+)
+from repro.parallel.shm import (
+    SegmentRegistry,
+    ShmArray,
+    attached_job,
+    live_segments,
+)
 
 __all__ = [
     "BACKENDS",
     "DEFAULT_CHUNK",
+    "ProcCall",
+    "ProcPool",
+    "SegmentRegistry",
+    "ShmArray",
     "as_evaluator",
+    "attached_job",
     "char_stack",
     "combine",
+    "configure_pool",
     "default_workers",
     "document_matrices",
     "fold_entries",
+    "get_pool",
     "identity_entry",
+    "indexed_entry",
     "is_nonempty_text",
+    "live_segments",
+    "pool_stats",
     "preprocess_bulk",
+    "process_breaker",
     "reduce_stack",
+    "resolve_backend",
     "run_tasks",
     "shard_spans",
+    "shutdown_pool",
+    "table_stack",
     "text_entry",
+    "usable_cores",
 ]

@@ -16,33 +16,125 @@ algebra of :mod:`repro.parallel.fold`:
   thread afterwards.  :meth:`SpannerDB.query_bulk <repro.db.SpannerDB.query_bulk>`
   and the batched request type of :mod:`repro.serve` sit on top.
 
+Both accept every backend of :mod:`repro.parallel.pool` plus ``"auto"``.
+For the ``"process"`` backend the fan-out changes vehicle, not value:
+inputs ship through :mod:`repro.parallel.shm` (character-index arrays,
+per-character entry stacks, SLP arena snapshots), workers of the
+supervised :mod:`repro.parallel.procpool` compute against them, and the
+folded entries come back bit-for-bit identical to the serial path — the
+worker-side kernels (:func:`~repro.parallel.fold.indexed_entry`, the SLP
+wave computation) are the *same code* operating on the same values.
+
+``"auto"`` resolution and graceful degradation live in
+:func:`resolve_backend` and the module's process-path circuit breaker: a
+:class:`~repro.errors.WorkerCrashError` records a failure and the work
+reruns on the thread backend (identical results, no crash isolation);
+enough consecutive crashes open the breaker and ``"auto"`` stops
+choosing the process backend until it recovers.
+:class:`~repro.errors.PoolExhaustedError` degrades only under
+``"auto"`` — a caller that asked for ``"process"`` explicitly gets the
+typed backpressure signal (:mod:`repro.serve` turns it into
+:class:`~repro.errors.OverloadedError`).
+
 Shard fan-out and fold timings are recorded through :mod:`repro.obs`
 (``parallel.document_matrices`` / ``parallel.preprocess_bulk`` spans, and
-``parallel.shards`` / ``parallel.fanout_ns`` / ``parallel.fold_ns``
-counters) so worker sizing can be tuned from traces instead of guesses —
-see ``docs/PERFORMANCE.md`` for the sizing guidance.
+``parallel.shards`` / ``parallel.fanout_ns`` / ``parallel.fold_ns`` /
+``parallel.degraded`` counters) so worker sizing can be tuned from
+traces instead of guesses — see ``docs/PERFORMANCE.md`` for the sizing
+guidance and ``docs/RELIABILITY.md`` for the supervision runbook.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 
+import numpy as np
+
 from repro import obs
+from repro.errors import PoolExhaustedError, WorkerCrashError
+from repro.kernels.bitmat import BitMatrix, words_for
 from repro.parallel.fold import (
     DEFAULT_CHUNK,
     fold_entries,
+    indexed_entry,
     shard_spans,
+    table_stack,
     text_entry,
 )
-from repro.parallel.pool import default_workers, run_tasks
+from repro.parallel.pool import default_workers, run_tasks, usable_cores
+from repro.parallel.procpool import ProcCall, get_pool
+from repro.parallel.shm import SegmentRegistry, attached_job
 from repro.slp.spanner_eval import SLPSpannerEvaluator
+from repro.util.budget import Budget, Deadline
 
 __all__ = [
     "as_evaluator",
     "document_matrices",
     "is_nonempty_text",
     "preprocess_bulk",
+    "process_breaker",
+    "resolve_backend",
 ]
+
+#: below this many characters the pipe/segment round-trip costs more
+#: than the fold itself; ``"auto"`` keeps such documents on threads
+_PROCESS_MIN_CHARS = 4096
+
+_breaker_lock = threading.Lock()
+_breaker = None
+
+
+def process_breaker():
+    """The circuit breaker guarding the process backend (lazily built).
+
+    Worker crashes record failures; enough consecutive ones open it and
+    :func:`resolve_backend` answers ``"thread"`` until the half-open
+    probe succeeds.  Exposed so tests and the serve layer can inspect or
+    reset degradation state."""
+    global _breaker
+    with _breaker_lock:
+        if _breaker is None:
+            from repro.serve.breaker import CircuitBreaker
+
+            _breaker = CircuitBreaker(failure_threshold=3, reset_after=5.0)
+        return _breaker
+
+
+def resolve_backend(
+    backend: str = "auto",
+    *,
+    size_hint_chars: int | None = None,
+    shippable: bool = True,
+) -> str:
+    """Resolve ``"auto"`` to a concrete backend; pass others through.
+
+    ``"auto"`` picks ``"process"`` only when it can pay off: at least two
+    usable cores (affinity-aware), the work is shippable (e.g. the
+    spanner's source text is known, for worker-side compilation), the
+    document is large enough to amortise the transport, and the process
+    breaker is closed.  Otherwise ``"thread"``."""
+    if backend != "auto":
+        return backend
+    if not shippable:
+        return "thread"
+    if usable_cores() < 2:
+        return "thread"
+    if size_hint_chars is not None and size_hint_chars < _PROCESS_MIN_CHARS:
+        return "thread"
+    breaker = process_breaker()
+    if not breaker.allow():
+        return "thread"
+    # allow() in half-open state reserves a probe slot that must be paired
+    # with a success/failure record; the probe is the request itself, and
+    # the process path below records the outcome.
+    return "process"
+
+
+def _record_degraded(reason: str) -> None:
+    if obs.enabled():
+        obs.metrics().counter("parallel.degraded").inc()
+        obs.metrics().counter(f"parallel.degraded.{reason}").inc()
 
 
 def as_evaluator(spanner) -> SLPSpannerEvaluator:
@@ -62,6 +154,43 @@ def as_evaluator(spanner) -> SLPSpannerEvaluator:
     return SLPSpannerEvaluator(spanner)
 
 
+# ----------------------------------------------------------------------
+# budget shipping: only the *deadline* crosses the process boundary
+# ----------------------------------------------------------------------
+def _budget_spec(budget):
+    """``(deadline_at, max_steps_left, max_bytes)`` or ``None``.
+
+    The monotonic clock is system-wide on Linux, so a deadline instant is
+    meaningful in the worker.  Steps are *not* shared across processes
+    the way the thread backend shares one Budget object — each worker
+    gets the full remaining allowance, and the parent charges the actual
+    worker-reported steps to the caller's budget afterwards, so step
+    exhaustion still surfaces (just after the batch, not mid-shard)."""
+    if budget is None:
+        return None
+    deadline_at = budget.deadline.at if budget.deadline is not None else None
+    return (deadline_at, budget.remaining_steps(), budget.max_bytes)
+
+
+def _budget_from_spec(spec):
+    if spec is None:
+        return None
+    deadline_at, max_steps, max_bytes = spec
+    return Budget(
+        deadline=Deadline(deadline_at) if deadline_at is not None else None,
+        max_steps=max_steps,
+        max_bytes=max_bytes,
+    )
+
+
+def _charge_worker_steps(budget, steps: int) -> None:
+    if budget is not None and steps:
+        budget.step(steps)
+
+
+# ----------------------------------------------------------------------
+# within one document
+# ----------------------------------------------------------------------
 def document_matrices(
     spanner,
     text: str,
@@ -84,13 +213,17 @@ def document_matrices(
     A shared :class:`~repro.util.Budget` governs all workers: steps are
     charged per combined pair and ``max_bytes`` guards each level's
     transient float32 stacks, so deadlines and memory limits hold across
-    the fan-out exactly as they do on the serial path."""
+    the fan-out exactly as they do on the serial path.  (On the process
+    backend the deadline ships to the workers and steps are charged when
+    their counts return — see :func:`_budget_spec`.)"""
     evaluator = as_evaluator(spanner)
     q = evaluator.det.num_states
     if workers is None:
         workers = default_workers()
     if shards is None:
         shards = workers
+    requested = backend
+    backend = resolve_backend(backend, size_hint_chars=len(text))
     spans = shard_spans(len(text), shards)
     # distinct chars resolve through the store's lock exactly once, here;
     # workers then read a plain dict
@@ -104,17 +237,50 @@ def document_matrices(
         backend=backend,
     ):
         t0 = time.perf_counter_ns() if observing else 0
-        thunks = [
-            lambda start=start, end=end: text_entry(
-                table,
-                text[start:end],
-                q,
-                chunk_size=chunk_size,
-                budget=budget,
-            )
-            for start, end in spans
-        ]
-        shard_entries = run_tasks(thunks, workers=workers, backend=backend)
+        if backend == "process":
+            try:
+                shard_entries = _fold_shards_process(
+                    table, text, q, spans, chunk_size, budget
+                )
+            except WorkerCrashError:
+                # crash isolation did its job: the workers died, we did
+                # not.  Record the failure and rerun on threads — the
+                # values are identical, only the isolation is lost.
+                if requested == "auto":
+                    process_breaker().record_failure()
+                _record_degraded("crash")
+                backend = "thread"
+            except PoolExhaustedError:
+                # backpressure, not ill health: the breaker's probe (if
+                # any) is released as a success so ``"auto"`` can keep
+                # probing, and explicit callers get the typed signal
+                if requested == "auto":
+                    process_breaker().record_success()
+                    _record_degraded("exhausted")
+                    backend = "thread"
+                else:
+                    raise
+            except BaseException:
+                # a typed task error (deadline, step budget, …): the pool
+                # itself behaved, so the probe settles as a success
+                if requested == "auto":
+                    process_breaker().record_success()
+                raise
+            else:
+                if requested == "auto":
+                    process_breaker().record_success()
+        if backend != "process":
+            thunks = [
+                lambda start=start, end=end: text_entry(
+                    table,
+                    text[start:end],
+                    q,
+                    chunk_size=chunk_size,
+                    budget=budget,
+                )
+                for start, end in spans
+            ]
+            shard_entries = run_tasks(thunks, workers=workers, backend=backend)
         t1 = time.perf_counter_ns() if observing else 0
         entry = fold_entries(shard_entries, q, budget)
         if observing:
@@ -127,6 +293,103 @@ def document_matrices(
     return entry
 
 
+def _fold_shards_process(table, text: str, q: int, spans, chunk_size, budget):
+    """Fan the shard folds out to worker processes via shared memory.
+
+    One segment carries the per-position table-row indices, the distinct-
+    character entry stacks, and zero-initialised per-shard result slots;
+    workers write their folded entry into their slot and return only
+    their step count through the pipe.  The registry unlinks the segment
+    on every exit path."""
+    if not spans:
+        return []
+    codes = np.frombuffer(text.encode("utf-32-le"), dtype=np.uint32)
+    distinct, inverse = np.unique(codes, return_inverse=True)
+    stack = table_stack(table, [chr(code) for code in distinct])
+    w = words_for(q)
+    n_shards = len(spans)
+    spec = _budget_spec(budget)
+    with SegmentRegistry() as registry:
+        (
+            d_inverse,
+            d_sigma,
+            d_t,
+            d_tem,
+            d_out_sigma,
+            d_out_t,
+            d_out_tem,
+        ) = registry.pack(
+            [
+                inverse.astype(np.int64, copy=False),
+                stack[0],
+                stack[1],
+                stack[2],
+                ((n_shards, q), np.int64),
+                ((n_shards, q, w), np.uint64),
+                ((n_shards, q, w), np.uint64),
+            ]
+        )
+        calls = [
+            ProcCall(
+                "repro.parallel.api:_fold_shard_task",
+                (
+                    d_inverse,
+                    (d_sigma, d_t, d_tem),
+                    (d_out_sigma, d_out_t, d_out_tem),
+                    index,
+                    start,
+                    end,
+                    q,
+                    chunk_size,
+                    spec,
+                ),
+            )
+            for index, (start, end) in enumerate(spans)
+        ]
+        deadline = budget.deadline if budget is not None else None
+        step_counts = get_pool().run(calls, deadline=deadline)
+        out_sigma = registry.read(d_out_sigma)
+        out_t = registry.read(d_out_t)
+        out_tem = registry.read(d_out_tem)
+    _charge_worker_steps(budget, sum(step_counts))
+    return [
+        (
+            out_sigma[index],
+            BitMatrix(np.ascontiguousarray(out_t[index]), q),
+            BitMatrix(np.ascontiguousarray(out_tem[index]), q),
+        )
+        for index in range(n_shards)
+    ]
+
+
+def _fold_shard_task(
+    d_inverse,
+    stack_descrs,
+    out_descrs,
+    shard_index: int,
+    start: int,
+    end: int,
+    q: int,
+    chunk_size: int,
+    budget_spec,
+) -> int:
+    """Worker side of :func:`_fold_shards_process`: fold ``[start, end)``
+    and write the entry into result slot *shard_index*.  Returns the
+    steps charged, for the parent to account."""
+    budget = _budget_from_spec(budget_spec)
+    with attached_job() as job:
+        inverse = job.array(d_inverse)[start:end]
+        stack = tuple(job.array(descr) for descr in stack_descrs)
+        sigma, t, t_em = indexed_entry(
+            stack, inverse, q, chunk_size=chunk_size, budget=budget
+        )
+        d_out_sigma, d_out_t, d_out_tem = out_descrs
+        job.array(d_out_sigma)[shard_index] = sigma
+        job.array(d_out_t)[shard_index] = t.rows
+        job.array(d_out_tem)[shard_index] = t_em.rows
+    return budget.steps if budget is not None else 0
+
+
 def is_nonempty_text(spanner, text: str, **kwargs) -> bool:
     """``⟦M⟧(text) ≠ ∅`` from one shard-parallel fold (no enumeration,
     no SLP).  Keyword arguments are those of :func:`document_matrices`."""
@@ -136,6 +399,9 @@ def is_nonempty_text(spanner, text: str, **kwargs) -> bool:
     )
 
 
+# ----------------------------------------------------------------------
+# across documents
+# ----------------------------------------------------------------------
 def preprocess_bulk(
     evaluator: SLPSpannerEvaluator,
     slp,
@@ -144,28 +410,68 @@ def preprocess_bulk(
     workers: int | None = None,
     backend: str = "thread",
     budget=None,
+    source: str | None = None,
 ) -> int:
     """Warm *evaluator*'s matrices for several documents concurrently.
 
-    Workers run the pure per-document wave computation
+    Thread/serial workers run the pure per-document wave computation
     (:meth:`~repro.slp.SLPSpannerEvaluator.compute_entries`) against the
     shared node cache — reads only — and the results merge on the calling
     thread once every worker has finished, so cache mutation is
     single-threaded by construction.  Documents sharing subtrees may
     compute a shared node's entry redundantly; the merge keeps one copy.
+
+    The process backend additionally needs *source* — the spanner's
+    regex text — because workers rebuild their own evaluator from it via
+    their local plan cache (determinisation is deterministic, so the
+    worker's matrices are bit-identical); the arena ships once as a
+    digest-keyed snapshot through shared memory.  Without a source,
+    ``"process"``/``"auto"`` quietly degrade to ``"thread"``.
+
     Returns the number of fresh entries adopted."""
     nodes = list(nodes)
     evaluator.ensure_finalizer(slp)
+    requested = backend
+    backend = resolve_backend(
+        backend, shippable=source is not None and len(nodes) > 1
+    )
+    if backend == "process" and source is None:
+        _record_degraded("unshippable")
+        backend = "thread"
     with obs.tracer().span(
         "parallel.preprocess_bulk", documents=len(nodes), backend=backend
     ):
         observing = obs.enabled()
         t0 = time.perf_counter_ns() if observing else 0
-        thunks = [
-            lambda node=node: evaluator.compute_entries(slp, node, budget)
-            for node in nodes
-        ]
-        results = run_tasks(thunks, workers=workers, backend=backend)
+        results = None
+        if backend == "process":
+            try:
+                results = _preprocess_bulk_process(source, slp, nodes, budget)
+            except WorkerCrashError:
+                if requested == "auto":
+                    process_breaker().record_failure()
+                _record_degraded("crash")
+                backend = "thread"
+            except PoolExhaustedError:
+                if requested == "auto":
+                    process_breaker().record_success()
+                    _record_degraded("exhausted")
+                    backend = "thread"
+                else:
+                    raise
+            except BaseException:
+                if requested == "auto":
+                    process_breaker().record_success()
+                raise
+            else:
+                if requested == "auto":
+                    process_breaker().record_success()
+        if results is None:
+            thunks = [
+                lambda node=node: evaluator.compute_entries(slp, node, budget)
+                for node in nodes
+            ]
+            results = run_tasks(thunks, workers=workers, backend=backend)
         t1 = time.perf_counter_ns() if observing else 0
         fresh = 0
         for fresh_entries, _ in results:
@@ -178,3 +484,99 @@ def preprocess_bulk(
             )
             registry.counter("parallel.bulk_fresh").inc(fresh)
     return fresh
+
+
+def _preprocess_bulk_process(source: str, slp, nodes, budget):
+    """Fan per-document wave computations out to worker processes.
+
+    Ships the arena once (three flat arrays in one segment, keyed by
+    content digest so workers can cache the rebuilt SLP across requests)
+    and one :class:`ProcCall` per document node.  Workers return fresh
+    entries keyed by plain node id — node ids survive the round-trip
+    verbatim because :meth:`~repro.slp.SLP.from_arena` preserves them —
+    and the parent re-keys to its own arena serial for the merge."""
+    snapshot = slp.arena_snapshot()
+    spec = _budget_spec(budget)
+    with SegmentRegistry() as registry:
+        d_chars, d_left, d_right = registry.pack(
+            [snapshot["chars"], snapshot["left"], snapshot["right"]]
+        )
+        calls = [
+            ProcCall(
+                "repro.parallel.api:_preprocess_doc_task",
+                (
+                    source,
+                    snapshot["digest"],
+                    (d_chars, d_left, d_right),
+                    int(node),
+                    spec,
+                ),
+            )
+            for node in nodes
+        ]
+        deadline = budget.deadline if budget is not None else None
+        raw = get_pool().run(calls, deadline=deadline)
+    serial = slp.serial
+    results = []
+    total_steps = 0
+    for entries, visited, steps in raw:
+        total_steps += steps
+        rekeyed = {
+            (serial, node): (
+                sigma,
+                BitMatrix(t_rows, len(sigma)),
+                BitMatrix(t_em_rows, len(sigma)),
+            )
+            for node, (sigma, t_rows, t_em_rows) in entries.items()
+        }
+        results.append((rekeyed, visited))
+    _charge_worker_steps(budget, total_steps)
+    return results
+
+
+#: worker-side cache of rebuilt arenas, keyed by content digest; bounded
+#: — old entries drop (and their evaluator matrices purge via the arena
+#: finalizer) once enough different snapshots have been seen
+_ARENA_CACHE: dict[str, object] = {}
+_ARENA_CACHE_LIMIT = 4
+
+
+def _worker_arena(digest: str, arena_descrs):
+    slp = _ARENA_CACHE.get(digest)
+    if slp is None:
+        from repro.slp.slp import SLP
+
+        with attached_job() as job:
+            d_chars, d_left, d_right = arena_descrs
+            # from_arena copies into Python lists, so nothing outlives
+            # the attachment
+            slp = SLP.from_arena(
+                job.array(d_chars), job.array(d_left), job.array(d_right)
+            )
+        while len(_ARENA_CACHE) >= _ARENA_CACHE_LIMIT:
+            _ARENA_CACHE.pop(next(iter(_ARENA_CACHE)))
+        _ARENA_CACHE[digest] = slp
+    return slp
+
+
+def _preprocess_doc_task(
+    source: str, digest: str, arena_descrs, node: int, budget_spec
+):
+    """Worker side of :func:`_preprocess_bulk_process`: compute one
+    document's fresh entries against the worker's own evaluator (compiled
+    from *source* through the worker's plan cache — deterministic, hence
+    bit-identical matrices) and return them keyed by plain node id."""
+    from repro.kernels.plan import plan_cache
+
+    slp = _worker_arena(digest, arena_descrs)
+    evaluator = plan_cache().get_or_compile(source).evaluator
+    budget = _budget_from_spec(budget_spec)
+    fresh_entries, visited = evaluator.compute_entries(slp, node, budget)
+    # warm the worker's own cache too: later documents in this batch that
+    # share subtrees then skip recomputation, like the thread path does
+    evaluator.merge_entries(slp, fresh_entries)
+    shipped = {
+        node_id: (sigma, t.rows, t_em.rows)
+        for (_, node_id), (sigma, t, t_em) in fresh_entries.items()
+    }
+    return shipped, visited, (budget.steps if budget is not None else 0)

@@ -58,8 +58,10 @@ __all__ = [
     "combine",
     "fold_entries",
     "identity_entry",
+    "indexed_entry",
     "reduce_stack",
     "shard_spans",
+    "table_stack",
     "text_entry",
 ]
 
@@ -117,6 +119,49 @@ def char_stack(table, text: str, q: int):
     t_rows = np.stack([table[chr(code)][1].rows for code in distinct])
     t_em_rows = np.stack([table[chr(code)][2].rows for code in distinct])
     return sigmas[inverse], t_rows[inverse], t_em_rows[inverse]
+
+
+def table_stack(table, chars):
+    """The distinct-character entry stack of *table*, in *chars* order.
+
+    The dense form the process backend ships through shared memory: three
+    plain arrays — ``σ`` ``(c, q)`` int64, ``T`` and ``T_em`` rows
+    ``(c, q, w)`` uint64 — with row *i* belonging to ``chars[i]``.
+    Together with a per-position index array (:func:`indexed_entry`) they
+    carry exactly the information of the char-table dict, with no Python
+    objects to pickle."""
+    chars = list(chars)
+    sigmas = np.stack([table[ch][0] for ch in chars])
+    t_rows = np.stack([table[ch][1].rows for ch in chars])
+    t_em_rows = np.stack([table[ch][2].rows for ch in chars])
+    return sigmas, t_rows, t_em_rows
+
+
+def indexed_entry(
+    stack, inverse, q: int, *, chunk_size: int = DEFAULT_CHUNK, budget=None
+):
+    """``(σ, T, T_em)`` of the text whose position *i* has table row
+    ``inverse[i]`` — :func:`text_entry` for pre-indexed array input.
+
+    The chunking, reduction order, and arithmetic are identical to
+    :func:`text_entry` (each gathered chunk stack holds the same values
+    ``char_stack`` would build), so the folded entry is bit-for-bit the
+    same — that equality is what makes the process backend differentially
+    testable against the serial one."""
+    sigmas, t_rows, t_em_rows = stack
+    inverse = np.asarray(inverse)
+    if inverse.size == 0:
+        return identity_entry(q)
+    chunk_size = max(2, int(chunk_size))
+    chunk_entries = []
+    for start in range(0, inverse.size, chunk_size):
+        index = inverse[start : start + chunk_size]
+        chunk_entries.append(
+            reduce_stack(
+                (sigmas[index], t_rows[index], t_em_rows[index]), q, budget
+            )
+        )
+    return fold_entries(chunk_entries, q, budget)
 
 
 def _combine_level(sigmas, t_rows, t_em_rows, q: int):

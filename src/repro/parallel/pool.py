@@ -1,32 +1,47 @@
 """Worker-pool backends for shard fan-out.
 
-Two backends, one contract — results in submission order, first worker
-exception re-raised after every task has settled:
+Three backends, one contract — results in submission order, first worker
+exception re-raised after every started task has settled:
 
 * ``"thread"`` — a :class:`~concurrent.futures.ThreadPoolExecutor`.
   Threads are the right vehicle here because the shard fold of
   :mod:`repro.parallel.fold` spends its time in batched numpy kernels
   that release the GIL; workers share the evaluator's caches with zero
   serialisation cost.
+* ``"process"`` — the supervised worker-process pool of
+  :mod:`repro.parallel.procpool`: crash isolation at the cost of
+  shipping work as picklable :class:`~repro.parallel.procpool.ProcCall`
+  descriptors (bulk arrays travel through :mod:`repro.parallel.shm`).
+  A worker death is detected, the worker respawned, and the lost shard
+  retried — or surfaced as one typed error.
 * ``"serial"`` — the same thunks run inline on the calling thread.  The
-  differential anchor (thread-vs-serial equality is asserted bit-for-bit
-  by the test suite and by ``benchmarks/bench_parallel.py``) and the
+  differential anchor (backend equality is asserted bit-for-bit by the
+  test suite and by ``benchmarks/bench_parallel.py``) and the
   deterministic fallback for debugging or single-core deployments.
 
-Unknown backends raise :class:`~repro.errors.ParallelError` — a typed,
-catchable configuration error, not an assert.
+Callers that accept ``"auto"`` (``SpannerDB.query_bulk``, the serve
+layer) resolve it via :func:`repro.parallel.api.resolve_backend` before
+reaching this module.  Unknown backends raise
+:class:`~repro.errors.ParallelError` — a typed, catchable configuration
+error, not an assert.
+
+On the first thunk exception the thread path *cancels not-yet-started
+futures* (fail-fast): the remaining queued shards of a poisoned batch
+never run, while already-running ones settle before the first error —
+in submission order — is re-raised.  Cancelled tasks never ran, so the
+caller observes either full results or one error, never a torn mix.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor, wait as futures_wait
 
 from repro.errors import ParallelError
 
-__all__ = ["BACKENDS", "default_workers", "run_tasks"]
+__all__ = ["BACKENDS", "default_workers", "run_tasks", "usable_cores"]
 
-BACKENDS = ("thread", "serial")
+BACKENDS = ("thread", "process", "serial")
 
 #: cap on the *default* worker count — beyond this, memory bandwidth (not
 #: the GIL) is the bottleneck for the fold kernel's batched matmuls;
@@ -34,15 +49,32 @@ BACKENDS = ("thread", "serial")
 _DEFAULT_WORKER_CAP = 8
 
 
+def usable_cores() -> int:
+    """CPUs this process may actually run on.
+
+    ``os.sched_getaffinity`` respects cgroup/container cpusets and
+    ``taskset`` restrictions — inside a 2-core container on a 64-core
+    host it answers 2, where ``os.cpu_count()`` answers 64.  Platforms
+    without affinity (macOS) fall back to ``os.cpu_count()``."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
 def default_workers() -> int:
-    return max(1, min(_DEFAULT_WORKER_CAP, os.cpu_count() or 1))
+    return max(1, min(_DEFAULT_WORKER_CAP, usable_cores()))
 
 
 def run_tasks(thunks, *, workers: int | None = None, backend: str = "thread"):
     """Run *thunks* (zero-argument callables), return results in order.
 
     ``backend="serial"``, a single worker, or a single task all short-
-    circuit to an inline loop — no pool, no threads, deterministic."""
+    circuit to an inline loop — no pool, no threads, deterministic.
+
+    ``backend="process"`` requires every thunk to be a picklable
+    :class:`~repro.parallel.procpool.ProcCall` (closures cannot cross a
+    process boundary); the batch runs on the shared supervised pool."""
     if backend not in BACKENDS:
         raise ParallelError(
             f"unknown parallel backend {backend!r}; expected one of {BACKENDS}"
@@ -53,6 +85,19 @@ def run_tasks(thunks, *, workers: int | None = None, backend: str = "thread"):
     if workers < 1:
         raise ParallelError(f"workers must be >= 1, got {workers}")
     thunks = list(thunks)
+    if backend == "process":
+        from repro.parallel.procpool import ProcCall, get_pool
+
+        for thunk in thunks:
+            if not isinstance(thunk, ProcCall):
+                raise ParallelError(
+                    "the process backend ships work to other processes, so"
+                    " tasks must be picklable ProcCall descriptors, not"
+                    f" {type(thunk).__name__}"
+                )
+        if workers == 1 or len(thunks) <= 1:
+            return [thunk() for thunk in thunks]
+        return get_pool().run(thunks)
     if backend == "serial" or workers == 1 or len(thunks) <= 1:
         return [thunk() for thunk in thunks]
     with ThreadPoolExecutor(
@@ -60,6 +105,30 @@ def run_tasks(thunks, *, workers: int | None = None, backend: str = "thread"):
         thread_name_prefix="repro-parallel",
     ) as pool:
         futures = [pool.submit(thunk) for thunk in thunks]
-        # the pool's shutdown joins every worker, so a raising .result()
-        # never leaves threads touching shared state behind the caller
-        return [future.result() for future in futures]
+        # settle the whole batch first; on the first failure, cancel every
+        # future the pool has not started yet — a poisoned batch must not
+        # burn the remaining shards' work.  cancel() is best-effort and
+        # only succeeds on not-yet-running futures, so started tasks still
+        # settle before the pool's shutdown joins the workers.
+        done, _ = futures_wait(futures, return_when="FIRST_EXCEPTION")
+        if any(not f.cancelled() and f.exception() is not None for f in done):
+            for future in futures:
+                future.cancel()
+        first_error: BaseException | None = None
+        results = []
+        for future in futures:
+            if future.cancelled():
+                results.append(None)
+                continue
+            error = future.exception()
+            if error is not None:
+                if first_error is None:
+                    first_error = error
+                results.append(None)
+            else:
+                results.append(future.result())
+        if first_error is not None:
+            # the error of the earliest-submitted failing task wins, same
+            # as before fail-fast cancellation existed
+            raise first_error
+        return results

@@ -1,0 +1,643 @@
+"""A supervised process pool: crash-isolated shard evaluation.
+
+The thread backend of :mod:`repro.parallel.pool` shares one address
+space with the caller — cheap, but a worker that segfaults, gets
+OOM-killed, or wedges in native code takes the whole service with it.
+This module provides the ``"process"`` backend: a small, supervised pool
+of worker *processes* to which shard work is shipped as picklable task
+descriptors (:class:`ProcCall`), with bulk array payloads travelling
+through :mod:`repro.parallel.shm` rather than pipes.
+
+Supervision contract (what :class:`ProcPool.run` guarantees):
+
+* **results in submission order, first error re-raised after the batch
+  settles** — the same contract as :func:`repro.parallel.pool.run_tasks`,
+  so the backends are drop-in interchangeable;
+* **crash containment** — a worker dying mid-task (SIGKILL, OOM, hard
+  exit) is detected via its process sentinel, the worker is respawned,
+  and *only the lost task* is re-dispatched, with a fresh chaos sequence
+  number; a bounded crash/retry budget converts persistent crash loops
+  into one typed :class:`~repro.errors.WorkerCrashError` instead of a
+  hang;
+* **stall containment** — a worker that stops answering for longer than
+  ``stall_timeout`` while holding a task is SIGKILLed and treated as a
+  crash (the heartbeat is implicit: any task result is progress, and the
+  supervisor wakes on ``connection.wait`` timeouts to check);
+* **deadline propagation** — the caller's :class:`~repro.util.Deadline`
+  bounds the whole batch; on expiry every checked-out busy worker is
+  killed (it may be past listening) and
+  :class:`~repro.errors.DeadlineExceededError` is raised;
+* **admission control** — workers are *checked out* exclusively per
+  request; when none are idle, :class:`~repro.errors.PoolExhaustedError`
+  (with a ``retry_after`` hint) is raised instead of queueing unboundedly
+  — :mod:`repro.serve` converts it into an
+  :class:`~repro.errors.OverloadedError`.
+
+Worker processes run :func:`_worker_main`: a recv/execute/send loop over
+a dedicated duplex pipe.  One pipe per worker (never a shared queue) is
+a deliberate choice: a SIGKILLed worker cannot die holding a shared
+queue's internal lock, and ``multiprocessing.connection.wait`` over the
+pipes *and* the process sentinels gives the supervisor a single blocking
+point that wakes on results and deaths alike.
+
+Fault injection plugs in via :class:`repro.util.faults.WorkerChaos`: the
+pool ships the (picklable, seeded) schedule to every worker, each task
+dispatch carries a global sequence number, and the worker consults the
+schedule *before* executing — so chaos runs kill and stall real
+processes deterministically per seed.
+
+The default start method is ``"fork"`` where available (milliseconds per
+worker; workers inherit warm imports) and ``"spawn"`` elsewhere;
+:func:`configure_pool` overrides it.  Everything here is
+observability-instrumented: ``parallel.proc.*`` counters count spawns,
+respawns, crashes, retries, and tasks, and each batch runs under a
+``parallel.proc.run`` trace span.
+"""
+
+from __future__ import annotations
+
+import atexit
+import importlib
+import itertools
+import os
+import pickle
+import threading
+import time
+from dataclasses import dataclass, field
+from multiprocessing import connection as mpconn
+
+from repro import obs
+from repro.errors import (
+    DeadlineExceededError,
+    ParallelError,
+    PoolExhaustedError,
+    WorkerCrashError,
+)
+from repro.util.budget import Deadline
+
+__all__ = [
+    "ProcCall",
+    "ProcPool",
+    "configure_pool",
+    "get_pool",
+    "pool_stats",
+    "shutdown_pool",
+]
+
+#: how long (seconds) a dispatched task may go unanswered before the
+#: supervisor declares the worker stalled and SIGKILLs it; generous by
+#: default — shard folds answer in milliseconds, and chaos tests shrink it
+_DEFAULT_STALL_TIMEOUT = 30.0
+
+#: crashes tolerated within one `run` call before giving up with
+#: :class:`WorkerCrashError`; respawns across a pool's lifetime are
+#: unbounded (each crash inside a run draws from this per-run budget)
+_DEFAULT_CRASH_TOLERANCE = 4
+
+#: how many times one task may be re-dispatched after losing its worker
+_DEFAULT_TASK_RETRIES = 2
+
+
+# ----------------------------------------------------------------------
+# task descriptors
+# ----------------------------------------------------------------------
+_FN_CACHE: dict[str, object] = {}
+
+
+def _resolve(path: str):
+    """``"package.module:function"`` → the function, cached per process."""
+    fn = _FN_CACHE.get(path)
+    if fn is None:
+        module_name, _, attr = path.partition(":")
+        if not module_name or not attr:
+            raise ParallelError(f"malformed task path {path!r}")
+        fn = getattr(importlib.import_module(module_name), attr)
+        _FN_CACHE[path] = fn
+    return fn
+
+
+@dataclass(frozen=True)
+class ProcCall:
+    """A picklable unit of work: ``module:function`` plus arguments.
+
+    Closures cannot cross a process boundary, so the process backend
+    ships *names*: the worker resolves ``fn`` by import (cached) and
+    applies it.  Instances are also directly callable, so any ProcCall
+    can be executed inline — the degradation paths rely on that to rerun
+    the identical work on the thread or serial backend.
+    """
+
+    fn: str
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+
+    def __call__(self):
+        return _resolve(self.fn)(*self.args, **self.kwargs)
+
+
+# built-in tasks (supervisor tests and smoke lanes)
+def _task_echo(value):
+    return value
+
+
+def _task_pid():
+    return os.getpid()
+
+
+def _task_sleep_ms(milliseconds, value=None):
+    time.sleep(milliseconds / 1000.0)
+    return value
+
+
+def _task_raise(message="injected task error", kind="parallel"):
+    if kind == "parallel":
+        raise ParallelError(message)
+    raise RuntimeError(message)
+
+
+def _task_exit(code=1):  # a *clean* hard exit, distinct from SIGKILL
+    os._exit(code)
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+def _shippable_error(exc: BaseException):
+    """An exception object safe to send through the result pipe.
+
+    Library errors round-trip through pickle almost always; the guard
+    catches custom ``__init__`` signatures (and unpicklable payloads) by
+    re-wrapping as a :class:`ParallelError` carrying type and message —
+    typed for the caller either way."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return ParallelError(f"worker task failed: {type(exc).__name__}: {exc}")
+
+
+def _worker_main(conn, worker_id: int, chaos) -> None:
+    """The worker loop: receive a task, (maybe) suffer chaos, execute,
+    reply.  Runs until an ``("exit",)`` message or a closed pipe."""
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        kind = message[0]
+        if kind == "exit":
+            break
+        _, seq, call = message
+        if chaos is not None:
+            chaos.apply(seq)
+        try:
+            payload = ("ok", seq, call())
+        except BaseException as exc:  # ship it; the parent re-raises
+            payload = ("err", seq, _shippable_error(exc))
+        try:
+            conn.send(payload)
+        except Exception:
+            try:
+                conn.send(
+                    ("err", seq, ParallelError("worker result was unpicklable"))
+                )
+            except Exception:  # pragma: no cover - pipe gone; die quietly
+                break
+    try:
+        conn.close()
+    except Exception:  # pragma: no cover
+        pass
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+class _Worker:
+    """Parent-side handle: process + dedicated duplex pipe + bookkeeping."""
+
+    __slots__ = ("process", "conn", "worker_id", "busy_seq", "dispatched_at")
+
+    def __init__(self, process, conn, worker_id: int) -> None:
+        self.process = process
+        self.conn = conn
+        self.worker_id = worker_id
+        self.busy_seq: int | None = None  # task seq in flight, if any
+        self.dispatched_at = 0.0
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def kill(self) -> None:
+        try:
+            self.process.kill()
+        except Exception:  # pragma: no cover - already gone
+            pass
+        self.process.join(timeout=5.0)
+        try:
+            self.conn.close()
+        except Exception:  # pragma: no cover
+            pass
+
+
+class ProcPool:
+    """A fixed-size supervised pool of worker processes.
+
+    Workers are spawned lazily on first use and owned exclusively by one
+    :meth:`run` call at a time (the checkout model): concurrent callers
+    split the idle set, and a caller finding no idle worker gets
+    :class:`~repro.errors.PoolExhaustedError` immediately — backpressure
+    belongs to the layer above, not to a hidden queue.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        *,
+        start_method: str | None = None,
+        chaos=None,
+        stall_timeout: float = _DEFAULT_STALL_TIMEOUT,
+        crash_tolerance: int = _DEFAULT_CRASH_TOLERANCE,
+        task_retries: int = _DEFAULT_TASK_RETRIES,
+    ) -> None:
+        from repro.parallel.pool import default_workers
+
+        self.workers = int(workers) if workers is not None else default_workers()
+        if self.workers < 1:
+            raise ParallelError(f"workers must be >= 1, got {self.workers}")
+        self.start_method = start_method or _default_start_method()
+        self.chaos = chaos
+        self.stall_timeout = float(stall_timeout)
+        self.crash_tolerance = int(crash_tolerance)
+        self.task_retries = int(task_retries)
+        self._ctx = None
+        self._lock = threading.Lock()
+        self._idle: list[_Worker] = []
+        self._busy = 0  # workers currently checked out by run() calls
+        self._spawned_total = 0
+        self._closed = False
+        self._task_seq = itertools.count()
+        self._stats = {
+            "spawned": 0,
+            "respawned": 0,
+            "crashes": 0,
+            "stalls": 0,
+            "retries": 0,
+            "tasks": 0,
+            "runs": 0,
+            "exhausted": 0,
+        }
+        # EWMA of run durations feeds PoolExhaustedError.retry_after
+        self._mean_run_seconds = 0.05
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _context(self):
+        if self._ctx is None:
+            import multiprocessing
+
+            self._ctx = multiprocessing.get_context(self.start_method)
+        return self._ctx
+
+    def _spawn(self) -> _Worker:
+        ctx = self._context()
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        with self._lock:
+            self._spawned_total += 1
+            worker_id = self._spawned_total
+        process = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, worker_id, self.chaos),
+            name=f"repro-procpool-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()  # the parent end alone keeps the pipe open
+        self._bump("spawned")
+        if obs.enabled():
+            obs.metrics().counter("parallel.proc.spawned").inc()
+        return _Worker(process, parent_conn, worker_id)
+
+    def _checkout(self, want: int) -> list[_Worker]:
+        """Claim up to *want* workers exclusively (spawning up to the pool
+        size); zero idle capacity raises :class:`PoolExhaustedError`."""
+        want = max(0, want)
+        with self._lock:
+            if self._closed:
+                raise ParallelError("process pool is shut down")
+            # idle deaths (e.g. chaos killed a worker between runs) free
+            # capacity rather than shrinking the pool permanently
+            self._idle = [w for w in self._idle if w.alive()]
+            checked_out = self._idle[:want]
+            del self._idle[:want]
+            headroom = (
+                self.workers - self._busy - len(self._idle) - len(checked_out)
+            )
+            to_spawn = min(max(0, want - len(checked_out)), max(0, headroom))
+            self._busy += len(checked_out) + to_spawn
+        for _ in range(to_spawn):
+            checked_out.append(self._spawn())
+        if not checked_out:
+            retry_after = self._mean_run_seconds
+            self._bump("exhausted")
+            if obs.enabled():
+                obs.metrics().counter("parallel.proc.exhausted").inc()
+            raise PoolExhaustedError(
+                f"all {self.workers} process-pool workers are busy",
+                retry_after=retry_after,
+            )
+        return checked_out
+
+    def _checkin(self, workers: list[_Worker]) -> None:
+        with self._lock:
+            self._busy -= len(workers)
+            if self._closed:
+                doomed = list(workers)
+            else:
+                alive = [w for w in workers if w.alive() and w.busy_seq is None]
+                doomed = [w for w in workers if w not in alive]
+                self._idle.extend(alive)
+        for worker in doomed:
+            worker.kill()
+
+    def shutdown(self) -> None:
+        """Stop every worker (idle ones politely, then hard).  Idempotent."""
+        with self._lock:
+            self._closed = True
+            workers, self._idle = self._idle, []
+        for worker in workers:
+            try:
+                worker.conn.send(("exit",))
+            except Exception:
+                pass
+        deadline = time.monotonic() + 2.0
+        for worker in workers:
+            worker.process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if worker.process.is_alive():
+                worker.kill()
+            else:
+                try:
+                    worker.conn.close()
+                except Exception:  # pragma: no cover
+                    pass
+        with self._lock:
+            self._closed = False  # pools are reusable after shutdown
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def _bump(self, key: str, by: int = 1) -> None:
+        with self._lock:
+            self._stats[key] += by
+
+    def stats(self) -> dict:
+        with self._lock:
+            snapshot = dict(self._stats)
+            snapshot["idle"] = len(self._idle)
+            snapshot["size"] = self.workers
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # the supervised batch
+    # ------------------------------------------------------------------
+    def run(self, calls, *, deadline: Deadline | None = None) -> list:
+        """Execute *calls* (:class:`ProcCall` instances), results in order.
+
+        The batch settles completely before any error is raised; the
+        error with the smallest call index wins, matching
+        :func:`repro.parallel.pool.run_tasks`.  After the first error no
+        *new* tasks are dispatched (fail-fast), so a poisoned batch does
+        not burn the remaining shards' work."""
+        calls = list(calls)
+        if not calls:
+            return []
+        for call in calls:
+            if not isinstance(call, ProcCall):
+                raise ParallelError(
+                    f"process backend tasks must be ProcCall, got {type(call).__name__}"
+                )
+        start = time.monotonic()
+        self._bump("runs")
+        with obs.tracer().span(
+            "parallel.proc.run", tasks=len(calls), workers=self.workers
+        ):
+            team = self._checkout(min(len(calls), self.workers))
+            try:
+                results = self._supervise(team, calls, deadline)
+            finally:
+                self._checkin(team)
+        elapsed = time.monotonic() - start
+        self._mean_run_seconds = 0.8 * self._mean_run_seconds + 0.2 * elapsed
+        return results
+
+    def _supervise(self, team: list[_Worker], calls, deadline) -> list:
+        pending = list(range(len(calls)))  # call indices not yet dispatched
+        attempts = {index: 0 for index in pending}
+        seq_to_index: dict[int, int] = {}
+        results: dict[int, object] = {}
+        errors: dict[int, BaseException] = {}
+        crashes = 0
+        settled = 0
+        total = len(calls)
+
+        def dispatch(worker: _Worker, index: int) -> None:
+            seq = next(self._task_seq)
+            seq_to_index[seq] = index
+            worker.busy_seq = seq
+            worker.dispatched_at = time.monotonic()
+            worker.conn.send(("task", seq, calls[index]))
+
+        def requeue_or_fail(worker: _Worker, reason: str) -> None:
+            """The task in flight on a dead worker: retry it or record the
+            crash as its error."""
+            nonlocal settled
+            seq = worker.busy_seq
+            worker.busy_seq = None
+            if seq is None:
+                return
+            index = seq_to_index.pop(seq)
+            attempts[index] += 1
+            if attempts[index] <= self.task_retries and not errors:
+                pending.insert(0, index)
+                self._bump("retries")
+                if obs.enabled():
+                    obs.metrics().counter("parallel.proc.retries").inc()
+            else:
+                errors.setdefault(
+                    index,
+                    WorkerCrashError(
+                        f"task {index} lost its worker {attempts[index]} time(s)"
+                        f" ({reason}); retry budget is {self.task_retries}"
+                    ),
+                )
+                settled += 1
+
+        # prime every checked-out worker
+        for worker in team:
+            if pending:
+                dispatch(worker, pending.pop(0))
+
+        while settled < total:
+            # nothing in flight and nothing dispatchable → the batch is
+            # as settled as it will get (fail-fast left tasks unrun)
+            busy = [w for w in team if w.busy_seq is not None]
+            if not busy:
+                if pending and not errors:
+                    # can only happen if every worker died and respawn
+                    # was exhausted — surface as a crash error
+                    raise WorkerCrashError(
+                        "process pool lost every worker mid-batch"
+                    )
+                break
+            timeout = self.stall_timeout
+            if deadline is not None:
+                remaining = deadline.remaining()
+                if remaining <= 0.0:
+                    for worker in busy:
+                        worker.kill()
+                        self._replace(worker, team)
+                    raise DeadlineExceededError(
+                        "process-pool batch exceeded its deadline"
+                    )
+                timeout = min(timeout, remaining)
+            waitables = [w.conn for w in busy] + [w.process.sentinel for w in busy]
+            ready = mpconn.wait(waitables, timeout=min(timeout, 0.5))
+            now = time.monotonic()
+            progressed = False
+
+            for worker in list(busy):
+                if worker.conn in ready:
+                    try:
+                        kind, seq, payload = worker.conn.recv()
+                    except (EOFError, OSError):
+                        continue  # death; the sentinel branch handles it
+                    progressed = True
+                    worker.busy_seq = None
+                    index = seq_to_index.pop(seq, None)
+                    if index is None:  # a pre-crash straggler; ignore
+                        continue
+                    if kind == "ok":
+                        results[index] = payload
+                    else:
+                        errors.setdefault(index, payload)
+                    settled += 1
+                    self._bump("tasks")
+                    if obs.enabled():
+                        obs.metrics().counter("parallel.proc.tasks").inc()
+                    if pending and not errors:
+                        dispatch(worker, pending.pop(0))
+
+            for worker in list(team):
+                if worker.busy_seq is None:
+                    continue
+                died = not worker.alive()
+                stalled = (
+                    not died
+                    and self.stall_timeout > 0
+                    and now - worker.dispatched_at > self.stall_timeout
+                )
+                if not died and not stalled:
+                    continue
+                progressed = True
+                crashes += 1
+                self._bump("crashes")
+                if stalled:
+                    self._bump("stalls")
+                if obs.enabled():
+                    obs.metrics().counter("parallel.proc.crashes").inc()
+                worker.kill()
+                requeue_or_fail(worker, "stalled" if stalled else "crashed")
+                if crashes > self.crash_tolerance:
+                    for other in team:
+                        if other.busy_seq is not None:
+                            other.kill()
+                            other.busy_seq = None
+                    raise WorkerCrashError(
+                        f"{crashes} worker crashes in one batch exceeded the"
+                        f" tolerance of {self.crash_tolerance}"
+                    )
+                replacement = self._replace(worker, team)
+                if pending and not errors:
+                    dispatch(replacement, pending.pop(0))
+
+            if not progressed and pending and not errors:
+                # wait timed out without news but capacity exists (e.g. a
+                # worker finished exactly at the old loop edge): dispatch
+                for worker in team:
+                    if worker.busy_seq is None and pending:
+                        dispatch(worker, pending.pop(0))
+
+        if errors:
+            raise errors[min(errors)]
+        return [results[index] for index in range(total)]
+
+    def _replace(self, dead: _Worker, team: list[_Worker]) -> _Worker:
+        replacement = self._spawn()
+        team[team.index(dead)] = replacement
+        self._bump("respawned")
+        if obs.enabled():
+            obs.metrics().counter("parallel.proc.respawned").inc()
+        return replacement
+
+
+# ----------------------------------------------------------------------
+# the module-level pool (what the ``"process"`` backend uses)
+# ----------------------------------------------------------------------
+def _default_start_method() -> str:
+    import multiprocessing
+
+    methods = multiprocessing.get_all_start_methods()
+    # fork is milliseconds per worker and inherits warm imports; spawn is
+    # the portable fallback.  configure_pool() overrides for tests that
+    # assert spawn-mode parity.
+    return "fork" if "fork" in methods else "spawn"
+
+
+_pool_lock = threading.Lock()
+_pool: ProcPool | None = None
+
+
+def get_pool() -> ProcPool:
+    """The shared pool, created on first use with default sizing."""
+    global _pool
+    with _pool_lock:
+        if _pool is None:
+            _pool = ProcPool()
+        return _pool
+
+
+def configure_pool(**kwargs) -> ProcPool:
+    """Replace the shared pool (shutting down the old one).
+
+    Keyword arguments are those of :class:`ProcPool` — ``workers``,
+    ``start_method``, ``chaos``, ``stall_timeout``, ``crash_tolerance``,
+    ``task_retries``."""
+    global _pool
+    with _pool_lock:
+        old, _pool = _pool, None
+    if old is not None:
+        old.shutdown()
+    fresh = ProcPool(**kwargs)
+    with _pool_lock:
+        _pool = fresh
+    return fresh
+
+
+def shutdown_pool() -> None:
+    """Shut down and drop the shared pool (it respawns on next use)."""
+    global _pool
+    with _pool_lock:
+        old, _pool = _pool, None
+    if old is not None:
+        old.shutdown()
+
+
+def pool_stats() -> dict | None:
+    """The shared pool's :meth:`ProcPool.stats`, or ``None`` if no pool
+    has been created yet (stats never force a spawn)."""
+    with _pool_lock:
+        pool = _pool
+    return pool.stats() if pool is not None else None
+
+
+atexit.register(shutdown_pool)

@@ -1,0 +1,305 @@
+"""Zero-copy buffer transport for the process backend, leak-proof.
+
+Shard fan-out to worker *processes* (:mod:`repro.parallel.procpool`)
+cannot share numpy arrays the way threads do, and pickling dense
+mirrors through pipes would erase the win the workers exist for.  This
+module moves the packed buffers — character-code arrays, per-character
+``(σ, T, T_em)`` stacks, :class:`~repro.kernels.bitmat.BitMatrix` /
+``PackedVec`` words, serialized SLP arenas — through
+``multiprocessing.shared_memory`` instead: the parent lays every input
+array and every preallocated result slot out in **one segment per
+request**, workers attach, compute, and write results in place, and the
+only bytes that cross a pipe are task descriptors and acknowledgements.
+
+The hard part of shared memory is not sharing it but *unlinking* it: a
+worker that is OOM-killed or SIGKILLed mid-fold can never run its
+cleanup, and a leaked ``/dev/shm`` segment outlives the process that
+lost it.  The leak-proofing contract here is structural, and
+``tools/check_shm_hygiene.py`` lints it:
+
+* **only the parent creates segments** — workers attach to existing
+  names and never own one, so no worker death can leak a segment;
+* every creation goes through a :class:`SegmentRegistry`, whose
+  ``close()`` runs on success, failure, and (via ``atexit``) interpreter
+  exit — the unlink does not depend on the request finishing cleanly;
+* worker-side attachments detach from Python's ``resource_tracker``
+  immediately (:func:`attach`), because the tracker of an *attaching*
+  process would otherwise unlink the parent's live segment when that
+  worker exits (bpo-38119) — exactly the double-free this module exists
+  to prevent.
+
+:func:`live_segments` reports every segment this process created and has
+not yet unlinked; the test suite asserts it is empty after every
+process-backend test, crash tests included.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import obs
+
+__all__ = [
+    "SEGMENT_PREFIX",
+    "SegmentRegistry",
+    "ShmArray",
+    "attach",
+    "attached_job",
+    "live_segments",
+]
+
+#: every segment this module creates is named ``repro-<pid>-<counter>``
+#: so stray segments are attributable (and grep-able in ``/dev/shm``)
+SEGMENT_PREFIX = "repro-shm"
+
+_ALIGN = 64  # align each array's offset; keeps views cache-line friendly
+
+_live_lock = threading.Lock()
+_live: dict[str, object] = {}  # name -> SharedMemory (created, not yet unlinked)
+_counter = 0
+
+
+def _shared_memory():
+    """Deferred stdlib import (importing it spawns no tracker by itself,
+    but keeping it out of module import keeps cold starts lean)."""
+    from multiprocessing import shared_memory
+
+    return shared_memory
+
+
+def live_segments() -> list[str]:
+    """Names of segments created by this process and not yet unlinked.
+
+    The leak oracle: after any process-backend request — successful,
+    failed, or chaos-killed — this list must be empty again once the
+    request's :class:`SegmentRegistry` closed."""
+    with _live_lock:
+        return sorted(_live)
+
+
+def _cleanup_at_exit() -> None:  # pragma: no cover - interpreter teardown
+    with _live_lock:
+        leftovers = list(_live.values())
+        _live.clear()
+    for segment in leftovers:
+        try:
+            segment.close()
+            segment.unlink()
+        except Exception:
+            pass
+
+
+atexit.register(_cleanup_at_exit)
+
+
+_forked_child = False
+
+
+def _reset_after_fork() -> None:  # pragma: no cover - runs in the child
+    """A forked worker inherits the parent's ``_live`` table by memory
+    copy; if its own ``atexit`` ran :func:`_cleanup_at_exit` it would
+    unlink segments the *parent* still owns.  Ownership never crosses
+    ``fork()``: drop the inherited entries (close/unlink stay with the
+    parent).  The ``_forked_child`` flag tells :func:`attach` that this
+    process may also share the parent's resource tracker."""
+    global _forked_child
+    _forked_child = True
+    with _live_lock:
+        _live.clear()
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_reset_after_fork)
+
+
+@dataclass(frozen=True)
+class ShmArray:
+    """A picklable pointer to one numpy array inside a shared segment."""
+
+    segment: str
+    dtype: str
+    shape: tuple
+    offset: int
+
+    @property
+    def nbytes(self) -> int:
+        count = 1
+        for dim in self.shape:
+            count *= int(dim)
+        return count * np.dtype(self.dtype).itemsize
+
+
+class SegmentRegistry:
+    """Owner of every shared-memory segment of one parent-side request.
+
+    A context manager: segments created inside the ``with`` block are
+    unlinked when it exits — on the success path, on any exception, and
+    (should the process die with registries open) by the module's
+    ``atexit`` hook.  Unlink is idempotent; a vanished segment is not an
+    error during cleanup."""
+
+    def __init__(self) -> None:
+        self._segments: list = []
+        self._closed = False
+
+    # -- creation (the only SharedMemory creation site in the library) --
+    def create(self, nbytes: int):
+        global _counter
+        if self._closed:
+            raise RuntimeError("SegmentRegistry used after close")
+        shared_memory = _shared_memory()
+        with _live_lock:
+            _counter += 1
+            name = f"{SEGMENT_PREFIX}-{_counter}"
+        segment = shared_memory.SharedMemory(
+            create=True, name=name, size=max(1, int(nbytes))
+        )
+        with _live_lock:
+            _live[segment.name] = segment
+        self._segments.append(segment)
+        if obs.enabled():
+            registry = obs.metrics()
+            registry.counter("parallel.shm.segments").inc()
+            registry.counter("parallel.shm.bytes").inc(segment.size)
+        return segment
+
+    def pack(self, arrays) -> list[ShmArray]:
+        """Copy *arrays* into one fresh segment; return their descriptors.
+
+        Arrays are laid out back to back at :data:`_ALIGN`-byte offsets.
+        Pass ``(shape, dtype)`` tuples instead of arrays to reserve
+        zero-initialised writable slots (result buffers workers fill)."""
+        specs = []
+        offset = 0
+        for item in arrays:
+            if isinstance(item, tuple):
+                shape, dtype = item
+                source = None
+            else:
+                source = np.ascontiguousarray(item)
+                shape, dtype = source.shape, source.dtype
+            descr = ShmArray(
+                segment="", dtype=np.dtype(dtype).str, shape=tuple(shape), offset=offset
+            )
+            specs.append((descr, source))
+            offset += descr.nbytes
+            offset += (-offset) % _ALIGN
+        segment = self.create(offset)
+        out = []
+        for descr, source in specs:
+            descr = ShmArray(segment.name, descr.dtype, descr.shape, descr.offset)
+            view = _view(segment, descr)
+            view[...] = 0 if source is None else source
+            out.append(descr)
+        return out
+
+    def read(self, descr: ShmArray) -> np.ndarray:
+        """Copy one of this registry's arrays out (e.g. a result slot a
+        worker filled).  The copy detaches the caller from the segment's
+        lifetime, so the registry can unlink immediately afterwards."""
+        for segment in self._segments:
+            if segment.name == descr.segment:
+                return _view(segment, descr).copy()
+        raise KeyError(f"segment {descr.segment!r} is not owned by this registry")
+
+    def close(self) -> None:
+        """Unlink everything this registry created (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for segment in self._segments:
+            with _live_lock:
+                _live.pop(segment.name, None)
+            try:
+                segment.close()
+            except Exception:
+                pass
+            try:
+                segment.unlink()
+            except Exception:
+                pass
+        self._segments = []
+
+    def __enter__(self) -> "SegmentRegistry":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _view(segment, descr: ShmArray) -> np.ndarray:
+    return np.ndarray(
+        descr.shape,
+        dtype=np.dtype(descr.dtype),
+        buffer=segment.buf,
+        offset=descr.offset,
+    )
+
+
+# ----------------------------------------------------------------------
+# worker side: attach, never create, never unlink
+# ----------------------------------------------------------------------
+def attach(name: str):
+    """Attach to a parent-owned segment, tracker-detached.
+
+    Attaching registers the segment with a ``resource_tracker``; if that
+    tracker belongs to *this* process, it would unlink the parent's live
+    segment when this process exits (bpo-38119), so the registration is
+    removed immediately (Python < 3.13 has no ``track=False``).  A
+    **forked** worker instead shares the parent's tracker — there the
+    duplicate registration is harmless and must be left alone: removing
+    it would strip the parent's own crash backstop and double-unregister
+    at unlink time."""
+    shared_memory = _shared_memory()
+    try:
+        from multiprocessing import resource_tracker
+
+        inherited = (
+            _forked_child
+            and getattr(resource_tracker._resource_tracker, "_fd", None)
+            is not None
+        )
+    except Exception:  # pragma: no cover - tracker internals shifted
+        resource_tracker = None
+        inherited = False
+    segment = shared_memory.SharedMemory(name=name)
+    if resource_tracker is not None and not inherited:
+        try:
+            resource_tracker.unregister(segment._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker internals shifted
+            pass
+    return segment
+
+
+class attached_job:
+    """Worker-side view of one request's descriptors.
+
+    ``with attached_job() as job:`` — :meth:`array` maps a descriptor to
+    a live numpy view (segments attached once, cached by name); exiting
+    closes every attachment (close only — unlink belongs to the parent)."""
+
+    def __init__(self) -> None:
+        self._segments: dict = {}
+
+    def array(self, descr: ShmArray) -> np.ndarray:
+        segment = self._segments.get(descr.segment)
+        if segment is None:
+            segment = attach(descr.segment)
+            self._segments[descr.segment] = segment
+        return _view(segment, descr)
+
+    def __enter__(self) -> "attached_job":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        for segment in self._segments.values():
+            try:
+                segment.close()
+            except Exception:
+                pass
+        self._segments = {}

@@ -58,6 +58,7 @@ from repro.errors import (
     FaultInjectedError,
     MemoryLimitError,
     OverloadedError,
+    PoolExhaustedError,
     ServiceStoppedError,
     SpanlibError,
 )
@@ -293,6 +294,7 @@ class SpannerService:
             "retries": 0,
             "mutations": 0,
             "mutation_failures": 0,
+            "pool_exhausted": 0,
         }
         #: recent per-request service times (ns), for p50/p99 and the
         #: retry-after hint; bounded so a long-lived service stays O(1)
@@ -374,9 +376,17 @@ class SpannerService:
         deadline: float | Deadline | None = None,
         max_steps: int | None = None,
         workers: int | None = None,
-        backend: str = "thread",
+        backend: str = "auto",
     ) -> Ticket:
         """Enqueue one *batch* of queries over many stored documents.
+
+        *backend* defaults to ``"auto"``: the bulk preprocessing fans out
+        to the crash-isolated process pool when the host and spanner
+        allow it, degrading to threads otherwise (see
+        :func:`repro.parallel.resolve_backend`).  An explicit
+        ``"process"`` that finds the pool fully checked out surfaces as
+        :class:`~repro.errors.OverloadedError` with a ``retry_after``
+        hint, exactly like an admission-queue shed.
 
         The batch occupies a single admission slot (shedding whole batches
         keeps the retry-after hint honest under overload), shares one
@@ -448,7 +458,7 @@ class SpannerService:
         deadline: float | Deadline | None = None,
         max_steps: int | None = None,
         workers: int | None = None,
-        backend: str = "thread",
+        backend: str = "auto",
         timeout: float | None = 30.0,
     ) -> BulkQueryResult:
         """Synchronous convenience: :meth:`submit_bulk` + :meth:`Ticket.result`."""
@@ -583,6 +593,22 @@ class SpannerService:
                         "compressed evaluation tripped and degradation is disabled"
                     )
                 return self._attempt_decompressed(request), True, attempt
+            except PoolExhaustedError as exc:
+                # an explicitly requested process backend found every
+                # pool worker checked out: backpressure, one layer down.
+                # Surface it in the service's own vocabulary so clients
+                # see a single overload signal with a usable hint.
+                if span is not None:
+                    span.__exit__(type(exc), exc, None)
+                    span = None
+                self._count("pool_exhausted")
+                retry_after = max(exc.retry_after, self._retry_after_hint())
+                if obs.enabled():
+                    obs.metrics().counter("serve.pool_exhausted").inc()
+                raise OverloadedError(
+                    f"process pool exhausted; retry after {retry_after:.3f}s",
+                    retry_after=retry_after,
+                ) from exc
             except SpanlibError as exc:
                 if span is not None:
                     span.__exit__(type(exc), exc, None)

@@ -3,6 +3,7 @@
 from repro.util.budget import Budget, Deadline
 from repro.util.faults import (
     ChaosInjector,
+    WorkerChaos,
     fail_at_allocation,
     fail_at_call,
     fail_in_preprocess,
@@ -21,6 +22,7 @@ __all__ = [
     "Budget",
     "ChaosInjector",
     "Deadline",
+    "WorkerChaos",
     "fail_at_allocation",
     "fail_at_call",
     "fail_in_preprocess",

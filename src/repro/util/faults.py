@@ -15,7 +15,11 @@ non-durable record — is only worth anything if it survives failures at the
 * :func:`fail_at_call` — the generic primitive behind the above;
 * :class:`ChaosInjector` — a *seedable, concurrency-aware* probabilistic
   schedule of errors and delays for multi-threaded chaos runs (the
-  :mod:`repro.serve` chaos suite).
+  :mod:`repro.serve` chaos suite);
+* :class:`WorkerChaos` — the process-pool counterpart: a picklable,
+  seeded schedule of worker **SIGKILLs and stalls** evaluated *inside*
+  :mod:`repro.parallel.procpool` workers, for chaos runs where the
+  failure is a dead process rather than a raised exception.
 
 All injected errors are :class:`~repro.errors.FaultInjectedError`, a
 :class:`~repro.errors.SpanlibError`, so they travel exactly the rollback
@@ -40,8 +44,10 @@ though thread schedules are not.
 from __future__ import annotations
 
 import contextlib
+import dataclasses
 import os
 import random
+import signal
 import threading
 import time
 from typing import Iterator
@@ -50,6 +56,7 @@ from repro.errors import FaultInjectedError
 
 __all__ = [
     "ChaosInjector",
+    "WorkerChaos",
     "fail_at_call",
     "fail_at_allocation",
     "fail_in_preprocess",
@@ -242,6 +249,49 @@ class ChaosInjector:
             yield self
         finally:
             setattr(target, attribute, original)
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkerChaos:
+    """A seeded schedule of worker-process kills and stalls.
+
+    Instances are immutable and picklable: the parent ships one to every
+    :mod:`repro.parallel.procpool` worker, and each worker consults it
+    *before* executing a task.  The verdict for a task is a pure function
+    of ``(seed, task_seq)`` — the pool assigns ``task_seq`` at dispatch,
+    so a run's fault multiset is deterministic per seed regardless of
+    which worker draws which task, the same concurrency-aware contract
+    :class:`ChaosInjector` makes for threads.  A re-dispatched (retried)
+    task gets a fresh sequence number and therefore a fresh draw — chaos
+    cannot deterministically kill every retry of one shard.
+
+    ``"kill"`` sends the worker ``SIGKILL`` — no cleanup, no goodbye, the
+    exact failure mode of the OOM killer; ``"stall"`` sleeps through the
+    supervisor's patience so deadline-kill and lost-shard retry paths get
+    exercised too.
+    """
+
+    seed: int
+    kill_rate: float = 0.0
+    stall_rate: float = 0.0
+    stall_seconds: float = 0.05
+
+    def decide(self, task_seq: int) -> str | None:
+        """``"kill"``, ``"stall"``, or ``None`` for dispatch *task_seq*."""
+        draw = random.Random(f"{self.seed}:proc-worker:{task_seq}").random()
+        if draw < self.kill_rate:
+            return "kill"
+        if draw < self.kill_rate + self.stall_rate:
+            return "stall"
+        return None
+
+    def apply(self, task_seq: int) -> None:
+        """Enact the verdict in the calling (worker) process."""
+        verdict = self.decide(task_seq)
+        if verdict == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif verdict == "stall":
+            time.sleep(self.stall_seconds)
 
 
 def truncate_file(path: str, keep_bytes: int) -> int:

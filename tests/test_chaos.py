@@ -176,6 +176,112 @@ def run_chaos(
     return stats
 
 
+def run_bulk_chaos(
+    seed: int,
+    error_rate: float = 0.3,
+    delay_rate: float = 0.1,
+    client_threads: int = 2,
+    batches_per_thread: int = 6,
+) -> dict:
+    """One seeded chaos round through the *bulk* lane.
+
+    Concurrent clients drive :meth:`SpannerService.submit_bulk` while the
+    injector fires faults inside the evaluator.  The batch contract under
+    chaos: a batch resolves to either a complete, correct
+    ``BulkQueryResult`` — every requested document present, every tuple
+    matching the oracle — or one typed error.  Never a torn batch, never
+    an untyped escape, and every degraded batch is counted."""
+    db = build_store()
+    injector = ChaosInjector(seed)
+    service = SpannerService(
+        db,
+        ServeConfig(
+            workers=3,
+            queue_limit=256,
+            retry_max_attempts=3,
+            breaker_failure_threshold=3,
+            breaker_reset_after=0.02,
+            breaker_half_open_probes=1,
+            seed=seed,
+        ),
+    )
+    violations: list[str] = []
+    hangs: list[str] = []
+    degraded_seen = [0]
+    completed_seen = [0]
+    lock = threading.Lock()
+
+    def client(thread_index: int) -> None:
+        rng = random.Random(seed * 2003 + thread_index)
+        spanner_names = sorted(SPANNERS)
+        doc_names = sorted(DOCS)
+        for _ in range(batches_per_thread):
+            spanner = rng.choice(spanner_names)
+            documents = rng.sample(doc_names, k=rng.randint(1, len(doc_names)))
+            try:
+                ticket = service.submit_bulk(spanner, documents)
+            except OverloadedError:
+                continue  # shed is a legal answer under load
+            try:
+                result = ticket.result(timeout=30)
+            except DeadlineExceededError as exc:
+                if "still in flight" in str(exc):
+                    with lock:
+                        hangs.append(f"{spanner}/{documents}: {exc}")
+                continue
+            except SpanlibError:
+                continue  # typed failure is legal; anything else escapes
+            # a batch that resolves must not be torn: every requested
+            # document answered, and answered correctly
+            if sorted(result.results) != sorted(documents):
+                with lock:
+                    violations.append(
+                        f"torn batch {spanner}/{documents}: "
+                        f"answered {sorted(result.results)}"
+                    )
+                continue
+            for document in documents:
+                got = sorted(map(str, result.results[document]))
+                if got != oracle(spanner, document):
+                    with lock:
+                        violations.append(
+                            f"{spanner}/{document} (degraded="
+                            f"{result.degraded}): {got} != "
+                            f"{oracle(spanner, document)}"
+                        )
+            with lock:
+                completed_seen[0] += 1
+                if result.degraded:
+                    degraded_seen[0] += 1
+
+    threads = [
+        threading.Thread(target=client, args=(i,)) for i in range(client_threads)
+    ]
+    with injector.chaos(
+        SLPSpannerEvaluator, "enumerate", site="enumerate",
+        error_rate=error_rate, delay_rate=delay_rate,
+    ), injector.chaos(
+        SLPSpannerEvaluator, "preprocess", site="preprocess",
+        error_rate=error_rate / 2, delay_rate=delay_rate,
+    ):
+        with service:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            hangs.extend(
+                f"thread {t.name} never finished" for t in threads if t.is_alive()
+            )
+
+    assert not violations, violations
+    assert not hangs, hangs
+    stats = service.stats()
+    # breaker/degradation parity: the books match what clients observed
+    assert stats["degraded"] == degraded_seen[0]
+    assert stats["completed"] >= completed_seen[0]
+    return stats
+
+
 class TestChaosSmoke:
     """The fast CI lane: a dozen seeds across fault intensities."""
 
@@ -201,6 +307,18 @@ class TestChaosSmoke:
         stats = run_chaos(998, error_rate=0.0, delay_rate=0.0, starve_rate=0.5)
         assert stats["breaker"]["times_opened"] >= 1
         assert stats["degraded"] >= 1
+
+    @pytest.mark.parametrize("seed", range(40, 44))
+    def test_bulk_lane_under_faults(self, seed):
+        """The bulk contract holds at a 30% evaluator fault rate."""
+        stats = run_bulk_chaos(seed, error_rate=0.3, delay_rate=0.1)
+        assert stats["failed"] + stats["completed"] == stats["submitted"]
+
+    def test_bulk_lane_fault_free_round_stays_clean(self):
+        stats = run_bulk_chaos(997, error_rate=0.0, delay_rate=0.0)
+        assert stats["failed"] == 0
+        assert stats["degraded"] == 0
+        assert stats["breaker"]["times_opened"] == 0
 
     def test_journal_chaos_keeps_persistence_consistent(self, tmp_path):
         """Faults in the journal append under concurrent load: committed

@@ -231,7 +231,7 @@ class TestQueryBulk:
         db.add_document("a", "ab")
         db.register_spanner("s", "!x{a*b*}")
         with pytest.raises(ParallelError):
-            db.query_bulk("s", ["a"], backend="process")
+            db.query_bulk("s", ["a"], backend="bogus")
 
 
 class TestServeBulk:

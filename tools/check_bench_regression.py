@@ -42,6 +42,12 @@ SPEEDUP_FLOORS = {
     # (the lane skips where parallelism cannot be exhibited)
     "test_parallel_batched_fold_speedup": 2.0,
     "test_parallel_speedup_4_workers": 2.0,
+    # supervised process pool (ISSUE 6): the differential and crash-
+    # recovery rows always exist; the 4-worker scaling row only on
+    # machines with >= 4 usable cores.  The floor is lower than the
+    # thread lane's — shared-memory transport and supervision are paid
+    # from the same wall-clock as the fold itself
+    "test_process_speedup_4_workers": 1.3,
 }
 
 

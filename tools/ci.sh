@@ -16,6 +16,9 @@ python tools/check_no_wallclock.py
 echo "== lint: shared evaluator state stays behind the coordination layer"
 python tools/check_thread_safety.py
 
+echo "== lint: shared-memory segments have a registered unlink path"
+python tools/check_shm_hygiene.py
+
 echo "== bench: committed results meet their recorded speedup floors"
 python tools/check_bench_regression.py
 
@@ -36,6 +39,17 @@ PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q
 
 echo "== chaos smoke lane (seeded concurrent fault injection, fast subset)"
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -q tests/test_chaos.py -m "not slow_fuzz"
+
+echo "== process-pool smoke lane (crash isolation over shared memory)"
+# the functional tests force backend="process" and run in the default
+# suite on any host; this lane re-runs them as a visible gate where the
+# pool can actually spread work, and skips loudly where it cannot
+USABLE_CORES=$(python -c "import os; print(len(os.sched_getaffinity(0)) if hasattr(os, 'sched_getaffinity') else (os.cpu_count() or 1))")
+if [ "$USABLE_CORES" -lt 2 ]; then
+    echo "SKIP: process smoke lane needs >= 2 usable cores, have $USABLE_CORES"
+else
+    PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -q tests/test_procpool.py
+fi
 
 echo "== regex fuzz fast lane (fixed seed, replayable byte-for-byte)"
 # the default suite already runs these hypothesis tests with a random
