@@ -446,7 +446,9 @@ def preprocess_bulk(
         results = None
         if backend == "process":
             try:
-                results = _preprocess_bulk_process(source, slp, nodes, budget)
+                results = _preprocess_bulk_process(
+                    evaluator, source, slp, nodes, budget
+                )
             except WorkerCrashError:
                 if requested == "auto":
                     process_breaker().record_failure()
@@ -486,20 +488,25 @@ def preprocess_bulk(
     return fresh
 
 
-def _preprocess_bulk_process(source: str, slp, nodes, budget):
+def _preprocess_bulk_process(evaluator, source: str, slp, nodes, budget):
     """Fan per-document wave computations out to worker processes.
 
     Ships the arena once (three flat arrays in one segment, keyed by
-    content digest so workers can cache the rebuilt SLP across requests)
-    and one :class:`ProcCall` per document node.  Workers return fresh
-    entries keyed by plain node id — node ids survive the round-trip
-    verbatim because :meth:`~repro.slp.SLP.from_arena` preserves them —
-    and the parent re-keys to its own arena serial for the merge."""
+    content digest so workers can cache the rebuilt SLP across requests),
+    the *parent evaluator's* cached node ids (so workers know which
+    entries this caller actually lacks — long-lived workers keep warm
+    caches of their own, and worker-side freshness says nothing about
+    parent-side freshness), and one :class:`ProcCall` per document node.
+    Workers return every requested entry keyed by plain node id — node
+    ids survive the round-trip verbatim because
+    :meth:`~repro.slp.SLP.from_arena` preserves them — and the parent
+    re-keys to its own arena serial for the merge."""
     snapshot = slp.arena_snapshot()
     spec = _budget_spec(budget)
+    have = np.array(sorted(evaluator.cached_node_ids(slp)), dtype=np.int64)
     with SegmentRegistry() as registry:
-        d_chars, d_left, d_right = registry.pack(
-            [snapshot["chars"], snapshot["left"], snapshot["right"]]
+        d_chars, d_left, d_right, d_have = registry.pack(
+            [snapshot["chars"], snapshot["left"], snapshot["right"], have]
         )
         calls = [
             ProcCall(
@@ -508,6 +515,7 @@ def _preprocess_bulk_process(source: str, slp, nodes, budget):
                     source,
                     snapshot["digest"],
                     (d_chars, d_left, d_right),
+                    d_have,
                     int(node),
                     spec,
                 ),
@@ -560,12 +568,20 @@ def _worker_arena(digest: str, arena_descrs):
 
 
 def _preprocess_doc_task(
-    source: str, digest: str, arena_descrs, node: int, budget_spec
+    source: str, digest: str, arena_descrs, d_have, node: int, budget_spec
 ):
-    """Worker side of :func:`_preprocess_bulk_process`: compute one
-    document's fresh entries against the worker's own evaluator (compiled
-    from *source* through the worker's plan cache — deterministic, hence
-    bit-identical matrices) and return them keyed by plain node id."""
+    """Worker side of :func:`_preprocess_bulk_process`: ensure entries for
+    every node reachable from *node* exist in the worker's own evaluator
+    (compiled from *source* through the worker's plan cache —
+    deterministic, hence bit-identical matrices) and ship every entry the
+    *parent* lacks, keyed by plain node id.
+
+    Shipping is keyed off the parent's cached-node set (*d_have*), not
+    worker-side freshness: a long-lived worker whose digest-keyed arena
+    and plan-cache evaluator already hold these entries computes nothing
+    fresh, and shipping only fresh entries would leave a colder parent —
+    a second evaluator over the same source, or a re-registration after
+    rollback to identical arena content — silently unwarmed."""
     from repro.kernels.plan import plan_cache
 
     slp = _worker_arena(digest, arena_descrs)
@@ -575,8 +591,12 @@ def _preprocess_doc_task(
     # warm the worker's own cache too: later documents in this batch that
     # share subtrees then skip recomputation, like the thread path does
     evaluator.merge_entries(slp, fresh_entries)
-    shipped = {
-        node_id: (sigma, t.rows, t_em.rows)
-        for (_, node_id), (sigma, t, t_em) in fresh_entries.items()
-    }
+    with attached_job() as job:
+        parent_has = set(job.array(d_have).tolist())
+    shipped = {}
+    for node_id in slp.topological(node):
+        if node_id in parent_has:
+            continue
+        sigma, t, t_em = evaluator.node_entry(slp, node_id)
+        shipped[node_id] = (sigma, t.rows, t_em.rows)
     return shipped, visited, (budget.steps if budget is not None else 0)

@@ -335,8 +335,21 @@ class ProcPool:
             )
             to_spawn = min(max(0, want - len(checked_out)), max(0, headroom))
             self._busy += len(checked_out) + to_spawn
-        for _ in range(to_spawn):
-            checked_out.append(self._spawn())
+        claimed = len(checked_out)
+        try:
+            for _ in range(to_spawn):
+                checked_out.append(self._spawn())
+        except Exception as exc:
+            # a failed fork/spawn must not strand the claim: release the
+            # reservation held for workers never spawned, then check the
+            # already-claimed (and successfully spawned) ones back in so
+            # pool capacity survives the failure intact
+            with self._lock:
+                self._busy -= to_spawn - (len(checked_out) - claimed)
+            self._checkin(checked_out)
+            raise ParallelError(
+                f"failed to spawn a process-pool worker: {exc}"
+            ) from exc
         if not checked_out:
             retry_after = self._mean_run_seconds
             self._bump("exhausted")
@@ -445,7 +458,43 @@ class ProcPool:
             seq_to_index[seq] = index
             worker.busy_seq = seq
             worker.dispatched_at = time.monotonic()
-            worker.conn.send(("task", seq, calls[index]))
+            try:
+                worker.conn.send(("task", seq, calls[index]))
+            except OSError:
+                # the worker died while idle mid-batch (e.g. OOM-killed
+                # after finishing a task) — sentinels are only waited on
+                # for busy workers, so the broken pipe is the first sign.
+                # Treat it exactly like a sentinel-detected crash: typed,
+                # contained, retried on a replacement.
+                declare_crash(worker, "dead at dispatch")
+
+        def declare_crash(
+            worker: _Worker, reason: str, *, stalled: bool = False
+        ) -> None:
+            """One worker lost mid-batch: bookkeeping, retry-or-fail of its
+            task, the tolerance check, respawn, and (if work remains) an
+            immediate dispatch to the replacement."""
+            nonlocal crashes
+            crashes += 1
+            self._bump("crashes")
+            if stalled:
+                self._bump("stalls")
+            if obs.enabled():
+                obs.metrics().counter("parallel.proc.crashes").inc()
+            worker.kill()
+            requeue_or_fail(worker, reason)
+            if crashes > self.crash_tolerance:
+                for other in team:
+                    if other.busy_seq is not None:
+                        other.kill()
+                        other.busy_seq = None
+                raise WorkerCrashError(
+                    f"{crashes} worker crashes in one batch exceeded the"
+                    f" tolerance of {self.crash_tolerance}"
+                )
+            replacement = self._replace(worker, team)
+            if pending and not errors:
+                dispatch(replacement, pending.pop(0))
 
         def requeue_or_fail(worker: _Worker, reason: str) -> None:
             """The task in flight on a dead worker: retry it or record the
@@ -539,26 +588,11 @@ class ProcPool:
                 if not died and not stalled:
                     continue
                 progressed = True
-                crashes += 1
-                self._bump("crashes")
-                if stalled:
-                    self._bump("stalls")
-                if obs.enabled():
-                    obs.metrics().counter("parallel.proc.crashes").inc()
-                worker.kill()
-                requeue_or_fail(worker, "stalled" if stalled else "crashed")
-                if crashes > self.crash_tolerance:
-                    for other in team:
-                        if other.busy_seq is not None:
-                            other.kill()
-                            other.busy_seq = None
-                    raise WorkerCrashError(
-                        f"{crashes} worker crashes in one batch exceeded the"
-                        f" tolerance of {self.crash_tolerance}"
-                    )
-                replacement = self._replace(worker, team)
-                if pending and not errors:
-                    dispatch(replacement, pending.pop(0))
+                declare_crash(
+                    worker,
+                    "stalled" if stalled else "crashed",
+                    stalled=stalled,
+                )
 
             if not progressed and pending and not errors:
                 # wait timed out without news but capacity exists (e.g. a
@@ -595,6 +629,24 @@ def _default_start_method() -> str:
 
 _pool_lock = threading.Lock()
 _pool: ProcPool | None = None
+
+
+def _reset_after_fork() -> None:  # pragma: no cover - runs in the child
+    """Fork-started workers inherit ``_pool`` — and the parent's ``atexit``
+    registration of :func:`shutdown_pool` — by memory copy.  Pool ownership
+    never crosses ``fork()``: a child running the parent's shutdown would
+    ``join()`` processes that are not its children (an ``AssertionError``
+    during atexit) and send ``("exit",)`` down inherited duplicate pipe fds
+    to sibling workers.  Drop the handle (and renew the lock, which another
+    thread could have held at fork time) so child-side shutdown is a no-op
+    — mirroring ``shm._reset_after_fork``."""
+    global _pool, _pool_lock
+    _pool_lock = threading.Lock()
+    _pool = None
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_reset_after_fork)
 
 
 def get_pool() -> ProcPool:

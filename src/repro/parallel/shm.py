@@ -37,12 +37,14 @@ from __future__ import annotations
 
 import atexit
 import os
+import secrets
 import threading
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro import obs
+from repro.errors import ParallelError
 
 __all__ = [
     "SEGMENT_PREFIX",
@@ -53,8 +55,12 @@ __all__ = [
     "live_segments",
 ]
 
-#: every segment this module creates is named ``repro-<pid>-<counter>``
-#: so stray segments are attributable (and grep-able in ``/dev/shm``)
+#: every segment this module creates is named
+#: ``repro-shm-<pid>-<token>-<counter>``: the pid plus a random token make
+#: the name host-unique (concurrent repro processes never collide, nor does
+#: a restart collide with segments a SIGKILLed predecessor leaked), the
+#: counter makes it unique within a process, and the prefix keeps stray
+#: segments attributable (grep-able in ``/dev/shm``)
 SEGMENT_PREFIX = "repro-shm"
 
 _ALIGN = 64  # align each array's offset; keeps views cache-line friendly
@@ -70,6 +76,15 @@ def _shared_memory():
     from multiprocessing import shared_memory
 
     return shared_memory
+
+
+def _segment_name() -> str:
+    """A fresh host-unique segment name (see :data:`SEGMENT_PREFIX`)."""
+    global _counter
+    with _live_lock:
+        _counter += 1
+        count = _counter
+    return f"{SEGMENT_PREFIX}-{os.getpid()}-{secrets.token_hex(4)}-{count}"
 
 
 def live_segments() -> list[str]:
@@ -149,16 +164,28 @@ class SegmentRegistry:
 
     # -- creation (the only SharedMemory creation site in the library) --
     def create(self, nbytes: int):
-        global _counter
         if self._closed:
             raise RuntimeError("SegmentRegistry used after close")
         shared_memory = _shared_memory()
-        with _live_lock:
-            _counter += 1
-            name = f"{SEGMENT_PREFIX}-{_counter}"
-        segment = shared_memory.SharedMemory(
-            create=True, name=name, size=max(1, int(nbytes))
-        )
+        size = max(1, int(nbytes))
+        segment = None
+        last_error: BaseException | None = None
+        # the pid + random token in _segment_name() make a clash all but
+        # impossible, but a leaked segment from a pid-reused predecessor
+        # still costs only a retry under a fresh token, never the request
+        for _ in range(8):
+            try:
+                segment = shared_memory.SharedMemory(
+                    create=True, name=_segment_name(), size=size
+                )
+                break
+            except FileExistsError as exc:
+                last_error = exc
+        if segment is None:
+            raise ParallelError(
+                "could not allocate a unique shared-memory segment name"
+                " after 8 attempts"
+            ) from last_error
         with _live_lock:
             _live[segment.name] = segment
         self._segments.append(segment)

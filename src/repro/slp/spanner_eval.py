@@ -408,6 +408,18 @@ class SLPSpannerEvaluator:
             return len(self._node_data)
         return sum(1 for key in self._node_data if key[0] == serial)
 
+    def cached_node_ids(self, slp: SLP) -> list[int]:
+        """The node ids of *slp* whose ``(σ, T, T_em)`` entry is cached
+        (arbitrary order).  :func:`repro.parallel.preprocess_bulk` ships
+        this set to process-backend workers so they return exactly the
+        entries this evaluator lacks — however warm their own caches are."""
+        serial = slp.serial
+        return [node for s, node in self._node_data if s == serial]
+
+    def node_entry(self, slp: SLP, node: int):
+        """The cached ``(σ, T, T_em)`` entry for one node, or ``None``."""
+        return self._node_data.get((slp.serial, node))
+
     def cache_bytes(self) -> int:
         """Resident bytes of packed node matrices plus shared char tables."""
         return self._resident_bytes + self._char_tables_cache.nbytes()

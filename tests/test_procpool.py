@@ -43,6 +43,7 @@ from repro.parallel import (
     configure_pool,
     default_workers,
     document_matrices,
+    get_pool,
     live_segments,
     preprocess_bulk,
     process_breaker,
@@ -67,6 +68,15 @@ ECHO = "repro.parallel.procpool:_task_echo"
 PID = "repro.parallel.procpool:_task_pid"
 SLEEP = "repro.parallel.procpool:_task_sleep_ms"
 RAISE = "repro.parallel.procpool:_task_raise"
+
+
+def _pool_cleared_in_child():
+    """Worker-side probe: the parent's module-level pool handle must not
+    survive into a fork-started worker (its atexit would otherwise run the
+    parent's shutdown against processes that are not its children)."""
+    import repro.parallel.procpool as procpool
+
+    return procpool._pool is None
 
 
 @pytest.fixture(autouse=True)
@@ -218,6 +228,73 @@ class TestProcPoolSupervision:
             pool.shutdown()
         assert not errors
 
+    def test_spawn_failure_releases_the_claim(self, monkeypatch):
+        """A failed fork/spawn surfaces typed and leaves no capacity
+        stranded: the reservation is released and the pool serves the
+        next request at full size."""
+        pool = ProcPool(workers=2)
+        try:
+            def no_spawn(self):
+                raise OSError("fork failed")
+
+            monkeypatch.setattr(ProcPool, "_spawn", no_spawn)
+            with pytest.raises(ParallelError, match="spawn"):
+                pool.run([ProcCall(ECHO, (i,)) for i in range(2)])
+            assert pool._busy == 0
+            monkeypatch.undo()
+            assert pool.run([ProcCall(ECHO, (i,)) for i in range(4)]) == [
+                0, 1, 2, 3,
+            ]
+            assert pool.stats()["idle"] == 2
+        finally:
+            pool.shutdown()
+
+    def test_partial_spawn_failure_keeps_spawned_workers(self, monkeypatch):
+        """When the second of two spawns fails, the first spawned worker
+        is checked back in rather than abandoned."""
+        pool = ProcPool(workers=2)
+        real_spawn = ProcPool._spawn
+        spawns = {"n": 0}
+
+        def flaky(self):
+            spawns["n"] += 1
+            if spawns["n"] == 2:
+                raise OSError("fork failed")
+            return real_spawn(self)
+
+        try:
+            monkeypatch.setattr(ProcPool, "_spawn", flaky)
+            with pytest.raises(ParallelError, match="spawn"):
+                pool.run([ProcCall(ECHO, (i,)) for i in range(2)])
+            assert pool._busy == 0
+            assert pool.stats()["idle"] == 1
+            monkeypatch.undo()
+            assert pool.run([ProcCall(ECHO, ("ok",))]) == ["ok"]
+        finally:
+            pool.shutdown()
+
+    def test_dispatch_to_a_dead_worker_retries_on_a_replacement(self):
+        """A worker that dies while idle mid-batch is only noticed when
+        the next dispatch hits its broken pipe; the send failure must be
+        contained like any other crash — respawn, retry, exact result —
+        not escape as an untyped OSError."""
+        pool = ProcPool(workers=1)
+        try:
+            assert pool.run([ProcCall(ECHO, (0,))]) == [0]
+            team = pool._checkout(1)
+            try:
+                [worker] = team
+                worker.conn.close()  # deterministic OSError at dispatch
+                results = pool._supervise(team, [ProcCall(ECHO, (7,))], None)
+            finally:
+                pool._checkin(team)
+            assert results == [7]
+            stats = pool.stats()
+            assert stats["crashes"] >= 1
+            assert stats["respawned"] >= 1
+        finally:
+            pool.shutdown()
+
     def test_non_proccall_work_is_rejected(self):
         pool = ProcPool(workers=1)
         try:
@@ -238,6 +315,15 @@ class TestProcPoolSupervision:
             backend="process",
         )
         assert got == list(range(5))
+
+    def test_forked_workers_do_not_inherit_the_shared_pool(self):
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork start method unavailable")
+        configure_pool(workers=1, start_method="fork")
+        probe = ProcCall("tests.test_procpool:_pool_cleared_in_child")
+        assert get_pool().run([probe]) == [True]
 
 
 class TestWorkerChaosSchedule:
@@ -288,6 +374,54 @@ class TestShmHygiene:
         registry.pack([np.ones(3)])
         registry.close()
         registry.close()
+        assert live_segments() == []
+
+    def test_segment_names_are_host_unique(self):
+        """Names must embed the pid (plus a random token), so concurrent
+        repro processes — or a restart after a SIGKILLed predecessor
+        leaked segments — can never collide on a bare counter."""
+        with SegmentRegistry() as registry:
+            first = registry.create(64)
+            second = registry.create(64)
+            assert first.name != second.name
+            for segment in (first, second):
+                assert f"-{os.getpid()}-" in segment.name
+
+    def test_name_collision_retries_under_a_fresh_name(self, monkeypatch):
+        import repro.parallel.shm as shm
+
+        shared_memory = shm._shared_memory()
+        taken = shared_memory.SharedMemory(
+            create=True, name=f"{shm.SEGMENT_PREFIX}-collision-test", size=1
+        )
+        real_name = shm._segment_name
+        clashes = iter([taken.name])
+        monkeypatch.setattr(
+            shm, "_segment_name", lambda: next(clashes, None) or real_name()
+        )
+        try:
+            with SegmentRegistry() as registry:
+                segment = registry.create(8)
+                assert segment.name != taken.name
+        finally:
+            taken.close()
+            taken.unlink()
+
+    def test_unresolvable_collision_is_a_typed_error(self, monkeypatch):
+        import repro.parallel.shm as shm
+
+        shared_memory = shm._shared_memory()
+        taken = shared_memory.SharedMemory(
+            create=True, name=f"{shm.SEGMENT_PREFIX}-collision-held", size=1
+        )
+        monkeypatch.setattr(shm, "_segment_name", lambda: taken.name)
+        try:
+            with SegmentRegistry() as registry:
+                with pytest.raises(ParallelError, match="segment name"):
+                    registry.create(8)
+        finally:
+            taken.close()
+            taken.unlink()
         assert live_segments() == []
 
 
@@ -370,6 +504,35 @@ class TestProcessDifferential:
             t_entry = thread_eval._node_data[(thread_slp.serial, t_node)]
             p_entry = proc_eval._node_data[(proc_slp.serial, p_node)]
             assert _entries_equal(t_entry, p_entry)
+
+    def test_bulk_process_warms_a_cold_parent_despite_warm_workers(self):
+        """Workers keep digest-keyed arena and plan-cache evaluators warm
+        across requests; shipping is keyed off the *parent's* cached-node
+        set, so a second (cold) evaluator over the same source and arena
+        content still receives every entry it lacks instead of a silent
+        no-op warm."""
+        configure_pool(workers=2)
+        source = PATTERNS[0]
+        texts = ["abba" * (i + 1) for i in range(4)] + ["b" * 7]
+
+        def warm():
+            evaluator = SLPSpannerEvaluator(spanner_from_regex(source))
+            slp = SLP()
+            nodes = [balanced_node(slp, text) for text in texts]
+            fresh = preprocess_bulk(
+                evaluator, slp, nodes, backend="process", source=source
+            )
+            return evaluator, slp, fresh
+
+        first_eval, first_slp, first_fresh = warm()
+        second_eval, second_slp, second_fresh = warm()
+        assert first_fresh > 0
+        assert second_fresh == first_fresh
+        assert (
+            second_eval.cached_nodes(second_slp.serial)
+            == first_eval.cached_nodes(first_slp.serial)
+            > 0
+        )
 
     def test_process_crash_degrades_to_thread_with_exact_answer(self):
         """A kill-everything chaos schedule cannot corrupt results: the
