@@ -48,8 +48,21 @@ All ``db`` subcommands accept ``--deadline SECONDS``, ``--max-steps N``,
 and ``--max-bytes N`` resource-governance flags; exceeding a limit exits
 with a typed error instead of hanging.  ``--trace FILE`` switches
 :mod:`repro.obs` on and writes the operation's spans/events as JSONL to
-FILE; the ``metrics`` action runs the store open (including any journal
-recovery) under observability and prints the metrics registry.
+FILE (process-backend runs add one ``FILE.w<pid>.jsonl`` per pool
+worker); the ``metrics`` action runs the store open (including any
+journal recovery) under observability and prints the metrics registry —
+``--format json`` for the raw snapshot, ``--format prom`` for Prometheus
+text exposition.
+
+``obs``       observability tooling::
+
+    python -m repro obs stitch out.jsonl out.jsonl.w*.jsonl
+    python -m repro obs stitch out.jsonl out.jsonl.w*.jsonl --trace 2e4e9f55a117f753
+
+    ``stitch`` merges per-process trace files into one tree per trace
+    id, ordered by start time (workers share the parent's monotonic
+    epoch), with orphaned subtrees — a SIGKILLed worker's spans whose
+    parent never closed — marked ``~``.
 """
 
 from __future__ import annotations
@@ -241,12 +254,55 @@ def _run_db_action(args) -> int:
     elif action == "stats":
         _print_stats(store.stats())
     elif action == "metrics":
-        _print_metrics(obs.metrics().snapshot())
+        fmt = getattr(args, "format", "text")
+        if fmt == "json":
+            import json
+
+            print(json.dumps(obs.metrics().snapshot(), indent=2))
+        elif fmt == "prom":
+            print(obs.export_prometheus(), end="")
+        else:
+            _print_metrics(obs.metrics().snapshot())
     elif action == "save":
         store.save(args.store)
         print(f"snapshot written to {args.store}")
     else:
         raise SystemExit(f"unknown db action {action!r}")
+    return 0
+
+
+def _cmd_obs(args) -> int:
+    from repro.obs.stitch import load_records, render_tree, stitch
+
+    if args.action == "stitch":
+        if not args.operands:
+            raise SystemExit("usage: obs stitch FILE [FILE ...] [--trace ID]")
+        records = load_records(args.operands)
+        if args.trace is not None:
+            roots = stitch(records, trace=args.trace)
+            if not roots:
+                raise SystemExit(f"error: no records for trace {args.trace!r}")
+            print(f"trace {args.trace}")
+            print(render_tree(roots, indent="  "))
+            return 0
+        traces = sorted(
+            {r["trace"] for r in records if r.get("trace") is not None}
+        )
+        if not traces:
+            # no trace ids at all (e.g. single-process files): render
+            # everything as one tree rather than printing nothing
+            roots = stitch(records)
+            if not roots:
+                raise SystemExit("error: no trace records found")
+            print(render_tree(roots, indent="  "))
+            return 0
+        for position, trace_id in enumerate(traces):
+            if position:
+                print()
+            print(f"trace {trace_id}")
+            print(render_tree(stitch(records, trace=trace_id), indent="  "))
+    else:
+        raise SystemExit(f"unknown obs action {args.action!r}")
     return 0
 
 
@@ -421,7 +477,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     db.add_argument(
         "--trace", default=None, metavar="FILE",
-        help="enable repro.obs and write the operation's trace as JSONL",
+        help="enable repro.obs and write the operation's trace as JSONL"
+        " (process-backend runs add one FILE.w<pid>.jsonl per pool worker;"
+        " merge them with `obs stitch`)",
+    )
+    db.add_argument(
+        "--format",
+        choices=["text", "json", "prom"],
+        default="text",
+        help="metrics: output format (prom = Prometheus text exposition)",
     )
     db.add_argument(
         "--deadline", type=float, default=None,
@@ -436,6 +500,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="decompression-bomb guard: refuse to materialise more bytes",
     )
     db.set_defaults(handler=_cmd_db)
+
+    obs_cmd = commands.add_parser(
+        "obs", help="observability tooling (stitch multi-process trace files)"
+    )
+    obs_cmd.add_argument("action", choices=["stitch"])
+    obs_cmd.add_argument(
+        "operands", nargs="*", metavar="FILE",
+        help="JSONL trace files (the parent's sink plus its .w<pid> files)",
+    )
+    obs_cmd.add_argument(
+        "--trace", default=None, metavar="ID",
+        help="render only this trace id (default: every id found, in order)",
+    )
+    obs_cmd.set_defaults(handler=_cmd_obs)
     return parser
 
 

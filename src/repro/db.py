@@ -459,7 +459,13 @@ class SpannerDB:
         names = list(documents)
         evaluator = self._evaluator(spanner)
         nodes = [self._db.node(name) for name in names]
-        with obs.tracer().span(
+        # the fallback admission point: a bulk query arriving outside
+        # repro.serve still gets a trace id, so worker-side spans stitch
+        # under this request even without the service layer
+        ctx = None
+        if obs.enabled() and obs.current_context() is None:
+            ctx = obs.new_trace()
+        with obs.use_context(ctx), obs.tracer().span(
             "db.query_bulk", spanner=spanner, documents=len(names)
         ) as span:
             try:

@@ -17,10 +17,17 @@ Usage::
     print(obs.metrics().snapshot())
     obs.configure(enabled=False)       # flushes and detaches the sink
 
+Cross-process requests additionally carry a
+:class:`~repro.obs.context.TraceContext`: :func:`new_trace` mints one at
+the admission point, :func:`use_context` activates it for a scope, and
+:func:`child_context` derives the picklable context that
+``repro.parallel.procpool`` ships to worker processes so their spans
+stitch under the request's tree (``python -m repro obs stitch``).
+
 The CLI exposes the same switches: ``python -m repro db store.slpdb query
-... --trace out.jsonl`` and ``python -m repro db store.slpdb metrics``.
-See ``docs/OBSERVABILITY.md`` for the trace-file schema and the measured
-overhead numbers.
+... --trace out.jsonl`` and ``python -m repro db store.slpdb metrics
+[--format prom]``.  See ``docs/OBSERVABILITY.md`` for the trace-file
+schema and the measured overhead numbers.
 
 This package imports only the standard library — it must never depend on
 the rest of :mod:`repro` (everything in :mod:`repro` is allowed to depend
@@ -29,6 +36,12 @@ on it, including :mod:`repro.util.budget` during package initialisation).
 
 from __future__ import annotations
 
+import contextlib
+import os
+import threading
+
+from repro.obs.context import TraceContext
+from repro.obs.export import export_prometheus
 from repro.obs.metrics import Counter, Gauge, Histogram, Metrics
 from repro.obs.profile import DelayProfiler
 from repro.obs.trace import Tracer
@@ -39,11 +52,17 @@ __all__ = [
     "Gauge",
     "Histogram",
     "Metrics",
+    "TraceContext",
     "Tracer",
+    "child_context",
     "configure",
+    "current_context",
     "enabled",
+    "export_prometheus",
     "metrics",
+    "new_trace",
     "tracer",
+    "use_context",
 ]
 
 _tracer = Tracer(enabled=False)
@@ -69,6 +88,9 @@ def configure(
         ring.  Ignored unless provided.
     reset:
         Also clear accumulated metrics and in-memory trace records.
+        Safe while pool workers are live: later harvest merges re-create
+        instruments lazily (see :meth:`Metrics.merge`), so no worker
+        telemetry is stranded.
     """
     global _enabled
     if reset:
@@ -96,3 +118,75 @@ def tracer() -> Tracer:
 def metrics() -> Metrics:
     """The process-wide metrics registry."""
     return _metrics
+
+
+# ----------------------------------------------------------------------
+# trace-context helpers (cross-process identity)
+# ----------------------------------------------------------------------
+def new_trace() -> TraceContext:
+    """Mint a fresh request-level trace context (admission points only)."""
+    return TraceContext.mint(process=_tracer.process or "main")
+
+
+def current_context() -> TraceContext | None:
+    """The calling thread's active trace context (or ``None``)."""
+    return _tracer.current_context()
+
+
+@contextlib.contextmanager
+def use_context(ctx: TraceContext | None):
+    """Activate *ctx* for the calling thread within a ``with`` block.
+
+    ``use_context(None)`` is a true no-op that leaves whatever context is
+    already active untouched — callers can pass an optional context
+    straight through without branching."""
+    if ctx is None:
+        yield None
+        return
+    previous = _tracer.activate_context(ctx)
+    try:
+        yield ctx
+    finally:
+        _tracer.activate_context(previous)
+
+
+def child_context() -> TraceContext | None:
+    """The context to ship to a child process from *here*.
+
+    The current context re-rooted at the calling thread's innermost open
+    span, so the child's spans nest under the caller's; ``None`` when no
+    context is active (tracing off, or an un-traced entry point)."""
+    ctx = _tracer.current_context()
+    if ctx is None:
+        return None
+    return ctx.child_of(_tracer.current_span_id(), _tracer.process or "main")
+
+
+def _reset_after_fork() -> None:
+    """Make the child's obs state safe after ``os.fork``.
+
+    The child shares the parent's buffered sink file object; flushing or
+    closing it here would duplicate buffered lines into the file, so the
+    handle is *abandoned* (the parent still owns the real one).  The
+    inherited metric values and any open-span stack are dropped too:
+    they are the *parent's* measurements, and a pool worker that kept
+    them would ship them back as a harvest delta — double-counting
+    everything recorded before the fork.  The child starts disabled —
+    pool workers re-enable via the dispatch spec they receive with their
+    first task."""
+    global _enabled
+    _enabled = False
+    _tracer.enabled = False
+    _tracer._sink_file = None
+    _tracer._sink_path = None
+    _tracer._owns_sink = False
+    _tracer._lock = threading.Lock()
+    _tracer._local = threading.local()
+    _tracer._records = []
+    _tracer.record_hook = None
+    _tracer.recent = None
+    _metrics.reset()
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - linux container
+    os.register_at_fork(after_in_child=_reset_after_fork)

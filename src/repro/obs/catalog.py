@@ -1,0 +1,111 @@
+"""The metric-name catalog: every instrument name used anywhere in repro.
+
+``tools/check_metric_names.py`` walks the AST of ``src/`` and fails CI if
+any ``counter(...)`` / ``gauge(...)`` / ``histogram(...)`` call uses a
+name literal that is not listed here.  The point is discoverability and
+hygiene: dashboards, the Prometheus export, and docs/OBSERVABILITY.md can
+treat this file as the complete, reviewed inventory — a typo'd or ad-hoc
+metric name fails the build instead of silently forking a time series.
+
+Dynamic names (f-strings) must start with a prefix from
+:data:`METRIC_PREFIXES`; the convention is one classifying suffix segment
+(an exception type, a degradation reason, a crash cause) on a catalogued
+stem.  Per-worker gauge variants like ``x{worker="3"}`` are *not* listed:
+those are produced at merge time by :func:`repro.obs.metrics.qualify`
+from names that are themselves catalogued.
+"""
+
+from __future__ import annotations
+
+__all__ = ["METRIC_NAMES", "METRIC_PREFIXES", "is_catalogued"]
+
+#: every exact instrument name creatable from src/ code
+METRIC_NAMES = frozenset(
+    {
+        # util.budget
+        "budget.bytes_charged",
+        "budget.bytes_last",
+        "budget.steps",
+        # db
+        "db.budget_exceeded",
+        "db.edit.fresh_matrices",
+        "db.journal.append_ns",
+        "db.journal.appends",
+        "db.journal.bytes",
+        "db.query_bulk",
+        "db.query_decompressed",
+        "db.recovery.fallback_snapshots",
+        "db.recovery.replayed_records",
+        "db.recovery.torn_journals",
+        "db.saves",
+        # enumeration
+        "enumeration.delay_ns",
+        # kernels
+        "kernels.mm",
+        "kernels.mm_collapsed",
+        "kernels.mm_interned",
+        "kernels.plan_cache.evictions",
+        "kernels.plan_cache.hits",
+        "kernels.plan_cache.misses",
+        "kernels.plan_cache.over_budget",
+        # parallel (thread + process backends)
+        "parallel.bulk_fresh",
+        "parallel.degraded",
+        "parallel.fanout_ns",
+        "parallel.fold_ns",
+        "parallel.phase.fanout_ns",
+        "parallel.phase.fold_ns",
+        "parallel.proc.crashes",
+        "parallel.proc.exhausted",
+        "parallel.proc.harvests",
+        "parallel.proc.respawned",
+        "parallel.proc.retries",
+        "parallel.proc.spawned",
+        "parallel.proc.tasks",
+        "parallel.shards",
+        "parallel.shm.attach_ns",
+        "parallel.shm.bytes",
+        "parallel.shm.create_ns",
+        "parallel.shm.pack_ns",
+        "parallel.shm.segments",
+        "parallel.shm.unpack_ns",
+        # serve
+        "serve.breaker.closed",
+        "serve.breaker.opened",
+        "serve.breaker.state",
+        "serve.completed",
+        "serve.degraded",
+        "serve.exec_ns",
+        "serve.failed",
+        "serve.mutation_failures",
+        "serve.pool_exhausted",
+        "serve.queue_depth",
+        "serve.queue_ns",
+        "serve.retries",
+        "serve.shed",
+        "serve.submitted",
+        # slp
+        "slp.eval.cache_hits",
+        "slp.eval.cache_misses",
+        "slp.eval.delay_ns",
+        "slp.eval.kernel_ns",
+        "slp.membership.cache_hits",
+        "slp.membership.cache_misses",
+        "slp.membership.kernel_ns",
+    }
+)
+
+#: stems that dynamic (f-string) names may extend with one suffix segment
+METRIC_PREFIXES = (
+    "db.budget_exceeded.",
+    "parallel.degraded.",
+    "parallel.proc.crashes.",
+    "serve.failed.",
+)
+
+
+def is_catalogued(name: str) -> bool:
+    """Is *name* an exact catalogued name or under an allowed prefix?"""
+    if name in METRIC_NAMES:
+        return True
+    return any(name.startswith(prefix) for prefix in METRIC_PREFIXES)

@@ -1,0 +1,96 @@
+"""Worker-side telemetry harvest: metrics deltas for the parent to merge.
+
+A pool worker owns a process-local :class:`~repro.obs.metrics.Metrics`
+registry that would vanish on checkin or SIGKILL.  :class:`HarvestState`
+turns it into a stream of *deltas*: after each task the worker calls
+:meth:`HarvestState.collect`, which diffs the registry against the
+baseline captured at the previous harvest and returns only what changed —
+small enough to piggyback on every task-result message over the existing
+duplex pipe (no new transport, no extra syscalls).
+
+The delta wire format (plain dicts/ints, picklable and JSON-able)::
+
+    {"counters":   {name: increment},
+     "gauges":     {name: value},                  # point-in-time, all sent
+     "histograms": {name: {"counts": {bucket_index: increment},
+                           "sum": total_increment}}}
+
+The parent folds deltas in with :meth:`repro.obs.metrics.Metrics.merge`.
+Because counters and power-of-two histogram buckets are pure sums, the
+round trip ``collect → merge`` is *exact*: the parent's totals equal what
+a single-process run would have recorded (property-tested in
+``tests/test_obs_cross_process.py``).
+
+If the worker's registry was reset (or an instrument disappeared) the
+current value can be *below* the baseline; the harvester then treats the
+full current value as the delta rather than sending a negative — losing
+nothing, at worst double-counting a window that a reset already discarded
+on purpose.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import Metrics
+
+__all__ = ["HarvestState"]
+
+
+class HarvestState:
+    """Baseline tracker producing per-harvest metric deltas.
+
+    One instance lives in each pool worker for the lifetime of the
+    process; it is not thread-safe (workers are single-threaded)."""
+
+    __slots__ = ("_counters", "_hist_counts", "_hist_totals")
+
+    def __init__(self) -> None:
+        self._counters: dict[str, int] = {}
+        self._hist_counts: dict[str, list[int]] = {}
+        self._hist_totals: dict[str, int] = {}
+
+    def collect(self, registry: Metrics) -> dict | None:
+        """Diff *registry* against the last harvest's baseline.
+
+        Returns the delta dict described in the module docstring, or
+        ``None`` when nothing changed since the previous call (the common
+        case for metrics-quiet tasks — the pool then skips shipping an
+        empty payload)."""
+        delta_counters: dict[str, int] = {}
+        for name, counter in registry._counters.items():
+            value = counter.value
+            base = self._counters.get(name, 0)
+            if value < base:  # registry was reset mid-flight
+                base = 0
+            if value != base:
+                delta_counters[name] = value - base
+            self._counters[name] = value
+
+        gauges = {name: g.value for name, g in registry._gauges.items()}
+
+        delta_hists: dict[str, dict] = {}
+        for name, hist in registry._histograms.items():
+            counts = hist.counts
+            base_counts = self._hist_counts.get(name)
+            base_total = self._hist_totals.get(name, 0)
+            if base_counts is None or hist.total < base_total:
+                base_counts, base_total = None, 0
+            bucket_deltas = {
+                i: c - (base_counts[i] if base_counts is not None else 0)
+                for i, c in enumerate(counts)
+                if c != (base_counts[i] if base_counts is not None else 0)
+            }
+            if bucket_deltas:
+                delta_hists[name] = {
+                    "counts": bucket_deltas,
+                    "sum": hist.total - base_total,
+                }
+            self._hist_counts[name] = list(counts)
+            self._hist_totals[name] = hist.total
+
+        if not delta_counters and not gauges and not delta_hists:
+            return None
+        return {
+            "counters": delta_counters,
+            "gauges": gauges,
+            "histograms": delta_hists,
+        }

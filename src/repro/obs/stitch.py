@@ -1,0 +1,142 @@
+"""Trace stitching: merge per-process JSONL files into one ordered tree.
+
+A multi-process run leaves one trace file per process — the parent's sink
+plus one ``<sink>.w<pid>.jsonl`` per pool worker.  Span ids are only
+unique *within* a process, so a record's identity here is the pair
+``(proc, id)``; cross-process edges use the ``parent`` + ``parent_proc``
+fields stamped by :class:`~repro.obs.trace.Tracer` when a
+:class:`~repro.obs.context.TraceContext` is active (see that module for
+the schema).  Because workers adopt the parent's clock epoch
+(:meth:`Tracer.set_epoch`), ``t0_ns`` values are directly comparable
+across files and siblings can be ordered by start time.
+
+Used by the ``python -m repro obs stitch`` CLI action and by tests;
+tolerates the mess real trace files accumulate — unparseable lines,
+events without ids, parents that died before emitting (orphans become
+roots, annotated as such by :func:`render_tree`).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+__all__ = ["load_records", "stitch", "render_tree"]
+
+_MAIN = "main"
+
+
+def load_records(paths: Iterable[str]) -> list[dict]:
+    """Parse JSONL trace files, skipping blank and malformed lines."""
+    records: list[dict] = []
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(record, dict):
+                    records.append(record)
+    return records
+
+
+def _key(record: dict) -> tuple[str, int] | None:
+    """A record's process-qualified identity, or None for id-less events."""
+    span_id = record.get("id")
+    if span_id is None:
+        return None
+    return (record.get("proc", _MAIN), span_id)
+
+
+def _parent_key(record: dict) -> tuple[str, int] | None:
+    parent = record.get("parent")
+    if parent is None:
+        return None
+    # parent_proc marks a cross-process edge; otherwise the parent lives
+    # in the same process as the record itself.
+    return (record.get("parent_proc", record.get("proc", _MAIN)), parent)
+
+
+def stitch(records: list[dict], trace: str | None = None) -> list[dict]:
+    """Assemble *records* into trees of nodes, ordered by start time.
+
+    Each node is ``{"record": <record>, "children": [...], "orphan": bool}``;
+    the returned list holds the roots.  *trace* filters to one trace id;
+    records with no ``trace`` field are kept only when no filter is given.
+    An *orphan* is a record whose parent never emitted (e.g. the parent
+    span was open in a worker that was SIGKILLed) — it is promoted to a
+    root so its subtree is still rendered.
+    """
+    if trace is not None:
+        records = [r for r in records if r.get("trace") == trace]
+    nodes = {}
+    for record in records:
+        node = {"record": record, "children": [], "orphan": False}
+        key = _key(record)
+        if key is not None:
+            # last writer wins on duplicate ids (e.g. a re-ingested copy
+            # of a harvested span alongside the worker's own sink line)
+            nodes[key] = node
+        else:
+            nodes[(record.get("proc", _MAIN), "event", id(record))] = node
+    roots: list[dict] = []
+    for node in nodes.values():
+        parent_key = _parent_key(node["record"])
+        if parent_key is None:
+            roots.append(node)
+            continue
+        parent = nodes.get(parent_key)
+        if parent is None or parent is node:
+            node["orphan"] = True
+            roots.append(node)
+        else:
+            parent["children"].append(node)
+
+    def start(node: dict) -> int:
+        return node["record"].get("t0_ns", 0)
+
+    def sort(siblings: list[dict]) -> None:
+        siblings.sort(key=start)
+        for node in siblings:
+            sort(node["children"])
+
+    sort(roots)
+    return roots
+
+
+def _describe(record: dict) -> str:
+    kind = record.get("type", "?")
+    name = record.get("name", "?")
+    proc = record.get("proc", _MAIN)
+    t0 = record.get("t0_ns", 0)
+    if kind == "span":
+        detail = f"dur={record.get('dur_ns', 0)}ns"
+        error = record.get("error")
+        if error:
+            detail += f" error={error}"
+    else:
+        detail = "event"
+    attrs = record.get("attrs") or {}
+    if attrs:
+        body = ", ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+        detail += f" [{body}]"
+    return f"{name} ({proc}) t0={t0}ns {detail}"
+
+
+def render_tree(roots: list[dict], indent: str = "  ") -> str:
+    """Human-readable indented rendering of :func:`stitch` output."""
+    lines: list[str] = []
+
+    def walk(node: dict, depth: int) -> None:
+        marker = "~ " if node["orphan"] else ""
+        lines.append(f"{indent * depth}{marker}{_describe(node['record'])}")
+        for child in node["children"]:
+            walk(child, depth + 1)
+
+    for root in roots:
+        walk(root, 0)
+    return "\n".join(lines)

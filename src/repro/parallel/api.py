@@ -290,6 +290,13 @@ def document_matrices(
             registry.counter("parallel.fold_ns").inc(
                 time.perf_counter_ns() - t1
             )
+            # the counters above aggregate totals; the histograms keep the
+            # per-request distribution the ROADMAP's segment-pool decision
+            # needs (is fanout dominated by a few slow requests or many?)
+            registry.histogram("parallel.phase.fanout_ns").record(t1 - t0)
+            registry.histogram("parallel.phase.fold_ns").record(
+                time.perf_counter_ns() - t1
+            )
     return entry
 
 
@@ -329,6 +336,7 @@ def _fold_shards_process(table, text: str, q: int, spans, chunk_size, budget):
                 ((n_shards, q, w), np.uint64),
             ]
         )
+        trace_ctx = obs.child_context()
         calls = [
             ProcCall(
                 "repro.parallel.api:_fold_shard_task",
@@ -343,6 +351,7 @@ def _fold_shards_process(table, text: str, q: int, spans, chunk_size, budget):
                     chunk_size,
                     spec,
                 ),
+                trace=trace_ctx,
             )
             for index, (start, end) in enumerate(spans)
         ]
@@ -485,6 +494,10 @@ def preprocess_bulk(
                 time.perf_counter_ns() - t1
             )
             registry.counter("parallel.bulk_fresh").inc(fresh)
+            registry.histogram("parallel.phase.fanout_ns").record(t1 - t0)
+            registry.histogram("parallel.phase.fold_ns").record(
+                time.perf_counter_ns() - t1
+            )
     return fresh
 
 
@@ -508,6 +521,7 @@ def _preprocess_bulk_process(evaluator, source: str, slp, nodes, budget):
         d_chars, d_left, d_right, d_have = registry.pack(
             [snapshot["chars"], snapshot["left"], snapshot["right"], have]
         )
+        trace_ctx = obs.child_context()
         calls = [
             ProcCall(
                 "repro.parallel.api:_preprocess_doc_task",
@@ -519,6 +533,7 @@ def _preprocess_bulk_process(evaluator, source: str, slp, nodes, budget):
                     int(node),
                     spec,
                 ),
+                trace=trace_ctx,
             )
             for node in nodes
         ]

@@ -125,11 +125,19 @@ class ProcCall:
     applies it.  Instances are also directly callable, so any ProcCall
     can be executed inline — the degradation paths rely on that to rerun
     the identical work on the thread or serial backend.
+
+    ``trace`` optionally carries the request's
+    :class:`~repro.obs.context.TraceContext` (see ``obs.child_context``):
+    the worker activates it for the task's duration so its spans stitch
+    under the dispatching span.  It is ignored by ``__call__`` — inline
+    re-execution on the thread backend already runs inside the caller's
+    context.
     """
 
     fn: str
     args: tuple = ()
     kwargs: dict = field(default_factory=dict)
+    trace: object = None
 
     def __call__(self):
         return _resolve(self.fn)(*self.args, **self.kwargs)
@@ -162,6 +170,80 @@ def _task_exit(code=1):  # a *clean* hard exit, distinct from SIGKILL
 # ----------------------------------------------------------------------
 # worker side
 # ----------------------------------------------------------------------
+#: worker-process obs state: the harvest baseline tracker plus the cached
+#: flight-ring writer (swapped when a dispatch spec names a new ring)
+_worker_obs = {"harvest": None, "flight": None}
+
+
+def _apply_obs_spec(spec: dict | None) -> None:
+    """Configure this worker's obs layer from a dispatch spec.
+
+    The spec rides on every task message, so workers converge to the
+    parent's current obs state on their next task — including after an
+    ``obs.configure`` flip mid-pool-lifetime.  ``None`` means the parent
+    has observability off: disable and drop the flight hook."""
+    tracer = obs.tracer()
+    if spec is None:
+        if obs.enabled():
+            obs.configure(enabled=False)
+        tracer.record_hook = None
+        writer = _worker_obs["flight"]
+        if writer is not None:
+            writer.close()
+            _worker_obs["flight"] = None
+        return
+    tracer.process = f"w{spec['worker']}"
+    tracer.set_epoch(spec["epoch"])
+    tracer.keep_recent()
+    sink = spec.get("sink")
+    if sink is not None:
+        per_worker = f"{sink}.w{os.getpid()}.jsonl"
+        if tracer.sink_path != per_worker:
+            tracer.set_sink(per_worker)
+    elif tracer.sink_path is not None:
+        tracer.set_sink(None)
+    if _worker_obs["harvest"] is None:
+        from repro.obs.harvest import HarvestState
+
+        _worker_obs["harvest"] = HarvestState()
+    ring_name = spec.get("flight")
+    writer = _worker_obs["flight"]
+    if writer is not None and (ring_name is None or writer.name != ring_name):
+        writer.close()
+        writer = _worker_obs["flight"] = None
+    if ring_name is not None and writer is None:
+        from repro.parallel.flight import FlightWriter
+
+        try:
+            writer = _worker_obs["flight"] = FlightWriter(ring_name)
+        except Exception:  # ring unavailable; fly without the recorder
+            writer = None
+    tracer.record_hook = writer.write if writer is not None else None
+    if not obs.enabled():
+        obs.configure(enabled=True)
+
+
+def _collect_harvest(worker_id: int) -> dict | None:
+    """This worker's telemetry since the last harvest (or ``None``).
+
+    Spans ride along only when the worker has no file sink of its own —
+    with a per-worker JSONL sink the records are already on disk and the
+    parent's re-ingest would duplicate them at stitch time."""
+    if not obs.enabled():
+        return None
+    tracer = obs.tracer()
+    if tracer._sink_file is not None:
+        try:  # once per task, so the parent can stitch without waiting
+            tracer._sink_file.flush()
+        except Exception:  # pragma: no cover - sink gone; keep serving
+            pass
+    delta = _worker_obs["harvest"].collect(obs.metrics())
+    spans = tracer.drain_recent() if tracer.sink_path is None else []
+    if delta is None and not spans:
+        return None
+    return {"worker": worker_id, "pid": os.getpid(), "metrics": delta, "spans": spans}
+
+
 def _shippable_error(exc: BaseException):
     """An exception object safe to send through the result pipe.
 
@@ -178,7 +260,13 @@ def _shippable_error(exc: BaseException):
 
 def _worker_main(conn, worker_id: int, chaos) -> None:
     """The worker loop: receive a task, (maybe) suffer chaos, execute,
-    reply.  Runs until an ``("exit",)`` message or a closed pipe."""
+    reply.  Runs until an ``("exit",)`` message or a closed pipe.
+
+    Each task message carries an obs *spec* (or ``None``): the worker
+    mirrors the parent's observability state, activates the call's
+    :class:`~repro.obs.context.TraceContext`, records a ``proc.task.recv``
+    event *before* consulting chaos (so a SIGKILL victim leaves evidence
+    in its flight ring), and piggybacks a telemetry harvest on the reply."""
     while True:
         try:
             message = conn.recv()
@@ -187,19 +275,27 @@ def _worker_main(conn, worker_id: int, chaos) -> None:
         kind = message[0]
         if kind == "exit":
             break
-        _, seq, call = message
+        _, seq, call, spec = message
+        _apply_obs_spec(spec)
+        tracer = obs.tracer()
+        previous_ctx = tracer.activate_context(getattr(call, "trace", None))
+        if obs.enabled():
+            tracer.event("proc.task.recv", seq=seq, fn=call.fn)
         if chaos is not None:
             chaos.apply(seq)
         try:
-            payload = ("ok", seq, call())
+            with tracer.span("proc.task", seq=seq, fn=call.fn):
+                payload = ("ok", seq, call())
         except BaseException as exc:  # ship it; the parent re-raises
             payload = ("err", seq, _shippable_error(exc))
+        tracer.activate_context(previous_ctx)
+        harvest = _collect_harvest(worker_id)
         try:
-            conn.send(payload)
+            conn.send(payload + (harvest,))
         except Exception:
             try:
                 conn.send(
-                    ("err", seq, ParallelError("worker result was unpicklable"))
+                    ("err", seq, ParallelError("worker result was unpicklable"), None)
                 )
             except Exception:  # pragma: no cover - pipe gone; die quietly
                 break
@@ -280,11 +376,19 @@ class ProcPool:
             "spawned": 0,
             "respawned": 0,
             "crashes": 0,
+            # crashes by cause; "crashes"/"stalls" above stay as the
+            # legacy aggregates (deadline kills count only under their
+            # typed key — the run raises DeadlineExceededError itself)
+            "crash_sigkill": 0,
+            "crash_stall": 0,
+            "crash_deadline": 0,
+            "crash_dead_at_dispatch": 0,
             "stalls": 0,
             "retries": 0,
             "tasks": 0,
             "runs": 0,
             "exhausted": 0,
+            "harvests": 0,
         }
         # EWMA of run durations feeds PoolExhaustedError.retry_after
         self._mean_run_seconds = 0.05
@@ -434,16 +538,93 @@ class ProcPool:
         with obs.tracer().span(
             "parallel.proc.run", tasks=len(calls), workers=self.workers
         ):
+            # flight rings are per-run: created lazily per dispatched
+            # worker, salvaged on crash, unlinked with the registry when
+            # the run ends (keeping the shm leak oracle clean)
+            flight_registry = None
+            if obs.enabled():
+                from repro.parallel.shm import SegmentRegistry
+
+                flight_registry = SegmentRegistry()
+            flight_rings: dict[int, object] = {}
             team = self._checkout(min(len(calls), self.workers))
             try:
-                results = self._supervise(team, calls, deadline)
+                results = self._supervise(
+                    team, calls, deadline, flight_rings, flight_registry
+                )
             finally:
                 self._checkin(team)
+                if flight_registry is not None:
+                    flight_registry.close()
         elapsed = time.monotonic() - start
         self._mean_run_seconds = 0.8 * self._mean_run_seconds + 0.2 * elapsed
         return results
 
-    def _supervise(self, team: list[_Worker], calls, deadline) -> list:
+    def _obs_spec(self, worker: _Worker, flight_rings, flight_registry):
+        """The obs block shipped with one dispatch (``None`` when off)."""
+        if not obs.enabled():
+            return None
+        if worker.worker_id not in flight_rings and flight_registry is not None:
+            from repro.parallel import flight
+
+            try:
+                flight_rings[worker.worker_id] = flight.create_ring(flight_registry)
+            except Exception:  # no ring is a degraded recorder, not an error
+                flight_rings[worker.worker_id] = None
+        ring = flight_rings.get(worker.worker_id)
+        tracer = obs.tracer()
+        return {
+            "worker": worker.worker_id,
+            "epoch": tracer.epoch_ns,
+            "sink": tracer.sink_path,
+            "flight": ring.name if ring is not None else None,
+        }
+
+    def _fold_harvest(self, harvest) -> None:
+        """Merge one worker's piggybacked telemetry into this process."""
+        if not harvest:
+            return
+        self._bump("harvests")
+        if not obs.enabled():  # worker raced a parent-side disable; drop
+            return
+        delta = harvest.get("metrics")
+        if delta:
+            obs.metrics().merge(delta, labels={"worker": harvest["worker"]})
+        tracer = obs.tracer()
+        for record in harvest.get("spans") or ():
+            tracer.ingest(record)
+        obs.metrics().counter("parallel.proc.harvests").inc()
+
+    def _salvage_flight(self, worker: _Worker, flight_rings, cause: str) -> None:
+        """A worker is being declared dead: recover its flight ring and
+        emit the ``worker.crash`` event with its last-known activity."""
+        if not obs.enabled():
+            return
+        obs.metrics().counter("parallel.proc.crashes." + cause).inc()
+        ring = flight_rings.get(worker.worker_id)
+        salvaged: list = []
+        if ring is not None:
+            from repro.parallel import flight
+
+            salvaged = flight.salvage(ring)
+        obs.tracer().event(
+            "worker.crash",
+            worker=worker.worker_id,
+            pid=worker.process.pid,
+            cause=cause,
+            salvaged=salvaged,
+        )
+
+    def _supervise(
+        self,
+        team: list[_Worker],
+        calls,
+        deadline,
+        flight_rings: dict | None = None,
+        flight_registry=None,
+    ) -> list:
+        if flight_rings is None:
+            flight_rings = {}
         pending = list(range(len(calls)))  # call indices not yet dispatched
         attempts = {index: 0 for index in pending}
         seq_to_index: dict[int, int] = {}
@@ -458,18 +639,23 @@ class ProcPool:
             seq_to_index[seq] = index
             worker.busy_seq = seq
             worker.dispatched_at = time.monotonic()
+            spec = self._obs_spec(worker, flight_rings, flight_registry)
             try:
-                worker.conn.send(("task", seq, calls[index]))
+                worker.conn.send(("task", seq, calls[index], spec))
             except OSError:
                 # the worker died while idle mid-batch (e.g. OOM-killed
                 # after finishing a task) — sentinels are only waited on
                 # for busy workers, so the broken pipe is the first sign.
                 # Treat it exactly like a sentinel-detected crash: typed,
                 # contained, retried on a replacement.
-                declare_crash(worker, "dead at dispatch")
+                declare_crash(worker, "dead at dispatch", cause="dead_at_dispatch")
 
         def declare_crash(
-            worker: _Worker, reason: str, *, stalled: bool = False
+            worker: _Worker,
+            reason: str,
+            *,
+            stalled: bool = False,
+            cause: str = "sigkill",
         ) -> None:
             """One worker lost mid-batch: bookkeeping, retry-or-fail of its
             task, the tolerance check, respawn, and (if work remains) an
@@ -477,11 +663,13 @@ class ProcPool:
             nonlocal crashes
             crashes += 1
             self._bump("crashes")
+            self._bump("crash_" + cause)
             if stalled:
                 self._bump("stalls")
             if obs.enabled():
                 obs.metrics().counter("parallel.proc.crashes").inc()
-            worker.kill()
+            worker.kill()  # before salvage, so the ring is quiescent
+            self._salvage_flight(worker, flight_rings, cause)
             requeue_or_fail(worker, reason)
             if crashes > self.crash_tolerance:
                 for other in team:
@@ -544,6 +732,8 @@ class ProcPool:
                 if remaining <= 0.0:
                     for worker in busy:
                         worker.kill()
+                        self._bump("crash_deadline")
+                        self._salvage_flight(worker, flight_rings, "deadline")
                         self._replace(worker, team)
                     raise DeadlineExceededError(
                         "process-pool batch exceeded its deadline"
@@ -557,11 +747,12 @@ class ProcPool:
             for worker in list(busy):
                 if worker.conn in ready:
                     try:
-                        kind, seq, payload = worker.conn.recv()
+                        kind, seq, payload, harvest = worker.conn.recv()
                     except (EOFError, OSError):
                         continue  # death; the sentinel branch handles it
                     progressed = True
                     worker.busy_seq = None
+                    self._fold_harvest(harvest)
                     index = seq_to_index.pop(seq, None)
                     if index is None:  # a pre-crash straggler; ignore
                         continue
@@ -592,6 +783,7 @@ class ProcPool:
                     worker,
                     "stalled" if stalled else "crashed",
                     stalled=stalled,
+                    cause="stall" if stalled else "sigkill",
                 )
 
             if not progressed and pending and not errors:

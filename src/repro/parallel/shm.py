@@ -39,6 +39,7 @@ import atexit
 import os
 import secrets
 import threading
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -168,6 +169,7 @@ class SegmentRegistry:
             raise RuntimeError("SegmentRegistry used after close")
         shared_memory = _shared_memory()
         size = max(1, int(nbytes))
+        t0 = time.perf_counter_ns() if obs.enabled() else 0
         segment = None
         last_error: BaseException | None = None
         # the pid + random token in _segment_name() make a clash all but
@@ -193,6 +195,9 @@ class SegmentRegistry:
             registry = obs.metrics()
             registry.counter("parallel.shm.segments").inc()
             registry.counter("parallel.shm.bytes").inc(segment.size)
+            registry.histogram("parallel.shm.create_ns").record(
+                time.perf_counter_ns() - t0
+            )
         return segment
 
     def pack(self, arrays) -> list[ShmArray]:
@@ -201,6 +206,7 @@ class SegmentRegistry:
         Arrays are laid out back to back at :data:`_ALIGN`-byte offsets.
         Pass ``(shape, dtype)`` tuples instead of arrays to reserve
         zero-initialised writable slots (result buffers workers fill)."""
+        t0 = time.perf_counter_ns() if obs.enabled() else 0
         specs = []
         offset = 0
         for item in arrays:
@@ -223,6 +229,13 @@ class SegmentRegistry:
             view = _view(segment, descr)
             view[...] = 0 if source is None else source
             out.append(descr)
+        if obs.enabled():
+            # pack time *includes* the create call above; subtracting the
+            # create histogram's contribution is the reader's job — the
+            # phases are reported raw so neither is double-fitted
+            obs.metrics().histogram("parallel.shm.pack_ns").record(
+                time.perf_counter_ns() - t0
+            )
         return out
 
     def read(self, descr: ShmArray) -> np.ndarray:
@@ -231,7 +244,14 @@ class SegmentRegistry:
         lifetime, so the registry can unlink immediately afterwards."""
         for segment in self._segments:
             if segment.name == descr.segment:
-                return _view(segment, descr).copy()
+                if not obs.enabled():
+                    return _view(segment, descr).copy()
+                t0 = time.perf_counter_ns()
+                out = _view(segment, descr).copy()
+                obs.metrics().histogram("parallel.shm.unpack_ns").record(
+                    time.perf_counter_ns() - t0
+                )
+                return out
         raise KeyError(f"segment {descr.segment!r} is not owned by this registry")
 
     def close(self) -> None:
@@ -282,6 +302,7 @@ def attach(name: str):
     duplicate registration is harmless and must be left alone: removing
     it would strip the parent's own crash backstop and double-unregister
     at unlink time."""
+    t0 = time.perf_counter_ns() if obs.enabled() else 0
     shared_memory = _shared_memory()
     try:
         from multiprocessing import resource_tracker
@@ -300,6 +321,10 @@ def attach(name: str):
             resource_tracker.unregister(segment._name, "shared_memory")
         except Exception:  # pragma: no cover - tracker internals shifted
             pass
+    if obs.enabled():
+        obs.metrics().histogram("parallel.shm.attach_ns").record(
+            time.perf_counter_ns() - t0
+        )
     return segment
 
 

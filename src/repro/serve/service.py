@@ -63,6 +63,7 @@ from repro.errors import (
     SpanlibError,
 )
 from repro.kernels.plan import plan_cache
+from repro.parallel.procpool import pool_stats
 from repro.serve.breaker import CircuitBreaker
 from repro.serve.coordination import StoreCoordinator
 from repro.serve.retry import RetryBudget, RetryPolicy
@@ -188,6 +189,8 @@ class _Request:
     max_steps: int | None
     ticket: Ticket
     enqueued_ns: int = field(default_factory=time.perf_counter_ns)
+    #: the request's TraceContext, minted at admission when obs is on
+    trace_ctx: object = None
 
     def describe(self) -> dict:
         return {"spanner": self.spanner, "document": self.document}
@@ -228,6 +231,8 @@ class _BulkRequest:
     max_steps: int | None
     ticket: Ticket
     enqueued_ns: int = field(default_factory=time.perf_counter_ns)
+    #: the request's TraceContext, minted at admission when obs is on
+    trace_ctx: object = None
 
     def describe(self) -> dict:
         return {"spanner": self.spanner, "documents": len(self.documents)}
@@ -419,6 +424,11 @@ class SpannerService:
 
     def _admit(self, request) -> Ticket:
         self._count("submitted")
+        if obs.enabled() and request.trace_ctx is None:
+            # admission is *the* minting point: every span this request
+            # produces — in the worker thread, in pool worker processes —
+            # carries this id, and `obs stitch` reassembles them by it
+            request.trace_ctx = obs.new_trace()
         try:
             self._queue.put_nowait(request)
         except queue.Full:
@@ -533,7 +543,8 @@ class SpannerService:
                         "request deadline expired while queued "
                         f"(waited {queue_ns / 1e9:.3f}s)"
                     )
-                payload, degraded, attempts = self._execute(item)
+                with obs.use_context(getattr(item, "trace_ctx", None)):
+                    payload, degraded, attempts = self._execute(item)
             except Exception as exc:  # noqa: BLE001 - tickets must resolve
                 self._count("failed")
                 if obs.enabled():
@@ -713,6 +724,9 @@ class SpannerService:
             "retry_budget": self.retry_budget.stats(),
             "lock": self.coordinator.lock.stats(),
             "plan_cache": plan_cache().stats(),
+            # with telemetry harvest folding worker deltas into this
+            # process's registry, these are true cross-process totals
+            "process_pool": pool_stats(),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -23,20 +23,29 @@ import re
 import sys
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
-SCANNED = ["src"]
+# tools/ joined in ISSUE 7: the trace stitcher and bench gates reason about
+# recorded timestamps, so they must not mint wall-clock ones either
+SCANNED = ["src", "tools"]
 
 FORBIDDEN = [
     (re.compile(r"\btime\.time\(\)"), "time.time() — use time.perf_counter_ns()"),
     (re.compile(r"\bdatetime\.now\("), "datetime.now() — wall clock in library code"),
     (re.compile(r"\butcnow\("), "utcnow() — wall clock in library code"),
+    # cross-process span timestamps compare across pids, which only works
+    # for CLOCK_MONOTONIC (system-wide on Linux); process_time is per-pid
+    (re.compile(r"\btime\.process_time"), "time.process_time — per-process clock, spans compare across pids"),
+    (re.compile(r"\bdatetime\.today\("), "datetime.today() — wall clock in library code"),
 ]
 WAIVER = "# wallclock-ok"
 
 
 def violations() -> list[str]:
     found = []
+    self_path = pathlib.Path(__file__).resolve()
     for directory in SCANNED:
         for path in sorted((ROOT / directory).rglob("*.py")):
+            if path.resolve() == self_path:  # the patterns match themselves
+                continue
             for lineno, line in enumerate(
                 path.read_text(encoding="utf-8").splitlines(), start=1
             ):

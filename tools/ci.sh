@@ -19,6 +19,9 @@ python tools/check_thread_safety.py
 echo "== lint: shared-memory segments have a registered unlink path"
 python tools/check_shm_hygiene.py
 
+echo "== lint: metric names match the catalog (repro/obs/catalog.py)"
+python tools/check_metric_names.py
+
 echo "== bench: committed results meet their recorded speedup floors"
 python tools/check_bench_regression.py
 
