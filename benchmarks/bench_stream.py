@@ -1,0 +1,141 @@
+"""R5 — streaming ingestion: per-window cost, memory bound, chaos tail.
+
+Three claims from the streaming issue, measured end to end:
+
+* **Latency flatness**: with O(1) results in play, per-window latency is
+  dominated by the chunk, not the document — appends recompress only the
+  right spine (``O(|chunk| + log n)`` fresh nodes), so the median window
+  over a document that has grown 64× stays within a small factor of the
+  earliest windows (the factor is the ``log n`` spine walk plus cache
+  effects, never a linear rescan).
+* **Frontier memory ceiling**: the dedup frontier's accounted bytes
+  never exceed the configured ``frontier_max_bytes`` — growth past the
+  bound is refused with a typed error *before* the frontier mutates.
+* **Chaos tail**: at a 30 % seeded feed-fault rate, retries keep the
+  per-window p99 within 5× of the clean lane's p99 — faults cost one
+  extra attempt, never unbounded stalls.
+"""
+
+from repro.errors import MemoryLimitError
+from repro.serve import StreamSession, StreamSessionConfig
+from repro.stream import StreamConfig, WindowedSpannerStream, span_tuple_bytes
+from repro.util.faults import FeedChaos
+
+#: one result total, wherever the lone "b" sits — keeps enumeration O(1)
+#: so the latency lane isolates ingest (spine) cost from result volume
+FLAT_PATTERN = "a*!x{b}a*"
+#: one result per "b" — the result-volume pattern for the memory lane
+VOLUME_PATTERN = "(a|b)*!x{b}(a|b)*"
+
+WINDOWS = 64
+CHUNK = "a" * 32
+
+
+def run_flat_feed() -> list[int]:
+    """64 equal windows (the document grows 64×); per-window wall ns."""
+    stream = WindowedSpannerStream(FLAT_PATTERN)
+    latencies = [stream.append("a" * 31 + "b").window_ns]
+    for _ in range(WINDOWS - 1):
+        latencies.append(stream.append(CHUNK).window_ns)
+    assert len(stream.results()) == 1
+    return latencies
+
+
+def median(values) -> float:
+    ordered = sorted(values)
+    return float(ordered[len(ordered) // 2])
+
+
+def percentile(values, pct: float) -> float:
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, int(pct / 100.0 * len(ordered)) - 1))
+    return float(ordered[index])
+
+
+def test_stream_window_latency_flat_64x(bench):
+    """Median late-window latency stays within 3× of early windows even
+    though the document is 64× larger."""
+    run_flat_feed()  # warm the plan cache and kernels
+    bench(run_flat_feed, rounds=3)
+    latencies = run_flat_feed()
+    early = median(latencies[1:9])  # window 0 pays first-touch costs
+    late = median(latencies[-8:])
+    ratio = late / early
+    bench.record(
+        early_window_ns=early,
+        late_window_ns=late,
+        latency_ratio=ratio,
+        growth_factor=WINDOWS,
+    )
+    assert ratio <= 3.0, f"late windows {ratio:.2f}x early at 64x growth"
+
+
+def test_stream_frontier_memory_ceiling(bench):
+    """The accounted frontier bytes never exceed frontier_max_bytes."""
+    bound = span_tuple_bytes(("x",)) * 64  # room for 64 one-binding tuples
+
+    def run_bounded_feed():
+        stream = WindowedSpannerStream(
+            VOLUME_PATTERN, StreamConfig(frontier_max_bytes=bound)
+        )
+        peak = 0
+        refusals = 0
+        # every chunk adds 4 results; the bound refuses around window 16
+        for _ in range(32):
+            try:
+                stream.append("bbbb")
+            except MemoryLimitError:
+                refusals += 1
+            peak = max(peak, stream.frontier_bytes)
+        return peak, refusals
+
+    bench(run_bounded_feed, rounds=3)
+    peak, refusals = run_bounded_feed()
+    bench.record(
+        frontier_bound_bytes=bound,
+        frontier_peak_bytes=peak,
+        frontier_over_budget_ratio=peak / bound,
+        refused_windows=refusals,
+    )
+    assert refusals > 0, "the feed never hit the bound — not a ceiling test"
+    assert peak <= bound, f"frontier peaked {peak} over the {bound} bound"
+
+
+def test_stream_chaos_tail_latency(bench):
+    """30 % seeded feed faults: per-window p99 within 5× of the clean lane."""
+    chunks = ["ab" * 8] * 40
+
+    def run_session(chaos: FeedChaos | None) -> list[int]:
+        config = StreamSessionConfig(
+            queue_limit=len(chunks),
+            chaos=chaos,
+            # absorb faults with incremental retries; the rebuild path is
+            # O(n) and belongs to the correctness lanes, not a tail claim
+            breaker_failures=len(chunks),
+        )
+        with StreamSession(VOLUME_PATTERN, config) as session:
+            for chunk in chunks:
+                session.feed(chunk)
+            stats = session.close(30.0)
+        results = list(session.results())
+        assert stats["discarded"] == 0
+        assert stats["overruns"] == 0
+        assert len(results) == len(chunks)
+        return [r.window_ns for r in results]
+
+    run_session(None)  # warm caches
+    bench(lambda: run_session(None), rounds=2)
+    clean = run_session(None)
+    chaos_schedule = FeedChaos(seed=23, fault_rate=0.3)
+    assert any(chaos_schedule.decide(k) == "fault" for k in range(len(chunks)))
+    chaotic = run_session(chaos_schedule)
+    p99_clean = percentile(clean, 99)
+    p99_chaos = percentile(chaotic, 99)
+    ratio = p99_chaos / p99_clean
+    bench.record(
+        p99_clean_ns=p99_clean,
+        p99_chaos_ns=p99_chaos,
+        chaos_over_clean_p99_ratio=ratio,
+        fault_rate=0.3,
+    )
+    assert ratio <= 5.0, f"chaos p99 {ratio:.2f}x clean at 30% faults"

@@ -45,8 +45,10 @@ from repro.errors import (
     ServiceStoppedError,
     SLPError,
     SpanlibError,
+    StreamError,
     TransactionError,
     UnsupportedSpannerError,
+    WindowOverrunError,
     WorkerCrashError,
 )
 from repro.serve import ServeConfig, SpannerService
@@ -120,8 +122,10 @@ __all__ = [
     "SpannerDB",
     "SpannerService",
     "SpanlibError",
+    "StreamError",
     "TransactionError",
     "UnsupportedSpannerError",
+    "WindowOverrunError",
     "WorkerCrashError",
     "__version__",
     "compile_nfa",

@@ -54,6 +54,20 @@ journal recovery) under observability and prints the metrics registry —
 ``--format json`` for the raw snapshot, ``--format prom`` for Prometheus
 text exposition.
 
+``stream``    tail a live feed through the streaming ingestion layer::
+
+    tail -f app.log | python -m repro stream '(.|\\n)*!x{error}(.|\\n)*'
+    python -m repro stream '!x{[ab]+}' --file feed.txt --window-deadline 0.5
+    python -m repro stream '!x{[ab]+}' --file feed.txt --fault-rate 0.3 --seed 7
+
+    Reads chunks from a file or stdin (incremental UTF-8 decoding, so
+    torn multi-byte sequences span chunk boundaries safely), pushes them
+    through a :class:`~repro.serve.StreamSession` — bounded ingest queue
+    with backpressure, per-window deadlines, circuit-broken rebuild
+    fallback — and prints each window's result delta.  ``--fault-rate``/
+    ``--tear-rate``/``--burst-rate`` enable the seeded feed-chaos
+    schedule; ``--follow`` keeps tailing a growing file until interrupted.
+
 ``obs``       observability tooling::
 
     python -m repro obs stitch out.jsonl out.jsonl.w*.jsonl
@@ -268,6 +282,111 @@ def _run_db_action(args) -> int:
         print(f"snapshot written to {args.store}")
     else:
         raise SystemExit(f"unknown db action {action!r}")
+    return 0
+
+
+def _cmd_stream(args) -> int:
+    import codecs
+    import threading
+    import time as _time
+
+    from repro.errors import OverloadedError
+    from repro.serve import StreamSession, StreamSessionConfig
+    from repro.stream import StreamConfig
+    from repro.util import FeedChaos
+
+    stream_config = StreamConfig(
+        window_deadline=args.window_deadline,
+        max_steps=args.max_steps,
+        frontier_max_bytes=args.max_bytes,
+    )
+    chaos = None
+    if args.fault_rate > 0.0 or args.tear_rate > 0.0 or args.burst_rate > 0.0:
+        chaos = FeedChaos(
+            seed=args.seed,
+            fault_rate=args.fault_rate,
+            tear_rate=args.tear_rate,
+            burst_rate=args.burst_rate,
+        )
+    session_config = StreamSessionConfig(
+        queue_limit=args.queue_limit,
+        drain_deadline=args.drain_deadline,
+        chaos=chaos,
+    )
+
+    def chunks():
+        decoder = codecs.getincrementaldecoder("utf-8")("replace")
+        handle = open(args.file, "rb") if args.file else sys.stdin.buffer
+        try:
+            while True:
+                data = handle.read(args.chunk_bytes)
+                if data:
+                    text = decoder.decode(data)
+                    if text:
+                        yield text
+                elif args.follow and args.file:
+                    _time.sleep(0.2)
+                else:
+                    tail = decoder.decode(b"", final=True)
+                    if tail:
+                        yield tail
+                    return
+        finally:
+            if args.file:
+                handle.close()
+
+    feed = chunks()
+    if chaos is not None:
+        feed = chaos.perturb(feed)
+
+    session = StreamSession(args.pattern, session_config, stream_config).start()
+
+    def produce():
+        try:
+            for chunk in feed:
+                while True:
+                    try:
+                        session.feed(chunk)
+                        break
+                    except OverloadedError as exc:
+                        _time.sleep(exc.retry_after)
+        finally:
+            session.close(args.drain_deadline)
+
+    producer = threading.Thread(target=produce, name="stream-feed", daemon=True)
+    producer.start()
+    added = retracted = 0
+    try:
+        for window in session.results():
+            added += len(window.added)
+            retracted += len(window.retracted)
+            flags = ""
+            if window.rebuilt:
+                flags += " [rebuilt]"
+            if window.overrun:
+                flags += f" [OVERRUN: {window.error}]"
+            print(
+                f"window {window.window}: +{len(window.added)} "
+                f"-{len(window.retracted)} doc={window.document_chars}{flags}"
+            )
+            if args.tuples:
+                for tup in window.added:
+                    print(f"  + {tup}")
+                for tup in window.retracted:
+                    print(f"  - {tup}")
+    except KeyboardInterrupt:
+        session.close(args.drain_deadline)
+    producer.join(timeout=args.drain_deadline + 1.0)
+    stats = session.stats()
+    print(f"windows   : {stats['windows']}")
+    print(f"results   : {added} added, {retracted} retracted, "
+          f"{stats['stream']['frontier_tuples']} final")
+    print(f"overruns  : {stats['overruns']}")
+    print(f"shed      : {stats['shed']}")
+    print(f"rebuilds  : {stats['rebuilds']} (breaker {stats['breaker']['state']})")
+    print(f"discarded : {stats['discarded']}")
+    if stats["faults"]:
+        print(f"faults    : {stats['faults']}")
     return 0
 
 
@@ -500,6 +619,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="decompression-bomb guard: refuse to materialise more bytes",
     )
     db.set_defaults(handler=_cmd_db)
+
+    stream = commands.add_parser(
+        "stream", help="tail a live feed through the streaming ingestion layer"
+    )
+    stream.add_argument("pattern", help="spanner regex to evaluate over the feed")
+    stream.add_argument(
+        "--file", default=None,
+        help="read the feed from a file (default: stdin)",
+    )
+    stream.add_argument(
+        "--follow", action="store_true",
+        help="keep tailing a growing file until interrupted",
+    )
+    stream.add_argument(
+        "--chunk-bytes", type=int, default=4096,
+        help="read granularity in bytes (one window per chunk)",
+    )
+    stream.add_argument(
+        "--tuples", action="store_true",
+        help="print each window's added (+) and retracted (-) tuples",
+    )
+    stream.add_argument(
+        "--queue-limit", type=int, default=64,
+        help="bounded ingest queue; beyond it the producer backs off",
+    )
+    stream.add_argument(
+        "--window-deadline", type=float, default=None,
+        help="per-window wall-clock deadline in seconds (overruns ship partial)",
+    )
+    stream.add_argument(
+        "--max-steps", type=int, default=None,
+        help="abstract step budget per window",
+    )
+    stream.add_argument(
+        "--max-bytes", type=int, default=None,
+        help="bound on the dedup frontier's accounted bytes",
+    )
+    stream.add_argument(
+        "--drain-deadline", type=float, default=5.0,
+        help="seconds close() may spend draining queued windows",
+    )
+    stream.add_argument(
+        "--fault-rate", type=float, default=0.0,
+        help="chaos: probability of an injected fault per window",
+    )
+    stream.add_argument(
+        "--tear-rate", type=float, default=0.0,
+        help="chaos: probability a chunk arrives torn in two",
+    )
+    stream.add_argument(
+        "--burst-rate", type=float, default=0.0,
+        help="chaos: probability chunks coalesce into a burst",
+    )
+    stream.add_argument(
+        "--seed", type=int, default=0, help="seed for the feed-chaos schedule"
+    )
+    stream.set_defaults(handler=_cmd_stream)
 
     obs_cmd = commands.add_parser(
         "obs", help="observability tooling (stitch multi-process trace files)"

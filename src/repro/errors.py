@@ -52,6 +52,8 @@ __all__ = [
     "ParallelError",
     "WorkerCrashError",
     "PoolExhaustedError",
+    "StreamError",
+    "WindowOverrunError",
 ]
 
 
@@ -186,6 +188,36 @@ class OverloadedError(ServeError):
     def __init__(self, message: str, retry_after: float = 0.0) -> None:
         super().__init__(message)
         self.retry_after = float(retry_after)
+
+
+class StreamError(SpanlibError, RuntimeError):
+    """Base class of failures raised by the :mod:`repro.stream` layer.
+
+    Raised directly when the incremental-append differential guard trips:
+    the associative ``(σ, T, T_em)`` fold over the raw feed disagreed —
+    bit for bit — with the entry computed over the appended SLP, so the
+    compressed state can no longer be trusted and must be rebuilt.
+    """
+
+
+class WindowOverrunError(StreamError):
+    """A stream window missed its deadline (or exhausted its fault-retry
+    budget) and was shipped *partial* instead of stalling the feed.
+
+    Carried as a marker on the degraded
+    :class:`repro.stream.WindowResult` rather than raised, so consumers
+    see exactly which windows are incomplete while the feed keeps
+    flowing.
+
+    Attributes
+    ----------
+    window:
+        Zero-based index of the overrun window.
+    """
+
+    def __init__(self, message: str, window: int = -1) -> None:
+        super().__init__(message)
+        self.window = int(window)
 
 
 class CircuitOpenError(ServeError):

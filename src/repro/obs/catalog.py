@@ -84,6 +84,22 @@ METRIC_NAMES = frozenset(
         "serve.retries",
         "serve.shed",
         "serve.submitted",
+        # stream (windowed ingestion; see docs/OBSERVABILITY.md)
+        "stream.appended_chars",
+        "stream.backpressure",
+        "stream.degraded",
+        "stream.discarded",
+        "stream.fresh_nodes",
+        "stream.frontier_bytes",
+        "stream.frontier_tuples",
+        "stream.guard_trips",
+        "stream.overruns",
+        "stream.queue_depth",
+        "stream.rebuilds",
+        "stream.results",
+        "stream.retracted",
+        "stream.window_ns",
+        "stream.windows",
         # slp
         "slp.eval.cache_hits",
         "slp.eval.cache_misses",

@@ -44,22 +44,27 @@ from repro.serve.retry import RetryBudget, RetryPolicy
 from repro.serve.service import (
     BulkQueryResult,
     QueryResult,
+    RetryAfterHint,
     ServeConfig,
     SpannerService,
     Ticket,
     serve_queries,
 )
+from repro.serve.stream_session import StreamSession, StreamSessionConfig
 
 __all__ = [
     "BulkQueryResult",
     "CircuitBreaker",
     "QueryResult",
     "RWLock",
+    "RetryAfterHint",
     "RetryBudget",
     "RetryPolicy",
     "ServeConfig",
     "SpannerService",
     "StoreCoordinator",
+    "StreamSession",
+    "StreamSessionConfig",
     "Ticket",
     "serve_queries",
 ]

@@ -74,10 +74,52 @@ __all__ = [
     "SpannerService",
     "QueryResult",
     "BulkQueryResult",
+    "RetryAfterHint",
     "Ticket",
 ]
 
 _STOP = object()
+
+
+class RetryAfterHint:
+    """One EWMA of observed service time, shared by every admission surface.
+
+    The query-queue shed path, the :class:`~repro.errors.PoolExhaustedError`
+    mapping and stream backpressure (:class:`repro.serve.StreamSession`)
+    all answer the same question — "how long until the backlog drains?" —
+    so they must answer it from *one* estimator instead of diverging
+    copies: ``hint()`` is queued work × mean service time per worker,
+    floored at 1 ms so honouring clients never busy-spin.
+
+    Thread-safe; the EWMA seeds from the first sample and then tracks a
+    window of ``window`` observations (default 32, matching the historic
+    service behaviour).
+    """
+
+    __slots__ = ("_lock", "_ema_s", "window")
+
+    def __init__(self, window: int = 32) -> None:
+        self._lock = threading.Lock()
+        self._ema_s = 0.0
+        self.window = max(1, int(window))
+
+    def observe(self, seconds: float) -> None:
+        """Feed one completed operation's service time."""
+        with self._lock:
+            if self._ema_s == 0.0:
+                self._ema_s = seconds
+            else:
+                self._ema_s += (seconds - self._ema_s) / self.window
+
+    @property
+    def ema_s(self) -> float:
+        """The current mean-service-time estimate (seconds)."""
+        with self._lock:
+            return self._ema_s
+
+    def hint(self, depth: int, workers: int = 1) -> float:
+        """Suggested retry-after seconds for a queue *depth* backlog."""
+        return max(0.001, self.ema_s * max(1, depth) / max(1, workers))
 
 
 def _is_transient(exc: BaseException) -> bool:
@@ -304,7 +346,7 @@ class SpannerService:
         #: recent per-request service times (ns), for p50/p99 and the
         #: retry-after hint; bounded so a long-lived service stays O(1)
         self._latencies_ns: deque[int] = deque(maxlen=4096)
-        self._exec_ema_s = 0.0
+        self._retry_hint = RetryAfterHint()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -482,12 +524,8 @@ class SpannerService:
         ).result(timeout)
 
     def _retry_after_hint(self) -> float:
-        """Backlog drain estimate: queued requests x mean service time per
-        worker, floored so clients never busy-spin."""
-        with self._stats_lock:
-            ema = self._exec_ema_s
-        depth = self._queue.qsize()
-        return max(0.001, ema * max(1, depth) / max(1, self.config.workers))
+        """Backlog drain estimate, from the shared :class:`RetryAfterHint`."""
+        return self._retry_hint.hint(self._queue.qsize(), self.config.workers)
 
     # ------------------------------------------------------------------
     # mutations (write-locked)
@@ -689,12 +727,7 @@ class SpannerService:
             if degraded:
                 self._counts["degraded"] += 1
             self._latencies_ns.append(exec_ns)
-            seconds = exec_ns / 1e9
-            # EMA over ~32 requests; seeds from the first sample
-            if self._exec_ema_s == 0.0:
-                self._exec_ema_s = seconds
-            else:
-                self._exec_ema_s += (seconds - self._exec_ema_s) / 32.0
+        self._retry_hint.observe(exec_ns / 1e9)
 
     def latency_percentile(self, p: float) -> float:
         """Exact percentile (seconds) over the recent-latency window."""
@@ -710,7 +743,7 @@ class SpannerService:
         states — the numbers the chaos suite asserts on."""
         with self._stats_lock:
             counts = dict(self._counts)
-            ema = self._exec_ema_s
+        ema = self._retry_hint.ema_s
         return {
             **counts,
             "running": self._running,

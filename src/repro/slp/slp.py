@@ -231,6 +231,30 @@ class SLP:
             nodes = paired
         return nodes[0]
 
+    def append_text(self, node: int | None, text: str) -> int | None:
+        """A strongly balanced node deriving ``D(node) + text``.
+
+        The streaming append primitive: *text* is parsed into a strongly
+        balanced subtree and joined onto *node*'s right spine with the
+        AVL join from :func:`repro.slp.balance.concat_balanced`, so only
+        ``O(|text| + ord(node))`` fresh nodes are allocated and every
+        pre-existing node (and any evaluator-cache entry keyed on it)
+        survives untouched.  *node* must be ``None`` (empty document) or
+        strongly balanced — documents built by ``rebalance``/
+        ``balanced_node`` or by previous ``append_text`` calls qualify.
+
+        Fresh nodes have ids ``>= mark()`` taken before the call, which
+        is what makes incremental cache maintenance (preprocess only the
+        new spine; roll back by truncating to the mark) possible.
+        """
+        from repro.slp.balance import concat_balanced
+        from repro.slp.build import balanced_node
+
+        if not text:
+            return node
+        suffix = balanced_node(self, text)
+        return concat_balanced(self, node, suffix)
+
     # ------------------------------------------------------------------
     # accessors
     # ------------------------------------------------------------------

@@ -3,6 +3,8 @@
 from repro.util.budget import Budget, Deadline
 from repro.util.faults import (
     ChaosInjector,
+    ChaosOperation,
+    FeedChaos,
     WorkerChaos,
     fail_at_allocation,
     fail_at_call,
@@ -21,7 +23,9 @@ from repro.util.workloads import (
 __all__ = [
     "Budget",
     "ChaosInjector",
+    "ChaosOperation",
     "Deadline",
+    "FeedChaos",
     "WorkerChaos",
     "fail_at_allocation",
     "fail_at_call",

@@ -19,7 +19,14 @@ non-durable record — is only worth anything if it survives failures at the
 * :class:`WorkerChaos` — the process-pool counterpart: a picklable,
   seeded schedule of worker **SIGKILLs and stalls** evaluated *inside*
   :mod:`repro.parallel.procpool` workers, for chaos runs where the
-  failure is a dead process rather than a raised exception.
+  failure is a dead process rather than a raised exception;
+* :class:`ChaosOperation` — a per-logical-operation view of a
+  :class:`ChaosInjector` schedule, for generator-based (multi-step)
+  operations whose resumed steps must replay the same seeded verdicts;
+* :class:`FeedChaos` — the streaming counterpart: a seeded schedule of
+  feed misbehaviour (torn chunks, bursts, stalls, mid-window evaluator
+  faults) consumed by :class:`repro.serve.StreamSession` and the
+  streaming chaos lane.
 
 All injected errors are :class:`~repro.errors.FaultInjectedError`, a
 :class:`~repro.errors.SpanlibError`, so they travel exactly the rollback
@@ -56,6 +63,8 @@ from repro.errors import FaultInjectedError
 
 __all__ = [
     "ChaosInjector",
+    "ChaosOperation",
+    "FeedChaos",
     "WorkerChaos",
     "fail_at_call",
     "fail_at_allocation",
@@ -250,6 +259,80 @@ class ChaosInjector:
         finally:
             setattr(target, attribute, original)
 
+    def operation(self, site: str, op_id) -> "ChaosOperation":
+        """A per-logical-operation view of this schedule.
+
+        The shared per-site counter is the right schedule for independent
+        one-shot calls, but it *misbehaves* for generator-based
+        operations: when a consumer resumes (or a retry restarts) a
+        generator, other operations at the same site have advanced the
+        counter in between, so the resumed step draws a *different*
+        verdict than the run it is replaying.  A :class:`ChaosOperation`
+        fixes the schedule to the logical operation instead — the k-th
+        consult is a pure function of ``(seed, site, op_id, k)``,
+        independent of every other operation's interleaving.
+        """
+        return ChaosOperation(self, site, op_id)
+
+
+class ChaosOperation:
+    """Schedule handle for one logical (possibly multi-step) operation.
+
+    Owned by the single generator/loop it was minted for — the step
+    counter is deliberately *not* shared, so it needs no lock and the
+    verdict sequence is replayable: construct (or :meth:`reset`) a handle
+    with the same ``(site, op_id)`` and it yields the same draws in the
+    same order, whatever else the injector scheduled in between.  Fired
+    faults/delays still report into the parent injector's
+    :meth:`ChaosInjector.fired` ledger under ``"site@op_id"``.
+    """
+
+    __slots__ = ("_injector", "site", "op_id", "_steps")
+
+    def __init__(self, injector: ChaosInjector, site: str, op_id) -> None:
+        self._injector = injector
+        self.site = str(site)
+        self.op_id = op_id
+        self._steps = 0
+
+    @property
+    def steps(self) -> int:
+        """Schedule positions this handle has consumed."""
+        return self._steps
+
+    def reset(self) -> None:
+        """Rewind to the first step (a retried operation replays its run)."""
+        self._steps = 0
+
+    def draw(self) -> float:
+        k = self._steps
+        self._steps += 1
+        return random.Random(
+            f"{self._injector.seed}:{self.site}:{self.op_id}:{k}"
+        ).random()
+
+    def maybe_fail(self, rate: float, error: Exception | None = None) -> None:
+        """Raise :class:`~repro.errors.FaultInjectedError` with probability
+        *rate* at this operation's next step."""
+        if rate <= 0.0:
+            return
+        if self.draw() < rate:
+            self._injector._record(f"{self.site}@{self.op_id}")
+            raise error if error is not None else FaultInjectedError(
+                f"chaos fault at {self.site!r} op {self.op_id!r} "
+                f"(seed {self._injector.seed})"
+            )
+
+    def maybe_delay(self, rate: float, seconds: float) -> bool:
+        """Sleep *seconds* with probability *rate*; returns whether it slept."""
+        if rate <= 0.0:
+            return False
+        if self.draw() < rate:
+            self._injector._record(f"{self.site}@{self.op_id}")
+            time.sleep(seconds)
+            return True
+        return False
+
 
 @dataclasses.dataclass(frozen=True)
 class WorkerChaos:
@@ -292,6 +375,76 @@ class WorkerChaos:
             os.kill(os.getpid(), signal.SIGKILL)
         elif verdict == "stall":
             time.sleep(self.stall_seconds)
+
+
+@dataclasses.dataclass(frozen=True)
+class FeedChaos:
+    """A seeded schedule of live-feed misbehaviour for streaming chaos runs.
+
+    Two halves, both pure functions of the seed:
+
+    * **producer side** — :meth:`perturb` re-chunks a feed per the
+      schedule: *torn* chunks arrive split at a seeded cut point, and
+      *bursts* arrive with several chunks coalesced into one oversized
+      append.  Concatenation is always preserved
+      (``"".join(perturb(chunks)) == "".join(chunks)``), so the document
+      the consumer assembles is exactly the producer's — only the window
+      boundaries move, which is precisely what the differential fuzz lane
+      wants to stress.
+    * **consumer side** — :meth:`decide` gives the verdict for one
+      evaluation window: ``"fault"`` (the session injects a
+      :class:`~repro.errors.FaultInjectedError` into the window's first
+      attempt, exercising retry and the circuit-broken rebuild fallback),
+      ``"stall"`` (the session sleeps ``stall_seconds``, exercising
+      backpressure and deadline overruns), or ``None``.
+
+    The verdict for window *k* is ``f(seed, k)`` — the same
+    concurrency-aware determinism contract as :class:`WorkerChaos`.
+    """
+
+    seed: int
+    fault_rate: float = 0.0
+    stall_rate: float = 0.0
+    stall_seconds: float = 0.005
+    tear_rate: float = 0.0
+    burst_rate: float = 0.0
+    max_burst: int = 4
+
+    def decide(self, window_seq: int) -> str | None:
+        """``"fault"``, ``"stall"``, or ``None`` for window *window_seq*."""
+        draw = random.Random(f"{self.seed}:feed-window:{window_seq}").random()
+        if draw < self.fault_rate:
+            return "fault"
+        if draw < self.fault_rate + self.stall_rate:
+            return "stall"
+        return None
+
+    def perturb(self, chunks) -> Iterator[str]:
+        """Re-chunk *chunks* per the seeded tear/burst schedule.
+
+        A generator, so unbounded feeds stay unbounded; empty chunks
+        (heartbeats) pass through untouched."""
+        pending = ""
+        pending_count = 0
+        for index, chunk in enumerate(chunks):
+            rng = random.Random(f"{self.seed}:feed-chunk:{index}")
+            draw = rng.random()
+            if draw < self.burst_rate and pending_count + 1 < self.max_burst:
+                pending += chunk
+                pending_count += 1
+                continue
+            chunk = pending + chunk
+            pending = ""
+            pending_count = 0
+            torn = self.burst_rate <= draw < self.burst_rate + self.tear_rate
+            if torn and len(chunk) > 1:
+                cut = 1 + rng.randrange(len(chunk) - 1)
+                yield chunk[:cut]
+                yield chunk[cut:]
+            else:
+                yield chunk
+        if pending:
+            yield pending
 
 
 def truncate_file(path: str, keep_bytes: int) -> int:

@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.wordeq",
     "repro.util",
     "repro.serve",
+    "repro.stream",
     "repro.obs",
     "repro.kernels",
     "repro.parallel",

@@ -134,6 +134,87 @@ class TestCircuitBreaker:
         with pytest.raises(ValueError):
             CircuitBreaker(half_open_probes=0)
 
+    # -- long-lived generator probes -----------------------------------
+    # an enumeration probe holds its allow() grant for as long as the
+    # consumer iterates; the pairing contract (every grant ends in
+    # exactly one record_success/record_failure) is what keeps the
+    # half-open accounting correct across that window
+
+    @staticmethod
+    def probe_generator(breaker, items, fail_at=None):
+        """A probe whose grant settles only when the generator finishes:
+        exhaustion records success, a raise or close() records failure."""
+        try:
+            for index, item in enumerate(items):
+                if fail_at is not None and index == fail_at:
+                    raise FaultInjectedError("mid-enumeration fault")
+                yield item
+        except BaseException:
+            breaker.record_failure()
+            raise
+        else:
+            breaker.record_success()
+
+    def tripped_half_open(self, **kwargs):
+        breaker, clock = self.make(**kwargs)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.state == HALF_OPEN
+        return breaker, clock
+
+    def test_generator_probe_holds_its_slot_until_exhausted(self):
+        breaker, _ = self.tripped_half_open(half_open_probes=1)
+        assert breaker.allow()
+        probe = self.probe_generator(breaker, "ab")
+        next(probe)
+        # mid-enumeration: the probe is still in flight, nobody else
+        # may probe, and the breaker has not moved
+        assert breaker.stats()["probes_in_flight"] == 1
+        assert not breaker.allow()
+        assert breaker.state == HALF_OPEN
+        assert list(probe) == ["b"]  # exhaustion settles the probe
+        assert breaker.state == CLOSED
+        assert breaker.stats()["probes_in_flight"] == 0
+
+    def test_generator_probe_failure_mid_enumeration_reopens(self):
+        breaker, clock = self.tripped_half_open(half_open_probes=1)
+        assert breaker.allow()
+        probe = self.probe_generator(breaker, "abc", fail_at=1)
+        next(probe)
+        with pytest.raises(FaultInjectedError):
+            next(probe)
+        assert breaker.state == OPEN
+        assert breaker.stats()["times_opened"] == 2
+        clock.advance(1.0)  # fresh timer from the probe failure
+        assert breaker.state == HALF_OPEN
+
+    def test_abandoned_generator_probe_settles_as_failure(self):
+        # a consumer that walks away mid-enumeration must not leak the
+        # probe slot: close() throws GeneratorExit into the frame and
+        # the probe settles as a failure
+        breaker, _ = self.tripped_half_open(half_open_probes=1)
+        assert breaker.allow()
+        probe = self.probe_generator(breaker, "abc")
+        next(probe)
+        probe.close()
+        assert breaker.state == OPEN
+        assert breaker.stats()["probes_in_flight"] == 0
+
+    def test_two_generator_probes_settle_independently(self):
+        breaker, _ = self.tripped_half_open()  # half_open_probes=2
+        assert breaker.allow()
+        assert breaker.allow()
+        first = self.probe_generator(breaker, "ab")
+        second = self.probe_generator(breaker, "ab")
+        next(first)
+        next(second)
+        assert not breaker.allow()  # both slots in flight
+        assert list(first) == ["b"]
+        assert breaker.state == HALF_OPEN  # one success of the two needed
+        assert list(second) == ["b"]
+        assert breaker.state == CLOSED
+
 
 class TestRetryPolicy:
     def test_backoff_is_exponential_with_bounded_jitter(self):

@@ -43,6 +43,12 @@ PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q
 echo "== chaos smoke lane (seeded concurrent fault injection, fast subset)"
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -q tests/test_chaos.py -m "not slow_fuzz"
 
+echo "== streaming chaos smoke lane (seeded feed faults, fast subset)"
+# the streaming session must keep its delta/frontier invariants under the
+# seeded feed-chaos schedule (torn chunks, bursts, stalls, mid-window
+# faults); slow_fuzz holds the 200-seed differential lane
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -q tests/test_stream.py -m "not slow_fuzz"
+
 echo "== process-pool smoke lane (crash isolation over shared memory)"
 # the functional tests force backend="process" and run in the default
 # suite on any host; this lane re-runs them as a visible gate where the
