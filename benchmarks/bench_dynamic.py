@@ -1,0 +1,169 @@
+"""C4 (dynamic behaviour of [40]) — sublinear incremental maintenance.
+
+The paper's dynamic setting promises that after a CDE edit only the
+O(|φ|·log d) fresh nodes cost anything.  With sealed-root frontier
+discovery (ISSUE 9) the engine honors that end to end; these lanes pin
+the measured shape:
+
+* **DYN1 — post-edit latency is sublinear**: over documents grown 64×
+  (2^10 → 2^16 chars of *incompressible* seeded-random text, so the
+  rebuild baseline cannot hide behind SLP sharing), the warm evaluator's
+  post-edit preprocess fits an exponent < 0.5 against document size while
+  a cold rebuild-from-scratch in the same run fits ~1.0.  Both exponents
+  and the 64×-size speedup are recorded and gated by
+  ``tools/check_bench_regression.py``.
+* **DYN2 — a repeat query on a sealed root walks nothing**: the
+  ``slp.eval.walk_visited`` delta across a repeat query is exactly 0
+  (recorded, gated at 0).
+* **DYN3 — append discovery is frontier-sized**: after a small append to
+  a large sealed document, the discovery walk visits a small fraction of
+  the arena (the fresh right spine), not the whole document.
+"""
+
+import math
+import random
+import time
+
+from repro import obs
+from repro.regex import spanner_from_regex
+from repro.slp import (
+    Delete,
+    Doc,
+    DocumentDatabase,
+    Editor,
+    SLP,
+    SLPSpannerEvaluator,
+    balanced_node,
+)
+
+#: small automaton, one capture — isolates maintenance cost from result volume
+PATTERN = "a*!x{b}a*"
+
+#: 64x growth, like the stream latency lane; the window starts at 2^14 so
+#: the rebuild baseline's per-call fixed cost (char tables, per-wave batch
+#: dispatch) does not flatten its fitted slope at the small end
+SIZES = [2**e for e in range(14, 21)]
+
+
+def _random_text(seed: int, length: int) -> str:
+    rng = random.Random(seed)
+    return "".join(rng.choice("ab") for _ in range(length))
+
+
+def _edited_fixture(length: int):
+    """A warm evaluator over a *length*-char random document, plus an
+    interior-delete edit of it (O(log n) fresh spine nodes, unsealed)."""
+    spanner = spanner_from_regex(PATTERN)
+    evaluator = SLPSpannerEvaluator(spanner)
+    slp = SLP()
+    node = balanced_node(slp, _random_text(length, length))
+    db = DocumentDatabase(slp)
+    db.add_node("doc", node)
+    evaluator.preprocess(slp, node)
+    edited = Editor(db).apply("edited", Delete(Doc("doc"), length // 4, length // 4 + 16))
+    return spanner, evaluator, slp, edited
+
+
+def _fit_exponent(points) -> float:
+    xs = [math.log(n) for n, _ in points]
+    ys = [math.log(s) for _, s in points]
+    mean_x = sum(xs) / len(xs)
+    mean_y = sum(ys) / len(ys)
+    denom = sum((x - mean_x) ** 2 for x in xs)
+    return sum(
+        (x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)
+    ) / denom
+
+
+def test_dyn1_postedit_latency_sublinear(bench):
+    """Warm post-edit preprocess scales sublinearly (exponent < 0.5) while
+    the cold rebuild in the same run scales ~linearly — the [40] claim."""
+    incremental = []
+    rebuild = []
+    for length in SIZES:
+        spanner, evaluator, slp, edited = _edited_fixture(length)
+        t0 = time.perf_counter()
+        evaluator.preprocess(slp, edited)
+        incremental.append((length, time.perf_counter() - t0))
+        cold = SLPSpannerEvaluator(spanner)  # no plan cache: truly cold
+        t0 = time.perf_counter()
+        cold.preprocess(slp, edited)
+        rebuild.append((length, time.perf_counter() - t0))
+    incremental_exponent = _fit_exponent(incremental)
+    rebuild_exponent = _fit_exponent(rebuild)
+    speedup = rebuild[-1][1] / incremental[-1][1]
+
+    # the measured row: edit-then-incremental-preprocess on the largest
+    # (still-warm) document — the loop leaves the 2^16 fixture bound
+    state = {"node": edited, "round": 0}
+
+    def edit_and_preprocess():
+        state["round"] += 1
+        db = DocumentDatabase(slp)
+        db.add_node("doc", state["node"])
+        length = slp.length(state["node"])
+        start = length // 3 + state["round"]
+        node = Editor(db).apply("e", Delete(Doc("doc"), start, start + 8))
+        evaluator.preprocess(slp, node)
+        state["node"] = node
+
+    bench(edit_and_preprocess, rounds=3)
+    bench.record(
+        incremental_exponent=round(incremental_exponent, 3),
+        rebuild_exponent=round(rebuild_exponent, 3),
+        # the compare-mode exponent-drift gate watches this field
+        fitted_exponent=round(incremental_exponent, 3),
+        speedup=round(speedup, 2),
+        sizes=f"{SIZES[0]}..{SIZES[-1]}",
+        incremental_seconds_largest=round(incremental[-1][1], 6),
+        rebuild_seconds_largest=round(rebuild[-1][1], 6),
+    )
+    assert incremental_exponent < 0.5, incremental
+    assert rebuild_exponent > 0.7, rebuild
+    assert speedup > 3.0
+
+
+def test_dyn2_sealed_repeat_zero_walk(bench):
+    """A repeat query on a sealed root performs zero topological visits."""
+    _, evaluator, slp, edited = _edited_fixture(SIZES[-2])
+    evaluator.preprocess(slp, edited)
+    obs.configure(enabled=True, reset=True)
+    try:
+        before = obs.metrics().counter("slp.eval.walk_visited").value
+        assert evaluator.is_nonempty(slp, edited) is not None
+        assert evaluator.preprocess(slp, edited) == 0
+        visited = obs.metrics().counter("slp.eval.walk_visited").value - before
+        sealed_hits = obs.metrics().counter("slp.eval.sealed_hits").value
+    finally:
+        obs.configure(enabled=False, reset=True)
+    bench(lambda: evaluator.preprocess(slp, edited), rounds=3)
+    bench.record(repeat_walk_visited=visited, sealed_hits=sealed_hits)
+    assert visited == 0
+    assert sealed_hits >= 1
+
+
+def test_dyn3_append_discovery_frontier(bench):
+    """Appending 32 chars to a sealed 64k-char document walks only the
+    fresh right spine, a small fraction of the arena."""
+    _, evaluator, slp, edited = _edited_fixture(SIZES[-1])
+    evaluator.preprocess(slp, edited)
+    total = slp.num_nodes()
+    obs.configure(enabled=True, reset=True)
+    try:
+        bigger = slp.append_text(edited, "ab" * 16)
+        evaluator.preprocess(slp, bigger)
+        visited = obs.metrics().counter("slp.eval.walk_visited").value
+        skipped = obs.metrics().counter("slp.eval.walk_skipped").value
+    finally:
+        obs.configure(enabled=False, reset=True)
+    fraction = visited / total
+    bench(lambda: evaluator.preprocess(slp, bigger), rounds=3)
+    bench.record(
+        walk_visited=visited,
+        walk_skipped=skipped,
+        arena_nodes=total,
+        walk_visited_fraction=round(fraction, 4),
+    )
+    assert 0 < visited
+    assert skipped >= 1
+    assert fraction < 0.05, (visited, total)

@@ -219,8 +219,8 @@ def test_process_bulk_preprocess_parity(bench):
     assert proc_fresh == thread_fresh > 0
     for t_node, p_node in zip(thread_nodes, proc_nodes):
         assert _entries_equal(
-            thread_eval._node_data[(thread_slp.serial, t_node)],
-            proc_eval._node_data[(proc_slp.serial, p_node)],
+            thread_eval.node_entry(thread_slp, t_node),
+            proc_eval.node_entry(proc_slp, p_node),
         )
     bench(lambda: warm("process"), rounds=1)
     bench.record(

@@ -144,7 +144,7 @@ def test_c3_packed_kernel_speedup(bench, pattern):
             (timed(packed_pass) for _ in range(2)),
             key=lambda pair: pair[0],
         )
-        sigma, t, t_em = evaluator._node_data[(slp.serial, node)]
+        sigma, t, t_em = evaluator.node_entry(slp, node)
         ref_sigma, ref_t, ref_em = ref_memo[node]
         assert np.array_equal(sigma, ref_sigma)
         assert np.array_equal(unpack_rows(t.rows, q), ref_t)

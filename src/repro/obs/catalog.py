@@ -105,9 +105,13 @@ METRIC_NAMES = frozenset(
         "slp.eval.cache_misses",
         "slp.eval.delay_ns",
         "slp.eval.kernel_ns",
+        "slp.eval.sealed_hits",
+        "slp.eval.walk_skipped",
+        "slp.eval.walk_visited",
         "slp.membership.cache_hits",
         "slp.membership.cache_misses",
         "slp.membership.kernel_ns",
+        "slp.membership.sealed_hits",
     }
 )
 

@@ -487,6 +487,10 @@ def preprocess_bulk(
         fresh = 0
         for fresh_entries, _ in results:
             fresh += evaluator.merge_entries(slp, fresh_entries)
+        # seal each document root so repeat queries — and the discovery
+        # walks of any later documents sharing these subtrees — skip them
+        for node in nodes:
+            evaluator.seal_subtree(slp, node)
         if observing:
             registry = obs.metrics()
             registry.counter("parallel.fanout_ns").inc(t1 - t0)
@@ -604,14 +608,19 @@ def _preprocess_doc_task(
     budget = _budget_from_spec(budget_spec)
     fresh_entries, visited = evaluator.compute_entries(slp, node, budget)
     # warm the worker's own cache too: later documents in this batch that
-    # share subtrees then skip recomputation, like the thread path does
+    # share subtrees then skip recomputation, like the thread path does —
+    # and seal, so repeat requests against a warm worker walk nothing
     evaluator.merge_entries(slp, fresh_entries)
+    evaluator.seal_subtree(slp, node)
     with attached_job() as job:
         parent_has = set(job.array(d_have).tolist())
+    # the parent's cached set is closed under descendants (insertions are
+    # bottom-up closures, invalidation is an id suffix), so the shipping
+    # walk can stop at any node the parent already has instead of walking
+    # the whole subtree and filtering
     shipped = {}
-    for node_id in slp.topological(node):
-        if node_id in parent_has:
-            continue
+    to_ship, _skipped = slp.frontier(node, parent_has)
+    for node_id in to_ship:
         sigma, t, t_em = evaluator.node_entry(slp, node_id)
         shipped[node_id] = (sigma, t.rows, t_em.rows)
     return shipped, visited, (budget.steps if budget is not None else 0)

@@ -44,30 +44,57 @@ class CompressedPatternMatcher:
         if not pattern:
             raise SLPError("pattern must be non-empty")
         self.pattern = pattern
-        #: (slp.serial, node) -> (count, prefix, suffix)
-        self._data: dict[tuple[int, int], tuple[int, str, str]] = {}
+        #: slp.serial -> node -> (count, prefix, suffix)
+        self._arena_data: dict[int, dict[int, tuple[int, str, str]]] = {}
+        #: slp.serial -> node ids whose whole subtree is cached
+        self._sealed: dict[int, set[int]] = {}
 
     # ------------------------------------------------------------------
+    def cached_nodes(self, serial: int | None = None) -> int:
+        """Cached node count — for one arena, or overall (O(1) per arena)."""
+        if serial is not None:
+            return len(self._arena_data.get(serial, ()))
+        return sum(len(arena) for arena in self._arena_data.values())
+
+    def is_sealed(self, slp: SLP, node: int) -> bool:
+        """Whether *node*'s entire subtree is known cached (O(1))."""
+        return node in self._sealed.get(slp.serial, ())
+
+    def invalidate_from(self, slp: SLP, mark: int) -> int:
+        """Drop cached data for nodes of *slp* with id ``>= mark`` (rollback
+        reuses those ids); sealed ids at or above the mark are unsealed."""
+        arena = self._arena_data.get(slp.serial)
+        if not arena:
+            return 0
+        doomed = [node for node in arena if node >= mark]
+        for node in doomed:
+            del arena[node]
+        sealed = self._sealed.get(slp.serial)
+        if sealed:
+            self._sealed[slp.serial] = {n for n in sealed if n < mark}
+        return len(doomed)
+
     def _node_data(self, slp: SLP, node: int) -> tuple[int, str, str]:
-        key = (slp.serial, node)
-        cached = self._data.get(key)
-        if cached is not None:
-            return cached
+        serial = slp.serial
+        sealed = self._sealed.setdefault(serial, set())
+        arena = self._arena_data.setdefault(serial, {})
+        if node in sealed:
+            return arena[node]
         m = len(self.pattern)
         keep = m - 1
-        for current in slp.topological(node):
-            current_key = (slp.serial, current)
-            if current_key in self._data:
+        walked, _skipped = slp.frontier(node, sealed)
+        for current in walked:
+            if current in arena:
                 continue
             if slp.is_terminal(current):
                 ch = slp.char(current)
                 count = 1 if ch == self.pattern else 0
                 context = ch[:keep]
-                self._data[current_key] = (count, context, context)
+                arena[current] = (count, context, context)
                 continue
             left, right = slp.children(current)
-            count_l, pref_l, suf_l = self._data[(slp.serial, left)]
-            count_r, pref_r, suf_r = self._data[(slp.serial, right)]
+            count_l, pref_l, suf_l = arena[left]
+            count_r, pref_r, suf_r = arena[right]
             window = suf_l + pref_r
             crossing = sum(
                 1
@@ -83,8 +110,19 @@ class CompressedPatternMatcher:
                 suffix = suf_r
             else:
                 suffix = (suf_l + suf_r)[-keep:] if keep else ""
-            self._data[current_key] = (count, prefix, suffix)
-        return self._data[key]
+            arena[current] = (count, prefix, suffix)
+        # Seal bottom-up over the walked order; pruned children were sealed
+        # already, so sealing propagates all the way to the fresh root.
+        for current in walked:
+            if current not in arena:
+                continue
+            if slp.is_terminal(current):
+                sealed.add(current)
+            else:
+                left, right = slp.children(current)
+                if left in sealed and right in sealed:
+                    sealed.add(current)
+        return arena[node]
 
     # ------------------------------------------------------------------
     def count(self, slp: SLP, node: int) -> int:
@@ -104,7 +142,7 @@ class CompressedPatternMatcher:
         """
         self._node_data(slp, node)
         m = len(self.pattern)
-        serial = slp.serial
+        data = self._arena_data[slp.serial]
         # in-order traversal as an explicit LIFO (an SLP of depth d must
         # not consume d interpreter stack frames): left matches, crossing
         # matches, right matches are each emitted in increasing position
@@ -117,8 +155,8 @@ class CompressedPatternMatcher:
             if kind == _CROSSING:
                 left, right = left_right
                 left_length = slp.length(left)
-                _, _, suf_l = self._data[(serial, left)]
-                _, pref_r, _ = self._data[(serial, right)]
+                _, _, suf_l = data[left]
+                _, pref_r, _ = data[right]
                 window = suf_l + pref_r
                 window_start = offset + left_length - len(suf_l)
                 for i in range(len(window) - m + 1):
@@ -127,7 +165,7 @@ class CompressedPatternMatcher:
                     ):
                         yield window_start + i
                 continue
-            count, _, _ = self._data[(serial, current)]
+            count, _, _ = data[current]
             if count == 0:
                 continue
             if left_right is None:

@@ -376,6 +376,45 @@ class SLP:
             visit(root)
         return order
 
+    def frontier(self, root: int, stop) -> tuple[list[int], int]:
+        """Reachable nodes in bottom-up order, *without descending* into
+        any node contained in *stop* (a set-like of node ids).
+
+        This is the discovery walk of incremental maintenance: evaluator
+        caches mark fully preprocessed subtrees as *sealed*, and because
+        every mutation primitive (``pair``, ``append_text``, ``apply_cde``,
+        the balanced concat/split) only *appends* arena nodes, the
+        frontier of a post-edit root is the fresh spine plus the sealed
+        boundary — ``O(fresh + log n)`` nodes instead of the ``O(n)`` full
+        :meth:`topological` walk.
+
+        Returns ``(order, skipped)``: *order* lists the reachable nodes
+        **not** in *stop* (children before parents, stopped children
+        excluded), *skipped* counts the distinct stopped nodes the walk
+        halted at.  ``frontier(root, ())`` is :meth:`topological`.
+        """
+        self._check(root)
+        order: list[int] = []
+        skipped = 0
+        seen: set[int] = set()
+        stack: list[tuple[int, bool]] = [(root, False)]
+        while stack:
+            current, expanded = stack.pop()
+            if expanded:
+                order.append(current)
+                continue
+            if current in seen:
+                continue
+            seen.add(current)
+            if current in stop:
+                skipped += 1
+                continue
+            stack.append((current, True))
+            if self._char[current] is None:
+                stack.append((self._right[current], False))
+                stack.append((self._left[current], False))
+        return order, skipped
+
     # ------------------------------------------------------------------
     # balancedness (Section 4.1)
     # ------------------------------------------------------------------

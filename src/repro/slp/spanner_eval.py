@@ -39,7 +39,13 @@ transition function, while ``T`` and ``T_em`` are packed
 Because matrices are memoised per node and CDE editing only creates
 O(|φ| · log d) fresh nodes (sharing the rest), evaluating a spanner on an
 edited document only pays for the fresh nodes — the dynamic behaviour of
-[40] (experiment C4).
+[40] (experiment C4).  *Discovery* is incremental too: fully preprocessed
+roots are **sealed**, a repeat query on a sealed root skips the
+topological walk entirely (O(1)), and an unsealed root's walk stops at
+sealed children — so after an edit or append even *finding* the fresh
+nodes costs O(fresh + log n), never a full-document rescan (the
+``slp.eval.walk_visited`` / ``walk_skipped`` / ``sealed_hits`` counters
+make this measurable, benchmark DYN1/DYN2).
 """
 
 from __future__ import annotations
@@ -176,11 +182,27 @@ class SLPSpannerEvaluator:
         self._cont_end = PackedVec(
             self._accepting | mark_e @ self._accepting
         )
-        #: (slp.serial, node) -> (σ, T, T_em) where T_em only counts runs with
-        #: at least one marker emission (the enumeration pruning matrix)
-        self._node_data: dict[
-            tuple[int, int], tuple[np.ndarray, BitMatrix, BitMatrix]
+        #: two-level cache index: serial -> node -> (σ, T, T_em), where
+        #: T_em only counts runs with at least one marker emission (the
+        #: enumeration pruning matrix).  Keying by arena first keeps every
+        #: maintenance operation — rollback invalidation, dead-arena
+        #: purge, per-store stats — O(that arena's own entries) instead of
+        #: O(the total cache across all arenas sharing this evaluator.
+        self._arena_entries: dict[
+            int, dict[int, tuple[np.ndarray, BitMatrix, BitMatrix]]
         ] = {}
+        #: serial -> resident packed bytes of that arena's entries (the
+        #: per-spanner figure :meth:`repro.db.SpannerDB.stats` reports)
+        self._arena_bytes: dict[int, int] = {}
+        #: serial -> node ids whose *entire subtree* is cached ("sealed").
+        #: A sealed root answers a repeat preprocess in O(1) and the
+        #: discovery walk never descends below a sealed node, so after an
+        #: edit (arena mutations only append nodes) discovery costs
+        #: O(fresh + log n), not O(n).  Sealing is conservative: a node is
+        #: sealed only once a completed walk has verified its entry and
+        #: both children sealed, bottom-up.  Invalidation drops sealed
+        #: ids exactly like entries (rollback reuses node ids).
+        self._sealed: dict[int, set[int]] = {}
         self._resident_bytes = 0
         #: serial -> finalizer purging that arena's entries on collection,
         #: so a long-lived evaluator does not pin dead arenas' matrices
@@ -204,15 +226,20 @@ class SLPSpannerEvaluator:
         return {ch: self._char_tables_cache.get(ch) for ch in set(chars)}
 
     def _store(
-        self, key: tuple[int, int], entry: tuple[np.ndarray, BitMatrix, BitMatrix]
+        self, serial: int, node: int,
+        entry: tuple[np.ndarray, BitMatrix, BitMatrix],
     ) -> None:
-        self._node_data[key] = entry
+        self._arena_entries.setdefault(serial, {})[node] = entry
         sigma, t, t_em = entry
-        self._resident_bytes += sigma.nbytes + t.rows.nbytes + t_em.rows.nbytes
+        nbytes = sigma.nbytes + t.rows.nbytes + t_em.rows.nbytes
+        self._resident_bytes += nbytes
+        self._arena_bytes[serial] = self._arena_bytes.get(serial, 0) + nbytes
 
-    def _drop(self, key: tuple[int, int]) -> None:
-        sigma, t, t_em = self._node_data.pop(key)
-        self._resident_bytes -= sigma.nbytes + t.rows.nbytes + t_em.rows.nbytes
+    def _drop(self, serial: int, node: int) -> None:
+        sigma, t, t_em = self._arena_entries[serial].pop(node)
+        nbytes = sigma.nbytes + t.rows.nbytes + t_em.rows.nbytes
+        self._resident_bytes -= nbytes
+        self._arena_bytes[serial] -= nbytes
 
     def preprocess(self, slp: SLP, node: int, budget=None) -> int:
         """Compute (σ, T, T_em) for every reachable node; returns the number
@@ -221,24 +248,45 @@ class SLPSpannerEvaluator:
         An optional :class:`~repro.util.Budget` is charged one step per
         fresh node (each step is an O(|Q|³) matrix product).
 
-        The wave computation itself lives in :meth:`compute_entries`
-        (pure — no evaluator state is touched) and the results are adopted
-        through :meth:`merge_entries`; :mod:`repro.parallel` uses the same
-        two halves to fan the computation of several documents out across
-        worker threads and merge on the caller's thread.
+        Discovery is **incremental**: a repeat call on a *sealed* root
+        (one whose whole subtree is cached) returns in O(1) without any
+        walk, and an unsealed root's discovery walk stops at sealed
+        children — after a CDE edit or append (which only allocate fresh
+        arena nodes) the walk visits O(fresh + log n) nodes, never the
+        whole document.  The wave computation itself lives in
+        :meth:`compute_entries` (pure — no evaluator state is touched)
+        and the results are adopted through :meth:`merge_entries`;
+        :mod:`repro.parallel` uses the same two halves to fan the
+        computation of several documents out across worker threads and
+        merge (then seal) on the caller's thread.
 
         With :mod:`repro.obs` enabled, cache effectiveness
-        (``slp.eval.cache_hits`` / ``slp.eval.cache_misses``) and the time
-        spent in the matrix kernel (``slp.eval.kernel_ns``) are recorded —
-        the instrumentation runs once per call, outside the node loop."""
+        (``slp.eval.cache_hits`` / ``slp.eval.cache_misses``), discovery
+        cost (``slp.eval.walk_visited`` / ``slp.eval.walk_skipped`` /
+        ``slp.eval.sealed_hits``) and the time spent in the matrix kernel
+        (``slp.eval.kernel_ns``) are recorded — the instrumentation runs
+        once per call, outside the node loop."""
         observing = obs.enabled()
+        serial = slp.serial
+        if node in self._sealed.get(serial, ()):
+            # sealed root: everything reachable is cached — no walk at all
+            if observing:
+                registry = obs.metrics()
+                registry.counter("slp.eval.sealed_hits").inc()
+                registry.counter("slp.eval.cache_hits").inc()
+            return 0
         t0 = time.perf_counter_ns() if observing else 0
-        fresh_entries, visited = self.compute_entries(slp, node, budget)
+        fresh_entries, walked, skipped = self._compute_frontier(
+            slp, node, budget
+        )
         fresh = self.merge_entries(slp, fresh_entries)
+        self._seal_walked(slp, walked)
         if observing:
             registry = obs.metrics()
             registry.counter("slp.eval.cache_misses").inc(fresh)
-            registry.counter("slp.eval.cache_hits").inc(visited - fresh)
+            registry.counter("slp.eval.cache_hits").inc(len(walked) - fresh)
+            registry.counter("slp.eval.walk_visited").inc(len(walked))
+            registry.counter("slp.eval.walk_skipped").inc(skipped)
             registry.counter("slp.eval.kernel_ns").inc(
                 time.perf_counter_ns() - t0
             )
@@ -260,12 +308,66 @@ class SLPSpannerEvaluator:
         many were actually added (keys another merge beat us to are kept
         as-is — entries for one node are interchangeable pure values)."""
         self.ensure_finalizer(slp)
+        arena = self._arena_entries.setdefault(slp.serial, {})
         added = 0
-        for key, entry in fresh_entries.items():
-            if key not in self._node_data:
-                self._store(key, entry)
+        for (serial, node), entry in fresh_entries.items():
+            if node not in arena:
+                self._store(serial, node, entry)
                 added += 1
         return added
+
+    def _seal_walked(self, slp: SLP, walked: list[int]) -> None:
+        """Seal every walked node whose subtree is now fully cached.
+
+        *walked* is the bottom-up discovery order of one completed
+        frontier walk, so children precede parents and every child of a
+        walked pair node is either earlier in the list or was already
+        sealed (the walk stops only at sealed nodes).  Sealing therefore
+        propagates in one linear pass; the entry-present check keeps it
+        conservative should a caller ever merge a non-closed entry set."""
+        serial = slp.serial
+        arena = self._arena_entries.get(serial)
+        if arena is None:
+            return
+        sealed = self._sealed.setdefault(serial, set())
+        is_terminal = slp.is_terminal
+        children = slp.children
+        for current in walked:
+            if current not in arena:
+                continue
+            if is_terminal(current):
+                sealed.add(current)
+                continue
+            left, right = children(current)
+            if left in sealed and right in sealed:
+                sealed.add(current)
+
+    def seal_subtree(self, slp: SLP, node: int) -> bool:
+        """Walk *node*'s unsealed frontier and seal every subtree whose
+        entries are fully cached; returns whether *node* itself is sealed.
+
+        The post-merge half of :func:`repro.parallel.preprocess_bulk`:
+        workers compute entries without mutating the evaluator, the owner
+        thread merges them, then seals each document root so later
+        queries take the O(1) sealed path."""
+        serial = slp.serial
+        sealed = self._sealed.get(serial)
+        if sealed is not None and node in sealed:
+            return True
+        walked, _ = slp.frontier(node, self._sealed.get(serial, ()))
+        self._seal_walked(slp, walked)
+        return node in self._sealed.get(serial, ())
+
+    def is_sealed(self, slp: SLP, node: int) -> bool:
+        """Is *node*'s entire subtree cached (the O(1) repeat path)?"""
+        return node in self._sealed.get(slp.serial, ())
+
+    def sealed_nodes(self, serial: int | None = None) -> int:
+        """How many nodes are sealed; restricted to one arena when
+        *serial* is given (O(1) either way)."""
+        if serial is None:
+            return sum(len(sealed) for sealed in self._sealed.values())
+        return len(self._sealed.get(serial, ()))
 
     def compute_entries(
         self, slp: SLP, node: int, budget=None
@@ -273,7 +375,9 @@ class SLPSpannerEvaluator:
         """The wave computation of :meth:`preprocess`, as a pure function:
         ``(fresh_entries, visited)`` where *fresh_entries* maps
         ``(serial, node) -> (σ, T, T_em)`` for every reachable node not
-        already cached, and *visited* counts all reachable nodes.
+        already cached, and *visited* counts the nodes the discovery walk
+        actually examined (sealed subtrees are skipped wholesale, so on a
+        warm cache this is O(fresh + log n), not O(n)).
 
         Nothing on the evaluator is mutated, and the shared node cache is
         only *read* — so any number of threads may run this concurrently
@@ -288,22 +392,33 @@ class SLPSpannerEvaluator:
         :func:`repro.kernels.bitmat.bool_mm_many`.  Only ``T_em`` is ever
         multiplied: ``T = T_em ∪ σ`` recovers the full reachability matrix
         as a word-level union."""
+        fresh_entries, walked, _ = self._compute_frontier(slp, node, budget)
+        return fresh_entries, len(walked)
+
+    def _compute_frontier(
+        self, slp: SLP, node: int, budget=None
+    ) -> tuple[dict, list[int], int]:
+        """:meth:`compute_entries` plus the walk itself:
+        ``(fresh_entries, walked, skipped)`` where *walked* is the
+        bottom-up discovery order (what :meth:`_seal_walked` consumes)
+        and *skipped* counts the sealed nodes the walk stopped at."""
         serial = slp.serial
-        nodes = slp.topological(node)
-        data = self._node_data
+        nodes, skipped = slp.frontier(node, self._sealed.get(serial, ()))
+        data = self._arena_entries.get(serial, {})
         fresh_entries: dict[
             tuple[int, int], tuple[np.ndarray, BitMatrix, BitMatrix]
         ] = {}
         level: dict[int, int] = {}
         waves: list[list[tuple[int, int, int]]] = []
         for current in nodes:
-            key = (serial, current)
-            if key in data:
+            if current in data:
                 continue
             if budget is not None:
                 budget.step()
             if slp.is_terminal(current):
-                fresh_entries[key] = self._char_tables(slp.char(current))
+                fresh_entries[(serial, current)] = self._char_tables(
+                    slp.char(current)
+                )
                 continue
             left, right = slp.children(current)
             depth = max(level.get(left, 0), level.get(right, 0)) + 1
@@ -331,10 +446,10 @@ class SLPSpannerEvaluator:
             distinct_l: list[tuple] = []
             distinct_r: list[tuple] = []
             for current, left, right in wave:
-                entry_l = data.get((serial, left))
+                entry_l = data.get(left)
                 if entry_l is None:
                     entry_l = fresh_entries[(serial, left)]
-                entry_r = data.get((serial, right))
+                entry_r = data.get(right)
                 if entry_r is None:
                     entry_r = fresh_entries[(serial, right)]
                 ident = (id(entry_l), id(entry_r))
@@ -399,37 +514,54 @@ class SLPSpannerEvaluator:
                 _, t, t_em = fresh_entries[(serial, current)]
                 t.release_dense()
                 t_em.release_dense()
-        return fresh_entries, len(nodes)
+        return fresh_entries, nodes, skipped
 
     def cached_nodes(self, serial: int | None = None) -> int:
         """How many (SLP node → matrices) entries are cached; restricted to
-        one arena when *serial* is given."""
+        one arena when *serial* is given (O(1) either way — the per-arena
+        index makes per-store stats free)."""
         if serial is None:
-            return len(self._node_data)
-        return sum(1 for key in self._node_data if key[0] == serial)
+            return sum(len(arena) for arena in self._arena_entries.values())
+        return len(self._arena_entries.get(serial, ()))
 
     def cached_node_ids(self, slp: SLP) -> list[int]:
         """The node ids of *slp* whose ``(σ, T, T_em)`` entry is cached
-        (arbitrary order).  :func:`repro.parallel.preprocess_bulk` ships
-        this set to process-backend workers so they return exactly the
-        entries this evaluator lacks — however warm their own caches are."""
-        serial = slp.serial
-        return [node for s, node in self._node_data if s == serial]
+        (arbitrary order; O(this arena's entries), other arenas sharing
+        the evaluator are never scanned).
+        :func:`repro.parallel.preprocess_bulk` ships this set to
+        process-backend workers so they return exactly the entries this
+        evaluator lacks — however warm their own caches are."""
+        return list(self._arena_entries.get(slp.serial, ()))
 
     def node_entry(self, slp: SLP, node: int):
         """The cached ``(σ, T, T_em)`` entry for one node, or ``None``."""
-        return self._node_data.get((slp.serial, node))
+        arena = self._arena_entries.get(slp.serial)
+        return arena.get(node) if arena is not None else None
 
     def cache_bytes(self) -> int:
         """Resident bytes of packed node matrices plus shared char tables."""
         return self._resident_bytes + self._char_tables_cache.nbytes()
 
+    def arena_cache_stats(self, serial: int) -> dict:
+        """``{"entries", "bytes", "sealed"}`` for one arena, in O(1).
+
+        What :meth:`repro.db.SpannerDB.stats` reports per spanner — the
+        per-arena index maintains the counts incrementally, so stats never
+        scan the cache."""
+        return {
+            "entries": len(self._arena_entries.get(serial, ())),
+            "bytes": self._arena_bytes.get(serial, 0),
+            "sealed": len(self._sealed.get(serial, ())),
+        }
+
     def _purge_arena(self, serial: int) -> None:
-        """Drop every cached entry of a collected arena (weakref callback)."""
+        """Drop every cached entry of a collected arena (weakref callback);
+        O(that arena's entries) — other arenas are untouched, unscanned."""
         self._arena_finalizers.pop(serial, None)
-        stale = [key for key in self._node_data if key[0] == serial]
-        for key in stale:
-            self._drop(key)
+        self._sealed.pop(serial, None)
+        arena = self._arena_entries.pop(serial, None)
+        if arena is not None:
+            self._resident_bytes -= self._arena_bytes.pop(serial, 0)
 
     def invalidate_from(self, slp: SLP, mark: int) -> int:
         """Drop cached matrices for nodes of *slp* with id ``>= mark``.
@@ -437,14 +569,22 @@ class SLPSpannerEvaluator:
         Transaction rollback truncates the arena back to a mark; node ids
         at or above it will be *reused* by later allocations, so any cached
         matrices keyed on them would silently describe the wrong document.
-        Returns the number of entries dropped."""
-        slp_id = slp.serial
-        stale = [
-            key for key in self._node_data
-            if key[0] == slp_id and key[1] >= mark
-        ]
-        for key in stale:
-            self._drop(key)
+        Sealed ids at or above the mark are discarded with their entries —
+        a stale sealed root would otherwise answer a repeat preprocess
+        with matrices of the rolled-back document.  Sealed ids *below* the
+        mark stay sealed: children always precede parents in the arena,
+        so a surviving node's whole subtree also survives the truncation.
+        O(this arena's own entries); returns the number dropped."""
+        serial = slp.serial
+        arena = self._arena_entries.get(serial)
+        if arena is None:
+            return 0
+        stale = [node for node in arena if node >= mark]
+        for node in stale:
+            self._drop(serial, node)
+        sealed = self._sealed.get(serial)
+        if sealed is not None:
+            self._sealed[serial] = {n for n in sealed if n < mark}
         return len(stale)
 
     # ------------------------------------------------------------------
@@ -453,7 +593,7 @@ class SLPSpannerEvaluator:
     def is_nonempty(self, slp: SLP, node: int, budget=None) -> bool:
         """``⟦M⟧(D(node)) ≠ ∅`` without decompression: one T-product chain."""
         self.preprocess(slp, node, budget)
-        return self.entry_is_nonempty(self._node_data[(slp.serial, node)])
+        return self.entry_is_nonempty(self._arena_entries[slp.serial][node])
 
     def entry_is_nonempty(self, entry) -> bool:
         """Does a whole-document ``(σ, T, T_em)`` entry admit any accepted
@@ -485,8 +625,7 @@ class SLPSpannerEvaluator:
         self.preprocess(slp, node, budget)
         det = self.det
         n = slp.length(node)
-        key = (slp.serial, node)
-        sigma_root, _, _ = self._node_data[key]
+        sigma_root, _, _ = self._arena_entries[slp.serial][node]
 
         def trailing(q_out: int, emissions: tuple) -> Iterator[tuple]:
             if self._accepting[q_out]:
@@ -624,8 +763,10 @@ class SLPSpannerEvaluator:
         :func:`~repro.kernels.bitmat.matvec` products — no float32
         conversions anywhere on this path."""
         det = self.det
-        serial = slp.serial
-        data = self._node_data
+        #: single-level per-arena view — the hot descent loop below does
+        #: one plain-int dict lookup per child instead of building
+        #: (serial, node) tuple keys
+        data = self._arena_entries[slp.serial]
         atoms = det.atoms
         char_trans = det.char_trans
         set_trans = det.set_trans
@@ -676,8 +817,8 @@ class SLPSpannerEvaluator:
                 stack.extend(reversed(produced))
                 continue
             left, right = slp.children(cur)
-            sigma_l, _, t_em_l = data[(serial, left)]
-            sigma_r, t_r, t_em_r = data[(serial, right)]
+            sigma_l, _, t_em_l = data[left]
+            sigma_r, t_r, t_em_r = data[right]
             left_length = slp.length(left)
             # the pure-left branch (left consumed without emissions, all
             # emissions in the right child) is pushed first — it comes last

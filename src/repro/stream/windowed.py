@@ -538,6 +538,8 @@ class WindowedSpannerStream:
             "guard_trips": self._guard_trips,
             "arena_nodes": self.slp.num_nodes(),
             "cache_bytes": self._evaluator.cache_bytes(),
+            "cached_nodes": self._evaluator.cached_nodes(self.slp.serial),
+            "sealed_nodes": self._evaluator.sealed_nodes(self.slp.serial),
         }
 
 

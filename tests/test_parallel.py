@@ -52,7 +52,7 @@ def _slp_entry(evaluator, text):
     slp = SLP()
     node = balanced_node(slp, text)
     evaluator.preprocess(slp, node)
-    return evaluator._node_data[(slp.serial, node)]
+    return evaluator.node_entry(slp, node)
 
 
 class TestFold:

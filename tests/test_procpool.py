@@ -501,8 +501,8 @@ class TestProcessDifferential:
         proc_eval, proc_slp, proc_nodes, proc_fresh = warm("process")
         assert proc_fresh == thread_fresh > 0
         for t_node, p_node in zip(thread_nodes, proc_nodes):
-            t_entry = thread_eval._node_data[(thread_slp.serial, t_node)]
-            p_entry = proc_eval._node_data[(proc_slp.serial, p_node)]
+            t_entry = thread_eval.node_entry(thread_slp, t_node)
+            p_entry = proc_eval.node_entry(proc_slp, p_node)
             assert _entries_equal(t_entry, p_entry)
 
     def test_bulk_process_warms_a_cold_parent_despite_warm_workers(self):

@@ -70,9 +70,9 @@ class TestCorrectness:
         small = power_node(slp, "ab", 10)
         big = slp.pair(small, small)
         oracle.accepts(slp, small)
-        cached_before = len(oracle._node_matrices)
+        cached_before = oracle.cached_nodes()
         oracle.accepts(slp, big)
-        cached_after = len(oracle._node_matrices)
+        cached_after = oracle.cached_nodes()
         assert cached_after == cached_before + 1  # only 'big' is new
 
     def test_empty_language(self):

@@ -7,9 +7,9 @@ Its safety argument (see ``docs/RELIABILITY.md``, "Serving runbook") rests
 on a small set of owners being the only code that touches the shared
 mutable state of the evaluation pipeline:
 
-* the per-spanner matrix caches (``_node_data``, ``_char_tables_cache``)
-  are owned by ``slp/spanner_eval.py`` and invalidated by ``db.py``'s
-  transaction machinery;
+* the per-spanner matrix caches (``_arena_entries``, ``_node_data``,
+  ``_char_tables_cache``) are owned by ``slp/spanner_eval.py`` and
+  invalidated by ``db.py``'s transaction machinery;
 * arena truncation (``.truncate(``) is owned by ``slp/slp.py`` (the
   definition) and ``db.py`` (rollback);
 * cache invalidation (``invalidate_from``) likewise;
@@ -39,14 +39,18 @@ SCANNED = "src"
 #: token -> set of repo-relative files allowed to use it
 GUARDED = {
     re.compile(r"\b_node_data\b"): {
-        "src/repro/slp/spanner_eval.py",
         "src/repro/slp/pattern.py",  # per-instance matcher cache, not served
+    },
+    re.compile(r"\b_arena_entries\b"): {
+        "src/repro/slp/spanner_eval.py",
     },
     re.compile(r"\b_char_tables_cache\b"): {
         "src/repro/slp/spanner_eval.py",
     },
     re.compile(r"\binvalidate_from\s*\("): {
         "src/repro/slp/spanner_eval.py",
+        "src/repro/slp/membership.py",  # defines it for its own cache
+        "src/repro/slp/pattern.py",  # likewise
         "src/repro/db.py",
     },
     re.compile(r"\.truncate\s*\("): {
