@@ -1,0 +1,124 @@
+"""Experiment Q1: the cost-based query planner earns its keep.
+
+Two claims from docs/QUERY_LANGUAGE.md are measured as before/after
+rows:
+
+* **Plan-cache amortisation** — compiled query subtrees are interned in
+  the process-wide plan cache under their canonical plan text, so a
+  repeated (or differently-spelled but algebra-identical) expression
+  skips regex parsing, the closure constructions, and determinisation
+  entirely.
+* **Statistics-driven join ordering** — once a session has observed
+  operand cardinalities, it re-orders associative join chains
+  cheapest-relation-first.  On a skewed chain (one huge operand written
+  first, a two-tuple relation written last) the re-ordered plan must
+  beat both the written-order plan and naive left-to-right
+  materialization by ≥ 2x — the nested-loop join does |R1|·|R2| work,
+  so order is the whole ballgame.
+"""
+
+import time
+
+from repro.db import SpannerDB
+from repro.kernels.plan import configure_plan_cache, plan_cache
+from repro.query import QuerySession, evaluate_query_naive, parse_expression
+from repro.query import ast
+
+#: determinisation-heavy expression (the |Q|=69 lookbehind source from
+#: bench_plan_cache, joined and projected) — compile dominates the cold run
+HEAVY = "π_{x}('(a|b)*a(a|b){5}!x{(a|b)*}' ⋈ '(a|b)*!x{(a|b)*}')"
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def test_query_plan_cache_warm_hit(bench):
+    """A repeated query expression must hit the shared plan cache and be
+    ≥ 2x faster than the cold compile (in practice far more — the warm
+    run pays only parse + plan + a 32-char evaluation)."""
+    db = SpannerDB()
+    db.add_document("d", "abba" * 8)
+
+    def compare():
+        configure_plan_cache()  # cold process-wide cache
+        session = QuerySession(db)
+        cold_seconds, cold = _timed(lambda: session.evaluate(HEAVY, "d"))
+        warm_seconds, warm = min(
+            (_timed(lambda: session.evaluate(HEAVY, "d")) for _ in range(3)),
+            key=lambda pair: pair[0],
+        )
+        assert warm == cold
+        stats = plan_cache().stats()
+        assert stats["misses"] == 1 and stats["hits"] == 3
+        return cold_seconds, warm_seconds
+
+    cold_seconds, warm_seconds = bench(compare, rounds=1)
+    bench.record(
+        cold_seconds=cold_seconds,
+        warm_seconds=warm_seconds,
+        speedup=cold_seconds / warm_seconds,
+    )
+    assert cold_seconds / warm_seconds >= 2.0
+
+
+def _flat_join_chain(expr):
+    if isinstance(expr, ast.Join):
+        return _flat_join_chain(expr.left) + _flat_join_chain(expr.right)
+    return [expr]
+
+
+def test_query_planner_reorder_beats_naive(bench, tmp_path):
+    """Warm statistics re-order a skewed join chain cheapest-first.
+
+    The chain is written worst-first: all O(n²) spans of the document,
+    then an n-tuple loaded relation, then a two-tuple one.  Loads are
+    never compilable, so every strategy materializes and the only lever
+    is order — written order pays |BIG|·|mid| nested-loop work before
+    the two-tuple relation ever prunes anything."""
+    n = 60
+    text = "ab" * n
+    # the a's of the document, as a loaded relation (1-indexed spans)
+    (tmp_path / "mid.csv").write_text(
+        "x\n" + "\n".join(f"{i}:{i + 1}" for i in range(1, 2 * n, 2)) + "\n",
+        encoding="utf-8",
+    )
+    (tmp_path / "tiny.csv").write_text("x\n1:2\n3:4\n", encoding="utf-8")
+
+    db = SpannerDB()
+    db.add_document("d", text)
+    session = QuerySession(db, base_dir=str(tmp_path))
+    expr = parse_expression("'.*!x{[ab]+}.*' ⋈ load('mid.csv') ⋈ load('tiny.csv')")
+
+    def compare():
+        # first run observes real cardinalities (written order: default
+        # estimates tie, so the stable sort keeps the skewed order)
+        expected = session.evaluate(expr, "d")
+
+        reordered_seconds, reordered = _timed(lambda: session.evaluate(expr, "d"))
+        chain = _flat_join_chain(session.last_plan.expr)
+        assert isinstance(chain[0], ast.Load) and isinstance(chain[-1], ast.RegexAtom)
+
+        written_plan = session.plan(expr, "d", reorder=False)
+        written_seconds, written = _timed(
+            lambda: session.execute_plan(written_plan, "d")
+        )
+        naive_seconds, naive = _timed(
+            lambda: evaluate_query_naive(expr, text, base_dir=str(tmp_path))
+        )
+        assert reordered == written == naive == expected and len(expected) == 2
+        return reordered_seconds, written_seconds, naive_seconds
+
+    reordered_seconds, written_seconds, naive_seconds = bench(compare, rounds=1)
+    bench.record(
+        doc_length=len(text),
+        reordered_seconds=reordered_seconds,
+        written_order_seconds=written_seconds,
+        naive_seconds=naive_seconds,
+        speedup=written_seconds / reordered_seconds,
+        naive_speedup=naive_seconds / reordered_seconds,
+    )
+    assert written_seconds / reordered_seconds >= 2.0
+    assert naive_seconds / reordered_seconds >= 2.0

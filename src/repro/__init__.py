@@ -39,6 +39,8 @@ from repro.errors import (
     ParallelError,
     PersistenceError,
     PoolExhaustedError,
+    QueryError,
+    QuerySyntaxError,
     RegexSyntaxError,
     SchemaError,
     ServeError,
@@ -106,6 +108,8 @@ __all__ = [
     "ParallelError",
     "PersistenceError",
     "PoolExhaustedError",
+    "QueryError",
+    "QuerySyntaxError",
     "Ref",
     "ReflSpanner",
     "RegexSyntaxError",

@@ -85,7 +85,7 @@ import argparse
 import sys
 
 from repro import ReflSpanner, RegularSpanner, Span, SpanTuple
-from repro.errors import SpanlibError
+from repro.errors import InvalidSpanError, SpanlibError
 
 
 def _document(args) -> str:
@@ -147,11 +147,25 @@ def _cmd_compress(args) -> int:
     return 0
 
 
+def _binding_bound(text: str) -> int:
+    """Parse one span bound as a plain ASCII decimal.
+
+    Bare ``int()`` accepts every Unicode decimal-digit class (``٣``,
+    superscripts, fullwidth digits) plus signs and surrounding
+    whitespace — the same bug class PR 5 fixed in the regex parser's
+    ``number()``; the CLI span-binding path must reject them with a typed
+    error too, never parse ``x=٣:5`` as the span ``[3,5⟩``.
+    """
+    if not text or any(ch not in "0123456789" for ch in text):
+        raise InvalidSpanError(f"span bounds must be ASCII digits, got {text!r}")
+    return int(text)
+
+
 def _parse_binding(text: str) -> tuple[str, Span]:
     try:
         var, bounds = text.split("=", 1)
         start, end = bounds.split(":", 1)
-        return var, Span(int(start), int(end))
+        return var, Span(_binding_bound(start), _binding_bound(end))
     except (ValueError, SpanlibError) as exc:
         raise SystemExit(f"error: bad span binding {text!r} (want var=start:end): {exc}")
 
@@ -239,11 +253,27 @@ def _run_db_action(args) -> int:
             store.save(args.store)
         print(f"edited -> {args.operands[0]!r} ({store.document_length(args.operands[0])} chars)")
     elif action == "query":
-        if len(args.operands) != 2:
-            raise SystemExit("usage: db STORE query PATTERN DOCUMENT")
-        store.register_spanner("__cli__", args.operands[0], budget)
-        for tup in store.query("__cli__", args.operands[1], budget):
-            print(tup)
+        if len(args.operands) == 1:
+            # one operand = a spanner-algebra statement sequence (the
+            # repro.query language); `expr ON name` picks the document,
+            # defaulting to the store's only document when unambiguous
+            from repro.query import QuerySession
+
+            session = QuerySession(store, budget=budget)
+            if len(store.documents()) == 1:
+                session.default_document = store.documents()[0]
+            for result in session.execute(args.operands[0], budget):
+                if result.relation is not None:
+                    print(result.relation.to_table())
+        elif len(args.operands) == 2:
+            store.register_spanner("__cli__", args.operands[0], budget)
+            for tup in store.query("__cli__", args.operands[1], budget):
+                print(tup)
+        else:
+            raise SystemExit(
+                "usage: db STORE query PATTERN DOCUMENT"
+                "  |  db STORE query \"<algebra expr [ON doc]>\""
+            )
     elif action == "bulk":
         if len(args.operands) < 2:
             raise SystemExit("usage: db STORE bulk PATTERN DOCUMENT [DOCUMENT ...]")
@@ -283,6 +313,54 @@ def _run_db_action(args) -> int:
     else:
         raise SystemExit(f"unknown db action {action!r}")
     return 0
+
+
+def _query_store(args):
+    import os
+
+    from repro.db import SpannerDB
+
+    store_path = getattr(args, "store", None)
+    if store_path and os.path.exists(store_path):
+        store = SpannerDB.open(store_path)
+    else:
+        store = SpannerDB()
+    if getattr(args, "doc", None) is not None:
+        store.add_document("doc", args.doc)
+    return store
+
+
+def _cmd_query(args) -> int:
+    from repro.query import QuerySession
+    from repro.query.repl import run_script
+
+    budget = _budget(args)
+    store = _query_store(args)
+    if args.file:
+        return run_script(args.file, store, budget=budget)
+    if not args.expression:
+        raise SystemExit("error: provide statements or --file SCRIPT")
+    session = QuerySession(store, budget=budget)
+    if len(store.documents()) == 1:
+        session.default_document = store.documents()[0]
+    for result in session.execute(args.expression, budget):
+        if args.plan and result.plan is not None:
+            print(result.plan.describe())
+        if result.relation is not None:
+            print(result.relation.to_table())
+            count = len(result.relation)
+            print(f"({count} tuple{'s' if count != 1 else ''})")
+    return 0
+
+
+def _cmd_repl(args) -> int:
+    from repro.query.repl import Repl
+
+    store = _query_store(args)
+    shell = Repl(store, budget=_budget(args))
+    if len(store.documents()) == 1:
+        shell.session.default_document = store.documents()[0]
+    return shell.run()
 
 
 def _cmd_stream(args) -> int:
@@ -619,6 +697,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="decompression-bomb guard: refuse to materialise more bytes",
     )
     db.set_defaults(handler=_cmd_db)
+
+    def budget_flags(sub) -> None:
+        sub.add_argument(
+            "--deadline", type=float, default=None,
+            help="wall-clock budget in seconds",
+        )
+        sub.add_argument(
+            "--max-steps", type=int, default=None,
+            help="abstract step budget for evaluation",
+        )
+        sub.add_argument(
+            "--max-bytes", type=int, default=None,
+            help="decompression-bomb guard: refuse to materialise more bytes",
+        )
+
+    query = commands.add_parser(
+        "query", help="run spanner-algebra statements (LET/DOC/π/⋈/∪/\\)"
+    )
+    query.add_argument(
+        "expression", nargs="?",
+        help="statements to run, ';'-separated (or use --file)",
+    )
+    query.add_argument("-f", "--file", help="run a .rq script file")
+    query.add_argument("--store", help="SpannerDB snapshot to query (optional)")
+    query.add_argument(
+        "--doc", default=None,
+        help="ad-hoc document text, stored as 'doc' and selected by default",
+    )
+    query.add_argument(
+        "--plan", action="store_true",
+        help="print each query's chosen plan before its results",
+    )
+    budget_flags(query)
+    query.set_defaults(handler=_cmd_query)
+
+    repl = commands.add_parser("repl", help="interactive query shell")
+    repl.add_argument("--store", help="SpannerDB snapshot to open (optional)")
+    repl.add_argument(
+        "--doc", default=None,
+        help="ad-hoc document text, stored as 'doc' and selected by default",
+    )
+    budget_flags(repl)
+    repl.set_defaults(handler=_cmd_repl)
 
     stream = commands.add_parser(
         "stream", help="tail a live feed through the streaming ingestion layer"

@@ -224,6 +224,11 @@ class VSetAutomaton(Spanner):
         are normalised to the canonical marker order, where the spanner
         difference coincides with the difference of the subword-marked
         languages.  Requires equal schemas.
+
+        The result's relation on any document is a subset of the left
+        operand's, so left-functional implies result-functional — the
+        flag is preserved so downstream planners can keep taking the
+        strict-join fast path.
         """
         from repro.automata.dfa import difference as language_difference
 
@@ -235,7 +240,9 @@ class VSetAutomaton(Spanner):
         left = self.normalized().nfa
         right = other.normalized().nfa
         return VSetAutomaton(
-            language_difference(left, right), self._variables, functional=False
+            language_difference(left, right),
+            self._variables,
+            functional=self.functional,
         )
 
     def rename(self, renaming: Mapping[str, str]) -> "VSetAutomaton":

@@ -423,6 +423,17 @@ class SpanRelation:
                     joined.append(left.merge(right))
         return SpanRelation(variables, joined)
 
+    def difference(self, other: "SpanRelation") -> "SpanRelation":
+        """Set difference; requires equal schemas, mirroring
+        :meth:`repro.automata.vset.VSetAutomaton.difference` so the
+        materialized and compiled query strategies agree."""
+        if self._variables != other._variables:
+            raise SchemaError(
+                "difference requires equal schemas: "
+                f"{sorted(self._variables)} vs {sorted(other._variables)}"
+            )
+        return SpanRelation(self._variables, self._tuples - other._tuples)
+
     def select_equal(self, doc: str, group: Iterable[str]) -> "SpanRelation":
         """String-equality selection ``ς=_Z`` with respect to *doc*."""
         group = tuple(group)

@@ -423,6 +423,37 @@ class SpannerDB:
         evaluator = self._evaluator(spanner)
         return evaluator.is_nonempty(self.slp, self._db.node(document), budget)
 
+    def document_node(self, name: str) -> int:
+        """The SLP root node of a stored document (for evaluator reuse by
+        the query layer and other engine-level callers)."""
+        return self._db.node(name)
+
+    def query_expr(
+        self, expression: str, document: str | None = None, budget=None
+    ) -> SpanRelation:
+        """Evaluate a :mod:`repro.query` algebra expression on this store.
+
+        One-shot convenience over :class:`repro.query.executor.QuerySession`
+        (which is what the REPL and :mod:`repro.serve` keep alive between
+        statements to accumulate bindings and planner statistics); the
+        compiled subplans still land in the shared plan cache, so repeated
+        one-shot calls of the same expression stay warm."""
+        from repro.query.executor import QuerySession
+
+        with obs.tracer().span(
+            "db.query_expr", expression=expression, document=document
+        ) as span:
+            try:
+                session = QuerySession(self, budget=budget)
+                relation = session.evaluate(expression, document, budget)
+                if obs.enabled():
+                    span.attrs["tuples"] = len(relation)
+                return relation
+            except _BUDGET_ERRORS as exc:
+                if obs.enabled():
+                    _budget_event("query_expr", exc, budget)
+                raise
+
     def query_bulk(
         self,
         spanner: str,

@@ -32,6 +32,8 @@ __all__ = [
     "SpanlibError",
     "InvalidSpanError",
     "InvalidMarkedWordError",
+    "QueryError",
+    "QuerySyntaxError",
     "RegexSyntaxError",
     "NotFunctionalError",
     "SchemaError",
@@ -81,6 +83,34 @@ class RegexSyntaxError(SpanlibError, ValueError):
     def __init__(self, message: str, position: int) -> None:
         super().__init__(f"{message} (at position {position})")
         self.position = position
+
+
+class QueryError(SpanlibError, ValueError):
+    """A :mod:`repro.query` statement could not be executed.
+
+    Raised by the executor for semantic failures that are not syntax
+    errors: references to unbound names, evaluation without a document
+    in scope, malformed ``load(...)`` relation files, and so on.  Schema
+    violations inside algebra operators keep their own
+    :class:`SchemaError` type even when surfaced through the query layer.
+    """
+
+
+class QuerySyntaxError(QueryError):
+    """A :mod:`repro.query` expression or script failed to parse.
+
+    Attributes
+    ----------
+    position:
+        0-based offset into the query text at which parsing failed.
+    line:
+        1-based line number of the failure (scripts are multi-line).
+    """
+
+    def __init__(self, message: str, position: int, line: int = 1) -> None:
+        super().__init__(f"{message} (at position {position}, line {line})")
+        self.position = position
+        self.line = line
 
 
 class NotFunctionalError(SpanlibError, ValueError):

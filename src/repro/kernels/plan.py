@@ -112,13 +112,20 @@ class PlanCache:
         self._over_budget = 0
 
     # ------------------------------------------------------------------
-    def get_or_compile(self, source: str) -> CompiledPlan:
+    def get_or_compile(self, source: str, compiler=None) -> CompiledPlan:
         """The cached plan for *source*, compiling (and caching) on miss.
 
         Compilation happens *outside* the cache lock: a slow compile of
         one spanner never blocks hits — or other misses — on different
         sources.  Concurrent misses on the same source are collapsed to
-        one compilation through the in-flight table."""
+        one compilation through the in-flight table.
+
+        *compiler* overrides the default regex-formula compiler: it maps
+        *source* to a :class:`CompiledPlan` and is how :mod:`repro.query`
+        interns whole-query plans under their canonical plan text, so a
+        repeated analyst query warms exactly like a single spanner.  The
+        caller must use distinct key namespaces for distinct compilers
+        (query keys are prefixed ``query:``)."""
         observing = obs.enabled()
         counted = False
         while True:
@@ -148,7 +155,7 @@ class PlanCache:
                 wait_for.wait()
                 continue
             try:
-                plan = _compile(source)
+                plan = (compiler or _compile)(source)
             except BaseException:
                 with self._lock:
                     self._inflight.pop(source).set()

@@ -69,6 +69,13 @@ METRIC_NAMES = frozenset(
         "parallel.shm.pack_ns",
         "parallel.shm.segments",
         "parallel.shm.unpack_ns",
+        # query (the repro.query language layer)
+        "query.evaluations",
+        "query.plan.compile",
+        "query.plan.load",
+        "query.plan.materialize",
+        "query.plan.scan",
+        "query.statements",
         # serve
         "serve.breaker.closed",
         "serve.breaker.opened",
@@ -120,6 +127,7 @@ METRIC_PREFIXES = (
     "db.budget_exceeded.",
     "parallel.degraded.",
     "parallel.proc.crashes.",
+    "query.plan.",
     "serve.failed.",
 )
 

@@ -1,0 +1,77 @@
+"""`repro.query`: a relational-algebra query language over spanners.
+
+The paper's algebra (union, natural join, projection, renaming,
+difference over regular spanners) and *Complexity Bounds for Relational
+Algebra over Document Spanners* motivate a query surface whose cost
+depends critically on operator order and on whether operands are
+*functional*.  This package gives `repro` that surface — a lexer →
+parser → planner → executor pipeline modeled on ``robertchase/codd`` —
+so the system serves arbitrary analyst workloads, not one regex at a
+time:
+
+* :mod:`repro.query.lexer` / :mod:`repro.query.parser` — a hand-written
+  lexer and recursive-descent parser for the grammar of
+  ``docs/QUERY_LANGUAGE.md`` (``LET name = e``, ``π{x,y}(e)``,
+  ``e1 ⋈ e2``, ``e1 ∪ e2``, ``e1 \\ e2``, ``e[regex]``, ``load(...)``),
+  raising typed :class:`~repro.errors.QuerySyntaxError` with positions;
+* :mod:`repro.query.planner` — a cost-based planner that chooses, per
+  operator, between *compiling* the subtree into one vset-automaton and
+  *materializing* operand relations, using the paper's bounds
+  (state-count × ``3^|shared|`` for lenient joins; functional operands
+  take the strict product) plus cached cardinality statistics, and
+  reorders associative join chains by estimated intermediate size;
+* :mod:`repro.query.executor` — :class:`QuerySession` evaluates plans
+  through the existing :class:`~repro.db.SpannerDB` stack (compiled
+  subtrees run on the SLP-compressed documents and are interned in the
+  shared :func:`~repro.kernels.plan.plan_cache` under their canonical
+  plan text), charging a :class:`~repro.util.Budget` per operator;
+* :mod:`repro.query.repl` — the interactive ``python -m repro repl``
+  (``\\plan``, ``\\timing``, …) and the ``repro query -f`` script mode.
+
+The differential contract: every expression evaluated through the
+planner returns exactly the relation of naive bottom-up materialization
+over the algebra operators (:func:`evaluate_query_naive`), asserted by a
+200-seed fuzz lane over random expressions and unicode documents.
+"""
+
+from repro.query.ast import (
+    Difference,
+    Join,
+    Let,
+    Load,
+    NameRef,
+    Project,
+    RegexAtom,
+    Rename,
+    Union,
+    canonical_key,
+)
+from repro.query.executor import QuerySession, evaluate_query, evaluate_query_naive
+from repro.query.lexer import Token, tokenize
+from repro.query.parser import parse_expression, parse_program
+from repro.query.planner import PlanNode, plan_expression
+from repro.query.repl import Repl, run_script
+
+__all__ = [
+    "Difference",
+    "Join",
+    "Let",
+    "Load",
+    "NameRef",
+    "PlanNode",
+    "Project",
+    "QuerySession",
+    "RegexAtom",
+    "Rename",
+    "Repl",
+    "Token",
+    "Union",
+    "canonical_key",
+    "evaluate_query",
+    "evaluate_query_naive",
+    "parse_expression",
+    "parse_program",
+    "plan_expression",
+    "run_script",
+    "tokenize",
+]

@@ -1,0 +1,173 @@
+"""AST node types for the spanner-algebra query language.
+
+Every node carries ``pos`` — the 0-based offset of the construct in the
+query text — so the planner and executor can report errors with the same
+positional precision as the parser.
+
+:func:`canonical_key` renders an expression into a canonical plan text:
+operand order is preserved (join order is chosen by the *planner*, after
+name resolution), ``LET``-bound names are resolved away by the caller
+before keying, and regex atoms appear verbatim.  Two textually different
+queries that resolve to the same algebra tree share one key, which is
+what lets the :func:`repro.kernels.plan.plan_cache` warm whole queries
+like single spanners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Expr",
+    "RegexAtom",
+    "NameRef",
+    "Load",
+    "Project",
+    "Rename",
+    "Join",
+    "Union",
+    "Difference",
+    "Statement",
+    "Let",
+    "DocStatement",
+    "Query",
+    "canonical_key",
+]
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class of query expressions."""
+
+    pos: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class RegexAtom(Expr):
+    """A spanner literal: a quoted regex-formula, e.g. ``'!x{a+}b'``."""
+
+    source: str = ""
+
+
+@dataclass(frozen=True)
+class NameRef(Expr):
+    """A reference to a ``LET``-bound expression or registered spanner."""
+
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class Load(Expr):
+    """``load('relation.csv')`` — a materialized span relation from disk
+    (CSV with a variable-name header and ``start:end`` cells, the format
+    of :meth:`repro.core.spans.SpanRelation.to_csv`)."""
+
+    path: str = ""
+
+
+@dataclass(frozen=True)
+class Project(Expr):
+    """Projection ``π{x,y}(e)``."""
+
+    inner: Expr = None  # type: ignore[assignment]
+    variables: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class Rename(Expr):
+    """Renaming ``ρ{x->y}(e)`` (injective on the schema)."""
+
+    inner: Expr = None  # type: ignore[assignment]
+    renaming: tuple[tuple[str, str], ...] = ()
+
+
+@dataclass(frozen=True)
+class Join(Expr):
+    """Natural join ``e1 ⋈ e2`` (lenient schemaless semantics of [27];
+    coincides with the strict join when both operands are functional).
+    ``e[regex]`` is parsed as ``Join(e, RegexAtom(regex))``."""
+
+    left: Expr = None  # type: ignore[assignment]
+    right: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class Union(Expr):
+    """Spanner union ``e1 ∪ e2`` (schemas merge)."""
+
+    left: Expr = None  # type: ignore[assignment]
+    right: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class Difference(Expr):
+    """Spanner difference ``e1 \\ e2`` (equal schemas required)."""
+
+    left: Expr = None  # type: ignore[assignment]
+    right: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class Statement:
+    """Base class of statements (one per line or ``;``-separated)."""
+
+    pos: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class Let(Statement):
+    """``LET name = e`` — bind *name* to an expression in the session."""
+
+    name: str = ""
+    expr: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class DocStatement(Statement):
+    """``DOC name = 'text'`` — add (or replace) a document in the store."""
+
+    name: str = ""
+    text: str = ""
+
+
+@dataclass(frozen=True)
+class Query(Statement):
+    """A bare expression, optionally with an ``ON document`` clause —
+    evaluate and emit the relation."""
+
+    expr: Expr = None  # type: ignore[assignment]
+    document: str | None = None
+
+
+def _quote(text: str) -> str:
+    escaped = text.replace("\\", "\\\\").replace("'", "\\'")
+    return f"'{escaped}'"
+
+
+def canonical_key(expr: Expr) -> str:
+    """Canonical plan text for *expr* (see module docstring).
+
+    :class:`NameRef` nodes must be resolved away (the executor inlines
+    ``LET`` bindings before keying); an unresolved reference keys under
+    its name, which is correct for spanners registered on the store —
+    their relation is part of the store's state, not the plan's.
+    """
+    if isinstance(expr, RegexAtom):
+        return f"regex({_quote(expr.source)})"
+    if isinstance(expr, NameRef):
+        return f"name({expr.name})"
+    if isinstance(expr, Load):
+        return f"load({_quote(expr.path)})"
+    if isinstance(expr, Project):
+        inner = canonical_key(expr.inner)
+        return f"pi{{{','.join(expr.variables)}}}({inner})"
+    if isinstance(expr, Rename):
+        pairs = ",".join(f"{a}->{b}" for a, b in expr.renaming)
+        return f"rho{{{pairs}}}({canonical_key(expr.inner)})"
+    if isinstance(expr, Join):
+        return f"join({canonical_key(expr.left)},{canonical_key(expr.right)})"
+    if isinstance(expr, Union):
+        return f"union({canonical_key(expr.left)},{canonical_key(expr.right)})"
+    if isinstance(expr, Difference):
+        return f"diff({canonical_key(expr.left)},{canonical_key(expr.right)})"
+    raise TypeError(f"not a query expression: {expr!r}")  # pragma: no cover

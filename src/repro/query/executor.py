@@ -1,0 +1,431 @@
+"""Execution of planned query expressions against a :class:`SpannerDB`.
+
+:class:`QuerySession` is the stateful surface behind the REPL, the
+``repro query`` CLI, and :meth:`repro.serve.SpannerService.query_expression`:
+it holds ``LET`` bindings, the target store, per-document cardinality
+statistics (fed back into the planner after every execution), and the
+last plan for ``\\plan`` introspection.
+
+Compiled subtrees are interned in the process-wide
+:func:`repro.kernels.plan.plan_cache` under ``"query:" + canonical plan
+text``, so a repeated analyst query skips parsing, planning *and*
+automaton construction and goes straight to the warm evaluator — the
+same warm-hit economics single registered spanners already enjoy.
+
+:func:`evaluate_query_naive` is the differential reference: bottom-up,
+left-to-right materialization over the *decompressed* document text,
+with atoms evaluated by the naive enumeration of
+:mod:`repro.enumeration.naive` — machinery disjoint from the
+SLP/compiled path.  The fuzz suite asserts the planner's answer equals
+the reference on every seed.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+import time
+from dataclasses import dataclass
+
+from repro import obs
+from repro.core.spans import Span, SpanRelation, SpanTuple
+from repro.db import SpannerDB
+from repro.errors import QueryError
+from repro.kernels.plan import CompiledPlan, plan_cache
+from repro.query import ast
+from repro.query.ast import canonical_key
+from repro.query.parser import parse_expression, parse_program
+from repro.query.planner import (
+    DEFAULT_DOC_LENGTH,
+    PlanNode,
+    _default_atom_automaton,
+    plan_expression,
+)
+
+__all__ = [
+    "QuerySession",
+    "StatementResult",
+    "evaluate_query",
+    "evaluate_query_naive",
+    "load_relation",
+]
+
+_ASCII_DIGITS = frozenset("0123456789")
+
+
+def _span_from_cell(cell: str, path: str) -> Span:
+    start, sep, end = cell.partition(":")
+    if (
+        not sep
+        or not start
+        or not end
+        or any(ch not in _ASCII_DIGITS for ch in start + end)
+    ):
+        raise QueryError(
+            f"malformed span cell {cell!r} in {path!r}: expected ASCII 'start:end'"
+        )
+    return Span(int(start), int(end))
+
+
+def load_relation(path: str, base_dir: str = ".") -> SpanRelation:
+    """Read a span relation from the CSV format of
+    :meth:`~repro.core.spans.SpanRelation.to_csv` (header of variable
+    names; ``start:end`` cells, empty for undefined)."""
+    full = path if os.path.isabs(path) else os.path.join(base_dir, path)
+    try:
+        with open(full, "r", encoding="utf-8") as stream:
+            rows = list(csv.reader(stream))
+    except OSError as exc:
+        raise QueryError(f"cannot load relation from {path!r}: {exc}") from None
+    if not rows:
+        raise QueryError(f"relation file {path!r} is empty (no header row)")
+    header = rows[0]
+    if len(set(header)) != len(header) or any(not name for name in header):
+        raise QueryError(f"relation file {path!r} has a malformed header {header!r}")
+    tuples = []
+    for row in rows[1:]:
+        if len(row) != len(header):
+            raise QueryError(
+                f"relation file {path!r}: row {row!r} does not match header width"
+            )
+        items = [
+            (var, _span_from_cell(cell, path))
+            for var, cell in zip(header, row)
+            if cell
+        ]
+        tuples.append(SpanTuple(items))
+    return SpanRelation(header, tuples)
+
+
+def _join_automata(left, right, budget=None):
+    """The query language's join on automata: lenient semantics, with the
+    strict product fast path when it provably coincides (no shared
+    variables, or both operands functional)."""
+    from repro.spanners.algebra import join_lenient
+
+    shared = left.variables & right.variables
+    if not shared or (left.functional and right.functional):
+        return left.join(right)
+    return join_lenient(left, right, budget=budget)
+
+
+def build_automaton(expr: ast.Expr, atom_automaton=None, budget=None):
+    """Fold a compilable (resolved, load-free) subtree into one
+    vset-automaton via the closure constructions."""
+    atom_automaton = atom_automaton or _default_atom_automaton
+    if isinstance(expr, ast.RegexAtom):
+        return atom_automaton(expr.source)
+    if isinstance(expr, ast.Project):
+        return build_automaton(expr.inner, atom_automaton, budget).project(
+            frozenset(expr.variables)
+        )
+    if isinstance(expr, ast.Rename):
+        return build_automaton(expr.inner, atom_automaton, budget).rename(
+            dict(expr.renaming)
+        )
+    if isinstance(expr, ast.Join):
+        return _join_automata(
+            build_automaton(expr.left, atom_automaton, budget),
+            build_automaton(expr.right, atom_automaton, budget),
+            budget,
+        )
+    if isinstance(expr, ast.Union):
+        return build_automaton(expr.left, atom_automaton, budget).union(
+            build_automaton(expr.right, atom_automaton, budget)
+        )
+    if isinstance(expr, ast.Difference):
+        return build_automaton(expr.left, atom_automaton, budget).difference(
+            build_automaton(expr.right, atom_automaton, budget)
+        )
+    raise QueryError(f"subtree {canonical_key(expr)} cannot be compiled")
+
+
+@dataclass
+class StatementResult:
+    """Outcome of one executed statement."""
+
+    statement: ast.Statement
+    relation: SpanRelation | None = None
+    document: str | None = None
+    elapsed: float = 0.0
+    plan: PlanNode | None = None
+
+
+class QuerySession:
+    """Bindings + store + statistics: the engine behind every query surface."""
+
+    def __init__(
+        self,
+        db: SpannerDB | None = None,
+        *,
+        base_dir: str = ".",
+        budget=None,
+    ) -> None:
+        self.db = db if db is not None else SpannerDB()
+        self.base_dir = base_dir
+        self.budget = budget
+        self.bindings: dict[str, ast.Expr] = {}
+        #: document name → {canonical plan text → observed cardinality};
+        #: read by the planner, written after every (sub)plan execution
+        self.stats: dict[str, dict[str, int]] = {}
+        self.default_document: str | None = None
+        self.last_plan: PlanNode | None = None
+
+    # ------------------------------------------------------------------
+    # name resolution
+    # ------------------------------------------------------------------
+    def resolve(self, expr: ast.Expr) -> ast.Expr:
+        """Inline ``LET`` bindings and registered string spanners.
+
+        Registered spanners keep their regex source, so they compile into
+        larger plans like any literal; spanners registered from automaton
+        objects stay as opaque :class:`~repro.query.ast.NameRef` scans."""
+        if isinstance(expr, ast.NameRef):
+            bound = self.bindings.get(expr.name)
+            if bound is not None:
+                return bound
+            if expr.name in self.db.spanners():
+                source = self.db._spanner_sources.get(expr.name)
+                if source is not None:
+                    return ast.RegexAtom(pos=expr.pos, source=source)
+                return expr
+            raise QueryError(
+                f"unknown name {expr.name!r} (at position {expr.pos}): "
+                "not a LET binding or registered spanner"
+            )
+        if isinstance(expr, (ast.RegexAtom, ast.Load)):
+            return expr
+        if isinstance(expr, ast.Project):
+            return ast.Project(
+                pos=expr.pos, inner=self.resolve(expr.inner), variables=expr.variables
+            )
+        if isinstance(expr, ast.Rename):
+            return ast.Rename(
+                pos=expr.pos, inner=self.resolve(expr.inner), renaming=expr.renaming
+            )
+        kind = type(expr)
+        return kind(pos=expr.pos, left=self.resolve(expr.left), right=self.resolve(expr.right))
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def _doc_length(self, document: str | None) -> int:
+        if document is None:
+            return DEFAULT_DOC_LENGTH
+        return max(1, self.db.document_length(document))
+
+    def plan(
+        self, expr, document: str | None = None, *, reorder: bool = True
+    ) -> PlanNode:
+        """Resolve and plan *expr* (a string or an AST expression)."""
+        if isinstance(expr, str):
+            expr = parse_expression(expr)
+        resolved = self.resolve(expr)
+        document = document or self.default_document
+        return plan_expression(
+            resolved,
+            stats=self.stats.get(document or "", {}),
+            doc_length=self._doc_length(document),
+            reorder=reorder,
+        )
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _compiled(self, node: PlanNode, budget):
+        key = "query:" + node.key
+
+        def compiler(source: str) -> CompiledPlan:
+            from repro.slp.spanner_eval import SLPSpannerEvaluator
+
+            automaton = build_automaton(node.expr, budget=budget)
+            evaluator = SLPSpannerEvaluator(automaton)
+            return CompiledPlan(source, evaluator.det, evaluator)
+
+        return plan_cache().get_or_compile(key, compiler=compiler)
+
+    def execute_plan(
+        self, node: PlanNode, document: str | None = None, budget=None
+    ) -> SpanRelation:
+        """Run a planned tree, charging *budget* per operator, and feed
+        observed cardinalities back into the session statistics."""
+        budget = budget if budget is not None else self.budget
+        document = document or self.default_document
+        relation = self._execute(node, document, budget)
+        return relation
+
+    def _record(self, node: PlanNode, document: str | None, relation: SpanRelation) -> None:
+        self.stats.setdefault(document or "", {})[node.key] = len(relation)
+
+    def _require_document(self, node: PlanNode, document: str | None) -> str:
+        if document is None:
+            raise QueryError(
+                f"no document selected for {node.key}: "
+                "use 'expr ON name', \\doc in the REPL, or a DOC statement"
+            )
+        return document
+
+    def _execute(self, node: PlanNode, document: str | None, budget) -> SpanRelation:
+        if budget is not None:
+            budget.check_deadline()
+        if obs.enabled():
+            obs.metrics().counter(f"query.plan.{node.strategy}").inc()
+        if node.strategy == "load":
+            relation = load_relation(node.expr.path, self.base_dir)
+            if budget is not None:
+                budget.step(len(relation))
+        elif node.strategy == "scan":
+            relation = self.db.evaluate(
+                node.expr.name, self._require_document(node, document), budget
+            )
+        elif node.strategy == "compile":
+            plan = self._compiled(node, budget)
+            doc = self._require_document(node, document)
+            relation = plan.evaluator.evaluate(
+                self.db.slp, self.db.document_node(doc), budget
+            )
+        else:  # materialize
+            children = [self._execute(child, document, budget) for child in node.children]
+            relation = self._combine(node, children, budget)
+        self._record(node, document, relation)
+        return relation
+
+    def _combine(self, node: PlanNode, children: list[SpanRelation], budget) -> SpanRelation:
+        expr = node.expr
+        if budget is not None:
+            if isinstance(expr, ast.Join):
+                budget.step(max(1, len(children[0]) * len(children[1])))
+            else:
+                budget.step(max(1, sum(len(child) for child in children)))
+            budget.check_deadline()
+        if isinstance(expr, ast.Project):
+            return children[0].project(expr.variables)
+        if isinstance(expr, ast.Rename):
+            return children[0].rename(dict(expr.renaming))
+        if isinstance(expr, ast.Join):
+            return children[0].natural_join(children[1])
+        if isinstance(expr, ast.Union):
+            return children[0].union(children[1])
+        if isinstance(expr, ast.Difference):
+            return children[0].difference(children[1])
+        raise QueryError(f"cannot combine {node.op}")  # pragma: no cover
+
+    def evaluate(
+        self, expr, document: str | None = None, budget=None
+    ) -> SpanRelation:
+        """Parse (if needed), resolve, plan, and execute one expression."""
+        node = self.plan(expr, document)
+        self.last_plan = node
+        if obs.enabled():
+            obs.metrics().counter("query.evaluations").inc()
+        return self.execute_plan(node, document, budget)
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def execute_statement(self, statement: ast.Statement, budget=None) -> StatementResult:
+        started = time.perf_counter()
+        if obs.enabled():
+            obs.metrics().counter("query.statements").inc()
+        if isinstance(statement, ast.Let):
+            self.bindings[statement.name] = self.resolve(statement.expr)
+            return StatementResult(statement, elapsed=time.perf_counter() - started)
+        if isinstance(statement, ast.DocStatement):
+            if statement.name in self.db.documents():
+                # replace: drop the catalog entry (arena nodes are
+                # immutable and shared; the old node just goes cold) and
+                # invalidate this document's cardinality statistics
+                self.db._db._docs.pop(statement.name, None)
+                self.stats.pop(statement.name, None)
+            self.db.add_document(statement.name, statement.text, budget or self.budget)
+            self.default_document = statement.name
+            return StatementResult(
+                statement,
+                document=statement.name,
+                elapsed=time.perf_counter() - started,
+            )
+        if isinstance(statement, ast.Query):
+            document = statement.document or self.default_document
+            node = self.plan(statement.expr, document)
+            self.last_plan = node
+            relation = self.execute_plan(node, document, budget)
+            return StatementResult(
+                statement,
+                relation=relation,
+                document=document,
+                elapsed=time.perf_counter() - started,
+                plan=node,
+            )
+        raise QueryError(f"unknown statement {statement!r}")  # pragma: no cover
+
+    def execute(self, text: str, budget=None) -> list[StatementResult]:
+        """Run a whole program (first syntax error raises)."""
+        statements, _ = parse_program(text, recover=False)
+        return [self.execute_statement(statement, budget) for statement in statements]
+
+
+def evaluate_query(
+    expression: str,
+    db: SpannerDB | None = None,
+    document: str | None = None,
+    budget=None,
+    base_dir: str = ".",
+) -> SpanRelation:
+    """One-shot: evaluate *expression* through a fresh session."""
+    session = QuerySession(db, base_dir=base_dir, budget=budget)
+    return session.evaluate(expression, document, budget)
+
+
+def evaluate_query_naive(
+    expr,
+    text: str,
+    *,
+    db: SpannerDB | None = None,
+    bindings: dict[str, ast.Expr] | None = None,
+    base_dir: str = ".",
+    budget=None,
+) -> SpanRelation:
+    """The differential reference: bottom-up, left-to-right
+    materialization over the decompressed *text*.
+
+    Atoms are evaluated by the naive enumerator
+    (:meth:`repro.automata.vset.VSetAutomaton.evaluate`) — no SLP, no
+    plan cache, no reordering — so agreement with
+    :meth:`QuerySession.evaluate` certifies the whole planner stack."""
+    if isinstance(expr, str):
+        expr = parse_expression(expr)
+    if bindings or db is not None:
+        session = QuerySession(db, base_dir=base_dir)
+        session.bindings.update(bindings or {})
+        expr = session.resolve(expr)
+
+    def walk(node: ast.Expr) -> SpanRelation:
+        if budget is not None:
+            budget.check_deadline()
+        if isinstance(node, ast.RegexAtom):
+            if budget is not None:
+                budget.step(max(1, len(text)))
+            return _default_atom_automaton(node.source).evaluate(text)
+        if isinstance(node, ast.NameRef):
+            if db is None:
+                raise QueryError(f"unknown name {node.name!r} (at position {node.pos})")
+            return db._evaluator(node.name).evaluate_text(text, budget)
+        if isinstance(node, ast.Load):
+            return load_relation(node.path, base_dir)
+        if isinstance(node, ast.Project):
+            return walk(node.inner).project(node.variables)
+        if isinstance(node, ast.Rename):
+            return walk(node.inner).rename(dict(node.renaming))
+        left = walk(node.left)
+        right = walk(node.right)
+        if budget is not None:
+            budget.step(max(1, len(left) * len(right)))
+        if isinstance(node, ast.Join):
+            return left.natural_join(right)
+        if isinstance(node, ast.Union):
+            return left.union(right)
+        if isinstance(node, ast.Difference):
+            return left.difference(right)
+        raise QueryError(f"not a query expression: {node!r}")  # pragma: no cover
+
+    return walk(expr)

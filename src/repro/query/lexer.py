@@ -1,0 +1,139 @@
+"""Hand-written lexer for the spanner-algebra query language.
+
+Tokens carry their 0-based ``pos`` (offset into the full text) and
+1-based ``line``, so every downstream error — lexer, parser, executor —
+points at an exact location.  String literals use single or double
+quotes with ``\\`` escapes (only ``\\'``, ``\\"`` and ``\\\\`` are
+special; everything else passes through verbatim, because the payload is
+usually a spanner regex with its own backslash escapes).
+
+Operator spellings come in both the paper's unicode (``π`` ``ρ`` ``⋈``
+``∪``) and plain-ASCII keyword forms (``pi`` ``rho`` ``join``
+``union``); ``\\`` / ``minus`` is the difference operator.  Keywords are
+recognised case-insensitively; identifiers stay case-sensitive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QuerySyntaxError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+#: keyword spellings (lower-cased) → canonical token kind
+KEYWORDS = {
+    "let": "LET",
+    "doc": "DOC",
+    "on": "ON",
+    "load": "LOAD",
+    "pi": "PI",
+    "project": "PI",
+    "rho": "RHO",
+    "rename": "RHO",
+    "join": "JOIN",
+    "union": "UNION",
+    "minus": "DIFF",
+}
+
+_SYMBOLS = {
+    "π": "PI",
+    "ρ": "RHO",
+    "⋈": "JOIN",
+    "∪": "UNION",
+    "\\": "DIFF",
+    "=": "EQUALS",
+    "(": "LPAREN",
+    ")": "RPAREN",
+    "{": "LBRACE",
+    "}": "RBRACE",
+    "[": "LBRACKET",
+    "]": "RBRACKET",
+    ",": "COMMA",
+    ";": "SEMI",
+}
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_NAME_CONT = _NAME_START | set("0123456789")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: ``kind`` (see module source), ``text`` (the
+    payload: identifier spelling or decoded string literal), ``pos``
+    (0-based offset), ``line`` (1-based)."""
+
+    kind: str
+    text: str
+    pos: int
+    line: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Token({self.kind}, {self.text!r}, pos={self.pos})"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize *text*; raises :class:`QuerySyntaxError` on bad input.
+
+    Newlines produce ``NEWLINE`` tokens (statements are line-oriented);
+    ``#`` and ``--`` start comments running to end of line.  The list
+    always ends with one ``EOF`` token.
+    """
+    tokens: list[Token] = []
+    i, line = 0, 1
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            tokens.append(Token("NEWLINE", "\n", i, line))
+            i += 1
+            line += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if ch == "#" or text.startswith("--", i):
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch == "-" and text.startswith("->", i):
+            tokens.append(Token("ARROW", "->", i, line))
+            i += 2
+            continue
+        if ch in "'\"":
+            quote, start = ch, i
+            i += 1
+            chars: list[str] = []
+            while True:
+                if i >= n or text[i] == "\n":
+                    raise QuerySyntaxError(
+                        f"unterminated string literal (opened with {quote})",
+                        start,
+                        line,
+                    )
+                if text[i] == "\\" and i + 1 < n and text[i + 1] in ("\\", "'", '"'):
+                    chars.append(text[i + 1])
+                    i += 2
+                    continue
+                if text[i] == quote:
+                    i += 1
+                    break
+                chars.append(text[i])
+                i += 1
+            tokens.append(Token("STRING", "".join(chars), start, line))
+            continue
+        if ch in _SYMBOLS:
+            tokens.append(Token(_SYMBOLS[ch], ch, i, line))
+            i += 1
+            continue
+        if ch in _NAME_START:
+            start = i
+            while i < n and text[i] in _NAME_CONT:
+                i += 1
+            word = text[start:i]
+            kind = KEYWORDS.get(word.lower(), "NAME")
+            tokens.append(Token(kind, word, start, line))
+            continue
+        raise QuerySyntaxError(f"unexpected character {ch!r}", i, line)
+    tokens.append(Token("EOF", "", n, line))
+    return tokens

@@ -1,0 +1,250 @@
+"""Recursive-descent parser for the spanner-algebra query language.
+
+Grammar (see ``docs/QUERY_LANGUAGE.md`` for the prose version)::
+
+    program    := (statement (NEWLINE | ';')*)* EOF
+    statement  := 'LET' name '=' expr
+                | 'DOC' name '=' STRING
+                | expr ('ON' name)?
+    expr       := diff ('∪' diff)*                  # union, lowest
+    diff       := joinexpr ('\\' joinexpr)*          # difference
+    joinexpr   := postfix ('⋈' postfix)*             # join, highest
+    postfix    := atom ('[' STRING ']')*             # e[regex] sugar
+    atom       := STRING                             # regex-formula spanner
+                | name                               # LET binding / spanner
+                | 'load' '(' STRING ')'
+                | ('π'|'pi') '_'? '{' names '}' '(' expr ')'
+                | ('ρ'|'rho') '_'? '{' renames '}' '(' expr ')'
+                | '(' expr ')'
+
+All errors are :class:`~repro.errors.QuerySyntaxError` with the exact
+position and line.  :func:`parse_program` optionally *recovers* from a
+syntax error by skipping to the next statement boundary and continuing,
+returning every error alongside the statements that did parse — the REPL
+and script mode report all of them instead of dying on the first.
+"""
+
+from __future__ import annotations
+
+from repro.errors import QuerySyntaxError
+from repro.query import ast
+from repro.query.lexer import Token, tokenize
+
+__all__ = ["parse_expression", "parse_program"]
+
+_STATEMENT_END = {"NEWLINE", "SEMI", "EOF"}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.index = 0
+
+    # ------------------------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.index]
+
+    def take(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind != "EOF":
+            self.index += 1
+        return token
+
+    def error(self, message: str, token: Token | None = None) -> QuerySyntaxError:
+        token = token or self.peek()
+        return QuerySyntaxError(message, token.pos, token.line)
+
+    def expect(self, kind: str, what: str) -> Token:
+        token = self.peek()
+        if token.kind != kind:
+            found = repr(token.text) if token.kind != "EOF" else "end of input"
+            raise self.error(f"expected {what}, found {found}", token)
+        return self.take()
+
+    def skip_newlines(self) -> None:
+        while self.peek().kind in ("NEWLINE", "SEMI"):
+            self.take()
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def statement(self) -> ast.Statement:
+        token = self.peek()
+        if token.kind == "LET":
+            self.take()
+            name = self.expect("NAME", "a name to bind")
+            self.expect("EQUALS", "'=' after the LET name")
+            expr = self.expression()
+            return ast.Let(pos=token.pos, name=name.text, expr=expr)
+        if token.kind == "DOC":
+            self.take()
+            name = self.expect("NAME", "a document name")
+            self.expect("EQUALS", "'=' after the document name")
+            text = self.expect("STRING", "a quoted document text")
+            return ast.DocStatement(pos=token.pos, name=name.text, text=text.text)
+        expr = self.expression()
+        document = None
+        if self.peek().kind == "ON":
+            self.take()
+            document = self.expect("NAME", "a document name after ON").text
+        return ast.Query(pos=token.pos, expr=expr, document=document)
+
+    def end_of_statement(self) -> None:
+        token = self.peek()
+        if token.kind not in _STATEMENT_END:
+            raise self.error(
+                f"expected end of statement, found {token.text!r}", token
+            )
+
+    # ------------------------------------------------------------------
+    # expressions (precedence climbing: union < difference < join)
+    # ------------------------------------------------------------------
+    def expression(self) -> ast.Expr:
+        left = self.difference()
+        while self.peek().kind == "UNION":
+            op = self.take()
+            right = self.difference()
+            left = ast.Union(pos=op.pos, left=left, right=right)
+        return left
+
+    def difference(self) -> ast.Expr:
+        left = self.join()
+        while self.peek().kind == "DIFF":
+            op = self.take()
+            right = self.join()
+            left = ast.Difference(pos=op.pos, left=left, right=right)
+        return left
+
+    def join(self) -> ast.Expr:
+        left = self.postfix()
+        while self.peek().kind == "JOIN":
+            op = self.take()
+            right = self.postfix()
+            left = ast.Join(pos=op.pos, left=left, right=right)
+        return left
+
+    def postfix(self) -> ast.Expr:
+        expr = self.atom()
+        while self.peek().kind == "LBRACKET":
+            bracket = self.take()
+            regex = self.expect("STRING", "a quoted regex inside [...]")
+            self.expect("RBRACKET", "']' closing the regex filter")
+            expr = ast.Join(
+                pos=bracket.pos,
+                left=expr,
+                right=ast.RegexAtom(pos=regex.pos, source=regex.text),
+            )
+        return expr
+
+    def atom(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind == "STRING":
+            self.take()
+            return ast.RegexAtom(pos=token.pos, source=token.text)
+        if token.kind == "NAME":
+            self.take()
+            return ast.NameRef(pos=token.pos, name=token.text)
+        if token.kind == "LOAD":
+            self.take()
+            self.expect("LPAREN", "'(' after load")
+            path = self.expect("STRING", "a quoted file path")
+            self.expect("RPAREN", "')' closing load(...)")
+            return ast.Load(pos=token.pos, path=path.text)
+        if token.kind == "PI":
+            self.take()
+            variables = self.variable_list("projection")
+            self.expect("LPAREN", "'(' after the projection variable list")
+            inner = self.expression()
+            self.expect("RPAREN", "')' closing the projection")
+            return ast.Project(pos=token.pos, inner=inner, variables=variables)
+        if token.kind == "RHO":
+            self.take()
+            renaming = self.rename_list()
+            self.expect("LPAREN", "'(' after the renaming list")
+            inner = self.expression()
+            self.expect("RPAREN", "')' closing the renaming")
+            return ast.Rename(pos=token.pos, inner=inner, renaming=renaming)
+        if token.kind == "LPAREN":
+            self.take()
+            inner = self.expression()
+            self.expect("RPAREN", "')' closing the group")
+            return inner
+        found = repr(token.text) if token.kind != "EOF" else "end of input"
+        raise self.error(f"expected an expression, found {found}", token)
+
+    def _open_brace(self, what: str) -> None:
+        # tolerate the paper's `π_{x,y}` spelling: a bare '_' before '{'
+        if self.peek().kind == "NAME" and self.peek().text == "_":
+            self.take()
+        self.expect("LBRACE", f"'{{' opening the {what} list")
+
+    def variable_list(self, what: str) -> tuple[str, ...]:
+        self._open_brace(what)
+        names: list[str] = []
+        while True:
+            names.append(self.expect("NAME", "a variable name").text)
+            if self.peek().kind == "COMMA":
+                self.take()
+                continue
+            break
+        self.expect("RBRACE", f"'}}' closing the {what} list")
+        return tuple(names)
+
+    def rename_list(self) -> tuple[tuple[str, str], ...]:
+        self._open_brace("renaming")
+        pairs: list[tuple[str, str]] = []
+        while True:
+            old = self.expect("NAME", "a variable to rename")
+            self.expect("ARROW", "'->' between old and new variable")
+            new = self.expect("NAME", "the new variable name")
+            pairs.append((old.text, new.text))
+            if self.peek().kind == "COMMA":
+                self.take()
+                continue
+            break
+        self.expect("RBRACE", "'}' closing the renaming list")
+        return tuple(pairs)
+
+
+def parse_expression(text: str) -> ast.Expr:
+    """Parse a single expression (no LET/DOC, no ON clause)."""
+    parser = _Parser(tokenize(text))
+    parser.skip_newlines()
+    expr = parser.expression()
+    parser.skip_newlines()
+    token = parser.peek()
+    if token.kind != "EOF":
+        raise parser.error(f"unexpected trailing input {token.text!r}", token)
+    return expr
+
+
+def parse_program(
+    text: str, recover: bool = False
+) -> tuple[list[ast.Statement], list[QuerySyntaxError]]:
+    """Parse a statement sequence.
+
+    With ``recover=False`` the first syntax error raises.  With
+    ``recover=True`` the parser synchronises at the next statement
+    boundary (newline or ``;``) and keeps going, returning
+    ``(statements, errors)`` so interactive surfaces can report every
+    problem in a script while still running the statements that parse.
+    """
+    parser = _Parser(tokenize(text))
+    statements: list[ast.Statement] = []
+    errors: list[QuerySyntaxError] = []
+    while True:
+        parser.skip_newlines()
+        if parser.peek().kind == "EOF":
+            break
+        try:
+            statement = parser.statement()
+            parser.end_of_statement()
+        except QuerySyntaxError as exc:
+            if not recover:
+                raise
+            errors.append(exc)
+            while parser.peek().kind not in _STATEMENT_END:
+                parser.take()
+            continue
+        statements.append(statement)
+    return statements, errors

@@ -1,0 +1,292 @@
+"""Cost-based planning for spanner-algebra query expressions.
+
+Every operator in the algebra can be executed two ways:
+
+* **compile** — fold the whole subtree into one vset-automaton (the
+  closure constructions of Section 2.2) and evaluate it once against the
+  SLP-compressed document.  Cheap for unions and functional joins, and
+  the compiled artefact is cacheable under its canonical plan text; but
+  a lenient join of schemaless operands multiplies state counts by
+  ``3^|shared|`` (see :func:`repro.spanners.algebra.join_lenient`), so
+  the automaton can explode while the *relations* stay tiny.
+* **materialize** — evaluate the operands to span relations and combine
+  them tuple-by-tuple.  Cost is the product/sum of operand
+  cardinalities, which the planner estimates from statistics cached by
+  previous executions (:class:`repro.query.executor.QuerySession` keys
+  them by canonical plan text and document).
+
+:func:`plan_expression` chooses per node by comparing the two estimates,
+and re-orders associative join chains greedily by estimated operand
+cardinality — sound because the lenient join computes exactly the
+compatible-merge relation join, which is associative and commutative.
+Subtrees containing ``load(...)`` atoms or opaque registered spanners
+have no automaton and always materialize.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+
+from repro.query import ast
+from repro.query.ast import canonical_key
+
+__all__ = ["PlanNode", "plan_expression", "DEFAULT_DOC_LENGTH"]
+
+#: assumed document length (and default relation cardinality) when the
+#: executor has no cached statistics for a subexpression yet
+DEFAULT_DOC_LENGTH = 64
+
+#: determinization of a difference's right operand is capped at this many
+#: states in the estimate (the subset construction rarely gets near its
+#: exponential worst case on the small automata we compile)
+_DET_CAP = 4096
+
+
+@functools.lru_cache(maxsize=256)
+def _default_atom_automaton(source: str):
+    from repro.regex.compile import spanner_from_regex
+
+    spanner = spanner_from_regex(source)
+    return getattr(spanner, "automaton", spanner)
+
+
+@dataclass(frozen=True)
+class PlanNode:
+    """One node of a chosen physical plan.
+
+    ``strategy`` is ``"compile"`` (this node and everything below it
+    become a single cached vset-automaton; ``children`` is empty),
+    ``"materialize"`` (evaluate ``children``, combine relations),
+    ``"scan"`` (a registered spanner evaluated through the store), or
+    ``"load"`` (a relation read from disk)."""
+
+    strategy: str
+    expr: ast.Expr
+    op: str
+    children: tuple["PlanNode", ...] = ()
+    cost: float = 0.0
+    est_states: int = 0
+    est_card: int = 0
+    variables: frozenset[str] = field(default_factory=frozenset)
+    functional: bool = False
+    key: str = ""
+
+    def describe(self) -> str:
+        """Indented plan text (the REPL's ``\\plan`` output)."""
+        lines: list[str] = []
+
+        def walk(node: "PlanNode", prefix: str, tail: str) -> None:
+            note = f"states~{node.est_states}" if node.strategy == "compile" else f"card~{node.est_card}"
+            lines.append(
+                f"{prefix}{tail}{node.strategy}:{node.op} "
+                f"cost={node.cost:.0f} {note}"
+            )
+            child_prefix = prefix + ("   " if not tail else ("   " if tail == "└─ " else "│  "))
+            for index, child in enumerate(node.children):
+                last = index == len(node.children) - 1
+                walk(child, child_prefix, "└─ " if last else "├─ ")
+
+        walk(self, "", "")
+        return "\n".join(lines)
+
+
+class _Estimate:
+    """Static annotation of a (resolved) expression subtree."""
+
+    __slots__ = ("variables", "states", "compile_cost", "compilable", "functional")
+
+    def __init__(self, variables, states, compile_cost, compilable, functional):
+        self.variables = frozenset(variables)
+        self.states = int(states)
+        self.compile_cost = float(compile_cost)
+        self.compilable = bool(compilable)
+        self.functional = bool(functional)
+
+
+def _estimate(expr: ast.Expr, atom_automaton) -> _Estimate:
+    if isinstance(expr, ast.RegexAtom):
+        automaton = atom_automaton(expr.source)
+        states = automaton.nfa.num_states
+        return _Estimate(automaton.variables, states, states, True, automaton.functional)
+    if isinstance(expr, (ast.NameRef, ast.Load)):
+        return _Estimate((), 0, 0.0, False, False)
+    if isinstance(expr, (ast.Project, ast.Rename)):
+        inner = _estimate(expr.inner, atom_automaton)
+        if isinstance(expr, ast.Project):
+            variables = inner.variables & set(expr.variables)
+        else:
+            mapping = dict(expr.renaming)
+            variables = {mapping.get(v, v) for v in inner.variables}
+        return _Estimate(
+            variables, inner.states, inner.compile_cost, inner.compilable, inner.functional
+        )
+    left = _estimate(expr.left, atom_automaton)
+    right = _estimate(expr.right, atom_automaton)
+    compilable = left.compilable and right.compilable
+    if isinstance(expr, ast.Union):
+        states = left.states + right.states + 1
+        return _Estimate(
+            left.variables | right.variables,
+            states,
+            left.compile_cost + right.compile_cost + states,
+            compilable,
+            left.functional and right.functional and left.variables == right.variables,
+        )
+    if isinstance(expr, ast.Join):
+        shared = left.variables & right.variables
+        lenient = not (left.functional and right.functional) and shared
+        factor = 3 ** len(shared) if lenient else 1
+        states = max(1, left.states) * max(1, right.states) * factor
+        return _Estimate(
+            left.variables | right.variables,
+            states,
+            left.compile_cost + right.compile_cost + states,
+            compilable,
+            left.functional and right.functional,
+        )
+    if isinstance(expr, ast.Difference):
+        det = min(2 ** min(right.states, 12), _DET_CAP)
+        states = max(1, left.states) * det
+        return _Estimate(
+            left.variables,
+            states,
+            left.compile_cost + right.compile_cost + states,
+            compilable,
+            left.functional,
+        )
+    raise TypeError(f"not a query expression: {expr!r}")  # pragma: no cover
+
+
+def _card(expr: ast.Expr, stats, doc_length, atom_automaton) -> int:
+    """Estimated result cardinality, preferring cached statistics."""
+    known = stats.get(canonical_key(expr))
+    if known is not None:
+        return max(1, int(known))
+    if isinstance(expr, (ast.RegexAtom, ast.NameRef, ast.Load)):
+        return max(1, doc_length)
+    if isinstance(expr, (ast.Project, ast.Rename)):
+        return _card(expr.inner, stats, doc_length, atom_automaton)
+    left = _card(expr.left, stats, doc_length, atom_automaton)
+    right = _card(expr.right, stats, doc_length, atom_automaton)
+    if isinstance(expr, ast.Union):
+        return left + right
+    if isinstance(expr, ast.Join):
+        return max(left, right)
+    return left  # Difference
+
+
+def _reorder_joins(expr: ast.Expr, stats, doc_length, atom_automaton) -> ast.Expr:
+    """Greedily re-order flattened join chains by estimated cardinality."""
+    if isinstance(expr, (ast.RegexAtom, ast.NameRef, ast.Load)):
+        return expr
+    if isinstance(expr, ast.Project):
+        return ast.Project(
+            pos=expr.pos,
+            inner=_reorder_joins(expr.inner, stats, doc_length, atom_automaton),
+            variables=expr.variables,
+        )
+    if isinstance(expr, ast.Rename):
+        return ast.Rename(
+            pos=expr.pos,
+            inner=_reorder_joins(expr.inner, stats, doc_length, atom_automaton),
+            renaming=expr.renaming,
+        )
+    if isinstance(expr, ast.Union):
+        return ast.Union(
+            pos=expr.pos,
+            left=_reorder_joins(expr.left, stats, doc_length, atom_automaton),
+            right=_reorder_joins(expr.right, stats, doc_length, atom_automaton),
+        )
+    if isinstance(expr, ast.Difference):
+        return ast.Difference(
+            pos=expr.pos,
+            left=_reorder_joins(expr.left, stats, doc_length, atom_automaton),
+            right=_reorder_joins(expr.right, stats, doc_length, atom_automaton),
+        )
+    # Join: flatten the chain, recurse into operands, sort cheap-first.
+    operands: list[ast.Expr] = []
+
+    def flatten(node: ast.Expr) -> None:
+        if isinstance(node, ast.Join):
+            flatten(node.left)
+            flatten(node.right)
+        else:
+            operands.append(_reorder_joins(node, stats, doc_length, atom_automaton))
+
+    flatten(expr)
+    # stable sort: operands with smaller estimated relations join first,
+    # shrinking every intermediate product; ties keep written order
+    operands.sort(key=lambda e: _card(e, stats, doc_length, atom_automaton))
+    result = operands[0]
+    for operand in operands[1:]:
+        result = ast.Join(pos=expr.pos, left=result, right=operand)
+    return result
+
+
+def plan_expression(
+    expr: ast.Expr,
+    *,
+    stats=None,
+    doc_length: int = DEFAULT_DOC_LENGTH,
+    atom_automaton=None,
+    reorder: bool = True,
+) -> PlanNode:
+    """Choose a physical plan for *expr* (names must be resolved already).
+
+    *stats* maps canonical plan text → observed cardinality for the
+    target document; *doc_length* seeds default estimates.  With
+    ``reorder=False`` the written join order is kept (the naive
+    comparison baseline in the benchmarks)."""
+    stats = stats or {}
+    atom_automaton = atom_automaton or _default_atom_automaton
+    doc_length = max(1, int(doc_length))
+    if reorder:
+        expr = _reorder_joins(expr, stats, doc_length, atom_automaton)
+    return _plan(expr, stats, doc_length, atom_automaton)
+
+
+def _op_name(expr: ast.Expr) -> str:
+    return type(expr).__name__.lower().replace("atom", "")
+
+
+def _plan(expr: ast.Expr, stats, doc_length, atom_automaton) -> PlanNode:
+    est = _estimate(expr, atom_automaton)
+    card = _card(expr, stats, doc_length, atom_automaton)
+    key = canonical_key(expr)
+    if isinstance(expr, ast.Load):
+        return PlanNode("load", expr, "load", (), float(card), 0, card, est.variables, False, key)
+    if isinstance(expr, ast.NameRef):
+        return PlanNode("scan", expr, "scan", (), float(card), 0, card, est.variables, False, key)
+    if isinstance(expr, ast.RegexAtom):
+        cost = est.compile_cost + doc_length
+        return PlanNode(
+            "compile", expr, "regex", (), cost, est.states, card,
+            est.variables, est.functional, key,
+        )
+
+    if isinstance(expr, (ast.Project, ast.Rename)):
+        children = (_plan(expr.inner, stats, doc_length, atom_automaton),)
+        combine = float(children[0].est_card)
+    else:
+        children = (
+            _plan(expr.left, stats, doc_length, atom_automaton),
+            _plan(expr.right, stats, doc_length, atom_automaton),
+        )
+        if isinstance(expr, ast.Join):
+            combine = float(children[0].est_card) * float(children[1].est_card)
+        else:
+            combine = float(children[0].est_card) + float(children[1].est_card)
+    materialize_cost = sum(child.cost for child in children) + combine
+
+    if est.compilable:
+        compile_cost = est.compile_cost + doc_length
+        if compile_cost <= materialize_cost:
+            return PlanNode(
+                "compile", expr, _op_name(expr), (), compile_cost, est.states,
+                card, est.variables, est.functional, key,
+            )
+    return PlanNode(
+        "materialize", expr, _op_name(expr), children, materialize_cost,
+        est.states, card, est.variables, est.functional, key,
+    )

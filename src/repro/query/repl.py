@@ -1,0 +1,220 @@
+"""The interactive query shell (``python -m repro repl``) and the
+non-interactive script runner behind ``repro query -f``.
+
+The REPL is line-oriented: each line is a statement of the query
+language (``DOC``, ``LET``, or a bare expression), or a backslash
+command:
+
+======================  ====================================================
+``\\help``               list commands
+``\\plan``               show the plan of the last query
+``\\plan <expr>``        plan an expression without executing it
+``\\plan on|off``        auto-print the plan after every query
+``\\timing on|off``      print wall-clock time after every query
+``\\doc <name>``         select the default document
+``\\docs``               list stored documents
+``\\spanners``           list registered spanners
+``\\q``                  quit (also ``\\quit``, EOF)
+======================  ====================================================
+
+Errors — syntax, schema, budget — print as one ``error:`` line and the
+session continues.  :func:`run_script` runs a ``.rq`` file with
+*recovering* parsing (every syntax error is reported, every statement
+that parses still runs) and fully deterministic output, which is what
+the CI golden-session lane diffs against a committed transcript.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.errors import SpanlibError
+from repro.query.executor import QuerySession, StatementResult
+from repro.query.parser import parse_program
+
+__all__ = ["Repl", "run_script"]
+
+_BANNER = "repro query shell — \\help for commands, \\q to quit"
+
+
+class Repl:
+    """Interactive shell over a :class:`~repro.query.executor.QuerySession`."""
+
+    def __init__(
+        self,
+        db=None,
+        *,
+        stdin=None,
+        stdout=None,
+        base_dir: str = ".",
+        budget=None,
+    ) -> None:
+        self.session = QuerySession(db, base_dir=base_dir, budget=budget)
+        self.stdin = stdin
+        self.stdout = stdout if stdout is not None else sys.stdout
+        self.show_plan = False
+        self.show_timing = False
+        self.prompt = "rq> "
+
+    # ------------------------------------------------------------------
+    def _say(self, text: str = "") -> None:
+        print(text, file=self.stdout)
+
+    def _read_line(self) -> str | None:
+        if self.stdin is not None:
+            line = self.stdin.readline()
+            return line.rstrip("\n") if line else None
+        try:
+            return input(self.prompt)
+        except EOFError:
+            return None
+
+    def run(self) -> int:
+        """The interactive loop; returns a process exit code."""
+        if self.stdin is None:  # pragma: no cover - interactive only
+            try:
+                import readline  # noqa: F401  (history/editing side effect)
+            except ImportError:
+                pass
+        self._say(_BANNER)
+        while True:
+            line = self._read_line()
+            if line is None:
+                self._say()
+                return 0
+            if not line.strip():
+                continue
+            if self.handle_line(line) is False:
+                return 0
+
+    # ------------------------------------------------------------------
+    def handle_line(self, line: str) -> bool:
+        """Process one input line; returns False when the REPL should exit."""
+        stripped = line.strip()
+        if stripped.startswith("\\"):
+            return self._command(stripped)
+        try:
+            statements, _ = parse_program(line, recover=False)
+            for statement in statements:
+                self._report(self.session.execute_statement(statement))
+        except SpanlibError as exc:
+            self._say(f"error: {exc}")
+        return True
+
+    def _report(self, result: StatementResult) -> None:
+        if self.show_plan and result.plan is not None:
+            self._say(result.plan.describe())
+        if result.relation is not None:
+            self._say(result.relation.to_table())
+            count = len(result.relation)
+            self._say(f"({count} tuple{'s' if count != 1 else ''})")
+        elif result.document is not None:
+            self._say(f"document {result.document!r} selected")
+        if self.show_timing:
+            self._say(f"time: {result.elapsed * 1000.0:.1f} ms")
+
+    # ------------------------------------------------------------------
+    def _command(self, line: str) -> bool:
+        name, _, argument = line[1:].partition(" ")
+        name = name.lower()
+        argument = argument.strip()
+        if name in ("q", "quit", "exit"):
+            return False
+        if name == "help":
+            self._say(__doc__.split("======", 1)[0].strip())
+            self._say(
+                "\\help \\plan [expr|on|off] \\timing [on|off] "
+                "\\doc <name> \\docs \\spanners \\q"
+            )
+            return True
+        if name == "plan":
+            return self._plan_command(argument)
+        if name == "timing":
+            self.show_timing = argument != "off" if argument else not self.show_timing
+            self._say(f"timing {'on' if self.show_timing else 'off'}")
+            return True
+        if name == "doc":
+            if not argument:
+                self._say(f"document: {self.session.default_document or '(none)'}")
+            elif argument not in self.session.db.documents():
+                self._say(f"error: no document named {argument!r}")
+            else:
+                self.session.default_document = argument
+                self._say(f"document {argument!r} selected")
+            return True
+        if name == "docs":
+            names = self.session.db.documents()
+            self._say("\n".join(names) if names else "(no documents)")
+            return True
+        if name == "spanners":
+            names = self.session.db.spanners()
+            self._say("\n".join(names) if names else "(no spanners)")
+            return True
+        self._say(f"error: unknown command \\{name} (try \\help)")
+        return True
+
+    def _plan_command(self, argument: str) -> bool:
+        if argument in ("on", "off"):
+            self.show_plan = argument == "on"
+            self._say(f"plan display {'on' if self.show_plan else 'off'}")
+        elif argument:
+            try:
+                self._say(self.session.plan(argument).describe())
+            except SpanlibError as exc:
+                self._say(f"error: {exc}")
+        elif self.session.last_plan is None:
+            self._say("no plan yet — run a query first")
+        else:
+            self._say(self.session.last_plan.describe())
+        return True
+
+
+def run_script(
+    path: str,
+    db=None,
+    *,
+    out=None,
+    base_dir: str | None = None,
+    budget=None,
+) -> int:
+    """Run a ``.rq`` script; returns 0 iff no error of any kind occurred.
+
+    Parsing recovers: every syntax error is reported (with position and
+    line) and every statement that parses still executes, so a script
+    author sees all problems in one run.  Output is deterministic —
+    tables in sorted row order, no timings — so a transcript can be
+    committed and diffed in CI.
+    """
+    out = out if out is not None else sys.stdout
+    try:
+        with open(path, "r", encoding="utf-8") as stream:
+            text = stream.read()
+    except OSError as exc:
+        print(f"error: cannot read script {path!r}: {exc}", file=out)
+        return 2
+    if base_dir is None:
+        import os
+
+        base_dir = os.path.dirname(os.path.abspath(path))
+    session = QuerySession(db, base_dir=base_dir, budget=budget)
+    failed = False
+    try:
+        statements, errors = parse_program(text, recover=True)
+    except SpanlibError as exc:  # lexer errors surface before recovery
+        print(f"error: {exc}", file=out)
+        return 2
+    for error in errors:
+        failed = True
+        print(f"error: {error}", file=out)
+    for statement in statements:
+        try:
+            result = session.execute_statement(statement, budget)
+        except SpanlibError as exc:
+            failed = True
+            print(f"error: {exc}", file=out)
+            continue
+        if result.relation is not None:
+            print(result.relation.to_table(), file=out)
+            count = len(result.relation)
+            print(f"({count} tuple{'s' if count != 1 else ''})", file=out)
+    return 2 if failed else 0

@@ -305,6 +305,58 @@ class _BulkRequest:
         )
 
 
+@dataclass
+class _ExprRequest:
+    """One spanner-algebra query (the :mod:`repro.query` language).
+
+    The compressed attempt plans and executes through
+    :meth:`SpannerDB.query_expr <repro.db.SpannerDB.query_expr>` (cost-based
+    planner, shared plan cache); the degraded attempt re-evaluates the same
+    expression by naive bottom-up materialization over the decompressed
+    text — machinery-disjoint, so a poisoned compiled path cannot leak into
+    degraded answers, and extensionally identical by the differential
+    contract of :mod:`repro.query`."""
+
+    expression: str
+    document: str | None
+    deadline: Deadline | None
+    max_steps: int | None
+    ticket: Ticket
+    enqueued_ns: int = field(default_factory=time.perf_counter_ns)
+    #: the request's TraceContext, minted at admission when obs is on
+    trace_ctx: object = None
+
+    @property
+    def spanner(self) -> str:
+        # the shed/describe label slot shared with the other request kinds
+        return f"query:{self.expression}"
+
+    def describe(self) -> dict:
+        return {"expression": self.expression, "document": self.document}
+
+    def run_compressed(self, db, budget) -> list[SpanTuple]:
+        return list(db.query_expr(self.expression, self.document, budget))
+
+    def run_decompressed(self, db, budget) -> list[SpanTuple]:
+        from repro.query.executor import evaluate_query_naive
+
+        text = ""
+        if self.document is not None:
+            text = db.document_text(self.document, budget=budget)
+        return list(
+            evaluate_query_naive(self.expression, text, db=db, budget=budget)
+        )
+
+    def make_result(self, payload, degraded, attempts, queue_ns, exec_ns):
+        return QueryResult(
+            tuples=payload,
+            degraded=degraded,
+            attempts=attempts,
+            queue_ns=queue_ns,
+            exec_ns=exec_ns,
+        )
+
+
 class SpannerService:
     """A thread-pool query executor with admission control, retries,
     circuit-broken degradation, and reader/writer coordination."""
@@ -453,6 +505,43 @@ class SpannerService:
             ticket=Ticket(),
         )
         return self._admit(request)
+
+    def submit_expression(
+        self,
+        expression: str,
+        document: str | None = None,
+        deadline: float | Deadline | None = None,
+        max_steps: int | None = None,
+    ) -> Ticket:
+        """Enqueue one spanner-algebra expression (:mod:`repro.query`).
+
+        Rides the same admission control, retry, and circuit-broken
+        degradation loop as single-spanner queries; the degraded path is
+        the language's naive materialization reference, so degraded
+        answers stay extensionally identical."""
+        if not self._running:
+            raise ServiceStoppedError("submit on a stopped service")
+        request = _ExprRequest(
+            expression=expression,
+            document=document,
+            deadline=self._clamp_deadline(deadline),
+            max_steps=max_steps if max_steps is not None else self.config.max_steps,
+            ticket=Ticket(),
+        )
+        return self._admit(request)
+
+    def query_expression(
+        self,
+        expression: str,
+        document: str | None = None,
+        deadline: float | Deadline | None = None,
+        max_steps: int | None = None,
+        timeout: float | None = 30.0,
+    ) -> QueryResult:
+        """Synchronous convenience: :meth:`submit_expression` + result."""
+        return self.submit_expression(
+            expression, document, deadline, max_steps
+        ).result(timeout)
 
     def _clamp_deadline(self, deadline) -> Deadline | None:
         if deadline is not None and not isinstance(deadline, Deadline):

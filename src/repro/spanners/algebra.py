@@ -49,7 +49,9 @@ def forbid_variables(automaton: VSetAutomaton, variables) -> VSetAutomaton:
     return VSetAutomaton(nfa, automaton.variables - forbidden, functional=False)
 
 
-def join_lenient(left: VSetAutomaton, right: VSetAutomaton) -> VSetAutomaton:
+def join_lenient(
+    left: VSetAutomaton, right: VSetAutomaton, budget=None
+) -> VSetAutomaton:
     """Natural join with the lenient schemaless semantics of [27].
 
     For every shared variable, one of three modes is guessed:
@@ -61,12 +63,23 @@ def join_lenient(left: VSetAutomaton, right: VSetAutomaton) -> VSetAutomaton:
     The result is the union over all mode assignments; duplicates across
     overlapping modes are harmless because relations are sets and the
     enumeration pipeline determinises the union.
+
+    The ``3^|shared|`` products make this the one algebra operation whose
+    cost is exponential in the schema overlap, so an optional
+    :class:`~repro.util.Budget` is charged ``|Q_l|·|Q_r|`` steps per mode
+    assignment and the wall-clock deadline is re-checked between
+    products — a query with many shared variables dies at its deadline
+    instead of stalling unkillably inside the enumeration.
     """
     shared = sorted(left.variables & right.variables)
     if not shared:
         return left.join(right)
+    per_product = max(1, left.nfa.num_states * right.nfa.num_states)
     pieces: list[VSetAutomaton] = []
     for modes in itertools.product(("sync", "left", "right"), repeat=len(shared)):
+        if budget is not None:
+            budget.step(per_product)
+            budget.check_deadline()
         banned_left = [v for v, m in zip(shared, modes) if m == "right"]
         banned_right = [v for v, m in zip(shared, modes) if m == "left"]
         left_variant = forbid_variables(left, banned_left) if banned_left else left

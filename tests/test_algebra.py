@@ -1,5 +1,6 @@
 """Tests for the algebra utilities: lenient join, variable duplication."""
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import Span, SpanTuple
@@ -80,3 +81,40 @@ class TestLenientJoin:
         lenient = join_lenient(left, right)
         expected = left.evaluate(doc).natural_join(right.evaluate(doc))
         assert lenient.evaluate(doc) == expected
+
+
+class TestLenientJoinBudget:
+    """The 3^|shared| mode enumeration must respect resource governance."""
+
+    def _operands(self):
+        # three shared optional variables → 27 mode assignments
+        left = spanner_from_regex("(!x{a})?(!y{a})?(!z{a})?(a|b)*")
+        right = spanner_from_regex("(a|b)*(!x{a})?(!y{a})?(!z{a})?")
+        return left, right
+
+    def test_step_budget_bounds_mode_enumeration(self):
+        from repro.errors import EvaluationLimitError
+        from repro.util import Budget
+
+        left, right = self._operands()
+        per_product = left.nfa.num_states * right.nfa.num_states
+        with pytest.raises(EvaluationLimitError):
+            join_lenient(left, right, budget=Budget(max_steps=3 * per_product))
+
+    def test_deadline_checked_between_products(self):
+        from repro.errors import DeadlineExceededError
+        from repro.util import Budget, Deadline
+
+        left, right = self._operands()
+        budget = Budget(deadline=Deadline.after(-1.0))
+        with pytest.raises(DeadlineExceededError):
+            join_lenient(left, right, budget=budget)
+
+    def test_sufficient_budget_changes_nothing(self):
+        from repro.util import Budget
+
+        left, right = self._operands()
+        unbudgeted = join_lenient(left, right)
+        budgeted = join_lenient(left, right, budget=Budget(max_steps=10**9))
+        for doc in ["aa", "ab", "ba"]:
+            assert budgeted.evaluate(doc) == unbudgeted.evaluate(doc), doc

@@ -69,6 +69,26 @@ class TestCheck:
         with pytest.raises(SystemExit):
             main(["check", "!x{a}", "a", "x=zzz"])
 
+    # the PR 5 non-ASCII digit corpus, aimed at the span-binding parser:
+    # bare int() would accept every one of these and silently mis-parse
+    @pytest.mark.parametrize(
+        "binding",
+        [
+            "x=٣:5",      # Arabic-Indic digit
+            "x=1:٣",
+            "x=²:3",      # superscript (isdigit() but not decimal)
+            "x=Ⅷ:9",      # Roman numeral (isnumeric())
+            "x=١٢:13",    # multi-char Arabic-Indic
+            "x=𝟙:2",      # mathematical double-struck digit
+            "x= 1:2",     # int() strips whitespace; the CLI must not
+            "x=+1:2",     # int() accepts signs; the CLI must not
+        ],
+    )
+    def test_non_ascii_digit_bindings_rejected(self, binding):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["check", "!x{a+}", "aaaa", binding])
+        assert "ASCII digits" in str(excinfo.value)
+
 
 class TestDb:
     """Round-trip coverage for the persistent `db` subcommand."""

@@ -47,6 +47,38 @@ class TestLanguageDifference:
 
 
 class TestSpannerDifference:
+    def test_functional_flag_preserved(self):
+        """Difference yields a subset of the left operand's relation, so
+        left-functional implies result-functional; the flag must survive
+        (it used to be hardcoded False) because downstream join planning
+        takes the strict-product fast path only for functional operands."""
+        from repro.regex.compile import spanner_from_regex
+        from repro.spanners import join_lenient
+
+        left = spanner_from_regex("(a|b)*!x{(a|b)(a|b)}(a|b)*")
+        right = spanner_from_regex("(a|b)*!x{ab}(a|b)*")
+        assert left.functional
+        diff = left.difference(right)
+        assert diff.functional
+
+        # differential: with the flag intact the strict product join is
+        # chosen for diff ⋈ functional — it must agree with the lenient
+        # join and with the relation-level join on every document
+        other = spanner_from_regex("(a|b)*!x{(a|b)(a|b)}!y{(a|b)}(a|b)*")
+        strict = diff.join(other)
+        lenient = join_lenient(diff, other)
+        for doc in ["abba", "bb", "aabb"]:
+            expected = diff.evaluate(doc).natural_join(other.evaluate(doc))
+            assert strict.evaluate(doc) == expected, doc
+            assert lenient.evaluate(doc) == expected, doc
+
+    def test_schemaless_difference_not_marked_functional(self):
+        from repro.regex.compile import spanner_from_regex
+
+        left = spanner_from_regex("(!x{a})?(a|b)*")  # x optional: not functional
+        right = spanner_from_regex("(a|b)*(!x{b})?")
+        assert not left.difference(right).functional
+
     def test_removes_matching_tuples(self):
         all_pairs = RegularSpanner.from_regex("(a|b)*!x{(a|b)(a|b)}(a|b)*")
         just_ab = RegularSpanner.from_regex("(a|b)*!x{ab}(a|b)*")

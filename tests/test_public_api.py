@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.obs",
     "repro.kernels",
     "repro.parallel",
+    "repro.query",
 ]
 
 

@@ -1,0 +1,480 @@
+"""Tests for repro.query: lexer, parser, planner, executor, REPL, surfaces."""
+
+import io
+
+import pytest
+
+from repro.db import SpannerDB
+from repro.errors import (
+    DeadlineExceededError,
+    EvaluationLimitError,
+    QueryError,
+    QuerySyntaxError,
+    SchemaError,
+)
+from repro.kernels.plan import configure_plan_cache, plan_cache
+from repro.query import (
+    QuerySession,
+    canonical_key,
+    evaluate_query,
+    evaluate_query_naive,
+    parse_expression,
+    parse_program,
+    plan_expression,
+    tokenize,
+)
+from repro.query import ast
+from repro.query.repl import Repl, run_script
+from repro.util import Budget, Deadline
+
+
+@pytest.fixture(autouse=True)
+def fresh_plan_cache():
+    """Query plans are interned process-wide; isolate the tests."""
+    configure_plan_cache()
+    yield
+    configure_plan_cache()
+
+
+@pytest.fixture
+def store():
+    db = SpannerDB()
+    db.add_document("d", "aabba ab ba")
+    return db
+
+
+# ----------------------------------------------------------------------
+# lexer
+# ----------------------------------------------------------------------
+class TestLexer:
+    def test_unicode_and_ascii_operators_tokenize_alike(self):
+        unicode_kinds = [t.kind for t in tokenize("π{x}('a' ⋈ 'b') ∪ 'c'")]
+        ascii_kinds = [t.kind for t in tokenize("pi{x}('a' join 'b') union 'c'")]
+        assert unicode_kinds == ascii_kinds
+
+    def test_string_escapes(self):
+        tokens = tokenize(r"'a\'b\\c'")
+        assert tokens[0].kind == "STRING" and tokens[0].text == "a'b\\c"
+
+    def test_positions_and_lines(self):
+        tokens = tokenize("let x =\n 'a'")
+        string = [t for t in tokens if t.kind == "STRING"][0]
+        assert string.line == 2 and string.pos == 9
+
+    def test_comments_ignored(self):
+        kinds = [t.kind for t in tokenize("'a' # trailing\n-- full line\n'b'")]
+        assert kinds.count("STRING") == 2
+
+    def test_unterminated_string(self):
+        with pytest.raises(QuerySyntaxError) as excinfo:
+            tokenize("let x = 'oops")
+        assert "unterminated" in str(excinfo.value)
+        assert excinfo.value.position == 8
+
+    def test_unexpected_character(self):
+        with pytest.raises(QuerySyntaxError) as excinfo:
+            tokenize("'a' ⨯ 'b'")
+        assert excinfo.value.position == 4
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+class TestParser:
+    def test_precedence_union_lowest_join_highest(self):
+        expr = parse_expression(r"'a' ∪ 'b' \ 'c' ⋈ 'd'")
+        assert isinstance(expr, ast.Union)
+        assert isinstance(expr.right, ast.Difference)
+        assert isinstance(expr.right.right, ast.Join)
+
+    def test_parens_override(self):
+        expr = parse_expression("('a' union 'b') join 'c'")
+        assert isinstance(expr, ast.Join)
+        assert isinstance(expr.left, ast.Union)
+
+    def test_postfix_regex_filter_is_join_sugar(self):
+        expr = parse_expression("'a'['b']")
+        assert isinstance(expr, ast.Join)
+        assert isinstance(expr.right, ast.RegexAtom)
+        assert expr.right.source == "b"
+
+    def test_paper_projection_spelling(self):
+        for text in ["π_{x,y}('a')", "pi{x,y}('a')", "project{x, y}('a')"]:
+            expr = parse_expression(text)
+            assert isinstance(expr, ast.Project)
+            assert expr.variables == ("x", "y")
+
+    def test_rename_arrows(self):
+        expr = parse_expression("rho{x->y, a->b}('a')")
+        assert expr.renaming == (("x", "y"), ("a", "b"))
+
+    def test_load_atom(self):
+        expr = parse_expression("load('rel.csv')")
+        assert isinstance(expr, ast.Load) and expr.path == "rel.csv"
+
+    def test_program_statements(self):
+        statements, errors = parse_program(
+            "DOC d = 'aab'\nLET A = 'x'; A ON d\n"
+        )
+        assert not errors
+        kinds = [type(s).__name__ for s in statements]
+        assert kinds == ["DocStatement", "Let", "Query"]
+        assert statements[2].document == "d"
+
+    # -- golden error messages: exact text and positions -----------------
+    def test_error_missing_close_paren(self):
+        with pytest.raises(QuerySyntaxError) as excinfo:
+            parse_expression("pi{x}('a'")
+        assert str(excinfo.value) == (
+            "expected ')' closing the projection, found end of input "
+            "(at position 9, line 1)"
+        )
+
+    def test_error_missing_expression(self):
+        with pytest.raises(QuerySyntaxError) as excinfo:
+            parse_expression("'a' join ")
+        assert str(excinfo.value) == (
+            "expected an expression, found end of input (at position 9, line 1)"
+        )
+
+    def test_error_let_without_equals(self):
+        with pytest.raises(QuerySyntaxError) as excinfo:
+            parse_program("let x 'a'")
+        assert "expected '=' after the LET name" in str(excinfo.value)
+        assert "(at position 6, line 1)" in str(excinfo.value)
+        assert excinfo.value.position == 6
+
+    def test_error_trailing_input(self):
+        with pytest.raises(QuerySyntaxError) as excinfo:
+            parse_expression("'a' 'b'")
+        assert excinfo.value.position == 4
+
+    def test_recovery_collects_all_errors(self):
+        text = "LET = 'a'\n'b'\nπ{('c')\n'd'\n"
+        statements, errors = parse_program(text, recover=True)
+        assert len(errors) == 2
+        assert [e.line for e in errors] == [1, 3]
+        assert len(statements) == 2  # 'b' and 'd' still parse
+
+    def test_recovery_off_raises_first(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_program("LET = 'a'\n'b'\n")
+
+
+# ----------------------------------------------------------------------
+# canonical keys
+# ----------------------------------------------------------------------
+class TestCanonicalKey:
+    def test_spelling_invariance(self):
+        variants = [
+            "pi{x}('a' join 'b')",
+            "π{x}('a' ⋈ 'b')",
+            "project _{x} ( 'a' JOIN 'b' )",
+        ]
+        keys = {canonical_key(parse_expression(v)) for v in variants}
+        assert keys == {"pi{x}(join(regex('a'),regex('b')))"}
+
+    def test_quotes_escaped(self):
+        key = canonical_key(parse_expression(r"'a\'b'"))
+        assert key == r"regex('a\'b')"
+
+
+# ----------------------------------------------------------------------
+# planner
+# ----------------------------------------------------------------------
+class TestPlanner:
+    def test_atom_compiles(self):
+        plan = plan_expression(parse_expression("'.*!x{a}.*'"))
+        assert plan.strategy == "compile"
+
+    def test_load_forces_materialization(self):
+        plan = plan_expression(parse_expression("'.*!x{a}.*' join load('r.csv')"))
+        assert plan.strategy == "materialize"
+        assert {c.strategy for c in plan.children} == {"compile", "load"}
+
+    def test_shared_variable_join_materializes(self):
+        # non-functional operands sharing x,y,z: the lenient join estimate
+        # carries the 3^|shared| = 27 factor, so materialization wins
+        left = "('.*!x{a}!y{a}!z{a}.*' union '.*')"
+        right = "('.*!x{b}!y{b}!z{b}.*' union '.*')"
+        plan = plan_expression(parse_expression(f"{left} join {right}"))
+        assert plan.strategy == "materialize"
+
+    @staticmethod
+    def _flat(expr):
+        if isinstance(expr, ast.Join):
+            return TestPlanner._flat(expr.left) + TestPlanner._flat(expr.right)
+        return [expr.source]
+
+    def test_stats_reorder_join_chain(self):
+        expr = parse_expression("'A' join 'B' join 'C'")
+        stats = {
+            "regex('A')": 1000,
+            "regex('B')": 500,
+            "regex('C')": 2,
+        }
+        plan = plan_expression(expr, stats=stats)
+        # cheapest relation first: C, then B, then A
+        assert self._flat(plan.expr) == ["C", "B", "A"]
+
+    def test_reorder_can_be_disabled(self):
+        expr = parse_expression("'A' join 'B'")
+        stats = {"regex('A')": 1000, "regex('B')": 1}
+        with_reorder = plan_expression(expr, stats=stats)
+        without = plan_expression(expr, stats=stats, reorder=False)
+        assert self._flat(with_reorder.expr) == ["B", "A"]
+        assert self._flat(without.expr) == ["A", "B"]
+
+    def test_describe_mentions_strategies(self):
+        plan = plan_expression(parse_expression("'.*!x{a}.*' join load('r.csv')"))
+        text = plan.describe()
+        assert "materialize:join" in text and "load" in text
+
+
+# ----------------------------------------------------------------------
+# executor
+# ----------------------------------------------------------------------
+class TestExecutor:
+    def test_planner_matches_naive(self, store):
+        query = "pi{x}('.*!x{a+}!y{b+}.*') union rho{x->x}('.*!x{ab}.*')"
+        session = QuerySession(store)
+        assert session.evaluate(query, "d") == evaluate_query_naive(query, "aabba ab ba")
+
+    def test_let_bindings_inline(self, store):
+        session = QuerySession(store)
+        session.execute("LET A = '.*!x{a+}.*'")
+        assert session.evaluate("A", "d") == session.evaluate("'.*!x{a+}.*'", "d")
+
+    def test_registered_spanner_by_name(self, store):
+        store.register_spanner("words", ".*!x{[ab]+}.*")
+        session = QuerySession(store)
+        relation = session.evaluate("pi{x}(words)", "d")
+        assert relation == store.evaluate("words", "d").project(["x"])
+
+    def test_doc_statement_adds_and_selects(self):
+        session = QuerySession()
+        results = session.execute("DOC t = 'aa'\n'.*!x{a}.*'")
+        assert results[1].document == "t"
+        assert len(results[1].relation) == 2
+
+    def test_doc_statement_replaces(self):
+        session = QuerySession()
+        session.execute("DOC t = 'aa'")
+        results = session.execute("DOC t = 'aaa'\n'.*!x{a}.*'")
+        assert len(results[1].relation) == 3
+
+    def test_on_clause_picks_document(self, store):
+        store.add_document("e", "bb")
+        session = QuerySession(store)
+        results = session.execute("'.*!x{b+}.*' ON e")
+        assert all(str(t["x"]) in ("[1,2⟩", "[2,3⟩", "[1,3⟩") for t in results[0].relation)
+
+    def test_load_relation_round_trip(self, store, tmp_path):
+        relation = evaluate_query("'.*!x{a+}.*'", store, "d")
+        path = tmp_path / "rel.csv"
+        path.write_text(relation.to_csv(), encoding="utf-8")
+        loaded = evaluate_query("load('rel.csv')", store, base_dir=str(tmp_path))
+        assert loaded == relation
+
+    def test_load_join_with_spanner(self, store, tmp_path):
+        relation = evaluate_query("'.*!x{a+}.*'", store, "d")
+        (tmp_path / "rel.csv").write_text(relation.to_csv(), encoding="utf-8")
+        session = QuerySession(store, base_dir=str(tmp_path))
+        joined = session.evaluate("load('rel.csv') join '.*!x{aa}.*'", "d")
+        assert joined == relation.natural_join(evaluate_query("'.*!x{aa}.*'", store, "d"))
+
+    def test_plan_cache_warm_hit(self, store):
+        session = QuerySession(store)
+        query = "pi{x}('.*!x{a+}.*' union '.*!x{b+}.*')"
+        before = plan_cache().stats()["misses"]
+        session.evaluate(query, "d")
+        between = plan_cache().stats()
+        session.evaluate(query, "d")
+        after = plan_cache().stats()
+        assert between["misses"] > before
+        assert after["misses"] == between["misses"]
+        assert after["hits"] > between["hits"]
+        key = "query:" + canonical_key(session.resolve(parse_expression(query)))
+        assert key in plan_cache()
+
+    def test_statistics_feed_planner(self, store):
+        session = QuerySession(store)
+        session.evaluate("'.*!x{aa}.*'", "d")
+        assert session.stats["d"]["regex('.*!x{aa}.*')"] == 1
+        plan = session.plan("'.*!x{aa}.*'", "d")
+        assert plan.est_card == 1
+
+    # -- error paths through the query layer -----------------------------
+    def test_difference_schema_error(self, store):
+        session = QuerySession(store)
+        with pytest.raises(SchemaError) as excinfo:
+            session.evaluate(r"'.*!x{a}.*' \ '.*!y{a}.*'", "d")
+        assert "difference requires equal schemas" in str(excinfo.value)
+        assert "['x'] vs ['y']" in str(excinfo.value)
+
+    def test_rename_collision_error(self, store):
+        with pytest.raises(SchemaError) as excinfo:
+            evaluate_query("rho{x->y}('.*!x{a}!y{b}.*')", store, "d")
+        assert "renaming collapses two variables" in str(excinfo.value)
+
+    def test_project_unknown_variable_error(self, store):
+        with pytest.raises(SchemaError) as excinfo:
+            evaluate_query("pi{z}('.*!x{a}.*')", store, "d")
+        assert "cannot project onto unknown variables ['z']" in str(excinfo.value)
+
+    def test_unknown_name_error(self, store):
+        with pytest.raises(QueryError) as excinfo:
+            evaluate_query("nosuch", store, "d")
+        assert "unknown name 'nosuch'" in str(excinfo.value)
+
+    def test_no_document_error(self, store):
+        with pytest.raises(QueryError) as excinfo:
+            QuerySession(store).evaluate("'.*!x{a}.*'")
+        assert "no document selected" in str(excinfo.value)
+
+    def test_malformed_load_cell(self, store, tmp_path):
+        (tmp_path / "bad.csv").write_text("x\n٣:5\n", encoding="utf-8")
+        with pytest.raises(QueryError) as excinfo:
+            evaluate_query("load('bad.csv')", store, base_dir=str(tmp_path))
+        assert "ASCII" in str(excinfo.value)
+
+    def test_budget_steps_charged(self, store):
+        session = QuerySession(store)
+        with pytest.raises(EvaluationLimitError):
+            session.evaluate(
+                "'.*!x{a+}.*' join '.*!y{b+}.*' join '.*!z{ }.*'",
+                "d",
+                budget=Budget(max_steps=5),
+            )
+
+    def test_expired_deadline(self, store):
+        budget = Budget(deadline=Deadline.after(-1.0))
+        with pytest.raises(DeadlineExceededError):
+            QuerySession(store).evaluate("'.*!x{a}.*' join '.*!y{b}.*'", "d", budget)
+
+
+# ----------------------------------------------------------------------
+# REPL and scripts
+# ----------------------------------------------------------------------
+def _run_repl(lines: str, db=None) -> str:
+    out = io.StringIO()
+    repl = Repl(db, stdin=io.StringIO(lines), stdout=out)
+    assert repl.run() == 0
+    return out.getvalue()
+
+
+class TestRepl:
+    def test_session_flow(self):
+        out = _run_repl(
+            "DOC d = 'aab'\n'.*!x{a+}.*'\n\\plan\n\\timing\n'.*!x{b}.*'\n\\q\n"
+        )
+        assert "document 'd' selected" in out
+        assert "(3 tuples)" in out
+        assert "compile:regex" in out  # \plan output
+        assert "timing on" in out and " ms" in out
+
+    def test_error_recovery_keeps_session(self):
+        out = _run_repl("DOC d = 'ab'\npi{('a')\n'.*!x{a}.*'\n\\q\n")
+        assert "error:" in out
+        assert "(1 tuple)" in out  # the session survived the syntax error
+
+    def test_doc_command(self):
+        out = _run_repl("DOC a = 'x'\nDOC b = 'y'\n\\doc a\n\\doc nosuch\n\\docs\n\\q\n")
+        assert "document 'a' selected" in out
+        assert "error: no document named 'nosuch'" in out
+        assert "a\nb" in out
+
+    def test_plan_command_with_expression(self):
+        out = _run_repl("\\plan '.*!x{a}.*' join load('r.csv')\n\\q\n")
+        assert "materialize:join" in out
+
+    def test_unknown_command(self):
+        out = _run_repl("\\bogus\n\\q\n")
+        assert "unknown command" in out
+
+    def test_spanners_command(self, store):
+        store.register_spanner("w", ".*!x{a}.*")
+        out = _run_repl("\\spanners\n\\q\n", store)
+        assert "w" in out
+
+
+class TestRunScript:
+    def test_script_output_deterministic(self, tmp_path):
+        script = tmp_path / "s.rq"
+        script.write_text(
+            "DOC d = 'aabba'\nLET A = '.*!x{a+}.*'\npi{x}(A)\n", encoding="utf-8"
+        )
+        first, second = io.StringIO(), io.StringIO()
+        assert run_script(str(script), out=first) == 0
+        assert run_script(str(script), out=second) == 0
+        assert first.getvalue() == second.getvalue()
+        assert "(4 tuples)" in first.getvalue()
+
+    def test_script_reports_all_errors_and_continues(self, tmp_path):
+        script = tmp_path / "s.rq"
+        script.write_text(
+            "DOC d = 'ab'\nLET = broken\n'.*!x{a}.*'\npi{('x')\n", encoding="utf-8"
+        )
+        out = io.StringIO()
+        assert run_script(str(script), out=out) == 2
+        text = out.getvalue()
+        assert text.count("error:") == 2
+        assert "(1 tuple)" in text
+
+    def test_missing_script(self, tmp_path):
+        out = io.StringIO()
+        assert run_script(str(tmp_path / "nope.rq"), out=out) == 2
+        assert "cannot read script" in out.getvalue()
+
+
+# ----------------------------------------------------------------------
+# CLI and serve surfaces
+# ----------------------------------------------------------------------
+class TestCliSurfaces:
+    def test_query_subcommand(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["query", "--doc", "aab", "'.*!x{a+}.*'"]) == 0
+        out = capsys.readouterr().out
+        assert "(3 tuples)" in out
+
+    def test_query_subcommand_plan(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["query", "--doc", "ab", "--plan", "'.*!x{a}.*'"]) == 0
+        assert "compile:regex" in capsys.readouterr().out
+
+    def test_query_script_file(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        script = tmp_path / "s.rq"
+        script.write_text("DOC d = 'ab'\n'.*!x{a}.*'\n", encoding="utf-8")
+        assert main(["query", "-f", str(script)]) == 0
+        assert "(1 tuple)" in capsys.readouterr().out
+
+    def test_query_syntax_error_exit_code(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["query", "--doc", "ab", "pi{('a')"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_db_query_expression(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        store_path = str(tmp_path / "s.slpdb")
+        assert main(["db", store_path, "add", "logs", "aabba"]) == 0
+        capsys.readouterr()
+        assert main(["db", store_path, "query", "'.*!x{a+}.*' \\ '.*!x{aa}.*'"]) == 0
+        out = capsys.readouterr().out
+        assert "x" in out and "[1,2⟩" in out
+
+
+class TestServeExpression:
+    def test_query_expression_through_service(self, store):
+        from repro.serve import SpannerService
+
+        with SpannerService(store) as service:
+            result = service.query_expression(r"'.*!x{a+}.*' \ '.*!x{aa}.*'", "d")
+        assert not result.degraded
+        naive = evaluate_query_naive(r"'.*!x{a+}.*' \ '.*!x{aa}.*'", "aabba ab ba")
+        assert set(result.tuples) == set(naive.tuples)

@@ -1,0 +1,115 @@
+"""Differential fuzzing of the query planner.
+
+The contract from ``repro/query/__init__.py``: for every expression, the
+cost-based planner's answer (compile-vs-materialize choices, join
+re-ordering, plan-cache interning, SLP-compressed evaluation) equals
+naive bottom-up left-to-right materialization over the decompressed
+text, where atoms run through the naive enumerator — a disjoint code
+path.  Random expressions over random documents (including multi-byte
+and astral-plane unicode) assert exactly that.
+
+The default lane covers a fast seed subset; the full 200-seed sweep
+runs under ``-m slow_fuzz`` in CI's fuzz stage.
+"""
+
+import random
+
+import pytest
+
+from repro.db import SpannerDB
+from repro.query import QuerySession, evaluate_query_naive
+from repro.query import ast
+
+#: atom pool: (regex-formula template, schema it produces)
+_ATOMS = [
+    (".*!x{[ab]+}.*", ("x",)),
+    (".*!x{a+}.*", ("x",)),
+    (".*!x{ab?}.*", ("x",)),
+    (".*!x{.}.*", ("x",)),
+    (".*!x{a+}!y{b+}.*", ("x", "y")),
+    (".*!x{[ab]}.*!y{[ab]}.*", ("x", "y")),
+    (".*!y{b+}.*", ("y",)),
+    (".*!y{.}.*", ("y",)),
+]
+
+_DOCUMENTS = [
+    "aabba",
+    "ab ab ba",
+    "bbbb",
+    "a",
+    "b a",
+    "aába",                  # combining latin
+    "aあbいa",               # multi-byte BMP
+    "a😀ab🎉b",              # astral plane (surrogate-pair pitfalls)
+    "𝕒a𝕓b",                 # mathematical alphanumerics
+    "ab\x00ba",            # NUL inside the document
+]
+
+
+def _random_expr(rng: random.Random, depth: int) -> tuple[ast.Expr, tuple[str, ...]]:
+    """A random expression plus its schema (variables it can bind)."""
+    if depth <= 0 or rng.random() < 0.35:
+        source, schema = rng.choice(_ATOMS)
+        return ast.RegexAtom(source=source), schema
+    op = rng.choice(["join", "union", "diff", "project", "rename"])
+    if op in ("join", "union"):
+        left, ls = _random_expr(rng, depth - 1)
+        right, rs = _random_expr(rng, depth - 1)
+        schema = tuple(sorted(set(ls) | set(rs)))
+        kind = ast.Join if op == "join" else ast.Union
+        return kind(left=left, right=right), schema
+    if op == "diff":
+        # difference requires equal schemas: draw both sides from atoms
+        # with the same variable set, possibly wrapped once
+        source, schema = rng.choice(_ATOMS)
+        candidates = [a for a in _ATOMS if a[1] == schema]
+        other = rng.choice(candidates)[0]
+        return (
+            ast.Difference(
+                left=ast.RegexAtom(source=source),
+                right=ast.RegexAtom(source=other),
+            ),
+            schema,
+        )
+    inner, schema = _random_expr(rng, depth - 1)
+    if not schema:
+        return inner, schema
+    if op == "project":
+        keep = tuple(sorted(rng.sample(schema, rng.randint(1, len(schema)))))
+        return ast.Project(inner=inner, variables=keep), keep
+    renamed = rng.choice(schema)
+    fresh = "z" if "z" not in schema else "w"
+    return (
+        ast.Rename(inner=inner, renaming=((renamed, fresh),)),
+        tuple(sorted((set(schema) - {renamed}) | {fresh})),
+    )
+
+
+def _check_seed(seed: int) -> None:
+    rng = random.Random(seed)
+    text = rng.choice(_DOCUMENTS)
+    expr, _ = _random_expr(rng, depth=3)
+    db = SpannerDB()
+    db.add_document("d", text)
+    session = QuerySession(db)
+    planned = session.evaluate(expr, "d")
+    naive = evaluate_query_naive(expr, text)
+    assert planned == naive, (
+        f"seed {seed}: planner and naive disagree on {text!r} "
+        f"({session.last_plan.describe()})"
+    )
+    # second run goes through warm statistics (possibly different join
+    # order) and the warm plan cache — the answer must not move
+    assert session.evaluate(expr, "d") == naive, f"seed {seed}: warm run diverged"
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_planner_matches_naive_fast(seed):
+    _check_seed(seed)
+
+
+@pytest.mark.slow_fuzz
+class TestFullSweep:
+    def test_planner_matches_naive_200_seeds(self):
+        for seed in range(200):
+            _check_seed(seed)

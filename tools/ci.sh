@@ -37,6 +37,20 @@ if committed != generate_api_doc.render():
 print("docs/API.md ok")
 EOF
 
+echo "== golden query session (examples/query_session.rq, byte-for-byte)"
+# the query language's script mode promises deterministic output; this
+# lane replays the documented Example 1.1 session and diffs the
+# transcript against the committed examples/query_session.out
+GOLDEN_OUT=$(mktemp)
+trap 'rm -f "$GOLDEN_OUT"' EXIT
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro query -f examples/query_session.rq > "$GOLDEN_OUT"
+if ! diff -u examples/query_session.out "$GOLDEN_OUT"; then
+    echo "golden query session drifted; regenerate with:"
+    echo "  PYTHONPATH=src python -m repro query -f examples/query_session.rq > examples/query_session.out"
+    exit 1
+fi
+echo "examples/query_session.out ok"
+
 echo "== tests (slow_fuzz excluded by default addopts)"
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q
 
